@@ -1,0 +1,141 @@
+(* The benchmark harness.
+
+   Two layers:
+   1. The experiment harness (lib/experiments) — regenerates every table and
+      figure of the paper's evaluation (Table 1 rows 1-4 and the F1-F5 prose
+      claims). Run all of them (default) or one by id.
+   2. Bechamel micro-benchmarks of the mechanism's inner operations (one per
+      reproduced table/figure, timing the kernel that experiment stresses).
+
+   Usage:
+     dune exec bench/main.exe              # micro-benchmarks + all experiments
+     dune exec bench/main.exe -- list      # list experiment ids
+     dune exec bench/main.exe -- t1-uglm   # one experiment
+     dune exec bench/main.exe -- micro     # micro-benchmarks only *)
+
+open Bechamel
+open Toolkit
+module Common = Pmw_experiments.Common
+module Registry = Pmw_experiments.Registry
+module Universe = Pmw_data.Universe
+module Histogram = Pmw_data.Histogram
+module Rng = Pmw_rng.Rng
+
+(* --- bechamel micro-benchmarks: the kernels behind each experiment --- *)
+
+let micro_tests () =
+  let rng = Rng.create ~seed:1 () in
+  let universe = Universe.hypercube ~d:10 () in
+  let hist = Pmw_data.Synth.zipf_histogram ~universe ~s:1. rng in
+  let mw = Pmw_mw.Mw.create ~universe ~eta:0.3 in
+  let sv =
+    Pmw_dp.Sparse_vector.create ~t_max:1_000_000 ~k:max_int ~threshold:1.
+      ~privacy:(Pmw_dp.Params.create ~eps:1. ~delta:1e-6)
+      ~sensitivity:0.001 ~rng
+  in
+  let scores = Array.init 1024 (fun i -> float_of_int (i mod 17)) in
+  let workload = Common.Workload.regression ~d:2 ~levels:5 () in
+  let dataset = workload.Common.Workload.sample ~n:10_000 (Rng.create ~seed:2 ()) in
+  let query = List.hd workload.Common.Workload.queries in
+  let dhat = Histogram.uniform workload.Common.Workload.universe in
+  [
+    (* T1.linear: the linear-PMW kernel = one histogram inner product *)
+    Test.make ~name:"t1-linear/query-eval"
+      (Staged.stage (fun () ->
+           Histogram.expect hist (fun _ x -> if x.Pmw_data.Point.features.(0) > 0. then 1. else 0.)));
+    (* T1.lipschitz & friends: one public argmin over the hypothesis *)
+    Test.make ~name:"t1-lipschitz/public-argmin"
+      (Staged.stage (fun () -> Pmw_core.Cm_query.minimize_on_histogram ~iters:50 query dhat));
+    (* T1.uglm: one noisy-GD oracle call *)
+    Test.make ~name:"t1-uglm/oracle-call"
+      (Staged.stage
+         (let oracle = Pmw_erm.Oracles.noisy_gd ~max_steps:50 () in
+          let req =
+            {
+              Pmw_erm.Oracle.dataset;
+              loss = query.Pmw_core.Cm_query.loss;
+              domain = query.Pmw_core.Cm_query.domain;
+              privacy = Pmw_dp.Params.create ~eps:0.1 ~delta:1e-7;
+              rng;
+              solver_iters = 50;
+            }
+          in
+          fun () -> oracle.Pmw_erm.Oracle.run req));
+    (* T1.strong: the exponential mechanism selection used offline *)
+    Test.make ~name:"t1-strong/exp-mechanism"
+      (Staged.stage (fun () ->
+           Pmw_dp.Mechanisms.exponential ~eps:1. ~sensitivity:0.01 ~scores rng));
+    (* F2/F5: one MW update over |X| = 1024 *)
+    Test.make ~name:"f2-f5/mw-update"
+      (Staged.stage (fun () -> Pmw_mw.Mw.update mw ~loss:(fun i -> float_of_int (i land 7))));
+    (* F1/F4: one sparse-vector query *)
+    Test.make ~name:"f1-f4/sv-query" (Staged.stage (fun () -> Pmw_dp.Sparse_vector.query sv 0.2));
+    (* F3: one histogram normalization (softmax over |X|) *)
+    Test.make ~name:"f3/distribution" (Staged.stage (fun () -> Pmw_mw.Mw.distribution mw));
+    (* A3: one analytic Gaussian calibration (bisection) *)
+    Test.make ~name:"a3/analytic-sigma"
+      (Staged.stage (fun () ->
+           Pmw_dp.Analytic_gaussian.sigma ~eps:0.7 ~delta:1e-6 ~sensitivity:1.));
+    (* A6: one MWEM round (measurement + update) over |X| = 1024 *)
+    Test.make ~name:"a6/mwem-round"
+      (Staged.stage
+         (let ds = Pmw_data.Dataset.of_histogram ~n:5_000 hist (Rng.create ~seed:3 ()) in
+          let queries =
+            Array.of_list (Pmw_core.Workloads.positive_marginals ~dim:10 ~order:1)
+          in
+          fun () ->
+            Pmw_core.Mwem.run ~dataset:ds ~queries ~eps:1. ~rounds:1 ~replays:1
+              ~rng:(Rng.create ~seed:4 ())
+              ()));
+    (* F7: one least-squares reconstruction decode (n = 64, k = 128) *)
+    Test.make ~name:"f7/reconstruction-decode"
+      (Staged.stage
+         (let rng7 = Rng.create ~seed:5 () in
+          let secret = Array.init 64 (fun i -> i mod 3 = 0) in
+          let qs =
+            Pmw_attacks.Reconstruction.random_subset_queries ~n:64 ~k:128 ~secret
+              ~noise:(fun _ -> 0.)
+              rng7
+          in
+          fun () -> Pmw_attacks.Reconstruction.reconstruct qs));
+    (* A2 flavor: permute-and-flip selection over 1024 candidates *)
+    Test.make ~name:"a2/permute-and-flip"
+      (Staged.stage (fun () ->
+           Pmw_dp.Mechanisms.permute_and_flip ~eps:1. ~sensitivity:0.01 ~scores rng));
+  ]
+
+let run_micro () =
+  let tests = Test.make_grouped ~name:"pmw" ~fmt:"%s/%s" (micro_tests ()) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name v ->
+      match Analyze.OLS.estimates v with
+      | Some [ t ] -> rows := (name, t) :: !rows
+      | Some _ | None -> ())
+    results;
+  let rows = List.sort compare !rows in
+  Printf.printf "\n== micro-benchmarks (ns per call, OLS on monotonic clock) ==\n";
+  List.iter (fun (name, t) -> Printf.printf "%-32s %12.0f ns\n" name t) rows;
+  Printf.printf "%!"
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "list" :: _ ->
+      List.iter
+        (fun e ->
+          Printf.printf "%-14s %s\n" e.Registry.name e.Registry.description)
+        Registry.all
+  | _ :: "micro" :: _ -> run_micro ()
+  | _ :: name :: _ -> (
+      match Registry.find name with
+      | Some e -> e.Registry.run ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; try 'list'\n" name;
+          exit 1)
+  | _ ->
+      run_micro ();
+      Registry.run_all ()

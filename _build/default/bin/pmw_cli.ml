@@ -1,0 +1,296 @@
+(* Command-line interface to the library.
+
+   Subcommands:
+     list            list the paper-reproduction experiments
+     exp NAME        run one experiment (or --all)
+     run             run online PMW on a synthetic workload with chosen knobs
+     theory          print the Table 1 sample-complexity bounds for given
+                     parameters
+
+   Examples:
+     pmw_cli exp f1-crossover
+     pmw_cli run --workload classification --n 200000 --k 24 --alpha 0.05
+     pmw_cli theory --alpha 0.05 --k 1000 --d 4 --log-universe 10 *)
+
+open Cmdliner
+module Registry = Pmw_experiments.Registry
+module Common = Pmw_experiments.Common
+
+(* --- list --- *)
+
+let list_cmd =
+  let doc = "List the table/figure reproduction experiments" in
+  let run () =
+    List.iter
+      (fun e -> Printf.printf "%-14s %s\n" e.Registry.name e.Registry.description)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- exp --- *)
+
+let exp_cmd =
+  let doc = "Run one paper-reproduction experiment (see 'list'), or all of them" in
+  let name_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Experiment id")
+  in
+  let all_flag = Arg.(value & flag & info [ "all" ] ~doc:"Run every experiment") in
+  let run all name =
+    match (all, name) with
+    | true, _ ->
+        Registry.run_all ();
+        `Ok ()
+    | false, Some n -> (
+        match Registry.find n with
+        | Some e ->
+            e.Registry.run ();
+            `Ok ()
+        | None -> `Error (false, Printf.sprintf "unknown experiment %S (try 'list')" n))
+    | false, None -> `Error (true, "pass an experiment NAME or --all")
+  in
+  Cmd.v (Cmd.info "exp" ~doc) Term.(ret (const run $ all_flag $ name_arg))
+
+(* --- run --- *)
+
+let run_cmd =
+  let doc = "Answer a synthetic CM-query stream with online private multiplicative weights" in
+  let workload_arg =
+    let kind = Arg.enum [ ("regression", `Regression); ("classification", `Classification) ] in
+    Arg.(value & opt kind `Regression & info [ "workload" ] ~docv:"KIND" ~doc:"regression|classification")
+  in
+  let n_arg = Arg.(value & opt int 150_000 & info [ "n" ] ~doc:"Dataset size") in
+  let k_arg = Arg.(value & opt int 20 & info [ "k" ] ~doc:"Number of queries") in
+  let alpha_arg = Arg.(value & opt float 0.06 & info [ "alpha" ] ~doc:"Target excess risk") in
+  let eps_arg = Arg.(value & opt float 1.0 & info [ "eps" ] ~doc:"Privacy budget epsilon") in
+  let delta_arg = Arg.(value & opt float 1e-6 & info [ "delta" ] ~doc:"Privacy budget delta") in
+  let t_arg = Arg.(value & opt int 20 & info [ "t-max" ] ~doc:"MW update budget T") in
+  let d_arg = Arg.(value & opt int 2 & info [ "d" ] ~doc:"Feature dimension") in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed") in
+  let oracle_arg =
+    let kind =
+      Arg.enum
+        [ ("auto", `Auto); ("noisy-gd", `Gd); ("glm", `Glm); ("output-perturbation", `Out); ("exact", `Exact) ]
+    in
+    Arg.(value & opt kind `Auto & info [ "oracle" ] ~docv:"ORACLE"
+           ~doc:"auto|noisy-gd|glm|output-perturbation|exact (exact is non-private!)")
+  in
+  let run workload n k alpha eps delta t_max d seed oracle_kind =
+    if n <= 0 || k <= 0 then `Error (false, "n and k must be positive")
+    else begin
+      let w =
+        match workload with
+        | `Regression -> Common.Workload.regression ~d ()
+        | `Classification -> Common.Workload.classification ~d ()
+      in
+      let rng = Pmw_rng.Rng.create ~seed () in
+      let dataset = w.Common.Workload.sample ~n rng in
+      let privacy = Pmw_dp.Params.create ~eps ~delta in
+      let config =
+        Pmw_core.Config.practical ~universe:w.Common.Workload.universe ~privacy ~alpha ~beta:0.05
+          ~scale:w.Common.Workload.scale ~k ~t_max ~solver_iters:200 ()
+      in
+      let oracle =
+        match oracle_kind with
+        | `Auto -> Pmw_erm.Oracles.for_loss (List.hd w.Common.Workload.queries).Pmw_core.Cm_query.loss
+        | `Gd -> Pmw_erm.Oracles.noisy_gd ()
+        | `Glm -> Pmw_erm.Oracles.glm ()
+        | `Out -> Pmw_erm.Oracles.output_perturbation
+        | `Exact ->
+            Printf.printf "WARNING: the exact oracle is not differentially private.\n";
+            Pmw_erm.Oracles.exact
+      in
+      Printf.printf "universe %s (|X|=%d), n=%d, oracle=%s\n%!"
+        (Pmw_data.Universe.name w.Common.Workload.universe)
+        (Pmw_data.Universe.size w.Common.Workload.universe)
+        n oracle.Pmw_erm.Oracle.name;
+      let mechanism = Pmw_core.Online_pmw.create ~config ~dataset ~oracle ~rng () in
+      let analyst = Pmw_core.Analyst.cycle ~name:"cli" w.Common.Workload.queries ~k in
+      let records =
+        Pmw_core.Analyst.run ~analyst ~k
+          ~answer:(fun q ->
+            Option.map (fun o -> o.Pmw_core.Online_pmw.theta) (Pmw_core.Online_pmw.answer mechanism q))
+          ~dataset ~solver_iters:300 ()
+      in
+      List.iter
+        (fun (r : Pmw_core.Analyst.record) ->
+          match r.Pmw_core.Analyst.error with
+          | Some e ->
+              Printf.printf "round %3d  %-28s excess risk %.4f\n" r.Pmw_core.Analyst.index
+                r.Pmw_core.Analyst.query.Pmw_core.Cm_query.name e
+          | None -> Printf.printf "round %3d  (halted)\n" r.Pmw_core.Analyst.index)
+        records;
+      Printf.printf "answered %d/%d; max err %.4f; mean err %.4f; MW updates %d/%d\n"
+        (Pmw_core.Analyst.answered records)
+        k
+        (Pmw_core.Analyst.max_error records)
+        (Pmw_core.Analyst.mean_error records)
+        (Pmw_core.Online_pmw.updates mechanism)
+        t_max;
+      `Ok ()
+    end
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      ret
+        (const run $ workload_arg $ n_arg $ k_arg $ alpha_arg $ eps_arg $ delta_arg $ t_arg $ d_arg
+       $ seed_arg $ oracle_arg))
+
+(* --- ingest --- *)
+
+let ingest_cmd =
+  let doc = "Inspect how a CSV dataset discretizes (Section 1.1 rounding)" in
+  let input_arg =
+    Arg.(required & opt (some file) None & info [ "input" ] ~docv:"CSV" ~doc:"Input dataset (features...,label per row)")
+  in
+  let alpha_arg = Arg.(value & opt float 0.1 & info [ "alpha" ] ~doc:"Target accuracy for the grid") in
+  let run input alpha =
+    match
+      (try Ok (Pmw_data.Io.load_dataset ~path:input ~alpha ()) with
+      | Failure m -> Error m
+      | Invalid_argument m -> Error m)
+    with
+    | Error m -> `Error (false, m)
+    | Ok (universe, dataset) ->
+        let d = Pmw_data.Universe.dim universe in
+        let spec = Pmw_data.Continuous.plan ~alpha ~dim:d ~labeled:true () in
+        Printf.printf "loaded %d records, d=%d\nuniverse: %s, |X| = %d\nrounding error bound: %.4f (target alpha %.4f)\n"
+          (Pmw_data.Dataset.size dataset) d
+          (Pmw_data.Universe.name universe)
+          (Pmw_data.Universe.size universe)
+          (Pmw_data.Continuous.rounding_error spec)
+          alpha;
+        `Ok ()
+  in
+  Cmd.v (Cmd.info "ingest" ~doc) Term.(ret (const run $ input_arg $ alpha_arg))
+
+(* --- release --- *)
+
+let release_cmd =
+  let doc =
+    "Release a private synthetic dataset fitted to a counting-query workload (offline PMW)"
+  in
+  let input_arg =
+    Arg.(required & opt (some file) None & info [ "input" ] ~docv:"CSV" ~doc:"Sensitive input dataset")
+  in
+  let alpha_arg = Arg.(value & opt float 0.1 & info [ "alpha" ] ~doc:"Target accuracy") in
+  let eps_arg = Arg.(value & opt float 1.0 & info [ "eps" ] ~doc:"Privacy budget epsilon") in
+  let delta_arg = Arg.(value & opt float 1e-6 & info [ "delta" ] ~doc:"Privacy budget delta") in
+  let t_arg = Arg.(value & opt int 20 & info [ "t-max" ] ~doc:"Update rounds") in
+  let workload_arg =
+    Arg.(
+      value
+      & opt (list ~sep:';' string) []
+      & info [ "queries" ] ~docv:"PREDS"
+          ~doc:"Semicolon-separated predicates, e.g. 'x0 > 0; x1 <= 0.5 & label > 0'. Default: all 1-way positive marginals plus 'label > 0'.")
+  in
+  let out_hist_arg =
+    Arg.(value & opt (some string) None & info [ "out-hist" ] ~docv:"CSV" ~doc:"Write the released histogram here")
+  in
+  let out_synth_arg =
+    Arg.(value & opt (some string) None & info [ "out-synthetic" ] ~docv:"CSV" ~doc:"Write sampled synthetic rows here")
+  in
+  let rows_arg = Arg.(value & opt int 10_000 & info [ "rows" ] ~doc:"Synthetic rows to sample") in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed") in
+  let run input alpha eps delta t_max preds out_hist out_synth rows seed =
+    let ( let* ) r f = match r with Error m -> `Error (false, m) | Ok v -> f v in
+    let* universe, dataset =
+      try Ok (Pmw_data.Io.load_dataset ~path:input ~alpha ()) with
+      | Failure m -> Error m
+      | Invalid_argument m -> Error m
+    in
+    let d = Pmw_data.Universe.dim universe in
+    let* predicates =
+      if preds = [] then
+        Ok
+          (List.init d (fun j ->
+               Pmw_core.Predicate.Feature { axis = j; op = Pmw_core.Predicate.Gt; threshold = 0. })
+          @ [ Pmw_core.Predicate.Label { op = Pmw_core.Predicate.Gt; threshold = 0. } ])
+      else
+        List.fold_left
+          (fun acc s ->
+            match (acc, Pmw_core.Predicate.parse s) with
+            | Error m, _ -> Error m
+            | Ok l, Ok p -> Ok (p :: l)
+            | Ok _, Error m -> Error (Printf.sprintf "bad predicate %S: %s" s m))
+          (Ok []) preds
+        |> Result.map List.rev
+    in
+    let linear = List.map Pmw_core.Predicate.to_query predicates in
+    let domain = Pmw_convex.Domain.interval ~lo:0. ~hi:1. in
+    let queries = Array.of_list (Pmw_core.Workloads.as_cm_queries ~domain linear) in
+    let rng = Pmw_rng.Rng.create ~seed () in
+    (* The mean-estimation reduction squares the answer error, so a |error|
+       target of alpha on the counting queries is alpha^2 on the CM scale. *)
+    let config =
+      Pmw_core.Config.practical ~universe
+        ~privacy:(Pmw_dp.Params.create ~eps ~delta)
+        ~alpha:(alpha *. alpha) ~beta:0.05 ~scale:2. ~k:(Array.length queries) ~t_max
+        ~solver_iters:150 ()
+    in
+    let release =
+      Pmw_core.Synthetic_release.release ~config ~dataset
+        ~oracle:Pmw_erm.Oracles.laplace_output ~queries ~sample_size:rows ~rng ()
+    in
+    Printf.printf "fitted %d queries over |X|=%d in %d update rounds\n" (Array.length queries)
+      (Pmw_data.Universe.size universe)
+      release.Pmw_core.Synthetic_release.offline.Pmw_core.Offline_pmw.rounds_used;
+    let truth = Pmw_data.Dataset.histogram dataset in
+    List.iter
+      (fun q ->
+        Printf.printf "  %-32s true %.4f  released %.4f\n" q.Pmw_core.Linear_pmw.name
+          (Pmw_core.Linear_pmw.evaluate q truth)
+          (Pmw_core.Linear_pmw.evaluate q release.Pmw_core.Synthetic_release.hypothesis))
+      linear;
+    Option.iter
+      (fun path ->
+        Pmw_data.Io.save_histogram ~path release.Pmw_core.Synthetic_release.hypothesis;
+        Printf.printf "histogram written to %s\n" path)
+      out_hist;
+    (match (out_synth, release.Pmw_core.Synthetic_release.synthetic) with
+    | Some path, Some synth ->
+        Pmw_data.Io.save_dataset ~path synth;
+        Printf.printf "%d synthetic rows written to %s\n" (Pmw_data.Dataset.size synth) path
+    | Some _, None | None, _ -> ());
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "release" ~doc)
+    Term.(
+      ret
+        (const run $ input_arg $ alpha_arg $ eps_arg $ delta_arg $ t_arg $ workload_arg
+       $ out_hist_arg $ out_synth_arg $ rows_arg $ seed_arg))
+
+(* --- theory --- *)
+
+let theory_cmd =
+  let doc = "Print Table 1's required dataset sizes for given parameters (constants = 1)" in
+  let alpha_arg = Arg.(value & opt float 0.05 & info [ "alpha" ] ~doc:"Target excess risk") in
+  let eps_arg = Arg.(value & opt float 1.0 & info [ "eps" ] ~doc:"Epsilon") in
+  let k_arg = Arg.(value & opt int 1000 & info [ "k" ] ~doc:"Number of queries") in
+  let d_arg = Arg.(value & opt int 4 & info [ "d" ] ~doc:"Dimension") in
+  let logx_arg = Arg.(value & opt float 10. & info [ "log-universe" ] ~doc:"log |X|") in
+  let sigma_arg = Arg.(value & opt float 1.0 & info [ "sigma" ] ~doc:"Strong convexity") in
+  let run alpha eps k d log_universe sigma =
+    let i =
+      { (Pmw_core.Theory.default ~alpha ~log_universe) with Pmw_core.Theory.eps; k; d; sigma }
+    in
+    let module T = Pmw_core.Theory in
+    Printf.printf "Table 1 required n (alpha=%g eps=%g k=%d d=%d log|X|=%g sigma=%g):\n" alpha eps
+      k d log_universe sigma;
+    Printf.printf "  %-28s single %-12.3e k-queries %-12.3e\n" "linear" (T.linear_single i)
+      (T.linear_k i);
+    Printf.printf "  %-28s single %-12.3e k-queries %-12.3e\n" "Lipschitz, d-bounded"
+      (T.lipschitz_single i) (T.lipschitz_k i);
+    Printf.printf "  %-28s single %-12.3e k-queries %-12.3e\n" "UGLM" (T.uglm_single i)
+      (T.uglm_k i);
+    Printf.printf "  %-28s single %-12.3e k-queries %-12.3e\n" "strongly convex"
+      (T.strongly_convex_single i) (T.strongly_convex_k i);
+    Printf.printf "  MW update budget T = %.3e; PMW-vs-composition crossover k ~ %.3e\n"
+      (T.t_updates i) (T.crossover_k i)
+  in
+  Cmd.v (Cmd.info "theory" ~doc)
+    Term.(const run $ alpha_arg $ eps_arg $ k_arg $ d_arg $ logx_arg $ sigma_arg)
+
+let () =
+  let doc = "Private multiplicative weights beyond linear queries (Ullman, PODS 2015)" in
+  let info = Cmd.info "pmw_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; exp_cmd; run_cmd; theory_cmd; ingest_cmd; release_cmd ]))

@@ -1,0 +1,1 @@
+examples/adaptive_logistic.ml: Array Float Format List Option Pmw_convex Pmw_core Pmw_data Pmw_dp Pmw_erm Pmw_linalg Pmw_rng

@@ -1,0 +1,1 @@
+examples/linear_queries.ml: Array Float Format List Pmw_convex Pmw_core Pmw_data Pmw_dp Pmw_erm Pmw_rng Printf

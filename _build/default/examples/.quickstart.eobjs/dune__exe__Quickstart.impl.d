@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Pmw_convex Pmw_core Pmw_data Pmw_dp Pmw_erm Pmw_linalg Pmw_rng

@@ -1,0 +1,1 @@
+examples/regression_analyst.ml: Format List Option Pmw_convex Pmw_core Pmw_data Pmw_dp Pmw_erm Pmw_rng

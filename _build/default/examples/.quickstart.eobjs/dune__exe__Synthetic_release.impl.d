@@ -1,0 +1,1 @@
+examples/synthetic_release.ml: Array Float Format Pmw_convex Pmw_core Pmw_data Pmw_dp Pmw_erm Pmw_rng

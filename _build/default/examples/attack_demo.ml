@@ -1,0 +1,54 @@
+(* Why the noise is necessary: attacks against overly accurate releases.
+
+   Uses the umbrella [Pmw] module throughout (the one-stop API). Two demos:
+
+   1. Dinur-Nissim reconstruction: a secret bit per row, k = 4n subset-sum
+      queries. Exact answers -> the secret is fully reconstructed. The same
+      queries answered with the Laplace noise our mechanisms actually add ->
+      recovery collapses to coin flipping.
+
+   2. Tracing: released exact feature means let an attacker test whether a
+      target record was in the dataset; the eps=1 noisy release does not.
+
+   Run: dune exec examples/attack_demo.exe *)
+
+let () =
+  let rng = Pmw.Rng.create ~seed:99 () in
+
+  (* --- 1. reconstruction --- *)
+  let n = 128 in
+  let k = 4 * n in
+  Format.printf "Dinur-Nissim reconstruction: n=%d rows, k=%d subset-sum queries@." n k;
+  let attack ~label ~noise =
+    let rate = Pmw.Reconstruction.attack_success ~n ~k ~noise ~seed:1 in
+    Format.printf "  %-36s recovered %.1f%% of the secret@." label (100. *. rate)
+  in
+  attack ~label:"exact answers" ~noise:(fun _ -> 0.);
+  let eps = 1. in
+  let dp_scale = float_of_int k /. (float_of_int n *. eps) in
+  let noise_rng = Pmw.Rng.split rng in
+  attack
+    ~label:(Format.asprintf "eps=%g Laplace (k-fold composition)" eps)
+    ~noise:(fun _ -> Pmw.Dist.laplace ~scale:dp_scale noise_rng);
+
+  (* --- 2. tracing --- *)
+  let universe = Pmw.Universe.hypercube ~d:12 () in
+  let population = Pmw.Synth.zipf_histogram ~universe ~s:0.5 rng in
+  Format.printf "@.Tracing attack on released feature means (n=30 per dataset):@.";
+  let exact =
+    Pmw.Tracing.attack ~release:Pmw.Tracing.mean_release ~population ~n:30 ~trials:300 rng
+  in
+  Format.printf "  exact means:      advantage %.3f@." exact.Pmw.Tracing.advantage;
+  let dp =
+    Pmw.Tracing.attack
+      ~release:(fun ds -> Pmw.Tracing.noisy_mean_release ~eps:1. ~rng ds)
+      ~population ~n:30 ~trials:300 rng
+  in
+  Format.printf "  eps=1 noisy means: advantage %.3f@." dp.Pmw.Tracing.advantage;
+
+  (* --- the bridge to the paper --- *)
+  Format.printf
+    "@.This is the KRS13 connection of Section 1.2: sufficiently accurate answers to@.\
+     enough queries are incompatible with privacy, so every mechanism in this library@.\
+     (sparse vector, the oracles, PMW itself) injects noise at least at the scale that@.\
+     defeats these attacks — and the paper's error lower bounds are tight because of them.@."

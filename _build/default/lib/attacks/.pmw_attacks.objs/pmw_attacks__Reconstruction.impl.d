@@ -1,0 +1,1 @@
+lib/attacks/reconstruction.ml: Array Bool Float Pmw_linalg Pmw_rng

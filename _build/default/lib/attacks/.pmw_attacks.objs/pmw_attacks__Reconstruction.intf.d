@@ -1,0 +1,1 @@
+lib/attacks/reconstruction.mli: Pmw_linalg Pmw_rng

@@ -1,0 +1,1 @@
+lib/attacks/tracing.ml: Array Float Pmw_data Pmw_dp Pmw_linalg Pmw_rng

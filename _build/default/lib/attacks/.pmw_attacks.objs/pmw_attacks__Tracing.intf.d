@@ -1,0 +1,1 @@
+lib/attacks/tracing.mli: Pmw_data Pmw_linalg Pmw_rng

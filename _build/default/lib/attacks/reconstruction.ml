@@ -1,0 +1,44 @@
+module Mat = Pmw_linalg.Mat
+module Rng = Pmw_rng.Rng
+
+type queries = { design : Mat.t; answers : float array }
+
+let random_subset_queries ~n ~k ~secret ~noise rng =
+  if Array.length secret <> n then
+    invalid_arg "Reconstruction.random_subset_queries: secret length mismatch";
+  if n <= 0 || k <= 0 then
+    invalid_arg "Reconstruction.random_subset_queries: n and k must be positive";
+  let design = Mat.init ~rows:k ~cols:n (fun _ _ -> if Rng.bool rng then 1. else 0.) in
+  let answers =
+    Array.init k (fun j ->
+        let acc = ref 0. in
+        for i = 0 to n - 1 do
+          if Mat.get design j i = 1. && secret.(i) then acc := !acc +. 1.
+        done;
+        (!acc /. float_of_int n) +. noise j)
+  in
+  { design; answers }
+
+let reconstruct { design; answers } =
+  let n = Mat.cols design in
+  let scaled_answers = Array.map (fun a -> a *. float_of_int n) answers in
+  (* Ridge keeps the normal equations well-posed when k < n or the random
+     design is (near-)singular. *)
+  let z = Mat.least_squares ~ridge:1e-6 design scaled_answers in
+  Array.map (fun v -> v >= 0.5) z
+
+let recovery_rate ~secret ~guess =
+  let n = Array.length secret in
+  if Array.length guess <> n then invalid_arg "Reconstruction.recovery_rate: length mismatch";
+  let matches = ref 0 in
+  for i = 0 to n - 1 do
+    if Bool.equal secret.(i) guess.(i) then incr matches
+  done;
+  let rate = float_of_int !matches /. float_of_int n in
+  Float.max rate (1. -. rate)
+
+let attack_success ~n ~k ~noise ~seed =
+  let rng = Rng.create ~seed () in
+  let secret = Array.init n (fun _ -> Rng.bool rng) in
+  let qs = random_subset_queries ~n ~k ~secret ~noise rng in
+  recovery_rate ~secret ~guess:(reconstruct qs)

@@ -1,0 +1,44 @@
+(** Linear reconstruction attacks (Dinur–Nissim 2003; Kasiviswanathan,
+    Rudelson & Smith 2013).
+
+    The paper's key technique (Section 1.2) is "inspired by the work of
+    [KRS13] who ... use sufficiently accurate answers to non-linear CM
+    queries to extract linear constraints on the dataset, and these linear
+    constraints can then be combined with linear reconstruction attacks to
+    violate privacy". This module implements the attack side of that story:
+    given answers to many random subset-sum queries about a secret binary
+    attribute, solve the linear system to reconstruct the attribute. If the
+    answers are accurate to [o(1/√n)] the attack recovers almost every row —
+    which is exactly why every mechanism in this repository injects noise of
+    at least that order, and why the paper's error bounds cannot be
+    improved below [Ω(1/α²)] rows (Section 1.1's KRS13 citation).
+
+    Experiment F7 runs the attack against (a) exact answers, (b) answers
+    with sub-sampling-error noise, and (c) answers produced by the private
+    mechanisms, showing recovery rates near 100% / partial / chance. *)
+
+type queries = {
+  design : Pmw_linalg.Mat.t;  (** k x n 0/1 matrix; row j is query j's subset *)
+  answers : float array;  (** (possibly noisy) normalized answers a_j = (1/n)Σᵢ design(j,i)·secret(i) *)
+}
+
+val random_subset_queries :
+  n:int -> k:int -> secret:bool array -> noise:(int -> float) -> Pmw_rng.Rng.t -> queries
+(** [k] uniformly random subsets of the [n] rows; answer [j] is the exact
+    normalized subset sum of [secret] plus [noise j].
+    @raise Invalid_argument if [Array.length secret <> n]. *)
+
+val reconstruct : queries -> bool array
+(** Least-squares decoding: solve [min_z ‖(1/n)·A·z − a‖²] over the reals
+    (ridge-regularized normal equations) and round each coordinate at 1/2.
+    With [k >= n] noiseless queries this recovers the secret exactly. *)
+
+val recovery_rate : secret:bool array -> guess:bool array -> float
+(** Fraction of rows recovered, symmetrized: [max(match, 1 − match)] — an
+    attacker knowing nothing scores ~0.5, perfect reconstruction 1.0. *)
+
+val attack_success :
+  n:int -> k:int -> noise:(int -> float) -> seed:int -> float
+(** End-to-end: plant a random secret, run the attack, return the recovery
+    rate. The [noise] callback receives the query index (use it to model
+    per-answer mechanisms). *)

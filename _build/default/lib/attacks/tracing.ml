@@ -1,0 +1,64 @@
+module Vec = Pmw_linalg.Vec
+module Dataset = Pmw_data.Dataset
+module Histogram = Pmw_data.Histogram
+module Rng = Pmw_rng.Rng
+
+let score ~released ~population_mean ~record =
+  Vec.dot (Vec.sub record population_mean) (Vec.sub released population_mean)
+
+type result = { advantage : float; in_mean_score : float; out_mean_score : float }
+
+let mean_release ds =
+  let dim = Pmw_data.Universe.dim (Dataset.universe ds) in
+  Dataset.mean_grad ds ~dim (fun x -> x.Pmw_data.Point.features)
+
+let noisy_mean_release ~eps ~rng ds =
+  let mean = mean_release ds in
+  let universe = Dataset.universe ds in
+  let n = float_of_int (Dataset.size ds) in
+  let dim = Pmw_data.Universe.dim universe in
+  (* replacing one row moves each coordinate mean by <= 2 max|x_i| / n; give
+     each coordinate eps/dim of the budget *)
+  let linf =
+    Pmw_data.Universe.fold universe ~init:0. ~f:(fun acc _ p ->
+        Float.max acc (Vec.norm_inf p.Pmw_data.Point.features))
+  in
+  let per_coord_eps = eps /. float_of_int dim in
+  Array.map
+    (fun v ->
+      Pmw_dp.Mechanisms.laplace ~eps:per_coord_eps ~sensitivity:(2. *. linf /. n) v rng)
+    mean
+
+let attack ~release ~population ~n ~trials rng =
+  if n <= 0 || trials <= 0 then invalid_arg "Tracing.attack: n and trials must be positive";
+  let universe = Histogram.universe population in
+  let dim = Pmw_data.Universe.dim universe in
+  let pop_mean =
+    Histogram.expect_vec population ~dim (fun _ x -> x.Pmw_data.Point.features)
+  in
+  let in_scores = Array.make trials 0. in
+  let out_scores = Array.make trials 0. in
+  for t = 0 to trials - 1 do
+    let ds = Dataset.of_histogram ~n population rng in
+    let released = release ds in
+    let member = Dataset.row_point ds (Rng.int rng n) in
+    let fresh = Pmw_data.Universe.get universe (Histogram.sample population rng) in
+    in_scores.(t) <-
+      score ~released ~population_mean:pop_mean ~record:member.Pmw_data.Point.features;
+    out_scores.(t) <-
+      score ~released ~population_mean:pop_mean ~record:fresh.Pmw_data.Point.features
+  done;
+  (* threshold at the median of the null (out) scores *)
+  let sorted = Array.copy out_scores in
+  Array.sort compare sorted;
+  let threshold = sorted.(trials / 2) in
+  let rate scores =
+    float_of_int (Array.fold_left (fun acc s -> if s > threshold then acc + 1 else acc) 0 scores)
+    /. float_of_int trials
+  in
+  let mean arr = Array.fold_left ( +. ) 0. arr /. float_of_int trials in
+  {
+    advantage = rate in_scores -. rate out_scores;
+    in_mean_score = mean in_scores;
+    out_mean_score = mean out_scores;
+  }

@@ -1,0 +1,48 @@
+(** A membership-inference (tracing) attack on released statistics
+    (Homer et al. 2008 style; the fingerprinting lower-bound machinery of
+    BUV14, which the paper cites for the optimality of PMW).
+
+    Given released per-coordinate means of a dataset drawn from a known
+    population, the attacker scores a candidate record by the correlation
+    between (record − population mean) and (released means − population
+    mean). In-dataset records score systematically higher than fresh
+    population samples; the attack's advantage measures the privacy leak.
+    Differentially private releases (noisy means, PMW hypotheses) must push
+    the advantage toward 0 — tested in the suite and demonstrated in
+    experiment F7. *)
+
+val score :
+  released:Pmw_linalg.Vec.t ->
+  population_mean:Pmw_linalg.Vec.t ->
+  record:Pmw_linalg.Vec.t ->
+  float
+(** The tracing statistic [⟨record − μ, released − μ⟩]. *)
+
+type result = {
+  advantage : float;
+      (** (true-positive rate) − (false-positive rate) at the
+          median-of-null threshold; 0 = no leak, 1 = total leak *)
+  in_mean_score : float;
+  out_mean_score : float;
+}
+
+val attack :
+  release:(Pmw_data.Dataset.t -> Pmw_linalg.Vec.t) ->
+  population:Pmw_data.Histogram.t ->
+  n:int ->
+  trials:int ->
+  Pmw_rng.Rng.t ->
+  result
+(** Repeatedly: draw a dataset of [n] rows from [population], apply the
+    release function to get per-coordinate released means, score one random
+    in-dataset member and one fresh out-of-dataset sample. Aggregates over
+    [trials] repetitions. @raise Invalid_argument on non-positive [n] or
+    [trials]. *)
+
+val mean_release : Pmw_data.Dataset.t -> Pmw_linalg.Vec.t
+(** The non-private baseline release: exact per-coordinate feature means. *)
+
+val noisy_mean_release :
+  eps:float -> rng:Pmw_rng.Rng.t -> Pmw_data.Dataset.t -> Pmw_linalg.Vec.t
+(** The DP release: Laplace noise on each coordinate mean at sensitivity
+    [2·max‖x‖∞/n] (split across coordinates). *)

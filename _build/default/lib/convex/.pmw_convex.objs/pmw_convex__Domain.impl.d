@@ -1,0 +1,1 @@
+lib/convex/domain.ml: Array Float Format Pmw_linalg Pmw_rng

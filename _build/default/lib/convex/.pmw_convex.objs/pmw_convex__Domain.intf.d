@@ -1,0 +1,1 @@
+lib/convex/domain.mli: Format Pmw_linalg Pmw_rng

@@ -1,0 +1,1 @@
+lib/convex/loss.ml: Array Domain Option Pmw_data Pmw_linalg Printf

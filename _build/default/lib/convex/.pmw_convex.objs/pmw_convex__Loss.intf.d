@@ -1,0 +1,1 @@
+lib/convex/loss.mli: Domain Pmw_data Pmw_linalg

@@ -1,0 +1,1 @@
+lib/convex/losses.ml: Array Float Loss Option Pmw_data Pmw_linalg Printf String

@@ -1,0 +1,1 @@
+lib/convex/losses.mli: Loss Pmw_data Pmw_linalg

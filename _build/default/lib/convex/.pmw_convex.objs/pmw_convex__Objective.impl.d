@@ -1,0 +1,1 @@
+lib/convex/objective.ml: Loss Pmw_data Pmw_linalg

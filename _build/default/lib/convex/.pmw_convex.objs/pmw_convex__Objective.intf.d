@@ -1,0 +1,1 @@
+lib/convex/objective.mli: Loss Pmw_data Pmw_linalg

@@ -1,0 +1,1 @@
+lib/convex/solve.ml: Domain Float Loss Objective Pmw_linalg

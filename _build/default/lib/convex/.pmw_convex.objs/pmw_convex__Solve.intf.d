@@ -1,0 +1,1 @@
+lib/convex/solve.mli: Domain Loss Objective Pmw_data Pmw_linalg

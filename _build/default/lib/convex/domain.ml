@@ -1,0 +1,66 @@
+module Vec = Pmw_linalg.Vec
+module Proj = Pmw_linalg.Proj
+
+type kind = L2_ball of float | Box of { lo : float; hi : float } | Simplex
+
+type t = { dim : int; kind : kind }
+
+let make ~dim kind =
+  if dim <= 0 then invalid_arg "Domain.make: dim must be positive";
+  (match kind with
+  | L2_ball r -> if r < 0. then invalid_arg "Domain.make: negative radius"
+  | Box { lo; hi } -> if hi < lo then invalid_arg "Domain.make: empty box"
+  | Simplex -> ());
+  { dim; kind }
+
+let l2_ball ~dim ~radius = make ~dim (L2_ball radius)
+let unit_ball ~dim = l2_ball ~dim ~radius:1.
+let box ~dim ~lo ~hi = make ~dim (Box { lo; hi })
+let interval ~lo ~hi = box ~dim:1 ~lo ~hi
+let simplex ~dim = make ~dim Simplex
+
+let dim t = t.dim
+let kind t = t.kind
+
+let check_dim t v =
+  if Vec.dim v <> t.dim then invalid_arg "Domain: vector dimension mismatch"
+
+let project t v =
+  check_dim t v;
+  match t.kind with
+  | L2_ball r -> Proj.l2_ball ~radius:r v
+  | Box { lo; hi } -> Proj.box ~lo ~hi v
+  | Simplex -> Proj.simplex v
+
+let contains ?(tol = 1e-9) t v =
+  check_dim t v;
+  match t.kind with
+  | L2_ball r -> Vec.norm2 v <= r +. tol
+  | Box { lo; hi } -> Array.for_all (fun x -> x >= lo -. tol && x <= hi +. tol) v
+  | Simplex ->
+      Array.for_all (fun x -> x >= -.tol) v && Float.abs (Vec.kahan_sum v -. 1.) <= tol *. float_of_int t.dim
+
+let diameter t =
+  match t.kind with
+  | L2_ball r -> 2. *. r
+  | Box { lo; hi } -> (hi -. lo) *. sqrt (float_of_int t.dim)
+  | Simplex -> sqrt 2.
+
+let center t =
+  match t.kind with
+  | L2_ball _ -> Vec.create t.dim
+  | Box { lo; hi } -> Vec.constant t.dim (0.5 *. (lo +. hi))
+  | Simplex -> Vec.constant t.dim (1. /. float_of_int t.dim)
+
+let random_point t rng =
+  match t.kind with
+  | Box { lo; hi } -> Vec.init t.dim (fun _ -> Pmw_rng.Rng.uniform rng ~lo ~hi)
+  | L2_ball _ | Simplex ->
+      let g = Pmw_rng.Dist.gaussian_vector ~dim:t.dim ~sigma:1. rng in
+      project t g
+
+let pp fmt t =
+  match t.kind with
+  | L2_ball r -> Format.fprintf fmt "ball(d=%d, r=%g)" t.dim r
+  | Box { lo; hi } -> Format.fprintf fmt "box(d=%d, [%g,%g])" t.dim lo hi
+  | Simplex -> Format.fprintf fmt "simplex(d=%d)" t.dim

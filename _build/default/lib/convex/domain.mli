@@ -1,0 +1,46 @@
+(** Parameter domains [Θ ⊆ Rᵈ]: closed convex sets with a Euclidean
+    projection oracle.
+
+    The paper's normalizations use the unit L2 ball ([d]-Bounded condition);
+    the 1-dimensional box realizes linear queries as CM queries; the simplex
+    appears in tests. *)
+
+type kind =
+  | L2_ball of float  (** [{θ : ‖θ‖₂ <= r}] *)
+  | Box of { lo : float; hi : float }  (** [\[lo, hi\]ᵈ] *)
+  | Simplex  (** [{θ >= 0, Σθ = 1}] *)
+
+type t
+
+val make : dim:int -> kind -> t
+(** @raise Invalid_argument on non-positive [dim], negative radius, or an
+    empty box. *)
+
+val l2_ball : dim:int -> radius:float -> t
+val unit_ball : dim:int -> t
+val box : dim:int -> lo:float -> hi:float -> t
+val interval : lo:float -> hi:float -> t
+(** One-dimensional box. *)
+
+val simplex : dim:int -> t
+
+val dim : t -> int
+val kind : t -> kind
+
+val project : t -> Pmw_linalg.Vec.t -> Pmw_linalg.Vec.t
+(** Euclidean projection onto the set.
+    @raise Invalid_argument on a dimension mismatch. *)
+
+val contains : ?tol:float -> t -> Pmw_linalg.Vec.t -> bool
+
+val diameter : t -> float
+(** Euclidean diameter — enters step sizes and the scale parameter [S]. *)
+
+val center : t -> Pmw_linalg.Vec.t
+(** A canonical interior point used as the solvers' default start. *)
+
+val random_point : t -> Pmw_rng.Rng.t -> Pmw_linalg.Vec.t
+(** A point of the set, used by property tests (uniform for boxes, projected
+    Gaussian otherwise — any distribution supported on the set suffices). *)
+
+val pp : Format.formatter -> t -> unit

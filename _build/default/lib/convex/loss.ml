@@ -1,0 +1,68 @@
+module Vec = Pmw_linalg.Vec
+
+type glm = {
+  link : float -> float;
+  link_deriv : float -> float;
+  feature : Pmw_data.Point.t -> Vec.t;
+}
+
+type t = {
+  name : string;
+  value : Vec.t -> Pmw_data.Point.t -> float;
+  grad : Vec.t -> Pmw_data.Point.t -> Vec.t;
+  lipschitz : float;
+  strong_convexity : float;
+  glm : glm option;
+}
+
+let make ~name ?(lipschitz = 1.) ?(strong_convexity = 0.) ?glm ~value ~grad () =
+  if lipschitz < 0. then invalid_arg "Loss.make: negative Lipschitz constant";
+  if strong_convexity < 0. then invalid_arg "Loss.make: negative strong convexity";
+  { name; value; grad; lipschitz; strong_convexity; glm }
+
+let of_glm ~name ?lipschitz ?strong_convexity glm =
+  let value theta x = glm.link (Vec.dot theta (glm.feature x)) in
+  let grad theta x =
+    let phi = glm.feature x in
+    Vec.scale (glm.link_deriv (Vec.dot theta phi)) phi
+  in
+  make ~name ?lipschitz ?strong_convexity ~glm ~value ~grad ()
+
+let scale c t =
+  if c <= 0. then invalid_arg "Loss.scale: factor must be positive";
+  {
+    name = Printf.sprintf "%g*%s" c t.name;
+    value = (fun theta x -> c *. t.value theta x);
+    grad = (fun theta x -> Vec.scale c (t.grad theta x));
+    lipschitz = c *. t.lipschitz;
+    strong_convexity = c *. t.strong_convexity;
+    glm =
+      Option.map
+        (fun g ->
+          {
+            g with
+            link = (fun z -> c *. g.link z);
+            link_deriv = (fun z -> c *. g.link_deriv z);
+          })
+        t.glm;
+  }
+
+let add a b =
+  {
+    name = Printf.sprintf "%s+%s" a.name b.name;
+    value = (fun theta x -> a.value theta x +. b.value theta x);
+    grad = (fun theta x -> Vec.add (a.grad theta x) (b.grad theta x));
+    lipschitz = a.lipschitz +. b.lipschitz;
+    strong_convexity = a.strong_convexity +. b.strong_convexity;
+    glm = None;
+  }
+
+let scale_parameter t domain = Domain.diameter domain *. t.lipschitz
+
+let numeric_grad t theta x =
+  let h = 1e-6 in
+  Vec.init (Vec.dim theta) (fun i ->
+      let plus = Vec.copy theta and minus = Vec.copy theta in
+      plus.(i) <- plus.(i) +. h;
+      minus.(i) <- minus.(i) -. h;
+      (t.value plus x -. t.value minus x) /. (2. *. h))

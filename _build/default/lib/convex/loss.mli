@@ -1,0 +1,63 @@
+(** First-class convex loss functions [ℓ(θ; x)].
+
+    A CM query (Section 2.2) is specified by such a loss together with a
+    {!Domain.t}. Losses carry their analytic constants so that mechanisms can
+    compute sensitivities and step sizes:
+
+    - [lipschitz]: a bound on [‖∇ℓ_x(θ)‖₂] over the intended domain and
+      universe (the paper's Lipschitz condition);
+    - [strong_convexity]: the σ of σ-strong convexity ([0.] when merely
+      convex);
+    - [glm]: present when the loss is a generalized linear model
+      [ℓ(θ; x) = ℓ'(⟨θ, φ(x)⟩)] (Section 4.2.2), enabling the
+      dimension-independent oracle.
+
+    Gradients may be arbitrary subgradients at kinks (hinge, absolute), as
+    the paper allows. *)
+
+type glm = {
+  link : float -> float;  (** ℓ' — the scalar convex link *)
+  link_deriv : float -> float;  (** a (sub)derivative of ℓ' *)
+  feature : Pmw_data.Point.t -> Pmw_linalg.Vec.t;
+      (** φ — folds the label into the feature vector, e.g. [-y·x] for
+          logistic loss *)
+}
+
+type t = {
+  name : string;
+  value : Pmw_linalg.Vec.t -> Pmw_data.Point.t -> float;
+  grad : Pmw_linalg.Vec.t -> Pmw_data.Point.t -> Pmw_linalg.Vec.t;
+  lipschitz : float;
+  strong_convexity : float;
+  glm : glm option;
+}
+
+val make :
+  name:string ->
+  ?lipschitz:float ->
+  ?strong_convexity:float ->
+  ?glm:glm ->
+  value:(Pmw_linalg.Vec.t -> Pmw_data.Point.t -> float) ->
+  grad:(Pmw_linalg.Vec.t -> Pmw_data.Point.t -> Pmw_linalg.Vec.t) ->
+  unit ->
+  t
+(** Defaults: [lipschitz = 1.], [strong_convexity = 0.].
+    @raise Invalid_argument on negative constants. *)
+
+val of_glm : name:string -> ?lipschitz:float -> ?strong_convexity:float -> glm -> t
+(** Build the loss from its GLM structure; [value]/[grad] are derived. *)
+
+val scale : float -> t -> t
+(** [scale c loss] multiplies the loss (and its constants) by [c > 0]. *)
+
+val add : t -> t -> t
+(** Pointwise sum; constants add (a valid, possibly loose, bound). *)
+
+val scale_parameter : t -> Domain.t -> float
+(** The paper's scaling constant
+    [S >= max_{x,θ,θ'} |⟨θ − θ', ∇ℓ_x(θ)⟩| <= diameter(Θ) · lipschitz].
+    Every use of [S] in the algorithm takes this bound. *)
+
+val numeric_grad : t -> Pmw_linalg.Vec.t -> Pmw_data.Point.t -> Pmw_linalg.Vec.t
+(** Central finite differences — used by tests to validate analytic
+    gradients. *)

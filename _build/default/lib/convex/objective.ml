@@ -1,0 +1,25 @@
+module Vec = Pmw_linalg.Vec
+
+type t = { dim : int; f : Vec.t -> float; grad : Vec.t -> Vec.t }
+
+let of_histogram (loss : Loss.t) hist ~dim =
+  {
+    dim;
+    f = (fun theta -> Pmw_data.Histogram.expect hist (fun _ x -> loss.Loss.value theta x));
+    grad =
+      (fun theta -> Pmw_data.Histogram.expect_vec hist ~dim (fun _ x -> loss.Loss.grad theta x));
+  }
+
+(* The dataset's histogram is an exact summary of the empirical objective, so
+   evaluate through it: O(|X|) per evaluation instead of O(n). *)
+let of_dataset (loss : Loss.t) ds ~dim = of_histogram loss (Pmw_data.Dataset.histogram ds) ~dim
+
+let of_fn ~dim ~f ~grad = { dim; f; grad }
+
+let add_ridge t ~lambda =
+  if lambda < 0. then invalid_arg "Objective.add_ridge: lambda must be non-negative";
+  {
+    t with
+    f = (fun theta -> t.f theta +. (0.5 *. lambda *. Vec.norm2_sq theta));
+    grad = (fun theta -> Vec.add (t.grad theta) (Vec.scale lambda theta));
+  }

@@ -1,0 +1,24 @@
+(** Objectives: a loss averaged over a data distribution, as a closure the
+    solvers can minimize.
+
+    The paper evaluates losses both against histograms (the public hypothesis
+    [D̂ₜ] and the true histogram [D]) and against raw datasets (the
+    single-query oracles); both are provided. *)
+
+type t = {
+  dim : int;
+  f : Pmw_linalg.Vec.t -> float;
+  grad : Pmw_linalg.Vec.t -> Pmw_linalg.Vec.t;
+}
+
+val of_histogram : Loss.t -> Pmw_data.Histogram.t -> dim:int -> t
+(** [ℓ(θ; D) = Σ_x D(x) ℓ(θ; x)] and its gradient. *)
+
+val of_dataset : Loss.t -> Pmw_data.Dataset.t -> dim:int -> t
+(** [(1/n) Σᵢ ℓ(θ; xᵢ)]. *)
+
+val of_fn : dim:int -> f:(Pmw_linalg.Vec.t -> float) -> grad:(Pmw_linalg.Vec.t -> Pmw_linalg.Vec.t) -> t
+
+val add_ridge : t -> lambda:float -> t
+(** The objective plus [(λ/2)‖θ‖²] — regularization applied at the objective
+    level (used by output perturbation). *)

@@ -1,0 +1,1 @@
+lib/core/analyst.ml: Array Cm_query Float List Option Pmw_linalg Pmw_rng

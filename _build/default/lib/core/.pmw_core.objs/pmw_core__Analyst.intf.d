@@ -1,0 +1,1 @@
+lib/core/analyst.mli: Cm_query Pmw_data Pmw_linalg Pmw_rng

@@ -1,0 +1,1 @@
+lib/core/budget.ml: Float List Pmw_dp Printf

@@ -1,0 +1,1 @@
+lib/core/cm_query.ml: Float Pmw_convex Pmw_data Pmw_linalg

@@ -1,0 +1,1 @@
+lib/core/cm_query.mli: Pmw_convex Pmw_data Pmw_linalg

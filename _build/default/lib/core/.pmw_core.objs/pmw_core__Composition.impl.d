@@ -1,0 +1,1 @@
+lib/core/composition.ml: Cm_query Pmw_data Pmw_dp Pmw_erm Pmw_rng

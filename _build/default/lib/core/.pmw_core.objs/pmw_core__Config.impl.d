@@ -1,0 +1,1 @@
+lib/core/config.ml: Float Format Int Pmw_data Pmw_dp

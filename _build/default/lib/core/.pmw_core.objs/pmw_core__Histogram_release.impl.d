@@ -1,0 +1,1 @@
+lib/core/histogram_release.ml: Array Float Linear_pmw Pmw_data Pmw_linalg Pmw_rng

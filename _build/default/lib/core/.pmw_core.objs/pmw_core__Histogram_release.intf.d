@@ -1,0 +1,1 @@
+lib/core/histogram_release.mli: Linear_pmw Pmw_data Pmw_rng

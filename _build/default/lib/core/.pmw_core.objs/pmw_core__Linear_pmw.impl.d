@@ -1,0 +1,1 @@
+lib/core/linear_pmw.ml: Float Int Pmw_data Pmw_dp Pmw_mw Pmw_rng

@@ -1,0 +1,1 @@
+lib/core/linear_pmw.mli: Pmw_data Pmw_dp Pmw_rng

@@ -1,0 +1,1 @@
+lib/core/mwem.ml: Array Float Linear_pmw List Pmw_data Pmw_dp Pmw_mw

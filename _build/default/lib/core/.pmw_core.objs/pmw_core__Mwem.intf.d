@@ -1,0 +1,1 @@
+lib/core/mwem.mli: Linear_pmw Pmw_data Pmw_rng

@@ -1,0 +1,1 @@
+lib/core/offline_pmw.ml: Array Cm_query Config Float List Pmw_convex Pmw_data Pmw_dp Pmw_erm Pmw_linalg Pmw_mw

@@ -1,0 +1,1 @@
+lib/core/offline_pmw.mli: Cm_query Config Pmw_data Pmw_erm Pmw_linalg Pmw_rng

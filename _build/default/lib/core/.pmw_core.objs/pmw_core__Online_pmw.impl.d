@@ -1,0 +1,1 @@
+lib/core/online_pmw.ml: Cm_query Config Float List Logs Option Pmw_convex Pmw_data Pmw_dp Pmw_erm Pmw_linalg Pmw_mw Pmw_rng Printf

@@ -1,0 +1,1 @@
+lib/core/online_pmw.mli: Cm_query Config Pmw_data Pmw_dp Pmw_erm Pmw_linalg Pmw_rng

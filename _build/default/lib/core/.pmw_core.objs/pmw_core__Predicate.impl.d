@@ -1,0 +1,1 @@
+lib/core/predicate.ml: Array Linear_pmw List Pmw_data Printf String

@@ -1,0 +1,1 @@
+lib/core/predicate.mli: Linear_pmw Pmw_data

@@ -1,0 +1,1 @@
+lib/core/smalldb.ml: Array Float Int Linear_pmw Pmw_data Pmw_dp Printf

@@ -1,0 +1,1 @@
+lib/core/synthetic_release.ml: Array Cm_query Offline_pmw Option Pmw_data

@@ -1,0 +1,1 @@
+lib/core/synthetic_release.mli: Cm_query Config Offline_pmw Pmw_data Pmw_erm Pmw_rng

@@ -1,0 +1,1 @@
+lib/core/workloads.ml: Array Cm_query Float Linear_pmw List Pmw_convex Pmw_data Pmw_rng Printf String

@@ -1,0 +1,1 @@
+lib/core/workloads.mli: Cm_query Linear_pmw Pmw_convex Pmw_data Pmw_rng

@@ -1,0 +1,111 @@
+type record = {
+  index : int;
+  query : Cm_query.t;
+  answer : Pmw_linalg.Vec.t option;
+  error : float option;
+}
+
+type t = { name : string; next : round:int -> history:record list -> Cm_query.t option }
+
+let of_list ~name queries =
+  let arr = Array.of_list queries in
+  {
+    name;
+    next = (fun ~round ~history:_ -> if round < Array.length arr then Some arr.(round) else None);
+  }
+
+let cycle ~name queries ~k =
+  let arr = Array.of_list queries in
+  if Array.length arr = 0 then invalid_arg "Analyst.cycle: no queries";
+  {
+    name;
+    next =
+      (fun ~round ~history:_ ->
+        if round < k then Some arr.(round mod Array.length arr) else None);
+  }
+
+let adaptive ~name next = { name; next }
+
+let random_from_pool ~name pool ~k rng =
+  let arr = Array.of_list pool in
+  if Array.length arr = 0 then invalid_arg "Analyst.random_from_pool: empty pool";
+  {
+    name;
+    next =
+      (fun ~round ~history:_ ->
+        if round < k then Some arr.(Pmw_rng.Rng.int rng (Array.length arr)) else None);
+  }
+
+let greedy_hardest ~name pool ~k =
+  let arr = Array.of_list pool in
+  if Array.length arr = 0 then invalid_arg "Analyst.greedy_hardest: empty pool";
+  {
+    name;
+    next =
+      (fun ~round ~history ->
+        if round >= k then None
+        else if round < Array.length arr then Some arr.(round)
+        else begin
+          (* find the recorded query with the largest error; identify pool
+             membership by name (pool queries have distinct names) *)
+          let worst = ref None in
+          List.iter
+            (fun r ->
+              match r.error with
+              | Some e -> (
+                  match !worst with
+                  | Some (_, e') when e' >= e -> ()
+                  | Some _ | None -> worst := Some (r.query, e))
+              | None -> ())
+            history;
+          match !worst with
+          | Some (q, _) -> Some q
+          | None -> Some arr.(round mod Array.length arr)
+        end);
+  }
+
+let run ~analyst ~k ~answer ~dataset ?(solver_iters = 400) () =
+  let rec loop round history =
+    if round >= k then List.rev history
+    else
+      match analyst.next ~round ~history with
+      | None -> List.rev history
+      | Some query ->
+          let theta = answer query in
+          let error =
+            Option.map (fun th -> Cm_query.err_answer ~iters:solver_iters query dataset th) theta
+          in
+          let record = { index = round; query; answer = theta; error } in
+          loop (round + 1) (record :: history)
+  in
+  loop 0 []
+
+let estimate_accuracy ~trials ~game ~alpha =
+  if trials <= 0 then invalid_arg "Analyst.estimate_accuracy: trials must be positive";
+  let wins = ref 0 in
+  for seed = 1 to trials do
+    let records = game ~seed in
+    let ok =
+      List.for_all
+        (fun r -> match r.error with Some e -> e <= alpha | None -> false)
+        records
+    in
+    if ok && records <> [] then incr wins
+  done;
+  float_of_int !wins /. float_of_int trials
+
+let max_error records =
+  List.fold_left
+    (fun acc r -> match r.error with Some e -> Float.max acc e | None -> acc)
+    0. records
+
+let mean_error records =
+  let total, count =
+    List.fold_left
+      (fun (t, c) r -> match r.error with Some e -> (t +. e, c + 1) | None -> (t, c))
+      (0., 0) records
+  in
+  if count = 0 then 0. else total /. float_of_int count
+
+let answered records =
+  List.length (List.filter (fun r -> Option.is_some r.answer) records)

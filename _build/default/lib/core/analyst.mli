@@ -1,0 +1,62 @@
+(** The interactive accuracy game [Acc_{n,k,L}] of Figure 1.
+
+    An analyst is the adversary [B]: it emits a stream of CM queries, each
+    possibly depending on the full history of queries and answers. [run]
+    plays the game against any answering mechanism and records, for each
+    round, the answer and its true excess risk (Definition 2.2) so that
+    experiments can report [max_j err_{ℓ_j}(D, θ̂ʲ)] — the quantity
+    Definition 2.4's [(α, β)]-accuracy bounds. *)
+
+type record = {
+  index : int;
+  query : Cm_query.t;
+  answer : Pmw_linalg.Vec.t option;  (** [None] if the mechanism halted *)
+  error : float option;  (** true excess risk of the answer *)
+}
+
+type t = { name : string; next : round:int -> history:record list -> Cm_query.t option }
+
+val of_list : name:string -> Cm_query.t list -> t
+(** The non-adaptive analyst that asks a fixed sequence. *)
+
+val cycle : name:string -> Cm_query.t list -> k:int -> t
+(** Asks the given queries round-robin for [k] rounds — the repeated-workload
+    analyst used in crossover experiments. *)
+
+val adaptive :
+  name:string -> (round:int -> history:record list -> Cm_query.t option) -> t
+(** Fully adaptive analyst: the callback sees the entire history (most
+    recent first). *)
+
+val random_from_pool : name:string -> Cm_query.t list -> k:int -> Pmw_rng.Rng.t -> t
+(** Asks [k] queries drawn uniformly (with replacement) from the pool —
+    the "many analysts who don't coordinate" workload. *)
+
+val greedy_hardest : name:string -> Cm_query.t list -> k:int -> t
+(** An adversarial analyst: re-asks whichever pool query produced the
+    largest recorded true error so far (exploring the pool round-robin until
+    every query has been tried once). Stresses the mechanism's worst query
+    instead of its average one. *)
+
+val run :
+  analyst:t ->
+  k:int ->
+  answer:(Cm_query.t -> Pmw_linalg.Vec.t option) ->
+  dataset:Pmw_data.Dataset.t ->
+  ?solver_iters:int ->
+  unit ->
+  record list
+(** Play at most [k] rounds (stopping early when the analyst runs out of
+    queries); returns the records in chronological order. *)
+
+val estimate_accuracy : trials:int -> game:(seed:int -> record list) -> alpha:float -> float
+(** Definition 2.4 empirically: play the game [trials] times (seeds
+    1..trials) and return the fraction of plays in which every answered
+    round had error [<= alpha] AND no round went unanswered — an estimate of
+    [1 − β]. @raise Invalid_argument if [trials <= 0]. *)
+
+val max_error : record list -> float
+(** [max_j err_{ℓ_j}(D, θ̂ʲ)] over the answered rounds; [0.] if none. *)
+
+val mean_error : record list -> float
+val answered : record list -> int

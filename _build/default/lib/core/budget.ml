@@ -1,0 +1,42 @@
+module Params = Pmw_dp.Params
+
+type t = { total : Params.t; mutable granted : Params.t list }
+
+let create total = { total; granted = [] }
+
+let total t = t.total
+
+let spent t = Params.compose_basic (List.rev t.granted)
+
+let remaining t =
+  let s = spent t in
+  Params.create
+    ~eps:(Float.max 0. (t.total.Params.eps -. s.Params.eps))
+    ~delta:(Float.max 0. (t.total.Params.delta -. s.Params.delta))
+
+let request t slice =
+  let r = remaining t in
+  if slice.Params.eps > r.Params.eps +. 1e-15 then
+    Error
+      (Printf.sprintf "budget exhausted: requested eps=%g but only %g remains" slice.Params.eps
+         r.Params.eps)
+  else if slice.Params.delta > r.Params.delta +. 1e-300 then
+    Error
+      (Printf.sprintf "budget exhausted: requested delta=%g but only %g remains"
+         slice.Params.delta r.Params.delta)
+  else begin
+    t.granted <- slice :: t.granted;
+    Ok slice
+  end
+
+let request_fraction t fraction =
+  if fraction <= 0. || fraction > 1. then
+    invalid_arg "Budget.request_fraction: fraction must lie in (0, 1]";
+  request t
+    (Params.create
+       ~eps:(t.total.Params.eps *. fraction)
+       ~delta:(t.total.Params.delta *. fraction))
+
+let exhausted ?(tolerance = 1e-12) t = (remaining t).Params.eps <= tolerance
+
+let history t = List.rev t.granted

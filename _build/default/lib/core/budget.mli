@@ -1,0 +1,36 @@
+(** A shared privacy-budget manager for sessions that run several mechanisms
+    against the same dataset.
+
+    In practice one dataset serves many analyses (the paper's opening
+    motivation); each mechanism must draw its [(ε, δ)] from a common pot or
+    the guarantees silently compose past the intended total. A [Budget.t]
+    holds the pot, hands out slices, refuses when exhausted, and keeps the
+    ledger — so "are we still within (1, 1e-6)?" has one authoritative
+    answer. Basic composition is used for soundness (slices are typically
+    few and heterogeneous; the fine-grained composition happens inside each
+    mechanism). *)
+
+type t
+
+val create : Pmw_dp.Params.t -> t
+(** A fresh pot. *)
+
+val total : t -> Pmw_dp.Params.t
+val spent : t -> Pmw_dp.Params.t
+val remaining : t -> Pmw_dp.Params.t
+
+val request : t -> Pmw_dp.Params.t -> (Pmw_dp.Params.t, string) result
+(** [request t slice] debits [slice] if it fits in the remainder, returning
+    it for the caller to hand to a mechanism; [Error] (with a human-readable
+    reason) otherwise — nothing is debited on refusal. *)
+
+val request_fraction : t -> float -> (Pmw_dp.Params.t, string) result
+(** Debit the given fraction of the ORIGINAL total (e.g. [0.5] twice
+    exhausts the pot). @raise Invalid_argument unless the fraction lies in
+    (0, 1]. *)
+
+val exhausted : ?tolerance:float -> t -> bool
+(** No meaningful ε remains (default tolerance [1e-12]). *)
+
+val history : t -> Pmw_dp.Params.t list
+(** Granted slices, oldest first. *)

@@ -1,0 +1,38 @@
+module Vec = Pmw_linalg.Vec
+module Loss = Pmw_convex.Loss
+module Domain = Pmw_convex.Domain
+module Solve = Pmw_convex.Solve
+
+type t = { name : string; loss : Loss.t; domain : Domain.t }
+
+let make ?name ~loss ~domain () =
+  let name = match name with Some n -> n | None -> loss.Loss.name in
+  { name; loss; domain }
+
+let dim t = Domain.dim t.domain
+
+let scale t = Loss.scale_parameter t.loss t.domain
+
+let error_sensitivity t ~n =
+  if n <= 0 then invalid_arg "Cm_query.error_sensitivity: n must be positive";
+  3. *. scale t /. float_of_int n
+
+let minimize_on_histogram ?iters t hist = Solve.minimize_loss_on_histogram ?iters t.loss t.domain hist
+let minimize_on_dataset ?iters t ds = Solve.minimize_loss_on_dataset ?iters t.loss t.domain ds
+
+let loss_on_histogram t hist theta =
+  Pmw_data.Histogram.expect hist (fun _ x -> t.loss.Loss.value theta x)
+
+let loss_on_dataset t ds theta = loss_on_histogram t (Pmw_data.Dataset.histogram ds) theta
+
+let err_answer ?iters t ds theta =
+  let reference = minimize_on_dataset ?iters t ds in
+  Float.max 0. (loss_on_dataset t ds theta -. reference.Solve.value)
+
+let err_hypothesis ?iters t ds hyp =
+  let theta_hyp = (minimize_on_histogram ?iters t hyp).Solve.theta in
+  err_answer ?iters t ds theta_hyp
+
+let update_vector t ~theta_oracle ~theta_hyp _index x =
+  let direction = Vec.sub theta_oracle theta_hyp in
+  Vec.dot direction (t.loss.Loss.grad theta_hyp x)

@@ -1,0 +1,44 @@
+(** Convex-minimization queries (Section 2.2).
+
+    A CM query is a convex loss [ℓ : Θ × X → R] together with its domain
+    [Θ]; the query asks for [q_ℓ(D) = argmin_θ ℓ(θ; D)]. This module bundles
+    the two, exposes the paper's error functionals (Definitions 2.2 and 2.3)
+    and the scale/sensitivity bookkeeping of Sections 3.2 and 3.4.2. *)
+
+type t = { name : string; loss : Pmw_convex.Loss.t; domain : Pmw_convex.Domain.t }
+
+val make : ?name:string -> loss:Pmw_convex.Loss.t -> domain:Pmw_convex.Domain.t -> unit -> t
+
+val dim : t -> int
+
+val scale : t -> float
+(** The paper's scaling constant [S] for this query:
+    [max |⟨θ−θ', ∇ℓ_x(θ)⟩| <= diam(Θ)·Lipschitz(ℓ)]. *)
+
+val error_sensitivity : t -> n:int -> float
+(** Global sensitivity of the sparse-vector query [q_j(D) = err_ℓ(D, D̂ᵗ)]:
+    the [3S/n] bound proved in Section 3.4.2. *)
+
+val minimize_on_histogram : ?iters:int -> t -> Pmw_data.Histogram.t -> Pmw_convex.Solve.report
+(** [argmin_θ ℓ(θ; D̂)] by the non-private solver (default 400 iterations). *)
+
+val minimize_on_dataset : ?iters:int -> t -> Pmw_data.Dataset.t -> Pmw_convex.Solve.report
+
+val loss_on_histogram : t -> Pmw_data.Histogram.t -> Pmw_linalg.Vec.t -> float
+(** [ℓ(θ; D̂) = Σ_x D̂(x)·ℓ(θ; x)]. *)
+
+val loss_on_dataset : t -> Pmw_data.Dataset.t -> Pmw_linalg.Vec.t -> float
+
+val err_answer : ?iters:int -> t -> Pmw_data.Dataset.t -> Pmw_linalg.Vec.t -> float
+(** Definition 2.2: [err_ℓ(D, θ̂) = ℓ(θ̂; D) − min_θ ℓ(θ; D)] (clamped at 0,
+    since the solver's reference minimum is itself approximate). *)
+
+val err_hypothesis : ?iters:int -> t -> Pmw_data.Dataset.t -> Pmw_data.Histogram.t -> float
+(** Definition 2.3: [err_ℓ(D, D̂) = ℓ_D(argmin ℓ_D̂) − min_θ ℓ_D(θ)] — the
+    quantity the sparse-vector algorithm thresholds in Figure 3. *)
+
+val update_vector : t -> theta_oracle:Pmw_linalg.Vec.t -> theta_hyp:Pmw_linalg.Vec.t -> int -> Pmw_data.Point.t -> float
+(** The dual-certificate linear query of Section 1.2 / Figure 3:
+    [uᵗ(x) = ⟨θᵗ − θ̂ᵗ, ∇ℓ_x(θ̂ᵗ)⟩], where [θᵗ] is the oracle's (private)
+    near-minimizer on [D] and [θ̂ᵗ] the exact minimizer on [D̂ᵗ]. Values lie
+    in [\[-S, S\]]. *)

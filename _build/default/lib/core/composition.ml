@@ -1,0 +1,54 @@
+module Params = Pmw_dp.Params
+
+type split = Basic | Advanced
+
+let per_query_budget ~split ~k privacy =
+  match split with
+  | Basic -> Params.split_basic ~count:k privacy
+  | Advanced -> Params.split_advanced ~count:k privacy
+
+type t = {
+  dataset : Pmw_data.Dataset.t;
+  oracle : Pmw_erm.Oracle.t;
+  per_query : Params.t;
+  k : int;
+  solver_iters : int;
+  rng : Pmw_rng.Rng.t;
+  accountant : Pmw_dp.Accountant.t;
+  mutable answered : int;
+}
+
+let create ~dataset ~oracle ~privacy ~k ?(split = Advanced) ?(solver_iters = 400) ~rng () =
+  if k <= 0 then invalid_arg "Composition.create: k must be positive";
+  {
+    dataset;
+    oracle;
+    per_query = per_query_budget ~split ~k privacy;
+    k;
+    solver_iters;
+    rng;
+    accountant = Pmw_dp.Accountant.create ();
+    answered = 0;
+  }
+
+let answer t query =
+  if t.answered >= t.k then None
+  else begin
+    t.answered <- t.answered + 1;
+    let request =
+      {
+        Pmw_erm.Oracle.dataset = t.dataset;
+        loss = query.Cm_query.loss;
+        domain = query.Cm_query.domain;
+        privacy = t.per_query;
+        rng = t.rng;
+        solver_iters = t.solver_iters;
+      }
+    in
+    let theta = t.oracle.Pmw_erm.Oracle.run request in
+    Pmw_dp.Accountant.spend t.accountant t.per_query;
+    Some theta
+  end
+
+let queries_answered t = t.answered
+let accountant t = t.accountant

@@ -1,0 +1,33 @@
+(** The straightforward baseline (Introduction, paragraph 3): answer each CM
+    query independently with the single-query oracle, splitting the overall
+    privacy budget across the [k] queries by composition.
+
+    This is what the paper improves upon — its required dataset size grows
+    polynomially with [k] (as [√k] under advanced composition, [k] under
+    basic), versus PMW's [log k]. The F1 crossover experiment pits the two
+    against each other. *)
+
+type split = Basic | Advanced
+
+val per_query_budget : split:split -> k:int -> Pmw_dp.Params.t -> Pmw_dp.Params.t
+(** The per-query [(ε_j, δ_j)] under the chosen composition theorem. *)
+
+type t
+
+val create :
+  dataset:Pmw_data.Dataset.t ->
+  oracle:Pmw_erm.Oracle.t ->
+  privacy:Pmw_dp.Params.t ->
+  k:int ->
+  ?split:split ->
+  ?solver_iters:int ->
+  rng:Pmw_rng.Rng.t ->
+  unit ->
+  t
+(** Default split is [Advanced] (the stronger baseline). *)
+
+val answer : t -> Cm_query.t -> Pmw_linalg.Vec.t option
+(** [None] once [k] queries have been answered (the budget is exhausted). *)
+
+val queries_answered : t -> int
+val accountant : t -> Pmw_dp.Accountant.t

@@ -1,0 +1,91 @@
+module Params = Pmw_dp.Params
+
+type t = {
+  privacy : Params.t;
+  alpha : float;
+  beta : float;
+  scale : float;
+  k : int;
+  t_max : int;
+  eta : float;
+  sv_privacy : Params.t;
+  oracle_privacy : Params.t;
+  alpha0 : float;
+  beta0 : float;
+  solver_iters : int;
+  log_universe : float;
+}
+
+let validate ~privacy ~alpha ~beta ~scale ~k =
+  if alpha <= 0. || alpha >= 1. then invalid_arg "Config: alpha must lie in (0, 1)";
+  if beta <= 0. || beta >= 1. then invalid_arg "Config: beta must lie in (0, 1)";
+  if privacy.Params.eps <= 0. then invalid_arg "Config: eps must be positive";
+  if privacy.Params.delta <= 0. then invalid_arg "Config: delta must be positive";
+  if scale <= 0. then invalid_arg "Config: scale must be positive";
+  if k <= 0 then invalid_arg "Config: k must be positive"
+
+let assemble ~universe ~privacy ~alpha ~beta ~scale ~k ~t_max ~eta ~solver_iters =
+  let tf = float_of_int t_max in
+  let half = Params.create ~eps:(privacy.Params.eps /. 2.) ~delta:(privacy.Params.delta /. 2.) in
+  (* Figure 3 prints eps0 = eps / sqrt(8 T log(4/delta)); composing T such
+     calls by Theorem 3.10 yields eps, not the eps/2 the privacy proof
+     allocates to the oracle half. We use the corrected split
+     eps0 = (eps/2) / sqrt(8 T log(4/delta)) so Theorem 3.9's (eps, delta)
+     total actually holds; delta0 = delta/4T is the figure's value. *)
+  let oracle_privacy =
+    Params.create
+      ~eps:(privacy.Params.eps /. (2. *. sqrt (8. *. tf *. log (4. /. privacy.Params.delta))))
+      ~delta:(privacy.Params.delta /. (4. *. tf))
+  in
+  {
+    privacy;
+    alpha;
+    beta;
+    scale;
+    k;
+    t_max;
+    eta;
+    sv_privacy = half;
+    oracle_privacy;
+    alpha0 = alpha /. 4.;
+    beta0 = beta /. (2. *. tf);
+    solver_iters;
+    log_universe = Pmw_data.Universe.log_size universe;
+  }
+
+let theory ~universe ~privacy ~alpha ~beta ~scale ~k ?(solver_iters = 400) () =
+  validate ~privacy ~alpha ~beta ~scale ~k;
+  let log_x = Pmw_data.Universe.log_size universe in
+  let t_max =
+    Int.max 1 (int_of_float (ceil (64. *. scale *. scale *. log_x /. (alpha *. alpha))))
+  in
+  let eta = sqrt (log_x /. float_of_int t_max) in
+  assemble ~universe ~privacy ~alpha ~beta ~scale ~k ~t_max ~eta ~solver_iters
+
+let practical ~universe ~privacy ~alpha ~beta ~scale ~k ~t_max ?eta ?(solver_iters = 400) () =
+  validate ~privacy ~alpha ~beta ~scale ~k;
+  if t_max <= 0 then invalid_arg "Config.practical: t_max must be positive";
+  let eta =
+    match eta with
+    | Some e ->
+        if e <= 0. then invalid_arg "Config.practical: eta must be positive";
+        e
+    | None -> sqrt (Pmw_data.Universe.log_size universe /. float_of_int t_max)
+  in
+  assemble ~universe ~privacy ~alpha ~beta ~scale ~k ~t_max ~eta ~solver_iters
+
+let theorem_3_8_n t ~n_single =
+  let open Params in
+  let bound =
+    4096. *. t.scale *. t.scale
+    *. sqrt (t.log_universe *. log (4. /. t.privacy.delta))
+    *. log (8. *. float_of_int t.k /. t.beta)
+    /. (t.privacy.eps *. t.alpha *. t.alpha)
+  in
+  Float.max n_single bound
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>online PMW config:@,  privacy %a  alpha=%g beta=%g S=%g k=%d@,  T=%d eta=%g@,  SV %a  oracle %a (alpha0=%g beta0=%g)@]"
+    Params.pp t.privacy t.alpha t.beta t.scale t.k t.t_max t.eta Params.pp t.sv_privacy Params.pp
+    t.oracle_privacy t.alpha0 t.beta0

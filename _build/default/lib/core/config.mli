@@ -1,0 +1,68 @@
+(** Parameter derivation for the online PMW mechanism (the header of
+    Figure 3).
+
+    [theory] computes the paper's settings verbatim:
+    {[
+      T   = 64·S²·log|X| / α²          η  = √(log|X| / T)
+      ε₀  = ε / √(8·T·log(4/δ))        δ₀ = δ / 4T
+      α₀  = α / 4                      β₀ = β / 2T
+    ]}
+    and hands the sparse-vector algorithm half of the overall budget
+    ([SV(T, k, α, ε/2, δ/2)]).
+
+    The worst-case constants make [T] and the Theorem 3.8 dataset bound
+    astronomically large for laptop-scale [α]; [practical] keeps the same
+    structure (budget halves, advanced-composition splits, the [α/4] oracle
+    target) but lets the experiment harness pick [T] directly. DESIGN.md's
+    parameterization note records this; both paths are tested. *)
+
+type t = {
+  privacy : Pmw_dp.Params.t;  (** overall [(ε, δ)] *)
+  alpha : float;  (** target excess risk [α] *)
+  beta : float;  (** failure probability [β] *)
+  scale : float;  (** the family's scale bound [S] *)
+  k : int;  (** maximum number of queries *)
+  t_max : int;  (** MW update budget [T] *)
+  eta : float;  (** MW learning rate [η] *)
+  sv_privacy : Pmw_dp.Params.t;  (** budget handed to sparse vector *)
+  oracle_privacy : Pmw_dp.Params.t;  (** per-call [(ε₀, δ₀)] for [A'] *)
+  alpha0 : float;  (** oracle accuracy target [α₀ = α/4] *)
+  beta0 : float;
+  solver_iters : int;  (** iteration budget for public argmin computations *)
+  log_universe : float;  (** [log|X|] — kept for the Theorem 3.8 bound *)
+}
+
+val theory :
+  universe:Pmw_data.Universe.t ->
+  privacy:Pmw_dp.Params.t ->
+  alpha:float ->
+  beta:float ->
+  scale:float ->
+  k:int ->
+  ?solver_iters:int ->
+  unit ->
+  t
+(** Figure 3's settings. @raise Invalid_argument on out-of-range parameters
+    ([alpha], [beta] in (0,1); [delta > 0]; [scale > 0]; [k > 0]). *)
+
+val practical :
+  universe:Pmw_data.Universe.t ->
+  privacy:Pmw_dp.Params.t ->
+  alpha:float ->
+  beta:float ->
+  scale:float ->
+  k:int ->
+  t_max:int ->
+  ?eta:float ->
+  ?solver_iters:int ->
+  unit ->
+  t
+(** Same structure with an explicit update budget [T] (and optionally [η];
+    default [√(log|X|/T)]). *)
+
+val theorem_3_8_n : t -> n_single:float -> float
+(** The dataset-size requirement of Theorem 3.8:
+    [max(n', 4096·S²·√(log|X|·log(4/δ))·log(8k/β) / (ε·α²))], where [n'] is
+    the oracle's own requirement. *)
+
+val pp : Format.formatter -> t -> unit

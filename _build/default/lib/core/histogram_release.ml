@@ -1,0 +1,18 @@
+module Histogram = Pmw_data.Histogram
+
+let release ~dataset ~eps ~rng =
+  if eps <= 0. then invalid_arg "Histogram_release.release: eps must be positive";
+  let truth = Pmw_data.Dataset.histogram dataset in
+  let n = float_of_int (Pmw_data.Dataset.size dataset) in
+  let scale = 2. /. (n *. eps) in
+  let noisy =
+    Array.map
+      (fun w -> Float.max 0. (w +. Pmw_rng.Dist.laplace ~scale rng))
+      (Histogram.weights truth)
+  in
+  (* All-zero after clipping is astronomically unlikely but guard anyway. *)
+  let total = Pmw_linalg.Vec.kahan_sum noisy in
+  let universe = Histogram.universe truth in
+  if total <= 0. then Histogram.uniform universe else Histogram.of_weights universe noisy
+
+let answer hist q = Linear_pmw.evaluate q hist

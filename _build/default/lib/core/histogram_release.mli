@@ -1,0 +1,16 @@
+(** The classic Laplace-histogram baseline (Dwork et al. 2006).
+
+    Perturb every cell of the empirical histogram with Laplace noise of
+    scale [2/(n·ε)] (the normalized histogram has L1 sensitivity [2/n] under
+    row replacement, split across cells), clip to non-negative and
+    renormalize. [ε]-DP, answers *every* linear query ever after for free
+    (post-processing), with per-query error [~√|X|/(n·ε)] in the worst case
+    — excellent for small universes, useless for large ones. The a6 release
+    ablation pits it against MWEM and linear PMW across universe sizes; it
+    is the baseline that motivates the whole query-driven MW line of work. *)
+
+val release : dataset:Pmw_data.Dataset.t -> eps:float -> rng:Pmw_rng.Rng.t -> Pmw_data.Histogram.t
+(** @raise Invalid_argument if [eps <= 0]. *)
+
+val answer : Pmw_data.Histogram.t -> Linear_pmw.query -> float
+(** Evaluate a linear query on the released histogram (pure post-processing). *)

@@ -1,0 +1,78 @@
+module Universe = Pmw_data.Universe
+module Histogram = Pmw_data.Histogram
+module Params = Pmw_dp.Params
+module Sv = Pmw_dp.Sparse_vector
+module Mechanisms = Pmw_dp.Mechanisms
+
+type query = { name : string; value : int -> Pmw_data.Point.t -> float }
+
+let counting_query ~name p = { name; value = (fun _ x -> if p x then 1. else 0.) }
+
+let evaluate q hist = Histogram.expect hist (fun i x -> q.value i x)
+
+type t = {
+  dataset : Pmw_data.Dataset.t;
+  true_hist : Histogram.t;
+  mw : Pmw_mw.Mw.t;
+  sv : Sv.t;
+  answer_eps : float;
+  n : int;
+  rng : Pmw_rng.Rng.t;
+  mutable answered : int;
+}
+
+let create ~universe ~dataset ~privacy ~alpha ~beta ~k ?t_max ~rng () =
+  ignore beta;
+  if alpha <= 0. || alpha >= 1. then invalid_arg "Linear_pmw.create: alpha must lie in (0,1)";
+  let t_max =
+    match t_max with
+    | Some t ->
+        if t <= 0 then invalid_arg "Linear_pmw.create: t_max must be positive";
+        t
+    | None -> Int.max 1 (int_of_float (ceil (16. *. Universe.log_size universe /. (alpha *. alpha))))
+  in
+  let n = Pmw_data.Dataset.size dataset in
+  let half = Params.create ~eps:(privacy.Params.eps /. 2.) ~delta:(privacy.Params.delta /. 2.) in
+  let sv =
+    Sv.create ~t_max ~k ~threshold:alpha ~privacy:half ~sensitivity:(1. /. float_of_int n)
+      ~rng:(Pmw_rng.Rng.split rng)
+  in
+  let answer_eps = (Params.split_advanced ~count:t_max half).Params.eps in
+  let eta = alpha /. 2. in
+  {
+    dataset;
+    true_hist = Pmw_data.Dataset.histogram dataset;
+    mw = Pmw_mw.Mw.create ~universe ~eta;
+    sv;
+    answer_eps;
+    n;
+    rng;
+    answered = 0;
+  }
+
+let hypothesis t = Pmw_mw.Mw.distribution t.mw
+let updates t = Pmw_mw.Mw.updates t.mw
+let queries_answered t = t.answered
+let halted t = Sv.halted t.sv
+
+let answer t q =
+  if halted t then None
+  else begin
+    let dhat = hypothesis t in
+    let a_hyp = evaluate q dhat in
+    let a_true = evaluate q t.true_hist in
+    t.answered <- t.answered + 1;
+    match Sv.query t.sv (Float.abs (a_hyp -. a_true)) with
+    | None -> None
+    | Some Sv.Bottom -> Some a_hyp
+    | Some Sv.Top ->
+        let noisy =
+          Mechanisms.laplace ~eps:t.answer_eps ~sensitivity:(1. /. float_of_int t.n) a_true t.rng
+        in
+        (* Push hypothesis mass toward agreement with the noisy answer: if the
+           hypothesis overestimates, elements with large q(x) lose weight. *)
+        let sign = if a_hyp > noisy then 1. else -1. in
+        let universe = Pmw_mw.Mw.universe t.mw in
+        Pmw_mw.Mw.update t.mw ~loss:(fun i -> sign *. q.value i (Universe.get universe i));
+        Some noisy
+  end

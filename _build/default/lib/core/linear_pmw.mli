@@ -1,0 +1,45 @@
+(** Private multiplicative weights for linear queries — the Hardt–Rothblum
+    mechanism (FOCS 2010) that the paper extends, implemented directly.
+
+    Used as the Table 1 row 1 baseline and as the special case the CM
+    machinery must not regress: a linear query [q : X → \[0,1\]] asks for
+    [⟨q, D⟩ = Σ_x q(x)·D(x)]. On each query the mechanism compares the
+    hypothesis answer with the true one through sparse vector; inaccurate
+    hypotheses trigger a Laplace-noised answer and an MW update with the
+    query itself (signed by the direction of the error) as the update
+    vector. *)
+
+type query = { name : string; value : int -> Pmw_data.Point.t -> float }
+(** [value i x] must lie in [\[0, 1\]]; [i] is the universe index of [x]. *)
+
+val counting_query : name:string -> (Pmw_data.Point.t -> bool) -> query
+(** The classical "what fraction of rows satisfy p?" query. *)
+
+val evaluate : query -> Pmw_data.Histogram.t -> float
+(** [⟨q, D⟩]. *)
+
+type t
+
+val create :
+  universe:Pmw_data.Universe.t ->
+  dataset:Pmw_data.Dataset.t ->
+  privacy:Pmw_dp.Params.t ->
+  alpha:float ->
+  beta:float ->
+  k:int ->
+  ?t_max:int ->
+  rng:Pmw_rng.Rng.t ->
+  unit ->
+  t
+(** Default update budget is the HR10 theory value
+    [T = ⌈16·log|X| / α²⌉]; pass [t_max] to override. The privacy budget is
+    split half to sparse vector, half (advanced-composed over [T]) to the
+    noisy answers. *)
+
+val answer : t -> query -> float option
+(** The private answer to one query, or [None] after halting. *)
+
+val hypothesis : t -> Pmw_data.Histogram.t
+val updates : t -> int
+val queries_answered : t -> int
+val halted : t -> bool

@@ -1,0 +1,61 @@
+module Histogram = Pmw_data.Histogram
+module Universe = Pmw_data.Universe
+module Mechanisms = Pmw_dp.Mechanisms
+
+type report = {
+  answers : float array;
+  final : Histogram.t;
+  average : Histogram.t;
+  selected : int list;
+}
+
+let run ~dataset ~queries ~eps ~rounds ?(answer_from = `Final) ?(replays = 10) ~rng () =
+  let k = Array.length queries in
+  if k = 0 then invalid_arg "Mwem.run: empty workload";
+  if rounds <= 0 then invalid_arg "Mwem.run: rounds must be positive";
+  if eps <= 0. then invalid_arg "Mwem.run: eps must be positive";
+  if replays < 1 then invalid_arg "Mwem.run: replays must be positive";
+  let universe = Pmw_data.Dataset.universe dataset in
+  let n = float_of_int (Pmw_data.Dataset.size dataset) in
+  let truth = Pmw_data.Dataset.histogram dataset in
+  let true_answers = Array.map (fun q -> Linear_pmw.evaluate q truth) queries in
+  let eps_round = eps /. (2. *. float_of_int rounds) in
+  (* eta = 1 and explicit HLM12 exponents via the loss callback *)
+  let mw = Pmw_mw.Mw.create ~universe ~eta:1. in
+  let average_acc = Array.make (Universe.size universe) 0. in
+  let selected = ref [] in
+  let measurements = ref [] in
+  (* One MW step toward an already-taken (noisy) measurement — free to repeat
+     arbitrarily: it touches only published values (post-processing). *)
+  let apply (j, measurement) =
+    let q = queries.(j) in
+    let hyp_answer = Linear_pmw.evaluate q (Pmw_mw.Mw.distribution mw) in
+    let direction = measurement -. hyp_answer in
+    (* HLM12 update: Dhat(x) *= exp(q(x) * direction / 2) *)
+    Pmw_mw.Mw.update_gain mw ~gain:(fun i ->
+        q.Linear_pmw.value i (Universe.get universe i) *. direction /. 2.)
+  in
+  for _ = 1 to rounds do
+    let dhat = Pmw_mw.Mw.distribution mw in
+    let scores =
+      Array.mapi (fun j q -> Float.abs (Linear_pmw.evaluate q dhat -. true_answers.(j))) queries
+    in
+    let j = Mechanisms.exponential ~eps:eps_round ~sensitivity:(1. /. n) ~scores rng in
+    let measurement =
+      Mechanisms.laplace ~eps:eps_round ~sensitivity:(1. /. n) true_answers.(j) rng
+    in
+    measurements := (j, measurement) :: !measurements;
+    (* HLM12's practical improvement: iterate the update over every
+       measurement taken so far (the fresh one first). *)
+    for _ = 1 to replays do
+      List.iter apply !measurements
+    done;
+    let w = Histogram.weights (Pmw_mw.Mw.distribution mw) in
+    Array.iteri (fun i x -> average_acc.(i) <- average_acc.(i) +. x) w;
+    selected := j :: !selected
+  done;
+  let final = Pmw_mw.Mw.distribution mw in
+  let average = Histogram.of_weights universe average_acc in
+  let source = match answer_from with `Final -> final | `Average -> average in
+  let answers = Array.map (fun q -> Linear_pmw.evaluate q source) queries in
+  { answers; final; average; selected = List.rev !selected }

@@ -1,0 +1,38 @@
+(** MWEM — the Multiplicative Weights Exponential Mechanism of Hardt, Ligett
+    & McSherry (NIPS 2012), the "simple and practical" offline linear-query
+    mechanism the paper singles out (its advantages "are preserved by our
+    extension").
+
+    Given a workload of linear queries up front, each of [rounds] iterations
+    (i) selects the query the current hypothesis answers worst via the
+    exponential mechanism, (ii) measures it with Laplace noise, and (iii)
+    applies the HLM12 multiplicative update
+    [D̂(x) ∝ D̂(x) · exp(q(x)·(measurement − q(D̂))/2)]. The per-round budget
+    is [ε/(2·rounds)] for selection and the same for measurement, so the
+    whole run is [ε]-DP (pure — MWEM needs no δ). Final answers: every
+    workload query evaluated on the last hypothesis (optionally averaged
+    over the iterates, which HLM12 report is more stable — both exposed). *)
+
+type report = {
+  answers : float array;  (** one answer per workload query, from [final] *)
+  final : Pmw_data.Histogram.t;
+  average : Pmw_data.Histogram.t;  (** mean of the per-round hypotheses *)
+  selected : int list;  (** exponential-mechanism choices, in round order *)
+}
+
+val run :
+  dataset:Pmw_data.Dataset.t ->
+  queries:Linear_pmw.query array ->
+  eps:float ->
+  rounds:int ->
+  ?answer_from:[ `Final | `Average ] ->
+  ?replays:int ->
+  rng:Pmw_rng.Rng.t ->
+  unit ->
+  report
+(** [replays] (default 10) is HLM12's practical improvement: every round,
+    iterate the multiplicative update that many times over all measurements
+    taken so far — pure post-processing of already-noisy values, so it is
+    privacy-free and markedly speeds convergence.
+    @raise Invalid_argument on an empty workload, non-positive [rounds],
+    [eps] or [replays]. Default [answer_from] is [`Final] (the better choice when replays are on; [`Average] is the HLM12 paper default). *)

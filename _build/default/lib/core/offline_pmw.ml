@@ -1,0 +1,95 @@
+module Vec = Pmw_linalg.Vec
+module Universe = Pmw_data.Universe
+module Params = Pmw_dp.Params
+module Mechanisms = Pmw_dp.Mechanisms
+module Solve = Pmw_convex.Solve
+
+type report = {
+  answers : Vec.t array;
+  hypothesis : Pmw_data.Histogram.t;
+  rounds_used : int;
+  selected : int list;
+}
+
+type selector = Exponential | Permute_and_flip
+
+let run ~config ~dataset ~oracle ~queries ?(selector = Exponential) ~rng () =
+  let k = Array.length queries in
+  if k = 0 then invalid_arg "Offline_pmw.run: no queries";
+  Array.iter
+    (fun q ->
+      if Cm_query.scale q > config.Config.scale +. 1e-9 then
+        invalid_arg "Offline_pmw.run: query scale exceeds configured S")
+    queries;
+  let universe = Pmw_data.Dataset.universe dataset in
+  let n = Pmw_data.Dataset.size dataset in
+  let iters = config.Config.solver_iters in
+  let sensitivity = 3. *. config.Config.scale /. float_of_int n in
+  let per_round = Params.split_advanced ~count:config.Config.t_max config.Config.privacy in
+  (* The early-stopping test is only worth its budget when its Laplace noise
+     is well below the threshold it tests against; otherwise it would fire
+     spuriously on round one. When disabled, its share goes to the other two
+     mechanisms (never spending budget is always safe). *)
+  let use_stop_test =
+    3. *. sensitivity /. (per_round.Params.eps /. 3.) <= 0.75 *. config.Config.alpha
+  in
+  let eps_third = per_round.Params.eps /. if use_stop_test then 3. else 2. in
+  let mw = Pmw_mw.Mw.create ~universe ~eta:config.Config.eta in
+  (* Pre-solve the true minima once per query: each is reused every round. *)
+  let references =
+    Array.map (fun q -> (Cm_query.minimize_on_dataset ~iters q dataset).Solve.value) queries
+  in
+  let selected = ref [] in
+  let rounds = ref 0 in
+  (try
+     for _ = 1 to config.Config.t_max do
+       let dhat = Pmw_mw.Mw.distribution mw in
+       let hyp_thetas =
+         Array.map (fun q -> (Cm_query.minimize_on_histogram ~iters q dhat).Solve.theta) queries
+       in
+       let scores =
+         Array.mapi
+           (fun j q ->
+             Float.max 0. (Cm_query.loss_on_dataset q dataset hyp_thetas.(j) -. references.(j)))
+           queries
+       in
+       let j =
+         match selector with
+         | Exponential -> Mechanisms.exponential ~eps:eps_third ~sensitivity ~scores rng
+         | Permute_and_flip ->
+             Mechanisms.permute_and_flip ~eps:eps_third ~sensitivity ~scores rng
+       in
+       if use_stop_test then begin
+         let noisy_err = Mechanisms.laplace ~eps:eps_third ~sensitivity scores.(j) rng in
+         if noisy_err < 0.75 *. config.Config.alpha then raise Exit
+       end;
+       let query = queries.(j) in
+       let request =
+         {
+           Pmw_erm.Oracle.dataset;
+           loss = query.Cm_query.loss;
+           domain = query.Cm_query.domain;
+           privacy =
+             Params.create ~eps:eps_third ~delta:(per_round.Params.delta /. 2.);
+           rng;
+           solver_iters = iters;
+         }
+       in
+       let theta_oracle = oracle.Pmw_erm.Oracle.run request in
+       let theta_hyp = hyp_thetas.(j) in
+       let s = config.Config.scale in
+       let u i =
+         let x = Universe.get universe i in
+         Pmw_linalg.Special.clamp ~lo:(-.s) ~hi:s
+           (Cm_query.update_vector query ~theta_oracle ~theta_hyp i x)
+       in
+       Pmw_mw.Mw.update mw ~loss:u;
+       selected := j :: !selected;
+       incr rounds
+     done
+   with Exit -> ());
+  let final = Pmw_mw.Mw.distribution mw in
+  let answers =
+    Array.map (fun q -> (Cm_query.minimize_on_histogram ~iters q final).Solve.theta) queries
+  in
+  { answers; hypothesis = final; rounds_used = !rounds; selected = List.rev !selected }

@@ -1,0 +1,39 @@
+(** The offline variant of private multiplicative weights for CM queries
+    (Section 1.2's sketch, after GHRU11/GRU12/HLM12).
+
+    All [k] loss functions are given up front. Each of at most [t_max]
+    rounds privately selects the query on which the current hypothesis is
+    most inaccurate (exponential mechanism over the [3S/n]-sensitive error
+    scores), stops early when a noisy estimate of that maximal error is
+    already below [3α/4], and otherwise performs the same dual-certificate
+    MW update as the online algorithm. Every query is finally answered from
+    the last hypothesis.
+
+    The per-round budget is the advanced-composition split of the total
+    across [t_max] rounds, divided between the exponential mechanism, the
+    stopping test, and the oracle call. *)
+
+type report = {
+  answers : Pmw_linalg.Vec.t array;  (** one [θ̂ⱼ] per input query *)
+  hypothesis : Pmw_data.Histogram.t;  (** the final public [D̂] (synthetic data) *)
+  rounds_used : int;
+  selected : int list;  (** indices chosen by the exponential mechanism, in order *)
+}
+
+type selector = Exponential | Permute_and_flip
+(** The private-selection primitive for the worst-query step. Both are pure
+    ε-DP at the same sensitivity; permute-and-flip (McKenna–Sheldon 2020)
+    stochastically dominates the exponential mechanism in utility. *)
+
+val run :
+  config:Config.t ->
+  dataset:Pmw_data.Dataset.t ->
+  oracle:Pmw_erm.Oracle.t ->
+  queries:Cm_query.t array ->
+  ?selector:selector ->
+  rng:Pmw_rng.Rng.t ->
+  unit ->
+  report
+(** Default [selector] is [Exponential] (the paper's choice).
+    @raise Invalid_argument on an empty query array or a query whose scale
+    exceeds [config.scale]. *)

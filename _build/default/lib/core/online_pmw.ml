@@ -1,0 +1,109 @@
+module Vec = Pmw_linalg.Vec
+module Universe = Pmw_data.Universe
+module Sv = Pmw_dp.Sparse_vector
+module Solve = Pmw_convex.Solve
+
+let log_src = Logs.Src.create "pmw.online" ~doc:"Online PMW mechanism events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type source = From_hypothesis | From_oracle
+
+type outcome = { theta : Vec.t; source : source; update_index : int }
+
+type t = {
+  config : Config.t;
+  dataset : Pmw_data.Dataset.t;
+  oracle : Pmw_erm.Oracle.t;
+  rng : Pmw_rng.Rng.t;
+  mw : Pmw_mw.Mw.t;
+  sv : Sv.t;
+  accountant : Pmw_dp.Accountant.t;
+  mutable answered : int;
+}
+
+let create ~config ~dataset ~oracle ?prior ~rng () =
+  let universe = Pmw_data.Dataset.universe dataset in
+  let n = Pmw_data.Dataset.size dataset in
+  let sensitivity = 3. *. config.Config.scale /. float_of_int n in
+  let sv =
+    Sv.create ~t_max:config.Config.t_max ~k:config.Config.k ~threshold:config.Config.alpha
+      ~privacy:config.Config.sv_privacy ~sensitivity ~rng:(Pmw_rng.Rng.split rng)
+  in
+  let mw =
+    match prior with
+    | None -> Pmw_mw.Mw.create ~universe ~eta:config.Config.eta
+    | Some h ->
+        if Pmw_data.Universe.name (Pmw_data.Histogram.universe h) <> Pmw_data.Universe.name universe
+        then invalid_arg "Online_pmw.create: prior over a different universe";
+        for i = 0 to Pmw_data.Universe.size universe - 1 do
+          if Pmw_data.Histogram.get h i <= 0. then
+            invalid_arg "Online_pmw.create: prior must have full support"
+        done;
+        Pmw_mw.Mw.of_histogram h ~eta:config.Config.eta
+  in
+  { config; dataset; oracle; rng; mw; sv; accountant = Pmw_dp.Accountant.create (); answered = 0 }
+
+let hypothesis t = Pmw_mw.Mw.distribution t.mw
+let updates t = Pmw_mw.Mw.updates t.mw
+let queries_answered t = t.answered
+let halted t = Sv.halted t.sv
+let config t = t.config
+let oracle_accountant t = t.accountant
+
+let answer t query =
+  if Cm_query.scale query > t.config.Config.scale +. 1e-9 then
+    invalid_arg
+      (Printf.sprintf "Online_pmw.answer: query scale %g exceeds configured S=%g"
+         (Cm_query.scale query) t.config.Config.scale);
+  if halted t then None
+  else begin
+    let iters = t.config.Config.solver_iters in
+    let dhat = hypothesis t in
+    let theta_hyp = (Cm_query.minimize_on_histogram ~iters query dhat).Solve.theta in
+    (* q_j(D) = err_l(D, Dhat^t); the true-data solve below is an internal
+       computation whose output only reaches the analyst through SV. *)
+    let reference = Cm_query.minimize_on_dataset ~iters query t.dataset in
+    let q_value =
+      Float.max 0. (Cm_query.loss_on_dataset query t.dataset theta_hyp -. reference.Solve.value)
+    in
+    t.answered <- t.answered + 1;
+    match Sv.query t.sv q_value with
+    | None ->
+        Log.info (fun m -> m "query %d (%s): mechanism halted" t.answered query.Cm_query.name);
+        None
+    | Some Sv.Bottom ->
+        Log.debug (fun m ->
+            m "query %d (%s): below threshold, answered from hypothesis" t.answered
+              query.Cm_query.name);
+        Some { theta = theta_hyp; source = From_hypothesis; update_index = updates t }
+    | Some Sv.Top ->
+        let request =
+          {
+            Pmw_erm.Oracle.dataset = t.dataset;
+            loss = query.Cm_query.loss;
+            domain = query.Cm_query.domain;
+            privacy = t.config.Config.oracle_privacy;
+            rng = t.rng;
+            solver_iters = iters;
+          }
+        in
+        let theta_oracle = t.oracle.Pmw_erm.Oracle.run request in
+        Pmw_dp.Accountant.spend t.accountant t.config.Config.oracle_privacy;
+        let s = t.config.Config.scale in
+        let universe = Pmw_mw.Mw.universe t.mw in
+        let u i =
+          let x = Universe.get universe i in
+          let v = Cm_query.update_vector query ~theta_oracle ~theta_hyp i x in
+          Pmw_linalg.Special.clamp ~lo:(-.s) ~hi:s v
+        in
+        Pmw_mw.Mw.update t.mw ~loss:u;
+        Log.debug (fun m ->
+            m "query %d (%s): above threshold, oracle answered, MW update %d/%d" t.answered
+              query.Cm_query.name (updates t) t.config.Config.t_max);
+        Some { theta = theta_oracle; source = From_oracle; update_index = updates t }
+  end
+
+let answer_all t queries = List.map (answer t) queries
+
+let as_answerer t query = Option.map (fun o -> o.theta) (answer t query)

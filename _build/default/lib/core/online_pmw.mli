@@ -1,0 +1,73 @@
+(** Online Private Multiplicative Weights for CM queries — the paper's main
+    algorithm (Figure 3).
+
+    The mechanism holds the sensitive dataset [D], a public MW hypothesis
+    [D̂ᵗ], a sparse-vector instance over the error queries
+    [q_j(D) = err_{ℓ_j}(D, D̂ᵗ)] (each [3S/n]-sensitive, Section 3.4.2), and a
+    single-query oracle [A']. Each incoming query [ℓ_j] is processed as:
+
+    + compute the public minimizer [θ̂ = argmin_θ ℓ_j(θ; D̂ᵗ)];
+    + feed [err_{ℓ_j}(D, D̂ᵗ)] to sparse vector;
+    + on ⊥: answer [θ̂] (the hypothesis was already accurate);
+    + on ⊤: call [A'(D, ℓ_j)] at [(ε₀, δ₀)] to get [θᵗ], answer [θᵗ], and
+      perform the MW update with the dual-certificate vector
+      [uᵗ(x) = ⟨θᵗ − θ̂, ∇ℓ_x(θ̂)⟩] (clamped to [±S]).
+
+    Privacy (Theorem 3.9): the SV stream is [(ε/2, δ/2)]-DP and the at most
+    [T] oracle calls compose (Theorem 3.10) to [(ε/2, δ/2)]-DP, so the whole
+    interaction is [(ε, δ)]-DP. Accuracy is Theorem 3.8. *)
+
+type source =
+  | From_hypothesis  (** sparse vector said ⊥ — answered from [D̂ᵗ] *)
+  | From_oracle  (** sparse vector said ⊤ — answered by [A'], update done *)
+
+type outcome = {
+  theta : Pmw_linalg.Vec.t;
+  source : source;
+  update_index : int;  (** the paper's [t] after processing this query *)
+}
+
+type t
+
+val create :
+  config:Config.t ->
+  dataset:Pmw_data.Dataset.t ->
+  oracle:Pmw_erm.Oracle.t ->
+  ?prior:Pmw_data.Histogram.t ->
+  rng:Pmw_rng.Rng.t ->
+  unit ->
+  t
+(** [prior] warm-starts the hypothesis from a PUBLIC distribution (e.g. a
+    previous run's released hypothesis, or public census margins) instead of
+    uniform — pure post-processing, no privacy cost, and a good prior means
+    fewer updates spent. The convergence guarantee degrades from [log |X|]
+    to [max_x log(1/prior(x))], so priors with zero mass are rejected.
+    @raise Invalid_argument if the prior is over a different universe or has
+    empty support somewhere. *)
+
+val answer : t -> Cm_query.t -> outcome option
+(** Process one query; [None] once the mechanism has halted (the SV update
+    budget [T] is exhausted or [k] queries were asked).
+    @raise Invalid_argument if the query's scale bound [S] exceeds the
+    config's (the SV sensitivity guarantee would silently break). *)
+
+val answer_all : t -> Cm_query.t list -> outcome option list
+(** Convenience fold of {!answer}. *)
+
+val as_answerer : t -> Cm_query.t -> Pmw_linalg.Vec.t option
+(** The mechanism as a bare answering function — the shape
+    {!Analyst.run}'s [answer] callback expects. *)
+
+val hypothesis : t -> Pmw_data.Histogram.t
+(** The current public hypothesis [D̂ᵗ] — safe to release (it is a
+    post-processing of the private answers); this is the synthetic-data
+    output mentioned in Section 4.3. *)
+
+val updates : t -> int
+val queries_answered : t -> int
+val halted : t -> bool
+val config : t -> Config.t
+
+val oracle_accountant : t -> Pmw_dp.Accountant.t
+(** Ledger of the oracle calls made so far (the SV budget is accounted
+    separately, inside {!Pmw_dp.Sparse_vector}). *)

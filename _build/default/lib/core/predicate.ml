@@ -1,0 +1,196 @@
+module Point = Pmw_data.Point
+
+type comparison = Gt | Ge | Lt | Le
+
+type t =
+  | True
+  | False
+  | Feature of { axis : int; op : comparison; threshold : float }
+  | Label of { op : comparison; threshold : float }
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let compare_with op v threshold =
+  match op with
+  | Gt -> v > threshold
+  | Ge -> v >= threshold
+  | Lt -> v < threshold
+  | Le -> v <= threshold
+
+let rec eval t (x : Point.t) =
+  match t with
+  | True -> true
+  | False -> false
+  | Feature { axis; op; threshold } ->
+      if axis < 0 || axis >= Array.length x.Point.features then
+        invalid_arg "Predicate.eval: axis out of range";
+      compare_with op x.Point.features.(axis) threshold
+  | Label { op; threshold } -> compare_with op x.Point.label threshold
+  | Not p -> not (eval p x)
+  | And (a, b) -> eval a x && eval b x
+  | Or (a, b) -> eval a x || eval b x
+
+let op_string = function Gt -> ">" | Ge -> ">=" | Lt -> "<" | Le -> "<="
+
+let rec to_string = function
+  | True -> "true"
+  | False -> "false"
+  | Feature { axis; op; threshold } -> Printf.sprintf "x%d %s %g" axis (op_string op) threshold
+  | Label { op; threshold } -> Printf.sprintf "label %s %g" (op_string op) threshold
+  | Not p -> Printf.sprintf "!(%s)" (to_string p)
+  | And (a, b) -> Printf.sprintf "(%s & %s)" (to_string a) (to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s | %s)" (to_string a) (to_string b)
+
+(* --- parser: tokenize then recursive descent --- *)
+
+type token =
+  | Tok_var of int (* axis, -1 for label *)
+  | Tok_op of comparison
+  | Tok_num of float
+  | Tok_and
+  | Tok_or
+  | Tok_not
+  | Tok_lparen
+  | Tok_rparen
+  | Tok_true
+  | Tok_false
+
+exception Parse_error of string
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let peek () = if !i < n then Some s.[!i] else None in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_num_char c = is_digit c || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'E' in
+  let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' then incr i
+    else if c = '&' then (tokens := Tok_and :: !tokens; incr i)
+    else if c = '|' then (tokens := Tok_or :: !tokens; incr i)
+    else if c = '!' then (tokens := Tok_not :: !tokens; incr i)
+    else if c = '(' then (tokens := Tok_lparen :: !tokens; incr i)
+    else if c = ')' then (tokens := Tok_rparen :: !tokens; incr i)
+    else if c = '>' || c = '<' then begin
+      incr i;
+      let op =
+        if peek () = Some '=' then begin
+          incr i;
+          if c = '>' then Ge else Le
+        end
+        else if c = '>' then Gt
+        else Lt
+      in
+      tokens := Tok_op op :: !tokens
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && (is_alpha s.[!i] || is_digit s.[!i]) do
+        incr i
+      done;
+      let word = String.sub s start (!i - start) in
+      match word with
+      | "label" -> tokens := Tok_var (-1) :: !tokens
+      | "true" -> tokens := Tok_true :: !tokens
+      | "false" -> tokens := Tok_false :: !tokens
+      | _ ->
+          if String.length word >= 2 && word.[0] = 'x' then begin
+            match int_of_string_opt (String.sub word 1 (String.length word - 1)) with
+            | Some axis when axis >= 0 -> tokens := Tok_var axis :: !tokens
+            | Some _ | None -> raise (Parse_error (Printf.sprintf "bad variable %S" word))
+          end
+          else raise (Parse_error (Printf.sprintf "unknown word %S" word))
+    end
+    else if is_num_char c then begin
+      let start = !i in
+      while !i < n && is_num_char s.[!i] do
+        incr i
+      done;
+      let text = String.sub s start (!i - start) in
+      match float_of_string_opt text with
+      | Some v -> tokens := Tok_num v :: !tokens
+      | None -> raise (Parse_error (Printf.sprintf "bad number %S" text))
+    end
+    else raise (Parse_error (Printf.sprintf "unexpected character %C" c))
+  done;
+  List.rev !tokens
+
+let parse input =
+  try
+    let tokens = ref (tokenize input) in
+    let peek () = match !tokens with [] -> None | t :: _ -> Some t in
+    let advance () = match !tokens with [] -> () | _ :: rest -> tokens := rest in
+    let expect_atom () =
+      match peek () with
+      | Some (Tok_var axis) -> begin
+          advance ();
+          match peek () with
+          | Some (Tok_op op) -> begin
+              advance ();
+              match peek () with
+              | Some (Tok_num threshold) ->
+                  advance ();
+                  if axis = -1 then Label { op; threshold } else Feature { axis; op; threshold }
+              | _ -> raise (Parse_error "expected a number after the comparison")
+            end
+          | _ -> raise (Parse_error "expected a comparison operator after a variable")
+        end
+      | Some Tok_true ->
+          advance ();
+          True
+      | Some Tok_false ->
+          advance ();
+          False
+      | _ -> raise (Parse_error "expected a variable, 'true', 'false', '!' or '('")
+    in
+    let rec parse_pred () =
+      let left = parse_term () in
+      match peek () with
+      | Some Tok_or ->
+          advance ();
+          Or (left, parse_pred ())
+      | _ -> left
+    and parse_term () =
+      let left = parse_factor () in
+      match peek () with
+      | Some Tok_and ->
+          advance ();
+          And (left, parse_term ())
+      | _ -> left
+    and parse_factor () =
+      match peek () with
+      | Some Tok_not ->
+          advance ();
+          Not (parse_factor ())
+      | Some Tok_lparen -> begin
+          advance ();
+          let inner = parse_pred () in
+          match peek () with
+          | Some Tok_rparen ->
+              advance ();
+              inner
+          | _ -> raise (Parse_error "expected ')'")
+        end
+      | _ -> expect_atom ()
+    in
+    let result = parse_pred () in
+    if !tokens <> [] then raise (Parse_error "trailing tokens after predicate");
+    Ok result
+  with Parse_error msg -> Error msg
+
+let to_query ?name t =
+  let name = match name with Some n -> n | None -> to_string t in
+  Linear_pmw.counting_query ~name (eval t)
+
+let vars t =
+  let rec collect acc = function
+    | True | False -> acc
+    | Feature { axis; _ } -> axis :: acc
+    | Label _ -> -1 :: acc
+    | Not p -> collect acc p
+    | And (a, b) | Or (a, b) -> collect (collect acc a) b
+  in
+  List.sort_uniq compare (collect [] t)

@@ -1,0 +1,45 @@
+(** A small predicate language for counting queries.
+
+    Linear queries in the paper are "what fraction of rows satisfy p?"; this
+    module gives [p] a first-class syntax: boolean combinations of
+    per-coordinate thresholds and label tests, with evaluation, a
+    pretty-printer, and a parser so workloads can be written on the command
+    line or in files, e.g. ["x0 > 0 & (x1 <= 0.5 | !label > 0)"].
+
+    Grammar (whitespace-insensitive):
+    {v
+      pred  ::= term ('|' term)*          (or, lowest precedence)
+      term  ::= factor ('&' factor)*      (and)
+      factor::= '!' factor | '(' pred ')' | atom
+      atom  ::= var op number | 'true' | 'false'
+      var   ::= 'x' digits | 'label'
+      op    ::= '>' | '>=' | '<' | '<='
+    v} *)
+
+type comparison = Gt | Ge | Lt | Le
+
+type t =
+  | True
+  | False
+  | Feature of { axis : int; op : comparison; threshold : float }
+  | Label of { op : comparison; threshold : float }
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val eval : t -> Pmw_data.Point.t -> bool
+(** @raise Invalid_argument when a referenced axis exceeds the point's
+    dimension. *)
+
+val to_string : t -> string
+(** Round-trips through {!parse}. *)
+
+val parse : string -> (t, string) result
+(** Parse the grammar above; [Error msg] pinpoints the offending token. *)
+
+val to_query : ?name:string -> t -> Linear_pmw.query
+(** The counting query of the predicate (default name: {!to_string}). *)
+
+val vars : t -> int list
+(** Feature axes mentioned, sorted, deduplicated ([-1] stands for the
+    label). *)

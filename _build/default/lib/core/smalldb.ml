@@ -1,0 +1,88 @@
+module Histogram = Pmw_data.Histogram
+module Universe = Pmw_data.Universe
+
+type report = {
+  rows : int array;
+  histogram : Histogram.t;
+  answers : float array;
+  candidates : int;
+}
+
+let candidate_count ~universe_size ~m =
+  (* number of multisets = C(|X| + m - 1, m); saturate instead of
+     overflowing — SmallDB's counts exceed 2^62 for quite small inputs. *)
+  let rec binom n k acc i =
+    if i > k then acc
+    else
+      let next = acc *. float_of_int (n - k + i) /. float_of_int i in
+      if next > 1e18 then infinity else binom n k next (i + 1)
+  in
+  if m <= 0 then 0
+  else
+    let f = binom (universe_size + m - 1) m 1. 1 in
+    if f = infinity || f > float_of_int max_int /. 2. then max_int else int_of_float f
+
+let suggested_m ~k ~alpha =
+  if alpha <= 0. || alpha >= 1. then invalid_arg "Smalldb.suggested_m: alpha must lie in (0,1)";
+  Int.max 1 (int_of_float (ceil (log (float_of_int (Int.max 2 k)) /. (alpha *. alpha))))
+
+(* enumerate all sorted index tuples of length m over [0, size) *)
+let iter_multisets ~size ~m f =
+  let tuple = Array.make m 0 in
+  let rec go pos lo =
+    if pos = m then f tuple
+    else
+      for v = lo to size - 1 do
+        tuple.(pos) <- v;
+        go (pos + 1) v
+      done
+  in
+  go 0 0
+
+let run ~dataset ~queries ~eps ~m ?(max_candidates = 200_000) ~rng () =
+  let k = Array.length queries in
+  if k = 0 then invalid_arg "Smalldb.run: empty workload";
+  if eps <= 0. then invalid_arg "Smalldb.run: eps must be positive";
+  if m <= 0 then invalid_arg "Smalldb.run: m must be positive";
+  let universe = Pmw_data.Dataset.universe dataset in
+  let size = Universe.size universe in
+  let total = candidate_count ~universe_size:size ~m in
+  if total > max_candidates then
+    invalid_arg
+      (Printf.sprintf
+         "Smalldb.run: %d candidate databases exceed the cap of %d (SmallDB is exponential; shrink |X| or m)"
+         total max_candidates);
+  let truth = Pmw_data.Dataset.histogram dataset in
+  let true_answers = Array.map (fun q -> Linear_pmw.evaluate q truth) queries in
+  (* Precompute per-query values on universe elements once. *)
+  let qvals =
+    Array.map
+      (fun (q : Linear_pmw.query) ->
+        Array.init size (fun i -> q.Linear_pmw.value i (Universe.get universe i)))
+      queries
+  in
+  let scores = Array.make total 0. in
+  let tuples = Array.make total [||] in
+  let idx = ref 0 in
+  let mf = float_of_int m in
+  iter_multisets ~size ~m (fun tuple ->
+      let worst = ref 0. in
+      for j = 0 to k - 1 do
+        let acc = ref 0. in
+        Array.iter (fun i -> acc := !acc +. qvals.(j).(i)) tuple;
+        let e = Float.abs ((!acc /. mf) -. true_answers.(j)) in
+        if e > !worst then worst := e
+      done;
+      scores.(!idx) <- -. !worst;
+      tuples.(!idx) <- Array.copy tuple;
+      incr idx);
+  let n = float_of_int (Pmw_data.Dataset.size dataset) in
+  let chosen =
+    Pmw_dp.Mechanisms.exponential ~eps ~sensitivity:(1. /. n) ~scores rng
+  in
+  let rows = tuples.(chosen) in
+  let counts = Array.make size 0 in
+  Array.iter (fun i -> counts.(i) <- counts.(i) + 1) rows;
+  let histogram = Histogram.of_counts universe counts in
+  let answers = Array.map (fun q -> Linear_pmw.evaluate q histogram) queries in
+  { rows; histogram; answers; candidates = total }

@@ -1,0 +1,42 @@
+(** The SmallDB mechanism (Blum, Ligett & Roth, STOC 2008) — the first
+    exponentially-many-queries mechanism, cited in the paper's introduction
+    as the opening of the line of work PMW optimizes.
+
+    For a workload [Q] of linear queries, there always exists a database of
+    only [m = O(log|Q|/α²)] rows whose answers are α-close to [D]'s
+    (subsampling argument); SmallDB runs the exponential mechanism over ALL
+    [|X|^m] small databases, scored by the worst-case workload error. Pure
+    [ε]-DP and non-interactive, but the candidate space is enormous — the
+    reason it is a theoretical landmark rather than a practical tool, which
+    this implementation makes concrete: it is only runnable for tiny [|X|]
+    and [m] (we cap the candidate count), exactly the contrast with MWEM /
+    PMW that the a6 ablation shows. *)
+
+type report = {
+  rows : int array;  (** universe indices of the chosen small database *)
+  histogram : Pmw_data.Histogram.t;  (** its empirical distribution *)
+  answers : float array;  (** workload answers from the small database *)
+  candidates : int;  (** number of candidate databases scored *)
+}
+
+val candidate_count : universe_size:int -> m:int -> int
+(** [|X|^m] (saturating at [max_int]). *)
+
+val suggested_m : k:int -> alpha:float -> int
+(** The theory's [⌈log k / α²⌉] (capped at 1 from below). *)
+
+val run :
+  dataset:Pmw_data.Dataset.t ->
+  queries:Linear_pmw.query array ->
+  eps:float ->
+  m:int ->
+  ?max_candidates:int ->
+  rng:Pmw_rng.Rng.t ->
+  unit ->
+  report
+(** Enumerate all multisets of size [m] over the universe (equivalently all
+    sorted index tuples), score each by [-max_j |q_j(small) − q_j(D)|], and
+    select with the exponential mechanism at sensitivity [1/n].
+    @raise Invalid_argument on an empty workload, non-positive [eps]/[m], or
+    when the candidate count exceeds [max_candidates] (default [200_000]) —
+    the honest failure mode of SmallDB. *)

@@ -1,0 +1,19 @@
+type t = {
+  hypothesis : Pmw_data.Histogram.t;
+  synthetic : Pmw_data.Dataset.t option;
+  offline : Offline_pmw.report;
+}
+
+let release ~config ~dataset ~oracle ~queries ?sample_size ~rng () =
+  (match sample_size with
+  | Some s when s <= 0 -> invalid_arg "Synthetic_release.release: sample_size must be positive"
+  | Some _ | None -> ());
+  let offline = Offline_pmw.run ~config ~dataset ~oracle ~queries ~rng () in
+  let hypothesis = offline.Offline_pmw.hypothesis in
+  let synthetic =
+    Option.map (fun n -> Pmw_data.Dataset.of_histogram ~n hypothesis rng) sample_size
+  in
+  { hypothesis; synthetic; offline }
+
+let workload_errors t dataset queries =
+  Array.map (fun q -> Cm_query.err_hypothesis q dataset t.hypothesis) queries

@@ -1,0 +1,34 @@
+(** Workload-driven synthetic data release.
+
+    Section 4.3 remarks that the algorithm "can be modified to output a
+    synthetic dataset (namely, the final histogram D̂ᵗ)". This module
+    packages that observation: run the offline PMW mechanism against a
+    workload of CM queries, release the final hypothesis, and optionally
+    sample a concrete record-level synthetic dataset from it. Both outputs
+    are differentially private (post-processing), may be published, and
+    answer the workload's queries nearly as well as the sensitive data. *)
+
+type t = {
+  hypothesis : Pmw_data.Histogram.t;  (** the private distribution over X *)
+  synthetic : Pmw_data.Dataset.t option;  (** sampled rows, if requested *)
+  offline : Offline_pmw.report;  (** the generating run's bookkeeping *)
+}
+
+val release :
+  config:Config.t ->
+  dataset:Pmw_data.Dataset.t ->
+  oracle:Pmw_erm.Oracle.t ->
+  queries:Cm_query.t array ->
+  ?sample_size:int ->
+  rng:Pmw_rng.Rng.t ->
+  unit ->
+  t
+(** Fit the hypothesis to the workload with {!Offline_pmw.run}; when
+    [sample_size] is given also draw that many iid rows from it.
+    @raise Invalid_argument on an empty workload or non-positive
+    [sample_size]. *)
+
+val workload_errors : t -> Pmw_data.Dataset.t -> Cm_query.t array -> float array
+(** For evaluation only (touches the sensitive data): the excess risk on the
+    true dataset of each query's minimizer computed on the released
+    hypothesis — Definition 2.3 per query. *)

@@ -1,0 +1,71 @@
+type inputs = {
+  alpha : float;
+  eps : float;
+  d : int;
+  log_universe : float;
+  k : int;
+  sigma : float;
+  scale : float;
+}
+
+let default ~alpha ~log_universe =
+  { alpha; eps = 1.; d = 1; log_universe; k = 1; sigma = 1.; scale = 1. }
+
+let logk i = Float.max 1. (log (float_of_int i.k))
+let fd i = float_of_int i.d
+
+let linear_single i = 1. /. i.alpha
+
+let lipschitz_single i = sqrt (fd i) /. (i.alpha *. i.eps)
+
+let uglm_single i = 1. /. (i.alpha *. i.alpha *. i.eps)
+
+let strongly_convex_single i = sqrt (fd i) /. (sqrt i.sigma *. i.alpha *. i.eps)
+
+let linear_k i = sqrt i.log_universe *. logk i /. (i.alpha *. i.alpha)
+
+let lipschitz_k i =
+  Float.max
+    (sqrt (fd i *. i.log_universe) /. (i.alpha *. i.alpha))
+    (logk i *. sqrt i.log_universe /. (i.alpha *. i.alpha))
+  /. i.eps
+
+let uglm_k i =
+  sqrt i.log_universe /. i.eps
+  *. Float.max (1. /. (i.alpha ** 3.)) (logk i /. (i.alpha *. i.alpha))
+
+let strongly_convex_k i =
+  sqrt i.log_universe /. i.eps
+  *. Float.max
+       (sqrt (fd i) /. (sqrt i.sigma *. (i.alpha ** 1.5)))
+       (logk i /. (i.alpha *. i.alpha))
+
+let t_updates i = 64. *. i.scale *. i.scale *. i.log_universe /. (i.alpha *. i.alpha)
+
+let theorem_3_8_n i ~n_single ~delta ~beta =
+  let bound =
+    4096. *. i.scale *. i.scale
+    *. sqrt (i.log_universe *. log (4. /. delta))
+    *. log (8. *. float_of_int i.k /. beta)
+    /. (i.eps *. i.alpha *. i.alpha)
+  in
+  Float.max n_single bound
+
+let composition_k i ~n_single = n_single *. sqrt (float_of_int i.k)
+
+let crossover_k i =
+  let c = i.scale *. sqrt i.log_universe /. i.alpha in
+  (* Solve sqrt k = c * log k for k >= e^2 (below that, PMW wins trivially
+     whenever c >= sqrt e / 1). Bisection on f(k) = sqrt k - c log k. *)
+  let f k = sqrt k -. (c *. log k) in
+  (* f dips to its minimum at k = 4c² then rises; bisect on the rising branch
+     for the larger root. If even the minimum is positive, composition never
+     catches up and the crossover is immediate. *)
+  let lo = Float.max (exp 2.) (4. *. c *. c) in
+  if f lo > 0. then lo
+  else
+    let hi =
+      let rec grow h = if f h > 0. || h > 1e30 then h else grow (h *. 4.) in
+      grow (2. *. lo)
+    in
+    Pmw_linalg.Special.binary_search_root ~lo ~hi f

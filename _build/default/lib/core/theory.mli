@@ -1,0 +1,65 @@
+(** The closed-form bounds of Table 1 and Theorems 3.8 / 4.2 / 4.4 / 4.6,
+    with all constants set to 1 (the paper states them as Õ(·)).
+
+    These are the "paper" columns of EXPERIMENTS.md: each function returns
+    the dataset size the corresponding bound requires (up to constants and
+    polylog factors in 1/δ, 1/β) for target excess risk [alpha] at privacy
+    [eps]. Experiments compare the measured error-vs-n scaling against these
+    shapes rather than their absolute values. *)
+
+type inputs = {
+  alpha : float;  (** target error *)
+  eps : float;
+  d : int;  (** parameter dimension *)
+  log_universe : float;  (** [log |X|] *)
+  k : int;  (** number of queries *)
+  sigma : float;  (** strong convexity (row 4 only) *)
+  scale : float;  (** the family's [S] *)
+}
+
+val default : alpha:float -> log_universe:float -> inputs
+(** [eps = 1], [d = 1], [k = 1], [sigma = 1], [scale = 1]. *)
+
+(** {1 Table 1, column "single query"} *)
+
+val linear_single : inputs -> float
+(** [1/α] (DMNS06). *)
+
+val lipschitz_single : inputs -> float
+(** [√d / (α·ε)] (BST14, Theorem 4.1). *)
+
+val uglm_single : inputs -> float
+(** [1 / (α²·ε)] (JT14, Theorem 4.3). *)
+
+val strongly_convex_single : inputs -> float
+(** [√d / (√σ·α·ε)] (BST14, Theorem 4.5). *)
+
+(** {1 Table 1, column "k queries"} *)
+
+val linear_k : inputs -> float
+(** [√(log|X|)·log k / α²] (HR10). *)
+
+val lipschitz_k : inputs -> float
+(** [max(√(d·log|X|)/α², log k·√(log|X|)/α²) / ε] (Theorem 4.2, new). *)
+
+val uglm_k : inputs -> float
+(** [√(log|X|)/ε · max(1/α, log k) / α²] (Theorem 4.4, new). *)
+
+val strongly_convex_k : inputs -> float
+(** [√(log|X|)/ε · max(√d/(√σ·α^{3/2}), log k/α²)] (Theorem 4.6, new). *)
+
+(** {1 Structural quantities} *)
+
+val t_updates : inputs -> float
+(** Figure 3's update budget [T = 64·S²·log|X| / α²]. *)
+
+val theorem_3_8_n : inputs -> n_single:float -> delta:float -> beta:float -> float
+(** The generic bound of Theorem 3.8 with its printed constants. *)
+
+val composition_k : inputs -> n_single:float -> float
+(** Dataset size for the naive baseline: [n_single · √k] (advanced
+    composition inflates the per-query budget by [~√k]). *)
+
+val crossover_k : inputs -> float
+(** The [k] beyond which PMW beats composition (Section 4.1): the solution
+    of [√k = S·√(log|X|)·log k / α], found numerically. *)

@@ -1,0 +1,20 @@
+let check ~n ~k ~beta =
+  if n <= 0 then invalid_arg "Transfer: n must be positive";
+  if k <= 0 then invalid_arg "Transfer: k must be positive";
+  if beta <= 0. || beta >= 1. then invalid_arg "Transfer: beta must lie in (0, 1)"
+
+let sampling_term ~n ~k ~beta =
+  check ~n ~k ~beta;
+  sqrt (log (2. *. float_of_int k /. beta) /. (2. *. float_of_int n))
+
+let population_error ~sample_alpha ~privacy ~n ~k ~beta =
+  check ~n ~k ~beta;
+  if sample_alpha < 0. then invalid_arg "Transfer.population_error: negative sample_alpha";
+  sample_alpha
+  +. (exp privacy.Pmw_dp.Params.eps -. 1.)
+  +. (float_of_int k *. privacy.Pmw_dp.Params.delta)
+  +. sampling_term ~n ~k ~beta
+
+let overfitting_bound_without_privacy ~n ~k ~beta =
+  check ~n ~k ~beta;
+  sqrt (float_of_int k /. float_of_int n)

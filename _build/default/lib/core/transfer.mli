@@ -1,0 +1,32 @@
+(** The DP → generalization transfer (Section 1.3).
+
+    Dwork et al. (STOC 2015) and Bassily et al. (2015, for CM queries) show:
+    if a mechanism is [(ε, δ)]-DP and its answers are [α]-accurate with
+    respect to the {e sample}, then they are also accurate with respect to
+    the {e population} the sample was drawn from — even against an adaptive
+    analyst. This module packages the calculator form of that statement (the
+    bound the F6 experiment verifies empirically).
+
+    For bounded (range-1) statistics the simple transfer reads
+
+    [α_pop <= α_sample + (e^ε − 1) + k·δ + sampling(n, β)]
+
+    with [sampling(n, β) = √(ln(2k/β) / 2n)] the non-adaptive Hoeffding
+    term. The [(e^ε − 1)] term is the max-information cost of privacy; δ
+    enters linearly per query. Constants are the simple (not the
+    state-of-the-art) ones — the point is the structure. *)
+
+val sampling_term : n:int -> k:int -> beta:float -> float
+(** [√(ln(2k/β) / 2n)]. *)
+
+val population_error :
+  sample_alpha:float -> privacy:Pmw_dp.Params.t -> n:int -> k:int -> beta:float -> float
+(** The transfer bound above. @raise Invalid_argument on non-positive
+    [n]/[k] or [beta] outside (0, 1). *)
+
+val overfitting_bound_without_privacy : n:int -> k:int -> beta:float -> float
+(** What adaptivity costs without privacy: a k-query adaptive analyst can
+    build a statistic whose population error is [Ω(√(k/n))] (Dinur–Nissim /
+    HU14 style); we report that rate, [√(k/n)], as the comparison column —
+    exponentially worse in the number of queries than the private
+    [√(log k/n)]-type rate. *)

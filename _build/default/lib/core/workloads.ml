@@ -1,0 +1,75 @@
+module Point = Pmw_data.Point
+
+let check_order ~dim ~order =
+  if order < 1 || order > dim then invalid_arg "Workloads: order must lie in [1, dim]"
+
+(* all sorted index subsets of size [order] from [0, dim) *)
+let subsets ~dim ~order =
+  let rec go start size =
+    if size = 0 then [ [] ]
+    else
+      List.concat
+        (List.init (dim - start) (fun off ->
+             let j = start + off in
+             List.map (fun rest -> j :: rest) (go (j + 1) (size - 1))))
+  in
+  go 0 order
+
+let conjunction_name literals =
+  String.concat "&" (List.map (fun (j, positive) ->
+      Printf.sprintf "x%d%s" j (if positive then ">0" else "<0")) literals)
+
+let conjunction literals =
+  Linear_pmw.counting_query ~name:(conjunction_name literals) (fun (x : Point.t) ->
+      List.for_all
+        (fun (j, positive) ->
+          let v = x.Point.features.(j) in
+          if positive then v > 0. else v < 0.)
+        literals)
+
+let positive_marginals ~dim ~order =
+  check_order ~dim ~order;
+  List.map (fun idx -> conjunction (List.map (fun j -> (j, true)) idx)) (subsets ~dim ~order)
+
+let marginals_up_to ~dim ~order =
+  check_order ~dim ~order;
+  List.concat (List.init order (fun o -> positive_marginals ~dim ~order:(o + 1)))
+
+let thresholds ~axis ~cuts =
+  List.map
+    (fun c ->
+      Linear_pmw.counting_query
+        ~name:(Printf.sprintf "x%d<=%g" axis c)
+        (fun (x : Point.t) -> x.Point.features.(axis) <= c))
+    cuts
+
+let label_positive =
+  Linear_pmw.counting_query ~name:"label>0" (fun (x : Point.t) -> x.Point.label > 0.)
+
+let random_signed_conjunctions ~dim ~order ~count rng =
+  check_order ~dim ~order;
+  if count <= 0 then invalid_arg "Workloads.random_signed_conjunctions: count must be positive";
+  List.init count (fun _ ->
+      let coords = Pmw_rng.Dist.sample_indices_without_replacement ~n:dim ~k:order rng in
+      let literals =
+        Array.to_list (Array.map (fun j -> (j, Pmw_rng.Rng.bool rng)) coords)
+      in
+      conjunction literals)
+
+let as_cm_queries ~domain queries =
+  List.map
+    (fun (q : Linear_pmw.query) ->
+      Cm_query.make
+        ~loss:
+          (Pmw_convex.Losses.mean_estimation
+             ~q:(fun x -> q.Linear_pmw.value 0 x)
+             ~name:q.Linear_pmw.name)
+        ~domain ())
+    queries
+
+let evaluate_all queries hist = List.map (fun q -> Linear_pmw.evaluate q hist) queries
+
+let max_abs_error ~truth ~answers =
+  List.fold_left2
+    (fun acc t a -> if Float.is_nan a then acc else Float.max acc (Float.abs (a -. t)))
+    0. truth answers

@@ -1,0 +1,36 @@
+(** Standard linear-query workloads over grid/hypercube universes.
+
+    These are the query families the linear-query literature the paper
+    builds on (HR10, HLM12) evaluates against: marginals and conjunctions,
+    threshold (CDF) queries, and random signed conjunctions. All queries
+    take values in [\[0, 1\]] per record, as {!Linear_pmw.query} requires. *)
+
+val positive_marginals : dim:int -> order:int -> Linear_pmw.query list
+(** All conjunctions of exactly [order] literals of the form [x_j > 0] —
+    [C(dim, order)] queries. @raise Invalid_argument unless
+    [1 <= order <= dim]. *)
+
+val marginals_up_to : dim:int -> order:int -> Linear_pmw.query list
+(** Orders 1..[order] concatenated. *)
+
+val thresholds : axis:int -> cuts:float list -> Linear_pmw.query list
+(** CDF queries [Pr(x_axis <= c)] for each cut [c]. *)
+
+val label_positive : Linear_pmw.query
+(** [Pr(label > 0)] — for labeled universes. *)
+
+val random_signed_conjunctions :
+  dim:int -> order:int -> count:int -> Pmw_rng.Rng.t -> Linear_pmw.query list
+(** [count] random conjunctions of [order] literals, each literal [x_j > 0]
+    or [x_j < 0] on a distinct random coordinate — the workload HR10-style
+    experiments use to stress large k. *)
+
+val as_cm_queries : domain:Pmw_convex.Domain.t -> Linear_pmw.query list -> Cm_query.t list
+(** The mean-estimation CM reduction of each query (Θ = the given 1-d box),
+    for feeding linear workloads to the CM mechanism. *)
+
+val evaluate_all : Linear_pmw.query list -> Pmw_data.Histogram.t -> float list
+(** True answers [⟨q, D⟩] for the whole workload. *)
+
+val max_abs_error : truth:float list -> answers:float list -> float
+(** [max_i |answers_i - truth_i|], ignoring NaN answers (halted mechanisms). *)

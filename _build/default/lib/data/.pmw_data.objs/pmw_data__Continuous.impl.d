@@ -1,0 +1,1 @@
+lib/data/continuous.ml: Array Dataset Int Option Pmw_linalg Point Universe

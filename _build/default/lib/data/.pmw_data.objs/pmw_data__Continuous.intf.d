@@ -1,0 +1,1 @@
+lib/data/continuous.mli: Dataset Pmw_linalg Universe

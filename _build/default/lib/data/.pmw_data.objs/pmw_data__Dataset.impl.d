@@ -1,0 +1,1 @@
+lib/data/dataset.ml: Array Format Histogram Pmw_linalg Pmw_rng Universe

@@ -1,0 +1,1 @@
+lib/data/dataset.mli: Format Histogram Pmw_linalg Pmw_rng Point Universe

@@ -1,0 +1,1 @@
+lib/data/histogram.ml: Array Float Format Pmw_linalg Pmw_rng Universe

@@ -1,0 +1,1 @@
+lib/data/histogram.mli: Format Pmw_linalg Pmw_rng Point Universe

@@ -1,0 +1,1 @@
+lib/data/io.ml: Array Continuous Dataset Fun Histogram List Point Printf String Universe

@@ -1,0 +1,1 @@
+lib/data/io.mli: Dataset Histogram Universe

@@ -1,0 +1,1 @@
+lib/data/point.ml: Format Pmw_linalg

@@ -1,0 +1,1 @@
+lib/data/point.mli: Format Pmw_linalg

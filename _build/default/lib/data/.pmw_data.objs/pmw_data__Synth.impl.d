@@ -1,0 +1,1 @@
+lib/data/synth.ml: Array Dataset Histogram Pmw_linalg Pmw_rng Point Universe

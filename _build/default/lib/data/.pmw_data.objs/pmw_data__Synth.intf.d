@@ -1,0 +1,1 @@
+lib/data/synth.mli: Dataset Histogram Pmw_linalg Pmw_rng Universe

@@ -1,0 +1,1 @@
+lib/data/universe.ml: Array Float Pmw_linalg Point Printf

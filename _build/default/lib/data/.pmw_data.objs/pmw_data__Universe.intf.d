@@ -1,0 +1,1 @@
+lib/data/universe.mli: Point

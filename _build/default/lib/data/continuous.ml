@@ -1,0 +1,74 @@
+module Vec = Pmw_linalg.Vec
+
+type spec = { dim : int; labeled : bool; levels : int; label_levels : int }
+
+(* Feature grid: ball_cover over [-1, 1]^dim with per-axis spacing
+   s = 2/(levels-1); any ball point rounds within s * sqrt(dim) (round each
+   coordinate toward the origin: the result stays inside the ball and moves
+   by at most s per axis). Label grid: half-spacing 1/(label_levels-1). *)
+let feature_rounding levels dim = 2. *. sqrt (float_of_int dim) /. float_of_int (levels - 1)
+
+let plan ~alpha ~dim ~labeled ?(max_universe = 1 lsl 18) () =
+  if alpha <= 0. || alpha >= 1. then invalid_arg "Continuous.plan: alpha must lie in (0, 1)";
+  if dim <= 0 then invalid_arg "Continuous.plan: dim must be positive";
+  if max_universe < 4 then invalid_arg "Continuous.plan: max_universe too small";
+  (* Target each component (feature, label) at alpha/sqrt 2 so the joint
+     Euclidean rounding error stays below alpha. *)
+  let target = alpha /. sqrt 2. in
+  let want_levels = 1 + int_of_float (ceil (2. *. sqrt (float_of_int dim) /. target)) in
+  let want_levels = Int.max 2 want_levels in
+  let want_label_levels =
+    if labeled then Int.max 2 (1 + int_of_float (ceil (1. /. target))) else 1
+  in
+  (* Shrink until the (unfiltered upper bound on the) universe fits. *)
+  let size levels label_levels =
+    let rec pow acc i =
+      if i = 0 then acc
+      else if acc > max_universe then acc (* avoid overflow *)
+      else pow (acc * levels) (i - 1)
+    in
+    pow 1 dim * Int.max 1 label_levels
+  in
+  let rec fit levels label_levels =
+    if size levels label_levels <= max_universe || (levels <= 2 && label_levels <= 2) then
+      (levels, label_levels)
+    else if label_levels > levels && label_levels > 2 then fit levels (label_levels - 1)
+    else fit (Int.max 2 (levels - 1)) label_levels
+  in
+  let levels, label_levels = fit want_levels want_label_levels in
+  { dim; labeled; levels; label_levels = (if labeled then Int.max 2 label_levels else 1) }
+
+let universe_of_spec spec =
+  if spec.labeled then
+    Universe.ball_cover_labeled ~d:spec.dim ~levels:spec.levels ~label_levels:spec.label_levels ()
+  else Universe.ball_cover ~d:spec.dim ~levels:spec.levels ()
+
+let rounding_error spec =
+  let feature_err = feature_rounding spec.levels spec.dim in
+  let label_err = if spec.labeled then 1. /. float_of_int (spec.label_levels - 1) else 0. in
+  sqrt ((feature_err *. feature_err) +. (label_err *. label_err))
+
+let ingest ~alpha ?max_universe ~features ?labels () =
+  let n = Array.length features in
+  if n = 0 then invalid_arg "Continuous.ingest: no records";
+  let dim = Vec.dim features.(0) in
+  Array.iter
+    (fun f -> if Vec.dim f <> dim then invalid_arg "Continuous.ingest: mixed dimensions")
+    features;
+  (match labels with
+  | Some l when Array.length l <> n -> invalid_arg "Continuous.ingest: labels length mismatch"
+  | Some _ | None -> ());
+  let labeled = Option.is_some labels in
+  let spec = plan ~alpha ~dim ~labeled ?max_universe () in
+  let universe = universe_of_spec spec in
+  let rows =
+    Array.init n (fun i ->
+        let f = Pmw_linalg.Proj.l2_ball ~radius:1. features.(i) in
+        let label =
+          match labels with
+          | Some l -> Pmw_linalg.Special.clamp ~lo:(-1.) ~hi:1. l.(i)
+          | None -> 0.
+        in
+        Universe.nearest universe (Point.make ~label f))
+  in
+  (universe, Dataset.create universe rows)

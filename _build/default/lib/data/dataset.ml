@@ -1,0 +1,72 @@
+module Vec = Pmw_linalg.Vec
+
+type t = { universe : Universe.t; rows : int array; mutable hist : Histogram.t option }
+
+let create u rows =
+  if Array.length rows = 0 then invalid_arg "Dataset.create: empty dataset";
+  let n = Universe.size u in
+  Array.iter
+    (fun i -> if i < 0 || i >= n then invalid_arg "Dataset.create: row index out of range")
+    rows;
+  { universe = u; rows; hist = None }
+
+let universe t = t.universe
+let size t = Array.length t.rows
+
+let row t i =
+  if i < 0 || i >= size t then invalid_arg "Dataset.row: index out of range";
+  t.rows.(i)
+
+let row_point t i = Universe.get t.universe (row t i)
+let rows t = Array.copy t.rows
+
+let histogram t =
+  match t.hist with
+  | Some h -> h
+  | None ->
+      let counts = Array.make (Universe.size t.universe) 0 in
+      Array.iter (fun i -> counts.(i) <- counts.(i) + 1) t.rows;
+      let h = Histogram.of_counts t.universe counts in
+      t.hist <- Some h;
+      h
+
+let of_histogram ~n h rng =
+  if n <= 0 then invalid_arg "Dataset.of_histogram: n must be positive";
+  let draw = Histogram.sampler h in
+  create (Histogram.universe h) (Array.init n (fun _ -> draw rng))
+
+let replace_row t ~index ~value =
+  if index < 0 || index >= size t then invalid_arg "Dataset.replace_row: index out of range";
+  if value < 0 || value >= Universe.size t.universe then
+    invalid_arg "Dataset.replace_row: value out of range";
+  let rows = Array.copy t.rows in
+  rows.(index) <- value;
+  { t with rows; hist = None }
+
+let random_neighbor t rng =
+  let index = Pmw_rng.Rng.int rng (size t) in
+  let value = Pmw_rng.Rng.int rng (Universe.size t.universe) in
+  replace_row t ~index ~value
+
+let mean_loss t f =
+  let values = Array.map (fun i -> f (Universe.get t.universe i)) t.rows in
+  Vec.kahan_sum values /. float_of_int (size t)
+
+let mean_grad t ~dim g =
+  let acc = Vec.create dim in
+  Array.iter (fun i -> Vec.add_inplace acc (g (Universe.get t.universe i))) t.rows;
+  Vec.scale_inplace (1. /. float_of_int (size t)) acc;
+  acc
+
+let subsample t ~m rng =
+  if m <= 0 || m > size t then invalid_arg "Dataset.subsample: need 0 < m <= size";
+  let idx = Pmw_rng.Dist.sample_indices_without_replacement ~n:(size t) ~k:m rng in
+  { t with rows = Array.map (fun i -> t.rows.(i)) idx; hist = None }
+
+let concat a b =
+  if Universe.name a.universe <> Universe.name b.universe then
+    invalid_arg "Dataset.concat: different universes";
+  { a with rows = Array.append a.rows b.rows; hist = None }
+
+let pp fmt t =
+  Format.fprintf fmt "dataset(n=%d over %s)" (size t) (Universe.name t.universe)

@@ -1,0 +1,53 @@
+(** Datasets: ordered multisets of universe elements.
+
+    A dataset [D ∈ Xⁿ] is stored as an array of indices into its universe,
+    matching the paper's Section 2.1. Adjacency ([D ~ D'], differing in one
+    row) is the replacement notion, so the histograms of adjacent datasets
+    satisfy [‖D − D'‖₁ <= 2/n]. *)
+
+type t
+
+val create : Universe.t -> int array -> t
+(** @raise Invalid_argument on an empty row array or out-of-range indices. *)
+
+val universe : t -> Universe.t
+val size : t -> int
+
+val row : t -> int -> int
+(** Universe index of the [i]-th row. *)
+
+val row_point : t -> int -> Point.t
+
+val rows : t -> int array
+(** Fresh copy of the index array. *)
+
+val histogram : t -> Histogram.t
+(** The empirical distribution of the rows — the [D] the mechanisms consume.
+    Computed once and cached (datasets are immutable), so loss evaluations
+    over a dataset cost [O(|X|)] rather than [O(n)]. *)
+
+val of_histogram : n:int -> Histogram.t -> Pmw_rng.Rng.t -> t
+(** [n] iid rows drawn from the histogram (alias-method sampling). *)
+
+val replace_row : t -> index:int -> value:int -> t
+(** An adjacent dataset: row [index] replaced by universe element [value].
+    Used by sensitivity property tests and the empirical privacy audit. *)
+
+val random_neighbor : t -> Pmw_rng.Rng.t -> t
+(** A uniformly random adjacent dataset. *)
+
+val mean_loss : t -> (Point.t -> float) -> float
+(** [(1/n) Σᵢ f(xᵢ)] with compensated summation — the empirical risk
+    functional [ℓ(θ; D)] for a fixed [θ]. *)
+
+val mean_grad : t -> dim:int -> (Point.t -> Pmw_linalg.Vec.t) -> Pmw_linalg.Vec.t
+(** [(1/n) Σᵢ g(xᵢ)]. *)
+
+val subsample : t -> m:int -> Pmw_rng.Rng.t -> t
+(** [m] rows sampled without replacement. @raise Invalid_argument if [m]
+    exceeds the dataset size or is non-positive. *)
+
+val concat : t -> t -> t
+(** Row-wise concatenation (universes must coincide). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,103 @@
+module Vec = Pmw_linalg.Vec
+
+type t = { universe : Universe.t; w : float array }
+
+let universe t = t.universe
+let size t = Array.length t.w
+
+let get t i =
+  if i < 0 || i >= size t then invalid_arg "Histogram.get: index out of range";
+  t.w.(i)
+
+let weights t = Array.copy t.w
+
+let uniform u =
+  let n = Universe.size u in
+  { universe = u; w = Array.make n (1. /. float_of_int n) }
+
+let of_weights u w =
+  if Array.length w <> Universe.size u then invalid_arg "Histogram.of_weights: length mismatch";
+  Array.iter
+    (fun x ->
+      if x < 0. || Float.is_nan x then invalid_arg "Histogram.of_weights: negative weight")
+    w;
+  let total = Vec.kahan_sum w in
+  if total <= 0. then invalid_arg "Histogram.of_weights: non-positive total mass";
+  { universe = u; w = Array.map (fun x -> x /. total) w }
+
+let of_counts u counts =
+  of_weights u
+    (Array.map
+       (fun c ->
+         if c < 0 then invalid_arg "Histogram.of_counts: negative count";
+         float_of_int c)
+       counts)
+
+let point_mass u i =
+  if i < 0 || i >= Universe.size u then invalid_arg "Histogram.point_mass: index out of range";
+  let w = Array.make (Universe.size u) 0. in
+  w.(i) <- 1.;
+  { universe = u; w }
+
+let expect t f =
+  let values = Array.mapi (fun i wi -> wi *. f i (Universe.get t.universe i)) t.w in
+  Vec.kahan_sum values
+
+let expect_vec t ~dim f =
+  let acc = Vec.create dim in
+  Array.iteri
+    (fun i wi -> if wi > 0. then Vec.axpy ~alpha:wi ~x:(f i (Universe.get t.universe i)) ~y:acc)
+    t.w;
+  acc
+
+let same_universe name a b =
+  if a.universe != b.universe && Universe.name a.universe <> Universe.name b.universe then
+    invalid_arg (name ^ ": histograms over different universes")
+
+let l1_dist a b =
+  same_universe "Histogram.l1_dist" a b;
+  Vec.dist1 a.w b.w
+
+let linf_dist a b =
+  same_universe "Histogram.linf_dist" a b;
+  Vec.norm_inf (Vec.sub a.w b.w)
+
+let entropy t =
+  let terms = Array.map (fun p -> if p > 0. then -.p *. log p else 0.) t.w in
+  Vec.kahan_sum terms
+
+let kl_div p q =
+  same_universe "Histogram.kl_div" p q;
+  let acc = ref 0. in
+  (try
+     Array.iteri
+       (fun i pi ->
+         if pi > 0. then
+           if q.w.(i) <= 0. then raise Exit else acc := !acc +. (pi *. log (pi /. q.w.(i))))
+       p.w
+   with Exit -> acc := infinity);
+  Float.max 0. !acc
+
+let sample t rng = Pmw_rng.Dist.categorical ~weights:t.w rng
+
+let sampler t =
+  let alias = Pmw_rng.Dist.Alias.create t.w in
+  fun rng -> Pmw_rng.Dist.Alias.draw alias rng
+
+let support_size ?(threshold = 0.) t =
+  Array.fold_left (fun acc p -> if p > threshold then acc + 1 else acc) 0 t.w
+
+let mix a b s =
+  same_universe "Histogram.mix" a b;
+  if s < 0. || s > 1. then invalid_arg "Histogram.mix: s must lie in [0, 1]";
+  { universe = a.universe; w = Array.mapi (fun i x -> ((1. -. s) *. x) +. (s *. b.w.(i))) a.w }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>histogram(%s):" (Universe.name t.universe);
+  let n = size t in
+  let shown = min n 8 in
+  for i = 0 to shown - 1 do
+    Format.fprintf fmt " %.4f" t.w.(i)
+  done;
+  if shown < n then Format.fprintf fmt " ... (%d more)" (n - shown);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,67 @@
+(** Probability distributions over a finite universe.
+
+    Section 2.1 of the paper represents a dataset as its histogram — a vector
+    in [R^X] with [D(x) = Pr(random row = x)]. Histograms are the objects the
+    multiplicative-weights mechanism manipulates: the true dataset's
+    histogram [D] and the public hypothesis [D̂ₜ]. The invariant (weights
+    non-negative, summing to 1 up to round-off) is established by every
+    constructor. *)
+
+type t
+
+val universe : t -> Universe.t
+val size : t -> int
+
+val get : t -> int -> float
+(** Mass of the [i]-th universe element. *)
+
+val weights : t -> float array
+(** A fresh copy of the weight vector. *)
+
+val uniform : Universe.t -> t
+(** The uninformed initial hypothesis [D̂₁] of Figure 3. *)
+
+val of_weights : Universe.t -> float array -> t
+(** Normalizes the given non-negative vector.
+    @raise Invalid_argument on negative entries, a non-positive sum, or a
+    length mismatch with the universe. *)
+
+val of_counts : Universe.t -> int array -> t
+(** Histogram of raw counts. *)
+
+val point_mass : Universe.t -> int -> t
+
+val expect : t -> (int -> Point.t -> float) -> float
+(** [expect h f] is [Σ_x h(x) · f(x)] — expected value of [f] under the
+    histogram, computed with compensated summation. This is how expected
+    losses [ℓ(θ; D)] and linear-query answers [⟨q, D⟩] are evaluated. *)
+
+val expect_vec : t -> dim:int -> (int -> Point.t -> Pmw_linalg.Vec.t) -> Pmw_linalg.Vec.t
+(** Vector-valued expectation, e.g. the gradient [∇ℓ_D(θ) = Σ_x D(x) ∇ℓ_x(θ)]. *)
+
+val l1_dist : t -> t -> float
+(** [‖D − D'‖₁]. Adjacent size-[n] datasets satisfy [l1_dist <= 2/n]. *)
+
+val linf_dist : t -> t -> float
+
+val entropy : t -> float
+(** Shannon entropy in nats; maximized by {!uniform}. *)
+
+val kl_div : t -> t -> float
+(** [KL(p ‖ q)]; [infinity] when [p] puts mass where [q] has none. The MW
+    potential argument (Lemma 3.4) tracks [KL(D ‖ D̂ₜ)]. *)
+
+val sample : t -> Pmw_rng.Rng.t -> int
+(** One index drawn from the histogram distribution. *)
+
+val sampler : t -> (Pmw_rng.Rng.t -> int)
+(** Alias-method sampler — preferable when drawing many rows. *)
+
+val support_size : ?threshold:float -> t -> int
+(** Number of entries with mass above [threshold] (default 0). *)
+
+val mix : t -> t -> float -> t
+(** [mix a b s] is the mixture [(1-s)·a + s·b].
+    @raise Invalid_argument unless [0 <= s <= 1] and universes coincide. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let save_dataset ~path ds =
+  with_out path (fun oc ->
+      let n = Dataset.size ds in
+      for i = 0 to n - 1 do
+        let p = Dataset.row_point ds i in
+        Array.iter (fun v -> Printf.fprintf oc "%.17g," v) p.Point.features;
+        Printf.fprintf oc "%.17g\n" p.Point.label
+      done)
+
+let save_histogram ~path h =
+  with_out path (fun oc ->
+      let u = Histogram.universe h in
+      Universe.iter u ~f:(fun i p ->
+          Array.iter (fun v -> Printf.fprintf oc "%.17g," v) p.Point.features;
+          Printf.fprintf oc "%.17g,%.17g\n" p.Point.label (Histogram.get h i)))
+
+let load_raw_csv ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rows = ref [] in
+      let line_no = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr line_no;
+           let trimmed = String.trim line in
+           if trimmed <> "" then begin
+             let fields = String.split_on_char ',' trimmed in
+             let parsed =
+               List.map
+                 (fun f ->
+                   match float_of_string_opt (String.trim f) with
+                   | Some v -> v
+                   | None ->
+                       failwith
+                         (Printf.sprintf "Io.load_raw_csv: bad field %S on line %d" f !line_no))
+                 fields
+             in
+             rows := Array.of_list parsed :: !rows
+           end
+         done
+       with End_of_file -> ());
+      let rows = Array.of_list (List.rev !rows) in
+      if Array.length rows = 0 then failwith "Io.load_raw_csv: empty file";
+      let cols = Array.length rows.(0) in
+      Array.iteri
+        (fun i r ->
+          if Array.length r <> cols then
+            failwith (Printf.sprintf "Io.load_raw_csv: ragged row %d" (i + 1)))
+        rows;
+      rows)
+
+let load_histogram ~path =
+  let rows = load_raw_csv ~path in
+  let cols = Array.length rows.(0) in
+  if cols < 3 then failwith "Io.load_histogram: need features, label and mass columns";
+  let points =
+    Array.map
+      (fun r -> Point.make ~label:r.(cols - 2) (Array.sub r 0 (cols - 2)))
+      rows
+  in
+  let universe = Universe.of_points ~name:(Printf.sprintf "loaded(%s)" path) points in
+  let weights = Array.map (fun r -> r.(cols - 1)) rows in
+  match Histogram.of_weights universe weights with
+  | h -> h
+  | exception Invalid_argument m -> failwith ("Io.load_histogram: " ^ m)
+
+let load_dataset ~path ~alpha ?max_universe () =
+  let rows = load_raw_csv ~path in
+  let cols = Array.length rows.(0) in
+  if cols < 2 then failwith "Io.load_dataset: need at least one feature column plus a label";
+  let features = Array.map (fun r -> Array.sub r 0 (cols - 1)) rows in
+  let labels = Array.map (fun r -> r.(cols - 1)) rows in
+  Continuous.ingest ~alpha ?max_universe ~features ~labels ()

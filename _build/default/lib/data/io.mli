@@ -1,0 +1,31 @@
+(** Plain-text (CSV) persistence for datasets, universes and histograms.
+
+    Formats are deliberately simple and self-describing:
+
+    - dataset CSV: one row per record, [f1,...,fd,label];
+    - histogram CSV: one row per universe element, [f1,...,fd,label,mass].
+
+    Loading a dataset goes through {!Continuous.ingest} (the records may be
+    arbitrary continuous points), so the result is ready for the mechanisms.
+    Released histograms/synthetic data can be saved for downstream use —
+    they are differentially private, the input dataset of course is not. *)
+
+val save_dataset : path:string -> Dataset.t -> unit
+(** Write the dataset's records (decoded from the universe). *)
+
+val load_dataset : path:string -> alpha:float -> ?max_universe:int -> unit -> Universe.t * Dataset.t
+(** Read a dataset CSV (every row must have the same column count; the last
+    column is the label) and ingest it at accuracy [alpha].
+    @raise Failure on malformed rows. *)
+
+val save_histogram : path:string -> Histogram.t -> unit
+
+val load_histogram : path:string -> Histogram.t
+(** Read a histogram CSV back (as written by {!save_histogram}): the
+    universe is reconstructed from the point columns ([Universe.of_points]),
+    the last column is the mass. Round-trips exactly up to float printing.
+    @raise Failure on malformed input or non-positive total mass. *)
+
+val load_raw_csv : path:string -> float array array
+(** The underlying reader: one float array per non-empty line.
+    @raise Failure on unparseable fields or ragged rows. *)

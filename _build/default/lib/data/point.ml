@@ -1,0 +1,18 @@
+module Vec = Pmw_linalg.Vec
+
+type t = { features : Vec.t; label : float }
+
+let make ?(label = 0.) features = { features; label }
+let dim t = Vec.dim t.features
+
+let dist a b =
+  if dim a <> dim b then invalid_arg "Point.dist: dimension mismatch";
+  let d = Vec.dist2 a.features b.features in
+  let dl = a.label -. b.label in
+  sqrt ((d *. d) +. (dl *. dl))
+
+let norm t = Vec.norm2 t.features
+
+let equal a b = a.label = b.label && Vec.approx_equal ~tol:0. a.features b.features
+
+let pp fmt t = Format.fprintf fmt "{x=%a; y=%g}" Vec.pp t.features t.label

@@ -1,0 +1,20 @@
+(** A single record: a feature vector plus a real label.
+
+    Unsupervised universes simply carry [label = 0.]. The convex losses in
+    {!Pmw_convex.Losses} read both fields; linear queries only read
+    [features]. *)
+
+type t = { features : Pmw_linalg.Vec.t; label : float }
+
+val make : ?label:float -> Pmw_linalg.Vec.t -> t
+val dim : t -> int
+
+val dist : t -> t -> float
+(** Euclidean distance on [(features, label)] jointly — the metric used for
+    discretization (snapping a continuous record to a finite universe). *)
+
+val norm : t -> float
+(** Euclidean norm of the feature vector (ignores the label). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+module Vec = Pmw_linalg.Vec
+module Rng = Pmw_rng.Rng
+module Dist = Pmw_rng.Dist
+
+let random_unit_vector ~dim rng =
+  let rec loop () =
+    let v = Dist.gaussian_vector ~dim ~sigma:1. rng in
+    let n = Vec.norm2 v in
+    if n < 1e-9 then loop () else Vec.scale (1. /. n) v
+  in
+  loop ()
+
+let snap universe point = Universe.nearest universe point
+
+let linear_regression ~universe ~theta_star ~noise ~n rng =
+  if Vec.dim theta_star <> Universe.dim universe then
+    invalid_arg "Synth.linear_regression: theta_star dimension mismatch";
+  if noise < 0. then invalid_arg "Synth.linear_regression: negative noise";
+  let m = Universe.size universe in
+  let rows =
+    Array.init n (fun _ ->
+        let base = Universe.get universe (Rng.int rng m) in
+        let y = Vec.dot theta_star base.Point.features +. Dist.gaussian ~sigma:noise rng in
+        snap universe (Point.make ~label:y base.Point.features))
+  in
+  Dataset.create universe rows
+
+let logistic_classification ~universe ~theta_star ~margin ~n rng =
+  if Vec.dim theta_star <> Universe.dim universe then
+    invalid_arg "Synth.logistic_classification: theta_star dimension mismatch";
+  let m = Universe.size universe in
+  let rows =
+    Array.init n (fun _ ->
+        let base = Universe.get universe (Rng.int rng m) in
+        let p = Pmw_linalg.Special.logistic (margin *. Vec.dot theta_star base.Point.features) in
+        let y = if Dist.bernoulli ~p rng then 1. else -1. in
+        snap universe (Point.make ~label:y base.Point.features))
+  in
+  Dataset.create universe rows
+
+let zipf_histogram ~universe ~s rng =
+  if s < 0. then invalid_arg "Synth.zipf_histogram: s must be non-negative";
+  let m = Universe.size universe in
+  let perm = Array.init m (fun i -> i) in
+  Dist.shuffle perm rng;
+  let w = Array.make m 0. in
+  Array.iteri (fun rank i -> w.(i) <- (float_of_int (rank + 1)) ** -.s) perm;
+  Histogram.of_weights universe w
+
+let cluster_histogram ~universe ~centers ~spread rng =
+  if centers <= 0 then invalid_arg "Synth.cluster_histogram: centers must be positive";
+  if spread <= 0. then invalid_arg "Synth.cluster_histogram: spread must be positive";
+  let m = Universe.size universe in
+  let center_points = Array.init centers (fun _ -> Universe.get universe (Rng.int rng m)) in
+  let w =
+    Array.init m (fun i ->
+        let p = Universe.get universe i in
+        let acc = ref 0. in
+        Array.iter
+          (fun c ->
+            let d = Point.dist p c in
+            acc := !acc +. exp (-.(d *. d) /. (2. *. spread *. spread)))
+          center_points;
+        !acc)
+  in
+  Histogram.of_weights universe w

@@ -1,0 +1,145 @@
+type t = { name : string; dim : int; points : Point.t array }
+
+let of_points ~name points =
+  if Array.length points = 0 then invalid_arg "Universe.of_points: empty universe";
+  let dim = Point.dim points.(0) in
+  Array.iter
+    (fun p -> if Point.dim p <> dim then invalid_arg "Universe.of_points: mixed dimensions")
+    points;
+  { name; dim; points }
+
+let name t = t.name
+let size t = Array.length t.points
+let dim t = t.dim
+
+let get t i =
+  if i < 0 || i >= size t then invalid_arg "Universe.get: index out of range";
+  t.points.(i)
+
+let log_size t = log (float_of_int (size t))
+let points t = t.points
+
+let fold t ~init ~f =
+  let acc = ref init in
+  Array.iteri (fun i p -> acc := f !acc i p) t.points;
+  !acc
+
+let iter t ~f = Array.iteri f t.points
+
+let nearest t p =
+  let best = ref 0 and best_d = ref infinity in
+  Array.iteri
+    (fun i q ->
+      let d = Point.dist p q in
+      if d < !best_d then begin
+        best := i;
+        best_d := d
+      end)
+    t.points;
+  !best
+
+let max_feature_norm t = Array.fold_left (fun acc p -> Float.max acc (Point.norm p)) 0. t.points
+
+let check_d d =
+  if d <= 0 then invalid_arg "Universe: dimension must be positive";
+  if d > 20 then invalid_arg "Universe: hypercube dimension too large (universe would not fit in memory)"
+
+let hypercube_features d scale =
+  let coord = scale /. sqrt (float_of_int d) in
+  Array.init (1 lsl d) (fun code ->
+      Array.init d (fun j -> if (code lsr j) land 1 = 1 then coord else -.coord))
+
+let hypercube ~d ?(scale = 1.) () =
+  check_d d;
+  let features = hypercube_features d scale in
+  of_points
+    ~name:(Printf.sprintf "hypercube(d=%d,scale=%g)" d scale)
+    (Array.map Point.make features)
+
+let labeled_hypercube ~d ?(scale = 1.) ~labels () =
+  check_d d;
+  if Array.length labels = 0 then invalid_arg "Universe.labeled_hypercube: no labels";
+  let features = hypercube_features d scale in
+  let pts =
+    Array.concat
+      (Array.to_list
+         (Array.map (fun label -> Array.map (fun x -> Point.make ~label x) features) labels))
+  in
+  of_points ~name:(Printf.sprintf "labeled_hypercube(d=%d,labels=%d)" d (Array.length labels)) pts
+
+let axis_grid levels lo hi =
+  if levels < 2 then invalid_arg "Universe: grid needs at least 2 levels";
+  Array.init levels (fun i -> lo +. ((hi -. lo) *. float_of_int i /. float_of_int (levels - 1)))
+
+let grid_features d levels radius =
+  let coord_bound = radius /. sqrt (float_of_int d) in
+  let axis = axis_grid levels (-.coord_bound) coord_bound in
+  let total = int_of_float (float_of_int levels ** float_of_int d) in
+  if total > 1 lsl 22 then invalid_arg "Universe: grid universe too large";
+  Array.init total (fun code ->
+      let rest = ref code in
+      Array.init d (fun _ ->
+          let v = axis.(!rest mod levels) in
+          rest := !rest / levels;
+          v))
+
+let grid_ball ~d ~levels ?(radius = 1.) () =
+  check_d d;
+  let features = grid_features d levels radius in
+  of_points
+    ~name:(Printf.sprintf "grid_ball(d=%d,levels=%d,r=%g)" d levels radius)
+    (Array.map Point.make features)
+
+let cover_features d levels radius =
+  let axis = axis_grid levels (-.radius) radius in
+  let total = int_of_float (float_of_int levels ** float_of_int d) in
+  if total > 1 lsl 22 then invalid_arg "Universe: grid universe too large";
+  let kept = ref [] in
+  for code = total - 1 downto 0 do
+    let rest = ref code in
+    let p =
+      Array.init d (fun _ ->
+          let v = axis.(!rest mod levels) in
+          rest := !rest / levels;
+          v)
+    in
+    (* tolerance keeps boundary points that land on the sphere numerically *)
+    if Pmw_linalg.Vec.norm2 p <= radius +. 1e-12 then kept := p :: !kept
+  done;
+  if !kept = [] then [| Array.make d 0. |] else Array.of_list !kept
+
+let ball_cover ~d ~levels ?(radius = 1.) () =
+  check_d d;
+  let features = cover_features d levels radius in
+  of_points
+    ~name:(Printf.sprintf "ball_cover(d=%d,levels=%d,r=%g)" d levels radius)
+    (Array.map Point.make features)
+
+let ball_cover_labeled ~d ~levels ~label_levels ?(radius = 1.) ?(label_bound = 1.) () =
+  check_d d;
+  if label_levels < 2 then invalid_arg "Universe.ball_cover_labeled: label_levels < 2";
+  let features = cover_features d levels radius in
+  let labels = axis_grid label_levels (-.label_bound) label_bound in
+  let pts =
+    Array.concat
+      (Array.to_list
+         (Array.map (fun label -> Array.map (fun x -> Point.make ~label x) features) labels))
+  in
+  of_points
+    ~name:
+      (Printf.sprintf "ball_cover_labeled(d=%d,levels=%d,labels=%d)" d levels label_levels)
+    pts
+
+let regression_grid ~d ~levels ~label_levels ?(radius = 1.) ?(label_bound = 1.) () =
+  check_d d;
+  if label_levels < 2 then invalid_arg "Universe.regression_grid: label_levels < 2";
+  let features = grid_features d levels radius in
+  let labels = axis_grid label_levels (-.label_bound) label_bound in
+  let pts =
+    Array.concat
+      (Array.to_list
+         (Array.map (fun label -> Array.map (fun x -> Point.make ~label x) features) labels))
+  in
+  of_points
+    ~name:(Printf.sprintf "regression_grid(d=%d,levels=%d,labels=%d)" d levels label_levels)
+    pts

@@ -1,0 +1,1 @@
+lib/dp/analytic_gaussian.ml: Array Float Pmw_linalg Pmw_rng

@@ -1,0 +1,1 @@
+lib/dp/analytic_gaussian.mli: Pmw_linalg Pmw_rng

@@ -1,0 +1,1 @@
+lib/dp/audit.ml: Float Hashtbl Int Mechanisms Option Pmw_rng

@@ -1,0 +1,1 @@
+lib/dp/mechanisms.ml: Array Float Pmw_rng

@@ -1,0 +1,1 @@
+lib/dp/mechanisms.mli: Pmw_linalg Pmw_rng

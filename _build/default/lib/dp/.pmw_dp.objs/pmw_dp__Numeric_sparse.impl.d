@@ -1,0 +1,1 @@
+lib/dp/numeric_sparse.ml: Mechanisms Params Pmw_rng Sparse_vector

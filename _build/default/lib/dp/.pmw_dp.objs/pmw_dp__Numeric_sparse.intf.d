@@ -1,0 +1,1 @@
+lib/dp/numeric_sparse.mli: Params Pmw_rng

@@ -1,0 +1,1 @@
+lib/dp/params.ml: Float Format List

@@ -1,0 +1,1 @@
+lib/dp/params.mli: Format

@@ -1,0 +1,1 @@
+lib/dp/rdp.ml: Array Float

@@ -1,0 +1,36 @@
+type t = { mutable events : Params.t list; mutable rho : float }
+
+let create () = { events = []; rho = 0. }
+
+let spend t p =
+  t.events <- p :: t.events;
+  (* Pure eps-DP implies (eps^2/2)-zCDP; (eps, delta)-DP has no lossless zCDP
+     conversion, so we charge the pure part and keep delta in the event list.
+     This keeps the zCDP total sound for the mechanisms this library uses
+     (Laplace, exponential, sparse-vector epochs are pure per-event). *)
+  t.rho <- t.rho +. (p.Params.eps *. p.Params.eps /. 2.)
+
+let spend_gaussian t ~sigma ~sensitivity =
+  if sigma <= 0. then invalid_arg "Accountant.spend_gaussian: sigma must be positive";
+  if sensitivity < 0. then invalid_arg "Accountant.spend_gaussian: negative sensitivity";
+  t.rho <- t.rho +. (sensitivity *. sensitivity /. (2. *. sigma *. sigma))
+
+let count t = List.length t.events
+
+let total_basic t = Params.compose_basic t.events
+
+let total_advanced t ~slack =
+  match t.events with
+  | [] -> Params.pure 0.
+  | events ->
+      let eps_max = List.fold_left (fun acc p -> Float.max acc p.Params.eps) 0. events in
+      let delta_sum = List.fold_left (fun acc p -> acc +. p.Params.delta) 0. events in
+      let worst = Params.create ~eps:eps_max ~delta:0. in
+      let composed = Params.compose_advanced ~count:(List.length events) ~slack worst in
+      Params.create ~eps:composed.Params.eps ~delta:(Float.min 1. (composed.Params.delta +. delta_sum))
+
+let total_zcdp t ~delta =
+  if delta <= 0. || delta >= 1. then invalid_arg "Accountant.total_zcdp: delta must lie in (0,1)";
+  t.rho +. (2. *. sqrt (t.rho *. log (1. /. delta)))
+
+let rho t = t.rho

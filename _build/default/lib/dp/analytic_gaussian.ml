@@ -1,0 +1,40 @@
+module Special = Pmw_linalg.Special
+
+let phi x = Special.gaussian_cdf ~mu:0. ~sigma:1. x
+
+let delta_of_sigma ~eps ~sensitivity ~sigma =
+  if sigma <= 0. then invalid_arg "Analytic_gaussian.delta_of_sigma: sigma must be positive";
+  if sensitivity = 0. then 0.
+  else
+    let a = sensitivity /. (2. *. sigma) in
+    let b = eps *. sigma /. sensitivity in
+    phi (a -. b) -. (exp eps *. phi (-.a -. b))
+
+let sigma ~eps ~delta ~sensitivity =
+  if eps <= 0. then invalid_arg "Analytic_gaussian.sigma: eps must be positive";
+  if delta <= 0. || delta >= 1. then
+    invalid_arg "Analytic_gaussian.sigma: delta must lie in (0, 1)";
+  if sensitivity < 0. then invalid_arg "Analytic_gaussian.sigma: negative sensitivity";
+  if sensitivity = 0. then 0.
+  else begin
+    (* delta_of_sigma is monotone decreasing in sigma; bisect on
+       f(s) = delta_of_sigma(s) - delta, which crosses from + to -. *)
+    let f s = delta_of_sigma ~eps ~sensitivity ~sigma:s -. delta in
+    let lo =
+      let rec shrink s = if f s > 0. || s < 1e-12 then s else shrink (s /. 2.) in
+      shrink sensitivity
+    in
+    let hi =
+      let rec grow s = if f s < 0. || s > 1e15 then s else grow (s *. 2.) in
+      grow (Float.max sensitivity lo)
+    in
+    Special.binary_search_root ~iters:200 ~lo ~hi f
+  end
+
+let mechanism ~eps ~delta ~sensitivity value rng =
+  let s = sigma ~eps ~delta ~sensitivity in
+  value +. Pmw_rng.Dist.gaussian ~sigma:s rng
+
+let mechanism_vector ~eps ~delta ~l2_sensitivity value rng =
+  let s = sigma ~eps ~delta ~sensitivity:l2_sensitivity in
+  Array.map (fun x -> x +. Pmw_rng.Dist.gaussian ~sigma:s rng) value

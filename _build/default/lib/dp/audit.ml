@@ -1,0 +1,45 @@
+type result = {
+  eps_hat : float;
+  worst_outcome : string;
+  outcomes_compared : int;
+  trials : int;
+}
+
+let counts_of ~trials ~mechanism ~input =
+  let table = Hashtbl.create 64 in
+  for seed = 1 to trials do
+    let outcome = mechanism ~seed ~input in
+    Hashtbl.replace table outcome (1 + Option.value ~default:0 (Hashtbl.find_opt table outcome))
+  done;
+  table
+
+let run ~trials ~mechanism ~input_a ~input_b ?min_count () =
+  if trials <= 0 then invalid_arg "Audit.run: trials must be positive";
+  let min_count = match min_count with Some m -> Int.max 1 m | None -> Int.max 1 (trials / 100) in
+  let ca = counts_of ~trials ~mechanism ~input:input_a in
+  let cb = counts_of ~trials ~mechanism ~input:input_b in
+  let eps_hat = ref 0. in
+  let worst = ref "(none)" in
+  let compared = ref 0 in
+  Hashtbl.iter
+    (fun outcome na ->
+      match Hashtbl.find_opt cb outcome with
+      | Some nb when na >= min_count && nb >= min_count ->
+          incr compared;
+          let r = Float.abs (log (float_of_int na /. float_of_int nb)) in
+          if r > !eps_hat then begin
+            eps_hat := r;
+            worst := outcome
+          end
+      | Some _ | None -> ())
+    ca;
+  { eps_hat = !eps_hat; worst_outcome = !worst; outcomes_compared = !compared; trials }
+
+let laplace_counter_example () =
+  let eps = 0.5 in
+  let mechanism ~seed ~input =
+    let rng = Pmw_rng.Rng.create ~seed () in
+    let noisy = Mechanisms.laplace ~eps ~sensitivity:1. input rng in
+    if noisy >= 0.5 then "high" else "low"
+  in
+  (run ~trials:20_000 ~mechanism ~input_a:0. ~input_b:1. ()).eps_hat

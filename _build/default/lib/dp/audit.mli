@@ -1,0 +1,37 @@
+(** Empirical privacy auditing.
+
+    Definition 2.1 says every event's probability changes by at most [e^ε]
+    (plus δ) between adjacent inputs. An audit estimates that ratio from
+    repeated runs: execute the mechanism many times on a pair of adjacent
+    inputs, count each observable outcome, and report the largest
+    log-probability ratio among outcomes seen often enough for the estimate
+    to be stable. A sound mechanism's estimate stays below ε; a broken one
+    (wrong sensitivity, forgotten noise refresh) blows past it — this is the
+    engine behind experiment F4 and the regression tests that would catch
+    such bugs. *)
+
+type result = {
+  eps_hat : float;  (** largest observed |log(p_a(o)/p_b(o))| *)
+  worst_outcome : string;  (** the outcome achieving it *)
+  outcomes_compared : int;  (** outcomes with enough mass on both sides *)
+  trials : int;
+}
+
+val run :
+  trials:int ->
+  mechanism:(seed:int -> input:'a -> string) ->
+  input_a:'a ->
+  input_b:'a ->
+  ?min_count:int ->
+  unit ->
+  result
+(** Run [mechanism] [trials] times on each input (seeds 1..trials — the
+    mechanism must draw all its randomness from the seed) and compare
+    outcome frequencies. Outcomes observed fewer than [min_count] times
+    (default [trials/100]) on either side are skipped — their ratio estimate
+    would be noise. @raise Invalid_argument if [trials <= 0]. *)
+
+val laplace_counter_example : unit -> float
+(** A self-test target: the ε̂ of a correctly calibrated ε=0.5 Laplace
+    counting mechanism, binned to its sign — must come out ≤ ~0.5. Used by
+    the test suite as a fixed point of the auditor. *)

@@ -1,0 +1,83 @@
+module Dist = Pmw_rng.Dist
+
+let check_eps name eps = if eps <= 0. then invalid_arg (name ^ ": eps must be positive")
+
+let check_sens name s = if s < 0. then invalid_arg (name ^ ": sensitivity must be non-negative")
+
+let laplace ~eps ~sensitivity value rng =
+  check_eps "Mechanisms.laplace" eps;
+  check_sens "Mechanisms.laplace" sensitivity;
+  value +. Dist.laplace ~scale:(sensitivity /. eps) rng
+
+let gaussian_sigma ~eps ~delta ~sensitivity =
+  check_eps "Mechanisms.gaussian" eps;
+  if delta <= 0. then invalid_arg "Mechanisms.gaussian: delta must be positive";
+  check_sens "Mechanisms.gaussian" sensitivity;
+  sensitivity *. sqrt (2. *. log (1.25 /. delta)) /. eps
+
+let gaussian ~eps ~delta ~sensitivity value rng =
+  let sigma = gaussian_sigma ~eps ~delta ~sensitivity in
+  value +. Dist.gaussian ~sigma rng
+
+let gaussian_vector ~eps ~delta ~l2_sensitivity value rng =
+  let sigma = gaussian_sigma ~eps ~delta ~sensitivity:l2_sensitivity in
+  Array.map (fun x -> x +. Dist.gaussian ~sigma rng) value
+
+let exponential ~eps ~sensitivity ~scores rng =
+  check_eps "Mechanisms.exponential" eps;
+  check_sens "Mechanisms.exponential" sensitivity;
+  let n = Array.length scores in
+  if n = 0 then invalid_arg "Mechanisms.exponential: empty scores";
+  (* Gumbel-max trick: argmax_i (eps * score_i / (2 sens) + Gumbel_i) is an
+     exact sample from the exponential-mechanism distribution. *)
+  let coeff = if sensitivity = 0. then 0. else eps /. (2. *. sensitivity) in
+  let best = ref 0 and best_v = ref neg_infinity in
+  for i = 0 to n - 1 do
+    let v = (coeff *. scores.(i)) +. Dist.gumbel rng in
+    if v > !best_v then begin
+      best := i;
+      best_v := v
+    end
+  done;
+  !best
+
+let report_noisy_max ~eps ~sensitivity ~scores rng =
+  check_eps "Mechanisms.report_noisy_max" eps;
+  check_sens "Mechanisms.report_noisy_max" sensitivity;
+  let n = Array.length scores in
+  if n = 0 then invalid_arg "Mechanisms.report_noisy_max: empty scores";
+  let scale = 2. *. sensitivity /. eps in
+  let best = ref 0 and best_v = ref neg_infinity in
+  for i = 0 to n - 1 do
+    let v = scores.(i) +. Dist.laplace ~scale rng in
+    if v > !best_v then begin
+      best := i;
+      best_v := v
+    end
+  done;
+  !best
+
+let permute_and_flip ~eps ~sensitivity ~scores rng =
+  check_eps "Mechanisms.permute_and_flip" eps;
+  check_sens "Mechanisms.permute_and_flip" sensitivity;
+  let n = Array.length scores in
+  if n = 0 then invalid_arg "Mechanisms.permute_and_flip: empty scores";
+  let max_score = Array.fold_left Float.max neg_infinity scores in
+  let coeff = if sensitivity = 0. then infinity else eps /. (2. *. sensitivity) in
+  let order = Array.init n (fun i -> i) in
+  Dist.shuffle order rng;
+  (* The loop accepts with probability exp(coeff * (score - max)) <= 1 and is
+     guaranteed to terminate: at least one candidate has score = max and
+     acceptance probability 1. *)
+  let rec visit k =
+    let i = order.(k mod n) in
+    let p = if coeff = infinity then (if scores.(i) = max_score then 1. else 0.)
+            else exp (coeff *. (scores.(i) -. max_score)) in
+    if Dist.bernoulli ~p rng then i else visit (k + 1)
+  in
+  visit 0
+
+let randomized_response ~eps truth rng =
+  check_eps "Mechanisms.randomized_response" eps;
+  let p_truth = exp eps /. (1. +. exp eps) in
+  if Dist.bernoulli ~p:p_truth rng then truth else not truth

@@ -1,0 +1,49 @@
+(** The standard building-block mechanisms.
+
+    Each takes the query's global sensitivity explicitly; the caller is
+    responsible for that bound being correct (the library property-tests the
+    sensitivities it derives, e.g. the [3S/n] bound of Section 3.4.2). *)
+
+val laplace :
+  eps:float -> sensitivity:float -> float -> Pmw_rng.Rng.t -> float
+(** Laplace mechanism: add [Lap(sensitivity/eps)] noise. [(ε, 0)]-DP.
+    @raise Invalid_argument if [eps <= 0] or [sensitivity < 0]. *)
+
+val gaussian :
+  eps:float -> delta:float -> sensitivity:float -> float -> Pmw_rng.Rng.t -> float
+(** Gaussian mechanism with the classical calibration
+    [σ = sensitivity · √(2 ln(1.25/δ)) / ε]. [(ε, δ)]-DP for [ε <= 1].
+    @raise Invalid_argument if [eps <= 0], [delta <= 0] or [sensitivity < 0]. *)
+
+val gaussian_sigma : eps:float -> delta:float -> sensitivity:float -> float
+(** The [σ] used by {!gaussian} — exposed for noise-scale assertions and for
+    mechanisms that add vector-valued noise of the same scale. *)
+
+val gaussian_vector :
+  eps:float -> delta:float -> l2_sensitivity:float -> Pmw_linalg.Vec.t -> Pmw_rng.Rng.t -> Pmw_linalg.Vec.t
+(** Spherical Gaussian noise calibrated to the query's L2 sensitivity —
+    the vector mechanism used by noisy SGD and output perturbation. *)
+
+val exponential :
+  eps:float -> sensitivity:float -> scores:float array -> Pmw_rng.Rng.t -> int
+(** Exponential mechanism over a finite candidate set: returns index [i] with
+    probability proportional to [exp(ε·scores(i) / (2·sensitivity))].
+    Implemented exactly via the Gumbel-max trick (no normalization needed),
+    so it is numerically safe for large score ranges. [(ε, 0)]-DP.
+    @raise Invalid_argument on an empty score array. *)
+
+val report_noisy_max :
+  eps:float -> sensitivity:float -> scores:float array -> Pmw_rng.Rng.t -> int
+(** Argmax of [scores(i) + Lap(2·sensitivity/ε)]. [(ε, 0)]-DP. *)
+
+val permute_and_flip :
+  eps:float -> sensitivity:float -> scores:float array -> Pmw_rng.Rng.t -> int
+(** Permute-and-flip (McKenna & Sheldon, NeurIPS 2020) — an extension beyond
+    the paper's toolkit: visit candidates in random order and accept
+    candidate [i] with probability [exp(ε·(scores(i) − max)/2Δ)]. Same
+    [(ε, 0)]-DP guarantee as {!exponential} but stochastically dominates it
+    in utility (never selects worse, often better); the selection ablation
+    in the test suite verifies the domination empirically. *)
+
+val randomized_response : eps:float -> bool -> Pmw_rng.Rng.t -> bool
+(** Tell the truth with probability [e^ε / (1 + e^ε)]. *)

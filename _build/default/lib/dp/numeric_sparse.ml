@@ -1,0 +1,38 @@
+type answer = Below | Above of float
+
+type t = {
+  sv : Sparse_vector.t;
+  value_eps : float;
+  sensitivity : float;
+  rng : Pmw_rng.Rng.t;
+}
+
+let create ~t_max ~k ~threshold ~privacy ~sensitivity ?(value_fraction = 1. /. 3.) ~rng () =
+  if value_fraction <= 0. || value_fraction >= 1. then
+    invalid_arg "Numeric_sparse.create: value_fraction must lie in (0, 1)";
+  let sv_privacy =
+    Params.create
+      ~eps:(privacy.Params.eps *. (1. -. value_fraction))
+      ~delta:(privacy.Params.delta /. 2.)
+  in
+  let value_budget =
+    Params.create
+      ~eps:(privacy.Params.eps *. value_fraction)
+      ~delta:(privacy.Params.delta /. 2.)
+  in
+  let per_value = Params.split_advanced ~count:t_max value_budget in
+  let sv =
+    Sparse_vector.create ~t_max ~k ~threshold ~privacy:sv_privacy ~sensitivity
+      ~rng:(Pmw_rng.Rng.split rng)
+  in
+  { sv; value_eps = per_value.Params.eps; sensitivity; rng }
+
+let query t value =
+  match Sparse_vector.query t.sv value with
+  | None -> None
+  | Some Sparse_vector.Bottom -> Some Below
+  | Some Sparse_vector.Top ->
+      Some (Above (Mechanisms.laplace ~eps:t.value_eps ~sensitivity:t.sensitivity value t.rng))
+
+let halted t = Sparse_vector.halted t.sv
+let tops_used t = Sparse_vector.tops_used t.sv

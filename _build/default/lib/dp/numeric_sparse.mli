@@ -1,0 +1,35 @@
+(** NumericSparse (Dwork–Roth, Algorithm 3): sparse vector that also
+    releases a noisy numeric answer for every above-threshold query.
+
+    The paper's Figure 3 only needs the boolean variant ({!Sparse_vector})
+    because the oracle [A'] supplies the numeric answer; the linear-query
+    mechanism (HR10) and many downstream uses want the numeric value too.
+    Budget: a [1 − value_fraction] share runs the boolean sparse vector; the
+    rest is advanced-composed across the at most [t_max] released values. *)
+
+type answer =
+  | Below  (** the query looked below threshold; no value released *)
+  | Above of float  (** above threshold; the released noisy value *)
+
+type t
+
+val create :
+  t_max:int ->
+  k:int ->
+  threshold:float ->
+  privacy:Params.t ->
+  sensitivity:float ->
+  ?value_fraction:float ->
+  rng:Pmw_rng.Rng.t ->
+  unit ->
+  t
+(** Defaults: [value_fraction = 1/3] (mirroring Dwork–Roth's 8/9–1/9 split
+    toward the sparse side being the accuracy bottleneck).
+    @raise Invalid_argument on parameters out of range (see
+    {!Sparse_vector.create}) or [value_fraction] outside (0, 1). *)
+
+val query : t -> float -> answer option
+(** Feed the true query value; [None] once halted. *)
+
+val halted : t -> bool
+val tops_used : t -> int

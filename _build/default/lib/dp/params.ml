@@ -1,0 +1,40 @@
+type t = { eps : float; delta : float }
+
+let create ~eps ~delta =
+  if eps < 0. || Float.is_nan eps then invalid_arg "Params.create: eps must be non-negative";
+  if delta < 0. || delta > 1. || Float.is_nan delta then
+    invalid_arg "Params.create: delta must lie in [0, 1]";
+  { eps; delta }
+
+let pure eps = create ~eps ~delta:0.
+
+let pp fmt t = Format.fprintf fmt "(ε=%g, δ=%g)" t.eps t.delta
+
+let compose_basic ts =
+  List.fold_left
+    (fun acc t -> create ~eps:(acc.eps +. t.eps) ~delta:(Float.min 1. (acc.delta +. t.delta)))
+    (pure 0.) ts
+
+let compose_advanced ~count ~slack t =
+  if count <= 0 then invalid_arg "Params.compose_advanced: count must be positive";
+  if slack <= 0. || slack >= 1. then invalid_arg "Params.compose_advanced: slack must lie in (0,1)";
+  let c = float_of_int count in
+  let eps = (sqrt (2. *. c *. log (1. /. slack)) *. t.eps) +. (2. *. c *. t.eps *. t.eps) in
+  create ~eps ~delta:(Float.min 1. (slack +. (c *. t.delta)))
+
+let split_advanced ~count t =
+  if count <= 0 then invalid_arg "Params.split_advanced: count must be positive";
+  if t.delta <= 0. then invalid_arg "Params.split_advanced: requires delta > 0";
+  let c = float_of_int count in
+  create
+    ~eps:(t.eps /. sqrt (8. *. c *. log (2. /. t.delta)))
+    ~delta:(t.delta /. (2. *. c))
+
+let split_basic ~count t =
+  if count <= 0 then invalid_arg "Params.split_basic: count must be positive";
+  let c = float_of_int count in
+  create ~eps:(t.eps /. c) ~delta:(t.delta /. c)
+
+let check_advanced_split ~count ~budget ~per_call =
+  let composed = compose_advanced ~count ~slack:(budget.delta /. 2.) per_call in
+  composed.eps <= budget.eps +. 1e-12 && composed.delta <= budget.delta +. 1e-12

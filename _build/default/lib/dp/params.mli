@@ -1,0 +1,37 @@
+(** Differential-privacy parameters [(ε, δ)] and their composition algebra.
+
+    Implements Definition 2.1 bookkeeping and the two composition theorems
+    the paper uses: basic (sequential) composition and the strong composition
+    theorem of Dwork–Rothblum–Vadhan (Theorem 3.10 in the paper, verbatim). *)
+
+type t = { eps : float; delta : float }
+
+val create : eps:float -> delta:float -> t
+(** @raise Invalid_argument if [eps < 0] or [delta] outside [\[0, 1\]]. *)
+
+val pure : float -> t
+(** [(ε, 0)]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val compose_basic : t list -> t
+(** Sequential composition: parameters add up. *)
+
+val compose_advanced : count:int -> slack:float -> t -> t
+(** Theorem 3.10 (DRV10): the [count]-fold adaptive composition of
+    [(ε₀, δ₀)]-DP algorithms is [(ε, δ' + count·δ₀)]-DP for
+    [ε = √(2·count·ln(1/δ')) ε₀ + 2·count·ε₀²] with slack [δ' = slack].
+    @raise Invalid_argument if [count <= 0] or [slack] outside (0, 1). *)
+
+val split_advanced : count:int -> t -> t
+(** The paper's inverse of strong composition (Section 3.4.1): the per-call
+    budget [(ε₀, δ₀)] with [ε₀ = ε / √(8·count·ln(2/δ))] and
+    [δ₀ = δ / (2·count)] such that [count]-fold composition yields at most
+    [(ε, δ)]-DP. @raise Invalid_argument if [count <= 0] or [delta = 0]. *)
+
+val split_basic : count:int -> t -> t
+(** [(ε/count, δ/count)] — the naive per-call budget. *)
+
+val check_advanced_split : count:int -> budget:t -> per_call:t -> bool
+(** Verifies (by plugging into {!compose_advanced} with slack [budget.delta/2])
+    that [count] calls at [per_call] stay within [budget]. Used by tests. *)

@@ -1,0 +1,36 @@
+type t = { orders : float array; totals : float array; mutable events : int }
+
+let default_orders = [| 1.25; 1.5; 2.; 3.; 4.; 8.; 16.; 32.; 64.; 256. |]
+
+let create ?(orders = default_orders) () =
+  if Array.length orders = 0 then invalid_arg "Rdp.create: no orders";
+  Array.iter (fun a -> if a <= 1. then invalid_arg "Rdp.create: orders must exceed 1") orders;
+  { orders = Array.copy orders; totals = Array.make (Array.length orders) 0.; events = 0 }
+
+let orders t = Array.copy t.orders
+
+let spend_rdp t curve =
+  Array.iteri (fun i a -> t.totals.(i) <- t.totals.(i) +. curve a) t.orders;
+  t.events <- t.events + 1
+
+let spend_gaussian t ~sigma ~sensitivity =
+  if sigma <= 0. then invalid_arg "Rdp.spend_gaussian: sigma must be positive";
+  if sensitivity < 0. then invalid_arg "Rdp.spend_gaussian: negative sensitivity";
+  let rho = sensitivity *. sensitivity /. (2. *. sigma *. sigma) in
+  spend_rdp t (fun a -> a *. rho)
+
+let spend_pure t ~eps =
+  if eps < 0. then invalid_arg "Rdp.spend_pure: negative eps";
+  spend_rdp t (fun a -> Float.min eps (a *. eps *. eps /. 2.))
+
+let epsilon t ~delta =
+  if delta <= 0. || delta >= 1. then invalid_arg "Rdp.epsilon: delta must lie in (0, 1)";
+  let best = ref infinity in
+  Array.iteri
+    (fun i a ->
+      let e = t.totals.(i) +. (log (1. /. delta) /. (a -. 1.)) in
+      if e < !best then best := e)
+    t.orders;
+  !best
+
+let count t = t.events

@@ -1,0 +1,67 @@
+module Dist = Pmw_rng.Dist
+module Rng = Pmw_rng.Rng
+
+type answer = Top | Bottom
+
+type t = {
+  t_max : int;
+  k : int;
+  decision_point : float; (* midpoint of the (threshold/2, threshold) gap *)
+  sensitivity : float;
+  eps_epoch : float;
+  rng : Rng.t;
+  mutable noisy_threshold : float;
+  mutable tops : int;
+  mutable asked : int;
+}
+
+let fresh_threshold t =
+  (* AboveThreshold: threshold noise Lap(2Δ/ε₀). *)
+  t.decision_point +. Dist.laplace ~scale:(2. *. t.sensitivity /. t.eps_epoch) t.rng
+
+let create ~t_max ~k ~threshold ~privacy ~sensitivity ~rng =
+  if t_max <= 0 then invalid_arg "Sparse_vector.create: t_max must be positive";
+  if k <= 0 then invalid_arg "Sparse_vector.create: k must be positive";
+  if threshold <= 0. then invalid_arg "Sparse_vector.create: threshold must be positive";
+  if sensitivity < 0. then invalid_arg "Sparse_vector.create: sensitivity must be non-negative";
+  let per_epoch = Params.split_advanced ~count:t_max privacy in
+  let t =
+    {
+      t_max;
+      k;
+      decision_point = 0.75 *. threshold;
+      sensitivity = Float.max sensitivity 1e-300;
+      eps_epoch = per_epoch.Params.eps;
+      rng;
+      noisy_threshold = 0.;
+      tops = 0;
+      asked = 0;
+    }
+  in
+  t.noisy_threshold <- fresh_threshold t;
+  t
+
+let halted t = t.tops >= t.t_max || t.asked >= t.k
+let tops_used t = t.tops
+let queries_asked t = t.asked
+let per_epoch_eps t = t.eps_epoch
+
+let query t value =
+  if halted t then None
+  else begin
+    t.asked <- t.asked + 1;
+    (* Per-query noise Lap(4Δ/ε₀). *)
+    let nu = Dist.laplace ~scale:(4. *. t.sensitivity /. t.eps_epoch) t.rng in
+    if value +. nu >= t.noisy_threshold then begin
+      t.tops <- t.tops + 1;
+      if not (halted t) then t.noisy_threshold <- fresh_threshold t;
+      Some Top
+    end
+    else Some Bottom
+  end
+
+let theorem_3_1_n ~t_max ~k ~threshold ~privacy ~beta ~sensitivity_scale =
+  256. *. sensitivity_scale
+  *. sqrt (float_of_int t_max *. log (2. /. privacy.Params.delta))
+  *. log (4. *. float_of_int k /. beta)
+  /. (privacy.Params.eps *. threshold)

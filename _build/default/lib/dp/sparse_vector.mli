@@ -1,0 +1,53 @@
+(** The online sparse vector algorithm — the [SV(T, k, α, ε, δ)] black box of
+    Section 3.1 / Theorem 3.1.
+
+    The caller feeds a stream of (at most [k]) query values, each from a
+    query of global sensitivity at most [sensitivity]; the algorithm answers
+    each with [Top] (⊤) or [Bottom] (⊥) and halts after [t_max] Tops. With a
+    large enough dataset (Theorem 3.1's [n] bound), with probability [1-β]:
+    every query with true value [>= threshold] gets ⊤ and every query with
+    true value [<= threshold/2] gets ⊥.
+
+    Internally this is the textbook AboveThreshold algorithm (Dwork–Roth,
+    Algorithm "Sparse"): a noisy copy of the decision point [3·threshold/4]
+    is compared against each noisy query value; every ⊤ consumes one of
+    [t_max] epochs and refreshes the noisy threshold. Each epoch is pure
+    [ε₀]-DP; the [t_max]-fold adaptive composition at
+    [ε₀ = ε/√(8·t_max·ln(2/δ))] (Theorem 3.10) makes the whole stream
+    [(ε, δ)]-DP. *)
+
+type answer = Top | Bottom
+
+type t
+
+val create :
+  t_max:int ->
+  k:int ->
+  threshold:float ->
+  privacy:Params.t ->
+  sensitivity:float ->
+  rng:Pmw_rng.Rng.t ->
+  t
+(** [t_max] = maximum number of ⊤ answers before halting (the paper's [T]);
+    [k] = maximum stream length; [threshold] = the accuracy target [α] of the
+    game in Figure 2; [sensitivity] = the queries' global sensitivity (the
+    paper uses [3S/n]). @raise Invalid_argument on non-positive [t_max], [k],
+    [threshold] or [sensitivity < 0], or [privacy.delta = 0]. *)
+
+val query : t -> float -> answer option
+(** [query t v] feeds the true query value [v] and returns the private
+    answer, or [None] if the algorithm has halted (either [t_max] Tops were
+    spent or [k] queries were already asked). *)
+
+val halted : t -> bool
+val tops_used : t -> int
+val queries_asked : t -> int
+
+val per_epoch_eps : t -> float
+(** The ε₀ charged per AboveThreshold epoch — exposed for accounting tests. *)
+
+val theorem_3_1_n :
+  t_max:int -> k:int -> threshold:float -> privacy:Params.t -> beta:float -> sensitivity_scale:float -> float
+(** The dataset-size bound of Theorem 3.1:
+    [n >= 256 · S · √(T · log(2/δ)) · log(4k/β) / (ε·α)] where
+    [sensitivity_scale] is the paper's [S] (queries are [3S/n]-sensitive). *)

@@ -1,0 +1,1 @@
+lib/erm/oracle.ml: Float Pmw_convex Pmw_data Pmw_dp Pmw_linalg Pmw_rng

@@ -1,0 +1,1 @@
+lib/erm/oracles.ml: Array Float Int Oracle Pmw_convex Pmw_data Pmw_dp Pmw_linalg Pmw_rng

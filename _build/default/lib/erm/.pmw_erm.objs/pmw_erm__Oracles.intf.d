@@ -1,0 +1,1 @@
+lib/erm/oracles.mli: Oracle Pmw_convex

@@ -1,0 +1,24 @@
+module Vec = Pmw_linalg.Vec
+module Solve = Pmw_convex.Solve
+
+type request = {
+  dataset : Pmw_data.Dataset.t;
+  loss : Pmw_convex.Loss.t;
+  domain : Pmw_convex.Domain.t;
+  privacy : Pmw_dp.Params.t;
+  rng : Pmw_rng.Rng.t;
+  solver_iters : int;
+}
+
+type t = { name : string; run : request -> Vec.t }
+
+let excess_risk req theta =
+  let obj =
+    Pmw_convex.Objective.of_dataset req.loss req.dataset ~dim:(Pmw_convex.Domain.dim req.domain)
+  in
+  let reference =
+    Solve.minimize ~iters:(4 * req.solver_iters)
+      ~lipschitz:(Float.max req.loss.Pmw_convex.Loss.lipschitz 1e-9)
+      ~strong_convexity:req.loss.Pmw_convex.Loss.strong_convexity req.domain obj
+  in
+  Float.max 0. (obj.Pmw_convex.Objective.f theta -. reference.Solve.value)

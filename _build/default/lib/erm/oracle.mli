@@ -1,0 +1,29 @@
+(** The single-query oracle interface: the paper's [A'].
+
+    Section 3.2 assumes black-box access to an [(ε₀, δ₀)]-differentially
+    private algorithm that is [(α₀, β₀)]-accurate for one CM query. An
+    oracle here is exactly that black box: given a dataset, one loss, a
+    domain and a per-call privacy budget, produce an approximate private
+    minimizer in the domain. Section 4.2 instantiates it three ways
+    ({!Noisy_gd}, {!Glm}, {!Strongly_convex}); {!Exact} is the non-private
+    reference used for debugging and as the upper envelope in experiments. *)
+
+type request = {
+  dataset : Pmw_data.Dataset.t;
+  loss : Pmw_convex.Loss.t;
+  domain : Pmw_convex.Domain.t;
+  privacy : Pmw_dp.Params.t;  (** the per-call [(ε₀, δ₀)] *)
+  rng : Pmw_rng.Rng.t;
+  solver_iters : int;  (** iteration budget for inner non-private solves *)
+}
+
+type t = {
+  name : string;
+  run : request -> Pmw_linalg.Vec.t;
+      (** Must return a point of [request.domain]. *)
+}
+
+val excess_risk : request -> Pmw_linalg.Vec.t -> float
+(** Definition 2.2's [err_ℓ(D, θ̂)] of an answer, with the true minimum
+    computed by the non-private solver (at 4x the request's iteration
+    budget, so the reference is more accurate than the candidate). *)

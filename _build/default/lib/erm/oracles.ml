@@ -1,0 +1,154 @@
+module Vec = Pmw_linalg.Vec
+module Domain = Pmw_convex.Domain
+module Loss = Pmw_convex.Loss
+module Objective = Pmw_convex.Objective
+module Solve = Pmw_convex.Solve
+module Params = Pmw_dp.Params
+module Mechanisms = Pmw_dp.Mechanisms
+open Oracle
+
+let solve_exact (req : request) =
+  (Solve.minimize_loss_on_dataset ~iters:req.solver_iters req.loss req.domain req.dataset)
+    .Solve.theta
+
+let exact = { name = "exact"; run = solve_exact }
+
+let domain_radius domain =
+  match Domain.kind domain with
+  | Domain.L2_ball r -> r
+  | Domain.Box _ | Domain.Simplex -> 0.5 *. Domain.diameter domain
+
+let run_output_perturbation (req : request) =
+  let n = float_of_int (Pmw_data.Dataset.size req.dataset) in
+  let d = Domain.dim req.domain in
+  let lipschitz = Float.max req.loss.Loss.lipschitz 1e-9 in
+  let eps = req.privacy.Params.eps and delta = Float.max req.privacy.Params.delta 1e-12 in
+  let radius = Float.max (domain_radius req.domain) 1e-9 in
+  let sigma_loss = req.loss.Loss.strong_convexity in
+  let lambda, loss =
+    if sigma_loss > 0. then (sigma_loss, req.loss)
+    else begin
+      (* Balance ridge bias (lambda R^2 / 2) against expected noise cost
+         (sqrt d * gaussian sigma * L): lambda* solves
+         lambda R^2 / 2 = sqrt(d) * L * (2L/(n lambda)) * c / eps. *)
+      let c = sqrt (2. *. log (1.25 /. delta)) in
+      let lambda =
+        sqrt (4. *. sqrt (float_of_int d) *. lipschitz *. lipschitz *. c /. (radius *. radius *. n *. eps))
+      in
+      let lambda = Float.max lambda 1e-9 in
+      (lambda, Pmw_convex.Losses.ridge ~lambda ~radius req.loss)
+    end
+  in
+  let solution = Solve.minimize_loss_on_dataset ~iters:req.solver_iters loss req.domain req.dataset in
+  let sensitivity = 2. *. lipschitz /. (n *. lambda) in
+  let noisy =
+    Mechanisms.gaussian_vector ~eps ~delta ~l2_sensitivity:sensitivity solution.Solve.theta req.rng
+  in
+  Domain.project req.domain noisy
+
+let output_perturbation = { name = "output_perturbation"; run = run_output_perturbation }
+
+(* Shared noisy-projected-GD loop; [noise] draws one per-step perturbation
+   already calibrated to the per-step privacy budget. *)
+let noisy_descent (req : request) ~steps ~noise =
+  let dim = Domain.dim req.domain in
+  let obj = Objective.of_dataset req.loss req.dataset ~dim in
+  let lipschitz = Float.max req.loss.Loss.lipschitz 1e-9 in
+  let diameter = Float.max (Domain.diameter req.domain) 1e-9 in
+  let theta = ref (Domain.center req.domain) in
+  let avg = Vec.create dim in
+  let avg_count = ref 0 in
+  let suffix = steps / 2 in
+  for t = 1 to steps do
+    let g = Vec.add (obj.Objective.grad !theta) (noise ()) in
+    let step = diameter /. (lipschitz *. sqrt (float_of_int steps)) in
+    ignore t;
+    theta := Domain.project req.domain (Vec.sub !theta (Vec.scale step g));
+    if t > suffix then begin
+      Vec.add_inplace avg !theta;
+      incr avg_count
+    end
+  done;
+  if !avg_count = 0 then !theta
+  else Domain.project req.domain (Vec.scale (1. /. float_of_int !avg_count) avg)
+
+let gd_steps max_steps (req : request) =
+  Int.max 1 (Int.min max_steps (Pmw_data.Dataset.size req.dataset))
+
+let run_noisy_gd ~max_steps (req : request) =
+  let steps = gd_steps max_steps req in
+  let n = float_of_int (Pmw_data.Dataset.size req.dataset) in
+  let lipschitz = Float.max req.loss.Loss.lipschitz 1e-9 in
+  let per_step = Params.split_advanced ~count:steps req.privacy in
+  let sigma =
+    Mechanisms.gaussian_sigma ~eps:per_step.Params.eps ~delta:per_step.Params.delta
+      ~sensitivity:(2. *. lipschitz /. n)
+  in
+  let dim = Domain.dim req.domain in
+  let noise () = Pmw_rng.Dist.gaussian_vector ~dim ~sigma req.rng in
+  noisy_descent req ~steps ~noise
+
+let noisy_gd ?(max_steps = 200) () =
+  { name = "noisy_gd"; run = (fun req -> run_noisy_gd ~max_steps req) }
+
+let run_glm ~max_steps (req : request) =
+  match req.loss.Loss.glm with
+  | None -> run_noisy_gd ~max_steps req
+  | Some _ ->
+      let steps = gd_steps max_steps req in
+      let n = float_of_int (Pmw_data.Dataset.size req.dataset) in
+      let lipschitz = Float.max req.loss.Loss.lipschitz 1e-9 in
+      let per_step = Params.split_advanced ~count:steps req.privacy in
+      let sigma =
+        Mechanisms.gaussian_sigma ~eps:per_step.Params.eps ~delta:per_step.Params.delta
+          ~sensitivity:(2. *. lipschitz /. n)
+      in
+      let dim = Domain.dim req.domain in
+      (* Dimension-independent magnitude: a 1-d-calibrated Gaussian magnitude
+         in a random direction, rather than sigma per coordinate (total
+         magnitude ~ sigma instead of sigma * sqrt d). *)
+      let noise () =
+        let magnitude = Pmw_rng.Dist.gaussian ~sigma req.rng in
+        let direction = Pmw_data.Synth.random_unit_vector ~dim req.rng in
+        Vec.scale magnitude direction
+      in
+      noisy_descent req ~steps ~noise
+
+let glm ?(max_steps = 200) () = { name = "glm"; run = (fun req -> run_glm ~max_steps req) }
+
+let run_laplace_output (req : request) =
+  let sigma_loss = req.loss.Loss.strong_convexity in
+  if sigma_loss <= 0. then invalid_arg "Oracles.laplace_output: loss is not strongly convex";
+  let n = float_of_int (Pmw_data.Dataset.size req.dataset) in
+  let lipschitz = Float.max req.loss.Loss.lipschitz 1e-9 in
+  let d = Domain.dim req.domain in
+  let solution =
+    Solve.minimize_loss_on_dataset ~iters:req.solver_iters req.loss req.domain req.dataset
+  in
+  (* L2 sensitivity 2L/(n sigma); L1 <= sqrt d * that. Per-coordinate Laplace
+     at the L1 sensitivity gives pure eps-DP. *)
+  let l1_sensitivity = sqrt (float_of_int d) *. 2. *. lipschitz /. (n *. sigma_loss) in
+  let noisy =
+    Array.map
+      (fun x ->
+        Pmw_dp.Mechanisms.laplace ~eps:req.privacy.Params.eps ~sensitivity:l1_sensitivity x
+          req.rng)
+      solution.Solve.theta
+  in
+  Domain.project req.domain noisy
+
+let laplace_output = { name = "laplace_output"; run = run_laplace_output }
+
+let run_strongly_convex (req : request) =
+  if req.loss.Loss.strong_convexity <= 0. then
+    invalid_arg "Oracles.strongly_convex: loss is not strongly convex";
+  run_output_perturbation req
+
+let strongly_convex = { name = "strongly_convex"; run = run_strongly_convex }
+
+let for_loss (loss : Loss.t) =
+  if loss.Loss.strong_convexity > 0. then strongly_convex
+  else
+    match loss.Loss.glm with
+    | Some _ -> glm ()
+    | None -> noisy_gd ()

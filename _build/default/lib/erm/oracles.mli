@@ -1,0 +1,53 @@
+(** Concrete single-query oracles (Section 4.2's instantiations of [A']).
+
+    Each returns an {!Oracle.t} whose [run] consumes the per-call
+    [(ε₀, δ₀)] carried in the request. All of them project their output onto
+    the request's domain, so they are safe to plug into the MW mechanism. *)
+
+val exact : Oracle.t
+(** The non-private empirical minimizer — zero privacy, the accuracy upper
+    envelope. Only for debugging and baselines; never use with real data. *)
+
+val output_perturbation : Oracle.t
+(** Chaudhuri–Monteleoni–Sarwate-style output perturbation. For σ-strongly
+    convex losses the exact minimizer has L2 sensitivity [2L/(nσ)]; solve,
+    add Gaussian noise at that sensitivity, project. For merely convex
+    losses a ridge term [λ] is added first (making the regularized problem
+    λ-strongly convex) with [λ] chosen to balance the regularization bias
+    [λ·R²/2] against the noise cost [√d · σ_noise · L]. *)
+
+val noisy_gd : ?max_steps:int -> unit -> Oracle.t
+(** Bassily–Smith–Thakurta (Theorem 4.1) style noisy projected gradient
+    descent: [T] full-batch steps; each step perturbs the empirical gradient
+    (L2 sensitivity [2L/n]) with Gaussian noise at the per-step budget given
+    by advanced composition over the [T] steps. [T = min(max_steps, n)]
+    (default [max_steps = 200]); suffix averaging. Excess risk scales as
+    [√d · polylog / (n·ε₀)] — the Table 1 row 2, column 1 shape. *)
+
+val glm : ?max_steps:int -> unit -> Oracle.t
+(** Jain–Thakurta (Theorem 4.3) style oracle for unconstrained generalized
+    linear models — SIMULATED (see DESIGN.md, substitution 2): noisy
+    projected gradient descent where the per-step perturbation is a
+    magnitude-calibrated noise vector of dimension-independent scale applied
+    in a random direction, exploiting that a GLM's empirical gradient lives
+    in the span of the data. Reproduces the dimension-independent accuracy
+    scaling [~1/α₀²] of Table 1 row 3; its formal privacy matches JT14's
+    claim rather than a self-contained proof, so the privacy-audit
+    experiment (F4) excludes it. Falls back to {!noisy_gd} behaviour on
+    losses without GLM structure. *)
+
+val laplace_output : Oracle.t
+(** Output perturbation with per-coordinate Laplace noise calibrated to the
+    L1 sensitivity [√d · 2L/(nσ)] — pure [ε₀]-DP (δ₀ ignored), and tighter
+    than the Gaussian version in low dimension (no [√(2 ln(1.25/δ))]
+    factor). The oracle of choice for the 1-d mean-estimation losses that
+    realize linear queries as CM queries. Requires strong convexity. *)
+
+val strongly_convex : Oracle.t
+(** Theorem 4.5 (BST14) shape for σ-strongly convex losses: pure output
+    perturbation at sensitivity [2L/(nσ)] — no ridge bias. Raises through
+    the request if the loss has [strong_convexity = 0]. *)
+
+val for_loss : Pmw_convex.Loss.t -> Oracle.t
+(** Dispatch matching Section 4.2: strongly convex losses get
+    {!strongly_convex}, GLM losses get {!glm}, everything else {!noisy_gd}. *)

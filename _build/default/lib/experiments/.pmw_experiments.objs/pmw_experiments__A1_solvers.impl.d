@@ -1,0 +1,1 @@
+lib/experiments/a1_solvers.ml: Common Float List Pmw_convex Pmw_data Pmw_rng Printf

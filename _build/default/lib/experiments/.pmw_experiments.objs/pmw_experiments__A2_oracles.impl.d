@@ -1,0 +1,1 @@
+lib/experiments/a2_oracles.ml: Common List Pmw_convex Pmw_dp Pmw_erm Pmw_rng Printf

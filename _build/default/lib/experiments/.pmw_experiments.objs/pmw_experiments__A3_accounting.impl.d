@@ -1,0 +1,1 @@
+lib/experiments/a3_accounting.ml: Common List Pmw_dp Printf

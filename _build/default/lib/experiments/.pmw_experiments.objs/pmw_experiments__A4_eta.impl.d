@@ -1,0 +1,1 @@
+lib/experiments/a4_eta.ml: Array Common Float List Pmw_convex Pmw_core Pmw_data Pmw_linalg Pmw_mw Pmw_rng Printf

@@ -1,0 +1,1 @@
+lib/experiments/a5_universe.ml: Common Float List Pmw_convex Pmw_core Pmw_data Pmw_erm Pmw_mw Pmw_rng

@@ -1,0 +1,1 @@
+lib/experiments/a6_release.ml: Array Common Float Int List Pmw_core Pmw_data Pmw_dp Pmw_rng Printf

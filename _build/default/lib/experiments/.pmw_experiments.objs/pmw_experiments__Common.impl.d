@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Float Int List Option Pmw_convex Pmw_core Pmw_data Pmw_dp Pmw_rng Printf Stdlib String Unix

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Pmw_convex Pmw_core Pmw_data Pmw_dp Pmw_erm Pmw_rng

@@ -1,0 +1,1 @@
+lib/experiments/f1_crossover.ml: Common List Pmw_core Pmw_data Pmw_erm Printf

@@ -1,0 +1,1 @@
+lib/experiments/f2_updates.ml: Array Common List Pmw_core Pmw_data Pmw_erm Pmw_rng

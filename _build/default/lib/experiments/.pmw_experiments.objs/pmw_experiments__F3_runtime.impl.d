@@ -1,0 +1,1 @@
+lib/experiments/f3_runtime.ml: Common List Pmw_convex Pmw_core Pmw_data Pmw_erm Pmw_rng Printf

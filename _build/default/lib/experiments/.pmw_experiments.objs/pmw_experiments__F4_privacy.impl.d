@@ -1,0 +1,1 @@
+lib/experiments/f4_privacy.ml: Array Common Float Hashtbl List Option Pmw_core Pmw_dp Pmw_erm Pmw_rng Printf String

@@ -1,0 +1,1 @@
+lib/experiments/f5_regret.ml: Common List Pmw_data Pmw_mw

@@ -1,0 +1,1 @@
+lib/experiments/f6_generalization.ml: Array Common Float List Option Pmw_convex Pmw_core Pmw_data Pmw_erm Pmw_linalg Pmw_rng Printf

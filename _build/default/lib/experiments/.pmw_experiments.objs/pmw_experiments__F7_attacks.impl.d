@@ -1,0 +1,1 @@
+lib/experiments/f7_attacks.ml: Common List Pmw_attacks Pmw_data Pmw_rng Printf

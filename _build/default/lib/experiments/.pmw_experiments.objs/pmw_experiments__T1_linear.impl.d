@@ -1,0 +1,1 @@
+lib/experiments/t1_linear.ml: Common Float List Pmw_core Pmw_data Pmw_dp Pmw_rng Printf

@@ -1,0 +1,1 @@
+lib/experiments/t1_uglm.ml: Common List Pmw_core Pmw_data Pmw_dp Pmw_erm Pmw_rng Printf

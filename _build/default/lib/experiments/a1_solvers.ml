@@ -1,0 +1,57 @@
+(* Ablation A1 — the convex solvers behind the public argmin.
+
+   Figure 3 treats argmin_theta l(theta; Dhat) as a primitive; its cost and
+   accuracy determine both the runtime (F3) and the solver slack in every
+   error measurement. This ablation runs each first-order method on the same
+   smooth objective (expected squared loss over a histogram) and on a
+   non-smooth one (expected LAD loss) and reports suboptimality at equal
+   iteration budgets — justifying DESIGN.md's choice of the best-of
+   (Armijo, subgradient) dispatch in Solve.minimize. *)
+
+module Table = Common.Table
+module Solve = Pmw_convex.Solve
+module Domain = Pmw_convex.Domain
+module Losses = Pmw_convex.Losses
+module Objective = Pmw_convex.Objective
+module Rng = Pmw_rng.Rng
+
+let name = "a1-solvers"
+let description = "Ablation: projected solvers on smooth vs non-smooth public objectives"
+
+let run () =
+  let workload = Common.Workload.regression ~d:3 () in
+  let rng = Rng.create ~seed:3 () in
+  let dataset = workload.Common.Workload.sample ~n:50_000 rng in
+  let hist = Pmw_data.Dataset.histogram dataset in
+  let domain = workload.Common.Workload.domain in
+  let cases =
+    [ ("squared (smooth)", Losses.squared ()); ("absolute (non-smooth)", Losses.absolute ()) ]
+  in
+  List.iter
+    (fun (case_name, loss) ->
+      let obj = Objective.of_histogram loss hist ~dim:(Domain.dim domain) in
+      (* high-effort reference minimum *)
+      let reference =
+        (Solve.minimize ~iters:5000 ~lipschitz:loss.Pmw_convex.Loss.lipschitz domain obj)
+          .Solve.value
+      in
+      let iters = 200 in
+      let sub r = Float.max 0. (r.Solve.value -. reference) in
+      let rows =
+        [
+          ( "projected subgradient",
+            sub (Solve.projected_subgradient ~iters ~lipschitz:loss.Pmw_convex.Loss.lipschitz domain obj) );
+          ("Armijo gradient descent", sub (Solve.gradient_descent_armijo ~iters domain obj));
+          ( "Nesterov accelerated",
+            sub (Solve.accelerated_gradient ~iters ~smoothness:2. domain obj) );
+          ("Frank-Wolfe", sub (Solve.frank_wolfe ~iters ~radius:1. obj));
+          ( "minimize (dispatch)",
+            sub (Solve.minimize ~iters ~lipschitz:loss.Pmw_convex.Loss.lipschitz domain obj) );
+        ]
+      in
+      Table.print
+        ~title:(Printf.sprintf "A1.solvers: %s, %d iterations, |X|=%d" case_name iters
+                  (Pmw_data.Universe.size workload.Common.Workload.universe))
+        ~headers:[ "solver"; "suboptimality vs 5000-iter reference" ]
+        (List.map (fun (n, v) -> [ n; Table.fmt_float v ]) rows))
+    cases

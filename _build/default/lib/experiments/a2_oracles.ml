@@ -1,0 +1,69 @@
+(* Ablation A2 — the single-query oracle A'.
+
+   Theorem 3.8 is parameterized by any (eps0, delta0)-DP, (alpha0, beta0)-
+   accurate oracle; Section 4.2 instantiates three. This ablation runs every
+   oracle on the same query/dataset at the same per-call budget and reports
+   excess risk — showing which instantiation each loss family should use
+   (the dispatch implemented in Pmw_erm.Oracles.for_loss). *)
+
+module Table = Common.Table
+module Oracle = Pmw_erm.Oracle
+module Oracles = Pmw_erm.Oracles
+module Losses = Pmw_convex.Losses
+module Rng = Pmw_rng.Rng
+
+let name = "a2-oracles"
+let description = "Ablation: the Section 4.2 oracle instantiations on each loss family"
+
+let risk ~(workload : Common.Workload.regression) ~loss ~oracle ~eps ~seed =
+  let rng = Rng.create ~seed () in
+  let dataset = workload.Common.Workload.sample ~n:50_000 rng in
+  let req =
+    {
+      Oracle.dataset;
+      loss;
+      domain = workload.Common.Workload.domain;
+      privacy = Pmw_dp.Params.create ~eps ~delta:1e-7;
+      rng;
+      solver_iters = 250;
+    }
+  in
+  Oracle.excess_risk req (oracle.Oracle.run req)
+
+let show ~workload ~loss ~oracle ~eps =
+  try Common.Stats.show (Common.repeat ~trials:5 (fun ~seed -> risk ~workload ~loss ~oracle ~eps ~seed))
+  with Invalid_argument _ -> "n/a"
+
+let run () =
+  let eps = 0.05 in
+  let reg = Common.Workload.regression ~d:3 () in
+  let cls = Common.Workload.classification ~d:3 () in
+  let cases =
+    [
+      ("squared (Lipschitz)", reg, Losses.squared ());
+      ("logistic (UGLM)", cls, Losses.logistic ());
+      ("ridge-LAD (strongly convex)", reg, Losses.ridge ~lambda:0.3 ~radius:1. (Losses.absolute ()));
+    ]
+  in
+  let oracles =
+    [
+      ("noisy_gd", Oracles.noisy_gd ());
+      ("glm", Oracles.glm ());
+      ("output_perturbation", Oracles.output_perturbation);
+      ("strongly_convex", Oracles.strongly_convex);
+      ("exact (non-private)", Oracles.exact);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (oname, oracle) ->
+        oname
+        :: List.map (fun (_, workload, loss) -> show ~workload ~loss ~oracle ~eps) cases)
+      oracles
+  in
+  Table.print
+    ~title:(Printf.sprintf "A2.oracles: excess risk per oracle x loss family (n=50000, eps=%g)" eps)
+    ~headers:("oracle" :: List.map (fun (n, _, _) -> n) cases)
+    rows;
+  Printf.printf
+    "dispatch (Oracles.for_loss): strongly convex -> strongly_convex; GLM -> glm; else noisy_gd\n%!"

@@ -1,0 +1,75 @@
+(* Ablation A5 — discretization granularity (the Section 1.1 rounding).
+
+   The paper's algorithms need a finite universe X; continuous data is
+   rounded to a grid of size (d/alpha)^O(d). Finer grids shrink the rounding
+   bias but inflate log|X| (more updates needed, Figure 3's T) and the
+   Theta(|X|) per-update cost. We sweep the grid resolution and report
+   (a) the rounding bias — the error of the best-in-universe answer against
+   the continuous ground truth, (b) end-to-end PMW error, (c) update cost —
+   exposing the bias/cost trade-off the paper's remark prices at "a factor
+   of 2 in the error". *)
+
+module Table = Common.Table
+module Universe = Pmw_data.Universe
+module Synth = Pmw_data.Synth
+module Domain = Pmw_convex.Domain
+module Losses = Pmw_convex.Losses
+module Cm_query = Pmw_core.Cm_query
+module Rng = Pmw_rng.Rng
+
+let name = "a5-universe"
+let description = "Ablation: grid resolution — rounding bias vs log|X| cost (Section 1.1)"
+
+let run () =
+  let d = 2 in
+  let theta_star = [| 0.6; -0.3 |] in
+  let domain = Domain.unit_ball ~dim:d in
+  let rows =
+    List.map
+      (fun levels ->
+        let universe = Universe.regression_grid ~d ~levels ~label_levels:levels () in
+        let rng = Rng.create ~seed:11 () in
+        let dataset = Synth.linear_regression ~universe ~theta_star ~noise:0.1 ~n:150_000 rng in
+        let q = Cm_query.make ~loss:(Losses.squared ()) ~domain () in
+        (* (a) rounding bias: loss of theta_star on the discretized data vs
+           the best achievable there — how much signal the grid destroyed *)
+        let best = (Cm_query.minimize_on_dataset ~iters:600 q dataset).Pmw_convex.Solve.value in
+        let at_star = Cm_query.loss_on_dataset q dataset theta_star in
+        let bias = Float.max 0. (at_star -. best) in
+        (* (b) end-to-end PMW error on this universe *)
+        let workload =
+          {
+            Common.Workload.universe;
+            domain;
+            scale = 2.;
+            queries = [ q; Cm_query.make ~loss:(Losses.huber ~delta:0.5 ()) ~domain () ];
+            sample = (fun ~n rng -> Synth.linear_regression ~universe ~theta_star ~noise:0.1 ~n rng);
+          }
+        in
+        let pmw =
+          Common.repeat ~trials:3 (fun ~seed ->
+              Common.pmw_max_error ~workload ~n:150_000 ~k:10 ~alpha:0.05 ~t_max:15
+                ~oracle:(Pmw_erm.Oracles.noisy_gd ()) ~seed)
+        in
+        (* (c) cost of one MW update at this |X| *)
+        let mw = Pmw_mw.Mw.create ~universe ~eta:0.3 in
+        let (), dt =
+          Common.timed (fun () ->
+              for _ = 1 to 20 do
+                Pmw_mw.Mw.update mw ~loss:(fun i -> float_of_int (i land 3))
+              done)
+        in
+        [
+          string_of_int levels;
+          string_of_int (Universe.size universe);
+          Table.fmt_float bias;
+          Common.Stats.show pmw;
+          Table.fmt_float (dt /. 20. *. 1e6);
+        ])
+      [ 3; 5; 9; 17 ]
+  in
+  Table.print
+    ~title:"A5.universe: grid resolution trade-off (d=2, n=150000, planted linear signal)"
+    ~headers:
+      [ "levels/axis"; "|X|"; "rounding bias of theta*"; "PMW max err"; "us per MW update" ]
+    rows

@@ -1,0 +1,205 @@
+module Universe = Pmw_data.Universe
+module Synth = Pmw_data.Synth
+module Domain = Pmw_convex.Domain
+module Losses = Pmw_convex.Losses
+module Cm_query = Pmw_core.Cm_query
+module Rng = Pmw_rng.Rng
+
+module Table = struct
+  let print ~title ~headers rows =
+    let all = headers :: rows in
+    let cols = List.length headers in
+    let width j =
+      List.fold_left (fun acc row -> Int.max acc (String.length (List.nth row j))) 0 all
+    in
+    let widths = List.init cols width in
+    let render row =
+      String.concat "  "
+        (List.mapi
+           (fun j cell -> Printf.sprintf "%-*s" (List.nth widths j) cell)
+           row)
+    in
+    Printf.printf "\n== %s ==\n%s\n" title (render headers);
+    Printf.printf "%s\n" (String.make (String.length (render headers)) '-');
+    List.iter (fun row -> Printf.printf "%s\n" (render row)) rows;
+    Printf.printf "%!"
+
+  let fmt_float v =
+    if Float.is_nan v then "n/a"
+    else if Float.abs v >= 1000. || (Float.abs v < 0.001 && v <> 0.) then Printf.sprintf "%.3e" v
+    else Printf.sprintf "%.4f" v
+
+  let fmt_sci v = Printf.sprintf "%.2e" v
+end
+
+module Stats = struct
+  type t = { mean : float; std : float; trials : int }
+
+  let of_runs runs =
+    let n = List.length runs in
+    if n = 0 then invalid_arg "Stats.of_runs: no runs";
+    let fn = float_of_int n in
+    let mean = List.fold_left ( +. ) 0. runs /. fn in
+    let var = List.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0. runs /. fn in
+    { mean; std = sqrt var; trials = n }
+
+  let show t =
+    if t.trials = 1 then Table.fmt_float t.mean
+    else Printf.sprintf "%s ±%s" (Table.fmt_float t.mean) (Table.fmt_float t.std)
+end
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+module Sys_domain = Stdlib.Domain
+
+let max_domains = Int.max 1 (Int.min 8 (Sys_domain.recommended_domain_count () - 1))
+
+let parallel_map f items =
+  match items with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ ->
+      (* chunk the work over at most [max_domains] domains, preserving order *)
+      let arr = Array.of_list items in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let chunks = Int.min max_domains n in
+      let worker c =
+        Sys_domain.spawn (fun () ->
+            let i = ref c in
+            while !i < n do
+              results.(!i) <- Some (f arr.(!i));
+              i := !i + chunks
+            done)
+      in
+      let domains = List.init chunks worker in
+      List.iter Sys_domain.join domains;
+      Array.to_list
+        (Array.map (function Some v -> v | None -> assert false) results)
+
+let repeat ?(parallel = true) ~trials f =
+  let seeds = List.init trials (fun i -> i + 1) in
+  let runs =
+    if parallel then parallel_map (fun seed -> f ~seed) seeds
+    else List.map (fun seed -> f ~seed) seeds
+  in
+  Stats.of_runs runs
+
+module Workload = struct
+  type regression = {
+    universe : Universe.t;
+    domain : Domain.t;
+    scale : float;
+    queries : Cm_query.t list;
+    sample : n:int -> Rng.t -> Pmw_data.Dataset.t;
+  }
+
+  let regression ?(d = 2) ?(levels = 7) () =
+    let universe = Universe.regression_grid ~d ~levels ~label_levels:5 () in
+    let domain = Domain.unit_ball ~dim:d in
+    let queries =
+      [
+        Cm_query.make ~loss:(Losses.squared ()) ~domain ();
+        Cm_query.make ~loss:(Losses.huber ~delta:0.5 ()) ~domain ();
+        Cm_query.make ~loss:(Losses.absolute ()) ~domain ();
+        Cm_query.make ~loss:(Losses.quantile ~tau:0.25 ()) ~domain ();
+        Cm_query.make ~loss:(Losses.quantile ~tau:0.75 ()) ~domain ();
+      ]
+      @ List.init d (fun j ->
+            let mask = Array.init d (fun i -> i <> j) in
+            Cm_query.make ~loss:(Losses.feature_mask mask (Losses.squared ())) ~domain ())
+    in
+    let theta_star = Array.init d (fun i -> (if i mod 2 = 0 then 0.6 else -0.4) /. sqrt (float_of_int d) *. 1.5) in
+    let sample ~n rng = Synth.linear_regression ~universe ~theta_star ~noise:0.15 ~n rng in
+    { universe; domain; scale = Domain.diameter domain; queries; sample }
+
+  let classification ?(d = 4) () =
+    let universe = Universe.labeled_hypercube ~d ~labels:[| -1.; 1. |] () in
+    let domain = Domain.unit_ball ~dim:d in
+    let queries =
+      [
+        Cm_query.make ~loss:(Losses.logistic ()) ~domain ();
+        Cm_query.make ~loss:(Losses.hinge ()) ~domain ();
+        Cm_query.make ~loss:(Losses.squared_margin ()) ~domain ();
+      ]
+      @ List.init (Int.min d 3) (fun j ->
+            let mask = Array.init d (fun i -> i <> j) in
+            Cm_query.make ~loss:(Losses.feature_mask mask (Losses.logistic ())) ~domain ())
+    in
+    let sample ~n rng =
+      let theta_star = Synth.random_unit_vector ~dim:d rng in
+      Synth.logistic_classification ~universe ~theta_star ~margin:4. ~n rng
+    in
+    { universe; domain; scale = Domain.diameter domain; queries; sample }
+
+  let strongly_convex ~sigma ?(d = 2) ?(levels = 7) () =
+    let universe = Universe.regression_grid ~d ~levels ~label_levels:3 () in
+    let domain = Domain.unit_ball ~dim:d in
+    (* Distinct targets: shifted/scaled copies of the record's features. *)
+    let make_target j (x : Pmw_data.Point.t) =
+      Array.mapi
+        (fun i v -> 0.8 *. v *. if (i + j) mod 2 = 0 then 1. else -1.)
+        x.Pmw_data.Point.features
+    in
+    let queries =
+      List.init 4 (fun j ->
+          Cm_query.make
+            ~name:(Printf.sprintf "prox%d(σ=%g)" j sigma)
+            ~loss:(Losses.prox_quadratic ~sigma ~target:(make_target j) ~dim:d ())
+            ~domain ())
+    in
+    let scale =
+      List.fold_left (fun acc q -> Float.max acc (Cm_query.scale q)) 0. queries
+    in
+    let sample ~n rng =
+      Pmw_data.Dataset.of_histogram ~n (Synth.zipf_histogram ~universe ~s:0.8 rng) rng
+    in
+    { universe; domain; scale; queries; sample }
+
+  let counting_queries ~d =
+    let coord j (x : Pmw_data.Point.t) = x.Pmw_data.Point.features.(j) > 0. in
+    let one_way =
+      List.init d (fun j ->
+          Pmw_core.Linear_pmw.counting_query ~name:(Printf.sprintf "x%d" j) (coord j))
+    in
+    let two_way =
+      List.concat
+        (List.init d (fun j ->
+             List.init (d - j - 1) (fun off ->
+                 let j' = j + off + 1 in
+                 Pmw_core.Linear_pmw.counting_query
+                   ~name:(Printf.sprintf "x%d&x%d" j j')
+                   (fun x -> coord j x && coord j' x))))
+    in
+    one_way @ two_way
+end
+
+let default_privacy = Pmw_dp.Params.create ~eps:1. ~delta:1e-6
+
+let run_stream ~(workload : Workload.regression) ~k ~dataset ~answer =
+  let analyst = Pmw_core.Analyst.cycle ~name:"panel" workload.Workload.queries ~k in
+  let records = Pmw_core.Analyst.run ~analyst ~k ~answer ~dataset ~solver_iters:300 () in
+  Pmw_core.Analyst.max_error records
+
+let pmw_max_error ~workload ~n ~k ~alpha ~t_max ~oracle ~seed =
+  let rng = Rng.create ~seed () in
+  let dataset = workload.Workload.sample ~n rng in
+  let config =
+    Pmw_core.Config.practical ~universe:workload.Workload.universe ~privacy:default_privacy
+      ~alpha ~beta:0.05 ~scale:workload.Workload.scale ~k ~t_max ~solver_iters:150 ()
+  in
+  let mechanism = Pmw_core.Online_pmw.create ~config ~dataset ~oracle ~rng () in
+  run_stream ~workload ~k ~dataset ~answer:(fun q ->
+      Option.map (fun o -> o.Pmw_core.Online_pmw.theta) (Pmw_core.Online_pmw.answer mechanism q))
+
+let composition_max_error ~workload ~n ~k ~oracle ~seed =
+  let rng = Rng.create ~seed () in
+  let dataset = workload.Workload.sample ~n rng in
+  let baseline =
+    Pmw_core.Composition.create ~dataset ~oracle ~privacy:default_privacy ~k ~solver_iters:150
+      ~rng ()
+  in
+  run_stream ~workload ~k ~dataset ~answer:(fun q -> Pmw_core.Composition.answer baseline q)

@@ -1,0 +1,83 @@
+(** Shared infrastructure for the experiment harness: workload builders,
+    plain-text table rendering, trial aggregation and wall-clock timing.
+
+    Every experiment (see {!Registry}) prints a self-contained table of
+    measured values next to the paper's predicted shape, so
+    [dune exec bench/main.exe] regenerates the whole evaluation. *)
+
+(** Aligned plain-text tables. *)
+module Table : sig
+  val print : title:string -> headers:string list -> string list list -> unit
+
+  val fmt_float : float -> string
+  (** 4 significant digits, compact. *)
+
+  val fmt_sci : float -> string
+  (** Scientific notation for theory columns. *)
+end
+
+(** Mean and standard deviation over repeated trials. *)
+module Stats : sig
+  type t = { mean : float; std : float; trials : int }
+
+  val of_runs : float list -> t
+  val show : t -> string
+end
+
+val timed : (unit -> 'a) -> 'a * float
+(** Result and elapsed wall-clock seconds. *)
+
+val repeat : ?parallel:bool -> trials:int -> (seed:int -> float) -> Stats.t
+(** Run a seeded measurement [trials] times (seeds 1..trials). With
+    [parallel:true] (the default) trials run on separate OCaml 5 domains —
+    results are identical to the sequential run (each trial derives all
+    randomness from its seed and shares no mutable state), only faster. *)
+
+val parallel_map : ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving map with one domain per element (capped at the
+    machine's core count); used by the sweeps so a 4-point parameter sweep
+    costs one point's wall clock. Exceptions propagate. *)
+
+(** Standard synthetic workloads shared by several experiments. *)
+module Workload : sig
+  type regression = {
+    universe : Pmw_data.Universe.t;
+    domain : Pmw_convex.Domain.t;
+    scale : float;
+    queries : Pmw_core.Cm_query.t list;  (** a panel of distinct CM queries *)
+    sample : n:int -> Pmw_rng.Rng.t -> Pmw_data.Dataset.t;
+  }
+
+  val regression : ?d:int -> ?levels:int -> unit -> regression
+  (** Mixed panel (squared/huber/absolute/quantile/masked) over a labeled
+      grid universe with a planted linear signal. *)
+
+  val classification : ?d:int -> unit -> regression
+  (** GLM panel (logistic/hinge/squared margin) over the labeled hypercube
+      with a planted direction. *)
+
+  val strongly_convex : sigma:float -> ?d:int -> ?levels:int -> unit -> regression
+  (** Prox-quadratic panel (distinct targets per query), σ-strongly convex. *)
+
+  val counting_queries : d:int -> Pmw_core.Linear_pmw.query list
+  (** All one-way and two-way positive-marginal queries on the hypercube. *)
+end
+
+val default_privacy : Pmw_dp.Params.t
+(** (ε=1, δ=1e-6) — used by every experiment unless it sweeps privacy. *)
+
+val pmw_max_error :
+  workload:Workload.regression ->
+  n:int ->
+  k:int ->
+  alpha:float ->
+  t_max:int ->
+  oracle:Pmw_erm.Oracle.t ->
+  seed:int ->
+  float
+(** One end-to-end online-PMW run: cycle the workload panel for [k] rounds
+    and return the maximum true excess risk over answered rounds. *)
+
+val composition_max_error :
+  workload:Workload.regression -> n:int -> k:int -> oracle:Pmw_erm.Oracle.t -> seed:int -> float
+(** Same stream answered by the composition baseline. *)

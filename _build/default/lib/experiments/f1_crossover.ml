@@ -1,0 +1,54 @@
+(* Experiment F1.crossover — Section 4.1's comparison.
+
+   The naive baseline answers each query independently at budget split across
+   k, so its error grows ~k^(1/4)..sqrt(k) with the query count; online PMW
+   pays ~log k. At small k composition wins (no MW/SV overhead); at large k
+   PMW must win. We sweep k at fixed n and report both errors and the
+   measured crossover, next to the theory crossover from Theory.crossover_k. *)
+
+module Table = Common.Table
+
+let name = "f1-crossover"
+let description = "Section 4.1: PMW vs naive composition as k grows — the crossover"
+
+let run () =
+  let workload = Common.Workload.regression ~d:2 () in
+  let n = 150_000 in
+  let trials = 3 in
+  let results =
+    List.map
+      (fun k ->
+        let pmw =
+          Common.repeat ~trials (fun ~seed ->
+              Common.pmw_max_error ~workload ~n ~k ~alpha:0.06 ~t_max:20
+                ~oracle:(Pmw_erm.Oracles.noisy_gd ()) ~seed)
+        in
+        let comp =
+          Common.repeat ~trials (fun ~seed ->
+              Common.composition_max_error ~workload ~n ~k
+                ~oracle:(Pmw_erm.Oracles.noisy_gd ()) ~seed)
+        in
+        (k, pmw, comp))
+      [ 4; 16; 64; 256 ]
+  in
+  let rows =
+    List.map
+      (fun (k, pmw, comp) ->
+        let winner =
+          if pmw.Common.Stats.mean < comp.Common.Stats.mean then "PMW" else "composition"
+        in
+        [ string_of_int k; Common.Stats.show pmw; Common.Stats.show comp; winner ])
+      results
+  in
+  Table.print
+    ~title:(Printf.sprintf "F1.crossover: n=%d, eps=1, regression panel cycled to k" n)
+    ~headers:[ "k"; "PMW max err"; "composition max err"; "winner" ]
+    rows;
+  let log_x = Pmw_data.Universe.log_size workload.Common.Workload.universe in
+  let i =
+    { (Pmw_core.Theory.default ~alpha:0.06 ~log_universe:log_x) with
+      Pmw_core.Theory.scale = workload.Common.Workload.scale }
+  in
+  Printf.printf
+    "theory crossover (sqrt k = S sqrt(log|X|) log k / alpha, constants=1): k ~ %s\n%!"
+    (Table.fmt_sci (Pmw_core.Theory.crossover_k i))

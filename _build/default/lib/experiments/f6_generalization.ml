@@ -1,0 +1,113 @@
+(* Experiment F6 — the Section 1.3 connection: differential privacy implies
+   generalization under adaptive analysis (Dwork et al. 2015; Bassily et al.
+   2015 extend it to CM queries, citing this paper's mechanism).
+
+   Setup: the dataset is a SAMPLE from a known population. An adaptive
+   analyst runs greedy forward feature selection: at each round it asks for
+   the best regression restricted to the features chosen so far plus one
+   candidate, picks the candidate whose answered model looked best ON THE
+   SAMPLE, and continues. With direct (non-private) reuse of the sample the
+   selected models overfit: their sample risk understates their population
+   risk. Answering through online PMW keeps the generalization gap small.
+
+   We report the final model's |population risk - sample risk| for both
+   pipelines — the private one should be markedly smaller. *)
+
+module Table = Common.Table
+module Vec = Pmw_linalg.Vec
+module Universe = Pmw_data.Universe
+module Dataset = Pmw_data.Dataset
+module Histogram = Pmw_data.Histogram
+module Domain = Pmw_convex.Domain
+module Losses = Pmw_convex.Losses
+module Cm_query = Pmw_core.Cm_query
+module Rng = Pmw_rng.Rng
+
+let name = "f6-generalization"
+let description = "Section 1.3: generalization gap of adaptive analysis, private vs direct reuse"
+
+let d = 6
+
+(* Population: labels are pure noise — any "signal" an adaptive analyst
+   finds in the sample is overfitting, so the gap isolates adaptivity. *)
+let population rng =
+  let universe = Universe.labeled_hypercube ~d ~labels:[| -1.; 1. |] () in
+  ignore rng;
+  (universe, Histogram.uniform universe)
+
+let greedy_gap ~answer ~sample ~pop_hist ~domain =
+  let chosen = Array.make d false in
+  let current = ref (Vec.create d) in
+  for _ = 1 to 3 do
+    (* try adding each unchosen feature; keep the one with best sample risk *)
+    let best = ref None in
+    for j = 0 to d - 1 do
+      if not chosen.(j) then begin
+        let mask = Array.mapi (fun i c -> c || i = j) chosen in
+        let q = Cm_query.make ~loss:(Losses.feature_mask mask (Losses.squared_margin ())) ~domain () in
+        match answer q with
+        | None -> ()
+        | Some theta ->
+            let sample_risk = Cm_query.loss_on_dataset q sample theta in
+            (match !best with
+            | Some (_, _, _, r) when r <= sample_risk -> ()
+            | Some _ | None -> best := Some (j, q, theta, sample_risk))
+      end
+    done;
+    match !best with
+    | None -> ()
+    | Some (j, _, theta, _) ->
+        chosen.(j) <- true;
+        current := theta
+  done;
+  (* final model: gap between sample risk and population risk on the last
+     query family (full chosen mask) *)
+  let q = Cm_query.make ~loss:(Losses.feature_mask chosen (Losses.squared_margin ())) ~domain () in
+  let sample_risk = Cm_query.loss_on_dataset q sample !current in
+  let pop_risk = Cm_query.loss_on_histogram q pop_hist !current in
+  Float.abs (pop_risk -. sample_risk)
+
+let one_trial ~n ~seed =
+  let rng = Rng.create ~seed () in
+  let universe, pop_hist = population rng in
+  let sample = Dataset.of_histogram ~n pop_hist rng in
+  let domain = Domain.unit_ball ~dim:d in
+  (* (a) direct reuse: exact empirical minimizer, no privacy *)
+  let direct =
+    greedy_gap ~sample ~pop_hist ~domain ~answer:(fun q ->
+        Some (Cm_query.minimize_on_dataset ~iters:200 q sample).Pmw_convex.Solve.theta)
+  in
+  (* (b) through online PMW *)
+  let config =
+    Pmw_core.Config.practical ~universe ~privacy:Common.default_privacy ~alpha:0.05 ~beta:0.05
+      ~scale:2. ~k:64 ~t_max:15 ~solver_iters:150 ()
+  in
+  let mechanism =
+    Pmw_core.Online_pmw.create ~config ~dataset:sample ~oracle:(Pmw_erm.Oracles.glm ()) ~rng ()
+  in
+  let private_gap =
+    greedy_gap ~sample ~pop_hist ~domain ~answer:(fun q ->
+        Option.map (fun o -> o.Pmw_core.Online_pmw.theta) (Pmw_core.Online_pmw.answer mechanism q))
+  in
+  (direct, private_gap)
+
+let run () =
+  let rows =
+    List.map
+      (fun n ->
+        let runs = List.init 5 (fun i -> one_trial ~n ~seed:(i + 1)) in
+        let direct = Common.Stats.of_runs (List.map fst runs) in
+        let priv = Common.Stats.of_runs (List.map snd runs) in
+        [ string_of_int n; Common.Stats.show direct; Common.Stats.show priv ])
+      [ 500; 2_000; 8_000 ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "F6.generalization: |pop risk - sample risk| after 3 rounds of greedy adaptive selection (pure-noise labels, d=%d)"
+         d)
+    ~headers:[ "n"; "direct reuse gap"; "via online PMW gap" ]
+    rows;
+  Printf.printf
+    "expected: direct reuse overfits (gap ~ sqrt(features tried / n) and shrinking slowly);\n\
+     the DP pipeline's gap stays near the sampling error (Dwork et al. 2015 / BSSU15).\n%!"

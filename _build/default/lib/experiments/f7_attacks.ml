@@ -1,0 +1,92 @@
+(* Experiment F7 — the attack side of Section 1.2 / the KRS13 connection.
+
+   Why can't private mechanisms answer more accurately? Because accuracy
+   beyond the sampling error enables reconstruction. Two demonstrations:
+
+   (a) Dinur-Nissim linear reconstruction: answer k = 4n random subset-sum
+       queries about a secret bit with additive noise of magnitude E. At
+       E = 0 the attack recovers ~100% of the secret; at E ~ 1/sqrt(n) it
+       degrades; at the noise level our Laplace mechanism actually adds for
+       this many queries (basic composition), recovery falls to near chance.
+
+   (b) Tracing (membership inference) against released feature means: exact
+       means leak membership with high advantage; the eps=1 noisy release
+       drives the advantage to ~0. *)
+
+module Table = Common.Table
+module Reconstruction = Pmw_attacks.Reconstruction
+module Tracing = Pmw_attacks.Tracing
+module Rng = Pmw_rng.Rng
+
+let name = "f7-attacks"
+let description = "Section 1.2 / KRS13: reconstruction & tracing attacks vs noise level"
+
+let run () =
+  (* (a) reconstruction vs noise magnitude *)
+  let n = 128 in
+  let k = 4 * n in
+  let eps = 1. in
+  let dp_scale =
+    (* Laplace mechanism answering k queries of sensitivity 1/n under basic
+       composition at total eps *)
+    float_of_int k /. (float_of_int n *. eps)
+  in
+  let noise_of scale seed =
+    let rng = Rng.create ~seed:(seed + 9000) () in
+    fun _ -> Pmw_rng.Dist.laplace ~scale rng
+  in
+  let rows =
+    List.map
+      (fun (label, scale) ->
+        let stats =
+          Common.repeat ~trials:5 (fun ~seed ->
+              Reconstruction.attack_success ~n ~k ~noise:(noise_of scale seed) ~seed)
+        in
+        [ label; Table.fmt_float scale; Common.Stats.show stats ])
+      [
+        ("exact answers", 0.);
+        ("noise 0.2/sqrt n", 0.2 /. sqrt (float_of_int n));
+        ("noise 1/sqrt n", 1. /. sqrt (float_of_int n));
+        ("DP noise (eps=1, k queries)", dp_scale);
+      ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "F7 (a) Dinur-Nissim reconstruction: n=%d rows, k=%d subset queries (chance = 0.5)" n k)
+    ~headers:[ "answer regime"; "noise scale"; "fraction of secret recovered" ]
+    rows;
+
+  (* (b) tracing attack on released means *)
+  let rng = Rng.create ~seed:77 () in
+  let universe = Pmw_data.Universe.hypercube ~d:12 () in
+  let population = Pmw_data.Synth.zipf_histogram ~universe ~s:0.5 rng in
+  let trials = 400 in
+  let n_trace = 30 in
+  let exact =
+    Tracing.attack ~release:Tracing.mean_release ~population ~n:n_trace ~trials rng
+  in
+  let private_release ds = Tracing.noisy_mean_release ~eps:1. ~rng ds in
+  let dp = Tracing.attack ~release:private_release ~population ~n:n_trace ~trials rng in
+  Table.print
+    ~title:
+      (Printf.sprintf "F7 (b) tracing attack on released means: n=%d, d=12, %d trials" n_trace
+         trials)
+    ~headers:[ "release"; "attack advantage"; "mean in-score"; "mean out-score" ]
+    [
+      [
+        "exact means";
+        Table.fmt_float exact.Tracing.advantage;
+        Table.fmt_float exact.Tracing.in_mean_score;
+        Table.fmt_float exact.Tracing.out_mean_score;
+      ];
+      [
+        "eps=1 noisy means";
+        Table.fmt_float dp.Tracing.advantage;
+        Table.fmt_float dp.Tracing.in_mean_score;
+        Table.fmt_float dp.Tracing.out_mean_score;
+      ];
+    ];
+  Printf.printf
+    "expected: exact releases leak (recovery ~1, advantage >> 0); DP noise collapses both —\n\
+     the attacks that force the paper's error bounds to be as large as they are.\n%!"

@@ -1,0 +1,36 @@
+type experiment = { name : string; description : string; run : unit -> unit }
+
+let of_module ~name ~description ~run = { name; description; run }
+
+let all =
+  [
+    of_module ~name:T1_linear.name ~description:T1_linear.description ~run:T1_linear.run;
+    of_module ~name:T1_lipschitz.name ~description:T1_lipschitz.description ~run:T1_lipschitz.run;
+    of_module ~name:T1_uglm.name ~description:T1_uglm.description ~run:T1_uglm.run;
+    of_module ~name:T1_strong.name ~description:T1_strong.description ~run:T1_strong.run;
+    of_module ~name:F1_crossover.name ~description:F1_crossover.description ~run:F1_crossover.run;
+    of_module ~name:F2_updates.name ~description:F2_updates.description ~run:F2_updates.run;
+    of_module ~name:F3_runtime.name ~description:F3_runtime.description ~run:F3_runtime.run;
+    of_module ~name:F4_privacy.name ~description:F4_privacy.description ~run:F4_privacy.run;
+    of_module ~name:F5_regret.name ~description:F5_regret.description ~run:F5_regret.run;
+    of_module ~name:F6_generalization.name ~description:F6_generalization.description
+      ~run:F6_generalization.run;
+    of_module ~name:F7_attacks.name ~description:F7_attacks.description ~run:F7_attacks.run;
+    of_module ~name:A1_solvers.name ~description:A1_solvers.description ~run:A1_solvers.run;
+    of_module ~name:A2_oracles.name ~description:A2_oracles.description ~run:A2_oracles.run;
+    of_module ~name:A3_accounting.name ~description:A3_accounting.description
+      ~run:A3_accounting.run;
+    of_module ~name:A4_eta.name ~description:A4_eta.description ~run:A4_eta.run;
+    of_module ~name:A5_universe.name ~description:A5_universe.description ~run:A5_universe.run;
+    of_module ~name:A6_release.name ~description:A6_release.description ~run:A6_release.run;
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let run_all () =
+  List.iter
+    (fun e ->
+      Printf.printf "\n######## %s — %s ########\n%!" e.name e.description;
+      let (), dt = Common.timed e.run in
+      Printf.printf "[%s finished in %.1fs]\n%!" e.name dt)
+    all

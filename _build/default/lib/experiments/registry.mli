@@ -1,0 +1,19 @@
+(** The experiment registry: every table/figure reproduction, addressable by
+    id. [bench/main.exe] with no arguments runs all of them; with an id it
+    runs one; [bin/pmw_cli.exe] exposes the same registry on the command
+    line. See DESIGN.md's experiment index for the paper mapping. *)
+
+type experiment = {
+  name : string;  (** e.g. ["t1-linear"] *)
+  description : string;
+  run : unit -> unit;  (** prints its tables to stdout *)
+}
+
+val all : experiment list
+(** In presentation order: T1 rows 1-4, the prose claims F1-F6, then the
+    design ablations A1-A5. *)
+
+val find : string -> experiment option
+
+val run_all : unit -> unit
+(** Run every experiment, printing a header and the elapsed time of each. *)

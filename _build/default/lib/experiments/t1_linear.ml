@@ -1,0 +1,96 @@
+(* Experiment T1.linear — Table 1, row 1 (linear queries).
+
+   Paper: a single linear query needs n = O(1/alpha) [DMNS06]; k queries need
+   n = O~(sqrt(log|X|) log k / alpha^2) [HR10]. We measure, for a sweep of n:
+   (a) the error of the Laplace mechanism on one counting query, and (b) the
+   max error of linear PMW over the full marginal/conjunction workload — and
+   check both fall with n at the predicted rates (1/n for Laplace; PMW's
+   error at fixed T behaves like the SV noise ~ 1/n plus the MW bucket). *)
+
+module Common = Common
+module Table = Common.Table
+module Universe = Pmw_data.Universe
+module Dataset = Pmw_data.Dataset
+module Synth = Pmw_data.Synth
+module Linear_pmw = Pmw_core.Linear_pmw
+module Mechanisms = Pmw_dp.Mechanisms
+module Rng = Pmw_rng.Rng
+
+let name = "t1-linear"
+let description = "Table 1 row 1: linear queries — Laplace single query vs linear PMW over k"
+
+let d = 6
+
+let single_query_error ~n ~seed =
+  let rng = Rng.create ~seed () in
+  let universe = Universe.hypercube ~d () in
+  let population = Synth.zipf_histogram ~universe ~s:1. rng in
+  let ds = Dataset.of_histogram ~n population rng in
+  let q = List.hd (Common.Workload.counting_queries ~d) in
+  let truth = Linear_pmw.evaluate q (Dataset.histogram ds) in
+  let noisy =
+    Mechanisms.laplace ~eps:Common.default_privacy.Pmw_dp.Params.eps
+      ~sensitivity:(1. /. float_of_int n) truth rng
+  in
+  Float.abs (noisy -. truth)
+
+let pmw_error ~n ~alpha ~seed =
+  let rng = Rng.create ~seed () in
+  let universe = Universe.hypercube ~d () in
+  let population = Synth.zipf_histogram ~universe ~s:1. rng in
+  let ds = Dataset.of_histogram ~n population rng in
+  let truth = Dataset.histogram ds in
+  let queries = Common.Workload.counting_queries ~d in
+  let k = List.length queries in
+  let mech =
+    Linear_pmw.create ~universe ~dataset:ds ~privacy:Common.default_privacy ~alpha ~beta:0.05 ~k
+      ~t_max:40 ~rng ()
+  in
+  List.fold_left
+    (fun acc q ->
+      match Linear_pmw.answer mech q with
+      | None -> acc
+      | Some a -> Float.max acc (Float.abs (a -. Linear_pmw.evaluate q truth)))
+    0. queries
+
+let run () =
+  let trials = 3 in
+  let k = List.length (Common.Workload.counting_queries ~d) in
+  let rows =
+    List.map
+      (fun n ->
+        let single = Common.repeat ~trials (fun ~seed -> single_query_error ~n ~seed) in
+        let pmw = Common.repeat ~trials (fun ~seed -> pmw_error ~n ~alpha:0.05 ~seed) in
+        [
+          string_of_int n;
+          Common.Stats.show single;
+          Common.Stats.show pmw;
+          Table.fmt_float (1. /. float_of_int n);
+        ])
+      [ 2_000; 10_000; 50_000; 200_000 ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "T1.linear: |X|=%d, k=%d marginal queries, eps=1 (paper: single ~1/alpha, k queries ~ sqrt(log|X|) log k/alpha^2)"
+         (1 lsl d) k)
+    ~headers:[ "n"; "laplace 1-query err"; "linear-PMW max err"; "1/n reference" ]
+    rows;
+  (* theory column: required n by Table 1 at various alpha, for context *)
+  let theory_rows =
+    List.map
+      (fun alpha ->
+        let i =
+          { (Pmw_core.Theory.default ~alpha ~log_universe:(float_of_int d *. log 2.)) with
+            Pmw_core.Theory.k }
+        in
+        [
+          Table.fmt_float alpha;
+          Table.fmt_sci (Pmw_core.Theory.linear_single i);
+          Table.fmt_sci (Pmw_core.Theory.linear_k i);
+        ])
+      [ 0.1; 0.05; 0.01 ]
+  in
+  Table.print ~title:"T1.linear theory: required n (constants = 1)"
+    ~headers:[ "alpha"; "single (1/a)"; "k queries (sqrt(log|X|) log k/a^2)" ]
+    theory_rows

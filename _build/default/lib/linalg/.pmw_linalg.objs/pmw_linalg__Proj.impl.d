@@ -1,0 +1,1 @@
+lib/linalg/proj.ml: Array Float Vec

@@ -1,0 +1,1 @@
+lib/linalg/special.ml: Array Float

@@ -1,0 +1,136 @@
+type t = { rows : int; cols : int; data : float array }
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
+  { rows; cols; data = Array.make (rows * cols) 0. }
+
+let init ~rows ~cols f =
+  let m = create ~rows ~cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let of_rows row_vecs =
+  let rows = Array.length row_vecs in
+  if rows = 0 then invalid_arg "Mat.of_rows: empty";
+  let cols = Array.length row_vecs.(0) in
+  Array.iter
+    (fun r -> if Array.length r <> cols then invalid_arg "Mat.of_rows: ragged rows")
+    row_vecs;
+  init ~rows ~cols (fun i j -> row_vecs.(i).(j))
+
+let rows m = m.rows
+let cols m = m.cols
+
+let check_index m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Mat: index out of range"
+
+let get m i j =
+  check_index m i j;
+  m.data.((i * m.cols) + j)
+
+let set m i j v =
+  check_index m i j;
+  m.data.((i * m.cols) + j) <- v
+
+let row m i =
+  if i < 0 || i >= m.rows then invalid_arg "Mat.row: index out of range";
+  Array.sub m.data (i * m.cols) m.cols
+
+let copy m = { m with data = Array.copy m.data }
+let transpose m = init ~rows:m.cols ~cols:m.rows (fun i j -> get m j i)
+let identity n = init ~rows:n ~cols:n (fun i j -> if i = j then 1. else 0.)
+
+let matvec m x =
+  if Array.length x <> m.cols then invalid_arg "Mat.matvec: dimension mismatch";
+  Array.init m.rows (fun i ->
+      let acc = ref 0. in
+      for j = 0 to m.cols - 1 do
+        acc := !acc +. (m.data.((i * m.cols) + j) *. x.(j))
+      done;
+      !acc)
+
+let matvec_t m x =
+  if Array.length x <> m.rows then invalid_arg "Mat.matvec_t: dimension mismatch";
+  let out = Array.make m.cols 0. in
+  for i = 0 to m.rows - 1 do
+    let xi = x.(i) in
+    for j = 0 to m.cols - 1 do
+      out.(j) <- out.(j) +. (m.data.((i * m.cols) + j) *. xi)
+    done
+  done;
+  out
+
+let matmul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.matmul: dimension mismatch";
+  init ~rows:a.rows ~cols:b.cols (fun i j ->
+      let acc = ref 0. in
+      for k = 0 to a.cols - 1 do
+        acc := !acc +. (get a i k *. get b k j)
+      done;
+      !acc)
+
+let gram a = matmul (transpose a) a
+
+let add_diagonal a c =
+  if a.rows <> a.cols then invalid_arg "Mat.add_diagonal: matrix must be square";
+  init ~rows:a.rows ~cols:a.cols (fun i j -> get a i j +. if i = j then c else 0.)
+
+let solve a b =
+  if a.rows <> a.cols then invalid_arg "Mat.solve: matrix must be square";
+  if Array.length b <> a.rows then invalid_arg "Mat.solve: dimension mismatch";
+  let n = a.rows in
+  let m = copy a in
+  let x = Array.copy b in
+  for col = 0 to n - 1 do
+    (* Partial pivoting. *)
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if Float.abs (get m r col) > Float.abs (get m !pivot col) then pivot := r
+    done;
+    if Float.abs (get m !pivot col) < 1e-12 then failwith "Mat.solve: singular matrix";
+    if !pivot <> col then begin
+      for j = 0 to n - 1 do
+        let tmp = get m col j in
+        set m col j (get m !pivot j);
+        set m !pivot j tmp
+      done;
+      let tmp = x.(col) in
+      x.(col) <- x.(!pivot);
+      x.(!pivot) <- tmp
+    end;
+    let p = get m col col in
+    for r = col + 1 to n - 1 do
+      let factor = get m r col /. p in
+      if factor <> 0. then begin
+        for j = col to n - 1 do
+          set m r j (get m r j -. (factor *. get m col j))
+        done;
+        x.(r) <- x.(r) -. (factor *. x.(col))
+      end
+    done
+  done;
+  (* Back substitution. *)
+  for r = n - 1 downto 0 do
+    let acc = ref x.(r) in
+    for j = r + 1 to n - 1 do
+      acc := !acc -. (get m r j *. x.(j))
+    done;
+    x.(r) <- !acc /. get m r r
+  done;
+  x
+
+let least_squares ?(ridge = 0.) a b =
+  let g = add_diagonal (gram a) ridge in
+  let rhs = matvec_t a b in
+  solve g rhs
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf fmt "%a@," Vec.pp (row m i)
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,47 @@
+(** Small dense matrices, row-major.
+
+    Used by the synthetic-data generators (design matrices, covariance
+    shaping) and the least-squares sanity checks in tests. Not intended as a
+    general-purpose BLAS; everything here is O(rows * cols) or cubic solvers
+    on tiny systems. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Zero matrix. *)
+
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+val of_rows : Vec.t array -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val row : t -> int -> Vec.t
+val copy : t -> t
+val transpose : t -> t
+val identity : int -> t
+
+val matvec : t -> Vec.t -> Vec.t
+(** [matvec a x] is [A x]. *)
+
+val matvec_t : t -> Vec.t -> Vec.t
+(** [matvec_t a x] is [Aᵀ x]. *)
+
+val matmul : t -> t -> t
+
+val gram : t -> t
+(** [gram a] is [Aᵀ A] (cols x cols). *)
+
+val add_diagonal : t -> float -> t
+(** [add_diagonal a c] is [A + c I] for square [A]. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** Solve the square linear system [A x = b] by Gaussian elimination with
+    partial pivoting. @raise Failure on (numerically) singular systems. *)
+
+val least_squares : ?ridge:float -> t -> Vec.t -> Vec.t
+(** Minimize [||A x - b||² + ridge ||x||²] via the normal equations. The
+    default [ridge] is [0.]; pass a small positive value for rank-deficient
+    designs. *)
+
+val pp : Format.formatter -> t -> unit

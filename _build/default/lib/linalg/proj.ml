@@ -1,0 +1,40 @@
+let l2_ball ~radius v =
+  if radius < 0. then invalid_arg "Proj.l2_ball: radius must be non-negative";
+  let n = Vec.norm2 v in
+  if n <= radius then v else Vec.scale (radius /. n) v
+
+let box ~lo ~hi v =
+  if hi < lo then invalid_arg "Proj.box: hi < lo";
+  Vec.map (fun x -> Float.min hi (Float.max lo x)) v
+
+let nonneg v = Vec.map (fun x -> Float.max 0. x) v
+
+let simplex ?(total = 1.) v =
+  if total <= 0. then invalid_arg "Proj.simplex: total must be positive";
+  let n = Array.length v in
+  if n = 0 then invalid_arg "Proj.simplex: empty vector";
+  let sorted = Array.copy v in
+  Array.sort (fun a b -> compare b a) sorted;
+  (* Find rho = max { i : sorted(i) - (cumsum(i) - total) / (i+1) > 0 }. *)
+  let cumsum = ref 0. in
+  let rho = ref (-1) in
+  let theta = ref 0. in
+  for i = 0 to n - 1 do
+    cumsum := !cumsum +. sorted.(i);
+    let candidate = (!cumsum -. total) /. float_of_int (i + 1) in
+    if sorted.(i) -. candidate > 0. then begin
+      rho := i;
+      theta := candidate
+    end
+  done;
+  if !rho < 0 then
+    (* All coordinates extremely negative; fall back to the uniform point. *)
+    Array.make n (total /. float_of_int n)
+  else Vec.map (fun x -> Float.max 0. (x -. !theta)) v
+
+let halfspace ~normal ~offset v =
+  let norm_sq = Vec.norm2_sq normal in
+  if norm_sq = 0. then invalid_arg "Proj.halfspace: zero normal";
+  let excess = Vec.dot normal v -. offset in
+  if excess <= 0. then v
+  else Vec.sub v (Vec.scale (excess /. norm_sq) normal)

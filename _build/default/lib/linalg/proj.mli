@@ -1,0 +1,25 @@
+(** Euclidean projections onto the convex sets used as parameter domains.
+
+    Each function returns the (unique) closest point of the set; inputs
+    already inside are returned unchanged (possibly the same array — callers
+    must not rely on physical identity). *)
+
+val l2_ball : radius:float -> Vec.t -> Vec.t
+(** Projection onto [{ v : ||v||₂ <= radius }].
+    @raise Invalid_argument if [radius < 0.]. *)
+
+val box : lo:float -> hi:float -> Vec.t -> Vec.t
+(** Coordinate-wise clipping onto [\[lo, hi\]ᵈ].
+    @raise Invalid_argument if [hi < lo]. *)
+
+val nonneg : Vec.t -> Vec.t
+(** Projection onto the non-negative orthant. *)
+
+val simplex : ?total:float -> Vec.t -> Vec.t
+(** Projection onto the probability simplex [{ v >= 0, Σ v = total }]
+    (default [total = 1.]) via the sorting algorithm of Held, Wolfe &
+    Crowder. @raise Invalid_argument if [total <= 0.]. *)
+
+val halfspace : normal:Vec.t -> offset:float -> Vec.t -> Vec.t
+(** Projection onto [{ v : <normal, v> <= offset }].
+    @raise Invalid_argument if [normal] is the zero vector. *)

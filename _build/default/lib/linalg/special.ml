@@ -1,0 +1,56 @@
+let log_sum_exp a =
+  let n = Array.length a in
+  if n = 0 then neg_infinity
+  else begin
+    let m = Array.fold_left Float.max neg_infinity a in
+    if m = neg_infinity then neg_infinity
+    else begin
+      let acc = ref 0. in
+      for i = 0 to n - 1 do
+        acc := !acc +. exp (a.(i) -. m)
+      done;
+      m +. log !acc
+    end
+  end
+
+let softmax a =
+  if Array.length a = 0 then invalid_arg "Special.softmax: empty array";
+  let lse = log_sum_exp a in
+  Array.map (fun x -> exp (x -. lse)) a
+
+let logistic z = if z >= 0. then 1. /. (1. +. exp (-.z)) else exp z /. (1. +. exp z)
+
+let log1p_exp z = if z > 0. then z +. log1p (exp (-.z)) else log1p (exp z)
+
+let clamp ~lo ~hi x = Float.min hi (Float.max lo x)
+
+let erf x =
+  (* Abramowitz & Stegun 7.1.26. *)
+  let sign = if x < 0. then -1. else 1. in
+  let x = Float.abs x in
+  let a1 = 0.254829592
+  and a2 = -0.284496736
+  and a3 = 1.421413741
+  and a4 = -1.453152027
+  and a5 = 1.061405429
+  and p = 0.3275911 in
+  let t = 1. /. (1. +. (p *. x)) in
+  let poly = ((((((((a5 *. t) +. a4) *. t) +. a3) *. t) +. a2) *. t) +. a1) *. t in
+  sign *. (1. -. (poly *. exp (-.(x *. x))))
+
+let gaussian_cdf ~mu ~sigma x =
+  if sigma <= 0. then invalid_arg "Special.gaussian_cdf: sigma must be positive";
+  0.5 *. (1. +. erf ((x -. mu) /. (sigma *. sqrt 2.)))
+
+let binary_search_root ?(iters = 200) ~lo ~hi f =
+  if hi < lo then invalid_arg "Special.binary_search_root: hi < lo";
+  let flo = f lo in
+  let rec loop lo hi flo i =
+    if i = 0 then 0.5 *. (lo +. hi)
+    else
+      let mid = 0.5 *. (lo +. hi) in
+      let fmid = f mid in
+      if (flo <= 0. && fmid <= 0.) || (flo >= 0. && fmid >= 0.) then loop mid hi fmid (i - 1)
+      else loop lo mid flo (i - 1)
+  in
+  loop lo hi flo iters

@@ -1,0 +1,28 @@
+(** Scalar numeric helpers shared by the mechanisms and solvers. *)
+
+val log_sum_exp : float array -> float
+(** [log Σᵢ exp(aᵢ)], computed stably by shifting by the maximum. Returns
+    [neg_infinity] on the empty array. *)
+
+val softmax : float array -> float array
+(** Stable softmax: [exp(aᵢ - log_sum_exp a)]. Sums to 1 up to round-off.
+    @raise Invalid_argument on an empty array. *)
+
+val logistic : float -> float
+(** [1 / (1 + e^{-z})], stable for large |z|. *)
+
+val log1p_exp : float -> float
+(** [log(1 + e^z)] (the logistic loss), stable for large |z|. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+
+val erf : float -> float
+(** Error function, Abramowitz–Stegun 7.1.26 rational approximation
+    (|error| <= 1.5e-7) — enough for the Gaussian-mechanism calibration and
+    test assertions. *)
+
+val gaussian_cdf : mu:float -> sigma:float -> float -> float
+
+val binary_search_root : ?iters:int -> lo:float -> hi:float -> (float -> float) -> float
+(** Bisection root of a monotone function [f] with [f lo <= 0 <= f hi] (or the
+    reverse); returns the midpoint after [iters] (default 200) halvings. *)

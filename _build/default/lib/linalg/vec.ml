@@ -1,0 +1,118 @@
+type t = float array
+
+let create n = Array.make n 0.
+let init = Array.init
+let copy = Array.copy
+let dim = Array.length
+let of_list = Array.of_list
+let to_list = Array.to_list
+
+let basis n i =
+  if i < 0 || i >= n then invalid_arg "Vec.basis: index out of range";
+  let v = Array.make n 0. in
+  v.(i) <- 1.;
+  v
+
+let constant n c = Array.make n c
+
+let check_dims name a b =
+  if Array.length a <> Array.length b then invalid_arg (name ^ ": dimension mismatch")
+
+let kahan_sum v =
+  let sum = ref 0. and c = ref 0. in
+  for i = 0 to Array.length v - 1 do
+    let y = v.(i) -. !c in
+    let t = !sum +. y in
+    c := t -. !sum -. y;
+    sum := t
+  done;
+  !sum
+
+let dot a b =
+  check_dims "Vec.dot" a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let add a b =
+  check_dims "Vec.add" a b;
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  check_dims "Vec.sub" a b;
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let scale alpha v = Array.map (fun x -> alpha *. x) v
+
+let axpy ~alpha ~x ~y =
+  check_dims "Vec.axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let add_inplace acc v = axpy ~alpha:1. ~x:v ~y:acc
+
+let scale_inplace alpha v =
+  for i = 0 to Array.length v - 1 do
+    v.(i) <- alpha *. v.(i)
+  done
+
+let map = Array.map
+
+let map2 f a b =
+  check_dims "Vec.map2" a b;
+  Array.mapi (fun i x -> f x b.(i)) a
+
+let norm1 v = Array.fold_left (fun acc x -> acc +. Float.abs x) 0. v
+let norm2_sq v = dot v v
+let norm2 v = sqrt (norm2_sq v)
+let norm_inf v = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. v
+
+let dist2 a b =
+  check_dims "Vec.dist2" a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let dist1 a b =
+  check_dims "Vec.dist1" a b;
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. Float.abs (a.(i) -. b.(i))
+  done;
+  !acc
+
+let normalize2 v =
+  let n = norm2 v in
+  if n = 0. then copy v else scale (1. /. n) v
+
+let lerp a b s =
+  check_dims "Vec.lerp" a b;
+  Array.mapi (fun i x -> ((1. -. s) *. x) +. (s *. b.(i))) a
+
+let mean = function
+  | [] -> invalid_arg "Vec.mean: empty list"
+  | v :: vs ->
+      let acc = copy v in
+      List.iter (fun u -> add_inplace acc u) vs;
+      scale_inplace (1. /. float_of_int (1 + List.length vs)) acc;
+      acc
+
+let approx_equal ?(tol = 1e-9) a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length a - 1 do
+    if Float.abs (a.(i) -. b.(i)) > tol then ok := false
+  done;
+  !ok
+
+let pp fmt v =
+  Format.fprintf fmt "[|";
+  Array.iteri (fun i x -> if i = 0 then Format.fprintf fmt "%g" x else Format.fprintf fmt "; %g" x) v;
+  Format.fprintf fmt "|]"

@@ -1,0 +1,70 @@
+(** Dense vectors over [float array].
+
+    The representation is deliberately transparent ([float array]) so that
+    callers can index directly; these functions add the numerics that need
+    care (compensated summation, overflow-safe norms) and the small algebra
+    vocabulary the solvers use. All binary operations require equal lengths
+    and raise [Invalid_argument] otherwise. *)
+
+type t = float array
+
+val create : int -> t
+(** Zero vector of the given dimension. *)
+
+val init : int -> (int -> float) -> t
+val copy : t -> t
+val dim : t -> int
+
+val of_list : float list -> t
+val to_list : t -> float list
+
+val basis : int -> int -> t
+(** [basis dim i] is the [i]-th standard basis vector. *)
+
+val constant : int -> float -> t
+
+val kahan_sum : t -> float
+(** Compensated (Kahan) summation — used for histogram masses and expected
+    losses over large universes, where naive summation loses precision. *)
+
+val dot : t -> t -> float
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+val axpy : alpha:float -> x:t -> y:t -> unit
+(** [axpy ~alpha ~x ~y] sets [y <- alpha * x + y] in place. *)
+
+val add_inplace : t -> t -> unit
+(** [add_inplace acc v] sets [acc <- acc + v]. *)
+
+val scale_inplace : float -> t -> unit
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val norm1 : t -> float
+val norm2 : t -> float
+val norm2_sq : t -> float
+val norm_inf : t -> float
+
+val dist2 : t -> t -> float
+(** Euclidean distance. *)
+
+val dist1 : t -> t -> float
+(** L1 (total-variation, up to a factor 2) distance. *)
+
+val normalize2 : t -> t
+(** Rescale to unit Euclidean norm; returns the zero vector unchanged. *)
+
+val lerp : t -> t -> float -> t
+(** [lerp a b s] is [(1-s) a + s b]. *)
+
+val mean : t list -> t
+(** Coordinate-wise mean of a non-empty list.
+    @raise Invalid_argument on an empty list. *)
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Coordinate-wise comparison with absolute tolerance (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/mw/mw.ml: Array Float Pmw_data Pmw_linalg

@@ -1,0 +1,1 @@
+lib/mw/mw.mli: Pmw_data

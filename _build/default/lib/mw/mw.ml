@@ -1,0 +1,59 @@
+module Special = Pmw_linalg.Special
+module Histogram = Pmw_data.Histogram
+module Universe = Pmw_data.Universe
+
+type t = {
+  universe : Universe.t;
+  eta : float;
+  log_w : float array;
+  mutable update_count : int;
+}
+
+let create ~universe ~eta =
+  if eta <= 0. then invalid_arg "Mw.create: eta must be positive";
+  { universe; eta; log_w = Array.make (Universe.size universe) 0.; update_count = 0 }
+
+let of_histogram hist ~eta =
+  if eta <= 0. then invalid_arg "Mw.of_histogram: eta must be positive";
+  let universe = Histogram.universe hist in
+  let log_w =
+    Array.init (Universe.size universe) (fun i ->
+        let p = Histogram.get hist i in
+        if p > 0. then log p else -1e300)
+  in
+  { universe; eta; log_w; update_count = 0 }
+
+let eta t = t.eta
+let universe t = t.universe
+let updates t = t.update_count
+
+let renormalize t =
+  (* Keep log-weights centered to avoid drifting toward -inf/overflow. *)
+  let lse = Special.log_sum_exp t.log_w in
+  if Float.abs lse > 500. then
+    for i = 0 to Array.length t.log_w - 1 do
+      t.log_w.(i) <- t.log_w.(i) -. lse
+    done
+
+let distribution t =
+  let w = Special.softmax t.log_w in
+  Histogram.of_weights t.universe w
+
+let update t ~loss =
+  for i = 0 to Array.length t.log_w - 1 do
+    t.log_w.(i) <- t.log_w.(i) -. (t.eta *. loss i)
+  done;
+  t.update_count <- t.update_count + 1;
+  renormalize t
+
+let update_gain t ~gain = update t ~loss:(fun i -> -.gain i)
+
+let kl_to t target = Histogram.kl_div target (distribution t)
+
+let theory_eta ~universe ~t_max =
+  if t_max <= 0 then invalid_arg "Mw.theory_eta: t_max must be positive";
+  sqrt (Universe.log_size universe /. float_of_int t_max)
+
+let regret_bound ~universe ~t_max ~scale =
+  if t_max <= 0 then invalid_arg "Mw.regret_bound: t_max must be positive";
+  2. *. scale *. sqrt (Universe.log_size universe /. float_of_int t_max)

@@ -1,0 +1,54 @@
+(** The multiplicative-weights update over the [|X|]-dimensional simplex.
+
+    The state is a distribution [D̂ₜ] over universe elements, stored as
+    unnormalized log-weights for numerical stability (weights over large
+    universes underflow quickly under repeated exponential updates; log-space
+    with log-sum-exp normalization does not).
+
+    Sign convention: {!update} treats its argument as a {e loss} vector and
+    multiplies weights by [exp(−η·loss(x))], decreasing the mass of elements
+    with high loss. The paper's Figure 3 writes [D̂ₜ₊₁(x) ∝ exp(η·uₜ(x))·D̂ₜ(x)]
+    for the update vector [uₜ(x) = ⟨θᵗ − θ̂ᵗ, ∇ℓₓ(θ̂ᵗ)⟩]; since its analysis
+    establishes [⟨uₜ, D̂ₜ − D⟩ >= α/4 > 0] (Claim 3.6), the KL-potential
+    argument behind Lemma 3.4 requires mass to move {e away} from high-[uₜ]
+    elements, i.e. the update [exp(−η·uₜ)]. We implement that sign (and
+    document the discrepancy); with it, the measured potential drop per
+    update matches Lemma 3.4 (experiment F5).
+
+    The regret bound (Lemma 3.4): for any losses [u₁..u_T] with
+    [‖uₜ‖_∞ <= s] and [η = √(log|X|/T)/s],
+    [(1/T) Σₜ ⟨uₜ, D̂ₜ − D⟩ <= 2·s·√(log|X|/T)] for every distribution [D]. *)
+
+type t
+
+val create : universe:Pmw_data.Universe.t -> eta:float -> t
+(** Uniform initial distribution [D̂₁]. @raise Invalid_argument if
+    [eta <= 0]. *)
+
+val of_histogram : Pmw_data.Histogram.t -> eta:float -> t
+(** Start from a given (e.g. publicly known) prior. *)
+
+val eta : t -> float
+val universe : t -> Pmw_data.Universe.t
+
+val updates : t -> int
+(** Number of updates performed so far (the paper's [t]). *)
+
+val distribution : t -> Pmw_data.Histogram.t
+(** The current hypothesis [D̂ₜ] (normalized). *)
+
+val update : t -> loss:(int -> float) -> unit
+(** One MW step: [log w(x) ← log w(x) − η·loss(x)], then renormalize lazily.
+    [loss] is evaluated once per universe element. *)
+
+val update_gain : t -> gain:(int -> float) -> unit
+(** The opposite sign ([+η·gain]), provided for completeness/tests. *)
+
+val kl_to : t -> Pmw_data.Histogram.t -> float
+(** [KL(target ‖ D̂ₜ)] — the potential function of the convergence analysis. *)
+
+val theory_eta : universe:Pmw_data.Universe.t -> t_max:int -> float
+(** The paper's learning rate [η = √(log|X| / T)] (Figure 3). *)
+
+val regret_bound : universe:Pmw_data.Universe.t -> t_max:int -> scale:float -> float
+(** Lemma 3.4's right-hand side [2·S·√(log|X| / T)]. *)

@@ -1,0 +1,76 @@
+(** Umbrella module: one [open Pmw]-able namespace re-exporting the whole
+    library. The sub-libraries remain directly usable (and are what the
+    internal code depends on); this module is the convenient front door for
+    applications:
+
+    {[
+      let mechanism =
+        Pmw.Online_pmw.create
+          ~config:(Pmw.Config.practical ~universe ... ())
+          ~dataset ~oracle:(Pmw.Oracles.noisy_gd ()) ~rng ()
+    ]} *)
+
+(* randomness *)
+module Rng = Pmw_rng.Rng
+module Dist = Pmw_rng.Dist
+
+(* numerics *)
+module Vec = Pmw_linalg.Vec
+module Mat = Pmw_linalg.Mat
+module Proj = Pmw_linalg.Proj
+module Special = Pmw_linalg.Special
+
+(* data layer *)
+module Point = Pmw_data.Point
+module Universe = Pmw_data.Universe
+module Histogram = Pmw_data.Histogram
+module Dataset = Pmw_data.Dataset
+module Synth = Pmw_data.Synth
+module Continuous = Pmw_data.Continuous
+module Io = Pmw_data.Io
+
+(* differential privacy *)
+module Params = Pmw_dp.Params
+module Mechanisms = Pmw_dp.Mechanisms
+module Analytic_gaussian = Pmw_dp.Analytic_gaussian
+module Sparse_vector = Pmw_dp.Sparse_vector
+module Numeric_sparse = Pmw_dp.Numeric_sparse
+module Accountant = Pmw_dp.Accountant
+module Rdp = Pmw_dp.Rdp
+module Audit = Pmw_dp.Audit
+
+(* convex optimization *)
+module Domain = Pmw_convex.Domain
+module Loss = Pmw_convex.Loss
+module Losses = Pmw_convex.Losses
+module Objective = Pmw_convex.Objective
+module Solve = Pmw_convex.Solve
+
+(* multiplicative weights *)
+module Mw = Pmw_mw.Mw
+
+(* single-query oracles *)
+module Oracle = Pmw_erm.Oracle
+module Oracles = Pmw_erm.Oracles
+
+(* the paper's mechanisms *)
+module Cm_query = Pmw_core.Cm_query
+module Config = Pmw_core.Config
+module Online_pmw = Pmw_core.Online_pmw
+module Offline_pmw = Pmw_core.Offline_pmw
+module Linear_pmw = Pmw_core.Linear_pmw
+module Mwem = Pmw_core.Mwem
+module Smalldb = Pmw_core.Smalldb
+module Histogram_release = Pmw_core.Histogram_release
+module Composition = Pmw_core.Composition
+module Synthetic_release = Pmw_core.Synthetic_release
+module Analyst = Pmw_core.Analyst
+module Workloads = Pmw_core.Workloads
+module Predicate = Pmw_core.Predicate
+module Theory = Pmw_core.Theory
+module Transfer = Pmw_core.Transfer
+module Budget = Pmw_core.Budget
+
+(* attacks *)
+module Reconstruction = Pmw_attacks.Reconstruction
+module Tracing = Pmw_attacks.Tracing

@@ -1,0 +1,1 @@
+lib/rng/rng.ml: Int64 Splitmix64

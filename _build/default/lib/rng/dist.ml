@@ -1,0 +1,123 @@
+let bernoulli ~p rng =
+  if p < 0. || p > 1. then invalid_arg "Dist.bernoulli: p must lie in [0, 1]";
+  Rng.float rng < p
+
+let rademacher rng = if Rng.bool rng then 1. else -1.
+
+let gaussian ?(mu = 0.) ?(sigma = 1.) rng =
+  if sigma < 0. then invalid_arg "Dist.gaussian: sigma must be non-negative";
+  (* Marsaglia polar method; we discard the second variate for simplicity —
+     the generators here are cheap and no sampler is on a hot path. *)
+  let rec loop () =
+    let u = Rng.uniform rng ~lo:(-1.) ~hi:1. in
+    let v = Rng.uniform rng ~lo:(-1.) ~hi:1. in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1. || s = 0. then loop () else u *. sqrt (-2. *. log s /. s)
+  in
+  mu +. (sigma *. loop ())
+
+let gaussian_vector ~dim ~sigma rng = Array.init dim (fun _ -> gaussian ~sigma rng)
+
+let laplace ~scale rng =
+  if scale < 0. then invalid_arg "Dist.laplace: scale must be non-negative";
+  let u = Rng.float_pos rng in
+  let sign = rademacher rng in
+  (* Inverse-CDF on each half: |Z| ~ Exp(1/scale). *)
+  -.scale *. log u *. sign
+
+let exponential ~rate rng =
+  if rate <= 0. then invalid_arg "Dist.exponential: rate must be positive";
+  -.log (Rng.float_pos rng) /. rate
+
+let gumbel ?(scale = 1.) rng =
+  if scale < 0. then invalid_arg "Dist.gumbel: scale must be non-negative";
+  scale *. -.log (-.log (Rng.float_pos rng))
+
+let geometric ~p rng =
+  if p <= 0. || p > 1. then invalid_arg "Dist.geometric: p must lie in (0, 1]";
+  if p = 1. then 0
+  else
+    let u = Rng.float_pos rng in
+    int_of_float (floor (log u /. log (1. -. p)))
+
+let binomial ~n ~p rng =
+  if n < 0 then invalid_arg "Dist.binomial: n must be non-negative";
+  let count = ref 0 in
+  for _ = 1 to n do
+    if bernoulli ~p rng then incr count
+  done;
+  !count
+
+let check_weights name weights =
+  let total = ref 0. in
+  Array.iter
+    (fun w ->
+      if w < 0. || Float.is_nan w then invalid_arg (name ^ ": weights must be non-negative");
+      total := !total +. w)
+    weights;
+  if !total <= 0. then invalid_arg (name ^ ": weights must have a positive sum");
+  !total
+
+let categorical ~weights rng =
+  let total = check_weights "Dist.categorical" weights in
+  let target = Rng.float rng *. total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.
+
+let shuffle arr rng =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_indices_without_replacement ~n ~k rng =
+  if k < 0 || n < 0 || k > n then
+    invalid_arg "Dist.sample_indices_without_replacement: need 0 <= k <= n";
+  (* Partial Fisher–Yates: only the first k slots are settled. *)
+  let idx = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + Rng.int rng (n - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.sub idx 0 k
+
+module Alias = struct
+  type t = { prob : float array; alias : int array }
+
+  let create weights =
+    let total = check_weights "Dist.Alias.create" weights in
+    let n = Array.length weights in
+    let scaled = Array.map (fun w -> w *. float_of_int n /. total) weights in
+    let prob = Array.make n 1. in
+    let alias = Array.init n (fun i -> i) in
+    let small = Queue.create () in
+    let large = Queue.create () in
+    Array.iteri (fun i s -> if s < 1. then Queue.add i small else Queue.add i large) scaled;
+    while (not (Queue.is_empty small)) && not (Queue.is_empty large) do
+      let s = Queue.pop small in
+      let l = Queue.pop large in
+      prob.(s) <- scaled.(s);
+      alias.(s) <- l;
+      scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
+      if scaled.(l) < 1. then Queue.add l small else Queue.add l large
+    done;
+    (* Whatever remains has probability 1 up to float round-off. *)
+    Queue.iter (fun i -> prob.(i) <- 1.) small;
+    Queue.iter (fun i -> prob.(i) <- 1.) large;
+    { prob; alias }
+
+  let draw t rng =
+    let n = Array.length t.prob in
+    let i = Rng.int rng n in
+    if Rng.float rng < t.prob.(i) then i else t.alias.(i)
+end

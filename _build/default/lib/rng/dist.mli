@@ -1,0 +1,63 @@
+(** Samplers for the distributions used by the privacy mechanisms, solvers and
+    synthetic-data generators.
+
+    Every sampler takes the generator last so that partially-applied samplers
+    read naturally, e.g. [let noise = Dist.laplace ~scale:b in ... noise rng]. *)
+
+val bernoulli : p:float -> Rng.t -> bool
+(** [bernoulli ~p rng] is [true] with probability [p].
+    @raise Invalid_argument unless [0 <= p <= 1]. *)
+
+val rademacher : Rng.t -> float
+(** Uniform over [{ -1.; +1. }]. *)
+
+val gaussian : ?mu:float -> ?sigma:float -> Rng.t -> float
+(** Normal sample via the Marsaglia polar method. Defaults: [mu = 0.],
+    [sigma = 1.]. @raise Invalid_argument if [sigma < 0.]. *)
+
+val gaussian_vector : dim:int -> sigma:float -> Rng.t -> float array
+(** [dim] iid centered Gaussian coordinates with standard deviation [sigma]. *)
+
+val laplace : scale:float -> Rng.t -> float
+(** Centered Laplace sample with scale [b]: density [exp(-|z|/b) / 2b].
+    This is the noise distribution of the Laplace mechanism.
+    @raise Invalid_argument if [scale < 0.]. *)
+
+val exponential : rate:float -> Rng.t -> float
+(** Exponential sample with the given [rate] (mean [1/rate]).
+    @raise Invalid_argument if [rate <= 0.]. *)
+
+val gumbel : ?scale:float -> Rng.t -> float
+(** Standard Gumbel sample [-log(-log U)], scaled. Adding iid Gumbel noise to
+    scaled scores and taking the argmax implements the exponential mechanism
+    exactly (the "Gumbel-max trick"). *)
+
+val geometric : p:float -> Rng.t -> int
+(** Number of failures before the first success of a [p]-coin; support
+    [{0, 1, 2, ...}]. @raise Invalid_argument unless [0 < p <= 1]. *)
+
+val binomial : n:int -> p:float -> Rng.t -> int
+(** Binomial sample by summation ([n] is small everywhere we use this). *)
+
+val categorical : weights:float array -> Rng.t -> int
+(** Index [i] with probability proportional to [weights.(i)]. Weights must be
+    non-negative with a positive sum. Linear scan; for repeated sampling from
+    the same weights use {!module:Alias}. *)
+
+val shuffle : 'a array -> Rng.t -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_indices_without_replacement : n:int -> k:int -> Rng.t -> int array
+(** [k] distinct indices drawn uniformly from [\[0, n)], in random order.
+    @raise Invalid_argument if [k > n] or either is negative. *)
+
+(** Walker's alias method: O(n) preprocessing, O(1) per categorical sample.
+    Used to sample synthetic datasets from histogram distributions. *)
+module Alias : sig
+  type t
+
+  val create : float array -> t
+  (** @raise Invalid_argument on negative weights or a non-positive sum. *)
+
+  val draw : t -> Rng.t -> int
+end

@@ -1,0 +1,26 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_in t ~bound =
+  if bound <= 0 then invalid_arg "Splitmix64.next_in: bound must be positive";
+  (* Rejection sampling on the top bits to avoid modulo bias. *)
+  let bound64 = Int64.of_int bound in
+  let rec loop () =
+    let bits = Int64.shift_right_logical (next t) 1 in
+    let v = Int64.rem bits bound64 in
+    (* Reject when [bits - v + (bound - 1)] overflows the 63-bit range. *)
+    if Int64.compare (Int64.sub bits v) (Int64.sub Int64.max_int (Int64.sub bound64 1L)) > 0
+    then loop ()
+    else Int64.to_int v
+  in
+  loop ()

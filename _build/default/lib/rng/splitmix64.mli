@@ -1,0 +1,21 @@
+(** SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+
+    A tiny, fast 64-bit generator with a 64-bit state. Its main role in this
+    library is seeding: it expands a single user seed into the 256-bit state
+    required by {!Xoshiro256}, and it provides cheap independent streams for
+    tests. Not cryptographically secure (none of the DP mechanisms in this
+    repository claim computational security of their noise source). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] builds a generator from a 64-bit seed. Distinct seeds give
+    well-decorrelated streams. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns 64 fresh pseudo-random bits. *)
+
+val next_in : t -> bound:int -> int
+(** [next_in t ~bound] returns a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)

@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Array Pmw_attacks Pmw_data Pmw_rng Printf

@@ -1,0 +1,1 @@
+test/test_convex.ml: Alcotest Array Float List Option Pmw_convex Pmw_data Pmw_linalg Pmw_rng Printf QCheck QCheck_alcotest

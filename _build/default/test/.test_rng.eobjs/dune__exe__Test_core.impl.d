@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bool Float List Pmw_convex Pmw_core Pmw_data Pmw_dp Pmw_erm Pmw_linalg Pmw_rng Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Array Filename Float Fun Gen Hashtbl List Pmw_data Pmw_linalg Pmw_rng Printf QCheck QCheck_alcotest Sys

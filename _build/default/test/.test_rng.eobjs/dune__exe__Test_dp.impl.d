@@ -1,0 +1,1 @@
+test/test_dp.ml: Alcotest Array Float List Pmw_dp Pmw_rng Printf QCheck QCheck_alcotest

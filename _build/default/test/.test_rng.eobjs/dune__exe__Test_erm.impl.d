@@ -1,0 +1,1 @@
+test/test_erm.ml: Alcotest List Pmw_convex Pmw_data Pmw_dp Pmw_erm Pmw_linalg Pmw_rng Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float Option Pmw Pmw_convex Pmw_core Pmw_data Pmw_dp Pmw_erm Pmw_linalg Pmw_rng Printf

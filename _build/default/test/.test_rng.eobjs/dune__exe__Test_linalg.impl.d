@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Float Gen List Pmw_linalg QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mw.ml: Alcotest Array Float Gen List Pmw_data Pmw_linalg Pmw_mw Printf QCheck QCheck_alcotest

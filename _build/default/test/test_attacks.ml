@@ -1,0 +1,102 @@
+(* Tests for Pmw_attacks: the Dinur-Nissim reconstruction attack and the
+   tracing (membership-inference) attack. These double as end-to-end checks
+   that the DP noise levels used elsewhere in the library actually defeat
+   the attacks that motivate them. *)
+
+module Reconstruction = Pmw_attacks.Reconstruction
+module Tracing = Pmw_attacks.Tracing
+module Rng = Pmw_rng.Rng
+
+let test_reconstruction_exact_answers () =
+  (* noiseless answers, k = 4n: near-perfect recovery *)
+  let rate = Reconstruction.attack_success ~n:64 ~k:256 ~noise:(fun _ -> 0.) ~seed:1 in
+  Alcotest.(check bool) (Printf.sprintf "recovery %.3f ~ 1" rate) true (rate >= 0.99)
+
+let test_reconstruction_heavy_noise_defeats () =
+  (* noise far above 1/sqrt n: near-chance recovery *)
+  let rng = Rng.create ~seed:2 () in
+  let noise _ = Pmw_rng.Dist.laplace ~scale:2. rng in
+  let rate = Reconstruction.attack_success ~n:64 ~k:256 ~noise ~seed:2 in
+  Alcotest.(check bool) (Printf.sprintf "recovery %.3f near chance" rate) true (rate <= 0.75)
+
+let test_reconstruction_monotone_in_noise () =
+  let rate_at scale =
+    let acc = ref 0. in
+    for seed = 1 to 5 do
+      let rng = Rng.create ~seed:(seed * 7) () in
+      let noise _ = Pmw_rng.Dist.laplace ~scale rng in
+      acc := !acc +. Reconstruction.attack_success ~n:64 ~k:256 ~noise ~seed
+    done;
+    !acc /. 5.
+  in
+  let clean = rate_at 0.001 in
+  let noisy = rate_at 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "more noise, less recovery: %.3f vs %.3f" clean noisy)
+    true (noisy < clean)
+
+let test_reconstruction_validation () =
+  Alcotest.check_raises "secret length"
+    (Invalid_argument "Reconstruction.random_subset_queries: secret length mismatch") (fun () ->
+      ignore
+        (Reconstruction.random_subset_queries ~n:4 ~k:2 ~secret:[| true |] ~noise:(fun _ -> 0.)
+           (Rng.create ~seed:3 ())))
+
+let test_recovery_rate_symmetry () =
+  let secret = [| true; false; true; false |] in
+  Alcotest.(check (float 1e-12)) "perfect" 1. (Reconstruction.recovery_rate ~secret ~guess:secret);
+  let flipped = Array.map not secret in
+  (* all-flipped guesses are equally informative *)
+  Alcotest.(check (float 1e-12)) "symmetric" 1.
+    (Reconstruction.recovery_rate ~secret ~guess:flipped)
+
+let test_tracing_exact_leaks () =
+  let rng = Rng.create ~seed:4 () in
+  let universe = Pmw_data.Universe.hypercube ~d:10 () in
+  let population = Pmw_data.Synth.zipf_histogram ~universe ~s:0.5 rng in
+  let r = Tracing.attack ~release:Tracing.mean_release ~population ~n:20 ~trials:300 rng in
+  Alcotest.(check bool)
+    (Printf.sprintf "advantage %.3f > 0.1" r.Tracing.advantage)
+    true (r.Tracing.advantage > 0.1);
+  Alcotest.(check bool) "members score higher" true
+    (r.Tracing.in_mean_score > r.Tracing.out_mean_score)
+
+let test_tracing_dp_release_resists () =
+  let rng = Rng.create ~seed:5 () in
+  let universe = Pmw_data.Universe.hypercube ~d:10 () in
+  let population = Pmw_data.Synth.zipf_histogram ~universe ~s:0.5 rng in
+  let exact = Tracing.attack ~release:Tracing.mean_release ~population ~n:20 ~trials:300 rng in
+  let dp_release ds = Tracing.noisy_mean_release ~eps:0.5 ~rng ds in
+  let dp = Tracing.attack ~release:dp_release ~population ~n:20 ~trials:300 rng in
+  Alcotest.(check bool)
+    (Printf.sprintf "DP advantage %.3f well below exact %.3f" dp.Tracing.advantage
+       exact.Tracing.advantage)
+    true
+    (dp.Tracing.advantage < exact.Tracing.advantage /. 2. +. 0.05)
+
+let test_tracing_validation () =
+  let rng = Rng.create ~seed:6 () in
+  let universe = Pmw_data.Universe.hypercube ~d:3 () in
+  let population = Pmw_data.Histogram.uniform universe in
+  Alcotest.check_raises "n positive" (Invalid_argument "Tracing.attack: n and trials must be positive")
+    (fun () ->
+      ignore (Tracing.attack ~release:Tracing.mean_release ~population ~n:0 ~trials:10 rng))
+
+let () =
+  Alcotest.run "pmw_attacks"
+    [
+      ( "reconstruction",
+        [
+          Alcotest.test_case "exact answers reconstruct" `Quick test_reconstruction_exact_answers;
+          Alcotest.test_case "heavy noise defeats" `Quick test_reconstruction_heavy_noise_defeats;
+          Alcotest.test_case "monotone in noise" `Quick test_reconstruction_monotone_in_noise;
+          Alcotest.test_case "validation" `Quick test_reconstruction_validation;
+          Alcotest.test_case "recovery symmetry" `Quick test_recovery_rate_symmetry;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "exact release leaks" `Quick test_tracing_exact_leaks;
+          Alcotest.test_case "dp release resists" `Quick test_tracing_dp_release_resists;
+          Alcotest.test_case "validation" `Quick test_tracing_validation;
+        ] );
+    ]

@@ -1,0 +1,446 @@
+(* Tests for Pmw_convex: domains & projections, the loss library (gradients
+   validated against finite differences, Lipschitz and strong-convexity
+   claims checked empirically), objectives, and every solver. *)
+
+module Vec = Pmw_linalg.Vec
+module Point = Pmw_data.Point
+module Universe = Pmw_data.Universe
+module Histogram = Pmw_data.Histogram
+module Dataset = Pmw_data.Dataset
+module Domain = Pmw_convex.Domain
+module Loss = Pmw_convex.Loss
+module Losses = Pmw_convex.Losses
+module Objective = Pmw_convex.Objective
+module Solve = Pmw_convex.Solve
+module Rng = Pmw_rng.Rng
+
+let checkf tol = Alcotest.(check (float tol))
+let rng = Rng.create ~seed:61 ()
+
+(* --- Domain --- *)
+
+let test_domain_basics () =
+  let ball = Domain.unit_ball ~dim:3 in
+  checkf 1e-12 "ball diameter" 2. (Domain.diameter ball);
+  Alcotest.(check bool) "contains center" true (Domain.contains ball (Domain.center ball));
+  let box = Domain.box ~dim:2 ~lo:(-1.) ~hi:3. in
+  checkf 1e-12 "box diameter" (4. *. sqrt 2.) (Domain.diameter box);
+  Alcotest.(check (array (float 1e-12))) "box center" [| 1.; 1. |] (Domain.center box);
+  let sx = Domain.simplex ~dim:4 in
+  Alcotest.(check bool) "simplex center feasible" true (Domain.contains sx (Domain.center sx))
+
+let test_domain_projection_feasible () =
+  List.iter
+    (fun domain ->
+      for _ = 1 to 50 do
+        let raw = Pmw_rng.Dist.gaussian_vector ~dim:(Domain.dim domain) ~sigma:5. rng in
+        let p = Domain.project domain raw in
+        Alcotest.(check bool) "projected point feasible" true (Domain.contains ~tol:1e-6 domain p)
+      done)
+    [ Domain.unit_ball ~dim:3; Domain.box ~dim:3 ~lo:(-0.5) ~hi:0.5; Domain.simplex ~dim:3 ]
+
+let test_domain_random_point_feasible () =
+  List.iter
+    (fun domain ->
+      for _ = 1 to 50 do
+        let p = Domain.random_point domain rng in
+        Alcotest.(check bool) "random point feasible" true (Domain.contains ~tol:1e-6 domain p)
+      done)
+    [ Domain.unit_ball ~dim:4; Domain.box ~dim:2 ~lo:0. ~hi:1.; Domain.simplex ~dim:5 ]
+
+let test_domain_validation () =
+  Alcotest.check_raises "dim" (Invalid_argument "Domain.make: dim must be positive") (fun () ->
+      ignore (Domain.l2_ball ~dim:0 ~radius:1.));
+  Alcotest.check_raises "radius" (Invalid_argument "Domain.make: negative radius") (fun () ->
+      ignore (Domain.l2_ball ~dim:1 ~radius:(-1.)))
+
+(* --- losses: gradient checks against finite differences --- *)
+
+let random_labeled_point ~dim rng =
+  let x = Pmw_data.Synth.random_unit_vector ~dim rng in
+  let label = if Rng.bool rng then 1. else -1. in
+  Point.make ~label x
+
+let random_regression_point ~dim rng =
+  let x = Pmw_data.Synth.random_unit_vector ~dim rng in
+  Point.make ~label:(Rng.uniform rng ~lo:(-1.) ~hi:1.) x
+
+let gradient_check ~name ~smooth_only (loss : Loss.t) point_gen =
+  let dim = 3 in
+  for _ = 1 to 30 do
+    let theta = Vec.scale 0.7 (Pmw_data.Synth.random_unit_vector ~dim rng) in
+    let x = point_gen ~dim rng in
+    let analytic = loss.Loss.grad theta x in
+    let numeric = Loss.numeric_grad loss theta x in
+    (* at kinks of non-smooth losses finite differences disagree; skip those *)
+    let at_kink = smooth_only && Vec.dist2 analytic numeric > 1e-3 in
+    if not at_kink then
+      Alcotest.(check bool)
+        (name ^ " gradient matches finite differences")
+        true
+        (Vec.dist2 analytic numeric < 1e-4)
+  done
+
+let test_gradients_smooth () =
+  gradient_check ~name:"squared" ~smooth_only:false (Losses.squared ()) random_regression_point;
+  gradient_check ~name:"logistic" ~smooth_only:false (Losses.logistic ()) random_labeled_point;
+  gradient_check ~name:"squared_margin" ~smooth_only:false (Losses.squared_margin ())
+    random_labeled_point;
+  gradient_check ~name:"huber" ~smooth_only:false (Losses.huber ~delta:0.5 ())
+    random_regression_point
+
+let test_gradients_nonsmooth () =
+  gradient_check ~name:"hinge" ~smooth_only:true (Losses.hinge ()) random_labeled_point;
+  gradient_check ~name:"absolute" ~smooth_only:true (Losses.absolute ()) random_regression_point;
+  gradient_check ~name:"quantile" ~smooth_only:true (Losses.quantile ~tau:0.3 ())
+    random_regression_point
+
+let test_lipschitz_bounds_hold () =
+  (* For random theta in the unit ball and universe-style points, the gradient
+     norm must respect the declared constant. *)
+  let losses =
+    [
+      Losses.squared ();
+      Losses.logistic ();
+      Losses.hinge ();
+      Losses.huber ~delta:0.5 ();
+      Losses.absolute ();
+      Losses.quantile ~tau:0.8 ();
+      Losses.squared_margin ();
+    ]
+  in
+  List.iter
+    (fun (loss : Loss.t) ->
+      for _ = 1 to 100 do
+        let theta = Vec.scale (Rng.float rng) (Pmw_data.Synth.random_unit_vector ~dim:4 rng) in
+        let x = random_regression_point ~dim:4 rng in
+        let g = Vec.norm2 (loss.Loss.grad theta x) in
+        Alcotest.(check bool)
+          (loss.Loss.name ^ " gradient bounded by declared Lipschitz constant")
+          true
+          (g <= loss.Loss.lipschitz +. 1e-9)
+      done)
+    losses
+
+let test_convexity_along_segments () =
+  (* l((a+b)/2) <= (l(a)+l(b))/2 for every loss in the library. *)
+  let losses =
+    [
+      Losses.squared ();
+      Losses.logistic ();
+      Losses.hinge ();
+      Losses.huber ();
+      Losses.absolute ();
+      Losses.quantile ~tau:0.25 ();
+      Losses.squared_margin ();
+    ]
+  in
+  List.iter
+    (fun (loss : Loss.t) ->
+      for _ = 1 to 50 do
+        let a = Pmw_data.Synth.random_unit_vector ~dim:3 rng in
+        let b = Pmw_data.Synth.random_unit_vector ~dim:3 rng in
+        let x = random_regression_point ~dim:3 rng in
+        let mid = Vec.scale 0.5 (Vec.add a b) in
+        Alcotest.(check bool)
+          (loss.Loss.name ^ " midpoint convexity")
+          true
+          (loss.Loss.value mid x
+          <= (0.5 *. (loss.Loss.value a x +. loss.Loss.value b x)) +. 1e-9)
+      done)
+    losses
+
+let test_new_losses_gradients () =
+  gradient_check ~name:"smoothed_hinge" ~smooth_only:false (Losses.smoothed_hinge ())
+    random_labeled_point;
+  gradient_check ~name:"epsilon_insensitive" ~smooth_only:true
+    (Losses.epsilon_insensitive ~epsilon:0.2 ())
+    random_regression_point;
+  (* poisson uses non-negative count labels *)
+  let count_point ~dim rng =
+    let x = Pmw_data.Synth.random_unit_vector ~dim rng in
+    Point.make ~label:(float_of_int (Rng.int rng 5)) x
+  in
+  gradient_check ~name:"poisson" ~smooth_only:true (Losses.poisson ()) count_point
+
+let test_smoothed_hinge_approximates_hinge () =
+  let smooth = Losses.smoothed_hinge ~gamma:0.01 () in
+  let hinge = Losses.hinge () in
+  for _ = 1 to 50 do
+    let theta = Pmw_data.Synth.random_unit_vector ~dim:3 rng in
+    let x = random_labeled_point ~dim:3 rng in
+    Alcotest.(check bool) "within gamma" true
+      (Float.abs (smooth.Loss.value theta x -. hinge.Loss.value theta x) <= 0.011)
+  done
+
+let test_epsilon_insensitive_dead_zone () =
+  let loss = Losses.epsilon_insensitive ~epsilon:0.5 () in
+  let x = Point.make ~label:0.3 [| 1.; 0. |] in
+  (* residual 0.1 - 0.3 = -0.2, within the eps=0.5 tube: zero loss and grad *)
+  checkf 1e-12 "zero in tube" 0. (loss.Loss.value [| 0.1; 0. |] x);
+  Alcotest.(check (array (float 1e-12))) "zero grad in tube" [| 0.; 0. |]
+    (loss.Loss.grad [| 0.1; 0. |] x)
+
+let test_poisson_convex_and_clamped () =
+  let loss = Losses.poisson ~max_rate:4. () in
+  let x = Point.make ~label:2. [| 1.; 0. |] in
+  (* convexity along the first axis including across the clamp point *)
+  for _ = 1 to 50 do
+    let a = [| Rng.uniform rng ~lo:(-3.) ~hi:3.; 0. |] in
+    let b = [| Rng.uniform rng ~lo:(-3.) ~hi:3.; 0. |] in
+    let mid = Vec.scale 0.5 (Vec.add a b) in
+    Alcotest.(check bool) "midpoint convexity across clamp" true
+      (loss.Loss.value mid x <= (0.5 *. (loss.Loss.value a x +. loss.Loss.value b x)) +. 1e-9)
+  done;
+  (* gradient magnitude bounded despite exp link *)
+  let g = loss.Loss.grad [| 10.; 0. |] x in
+  Alcotest.(check bool) "clamped gradient" true (Vec.norm2 g <= loss.Loss.lipschitz +. 1e-9)
+
+let test_strong_convexity_of_prox_quadratic () =
+  let sigma = 2.5 in
+  let loss = Losses.prox_quadratic ~sigma ~target:(fun x -> x.Point.features) ~dim:2 () in
+  checkf 1e-12 "declared sigma" sigma loss.Loss.strong_convexity;
+  (* l(b) >= l(a) + <grad a, b-a> + sigma/2 ||b-a||^2 *)
+  for _ = 1 to 50 do
+    let a = Pmw_data.Synth.random_unit_vector ~dim:2 rng in
+    let b = Pmw_data.Synth.random_unit_vector ~dim:2 rng in
+    let x = Point.make (Pmw_data.Synth.random_unit_vector ~dim:2 rng) in
+    let lhs = loss.Loss.value b x in
+    let d = Vec.sub b a in
+    let rhs =
+      loss.Loss.value a x +. Vec.dot (loss.Loss.grad a x) d
+      +. (0.5 *. sigma *. Vec.norm2_sq d)
+    in
+    Alcotest.(check bool) "strong convexity inequality" true (lhs >= rhs -. 1e-9)
+  done
+
+let test_ridge_adds_strong_convexity () =
+  let base = Losses.logistic () in
+  let ridged = Losses.ridge ~lambda:0.3 ~radius:1. base in
+  checkf 1e-12 "sigma" 0.3 ridged.Loss.strong_convexity;
+  Alcotest.(check bool) "lipschitz grew" true (ridged.Loss.lipschitz > base.Loss.lipschitz)
+
+let test_mean_estimation_minimizer () =
+  (* The exact minimizer of the mean-estimation CM loss is the query answer. *)
+  let u = Universe.hypercube ~d:3 () in
+  let q (x : Point.t) = if x.Point.features.(0) > 0. then 1. else 0. in
+  let loss = Losses.mean_estimation ~q ~name:"x0>0" in
+  let h = Histogram.of_weights u [| 4.; 1.; 1.; 1.; 1.; 0.; 0.; 0. |] in
+  let truth = Histogram.expect h (fun _ x -> q x) in
+  let domain = Domain.interval ~lo:0. ~hi:1. in
+  let res = Solve.minimize_loss_on_histogram loss domain h in
+  checkf 1e-6 "minimizer = <q, D>" truth res.Solve.theta.(0)
+
+let test_feature_mask () =
+  let loss = Losses.feature_mask [| true; false |] (Losses.squared ~normalize:false ()) in
+  let x = Point.make ~label:0. [| 1.; 1. |] in
+  let theta = [| 0.; 1. |] in
+  (* masked x = (1, 0) so <theta, x> = 0 and loss = (0-0)^2 = 0 *)
+  checkf 1e-12 "mask removes coordinate" 0. (loss.Loss.value theta x);
+  Alcotest.check_raises "mask dim" (Invalid_argument "Losses.feature_mask: mask dimension mismatch")
+    (fun () -> ignore (loss.Loss.value theta (Point.make [| 1. |])))
+
+let test_glm_structure () =
+  let logistic = Losses.logistic () in
+  Alcotest.(check bool) "logistic is a GLM" true (Option.is_some logistic.Loss.glm);
+  let squared = Losses.squared () in
+  Alcotest.(check bool) "squared is not (our encoding)" true (Option.is_none squared.Loss.glm);
+  (* GLM value/grad consistency: value = link(<theta, phi>) *)
+  match logistic.Loss.glm with
+  | None -> Alcotest.fail "unreachable"
+  | Some g ->
+      let x = random_labeled_point ~dim:3 rng in
+      let theta = Pmw_data.Synth.random_unit_vector ~dim:3 rng in
+      checkf 1e-9 "glm decomposition"
+        (g.Loss.link (Vec.dot theta (g.Loss.feature x)))
+        (logistic.Loss.value theta x)
+
+let test_scale_parameter () =
+  let loss = Losses.logistic () in
+  let domain = Domain.unit_ball ~dim:3 in
+  checkf 1e-12 "S = diam * L" 2. (Loss.scale_parameter loss domain)
+
+(* --- objectives --- *)
+
+let test_objective_histogram_vs_dataset () =
+  let u = Universe.regression_grid ~d:2 ~levels:3 ~label_levels:3 () in
+  let ds = Dataset.create u [| 0; 5; 5; 17; 26 |] in
+  let loss = Losses.squared () in
+  let o_ds = Objective.of_dataset loss ds ~dim:2 in
+  let o_h = Objective.of_histogram loss (Dataset.histogram ds) ~dim:2 in
+  let theta = [| 0.3; -0.2 |] in
+  checkf 1e-12 "values agree" (o_h.Objective.f theta) (o_ds.Objective.f theta);
+  Alcotest.(check (array (float 1e-12)))
+    "gradients agree"
+    (o_h.Objective.grad theta)
+    (o_ds.Objective.grad theta)
+
+let test_objective_add_ridge () =
+  let u = Universe.hypercube ~d:2 () in
+  let o = Objective.of_histogram (Losses.logistic ()) (Histogram.uniform u) ~dim:2 in
+  let r = Objective.add_ridge o ~lambda:2. in
+  let theta = [| 1.; 0. |] in
+  checkf 1e-12 "value gains lambda/2 |theta|^2" (o.Objective.f theta +. 1.) (r.Objective.f theta)
+
+(* --- solvers --- *)
+
+(* A known quadratic: f(t) = ||t - c||^2 with optimum c (interior or not). *)
+let quadratic c =
+  Objective.of_fn ~dim:(Array.length c)
+    ~f:(fun t ->
+      let d = Vec.sub t c in
+      Vec.norm2_sq d)
+    ~grad:(fun t -> Vec.scale 2. (Vec.sub t c))
+
+let test_solvers_interior_optimum () =
+  let c = [| 0.3; -0.2 |] in
+  let domain = Domain.unit_ball ~dim:2 in
+  let obj = quadratic c in
+  List.iter
+    (fun (name, report) ->
+      Alcotest.(check bool) (name ^ " reaches interior optimum") true
+        (Vec.dist2 report.Solve.theta c < 0.02))
+    [
+      ("subgradient", Solve.projected_subgradient ~iters:2000 ~lipschitz:4. domain obj);
+      ("strongly-convex", Solve.strongly_convex_subgradient ~iters:2000 ~sigma:2. domain obj);
+      ("armijo", Solve.gradient_descent_armijo ~iters:200 domain obj);
+      ("frank-wolfe", Solve.frank_wolfe ~iters:2000 ~radius:1. obj);
+      ("minimize", Solve.minimize ~iters:500 ~lipschitz:4. ~strong_convexity:2. domain obj);
+    ]
+
+let test_accelerated_gradient () =
+  let c = [| 0.3; -0.2 |] in
+  let domain = Domain.unit_ball ~dim:2 in
+  let obj = quadratic c in
+  let acc = Solve.accelerated_gradient ~iters:100 ~smoothness:2. domain obj in
+  Alcotest.(check bool) "reaches optimum" true (Vec.dist2 acc.Solve.theta c < 1e-4);
+  (* acceleration wins at equal (small) budgets on an ill-conditioned
+     quadratic: f(t) = (t1 - 1)^2 + 25 (t2 - 1)^2 over a large box *)
+  let ill =
+    Pmw_convex.Objective.of_fn ~dim:2
+      ~f:(fun t -> ((t.(0) -. 1.) ** 2.) +. (25. *. ((t.(1) -. 1.) ** 2.)))
+      ~grad:(fun t -> [| 2. *. (t.(0) -. 1.); 50. *. (t.(1) -. 1.) |])
+  in
+  let big_box = Domain.box ~dim:2 ~lo:(-10.) ~hi:10. in
+  let iters = 60 in
+  let plain = Solve.projected_subgradient ~iters ~lipschitz:60. big_box ill in
+  let fast = Solve.accelerated_gradient ~iters ~smoothness:50. big_box ill in
+  Alcotest.(check bool)
+    (Printf.sprintf "accelerated %.2e <= subgradient %.2e" fast.Solve.value plain.Solve.value)
+    true
+    (fast.Solve.value <= plain.Solve.value +. 1e-12)
+
+let test_solvers_boundary_optimum () =
+  (* optimum outside the ball: projection of c onto the sphere. *)
+  let c = [| 3.; 4. |] in
+  let expected = [| 0.6; 0.8 |] in
+  let domain = Domain.unit_ball ~dim:2 in
+  let obj = quadratic c in
+  let r = Solve.minimize ~iters:800 ~lipschitz:12. ~strong_convexity:2. domain obj in
+  Alcotest.(check bool) "lands on the boundary projection" true
+    (Vec.dist2 r.Solve.theta expected < 0.02)
+
+let test_minimize_1d_box_exact () =
+  let obj = quadratic [| 0.7 |] in
+  let domain = Domain.interval ~lo:0. ~hi:1. in
+  let r = Solve.minimize domain obj in
+  checkf 1e-6 "ternary search" 0.7 r.Solve.theta.(0);
+  (* clipped optimum *)
+  let obj2 = quadratic [| 2. |] in
+  let r2 = Solve.minimize domain obj2 in
+  checkf 1e-6 "clipped at 1" 1. r2.Solve.theta.(0)
+
+let test_minimize_nonsmooth () =
+  (* |t - 0.4| on [-1, 1]^1 via the ball in 2d with an absolute-style loss:
+     use the LAD loss over a point mass. *)
+  let u = Universe.regression_grid ~d:2 ~levels:3 ~label_levels:3 () in
+  (* point mass at some element; the minimizer should achieve value ~ min. *)
+  let h = Histogram.point_mass u 4 in
+  let loss = Losses.absolute () in
+  let r = Solve.minimize_loss_on_histogram ~iters:600 loss (Domain.unit_ball ~dim:2) h in
+  (* at the point mass, perfect fit is achievable iff |label| <= ||x||; here we
+     only require the solver to be close to the best over a fine candidate
+     sweep. *)
+  let best = ref infinity in
+  for _ = 1 to 2000 do
+    let cand = Domain.random_point (Domain.unit_ball ~dim:2) rng in
+    let v = Histogram.expect h (fun _ x -> loss.Loss.value cand x) in
+    if v < !best then best := v
+  done;
+  Alcotest.(check bool) "no worse than random sweep + tol" true (r.Solve.value <= !best +. 0.02)
+
+let test_ternary_search () =
+  let m = Solve.ternary_search ~lo:(-10.) ~hi:10. (fun x -> ((x -. 3.) *. (x -. 3.)) +. 1.) in
+  checkf 1e-6 "unimodal minimum" 3. m
+
+let test_solver_validation () =
+  let obj = quadratic [| 0. |] in
+  Alcotest.check_raises "iters" (Invalid_argument "Solve.projected_subgradient: iters must be positive")
+    (fun () ->
+      ignore (Solve.projected_subgradient ~iters:0 ~lipschitz:1. (Domain.unit_ball ~dim:1) obj))
+
+(* --- qcheck --- *)
+
+let qcheck_solution_feasible =
+  QCheck.Test.make ~name:"minimize returns feasible point" ~count:50
+    QCheck.(pair (float_range (-3.) 3.) (float_range (-3.) 3.))
+    (fun (a, b) ->
+      let domain = Domain.unit_ball ~dim:2 in
+      let r = Solve.minimize ~iters:100 ~lipschitz:10. domain (quadratic [| a; b |]) in
+      Domain.contains ~tol:1e-6 domain r.Solve.theta)
+
+let qcheck_minimize_beats_center =
+  QCheck.Test.make ~name:"minimize no worse than the center" ~count:50
+    QCheck.(pair (float_range (-2.) 2.) (float_range (-2.) 2.))
+    (fun (a, b) ->
+      let domain = Domain.unit_ball ~dim:2 in
+      let obj = quadratic [| a; b |] in
+      let r = Solve.minimize ~iters:100 ~lipschitz:10. domain obj in
+      r.Solve.value <= obj.Objective.f (Domain.center domain) +. 1e-9)
+
+let () =
+  Alcotest.run "pmw_convex"
+    [
+      ( "domain",
+        [
+          Alcotest.test_case "basics" `Quick test_domain_basics;
+          Alcotest.test_case "projection feasible" `Quick test_domain_projection_feasible;
+          Alcotest.test_case "random point feasible" `Quick test_domain_random_point_feasible;
+          Alcotest.test_case "validation" `Quick test_domain_validation;
+        ] );
+      ( "losses",
+        [
+          Alcotest.test_case "gradients (smooth)" `Quick test_gradients_smooth;
+          Alcotest.test_case "gradients (nonsmooth)" `Quick test_gradients_nonsmooth;
+          Alcotest.test_case "lipschitz bounds" `Quick test_lipschitz_bounds_hold;
+          Alcotest.test_case "convexity" `Quick test_convexity_along_segments;
+          Alcotest.test_case "new losses gradients" `Quick test_new_losses_gradients;
+          Alcotest.test_case "smoothed hinge ~ hinge" `Quick test_smoothed_hinge_approximates_hinge;
+          Alcotest.test_case "eps-insensitive tube" `Quick test_epsilon_insensitive_dead_zone;
+          Alcotest.test_case "poisson clamped convex" `Quick test_poisson_convex_and_clamped;
+          Alcotest.test_case "strong convexity" `Quick test_strong_convexity_of_prox_quadratic;
+          Alcotest.test_case "ridge" `Quick test_ridge_adds_strong_convexity;
+          Alcotest.test_case "mean estimation" `Quick test_mean_estimation_minimizer;
+          Alcotest.test_case "feature mask" `Quick test_feature_mask;
+          Alcotest.test_case "glm structure" `Quick test_glm_structure;
+          Alcotest.test_case "scale parameter" `Quick test_scale_parameter;
+        ] );
+      ( "objective",
+        [
+          Alcotest.test_case "histogram = dataset" `Quick test_objective_histogram_vs_dataset;
+          Alcotest.test_case "add ridge" `Quick test_objective_add_ridge;
+        ] );
+      ( "solve",
+        [
+          Alcotest.test_case "interior optimum" `Quick test_solvers_interior_optimum;
+          Alcotest.test_case "accelerated gradient" `Quick test_accelerated_gradient;
+          Alcotest.test_case "boundary optimum" `Quick test_solvers_boundary_optimum;
+          Alcotest.test_case "1d box exact" `Quick test_minimize_1d_box_exact;
+          Alcotest.test_case "nonsmooth" `Quick test_minimize_nonsmooth;
+          Alcotest.test_case "ternary search" `Quick test_ternary_search;
+          Alcotest.test_case "validation" `Quick test_solver_validation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_solution_feasible; qcheck_minimize_beats_center ] );
+    ]

@@ -1,0 +1,559 @@
+(* Tests for Pmw_dp: the composition algebra (Theorem 3.10), noise
+   calibrations of the basic mechanisms, distributional correctness of the
+   exponential mechanism, the sparse-vector algorithm's Theorem 3.1
+   guarantees, and the privacy accountants. *)
+
+module Params = Pmw_dp.Params
+module Mechanisms = Pmw_dp.Mechanisms
+module Sv = Pmw_dp.Sparse_vector
+module Accountant = Pmw_dp.Accountant
+module Rng = Pmw_rng.Rng
+
+let checkf tol = Alcotest.(check (float tol))
+
+(* --- Params / composition --- *)
+
+let test_params_validation () =
+  Alcotest.check_raises "negative eps" (Invalid_argument "Params.create: eps must be non-negative")
+    (fun () -> ignore (Params.create ~eps:(-1.) ~delta:0.));
+  Alcotest.check_raises "delta > 1" (Invalid_argument "Params.create: delta must lie in [0, 1]")
+    (fun () -> ignore (Params.create ~eps:1. ~delta:2.))
+
+let test_basic_composition () =
+  let total =
+    Params.compose_basic
+      [ Params.create ~eps:0.5 ~delta:1e-7; Params.create ~eps:0.25 ~delta:1e-7 ]
+  in
+  checkf 1e-12 "eps adds" 0.75 total.Params.eps;
+  checkf 1e-16 "delta adds" 2e-7 total.Params.delta
+
+let test_advanced_composition_formula () =
+  (* Theorem 3.10 verbatim: eps' = sqrt(2 T ln(1/d')) eps + 2 T eps^2. *)
+  let t = 100 and eps0 = 0.01 and delta0 = 1e-9 and slack = 1e-6 in
+  let out = Params.compose_advanced ~count:t ~slack (Params.create ~eps:eps0 ~delta:delta0) in
+  let expected =
+    (sqrt (2. *. 100. *. log 1e6) *. eps0) +. (2. *. 100. *. eps0 *. eps0)
+  in
+  checkf 1e-12 "eps formula" expected out.Params.eps;
+  checkf 1e-16 "delta = slack + T delta0" (slack +. (100. *. delta0)) out.Params.delta
+
+let test_advanced_beats_basic_for_many_calls () =
+  let eps0 = 0.01 and t = 10_000 in
+  let adv = Params.compose_advanced ~count:t ~slack:1e-6 (Params.pure eps0) in
+  let basic = Params.compose_basic (List.init t (fun _ -> Params.pure eps0)) in
+  Alcotest.(check bool) "advanced tighter" true (adv.Params.eps < basic.Params.eps)
+
+let test_split_advanced_round_trip () =
+  (* The paper's split must compose back within budget. *)
+  let budget = Params.create ~eps:1. ~delta:1e-6 in
+  List.iter
+    (fun count ->
+      let per_call = Params.split_advanced ~count budget in
+      Alcotest.(check bool)
+        (Printf.sprintf "T=%d round trip" count)
+        true
+        (Params.check_advanced_split ~count ~budget ~per_call))
+    [ 1; 5; 50; 500 ]
+
+let test_split_basic () =
+  let p = Params.split_basic ~count:4 (Params.create ~eps:2. ~delta:4e-6) in
+  checkf 1e-12 "eps" 0.5 p.Params.eps;
+  checkf 1e-16 "delta" 1e-6 p.Params.delta
+
+(* --- mechanisms --- *)
+
+let test_laplace_noise_scale () =
+  let rng = Rng.create ~seed:41 () in
+  let n = 100_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    let noisy = Mechanisms.laplace ~eps:0.5 ~sensitivity:2. 10. rng in
+    let noise = noisy -. 10. in
+    acc := !acc +. (noise *. noise)
+  done;
+  (* Var = 2 (sens/eps)^2 = 32 *)
+  let var = !acc /. float_of_int n in
+  Alcotest.(check bool) "variance 2(s/e)^2" true (Float.abs (var -. 32.) < 2.)
+
+let test_gaussian_sigma_formula () =
+  let sigma = Mechanisms.gaussian_sigma ~eps:1. ~delta:1e-5 ~sensitivity:2. in
+  checkf 1e-9 "classical calibration" (2. *. sqrt (2. *. log (1.25 /. 1e-5))) sigma
+
+let test_gaussian_vector_dims () =
+  let rng = Rng.create ~seed:42 () in
+  let v = Mechanisms.gaussian_vector ~eps:1. ~delta:1e-5 ~l2_sensitivity:0.1 [| 1.; 2.; 3. |] rng in
+  Alcotest.(check int) "dim preserved" 3 (Array.length v)
+
+let test_exponential_mechanism_distribution () =
+  (* Two candidates with score gap g: Pr(best) / Pr(other) = exp(eps g / 2 s). *)
+  let rng = Rng.create ~seed:43 () in
+  let eps = 2. and scores = [| 1.; 0. |] in
+  let n = 200_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Mechanisms.exponential ~eps ~sensitivity:1. ~scores rng = 0 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  let expected = exp (eps /. 2.) /. (exp (eps /. 2.) +. 1.) in
+  Alcotest.(check bool) "matches closed form" true (Float.abs (p -. expected) < 0.005)
+
+let test_exponential_zero_sensitivity_uniform () =
+  (* sensitivity 0 means scores cannot matter; we define it as uniform. *)
+  let rng = Rng.create ~seed:44 () in
+  let hits = ref 0 in
+  for _ = 1 to 50_000 do
+    if Mechanisms.exponential ~eps:1. ~sensitivity:0. ~scores:[| 100.; 0. |] rng = 0 then incr hits
+  done;
+  let p = float_of_int !hits /. 50_000. in
+  Alcotest.(check bool) "uniform" true (Float.abs (p -. 0.5) < 0.01)
+
+let test_report_noisy_max_prefers_max () =
+  let rng = Rng.create ~seed:45 () in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Mechanisms.report_noisy_max ~eps:5. ~sensitivity:0.1 ~scores:[| 0.; 3.; 1. |] rng = 1 then
+      incr hits
+  done;
+  Alcotest.(check bool) "picks the max almost always" true (!hits > 9_900)
+
+let test_randomized_response_bias () =
+  let rng = Rng.create ~seed:46 () in
+  let truths = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Mechanisms.randomized_response ~eps:1. true rng then incr truths
+  done;
+  let p = float_of_int !truths /. float_of_int n in
+  let expected = exp 1. /. (1. +. exp 1.) in
+  Alcotest.(check bool) "truth rate e^eps/(1+e^eps)" true (Float.abs (p -. expected) < 0.01)
+
+(* --- sparse vector --- *)
+
+let make_sv ?(t_max = 5) ?(k = 1000) ?(threshold = 1.) ?(eps = 5.) ?(sensitivity = 0.001) seed =
+  Sv.create ~t_max ~k ~threshold
+    ~privacy:(Params.create ~eps ~delta:1e-6)
+    ~sensitivity ~rng:(Rng.create ~seed ())
+
+let test_sv_accuracy_on_clear_gaps () =
+  (* With tiny sensitivity (large n), answers must respect the gap. *)
+  let sv = make_sv 47 in
+  for _ = 1 to 3 do
+    (match Sv.query sv 2.0 with
+    | Some Sv.Top -> ()
+    | Some Sv.Bottom -> Alcotest.fail "value >= threshold answered Bottom"
+    | None -> Alcotest.fail "halted early");
+    match Sv.query sv 0.0 with
+    | Some Sv.Bottom -> ()
+    | Some Sv.Top -> Alcotest.fail "value <= threshold/2 answered Top"
+    | None -> Alcotest.fail "halted early"
+  done
+
+let test_sv_halts_after_t_tops () =
+  let sv = make_sv ~t_max:3 48 in
+  let tops = ref 0 in
+  (try
+     for _ = 1 to 100 do
+       match Sv.query sv 10. with
+       | Some Sv.Top -> incr tops
+       | Some Sv.Bottom -> ()
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  Alcotest.(check int) "exactly t_max tops" 3 !tops;
+  Alcotest.(check bool) "halted" true (Sv.halted sv);
+  Alcotest.(check bool) "rejects further queries" true (Sv.query sv 0. = None)
+
+let test_sv_stream_length_bound () =
+  let sv = make_sv ~k:4 49 in
+  for _ = 1 to 4 do
+    ignore (Sv.query sv 0.)
+  done;
+  Alcotest.(check bool) "halted after k queries" true (Sv.halted sv);
+  Alcotest.(check int) "asked = k" 4 (Sv.queries_asked sv)
+
+let test_sv_per_epoch_eps () =
+  let sv = make_sv ~t_max:10 ~eps:1. 50 in
+  let expected = (Params.split_advanced ~count:10 (Params.create ~eps:1. ~delta:1e-6)).Params.eps in
+  checkf 1e-12 "epoch budget from advanced split" expected (Sv.per_epoch_eps sv)
+
+let test_sv_theorem_3_1_bound_shape () =
+  let n t = Sv.theorem_3_1_n ~t_max:t ~k:100 ~threshold:0.1
+              ~privacy:(Params.create ~eps:1. ~delta:1e-6) ~beta:0.05 ~sensitivity_scale:1. in
+  (* grows like sqrt(T) *)
+  let r = n 400 /. n 100 in
+  Alcotest.(check bool) "sqrt scaling in T" true (Float.abs (r -. 2.) < 0.01)
+
+let test_sv_validation () =
+  Alcotest.check_raises "t_max" (Invalid_argument "Sparse_vector.create: t_max must be positive")
+    (fun () -> ignore (make_sv ~t_max:0 51))
+
+(* --- analytic gaussian (Balle-Wang) --- *)
+
+module Ag = Pmw_dp.Analytic_gaussian
+
+let test_analytic_sigma_achieves_delta () =
+  List.iter
+    (fun (eps, delta) ->
+      let s = Ag.sigma ~eps ~delta ~sensitivity:1. in
+      let achieved = Ag.delta_of_sigma ~eps ~sensitivity:1. ~sigma:s in
+      Alcotest.(check bool)
+        (Printf.sprintf "delta met at eps=%g" eps)
+        true
+        (Float.abs (achieved -. delta) < 1e-4 *. delta +. 1e-12);
+      (* any smaller sigma must violate delta *)
+      let worse = Ag.delta_of_sigma ~eps ~sensitivity:1. ~sigma:(s *. 0.9) in
+      Alcotest.(check bool) "minimal" true (worse > delta))
+    [ (0.1, 1e-6); (1., 1e-6); (3., 1e-8) ]
+
+let test_analytic_beats_classical () =
+  List.iter
+    (fun eps ->
+      let classical = Mechanisms.gaussian_sigma ~eps ~delta:1e-6 ~sensitivity:1. in
+      let analytic = Ag.sigma ~eps ~delta:1e-6 ~sensitivity:1. in
+      Alcotest.(check bool)
+        (Printf.sprintf "analytic smaller at eps=%g" eps)
+        true (analytic < classical))
+    [ 0.1; 0.5; 1. ]
+
+let test_analytic_monotone () =
+  let s1 = Ag.sigma ~eps:0.5 ~delta:1e-6 ~sensitivity:1. in
+  let s2 = Ag.sigma ~eps:1. ~delta:1e-6 ~sensitivity:1. in
+  Alcotest.(check bool) "sigma falls as eps grows" true (s2 < s1);
+  let s3 = Ag.sigma ~eps:0.5 ~delta:1e-4 ~sensitivity:1. in
+  Alcotest.(check bool) "sigma falls as delta grows" true (s3 < s1);
+  checkf 1e-12 "zero sensitivity" 0. (Ag.sigma ~eps:1. ~delta:1e-6 ~sensitivity:0.)
+
+let test_analytic_scales_with_sensitivity () =
+  let s1 = Ag.sigma ~eps:1. ~delta:1e-6 ~sensitivity:1. in
+  let s2 = Ag.sigma ~eps:1. ~delta:1e-6 ~sensitivity:2. in
+  checkf 1e-6 "sigma linear in sensitivity" (2. *. s1) s2
+
+(* --- RDP accountant --- *)
+
+module Rdp = Pmw_dp.Rdp
+
+let test_rdp_gaussian_known_value () =
+  (* one Gaussian event at sigma=1, sensitivity=1: eps(alpha) = alpha/2;
+     conversion eps = min_a a/2 + log(1/delta)/(a-1). *)
+  let acc = Rdp.create () in
+  Rdp.spend_gaussian acc ~sigma:1. ~sensitivity:1.;
+  let expected =
+    Array.fold_left
+      (fun best a -> Float.min best ((a /. 2.) +. (log 1e6 /. (a -. 1.))))
+      infinity (Rdp.orders acc)
+  in
+  checkf 1e-9 "closed form over the grid" expected (Rdp.epsilon acc ~delta:1e-6)
+
+let test_rdp_composes_additively () =
+  let one = Rdp.create () in
+  Rdp.spend_gaussian one ~sigma:10. ~sensitivity:1.;
+  let ten = Rdp.create () in
+  for _ = 1 to 100 do
+    Rdp.spend_gaussian ten ~sigma:10. ~sensitivity:1.
+  done;
+  (* 100 events at sigma=10 = 1 event at sigma=1 in rho; conversion equal *)
+  let single_equiv = Rdp.create () in
+  Rdp.spend_gaussian single_equiv ~sigma:1. ~sensitivity:1.;
+  checkf 1e-9 "rho adds exactly"
+    (Rdp.epsilon single_equiv ~delta:1e-6)
+    (Rdp.epsilon ten ~delta:1e-6);
+  Alcotest.(check int) "events counted" 100 (Rdp.count ten)
+
+let test_rdp_tighter_than_advanced () =
+  (* 1000 Gaussian events at sigma = 20: RDP must beat Theorem 3.10. *)
+  let sigma = 20. in
+  let rdp = Rdp.create () in
+  for _ = 1 to 1000 do
+    Rdp.spend_gaussian rdp ~sigma ~sensitivity:1.
+  done;
+  let per_event_eps = Mechanisms.gaussian_sigma ~eps:1. ~delta:1e-9 ~sensitivity:1. /. sigma in
+  let adv = Params.compose_advanced ~count:1000 ~slack:5e-7 (Params.create ~eps:per_event_eps ~delta:0.) in
+  Alcotest.(check bool) "rdp < advanced" true (Rdp.epsilon rdp ~delta:1e-6 < adv.Params.eps)
+
+let test_rdp_validation () =
+  Alcotest.check_raises "orders > 1" (Invalid_argument "Rdp.create: orders must exceed 1")
+    (fun () -> ignore (Rdp.create ~orders:[| 1. |] ()));
+  let acc = Rdp.create () in
+  Alcotest.check_raises "delta range" (Invalid_argument "Rdp.epsilon: delta must lie in (0, 1)")
+    (fun () -> ignore (Rdp.epsilon acc ~delta:0.))
+
+(* --- permute and flip --- *)
+
+let test_permute_and_flip_prefers_max () =
+  let rng = Rng.create ~seed:54 () in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Mechanisms.permute_and_flip ~eps:10. ~sensitivity:0.1 ~scores:[| 0.; 5.; 1. |] rng = 1
+    then incr hits
+  done;
+  Alcotest.(check bool) "picks max almost surely" true (!hits > 9_990)
+
+let test_permute_and_flip_uniform_at_tiny_eps () =
+  let rng = Rng.create ~seed:55 () in
+  let counts = Array.make 3 0 in
+  let n = 30_000 in
+  for _ = 1 to n do
+    let i = Mechanisms.permute_and_flip ~eps:1e-9 ~sensitivity:1. ~scores:[| 0.; 0.5; 1. |] rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "near uniform" true
+        (Float.abs ((float_of_int c /. float_of_int n) -. (1. /. 3.)) < 0.02))
+    counts
+
+let test_permute_and_flip_dominates_exponential () =
+  (* McKenna-Sheldon: P&F's expected score stochastically dominates the
+     exponential mechanism's at equal (eps, sensitivity). Check empirically. *)
+  let scores = [| 0.; 0.2; 0.4; 0.6; 0.8; 1. |] in
+  let mean_score mech =
+    let rng = Rng.create ~seed:56 () in
+    let acc = ref 0. in
+    let n = 50_000 in
+    for _ = 1 to n do
+      acc := !acc +. scores.(mech ~eps:1. ~sensitivity:0.5 ~scores rng)
+    done;
+    !acc /. float_of_int n
+  in
+  let pf = mean_score Mechanisms.permute_and_flip in
+  let em = mean_score Mechanisms.exponential in
+  Alcotest.(check bool)
+    (Printf.sprintf "P&F %.4f >= EM %.4f" pf em)
+    true
+    (pf >= em -. 0.005)
+
+(* --- accountant --- *)
+
+let test_accountant_basic_total () =
+  let a = Accountant.create () in
+  Accountant.spend a (Params.create ~eps:0.1 ~delta:1e-8);
+  Accountant.spend a (Params.create ~eps:0.2 ~delta:1e-8);
+  let total = Accountant.total_basic a in
+  checkf 1e-12 "eps" 0.3 total.Params.eps;
+  checkf 1e-18 "delta" 2e-8 total.Params.delta;
+  Alcotest.(check int) "count" 2 (Accountant.count a)
+
+let test_accountant_advanced_total () =
+  let a = Accountant.create () in
+  for _ = 1 to 1000 do
+    Accountant.spend a (Params.pure 0.01)
+  done;
+  let adv = Accountant.total_advanced a ~slack:1e-6 in
+  let basic = Accountant.total_basic a in
+  Alcotest.(check bool) "advanced < basic for many events" true
+    (adv.Params.eps < basic.Params.eps)
+
+let test_accountant_zcdp () =
+  let a = Accountant.create () in
+  for _ = 1 to 1000 do
+    Accountant.spend a (Params.pure 0.01)
+  done;
+  (* rho = 1000 * 0.0001 / 2 = 0.05 *)
+  checkf 1e-12 "rho" 0.05 (Accountant.rho a);
+  let eps_zcdp = Accountant.total_zcdp a ~delta:1e-6 in
+  let adv = (Accountant.total_advanced a ~slack:1e-6).Params.eps in
+  Alcotest.(check bool) "zCDP tighter than advanced composition" true (eps_zcdp < adv)
+
+let test_accountant_gaussian_rho () =
+  let a = Accountant.create () in
+  Accountant.spend_gaussian a ~sigma:2. ~sensitivity:1.;
+  checkf 1e-12 "rho = s^2/(2 sigma^2)" 0.125 (Accountant.rho a)
+
+(* --- numeric sparse --- *)
+
+module Ns = Pmw_dp.Numeric_sparse
+
+let test_numeric_sparse_answers () =
+  let ns =
+    Ns.create ~t_max:5 ~k:100 ~threshold:1.
+      ~privacy:(Params.create ~eps:5. ~delta:1e-6)
+      ~sensitivity:0.0005 ~rng:(Rng.create ~seed:57 ()) ()
+  in
+  (* clear gaps: below and above must classify correctly, and above answers
+     must carry a value near the truth *)
+  (match Ns.query ns 0.0 with
+  | Some Ns.Below -> ()
+  | Some (Ns.Above _) -> Alcotest.fail "low value answered Above"
+  | None -> Alcotest.fail "halted early");
+  (match Ns.query ns 2.0 with
+  | Some (Ns.Above v) ->
+      Alcotest.(check bool) (Printf.sprintf "released value %.3f near 2.0" v) true
+        (Float.abs (v -. 2.0) < 0.2)
+  | Some Ns.Below -> Alcotest.fail "high value answered Below"
+  | None -> Alcotest.fail "halted early");
+  Alcotest.(check int) "one top used" 1 (Ns.tops_used ns)
+
+let test_numeric_sparse_halts () =
+  let ns =
+    Ns.create ~t_max:2 ~k:100 ~threshold:1.
+      ~privacy:(Params.create ~eps:5. ~delta:1e-6)
+      ~sensitivity:0.0005 ~rng:(Rng.create ~seed:58 ()) ()
+  in
+  ignore (Ns.query ns 5.);
+  ignore (Ns.query ns 5.);
+  Alcotest.(check bool) "halted after t_max aboves" true (Ns.halted ns);
+  Alcotest.(check bool) "None afterwards" true (Ns.query ns 5. = None)
+
+let test_numeric_sparse_validation () =
+  Alcotest.check_raises "value fraction"
+    (Invalid_argument "Numeric_sparse.create: value_fraction must lie in (0, 1)") (fun () ->
+      ignore
+        (Ns.create ~t_max:1 ~k:1 ~threshold:1.
+           ~privacy:(Params.create ~eps:1. ~delta:1e-6)
+           ~sensitivity:0.1 ~value_fraction:1.5
+           ~rng:(Rng.create ~seed:59 ())
+           ()))
+
+(* --- audit --- *)
+
+module Audit = Pmw_dp.Audit
+
+let test_audit_sound_mechanism () =
+  (* a correct Laplace mechanism must audit below its eps *)
+  let eps_hat = Audit.laplace_counter_example () in
+  Alcotest.(check bool) (Printf.sprintf "eps_hat %.3f <= 0.5 + slack" eps_hat) true
+    (eps_hat <= 0.5 +. 0.15)
+
+let test_audit_catches_broken_mechanism () =
+  (* a "mechanism" that leaks the input deterministically must audit huge:
+     with outcome sets disjoint, no outcome passes min_count on both sides,
+     so instead make it leak with probability 1/2 *)
+  let mechanism ~seed ~input =
+    let rng = Rng.create ~seed () in
+    if Rng.bool rng then (if input > 0.5 then "big" else "small") else "quiet"
+  in
+  let r = Audit.run ~trials:4000 ~mechanism ~input_a:0. ~input_b:1. () in
+  (* "big"/"small" never co-occur with enough mass; "quiet" is balanced; the
+     detector for this failure is the small number of comparable outcomes *)
+  Alcotest.(check bool) "disjoint outcomes flagged by comparison count" true
+    (r.Audit.outcomes_compared <= 1)
+
+let test_audit_detects_undernoised () =
+  (* Laplace at half the required scale must audit above the claimed eps. *)
+  let claimed_eps = 0.5 in
+  let mechanism ~seed ~input =
+    let rng = Rng.create ~seed () in
+    (* WRONG calibration: noise for eps = 4 while claiming eps = 0.5 *)
+    let noisy = Mechanisms.laplace ~eps:4. ~sensitivity:1. input rng in
+    if noisy >= 0.5 then "high" else "low"
+  in
+  let r = Audit.run ~trials:20_000 ~mechanism ~input_a:0. ~input_b:1. () in
+  Alcotest.(check bool)
+    (Printf.sprintf "eps_hat %.3f exposes the bug" r.Audit.eps_hat)
+    true
+    (r.Audit.eps_hat > claimed_eps +. 0.5)
+
+let test_audit_validation () =
+  Alcotest.check_raises "trials" (Invalid_argument "Audit.run: trials must be positive")
+    (fun () ->
+      ignore (Audit.run ~trials:0 ~mechanism:(fun ~seed:_ ~input:_ -> "x") ~input_a:0 ~input_b:1 ()))
+
+(* --- qcheck --- *)
+
+let qcheck_advanced_monotone_in_count =
+  QCheck.Test.make ~name:"advanced composition monotone in count" ~count:100
+    QCheck.(int_range 1 500)
+    (fun t ->
+      let p = Params.pure 0.01 in
+      let a = Params.compose_advanced ~count:t ~slack:1e-6 p in
+      let b = Params.compose_advanced ~count:(t + 1) ~slack:1e-6 p in
+      b.Params.eps >= a.Params.eps)
+
+let qcheck_split_within_budget =
+  QCheck.Test.make ~name:"split_advanced composes within budget" ~count:100
+    QCheck.(pair (int_range 1 1000) (float_range 0.1 5.))
+    (fun (count, eps) ->
+      let budget = Params.create ~eps ~delta:1e-6 in
+      Params.check_advanced_split ~count ~budget ~per_call:(Params.split_advanced ~count budget))
+
+let qcheck_laplace_preserves_mean =
+  QCheck.Test.make ~name:"laplace mechanism unbiased" ~count:10
+    QCheck.(float_range (-5.) 5.)
+    (fun v ->
+      let rng = Rng.create ~seed:53 () in
+      let n = 20_000 in
+      let acc = ref 0. in
+      for _ = 1 to n do
+        acc := !acc +. Mechanisms.laplace ~eps:1. ~sensitivity:1. v rng
+      done;
+      Float.abs ((!acc /. float_of_int n) -. v) < 0.1)
+
+let () =
+  Alcotest.run "pmw_dp"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "validation" `Quick test_params_validation;
+          Alcotest.test_case "basic composition" `Quick test_basic_composition;
+          Alcotest.test_case "thm 3.10 formula" `Quick test_advanced_composition_formula;
+          Alcotest.test_case "advanced beats basic" `Quick test_advanced_beats_basic_for_many_calls;
+          Alcotest.test_case "split round trip" `Quick test_split_advanced_round_trip;
+          Alcotest.test_case "split basic" `Quick test_split_basic;
+        ] );
+      ( "mechanisms",
+        [
+          Alcotest.test_case "laplace scale" `Quick test_laplace_noise_scale;
+          Alcotest.test_case "gaussian sigma" `Quick test_gaussian_sigma_formula;
+          Alcotest.test_case "gaussian vector" `Quick test_gaussian_vector_dims;
+          Alcotest.test_case "exponential distribution" `Quick test_exponential_mechanism_distribution;
+          Alcotest.test_case "exponential sens=0" `Quick test_exponential_zero_sensitivity_uniform;
+          Alcotest.test_case "report noisy max" `Quick test_report_noisy_max_prefers_max;
+          Alcotest.test_case "randomized response" `Quick test_randomized_response_bias;
+        ] );
+      ( "sparse_vector",
+        [
+          Alcotest.test_case "accuracy on clear gaps" `Quick test_sv_accuracy_on_clear_gaps;
+          Alcotest.test_case "halts after T tops" `Quick test_sv_halts_after_t_tops;
+          Alcotest.test_case "stream length" `Quick test_sv_stream_length_bound;
+          Alcotest.test_case "per-epoch eps" `Quick test_sv_per_epoch_eps;
+          Alcotest.test_case "thm 3.1 bound shape" `Quick test_sv_theorem_3_1_bound_shape;
+          Alcotest.test_case "validation" `Quick test_sv_validation;
+        ] );
+      ( "analytic_gaussian",
+        [
+          Alcotest.test_case "achieves delta, minimal" `Quick test_analytic_sigma_achieves_delta;
+          Alcotest.test_case "beats classical" `Quick test_analytic_beats_classical;
+          Alcotest.test_case "monotone" `Quick test_analytic_monotone;
+          Alcotest.test_case "sensitivity scaling" `Quick test_analytic_scales_with_sensitivity;
+        ] );
+      ( "rdp",
+        [
+          Alcotest.test_case "gaussian closed form" `Quick test_rdp_gaussian_known_value;
+          Alcotest.test_case "additive composition" `Quick test_rdp_composes_additively;
+          Alcotest.test_case "tighter than Thm 3.10" `Quick test_rdp_tighter_than_advanced;
+          Alcotest.test_case "validation" `Quick test_rdp_validation;
+        ] );
+      ( "permute_and_flip",
+        [
+          Alcotest.test_case "prefers max" `Quick test_permute_and_flip_prefers_max;
+          Alcotest.test_case "uniform at tiny eps" `Quick test_permute_and_flip_uniform_at_tiny_eps;
+          Alcotest.test_case "dominates exponential" `Quick test_permute_and_flip_dominates_exponential;
+        ] );
+      ( "accountant",
+        [
+          Alcotest.test_case "basic total" `Quick test_accountant_basic_total;
+          Alcotest.test_case "advanced total" `Quick test_accountant_advanced_total;
+          Alcotest.test_case "zcdp" `Quick test_accountant_zcdp;
+          Alcotest.test_case "gaussian rho" `Quick test_accountant_gaussian_rho;
+        ] );
+      ( "numeric_sparse",
+        [
+          Alcotest.test_case "answers with values" `Quick test_numeric_sparse_answers;
+          Alcotest.test_case "halts" `Quick test_numeric_sparse_halts;
+          Alcotest.test_case "validation" `Quick test_numeric_sparse_validation;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "sound mechanism passes" `Quick test_audit_sound_mechanism;
+          Alcotest.test_case "broken mechanism flagged" `Quick test_audit_catches_broken_mechanism;
+          Alcotest.test_case "under-noised exposed" `Quick test_audit_detects_undernoised;
+          Alcotest.test_case "validation" `Quick test_audit_validation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_advanced_monotone_in_count;
+            qcheck_split_within_budget;
+            qcheck_laplace_preserves_mean;
+          ] );
+    ]

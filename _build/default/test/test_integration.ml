@@ -1,0 +1,388 @@
+(* End-to-end integration tests: full Figure 3 runs with real oracles on
+   synthetic workloads, the adaptive accuracy game, privacy accounting across
+   the whole interaction, an empirical privacy audit of the sparse-vector
+   answer stream, and online-vs-offline consistency. *)
+
+module Vec = Pmw_linalg.Vec
+module Point = Pmw_data.Point
+module Universe = Pmw_data.Universe
+module Histogram = Pmw_data.Histogram
+module Dataset = Pmw_data.Dataset
+module Synth = Pmw_data.Synth
+module Domain = Pmw_convex.Domain
+module Losses = Pmw_convex.Losses
+module Params = Pmw_dp.Params
+module Sv = Pmw_dp.Sparse_vector
+module Cm_query = Pmw_core.Cm_query
+module Config = Pmw_core.Config
+module Online_pmw = Pmw_core.Online_pmw
+module Offline_pmw = Pmw_core.Offline_pmw
+module Analyst = Pmw_core.Analyst
+module Rng = Pmw_rng.Rng
+
+let privacy = Params.create ~eps:1. ~delta:1e-6
+
+(* --- full pipeline with the noisy-GD oracle --- *)
+
+let test_full_pipeline_regression () =
+  let rng = Rng.create ~seed:91 () in
+  let universe = Universe.regression_grid ~d:2 ~levels:7 ~label_levels:5 () in
+  let dataset =
+    Synth.linear_regression ~universe ~theta_star:[| 0.6; -0.3 |] ~noise:0.1 ~n:250_000 rng
+  in
+  let domain = Domain.unit_ball ~dim:2 in
+  let k = 18 in
+  let config =
+    Config.practical ~universe ~privacy ~alpha:0.06 ~beta:0.05 ~scale:2. ~k ~t_max:25
+      ~solver_iters:200 ()
+  in
+  let mechanism =
+    Online_pmw.create ~config ~dataset ~oracle:(Pmw_erm.Oracles.noisy_gd ()) ~rng ()
+  in
+  let queries =
+    [
+      Cm_query.make ~loss:(Losses.squared ()) ~domain ();
+      Cm_query.make ~loss:(Losses.huber ~delta:0.5 ()) ~domain ();
+      Cm_query.make ~loss:(Losses.absolute ()) ~domain ();
+      Cm_query.make ~loss:(Losses.quantile ~tau:0.6 ()) ~domain ();
+      Cm_query.make ~loss:(Losses.feature_mask [| true; false |] (Losses.squared ())) ~domain ();
+      Cm_query.make ~loss:(Losses.feature_mask [| false; true |] (Losses.squared ())) ~domain ();
+    ]
+  in
+  let analyst = Analyst.cycle ~name:"panel" queries ~k in
+  let records =
+    Analyst.run ~analyst ~k
+      ~answer:(fun q -> Option.map (fun o -> o.Online_pmw.theta) (Online_pmw.answer mechanism q))
+      ~dataset ~solver_iters:400 ()
+  in
+  Alcotest.(check int) "all k rounds answered" k (Analyst.answered records);
+  let max_err = Analyst.max_error records in
+  (* alpha target plus oracle noise slack *)
+  Alcotest.(check bool) (Printf.sprintf "max err %.4f acceptable" max_err) true (max_err < 0.12);
+  Alcotest.(check bool) "mechanism did not exhaust updates" true
+    (Online_pmw.updates mechanism < config.Config.t_max)
+
+let test_full_pipeline_classification_glm () =
+  let rng = Rng.create ~seed:92 () in
+  let d = 5 in
+  let universe = Universe.labeled_hypercube ~d ~labels:[| -1.; 1. |] () in
+  let theta_star = Synth.random_unit_vector ~dim:d rng in
+  let dataset =
+    Synth.logistic_classification ~universe ~theta_star ~margin:4. ~n:250_000 rng
+  in
+  let domain = Domain.unit_ball ~dim:d in
+  let k = 12 in
+  let config =
+    Config.practical ~universe ~privacy ~alpha:0.06 ~beta:0.05 ~scale:2. ~k ~t_max:20
+      ~solver_iters:200 ()
+  in
+  let mechanism = Online_pmw.create ~config ~dataset ~oracle:(Pmw_erm.Oracles.glm ()) ~rng () in
+  let queries =
+    [
+      Cm_query.make ~loss:(Losses.logistic ()) ~domain ();
+      Cm_query.make ~loss:(Losses.hinge ()) ~domain ();
+      Cm_query.make ~loss:(Losses.squared_margin ()) ~domain ();
+    ]
+  in
+  let analyst = Analyst.cycle ~name:"classifiers" queries ~k in
+  let records =
+    Analyst.run ~analyst ~k
+      ~answer:(fun q -> Option.map (fun o -> o.Online_pmw.theta) (Online_pmw.answer mechanism q))
+      ~dataset ~solver_iters:400 ()
+  in
+  Alcotest.(check int) "all answered" k (Analyst.answered records);
+  Alcotest.(check bool)
+    (Printf.sprintf "max err %.4f acceptable" (Analyst.max_error records))
+    true
+    (Analyst.max_error records < 0.12)
+
+(* --- adaptivity: answers must remain accurate when queries depend on them --- *)
+
+let test_adaptive_game_stays_accurate () =
+  let rng = Rng.create ~seed:93 () in
+  let universe = Universe.regression_grid ~d:2 ~levels:5 ~label_levels:5 () in
+  let dataset =
+    Synth.linear_regression ~universe ~theta_star:[| 0.4; 0.3 |] ~noise:0.1 ~n:200_000 rng
+  in
+  let domain = Domain.unit_ball ~dim:2 in
+  let k = 10 in
+  let config =
+    Config.practical ~universe ~privacy ~alpha:0.07 ~beta:0.05 ~scale:2. ~k ~t_max:15
+      ~solver_iters:200 ()
+  in
+  let mechanism = Online_pmw.create ~config ~dataset ~oracle:Pmw_erm.Oracles.exact ~rng () in
+  (* the analyst alternates quantile levels steered by the previous answer's
+     first coordinate — a simple feedback loop through the mechanism *)
+  let analyst =
+    Analyst.adaptive ~name:"feedback" (fun ~round ~history ->
+        if round >= k then None
+        else
+          let tau =
+            match history with
+            | { Analyst.answer = Some theta; _ } :: _ ->
+                if theta.(0) > 0.2 then 0.3 else 0.7
+            | _ -> 0.5
+          in
+          Some (Cm_query.make ~loss:(Losses.quantile ~tau ()) ~domain ()))
+  in
+  let records =
+    Analyst.run ~analyst ~k
+      ~answer:(fun q -> Option.map (fun o -> o.Online_pmw.theta) (Online_pmw.answer mechanism q))
+      ~dataset ~solver_iters:400 ()
+  in
+  Alcotest.(check int) "all adaptive rounds answered" k (Analyst.answered records);
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive max err %.4f" (Analyst.max_error records))
+    true
+    (Analyst.max_error records < 0.1)
+
+(* --- privacy accounting across the interaction --- *)
+
+let test_total_privacy_within_budget () =
+  let rng = Rng.create ~seed:94 () in
+  let universe = Universe.regression_grid ~d:2 ~levels:5 ~label_levels:5 () in
+  let dataset =
+    Synth.linear_regression ~universe ~theta_star:[| 0.4; 0.3 |] ~noise:0.1 ~n:150_000 rng
+  in
+  let domain = Domain.unit_ball ~dim:2 in
+  let config =
+    Config.practical ~universe ~privacy ~alpha:0.03 ~beta:0.05 ~scale:2. ~k:30 ~t_max:12
+      ~solver_iters:150 ()
+  in
+  let mechanism = Online_pmw.create ~config ~dataset ~oracle:Pmw_erm.Oracles.exact ~rng () in
+  let q = Cm_query.make ~loss:(Losses.squared ()) ~domain () in
+  let q2 = Cm_query.make ~loss:(Losses.absolute ()) ~domain () in
+  for i = 1 to 30 do
+    ignore (Online_pmw.answer mechanism (if i mod 2 = 0 then q else q2))
+  done;
+  (* Oracle side: T-fold advanced composition of the per-call budget must fit
+     in the eps/2 half. *)
+  let a = Online_pmw.oracle_accountant mechanism in
+  if Pmw_dp.Accountant.count a > 0 then begin
+    let total =
+      Pmw_dp.Accountant.total_advanced a ~slack:(config.Config.privacy.Params.delta /. 4.)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "oracle eps %.4f <= eps/2" total.Params.eps)
+      true
+      (total.Params.eps <= (config.Config.privacy.Params.eps /. 2.) +. 1e-9)
+  end;
+  (* SV side was constructed with eps/2 by the config. *)
+  Alcotest.(check bool) "sv half" true
+    (config.Config.sv_privacy.Params.eps = config.Config.privacy.Params.eps /. 2.)
+
+(* --- empirical privacy audit of the sparse-vector stream (experiment F4's
+   core, in miniature): the probability of any particular answer prefix on
+   adjacent inputs should differ by at most e^eps (+ delta slack); we
+   estimate the worst log-ratio over prefixes of one Top/Bottom pattern. --- *)
+
+let test_sv_empirical_privacy () =
+  let trials = 4000 in
+  let eps = 0.8 in
+  let sensitivity = 0.05 in
+  (* Two adjacent "datasets" induce query-value streams differing by exactly
+     the sensitivity on every query — the worst case. *)
+  let stream_a = [| 0.9; 0.4; 0.75; 0.2 |] in
+  let stream_b = Array.map (fun v -> v +. sensitivity) stream_a in
+  let count stream =
+    (* count how often the full answer pattern is (Top, Bottom, Top, Bottom) *)
+    let hits = ref 0 in
+    for seed = 1 to trials do
+      let sv =
+        Sv.create ~t_max:3 ~k:10 ~threshold:1.
+          ~privacy:(Params.create ~eps ~delta:1e-6)
+          ~sensitivity ~rng:(Rng.create ~seed ())
+      in
+      let answers = Array.map (fun v -> Sv.query sv v) stream in
+      if
+        answers = [| Some Sv.Top; Some Sv.Bottom; Some Sv.Top; Some Sv.Bottom |]
+      then incr hits
+    done;
+    float_of_int !hits /. float_of_int trials
+  in
+  let pa = count stream_a and pb = count stream_b in
+  if pa > 0.01 && pb > 0.01 then begin
+    let ratio = Float.abs (log (pa /. pb)) in
+    (* generous statistical slack on top of eps *)
+    Alcotest.(check bool)
+      (Printf.sprintf "log ratio %.3f <= eps + slack" ratio)
+      true (ratio <= eps +. 0.5)
+  end
+
+(* --- online vs offline consistency --- *)
+
+let test_online_offline_agree () =
+  let rng = Rng.create ~seed:95 () in
+  let universe = Universe.regression_grid ~d:2 ~levels:5 ~label_levels:5 () in
+  let dataset =
+    Synth.linear_regression ~universe ~theta_star:[| 0.5; -0.2 |] ~noise:0.1 ~n:150_000 rng
+  in
+  let domain = Domain.unit_ball ~dim:2 in
+  let queries =
+    [|
+      Cm_query.make ~loss:(Losses.squared ()) ~domain ();
+      Cm_query.make ~loss:(Losses.huber ~delta:0.5 ()) ~domain ();
+      Cm_query.make ~loss:(Losses.absolute ()) ~domain ();
+    |]
+  in
+  let config =
+    Config.practical ~universe ~privacy ~alpha:0.08 ~beta:0.05 ~scale:2.
+      ~k:(Array.length queries) ~t_max:12 ~solver_iters:200 ()
+  in
+  let offline =
+    Offline_pmw.run ~config ~dataset ~oracle:Pmw_erm.Oracles.exact ~queries ~rng ()
+  in
+  let online = Online_pmw.create ~config ~dataset ~oracle:Pmw_erm.Oracles.exact ~rng () in
+  Array.iteri
+    (fun i q ->
+      let off_err = Cm_query.err_answer ~iters:600 q dataset offline.Offline_pmw.answers.(i) in
+      match Online_pmw.answer online q with
+      | None -> Alcotest.fail "online halted"
+      | Some o ->
+          let on_err = Cm_query.err_answer ~iters:600 q dataset o.Online_pmw.theta in
+          Alcotest.(check bool)
+            (Printf.sprintf "both accurate (off %.4f, on %.4f)" off_err on_err)
+            true
+            (off_err < 0.12 && on_err < 0.12))
+    queries
+
+(* --- the final hypothesis is usable synthetic data (Section 4.3) --- *)
+
+let test_hypothesis_as_synthetic_data () =
+  let rng = Rng.create ~seed:96 () in
+  let universe = Universe.regression_grid ~d:2 ~levels:5 ~label_levels:5 () in
+  let dataset =
+    Synth.linear_regression ~universe ~theta_star:[| 0.5; -0.2 |] ~noise:0.1 ~n:150_000 rng
+  in
+  let domain = Domain.unit_ball ~dim:2 in
+  let config =
+    Config.practical ~universe ~privacy ~alpha:0.04 ~beta:0.05 ~scale:2. ~k:40 ~t_max:20
+      ~solver_iters:200 ()
+  in
+  let mechanism = Online_pmw.create ~config ~dataset ~oracle:Pmw_erm.Oracles.exact ~rng () in
+  let q = Cm_query.make ~loss:(Losses.squared ()) ~domain () in
+  for _ = 1 to 8 do
+    ignore (Online_pmw.answer mechanism q)
+  done;
+  (* Sampling a synthetic dataset from the hypothesis and re-answering the
+     query must land near the hypothesis answer (self-consistency). *)
+  let hyp = Online_pmw.hypothesis mechanism in
+  let synthetic = Dataset.of_histogram ~n:50_000 hyp rng in
+  let from_hyp = (Cm_query.minimize_on_histogram ~iters:400 q hyp).Pmw_convex.Solve.theta in
+  let from_synth = (Cm_query.minimize_on_dataset ~iters:400 q synthetic).Pmw_convex.Solve.theta in
+  let hyp_obj = Cm_query.loss_on_histogram q hyp in
+  Alcotest.(check bool) "synthetic data reproduces the hypothesis answer" true
+    (Float.abs (hyp_obj from_synth -. hyp_obj from_hyp) < 0.01)
+
+(* --- an adversarial analyst that re-asks the mechanism's worst query --- *)
+
+let test_adversarial_analyst_stays_accurate () =
+  let rng = Rng.create ~seed:97 () in
+  let universe = Universe.regression_grid ~d:2 ~levels:5 ~label_levels:5 () in
+  let dataset =
+    Synth.linear_regression ~universe ~theta_star:[| 0.5; -0.2 |] ~noise:0.1 ~n:200_000 rng
+  in
+  let domain = Domain.unit_ball ~dim:2 in
+  let pool =
+    [
+      Cm_query.make ~loss:(Losses.squared ()) ~domain ();
+      Cm_query.make ~loss:(Losses.absolute ()) ~domain ();
+      Cm_query.make ~loss:(Losses.quantile ~tau:0.8 ()) ~domain ();
+      Cm_query.make ~loss:(Losses.huber ~delta:0.3 ()) ~domain ();
+    ]
+  in
+  let k = 16 in
+  let config =
+    Config.practical ~universe ~privacy ~alpha:0.07 ~beta:0.05 ~scale:2. ~k ~t_max:20
+      ~solver_iters:200 ()
+  in
+  let mechanism = Online_pmw.create ~config ~dataset ~oracle:Pmw_erm.Oracles.exact ~rng () in
+  let analyst = Analyst.greedy_hardest ~name:"adversary" pool ~k in
+  let records =
+    Analyst.run ~analyst ~k
+      ~answer:(fun q -> Option.map (fun o -> o.Online_pmw.theta) (Online_pmw.answer mechanism q))
+      ~dataset ~solver_iters:400 ()
+  in
+  Alcotest.(check int) "all adversarial rounds answered" k (Analyst.answered records);
+  Alcotest.(check bool)
+    (Printf.sprintf "adversarial max err %.4f" (Analyst.max_error records))
+    true
+    (Analyst.max_error records < 0.1)
+
+(* --- offline PMW with the permute-and-flip selector --- *)
+
+let test_offline_permute_and_flip () =
+  let rng = Rng.create ~seed:98 () in
+  let universe = Universe.regression_grid ~d:2 ~levels:5 ~label_levels:5 () in
+  let dataset =
+    Synth.linear_regression ~universe ~theta_star:[| 0.5; -0.2 |] ~noise:0.1 ~n:120_000 rng
+  in
+  let domain = Domain.unit_ball ~dim:2 in
+  let queries =
+    [|
+      Cm_query.make ~loss:(Losses.squared ()) ~domain ();
+      Cm_query.make ~loss:(Losses.absolute ()) ~domain ();
+    |]
+  in
+  let config =
+    Config.practical ~universe ~privacy ~alpha:0.08 ~beta:0.05 ~scale:2.
+      ~k:(Array.length queries) ~t_max:10 ~solver_iters:200 ()
+  in
+  let report =
+    Offline_pmw.run ~config ~dataset ~oracle:Pmw_erm.Oracles.exact ~queries
+      ~selector:Offline_pmw.Permute_and_flip ~rng ()
+  in
+  Array.iteri
+    (fun i theta ->
+      let err = Cm_query.err_answer ~iters:600 queries.(i) dataset theta in
+      Alcotest.(check bool) (Printf.sprintf "P&F query %d err %.4f" i err) true (err < 0.12))
+    report.Offline_pmw.answers
+
+(* --- the umbrella library exposes the full API --- *)
+
+let test_umbrella_namespace () =
+  (* exercise one symbol from each re-exported module group end-to-end *)
+  let rng = Pmw.Rng.create ~seed:7 () in
+  let universe = Pmw.Universe.hypercube ~d:3 () in
+  let histogram = Pmw.Histogram.uniform universe in
+  let dataset = Pmw.Dataset.of_histogram ~n:500 histogram rng in
+  let loss = Pmw.Losses.logistic () in
+  let domain = Pmw.Domain.unit_ball ~dim:3 in
+  let query = Pmw.Cm_query.make ~loss ~domain () in
+  let config =
+    Pmw.Config.practical ~universe
+      ~privacy:(Pmw.Params.create ~eps:1. ~delta:1e-6)
+      ~alpha:0.2 ~beta:0.1 ~scale:2. ~k:2 ~t_max:3 ~solver_iters:50 ()
+  in
+  let mechanism =
+    Pmw.Online_pmw.create ~config ~dataset ~oracle:(Pmw.Oracles.glm ()) ~rng ()
+  in
+  (match Pmw.Online_pmw.answer mechanism query with
+  | Some o -> Alcotest.(check bool) "feasible" true (Pmw.Domain.contains ~tol:1e-6 domain o.Pmw.Online_pmw.theta)
+  | None -> Alcotest.fail "halted");
+  Alcotest.(check bool) "theory accessible" true
+    (Pmw.Theory.linear_single (Pmw.Theory.default ~alpha:0.1 ~log_universe:3.) > 0.)
+
+let () =
+  Alcotest.run "pmw_integration"
+    [
+      ("umbrella", [ Alcotest.test_case "namespace" `Quick test_umbrella_namespace ]);
+      ( "end-to-end",
+        [
+          Alcotest.test_case "regression pipeline" `Slow test_full_pipeline_regression;
+          Alcotest.test_case "classification pipeline" `Slow test_full_pipeline_classification_glm;
+          Alcotest.test_case "adaptive game" `Slow test_adaptive_game_stays_accurate;
+          Alcotest.test_case "adversarial analyst" `Slow test_adversarial_analyst_stays_accurate;
+          Alcotest.test_case "offline permute-and-flip" `Slow test_offline_permute_and_flip;
+        ] );
+      ( "privacy",
+        [
+          Alcotest.test_case "budget accounting" `Quick test_total_privacy_within_budget;
+          Alcotest.test_case "sv empirical audit" `Slow test_sv_empirical_privacy;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "online vs offline" `Slow test_online_offline_agree;
+          Alcotest.test_case "synthetic data" `Slow test_hypothesis_as_synthetic_data;
+        ] );
+    ]

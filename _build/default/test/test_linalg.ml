@@ -1,0 +1,278 @@
+(* Tests for Pmw_linalg: vector/matrix algebra, numerically careful
+   summation, projections (with the metric property checked by qcheck), and
+   the scalar special functions. *)
+
+module Vec = Pmw_linalg.Vec
+module Mat = Pmw_linalg.Mat
+module Proj = Pmw_linalg.Proj
+module Special = Pmw_linalg.Special
+
+let checkf = Alcotest.(check (float 1e-9))
+let checkf_loose tol = Alcotest.(check (float tol))
+
+(* --- Vec --- *)
+
+let test_vec_basic_ops () =
+  let a = [| 1.; 2.; 3. |] and b = [| 4.; -5.; 6. |] in
+  checkf "dot" 12. (Vec.dot a b);
+  Alcotest.(check (array (float 1e-12))) "add" [| 5.; -3.; 9. |] (Vec.add a b);
+  Alcotest.(check (array (float 1e-12))) "sub" [| -3.; 7.; -3. |] (Vec.sub a b);
+  Alcotest.(check (array (float 1e-12))) "scale" [| 2.; 4.; 6. |] (Vec.scale 2. a);
+  checkf "norm1" 6. (Vec.norm1 a);
+  checkf "norm2" (sqrt 14.) (Vec.norm2 a);
+  checkf "norm_inf" 6. (Vec.norm_inf b);
+  checkf "dist2" (Vec.norm2 (Vec.sub a b)) (Vec.dist2 a b);
+  checkf "dist1" (Vec.norm1 (Vec.sub a b)) (Vec.dist1 a b)
+
+let test_vec_dim_mismatch () =
+  Alcotest.check_raises "dot mismatch" (Invalid_argument "Vec.dot: dimension mismatch")
+    (fun () -> ignore (Vec.dot [| 1. |] [| 1.; 2. |]))
+
+let test_vec_axpy () =
+  let y = [| 1.; 1. |] in
+  Vec.axpy ~alpha:3. ~x:[| 2.; -1. |] ~y;
+  Alcotest.(check (array (float 1e-12))) "axpy" [| 7.; -2. |] y
+
+let test_kahan_sum () =
+  (* 1 followed by many tiny values that naive summation drops entirely. *)
+  let n = 100_000 in
+  let v = Array.make (n + 1) 1e-16 in
+  v.(0) <- 1.;
+  let kahan = Vec.kahan_sum v in
+  let expected = 1. +. (float_of_int n *. 1e-16) in
+  Alcotest.(check bool) "kahan keeps the tail" true
+    (Float.abs (kahan -. expected) < 1e-17 *. float_of_int n)
+
+let test_vec_basis_mean_lerp () =
+  let e1 = Vec.basis 3 1 in
+  Alcotest.(check (array (float 0.))) "basis" [| 0.; 1.; 0. |] e1;
+  let m = Vec.mean [ [| 0.; 0. |]; [| 2.; 4. |] ] in
+  Alcotest.(check (array (float 1e-12))) "mean" [| 1.; 2. |] m;
+  let l = Vec.lerp [| 0.; 0. |] [| 2.; 4. |] 0.25 in
+  Alcotest.(check (array (float 1e-12))) "lerp" [| 0.5; 1. |] l;
+  Alcotest.check_raises "mean empty" (Invalid_argument "Vec.mean: empty list") (fun () ->
+      ignore (Vec.mean []))
+
+let test_normalize2 () =
+  let v = Vec.normalize2 [| 3.; 4. |] in
+  checkf "unit" 1. (Vec.norm2 v);
+  let z = Vec.normalize2 [| 0.; 0. |] in
+  Alcotest.(check (array (float 0.))) "zero unchanged" [| 0.; 0. |] z
+
+let test_vec_map_conversions () =
+  let v = Vec.of_list [ 1.; 2.; 3. ] in
+  Alcotest.(check (list (float 0.))) "roundtrip" [ 1.; 2.; 3. ] (Vec.to_list v);
+  Alcotest.(check (array (float 1e-12))) "map2" [| 3.; 6.; 9. |]
+    (Vec.map2 (fun a b -> a +. b) v (Vec.scale 2. v));
+  Alcotest.(check (array (float 1e-12))) "init" [| 0.; 2.; 4. |]
+    (Vec.init 3 (fun i -> 2. *. float_of_int i));
+  Alcotest.(check (array (float 0.))) "constant" [| 7.; 7. |] (Vec.constant 2 7.);
+  Alcotest.(check bool) "approx_equal respects tol" true
+    (Vec.approx_equal ~tol:0.1 [| 1.0 |] [| 1.05 |])
+
+(* --- Mat --- *)
+
+let test_mat_matvec () =
+  let m = Mat.of_rows [| [| 1.; 2. |]; [| 3.; 4. |]; [| 5.; 6. |] |] in
+  Alcotest.(check (array (float 1e-12))) "Ax" [| 5.; 11.; 17. |] (Mat.matvec m [| 1.; 2. |]);
+  Alcotest.(check (array (float 1e-12)))
+    "A'x" [| 14.; 18. |]
+    (Mat.matvec_t m [| 1.; 1.; 2. |])
+
+let test_mat_transpose_matmul () =
+  let a = Mat.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let at = Mat.transpose a in
+  Alcotest.(check (float 1e-12)) "transpose" 3. (Mat.get at 0 1);
+  let p = Mat.matmul a (Mat.identity 2) in
+  Alcotest.(check (float 1e-12)) "A*I = A" (Mat.get a 1 0) (Mat.get p 1 0)
+
+let test_mat_accessors () =
+  let m = Mat.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  Alcotest.(check (array (float 0.))) "row" [| 3.; 4. |] (Mat.row m 1);
+  let d = Mat.add_diagonal m 10. in
+  Alcotest.(check (float 1e-12)) "diag bumped" 11. (Mat.get d 0 0);
+  Alcotest.(check (float 1e-12)) "off-diag intact" 2. (Mat.get d 0 1);
+  Mat.set m 0 1 9.;
+  Alcotest.(check (float 1e-12)) "set" 9. (Mat.get m 0 1);
+  Alcotest.check_raises "index guard" (Invalid_argument "Mat: index out of range") (fun () ->
+      ignore (Mat.get m 5 0));
+  let g = Mat.gram (Mat.of_rows [| [| 1.; 0. |]; [| 1.; 1. |] |]) in
+  Alcotest.(check (float 1e-12)) "gram" 2. (Mat.get g 0 0);
+  Alcotest.(check (float 1e-12)) "gram off" 1. (Mat.get g 0 1)
+
+let test_mat_solve () =
+  let a = Mat.of_rows [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = Mat.solve a [| 5.; 10. |] in
+  (* solution of 2x+y=5, x+3y=10: x=1, y=3 *)
+  Alcotest.(check (array (float 1e-9))) "solution" [| 1.; 3. |] x
+
+let test_mat_solve_pivoting () =
+  (* Leading zero forces a row swap. *)
+  let a = Mat.of_rows [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let x = Mat.solve a [| 2.; 3. |] in
+  Alcotest.(check (array (float 1e-12))) "swap solved" [| 3.; 2. |] x
+
+let test_mat_solve_singular () =
+  let a = Mat.of_rows [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "singular" (Failure "Mat.solve: singular matrix") (fun () ->
+      ignore (Mat.solve a [| 1.; 1. |]))
+
+let test_least_squares_recovers_line () =
+  (* y = 2x + 1 on points x = 0..4 with design [x, 1]. *)
+  let rows = Array.init 5 (fun i -> [| float_of_int i; 1. |]) in
+  let a = Mat.of_rows rows in
+  let b = Array.init 5 (fun i -> (2. *. float_of_int i) +. 1.) in
+  let coef = Mat.least_squares a b in
+  checkf_loose 1e-8 "slope" 2. coef.(0);
+  checkf_loose 1e-8 "intercept" 1. coef.(1)
+
+(* --- Proj --- *)
+
+let test_proj_l2_ball () =
+  let inside = [| 0.3; 0.4 |] in
+  Alcotest.(check (array (float 1e-12))) "inside unchanged" inside (Proj.l2_ball ~radius:1. inside);
+  let far = Proj.l2_ball ~radius:1. [| 3.; 4. |] in
+  checkf "on boundary" 1. (Vec.norm2 far);
+  Alcotest.(check (array (float 1e-12))) "direction kept" [| 0.6; 0.8 |] far
+
+let test_proj_box () =
+  Alcotest.(check (array (float 1e-12)))
+    "clamped" [| -1.; 0.5; 1. |]
+    (Proj.box ~lo:(-1.) ~hi:1. [| -9.; 0.5; 42. |])
+
+let test_proj_simplex_known () =
+  let p = Proj.simplex [| 0.5; 0.5 |] in
+  Alcotest.(check (array (float 1e-9))) "already simplex" [| 0.5; 0.5 |] p;
+  let p2 = Proj.simplex [| 1.; 0. |] in
+  Alcotest.(check (array (float 1e-9))) "vertex" [| 1.; 0. |] p2;
+  let p3 = Proj.simplex [| 2.; 2. |] in
+  Alcotest.(check (array (float 1e-9))) "symmetric" [| 0.5; 0.5 |] p3;
+  let p4 = Proj.simplex [| -5.; -7. |] in
+  checkf "sums to one even from far outside" 1. (Vec.kahan_sum p4)
+
+let test_proj_halfspace () =
+  let v = Proj.halfspace ~normal:[| 1.; 0. |] ~offset:1. [| 3.; 2. |] in
+  Alcotest.(check (array (float 1e-12))) "projected" [| 1.; 2. |] v;
+  let w = Proj.halfspace ~normal:[| 1.; 0. |] ~offset:1. [| 0.; 2. |] in
+  Alcotest.(check (array (float 1e-12))) "inside unchanged" [| 0.; 2. |] w
+
+(* qcheck: projections are idempotent, feasible, and no farther than any
+   other feasible point we can construct. *)
+
+let vec_gen dim = QCheck.(array_of_size (Gen.return dim) (float_bound_exclusive 10.))
+
+let qcheck_ball_feasible =
+  QCheck.Test.make ~name:"l2_ball projection feasible+idempotent" ~count:300 (vec_gen 4)
+    (fun v ->
+      let p = Proj.l2_ball ~radius:2. v in
+      Vec.norm2 p <= 2. +. 1e-9
+      && Vec.dist2 p (Proj.l2_ball ~radius:2. p) < 1e-9)
+
+let qcheck_simplex_feasible =
+  QCheck.Test.make ~name:"simplex projection feasible+idempotent" ~count:300 (vec_gen 5)
+    (fun v ->
+      let p = Proj.simplex v in
+      Array.for_all (fun x -> x >= -1e-9) p
+      && Float.abs (Vec.kahan_sum p -. 1.) < 1e-6
+      && Vec.dist1 p (Proj.simplex p) < 1e-6)
+
+let qcheck_simplex_closest_than_uniform =
+  QCheck.Test.make ~name:"simplex projection beats uniform point" ~count:300 (vec_gen 5)
+    (fun v ->
+      let p = Proj.simplex v in
+      let uniform = Array.make 5 0.2 in
+      Vec.dist2 v p <= Vec.dist2 v uniform +. 1e-9)
+
+let qcheck_box_idempotent =
+  QCheck.Test.make ~name:"box projection idempotent" ~count:300 (vec_gen 3) (fun v ->
+      let p = Proj.box ~lo:(-1.) ~hi:1. v in
+      Vec.dist2 p (Proj.box ~lo:(-1.) ~hi:1. p) = 0.)
+
+(* --- Special --- *)
+
+let test_log_sum_exp () =
+  checkf_loose 1e-9 "lse of log(1),log(2),log(3)" (log 6.)
+    (Special.log_sum_exp [| log 1.; log 2.; log 3. |]);
+  (* stability: huge inputs must not overflow *)
+  let lse = Special.log_sum_exp [| 1000.; 1000. |] in
+  checkf_loose 1e-9 "stable" (1000. +. log 2.) lse;
+  Alcotest.(check (float 0.)) "empty" neg_infinity (Special.log_sum_exp [||])
+
+let test_softmax () =
+  let s = Special.softmax [| 0.; 0. |] in
+  Alcotest.(check (array (float 1e-12))) "uniform" [| 0.5; 0.5 |] s;
+  let big = Special.softmax [| 1e4; 0. |] in
+  checkf_loose 1e-9 "saturates" 1. big.(0)
+
+let test_logistic () =
+  checkf "midpoint" 0.5 (Special.logistic 0.);
+  Alcotest.(check bool) "large positive" true (Special.logistic 100. > 0.999999);
+  Alcotest.(check bool) "large negative" true (Special.logistic (-100.) < 1e-6);
+  checkf_loose 1e-12 "no overflow" 0. (Special.logistic (-1e4))
+
+let test_log1p_exp () =
+  checkf_loose 1e-9 "at 0" (log 2.) (Special.log1p_exp 0.);
+  checkf_loose 1e-6 "large z ~ z" 50. (Special.log1p_exp 50.);
+  Alcotest.(check bool) "large negative ~ 0" true (Special.log1p_exp (-50.) < 1e-20)
+
+let test_erf () =
+  checkf_loose 1e-6 "erf 0" 0. (Special.erf 0.);
+  checkf_loose 1e-6 "erf 1" 0.8427008 (Special.erf 1.);
+  checkf_loose 1e-6 "odd" (-.Special.erf 0.5) (Special.erf (-0.5))
+
+let test_gaussian_cdf () =
+  checkf_loose 1e-6 "median" 0.5 (Special.gaussian_cdf ~mu:3. ~sigma:2. 3.);
+  checkf_loose 1e-3 "one sigma" 0.8413 (Special.gaussian_cdf ~mu:0. ~sigma:1. 1.)
+
+let test_binary_search_root () =
+  let r = Special.binary_search_root ~lo:0. ~hi:4. (fun x -> (x *. x) -. 2.) in
+  checkf_loose 1e-9 "sqrt 2" (sqrt 2.) r
+
+let () =
+  Alcotest.run "pmw_linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basic ops" `Quick test_vec_basic_ops;
+          Alcotest.test_case "dim mismatch" `Quick test_vec_dim_mismatch;
+          Alcotest.test_case "axpy" `Quick test_vec_axpy;
+          Alcotest.test_case "kahan" `Quick test_kahan_sum;
+          Alcotest.test_case "basis/mean/lerp" `Quick test_vec_basis_mean_lerp;
+          Alcotest.test_case "normalize2" `Quick test_normalize2;
+          Alcotest.test_case "map/conversions" `Quick test_vec_map_conversions;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "matvec" `Quick test_mat_matvec;
+          Alcotest.test_case "transpose/matmul" `Quick test_mat_transpose_matmul;
+          Alcotest.test_case "accessors" `Quick test_mat_accessors;
+          Alcotest.test_case "solve" `Quick test_mat_solve;
+          Alcotest.test_case "solve pivoting" `Quick test_mat_solve_pivoting;
+          Alcotest.test_case "solve singular" `Quick test_mat_solve_singular;
+          Alcotest.test_case "least squares" `Quick test_least_squares_recovers_line;
+        ] );
+      ( "proj",
+        [
+          Alcotest.test_case "l2 ball" `Quick test_proj_l2_ball;
+          Alcotest.test_case "box" `Quick test_proj_box;
+          Alcotest.test_case "simplex" `Quick test_proj_simplex_known;
+          Alcotest.test_case "halfspace" `Quick test_proj_halfspace;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              qcheck_ball_feasible;
+              qcheck_simplex_feasible;
+              qcheck_simplex_closest_than_uniform;
+              qcheck_box_idempotent;
+            ] );
+      ( "special",
+        [
+          Alcotest.test_case "log_sum_exp" `Quick test_log_sum_exp;
+          Alcotest.test_case "softmax" `Quick test_softmax;
+          Alcotest.test_case "logistic" `Quick test_logistic;
+          Alcotest.test_case "log1p_exp" `Quick test_log1p_exp;
+          Alcotest.test_case "erf" `Quick test_erf;
+          Alcotest.test_case "gaussian cdf" `Quick test_gaussian_cdf;
+          Alcotest.test_case "bisection" `Quick test_binary_search_root;
+        ] );
+    ]

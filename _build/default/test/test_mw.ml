@@ -1,0 +1,189 @@
+(* Tests for Pmw_mw: the multiplicative-weights update rule, its potential
+   (KL) behaviour, the Lemma 3.4 regret bound, and numerical stability in
+   log space. *)
+
+module Universe = Pmw_data.Universe
+module Histogram = Pmw_data.Histogram
+module Mw = Pmw_mw.Mw
+module Vec = Pmw_linalg.Vec
+
+let checkf tol = Alcotest.(check (float tol))
+let u = Universe.hypercube ~d:4 ()
+
+let test_create_uniform () =
+  let mw = Mw.create ~universe:u ~eta:0.1 in
+  let d = Mw.distribution mw in
+  for i = 0 to Universe.size u - 1 do
+    checkf 1e-12 "uniform start" (1. /. 16.) (Histogram.get d i)
+  done;
+  Alcotest.(check int) "no updates yet" 0 (Mw.updates mw)
+
+let test_of_histogram_start () =
+  let prior = Histogram.of_weights u (Array.init 16 (fun i -> float_of_int (i + 1))) in
+  let mw = Mw.of_histogram prior ~eta:0.1 in
+  checkf 1e-9 "prior preserved" (Histogram.get prior 3) (Histogram.get (Mw.distribution mw) 3)
+
+let test_update_moves_mass_away_from_loss () =
+  let mw = Mw.create ~universe:u ~eta:0.5 in
+  (* element 0 has loss 1, everything else 0 *)
+  Mw.update mw ~loss:(fun i -> if i = 0 then 1. else 0.);
+  let d = Mw.distribution mw in
+  Alcotest.(check bool) "penalized element lost mass" true (Histogram.get d 0 < 1. /. 16.);
+  Alcotest.(check bool) "others gained" true (Histogram.get d 1 > 1. /. 16.);
+  Alcotest.(check int) "counted" 1 (Mw.updates mw);
+  (* exact ratio: w0/w1 = exp(-eta) *)
+  checkf 1e-9 "exact multiplicative ratio" (exp (-0.5))
+    (Histogram.get d 0 /. Histogram.get d 1)
+
+let test_update_gain_opposite_sign () =
+  let mw = Mw.create ~universe:u ~eta:0.5 in
+  Mw.update_gain mw ~gain:(fun i -> if i = 0 then 1. else 0.);
+  let d = Mw.distribution mw in
+  Alcotest.(check bool) "gain increases mass" true (Histogram.get d 0 > 1. /. 16.)
+
+let test_distribution_normalized () =
+  let mw = Mw.create ~universe:u ~eta:1. in
+  for t = 1 to 50 do
+    Mw.update mw ~loss:(fun i -> float_of_int ((i + t) mod 3))
+  done;
+  let w = Histogram.weights (Mw.distribution mw) in
+  checkf 1e-9 "sums to 1" 1. (Vec.kahan_sum w)
+
+let test_kl_decreases_under_informative_updates () =
+  (* Target: point mass at element 7. Loss = 0 on 7, 1 elsewhere. KL(target ||
+     hypothesis) must fall monotonically. *)
+  let target = Histogram.point_mass u 7 in
+  let mw = Mw.create ~universe:u ~eta:0.3 in
+  let prev = ref (Mw.kl_to mw target) in
+  checkf 1e-9 "initial KL is log|X|" (log 16.) !prev;
+  for _ = 1 to 10 do
+    Mw.update mw ~loss:(fun i -> if i = 7 then 0. else 1.);
+    let now = Mw.kl_to mw target in
+    Alcotest.(check bool) "KL decreased" true (now < !prev);
+    prev := now
+  done
+
+let test_log_space_stability () =
+  (* Thousands of aggressive updates must not produce NaN or a degenerate
+     distribution. This is the scenario that underflows naive weights. *)
+  let mw = Mw.create ~universe:u ~eta:5. in
+  for t = 1 to 5000 do
+    Mw.update mw ~loss:(fun i -> if (i + t) mod 2 = 0 then 1. else -1.)
+  done;
+  let w = Histogram.weights (Mw.distribution mw) in
+  Array.iter (fun x -> Alcotest.(check bool) "finite" true (Float.is_finite x)) w;
+  checkf 1e-6 "still normalized" 1. (Vec.kahan_sum w)
+
+let test_regret_bound_lemma_3_4 () =
+  (* Lemma 3.4: for any loss sequence bounded by S and any comparator D,
+     (1/T) sum_t <u_t, Dhat_t - D> <= 2 S sqrt(log|X| / T), with
+     eta = sqrt(log|X|/T)/S. Check on an adversarial sequence that always
+     charges the hypothesis's own mode. *)
+  let s = 1. in
+  let t_max = 200 in
+  let eta = sqrt (Universe.log_size u /. float_of_int t_max) /. s in
+  let mw = Mw.create ~universe:u ~eta in
+  let target = Histogram.point_mass u 3 in
+  let total = ref 0. in
+  for _ = 1 to t_max do
+    let d = Mw.distribution mw in
+    (* adversary: loss = +S on the hypothesis's current argmax, -S on the
+       target element *)
+    let mode = ref 0 in
+    for i = 1 to 15 do
+      if Histogram.get d i > Histogram.get d !mode then mode := i
+    done;
+    let u_t i = if i = !mode then s else if i = 3 then -.s else 0. in
+    let inner_dhat = Histogram.expect d (fun i _ -> u_t i) in
+    let inner_target = Histogram.expect target (fun i _ -> u_t i) in
+    total := !total +. (inner_dhat -. inner_target);
+    Mw.update mw ~loss:u_t
+  done;
+  let avg = !total /. float_of_int t_max in
+  let bound = Mw.regret_bound ~universe:u ~t_max ~scale:s in
+  Alcotest.(check bool)
+    (Printf.sprintf "regret %.4f <= bound %.4f" avg bound)
+    true (avg <= bound)
+
+let test_theory_eta () =
+  checkf 1e-12 "eta = sqrt(log|X|/T)" (sqrt (log 16. /. 100.)) (Mw.theory_eta ~universe:u ~t_max:100)
+
+let test_validation () =
+  Alcotest.check_raises "eta" (Invalid_argument "Mw.create: eta must be positive") (fun () ->
+      ignore (Mw.create ~universe:u ~eta:0.))
+
+let qcheck_distribution_always_valid =
+  QCheck.Test.make ~name:"distribution valid after arbitrary updates" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 20) (array_of_size (Gen.return 16) (float_range (-2.) 2.)))
+    (fun losses ->
+      let mw = Mw.create ~universe:u ~eta:0.7 in
+      List.iter (fun l -> Mw.update mw ~loss:(fun i -> l.(i))) losses;
+      let w = Histogram.weights (Mw.distribution mw) in
+      Array.for_all (fun x -> x >= 0. && Float.is_finite x) w
+      && Float.abs (Vec.kahan_sum w -. 1.) < 1e-6)
+
+(* Lemma 3.4 is a worst-case statement: for ANY loss sequence bounded by S
+   and ANY comparator distribution, the averaged regret respects the bound.
+   Check it over random sequences and random point-mass comparators. *)
+let qcheck_regret_bound_any_sequence =
+  QCheck.Test.make ~name:"Lemma 3.4 holds for arbitrary sequences" ~count:60
+    QCheck.(
+      triple (int_range 5 60)
+        (int_range 0 15)
+        (list_of_size (Gen.return 60) (array_of_size (Gen.return 16) (float_range (-1.) 1.))))
+    (fun (t_max, target, losses) ->
+      let s = 1. in
+      let eta = sqrt (Universe.log_size u /. float_of_int t_max) /. s in
+      let mw = Mw.create ~universe:u ~eta in
+      let comparator = Histogram.point_mass u target in
+      let total = ref 0. in
+      List.iteri
+        (fun t l ->
+          if t < t_max then begin
+            let d = Mw.distribution mw in
+            let inner_dhat = Histogram.expect d (fun i _ -> l.(i)) in
+            let inner_cmp = Histogram.expect comparator (fun i _ -> l.(i)) in
+            total := !total +. (inner_dhat -. inner_cmp);
+            Mw.update mw ~loss:(fun i -> l.(i))
+          end)
+        losses;
+      let avg = !total /. float_of_int t_max in
+      avg <= Mw.regret_bound ~universe:u ~t_max ~scale:s +. 1e-9)
+
+let qcheck_uniform_loss_is_noop =
+  QCheck.Test.make ~name:"constant loss leaves distribution unchanged" ~count:100
+    QCheck.(float_range (-3.) 3.)
+    (fun c ->
+      let mw = Mw.create ~universe:u ~eta:0.9 in
+      Mw.update mw ~loss:(fun _ -> c);
+      let d = Mw.distribution mw in
+      let ok = ref true in
+      for i = 0 to 15 do
+        if Float.abs (Histogram.get d i -. (1. /. 16.)) > 1e-9 then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "pmw_mw"
+    [
+      ( "mw",
+        [
+          Alcotest.test_case "uniform start" `Quick test_create_uniform;
+          Alcotest.test_case "prior start" `Quick test_of_histogram_start;
+          Alcotest.test_case "update semantics" `Quick test_update_moves_mass_away_from_loss;
+          Alcotest.test_case "gain update" `Quick test_update_gain_opposite_sign;
+          Alcotest.test_case "normalization" `Quick test_distribution_normalized;
+          Alcotest.test_case "KL potential" `Quick test_kl_decreases_under_informative_updates;
+          Alcotest.test_case "log-space stability" `Quick test_log_space_stability;
+          Alcotest.test_case "regret bound (Lemma 3.4)" `Quick test_regret_bound_lemma_3_4;
+          Alcotest.test_case "theory eta" `Quick test_theory_eta;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_distribution_always_valid;
+            qcheck_regret_bound_any_sequence;
+            qcheck_uniform_loss_is_noop;
+          ] );
+    ]

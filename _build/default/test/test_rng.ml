@@ -1,0 +1,323 @@
+(* Tests for Pmw_rng: generator determinism and the distributional sanity of
+   every sampler the privacy mechanisms rely on. Statistical checks use fixed
+   seeds and generous tolerances so they are deterministic. *)
+
+module Rng = Pmw_rng.Rng
+module Dist = Pmw_rng.Dist
+module Splitmix64 = Pmw_rng.Splitmix64
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let mean_of n f rng =
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. f rng
+  done;
+  !acc /. float_of_int n
+
+let var_of n f rng =
+  let samples = Array.init n (fun _ -> f rng) in
+  let mu = Array.fold_left ( +. ) 0. samples /. float_of_int n in
+  Array.fold_left (fun acc x -> acc +. ((x -. mu) *. (x -. mu))) 0. samples /. float_of_int n
+
+(* --- generators --- *)
+
+let test_determinism () =
+  let a = Rng.create ~seed:123 () in
+  let b = Rng.create ~seed:123 () in
+  for _ = 1 to 100 do
+    check_float "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_distinct_seeds () =
+  let a = Rng.create ~seed:1 () in
+  let b = Rng.create ~seed:2 () in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.bits64 a) (Rng.bits64 b) then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 2)
+
+let test_copy_independent () =
+  let a = Rng.create ~seed:5 () in
+  let b = Rng.copy a in
+  let va = Rng.float a in
+  let vb = Rng.float b in
+  check_float "copy resumes identically" va vb;
+  (* advancing a does not advance b *)
+  let _ = Rng.float a in
+  let _ = Rng.float a in
+  let va3 = Rng.float a and vb1 = Rng.float b in
+  Alcotest.(check bool) "diverged" true (va3 <> vb1)
+
+let test_split_decorrelated () =
+  let parent = Rng.create ~seed:9 () in
+  let child = Rng.split parent in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.bits64 parent) (Rng.bits64 child) then incr matches
+  done;
+  Alcotest.(check bool) "split stream differs" true (!matches < 2)
+
+let test_float_range () =
+  let rng = Rng.create ~seed:3 () in
+  for _ = 1 to 10_000 do
+    let u = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (u >= 0. && u < 1.)
+  done
+
+let test_float_mean () =
+  let rng = Rng.create ~seed:4 () in
+  let mu = mean_of 100_000 Rng.float rng in
+  Alcotest.(check bool) "mean near 1/2" true (Float.abs (mu -. 0.5) < 0.01)
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:6 () in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (v >= 0 && v < 7)
+  done;
+  Alcotest.check_raises "bound 0 rejected" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_uniform () =
+  let rng = Rng.create ~seed:8 () in
+  let counts = Array.make 5 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 5 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let f = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "each bucket ~1/5" true (Float.abs (f -. 0.2) < 0.01))
+    counts
+
+let test_uniform_interval () =
+  let rng = Rng.create ~seed:10 () in
+  for _ = 1 to 1000 do
+    let v = Rng.uniform rng ~lo:(-3.) ~hi:2. in
+    Alcotest.(check bool) "in [-3,2)" true (v >= -3. && v < 2.)
+  done
+
+let test_splitmix_known_stream () =
+  (* SplitMix64 reference values for seed 0 (from the published algorithm). *)
+  let sm = Splitmix64.create 0L in
+  let first = Splitmix64.next sm in
+  Alcotest.(check bool) "nonzero and deterministic" true
+    (Int64.equal first (Splitmix64.create 0L |> Splitmix64.next));
+  let second = Splitmix64.next sm in
+  Alcotest.(check bool) "stream advances" true (not (Int64.equal first second))
+
+(* --- distributions --- *)
+
+let test_bernoulli () =
+  let rng = Rng.create ~seed:11 () in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Dist.bernoulli ~p:0.3 rng then incr hits
+  done;
+  let f = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "p=0.3" true (Float.abs (f -. 0.3) < 0.01);
+  Alcotest.(check bool) "p=0 never" true (not (Dist.bernoulli ~p:0. rng));
+  Alcotest.(check bool) "p=1 always" true (Dist.bernoulli ~p:1. rng)
+
+let test_gaussian_moments () =
+  let rng = Rng.create ~seed:12 () in
+  let n = 100_000 in
+  let mu = mean_of n (Dist.gaussian ~mu:2. ~sigma:3.) rng in
+  Alcotest.(check bool) "mean" true (Float.abs (mu -. 2.) < 0.05);
+  let v = var_of n (Dist.gaussian ~sigma:3.) rng in
+  Alcotest.(check bool) "variance" true (Float.abs (v -. 9.) < 0.3)
+
+let test_gaussian_zero_sigma () =
+  let rng = Rng.create ~seed:13 () in
+  Alcotest.(check (float 0.)) "degenerate" 5. (Dist.gaussian ~mu:5. ~sigma:0. rng)
+
+let test_laplace_moments () =
+  let rng = Rng.create ~seed:14 () in
+  let n = 200_000 in
+  let b = 1.5 in
+  let mu = mean_of n (Dist.laplace ~scale:b) rng in
+  Alcotest.(check bool) "centered" true (Float.abs mu < 0.03);
+  let v = var_of n (Dist.laplace ~scale:b) rng in
+  (* Var = 2 b^2 = 4.5 *)
+  Alcotest.(check bool) "variance 2b^2" true (Float.abs (v -. 4.5) < 0.25)
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:15 () in
+  let mu = mean_of 100_000 (Dist.exponential ~rate:4.) rng in
+  Alcotest.(check bool) "mean 1/rate" true (Float.abs (mu -. 0.25) < 0.01)
+
+let test_gumbel_location () =
+  let rng = Rng.create ~seed:16 () in
+  (* E[Gumbel] = Euler-Mascheroni constant. *)
+  let mu = mean_of 200_000 (Dist.gumbel ?scale:None) rng in
+  Alcotest.(check bool) "mean ~0.5772" true (Float.abs (mu -. 0.5772) < 0.02)
+
+let test_geometric () =
+  let rng = Rng.create ~seed:17 () in
+  let p = 0.25 in
+  let mu = mean_of 100_000 (fun r -> float_of_int (Dist.geometric ~p r)) rng in
+  (* mean (failures before success) = (1-p)/p = 3 *)
+  Alcotest.(check bool) "mean (1-p)/p" true (Float.abs (mu -. 3.) < 0.1);
+  Alcotest.(check int) "p=1 is 0" 0 (Dist.geometric ~p:1. rng)
+
+let test_binomial () =
+  let rng = Rng.create ~seed:18 () in
+  let mu = mean_of 20_000 (fun r -> float_of_int (Dist.binomial ~n:10 ~p:0.4 r)) rng in
+  Alcotest.(check bool) "mean np" true (Float.abs (mu -. 4.) < 0.1)
+
+let test_rademacher () =
+  let rng = Rng.create ~seed:24 () in
+  let pos = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Dist.rademacher rng in
+    Alcotest.(check bool) "in {-1,+1}" true (v = 1. || v = -1.);
+    if v = 1. then incr pos
+  done;
+  Alcotest.(check bool) "balanced" true
+    (Float.abs ((float_of_int !pos /. float_of_int n) -. 0.5) < 0.01)
+
+let test_gaussian_vector () =
+  let rng = Rng.create ~seed:25 () in
+  let v = Dist.gaussian_vector ~dim:5 ~sigma:2. rng in
+  Alcotest.(check int) "dim" 5 (Array.length v);
+  (* coordinates are iid: across many draws, empirical covariance of two
+     coordinates should be near zero *)
+  let n = 20_000 in
+  let cov = ref 0. in
+  for _ = 1 to n do
+    let w = Dist.gaussian_vector ~dim:2 ~sigma:1. rng in
+    cov := !cov +. (w.(0) *. w.(1))
+  done;
+  Alcotest.(check bool) "uncorrelated" true (Float.abs (!cov /. float_of_int n) < 0.02)
+
+let test_categorical_frequencies () =
+  let rng = Rng.create ~seed:19 () in
+  let weights = [| 1.; 2.; 3.; 4. |] in
+  let counts = Array.make 4 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Dist.categorical ~weights rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = weights.(i) /. 10. in
+      let f = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "matches weight" true (Float.abs (f -. expected) < 0.01))
+    counts
+
+let test_categorical_rejects_bad_weights () =
+  let rng = Rng.create ~seed:20 () in
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Dist.categorical: weights must be non-negative") (fun () ->
+      ignore (Dist.categorical ~weights:[| 1.; -1. |] rng));
+  Alcotest.check_raises "zero sum"
+    (Invalid_argument "Dist.categorical: weights must have a positive sum") (fun () ->
+      ignore (Dist.categorical ~weights:[| 0.; 0. |] rng))
+
+let test_alias_matches_categorical () =
+  let rng = Rng.create ~seed:21 () in
+  let weights = [| 0.1; 0.0; 5.; 2.; 0.9 |] in
+  let alias = Dist.Alias.create weights in
+  let counts = Array.make 5 0 in
+  let n = 200_000 in
+  for _ = 1 to n do
+    let i = Dist.Alias.draw alias rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let total = Array.fold_left ( +. ) 0. weights in
+  Array.iteri
+    (fun i c ->
+      let expected = weights.(i) /. total in
+      let f = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "alias frequency" true (Float.abs (f -. expected) < 0.01))
+    counts
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create ~seed:22 () in
+  let arr = Array.init 50 (fun i -> i) in
+  Dist.shuffle arr rng;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_sample_without_replacement () =
+  let rng = Rng.create ~seed:23 () in
+  let s = Dist.sample_indices_without_replacement ~n:20 ~k:10 rng in
+  Alcotest.(check int) "size" 10 (Array.length s);
+  let seen = Hashtbl.create 10 in
+  Array.iter
+    (fun i ->
+      Alcotest.(check bool) "in range" true (i >= 0 && i < 20);
+      Alcotest.(check bool) "distinct" false (Hashtbl.mem seen i);
+      Hashtbl.add seen i ())
+    s
+
+(* --- qcheck properties --- *)
+
+let qcheck_int_in_range =
+  QCheck.Test.make ~name:"Rng.int always within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed ()  in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let qcheck_swr_distinct =
+  QCheck.Test.make ~name:"sample_without_replacement distinct" ~count:200
+    QCheck.(pair small_int (int_range 0 50))
+    (fun (seed, k) ->
+      let rng = Rng.create ~seed () in
+      let s = Dist.sample_indices_without_replacement ~n:50 ~k rng in
+      let l = Array.to_list s in
+      List.length (List.sort_uniq compare l) = k)
+
+let qcheck_laplace_sign_symmetric =
+  QCheck.Test.make ~name:"laplace with scale 0 is 0" ~count:100 QCheck.small_int (fun seed ->
+      let rng = Rng.create ~seed () in
+      Dist.laplace ~scale:0. rng = 0.)
+
+let () =
+  Alcotest.run "pmw_rng"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "distinct seeds" `Quick test_distinct_seeds;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split" `Quick test_split_decorrelated;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "float mean" `Quick test_float_mean;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int uniform" `Quick test_int_uniform;
+          Alcotest.test_case "uniform interval" `Quick test_uniform_interval;
+          Alcotest.test_case "splitmix stream" `Quick test_splitmix_known_stream;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "bernoulli" `Quick test_bernoulli;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "gaussian sigma=0" `Quick test_gaussian_zero_sigma;
+          Alcotest.test_case "laplace moments" `Quick test_laplace_moments;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "gumbel location" `Quick test_gumbel_location;
+          Alcotest.test_case "geometric" `Quick test_geometric;
+          Alcotest.test_case "binomial" `Quick test_binomial;
+          Alcotest.test_case "rademacher" `Quick test_rademacher;
+          Alcotest.test_case "gaussian vector" `Quick test_gaussian_vector;
+          Alcotest.test_case "categorical freq" `Quick test_categorical_frequencies;
+          Alcotest.test_case "categorical validation" `Quick test_categorical_rejects_bad_weights;
+          Alcotest.test_case "alias method" `Quick test_alias_matches_categorical;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "sample w/o replacement" `Quick test_sample_without_replacement;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_int_in_range; qcheck_swr_distinct; qcheck_laplace_sign_symmetric ] );
+    ]
