@@ -10,6 +10,8 @@
    Examples:
      pmw_cli exp f1-crossover
      pmw_cli run --workload classification --n 200000 --k 24 --alpha 0.05
+     pmw_cli session --checkpoint-dir /tmp/pmw --fault timeout --kill-after 8
+     pmw_cli session --checkpoint-dir /tmp/pmw --fault timeout --resume
      pmw_cli theory --alpha 0.05 --k 1000 --d 4 --log-universe 10 *)
 
 open Cmdliner
@@ -108,7 +110,7 @@ let run_cmd =
       let records =
         Pmw_core.Analyst.run ~analyst ~k
           ~answer:(fun q ->
-            Option.map (fun o -> o.Pmw_core.Online_pmw.theta) (Pmw_core.Online_pmw.answer mechanism q))
+            Option.map (fun o -> o.Pmw_core.Online_pmw.theta) (Pmw_core.Online_pmw.answer_opt mechanism q))
           ~dataset ~solver_iters:300 ()
       in
       List.iter
@@ -259,6 +261,146 @@ let release_cmd =
         (const run $ input_arg $ alpha_arg $ eps_arg $ delta_arg $ t_arg $ workload_arg
        $ out_hist_arg $ out_synth_arg $ rows_arg $ seed_arg))
 
+(* --- session --- *)
+
+let session_cmd =
+  let doc =
+    "Run the fault-tolerant session engine: checkpoint after every query, optionally inject \
+     oracle faults, and resume a killed run with --resume"
+  in
+  let module Session = Pmw_session.Session in
+  let module Checkpoint = Pmw_session.Checkpoint in
+  let module Faulty = Pmw_erm.Faulty_oracle in
+  let workload_arg =
+    let kind = Arg.enum [ ("regression", `Regression); ("classification", `Classification) ] in
+    Arg.(value & opt kind `Regression & info [ "workload" ] ~docv:"KIND" ~doc:"regression|classification")
+  in
+  let n_arg = Arg.(value & opt int 150_000 & info [ "n" ] ~doc:"Dataset size") in
+  let k_arg = Arg.(value & opt int 20 & info [ "k" ] ~doc:"Number of queries") in
+  let alpha_arg = Arg.(value & opt float 0.06 & info [ "alpha" ] ~doc:"Target excess risk") in
+  let eps_arg = Arg.(value & opt float 1.0 & info [ "eps" ] ~doc:"Privacy budget epsilon") in
+  let delta_arg = Arg.(value & opt float 1e-6 & info [ "delta" ] ~doc:"Privacy budget delta") in
+  let t_arg = Arg.(value & opt int 20 & info [ "t-max" ] ~doc:"MW update budget T") in
+  let d_arg = Arg.(value & opt int 2 & info [ "d" ] ~doc:"Feature dimension") in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed (must match across resume)") in
+  let dir_arg =
+    Arg.(value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR"
+           ~doc:"Write DIR/session.ckpt (atomically) after every query")
+  in
+  let resume_flag =
+    Arg.(value & flag & info [ "resume" ] ~doc:"Resume from DIR/session.ckpt instead of starting fresh")
+  in
+  let fault_arg =
+    Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC"
+           ~doc:"Inject oracle faults: nan|inf|divergent|timeout|misreport:FACTOR")
+  in
+  let fault_every_arg =
+    Arg.(value & opt int 3 & info [ "fault-every" ] ~doc:"Inject on every Nth oracle call")
+  in
+  let fault_seed_arg = Arg.(value & opt int 5 & info [ "fault-seed" ] ~doc:"Fault-injection seed") in
+  let kill_arg =
+    Arg.(value & opt (some int) None & info [ "kill-after" ] ~docv:"M"
+           ~doc:"Exit after answering M queries this invocation (simulates a crash; resume later)")
+  in
+  let run workload n k alpha eps delta t_max d seed dir resume fault_spec fault_every fault_seed
+      kill_after =
+    let ( let* ) r f = match r with Error m -> `Error (false, m) | Ok v -> f v in
+    let* fault =
+      match fault_spec with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (Faulty.fault_of_string s)
+    in
+    if n <= 0 || k <= 0 then `Error (false, "n and k must be positive")
+    else begin
+      let w =
+        match workload with
+        | `Regression -> Common.Workload.regression ~d ()
+        | `Classification -> Common.Workload.classification ~d ()
+      in
+      let dataset = w.Common.Workload.sample ~n (Pmw_rng.Rng.create ~seed ()) in
+      let config =
+        Pmw_core.Config.practical ~universe:w.Common.Workload.universe
+          ~privacy:(Pmw_dp.Params.create ~eps ~delta)
+          ~alpha ~beta:0.05 ~scale:w.Common.Workload.scale ~k ~t_max ~solver_iters:200 ()
+      in
+      let faulty =
+        Option.map
+          (fun f ->
+            Faulty.create ~seed:fault_seed
+              ~plan:(Faulty.Every { period = fault_every; fault = f })
+              (Pmw_erm.Oracles.noisy_gd ()))
+          fault
+      in
+      let oracles =
+        match faulty with
+        | Some fo -> [ Faulty.oracle fo; Pmw_erm.Oracles.output_perturbation ]
+        | None -> [ Pmw_erm.Oracles.noisy_gd (); Pmw_erm.Oracles.output_perturbation ]
+      in
+      let spend_claim =
+        match faulty with
+        | Some fo -> fun () -> Faulty.claimed_spend fo
+        | None -> fun () -> None
+      in
+      let rng = Pmw_rng.Rng.create ~seed:(seed + 7919) () in
+      let ckpt_path = Option.map (fun dir -> Filename.concat dir "session.ckpt") dir in
+      let* session =
+        if resume then
+          match ckpt_path with
+          | None -> Error "--resume requires --checkpoint-dir"
+          | Some path -> (
+              match Checkpoint.read ~path with
+              | Error m -> Error m
+              | Ok ckpt ->
+                  Option.iter
+                    (fun fo ->
+                      Faulty.set_calls fo (Checkpoint.attempts_for ckpt (Faulty.oracle fo).Pmw_erm.Oracle.name))
+                    faulty;
+                  Session.resume ~config ~dataset ~oracles ~spend_claim ~rng ckpt)
+        else Ok (Session.create ~config ~dataset ~oracles ~spend_claim ~rng ())
+      in
+      Option.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755) dir;
+      let qarr = Array.of_list w.Common.Workload.queries in
+      let start = Session.queries session in
+      if start > 0 then Printf.printf "resumed at query %d\n%!" start;
+      let todo = max 0 (k - start) in
+      let todo = match kill_after with Some m -> min m todo | None -> todo in
+      for i = start to start + todo - 1 do
+        let q = qarr.(i mod Array.length qarr) in
+        let module O = Pmw_core.Online_pmw in
+        (match Session.answer session q with
+        | O.Answered o ->
+            Printf.printf "round %3d  %-24s answered (%s)\n" i q.Pmw_core.Cm_query.name
+              (match o.O.source with O.From_hypothesis -> "hypothesis" | O.From_oracle -> "oracle")
+        | O.Degraded (_, reason) ->
+            Printf.printf "round %3d  %-24s DEGRADED: %s\n" i q.Pmw_core.Cm_query.name
+              (O.degradation_to_string reason)
+        | O.Refused reason ->
+            Printf.printf "round %3d  %-24s REFUSED: %s\n" i q.Pmw_core.Cm_query.name
+              (O.refusal_to_string reason));
+        Option.iter (fun path -> Session.save session ~path) ckpt_path
+      done;
+      let b = Session.budget session in
+      let spent = Pmw_core.Budget.spent b and total = Pmw_core.Budget.total b in
+      Printf.printf
+        "queries %d/%d: %d answered, %d degraded, %d refused; oracle attempts %d%s\n\
+         privacy spent (eps %.4f of %.4f, delta %.2e of %.2e)\n"
+        (Session.queries session) k (Session.answered session)
+        (Session.degraded_answers session) (Session.refusals session)
+        (Session.attempt_count session)
+        (if Session.breached session then "; LEDGER BREACHED (drained to cap)" else "")
+        spent.Pmw_dp.Params.eps total.Pmw_dp.Params.eps spent.Pmw_dp.Params.delta
+        total.Pmw_dp.Params.delta;
+      if Session.queries session < k then
+        Printf.printf "stopped early after --kill-after; rerun with --resume to continue\n";
+      `Ok ()
+    end
+  in
+  Cmd.v (Cmd.info "session" ~doc)
+    Term.(
+      ret
+        (const run $ workload_arg $ n_arg $ k_arg $ alpha_arg $ eps_arg $ delta_arg $ t_arg $ d_arg
+       $ seed_arg $ dir_arg $ resume_flag $ fault_arg $ fault_every_arg $ fault_seed_arg $ kill_arg))
+
 (* --- theory --- *)
 
 let theory_cmd =
@@ -293,4 +435,6 @@ let theory_cmd =
 let () =
   let doc = "Private multiplicative weights beyond linear queries (Ullman, PODS 2015)" in
   let info = Cmd.info "pmw_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; exp_cmd; run_cmd; theory_cmd; ingest_cmd; release_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; exp_cmd; run_cmd; session_cmd; theory_cmd; ingest_cmd; release_cmd ]))

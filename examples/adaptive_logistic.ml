@@ -59,7 +59,7 @@ let session ~d ~seed =
   let analyst = Analyst.adaptive ~name:"backward-selection" next in
   let records =
     Analyst.run ~analyst ~k
-      ~answer:(fun q -> Option.map (fun o -> o.Online_pmw.theta) (Online_pmw.answer mechanism q))
+      ~answer:(fun q -> Option.map (fun o -> o.Online_pmw.theta) (Online_pmw.answer_opt mechanism q))
       ~dataset ~solver_iters:400 ()
   in
   (records, Online_pmw.updates mechanism, config.Pmw_core.Config.t_max)

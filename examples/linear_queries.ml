@@ -84,7 +84,7 @@ let () =
   let cm_errors =
     List.map2
       (fun cq (lq : Linear_pmw.query) ->
-        match Online_pmw.answer mechanism cq with
+        match Online_pmw.answer_opt mechanism cq with
         | None -> nan
         | Some o ->
             Float.abs (o.Online_pmw.theta.(0) -. Linear_pmw.evaluate lq true_hist))

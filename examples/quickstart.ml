@@ -57,16 +57,23 @@ let () =
   Format.printf "@.%-16s %-28s %-12s %s@." "query" "private theta" "excess risk" "source";
   List.iter
     (fun q ->
+      let print_outcome outcome tag =
+        let err = Cm_query.err_answer q dataset outcome.Online_pmw.theta in
+        Format.printf "%-16s %-28s %-12.4f %s%s@." q.Cm_query.name
+          (Format.asprintf "%a" Vec.pp outcome.Online_pmw.theta)
+          err
+          (match outcome.Online_pmw.source with
+          | Online_pmw.From_hypothesis -> "hypothesis"
+          | Online_pmw.From_oracle -> "oracle")
+          tag
+      in
       match Online_pmw.answer mechanism q with
-      | None -> Format.printf "%-16s (mechanism halted)@." q.Cm_query.name
-      | Some outcome ->
-          let err = Cm_query.err_answer q dataset outcome.Online_pmw.theta in
-          Format.printf "%-16s %-28s %-12.4f %s@." q.Cm_query.name
-            (Format.asprintf "%a" Vec.pp outcome.Online_pmw.theta)
-            err
-            (match outcome.Online_pmw.source with
-            | Online_pmw.From_hypothesis -> "hypothesis"
-            | Online_pmw.From_oracle -> "oracle"))
+      | Online_pmw.Refused r ->
+          Format.printf "%-16s (refused: %s)@." q.Cm_query.name (Online_pmw.refusal_to_string r)
+      | Online_pmw.Answered outcome -> print_outcome outcome ""
+      | Online_pmw.Degraded (outcome, d) ->
+          print_outcome outcome
+            (Printf.sprintf " [degraded: %s]" (Online_pmw.degradation_to_string d)))
     queries;
   Format.printf "@.MW updates used: %d / %d; queries answered: %d@."
     (Online_pmw.updates mechanism) config.Pmw_core.Config.t_max

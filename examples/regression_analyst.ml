@@ -66,7 +66,7 @@ let () =
   in
   let pmw_records =
     Analyst.run ~analyst ~k
-      ~answer:(fun q -> Option.map (fun o -> o.Online_pmw.theta) (Online_pmw.answer mechanism q))
+      ~answer:(fun q -> Option.map (fun o -> o.Online_pmw.theta) (Online_pmw.answer_opt mechanism q))
       ~dataset ~solver_iters:400 ()
   in
 

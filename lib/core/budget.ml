@@ -14,13 +14,23 @@ let remaining t =
     ~eps:(Float.max 0. (t.total.Params.eps -. s.Params.eps))
     ~delta:(Float.max 0. (t.total.Params.delta -. s.Params.delta))
 
+(* One relative slack, applied to both coordinates: round-off from summing
+   granted slices scales with the total, so an absolute epsilon-slack that is
+   right for eps = 1 is wrong for eps = 100 (and hopeless for delta = 1e-12).
+   The same scaled slack is used by [request] and [exhausted], so the two can
+   never disagree about whether a final sliver is grantable. *)
+let slack = 1e-12
+
+let eps_slack t = slack *. Float.max t.total.Params.eps 1.
+let delta_slack t = slack *. Float.max t.total.Params.delta Float.min_float
+
 let request t slice =
   let r = remaining t in
-  if slice.Params.eps > r.Params.eps +. 1e-15 then
+  if slice.Params.eps > r.Params.eps +. eps_slack t then
     Error
       (Printf.sprintf "budget exhausted: requested eps=%g but only %g remains" slice.Params.eps
          r.Params.eps)
-  else if slice.Params.delta > r.Params.delta +. 1e-300 then
+  else if slice.Params.delta > r.Params.delta +. delta_slack t then
     Error
       (Printf.sprintf "budget exhausted: requested delta=%g but only %g remains"
          slice.Params.delta r.Params.delta)
@@ -37,6 +47,18 @@ let request_fraction t fraction =
        ~eps:(t.total.Params.eps *. fraction)
        ~delta:(t.total.Params.delta *. fraction))
 
-let exhausted ?(tolerance = 1e-12) t = (remaining t).Params.eps <= tolerance
+let request_all t =
+  let r = remaining t in
+  t.granted <- r :: t.granted;
+  r
+
+let exhausted ?tolerance t =
+  let eps_tol, delta_tol =
+    match tolerance with
+    | None -> (eps_slack t, delta_slack t)
+    | Some tol -> (tol *. Float.max t.total.Params.eps 1., tol *. Float.max t.total.Params.delta Float.min_float)
+  in
+  let r = remaining t in
+  r.Params.eps <= eps_tol || (t.total.Params.delta > 0. && r.Params.delta <= delta_tol)
 
 let history t = List.rev t.granted

@@ -6,9 +6,19 @@
     the guarantees silently compose past the intended total. A [Budget.t]
     holds the pot, hands out slices, refuses when exhausted, and keeps the
     ledger — so "are we still within (1, 1e-6)?" has one authoritative
-    answer. Basic composition is used for soundness (slices are typically
-    few and heterogeneous; the fine-grained composition happens inside each
-    mechanism). *)
+    answer.
+
+    {b Soundness assumption:} the ledger totals slices by BASIC composition
+    — the granted [ε]s and [δ]s are simply summed. This is always sound
+    (never under-reports the true privacy loss) but deliberately
+    conservative: slices here are typically few and heterogeneous, and the
+    fine-grained (advanced / zCDP) composition happens {e inside} each
+    mechanism over its own sub-events. Consequently [spent <= total] under
+    basic composition implies the whole session is [(total.eps,
+    total.delta)]-DP; a future accountant could grant more slices from the
+    same pot, never fewer. Failed or retried mechanism invocations must
+    keep their slices debited (a failed private computation still consumed
+    its budget) — the session layer's retry chain is built on this rule. *)
 
 type t
 
@@ -22,15 +32,29 @@ val remaining : t -> Pmw_dp.Params.t
 val request : t -> Pmw_dp.Params.t -> (Pmw_dp.Params.t, string) result
 (** [request t slice] debits [slice] if it fits in the remainder, returning
     it for the caller to hand to a mechanism; [Error] (with a human-readable
-    reason) otherwise — nothing is debited on refusal. *)
+    reason) otherwise — nothing is debited on refusal. Fit is judged with a
+    relative round-off slack of [1e-12·total] applied consistently to both
+    [ε] and [δ], so a remainder produced by float summation is always
+    re-grantable. *)
 
 val request_fraction : t -> float -> (Pmw_dp.Params.t, string) result
 (** Debit the given fraction of the ORIGINAL total (e.g. [0.5] twice
     exhausts the pot). @raise Invalid_argument unless the fraction lies in
     (0, 1]. *)
 
+val request_all : t -> Pmw_dp.Params.t
+(** Drain the pot: debit and return whatever remains (possibly zero), in one
+    atomic step — no race between reading [remaining] and requesting it.
+    The drain is recorded in the history like any grant. This is the
+    conservative response to a mechanism that misreports its spend: charge
+    everything left, so the ledger can never under-state the true loss. *)
+
 val exhausted : ?tolerance:float -> t -> bool
-(** No meaningful ε remains (default tolerance [1e-12]). *)
+(** No meaningful budget remains: [ε] is gone, or (for an approximate-DP
+    pot) [δ] is gone. The default tolerance is the same relative [1e-12]
+    slack {!request} uses, applied consistently to both coordinates — so
+    [exhausted t] exactly when no request beyond round-off noise can
+    succeed. Pass [tolerance] to widen both (relative) slacks together. *)
 
 val history : t -> Pmw_dp.Params.t list
-(** Granted slices, oldest first. *)
+(** Granted slices, oldest first (drains included). *)

@@ -11,6 +11,33 @@ type source = From_hypothesis | From_oracle
 
 type outcome = { theta : Vec.t; source : source; update_index : int }
 
+type degradation =
+  | Update_budget_exhausted
+  | Query_limit_reached
+  | Oracle_unavailable of string
+  | Privacy_budget_exhausted of string
+
+type refusal =
+  | Scale_exceeded of { query_scale : float; limit : float }
+  | Quarantined of string
+  | Oracle_failed of string
+  | Oracle_budget_denied of string
+
+type verdict = Answered of outcome | Degraded of outcome * degradation | Refused of refusal
+
+let degradation_to_string = function
+  | Update_budget_exhausted -> "update budget T exhausted"
+  | Query_limit_reached -> "query limit k reached"
+  | Oracle_unavailable r -> Printf.sprintf "oracle unavailable (%s)" r
+  | Privacy_budget_exhausted r -> Printf.sprintf "privacy budget exhausted (%s)" r
+
+let refusal_to_string = function
+  | Scale_exceeded { query_scale; limit } ->
+      Printf.sprintf "query scale %g exceeds configured S=%g" query_scale limit
+  | Quarantined r -> Printf.sprintf "numeric quarantine: %s" r
+  | Oracle_failed r -> Printf.sprintf "oracle failed: %s" r
+  | Oracle_budget_denied r -> Printf.sprintf "oracle budget denied: %s" r
+
 type t = {
   config : Config.t;
   dataset : Pmw_data.Dataset.t;
@@ -51,59 +78,141 @@ let halted t = Sv.halted t.sv
 let config t = t.config
 let oracle_accountant t = t.accountant
 
+let degradation_reason t =
+  if Sv.tops_used t.sv >= t.config.Config.t_max then Update_budget_exhausted
+  else Query_limit_reached
+
+let all_finite v =
+  let ok = ref true in
+  Array.iter (fun x -> if not (Float.is_finite x) then ok := false) v;
+  !ok
+
 let answer t query =
   if Cm_query.scale query > t.config.Config.scale +. 1e-9 then
-    invalid_arg
-      (Printf.sprintf "Online_pmw.answer: query scale %g exceeds configured S=%g"
-         (Cm_query.scale query) t.config.Config.scale);
-  if halted t then None
+    Refused (Scale_exceeded { query_scale = Cm_query.scale query; limit = t.config.Config.scale })
   else begin
     let iters = t.config.Config.solver_iters in
     let dhat = hypothesis t in
     let theta_hyp = (Cm_query.minimize_on_histogram ~iters query dhat).Solve.theta in
-    (* q_j(D) = err_l(D, Dhat^t); the true-data solve below is an internal
-       computation whose output only reaches the analyst through SV. *)
-    let reference = Cm_query.minimize_on_dataset ~iters query t.dataset in
-    let q_value =
-      Float.max 0. (Cm_query.loss_on_dataset query t.dataset theta_hyp -. reference.Solve.value)
-    in
-    t.answered <- t.answered + 1;
-    match Sv.query t.sv q_value with
-    | None ->
-        Log.info (fun m -> m "query %d (%s): mechanism halted" t.answered query.Cm_query.name);
-        None
-    | Some Sv.Bottom ->
-        Log.debug (fun m ->
-            m "query %d (%s): below threshold, answered from hypothesis" t.answered
-              query.Cm_query.name);
-        Some { theta = theta_hyp; source = From_hypothesis; update_index = updates t }
-    | Some Sv.Top ->
-        let request =
-          {
-            Pmw_erm.Oracle.dataset = t.dataset;
-            loss = query.Cm_query.loss;
-            domain = query.Cm_query.domain;
-            privacy = t.config.Config.oracle_privacy;
-            rng = t.rng;
-            solver_iters = iters;
-          }
-        in
-        let theta_oracle = t.oracle.Pmw_erm.Oracle.run request in
-        Pmw_dp.Accountant.spend t.accountant t.config.Config.oracle_privacy;
-        let s = t.config.Config.scale in
-        let universe = Pmw_mw.Mw.universe t.mw in
-        let u i =
-          let x = Universe.get universe i in
-          let v = Cm_query.update_vector query ~theta_oracle ~theta_hyp i x in
-          Pmw_linalg.Special.clamp ~lo:(-.s) ~hi:s v
-        in
-        Pmw_mw.Mw.update t.mw ~loss:u;
-        Log.debug (fun m ->
-            m "query %d (%s): above threshold, oracle answered, MW update %d/%d" t.answered
-              query.Cm_query.name (updates t) t.config.Config.t_max);
-        Some { theta = theta_oracle; source = From_oracle; update_index = updates t }
+    if not (all_finite theta_hyp) then Refused (Quarantined "non-finite hypothesis minimizer")
+    else if halted t then begin
+      (* Graceful degradation: the SV budget is gone, but the frozen public
+         hypothesis is pure post-processing — keep answering from it, at
+         zero additional privacy cost, with an explicit flag. *)
+      let reason = degradation_reason t in
+      Log.info (fun m ->
+          m "query (%s): degraded answer from frozen hypothesis (%s)" query.Cm_query.name
+            (degradation_to_string reason));
+      Degraded ({ theta = theta_hyp; source = From_hypothesis; update_index = updates t }, reason)
+    end
+    else begin
+      (* q_j(D) = err_l(D, Dhat^t); the true-data solve below is an internal
+         computation whose output only reaches the analyst through SV. *)
+      let reference = Cm_query.minimize_on_dataset ~iters query t.dataset in
+      let q_value =
+        Float.max 0. (Cm_query.loss_on_dataset query t.dataset theta_hyp -. reference.Solve.value)
+      in
+      if not (Float.is_finite q_value) then Refused (Quarantined "non-finite error-query value")
+      else begin
+        t.answered <- t.answered + 1;
+        match Sv.query t.sv q_value with
+        | None ->
+            (* Unreachable given the halt check above; treat as degradation. *)
+            Degraded
+              ( { theta = theta_hyp; source = From_hypothesis; update_index = updates t },
+                degradation_reason t )
+        | Some Sv.Bottom ->
+            Log.debug (fun m ->
+                m "query %d (%s): below threshold, answered from hypothesis" t.answered
+                  query.Cm_query.name);
+            Answered { theta = theta_hyp; source = From_hypothesis; update_index = updates t }
+        | Some Sv.Top -> (
+            let request =
+              {
+                Pmw_erm.Oracle.dataset = t.dataset;
+                loss = query.Cm_query.loss;
+                domain = query.Cm_query.domain;
+                privacy = t.config.Config.oracle_privacy;
+                rng = t.rng;
+                solver_iters = iters;
+              }
+            in
+            (* Debit the per-call (eps0, delta0) BEFORE the oracle runs: a
+               failed or quarantined attempt has still touched the data, so
+               its budget stays spent (the ledger never un-debits). *)
+            Pmw_dp.Accountant.spend t.accountant t.config.Config.oracle_privacy;
+            match t.oracle.Pmw_erm.Oracle.run request with
+            | exception Pmw_erm.Oracle.Budget_denied why ->
+                Log.warn (fun m ->
+                    m "query %d (%s): oracle budget denied: %s" t.answered query.Cm_query.name why);
+                Refused (Oracle_budget_denied why)
+            | exception e when Pmw_erm.Oracle.failure_reason e <> None ->
+                let why = Option.get (Pmw_erm.Oracle.failure_reason e) in
+                Log.warn (fun m ->
+                    m "query %d (%s): oracle failed: %s" t.answered query.Cm_query.name why);
+                Refused (Oracle_failed why)
+            | theta_oracle ->
+                if not (all_finite theta_oracle) then
+                  Refused (Quarantined "non-finite oracle answer")
+                else if
+                  not
+                    (Pmw_convex.Domain.contains
+                       ~tol:(1e-6 *. Float.max 1. (Pmw_convex.Domain.diameter query.Cm_query.domain))
+                       query.Cm_query.domain theta_oracle)
+                then Refused (Quarantined "oracle answer diverged outside the domain")
+                else begin
+                  let s = t.config.Config.scale in
+                  let universe = Pmw_mw.Mw.universe t.mw in
+                  let u i =
+                    let x = Universe.get universe i in
+                    let v = Cm_query.update_vector query ~theta_oracle ~theta_hyp i x in
+                    Pmw_linalg.Special.clamp ~lo:(-.s) ~hi:s v
+                  in
+                  match Pmw_mw.Mw.update_checked t.mw ~loss:u with
+                  | Error why -> Refused (Quarantined why)
+                  | Ok () ->
+                      Log.debug (fun m ->
+                          m "query %d (%s): above threshold, oracle answered, MW update %d/%d"
+                            t.answered query.Cm_query.name (updates t) t.config.Config.t_max);
+                      Answered { theta = theta_oracle; source = From_oracle; update_index = updates t }
+                end)
+      end
+    end
   end
+
+let answer_opt t query = match answer t query with Answered o -> Some o | _ -> None
 
 let answer_all t queries = List.map (answer t) queries
 
-let as_answerer t query = Option.map (fun o -> o.theta) (answer t query)
+let as_answerer t query = Option.map (fun o -> o.theta) (answer_opt t query)
+
+(* --- checkpointing --- *)
+
+type snapshot = {
+  snap_answered : int;
+  snap_mw_log_weights : float array;
+  snap_mw_updates : int;
+  snap_sv : Sv.snapshot;
+  snap_rng : int64 array;
+  snap_oracle_events : Pmw_dp.Params.t list;
+  snap_oracle_rho : float;
+}
+
+let snapshot t =
+  {
+    snap_answered = t.answered;
+    snap_mw_log_weights = Pmw_mw.Mw.log_weights t.mw;
+    snap_mw_updates = Pmw_mw.Mw.updates t.mw;
+    snap_sv = Sv.snapshot t.sv;
+    snap_rng = Pmw_rng.Rng.state t.rng;
+    snap_oracle_events = Pmw_dp.Accountant.events t.accountant;
+    snap_oracle_rho = Pmw_dp.Accountant.rho t.accountant;
+  }
+
+let restore t s =
+  if s.snap_answered < 0 then invalid_arg "Online_pmw.restore: negative answer count";
+  Pmw_mw.Mw.restore t.mw ~log_weights:s.snap_mw_log_weights ~updates:s.snap_mw_updates;
+  Sv.restore t.sv s.snap_sv;
+  Pmw_rng.Rng.restore t.rng s.snap_rng;
+  Pmw_dp.Accountant.restore t.accountant ~events:s.snap_oracle_events ~rho:s.snap_oracle_rho;
+  t.answered <- s.snap_answered

@@ -27,6 +27,40 @@ type outcome = {
   update_index : int;  (** the paper's [t] after processing this query *)
 }
 
+(** Why an answer is served from the frozen hypothesis instead of the live
+    protocol. The first two are emitted by this module once the SV instance
+    halts; the last two are emitted by the session layer
+    ([Pmw_session.Session]) when its oracle chain or privacy ledger gives
+    out — they live here so the whole stack shares one verdict type. *)
+type degradation =
+  | Update_budget_exhausted  (** all [T] MW updates spent *)
+  | Query_limit_reached  (** all [k] SV stream slots consumed *)
+  | Oracle_unavailable of string  (** every fallback stage failed *)
+  | Privacy_budget_exhausted of string  (** the session ledger refused to fund an attempt *)
+
+(** Why a query got no answer at all. Refusals leave the ledger consistent:
+    whatever was debited before the failure stays debited, and nothing else
+    is, so no refusal path can under-report privacy spend. *)
+type refusal =
+  | Scale_exceeded of { query_scale : float; limit : float }
+      (** the query's scale bound would break the SV sensitivity guarantee *)
+  | Quarantined of string
+      (** the numeric quarantine caught a NaN/Inf or a divergent solve at
+          one of the answer path's boundaries; the hypothesis is untouched *)
+  | Oracle_failed of string  (** the oracle raised a typed answer-time failure *)
+  | Oracle_budget_denied of string
+      (** a ledger-aware chain aborted before its first unfunded attempt *)
+
+type verdict =
+  | Answered of outcome  (** the live protocol of Figure 3 *)
+  | Degraded of outcome * degradation
+      (** an answer from the frozen hypothesis — pure post-processing of
+          already-released information, zero additional privacy cost *)
+  | Refused of refusal
+
+val degradation_to_string : degradation -> string
+val refusal_to_string : refusal -> string
+
 type t
 
 val create :
@@ -45,18 +79,27 @@ val create :
     @raise Invalid_argument if the prior is over a different universe or has
     empty support somewhere. *)
 
-val answer : t -> Cm_query.t -> outcome option
-(** Process one query; [None] once the mechanism has halted (the SV update
-    budget [T] is exhausted or [k] queries were asked).
-    @raise Invalid_argument if the query's scale bound [S] exceeds the
-    config's (the SV sensitivity guarantee would silently break). *)
+val answer : t -> Cm_query.t -> verdict
+(** Process one query. While the SV instance is live this is Figure 3
+    verbatim; once it halts the mechanism answers [Degraded] from the frozen
+    hypothesis instead of going dark. Numeric faults (NaN/Inf hypothesis
+    minimizer, error value, oracle answer, or MW update vector; oracle
+    answers outside the domain) and typed oracle failures come back as
+    [Refused] instead of raising — with the ledger already debited for any
+    attempt that touched the data (each ⊤ costs its [(ε₀, δ₀)] whether or
+    not the oracle succeeds, and a burned ⊤ stays burned). *)
 
-val answer_all : t -> Cm_query.t list -> outcome option list
+val answer_opt : t -> Cm_query.t -> outcome option
+(** Legacy shape: [Some] for [Answered] only — degraded and refused queries
+    map to [None], matching the pre-verdict halting behaviour. *)
+
+val answer_all : t -> Cm_query.t list -> verdict list
 (** Convenience fold of {!answer}. *)
 
 val as_answerer : t -> Cm_query.t -> Pmw_linalg.Vec.t option
 (** The mechanism as a bare answering function — the shape
-    {!Analyst.run}'s [answer] callback expects. *)
+    {!Analyst.run}'s [answer] callback expects. [None] once degraded or
+    refused (legacy halting semantics). *)
 
 val hypothesis : t -> Pmw_data.Histogram.t
 (** The current public hypothesis [D̂ᵗ] — safe to release (it is a
@@ -70,4 +113,32 @@ val config : t -> Config.t
 
 val oracle_accountant : t -> Pmw_dp.Accountant.t
 (** Ledger of the oracle calls made so far (the SV budget is accounted
-    separately, inside {!Pmw_dp.Sparse_vector}). *)
+    separately, inside {!Pmw_dp.Sparse_vector}). Conservative under
+    failure: each ⊤ is debited before the oracle runs, so failed calls are
+    charged too. *)
+
+(** {1 Checkpoint support}
+
+    The full mutable state of a running mechanism, exposed so the session
+    layer ([Pmw_session.Checkpoint]) can serialize it and a killed process
+    can resume without re-spending ε. The dataset, oracle and config are
+    NOT part of a snapshot — the caller re-supplies them (and the
+    checkpoint layer fingerprints the config to catch mismatches). *)
+
+type snapshot = {
+  snap_answered : int;
+  snap_mw_log_weights : float array;
+  snap_mw_updates : int;
+  snap_sv : Pmw_dp.Sparse_vector.snapshot;
+  snap_rng : int64 array;  (** the oracle-call generator *)
+  snap_oracle_events : Pmw_dp.Params.t list;
+  snap_oracle_rho : float;
+}
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Overwrite the mutable state of [t] (freshly created with the same
+    config, dataset and universe) with a snapshot; the mechanism then
+    continues bit-for-bit as the checkpointed one would have.
+    @raise Invalid_argument on dimension/range mismatches. *)

@@ -17,6 +17,13 @@ let spend_gaussian t ~sigma ~sensitivity =
 
 let count t = List.length t.events
 
+let events t = List.rev t.events
+
+let restore t ~events ~rho =
+  if rho < 0. || Float.is_nan rho then invalid_arg "Accountant.restore: rho must be non-negative";
+  t.events <- List.rev events;
+  t.rho <- rho
+
 let total_basic t = Params.compose_basic t.events
 
 let total_advanced t ~slack =

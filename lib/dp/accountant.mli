@@ -22,6 +22,15 @@ val spend_gaussian : t -> sigma:float -> sensitivity:float -> unit
 
 val count : t -> int
 
+val events : t -> Params.t list
+(** The recorded per-event costs, oldest first — for checkpointing. *)
+
+val restore : t -> events:Params.t list -> rho:float -> unit
+(** Overwrite the ledger with checkpointed events (oldest first) and
+    accumulated zCDP [ρ] ([ρ] is carried explicitly because
+    {!spend_gaussian} events have no [(ε, δ)] entry to recompute it from).
+    @raise Invalid_argument on a negative or NaN [ρ]. *)
+
 val total_basic : t -> Params.t
 (** Sum of all recorded costs. *)
 

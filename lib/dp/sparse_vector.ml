@@ -60,6 +60,33 @@ let query t value =
     else Some Bottom
   end
 
+type snapshot = {
+  snap_noisy_threshold : float;
+  snap_tops : int;
+  snap_asked : int;
+  snap_rng : int64 array;
+}
+
+let snapshot t =
+  {
+    snap_noisy_threshold = t.noisy_threshold;
+    snap_tops = t.tops;
+    snap_asked = t.asked;
+    snap_rng = Rng.state t.rng;
+  }
+
+let restore t s =
+  if s.snap_tops < 0 || s.snap_tops > t.t_max then
+    invalid_arg "Sparse_vector.restore: tops out of range";
+  if s.snap_asked < 0 || s.snap_asked > t.k then
+    invalid_arg "Sparse_vector.restore: asked out of range";
+  if Float.is_nan s.snap_noisy_threshold then
+    invalid_arg "Sparse_vector.restore: NaN threshold";
+  Rng.restore t.rng s.snap_rng;
+  t.noisy_threshold <- s.snap_noisy_threshold;
+  t.tops <- s.snap_tops;
+  t.asked <- s.snap_asked
+
 let theorem_3_1_n ~t_max ~k ~threshold ~privacy ~beta ~sensitivity_scale =
   256. *. sensitivity_scale
   *. sqrt (float_of_int t_max *. log (2. /. privacy.Params.delta))

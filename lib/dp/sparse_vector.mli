@@ -46,6 +46,25 @@ val queries_asked : t -> int
 val per_epoch_eps : t -> float
 (** The ε₀ charged per AboveThreshold epoch — exposed for accounting tests. *)
 
+type snapshot = {
+  snap_noisy_threshold : float;
+  snap_tops : int;
+  snap_asked : int;
+  snap_rng : int64 array;
+}
+(** The full mutable state of a running instance. The noisy threshold and the
+    generator state are part of the privacy-relevant transcript: restoring
+    them resumes the SAME AboveThreshold epochs instead of drawing fresh
+    noise, so a kill/resume cycle spends no additional budget. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** Overwrite the mutable state of [t] (which must have been created with the
+    same static parameters) with a snapshot.
+    @raise Invalid_argument if the counters are outside [t]'s [t_max]/[k]
+    range or the threshold is NaN. *)
+
 val theorem_3_1_n :
   t_max:int -> k:int -> threshold:float -> privacy:Params.t -> beta:float -> sensitivity_scale:float -> float
 (** The dataset-size bound of Theorem 3.1:

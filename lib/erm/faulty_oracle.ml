@@ -1,0 +1,129 @@
+module Vec = Pmw_linalg.Vec
+module Params = Pmw_dp.Params
+module Splitmix64 = Pmw_rng.Splitmix64
+
+type fault =
+  | Nan_answer
+  | Inf_answer
+  | Divergent
+  | Timeout
+  | Misreport of float
+
+type plan =
+  | Never
+  | Always of fault
+  | Every of { period : int; fault : fault }
+  | Random of { rate : float; faults : fault list }
+  | Schedule of (int * fault) list
+
+type t = {
+  inner : Oracle.t;
+  plan : plan;
+  seed : int;
+  mutable calls : int;
+  mutable injected : int;
+  mutable last_claim : Params.t option;
+}
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* The fault decision is a pure function of (seed, call index): no hidden
+   generator state, so a resumed session only needs the call counter to
+   replay the exact fault pattern of an uninterrupted run. *)
+let hashed_unit seed index =
+  let sm =
+    Splitmix64.create
+      (Int64.logxor (Int64.of_int seed) (Int64.mul golden_gamma (Int64.of_int (index + 1))))
+  in
+  let bits = Int64.shift_right_logical (Splitmix64.next sm) 11 in
+  Int64.to_float bits /. 9007199254740992.
+
+let decide t index =
+  match t.plan with
+  | Never -> None
+  | Always fault -> Some fault
+  | Every { period; fault } -> if (index + 1) mod period = 0 then Some fault else None
+  | Random { rate; faults } ->
+      if faults = [] then None
+      else if hashed_unit t.seed index < rate then begin
+        let pick = hashed_unit (t.seed lxor 0x5ca1ab1e) index in
+        let i = int_of_float (pick *. float_of_int (List.length faults)) in
+        Some (List.nth faults (Int.min i (List.length faults - 1)))
+      end
+      else None
+  | Schedule l -> List.assoc_opt index l
+
+let validate_plan = function
+  | Every { period; _ } when period <= 0 -> invalid_arg "Faulty_oracle: period must be positive"
+  | Random { rate; _ } when rate < 0. || rate > 1. ->
+      invalid_arg "Faulty_oracle: rate must lie in [0, 1]"
+  | Schedule l ->
+      List.iter (fun (i, _) -> if i < 0 then invalid_arg "Faulty_oracle: negative call index") l
+  | _ -> ()
+
+let corrupt fault theta =
+  let bad = Vec.copy theta in
+  (match fault with
+  | Nan_answer -> bad.(0) <- Float.nan
+  | Inf_answer -> bad.(0) <- Float.infinity
+  | Divergent -> Vec.scale_inplace 1e9 bad
+  | Timeout | Misreport _ -> ());
+  bad
+
+let create ?(seed = 0) ~plan inner =
+  validate_plan plan;
+  { inner; plan; seed; calls = 0; injected = 0; last_claim = None }
+
+let name t = t.inner.Oracle.name ^ "!faulty"
+
+let run t (req : Oracle.request) =
+  let index = t.calls in
+  t.calls <- index + 1;
+  t.last_claim <- None;
+  match decide t index with
+  | None -> t.inner.Oracle.run req
+  | Some Timeout ->
+      t.injected <- t.injected + 1;
+      raise (Oracle.Timeout (name t))
+  | Some (Misreport factor) ->
+      t.injected <- t.injected + 1;
+      let p = req.Oracle.privacy in
+      t.last_claim <-
+        Some
+          (Params.create ~eps:(p.Params.eps *. factor)
+             ~delta:(Float.min 1. (p.Params.delta *. factor)));
+      t.inner.Oracle.run req
+  | Some ((Nan_answer | Inf_answer | Divergent) as fault) ->
+      t.injected <- t.injected + 1;
+      corrupt fault (t.inner.Oracle.run req)
+
+let oracle t = { Oracle.name = name t; run = (fun req -> run t req) }
+let calls t = t.calls
+let injected t = t.injected
+let claimed_spend t = t.last_claim
+
+let set_calls t n =
+  if n < 0 then invalid_arg "Faulty_oracle.set_calls: negative count";
+  t.calls <- n
+
+let fault_to_string = function
+  | Nan_answer -> "nan"
+  | Inf_answer -> "inf"
+  | Divergent -> "divergent"
+  | Timeout -> "timeout"
+  | Misreport f -> Printf.sprintf "misreport:%g" f
+
+let fault_of_string s =
+  match String.lowercase_ascii s with
+  | "nan" -> Ok Nan_answer
+  | "inf" -> Ok Inf_answer
+  | "divergent" -> Ok Divergent
+  | "timeout" -> Ok Timeout
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "misreport" -> (
+          let rest = String.sub s (i + 1) (String.length s - i - 1) in
+          match float_of_string_opt rest with
+          | Some f when f > 0. -> Ok (Misreport f)
+          | _ -> Error (Printf.sprintf "bad misreport factor %S" rest))
+      | _ -> Error (Printf.sprintf "unknown fault %S (nan|inf|divergent|timeout|misreport:F)" s))

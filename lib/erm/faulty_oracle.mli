@@ -1,0 +1,60 @@
+(** Deterministic fault injection over any {!Oracle.t} — the adversary the
+    robustness layer is tested against.
+
+    Each wrapped call consults a fault plan; the decision is a pure function
+    of [(seed, call index)], never of hidden generator state, so a session
+    resumed from a checkpoint replays the exact fault pattern of an
+    uninterrupted run once {!set_calls} restores the call counter (the
+    session layer records attempt counts for exactly this purpose).
+
+    Fault taxonomy (docs/robustness.md):
+    - [Nan_answer] / [Inf_answer] — a poisoned gradient step: the inner
+      oracle's answer with one coordinate replaced by NaN/∞. Caught by the
+      numeric quarantine / chain validator, never by the type system.
+    - [Divergent] — a solver blow-up: the answer scaled by [1e9], far
+      outside the domain. Caught by {!Oracles.finite_in_domain}.
+    - [Timeout] — raises {!Oracle.Timeout} without touching the data.
+    - [Misreport of factor] — the answer is fine but the oracle {e claims}
+      to have spent [factor × (ε₀, δ₀)]; surfaced via {!claimed_spend} so a
+      ledger-aware caller can debit the claim (and degrade when it cannot). *)
+
+type fault = Nan_answer | Inf_answer | Divergent | Timeout | Misreport of float
+
+type plan =
+  | Never
+  | Always of fault
+  | Every of { period : int; fault : fault }  (** every [period]-th call, 1-based *)
+  | Random of { rate : float; faults : fault list }
+      (** each call faults with probability [rate], uniformly over [faults] *)
+  | Schedule of (int * fault) list  (** explicit 0-based call index → fault *)
+
+type t
+
+val create : ?seed:int -> plan:plan -> Oracle.t -> t
+(** @raise Invalid_argument on a non-positive period, a rate outside
+    [0, 1], or a negative scheduled index. *)
+
+val oracle : t -> Oracle.t
+(** The wrapped oracle (named [<inner>!faulty]) to plug into a mechanism or
+    a {!Oracles.with_fallback} chain. *)
+
+val calls : t -> int
+(** Calls made through the wrapper so far (faulted or not). *)
+
+val set_calls : t -> int -> unit
+(** Fast-forward the call counter when resuming a checkpointed session, so
+    the fault pattern continues where it left off.
+    @raise Invalid_argument on a negative count. *)
+
+val injected : t -> int
+(** Faults injected so far. *)
+
+val claimed_spend : t -> Pmw_dp.Params.t option
+(** After a [Misreport] call: the inflated [(ε, δ)] the oracle claims it
+    spent. Cleared at the start of every call, so poll it immediately after
+    each attempt. *)
+
+val fault_to_string : fault -> string
+val fault_of_string : string -> (fault, string) result
+(** ["nan" | "inf" | "divergent" | "timeout" | "misreport:F"] — the CLI's
+    [--fault] syntax. *)

@@ -12,6 +12,18 @@ type request = {
 
 type t = { name : string; run : request -> Vec.t }
 
+exception Timeout of string
+exception Unsupported of string
+exception Failed of string
+exception Budget_denied of string
+
+let failure_reason = function
+  | Timeout name -> Some (Printf.sprintf "oracle %s timed out" name)
+  | Unsupported msg -> Some msg
+  | Failed msg -> Some msg
+  | Stdlib.Failure msg -> Some msg
+  | _ -> None
+
 let excess_risk req theta =
   let obj =
     Pmw_convex.Objective.of_dataset req.loss req.dataset ~dim:(Pmw_convex.Domain.dim req.domain)

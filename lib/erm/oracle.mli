@@ -23,6 +23,40 @@ type t = {
       (** Must return a point of [request.domain]. *)
 }
 
+(** {1 Typed runtime failures}
+
+    An oracle call can fail at answer time in ways that are not programmer
+    errors: a solver diverges, a backend times out, a loss lacks the
+    structure the oracle needs for {e this} request. Those raise one of the
+    typed exceptions below, which the retry/fallback machinery
+    ({!Oracles.with_fallback}) and the online mechanism's quarantine catch
+    and convert into refusals or fallback attempts. [Invalid_argument]
+    remains reserved for construction-time contract violations and is never
+    caught on the answer path. *)
+
+exception Timeout of string
+(** The named oracle exceeded its (simulated or real) deadline. *)
+
+exception Unsupported of string
+(** The oracle cannot serve this request (e.g. {!Oracles.laplace_output} on
+    a loss without strong convexity). *)
+
+exception Failed of string
+(** Generic answer-time failure; also raised by {!Oracles.with_fallback}
+    when every stage of a chain has failed. *)
+
+exception Budget_denied of string
+(** A ledger refused to fund an attempt — raised out of a fallback chain's
+    authorization hook; the caller should degrade rather than retry (any
+    further attempt would cost budget that is not there). *)
+
+val failure_reason : exn -> string option
+(** [Some reason] for the three answer-time failures above ({!Timeout},
+    {!Unsupported}, {!Failed}) plus [Stdlib.Failure] (a [failwith] deep in a
+    solver is a divergent-solve crash, not a contract violation), [None] for
+    anything else — notably [Invalid_argument] and {!Budget_denied} — the
+    discriminator callers use to decide what is safe to catch. *)
+
 val excess_risk : request -> Pmw_linalg.Vec.t -> float
 (** Definition 2.2's [err_ℓ(D, θ̂)] of an answer, with the true minimum
     computed by the non-private solver (at 4x the request's iteration

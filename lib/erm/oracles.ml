@@ -118,7 +118,7 @@ let glm ?(max_steps = 200) () = { name = "glm"; run = (fun req -> run_glm ~max_s
 
 let run_laplace_output (req : request) =
   let sigma_loss = req.loss.Loss.strong_convexity in
-  if sigma_loss <= 0. then invalid_arg "Oracles.laplace_output: loss is not strongly convex";
+  if sigma_loss <= 0. then raise (Unsupported "Oracles.laplace_output: loss is not strongly convex");
   let n = float_of_int (Pmw_data.Dataset.size req.dataset) in
   let lipschitz = Float.max req.loss.Loss.lipschitz 1e-9 in
   let d = Domain.dim req.domain in
@@ -141,10 +141,77 @@ let laplace_output = { name = "laplace_output"; run = run_laplace_output }
 
 let run_strongly_convex (req : request) =
   if req.loss.Loss.strong_convexity <= 0. then
-    invalid_arg "Oracles.strongly_convex: loss is not strongly convex";
+    raise (Unsupported "Oracles.strongly_convex: loss is not strongly convex");
   run_output_perturbation req
 
 let strongly_convex = { name = "strongly_convex"; run = run_strongly_convex }
+
+(* --- retry / fallback chain --- *)
+
+type attempt = {
+  attempt_oracle : string;
+  attempt_spend : Params.t;
+  attempt_outcome : (unit, string) result;
+}
+
+let finite_in_domain (req : request) theta =
+  let ok = ref true in
+  Array.iter (fun x -> if not (Float.is_finite x) then ok := false) theta;
+  if not !ok then Error "answer has non-finite coordinates"
+  else if not (Domain.contains ~tol:(1e-6 *. Float.max 1. (Domain.diameter req.domain)) req.domain theta)
+  then Error "answer diverged outside the domain"
+  else Ok ()
+
+let with_fallback ?name ?(retries = 0) ?(validate = finite_in_domain)
+    ?(authorize = fun (_ : request) -> Ok ()) ?(on_attempt = fun (_ : attempt) -> ()) oracles =
+  if oracles = [] then invalid_arg "Oracles.with_fallback: empty chain";
+  if retries < 0 then invalid_arg "Oracles.with_fallback: negative retries";
+  let name =
+    match name with
+    | Some n -> n
+    | None -> String.concat ">" (List.map (fun o -> o.Oracle.name) oracles)
+  in
+  let run req =
+    let reasons = ref [] in
+    let attempt oracle =
+      (* The debit happens in [authorize] BEFORE the oracle runs: a failed
+         attempt has already interacted with the sensitive data, so its
+         budget is spent whether or not an answer comes back. *)
+      (match authorize req with
+      | Error why -> raise (Oracle.Budget_denied why)
+      | Ok () -> ());
+      let outcome =
+        match oracle.Oracle.run req with
+        | theta -> ( match validate req theta with Ok () -> Ok theta | Error e -> Error e)
+        | exception e -> ( match Oracle.failure_reason e with Some r -> Error r | None -> raise e)
+      in
+      on_attempt
+        {
+          attempt_oracle = oracle.Oracle.name;
+          attempt_spend = req.privacy;
+          attempt_outcome = Result.map (fun _ -> ()) outcome;
+        };
+      match outcome with
+      | Ok theta -> Some theta
+      | Error why ->
+          reasons := Printf.sprintf "%s: %s" oracle.Oracle.name why :: !reasons;
+          None
+    in
+    let rec tries oracle left =
+      match attempt oracle with
+      | Some theta -> Some theta
+      | None -> if left > 0 then tries oracle (left - 1) else None
+    in
+    let rec stage = function
+      | [] ->
+          raise
+            (Oracle.Failed
+               (Printf.sprintf "all fallbacks failed (%s)" (String.concat "; " (List.rev !reasons))))
+      | oracle :: rest -> ( match tries oracle retries with Some theta -> theta | None -> stage rest)
+    in
+    stage oracles
+  in
+  { Oracle.name; run }
 
 let for_loss (loss : Loss.t) =
   if loss.Loss.strong_convexity > 0. then strongly_convex

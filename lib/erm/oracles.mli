@@ -51,3 +51,44 @@ val strongly_convex : Oracle.t
 val for_loss : Pmw_convex.Loss.t -> Oracle.t
 (** Dispatch matching Section 4.2: strongly convex losses get
     {!strongly_convex}, GLM losses get {!glm}, everything else {!noisy_gd}. *)
+
+(** {1 Retry / fallback chains} *)
+
+type attempt = {
+  attempt_oracle : string;  (** which stage of the chain ran *)
+  attempt_spend : Pmw_dp.Params.t;  (** what the attempt cost — the request's [(ε₀, δ₀)] *)
+  attempt_outcome : (unit, string) result;
+}
+
+val finite_in_domain : Oracle.request -> Pmw_linalg.Vec.t -> (unit, string) result
+(** The default answer validator: every coordinate finite and the point
+    inside the request's domain (up to a diameter-relative tolerance) —
+    catches NaN/Inf gradients and divergent solves before they reach the MW
+    update. *)
+
+val with_fallback :
+  ?name:string ->
+  ?retries:int ->
+  ?validate:(Oracle.request -> Pmw_linalg.Vec.t -> (unit, string) result) ->
+  ?authorize:(Oracle.request -> (unit, string) result) ->
+  ?on_attempt:(attempt -> unit) ->
+  Oracle.t list ->
+  Oracle.t
+(** [with_fallback oracles] is an oracle that tries each stage in order
+    (each up to [1 + retries] times) until one returns a valid answer.
+
+    Ledger-awareness is the point: [authorize] is invoked before {e every}
+    attempt, and an [Error] from it aborts the whole chain with
+    {!Oracle.Budget_denied} — callers plug their privacy ledger's debit in
+    here, so every attempt is paid for {e before} it touches the data, and
+    failed attempts stay debited (a failed private computation still
+    consumed its [(ε₀, δ₀)]; see DFH+15's caveat on conditioning). After
+    each attempt, [on_attempt] receives what ran, what it cost, and how it
+    ended.
+
+    A stage counts as failed when it raises {!Oracle.Timeout},
+    {!Oracle.Unsupported} or {!Oracle.Failed}, or when [validate] (default
+    {!finite_in_domain}) rejects its answer. Other exceptions — programmer
+    errors — propagate. When every stage fails, raises {!Oracle.Failed}
+    listing each stage's reason.
+    @raise Invalid_argument on an empty chain or negative [retries]. *)

@@ -193,7 +193,7 @@ let pmw_max_error ~workload ~n ~k ~alpha ~t_max ~oracle ~seed =
   in
   let mechanism = Pmw_core.Online_pmw.create ~config ~dataset ~oracle ~rng () in
   run_stream ~workload ~k ~dataset ~answer:(fun q ->
-      Option.map (fun o -> o.Pmw_core.Online_pmw.theta) (Pmw_core.Online_pmw.answer mechanism q))
+      Option.map (fun o -> o.Pmw_core.Online_pmw.theta) (Pmw_core.Online_pmw.answer_opt mechanism q))
 
 let composition_max_error ~workload ~n ~k ~oracle ~seed =
   let rng = Rng.create ~seed () in

@@ -27,7 +27,7 @@ let updates_used ~(workload : Common.Workload.regression) ~n ~k ~alpha ~seed =
   let queries = Array.of_list workload.Common.Workload.queries in
   (try
      for j = 0 to k - 1 do
-       match Pmw_core.Online_pmw.answer mechanism queries.(j mod Array.length queries) with
+       match Pmw_core.Online_pmw.answer_opt mechanism queries.(j mod Array.length queries) with
        | Some _ -> ()
        | None -> raise Exit
      done

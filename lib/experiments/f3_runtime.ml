@@ -50,7 +50,7 @@ let measure ~d ~seed =
   let top_time = ref 0. and top_count = ref 0 in
   List.iter
     (fun q ->
-      let outcome, dt = Common.timed (fun () -> Online_pmw.answer mechanism q) in
+      let outcome, dt = Common.timed (fun () -> Online_pmw.answer_opt mechanism q) in
       match outcome with
       | Some { Online_pmw.source = Online_pmw.From_hypothesis; _ } ->
           bottom_time := !bottom_time +. dt;

@@ -95,7 +95,7 @@ let run () =
   let queries = Array.of_list workload.Common.Workload.queries in
   (try
      for j = 0 to 39 do
-       if Pmw_core.Online_pmw.answer mechanism queries.(j mod Array.length queries) = None then
+       if Pmw_core.Online_pmw.answer_opt mechanism queries.(j mod Array.length queries) = None then
          raise Exit
      done
    with Exit -> ());

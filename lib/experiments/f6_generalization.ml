@@ -87,7 +87,7 @@ let one_trial ~n ~seed =
   in
   let private_gap =
     greedy_gap ~sample ~pop_hist ~domain ~answer:(fun q ->
-        Option.map (fun o -> o.Pmw_core.Online_pmw.theta) (Pmw_core.Online_pmw.answer mechanism q))
+        Option.map (fun o -> o.Pmw_core.Online_pmw.theta) (Pmw_core.Online_pmw.answer_opt mechanism q))
   in
   (direct, private_gap)
 

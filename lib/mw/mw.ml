@@ -46,7 +46,39 @@ let update t ~loss =
   t.update_count <- t.update_count + 1;
   renormalize t
 
+let update_checked t ~loss =
+  (* Two-phase: evaluate every loss first, apply only if all are finite, so a
+     NaN/Inf anywhere leaves the hypothesis untouched. *)
+  let n = Array.length t.log_w in
+  let staged = Array.init n loss in
+  let bad = ref (-1) in
+  for i = n - 1 downto 0 do
+    if not (Float.is_finite staged.(i)) then bad := i
+  done;
+  if !bad >= 0 then
+    Error (Printf.sprintf "Mw.update_checked: non-finite loss %h at element %d" staged.(!bad) !bad)
+  else begin
+    for i = 0 to n - 1 do
+      t.log_w.(i) <- t.log_w.(i) -. (t.eta *. staged.(i))
+    done;
+    t.update_count <- t.update_count + 1;
+    renormalize t;
+    Ok ()
+  end
+
 let update_gain t ~gain = update t ~loss:(fun i -> -.gain i)
+
+let log_weights t = Array.copy t.log_w
+
+let restore t ~log_weights ~updates =
+  if Array.length log_weights <> Array.length t.log_w then
+    invalid_arg "Mw.restore: log-weight length mismatch";
+  if updates < 0 then invalid_arg "Mw.restore: negative update count";
+  Array.iter
+    (fun w -> if Float.is_nan w then invalid_arg "Mw.restore: NaN log-weight")
+    log_weights;
+  Array.blit log_weights 0 t.log_w 0 (Array.length log_weights);
+  t.update_count <- updates
 
 let kl_to t target = Histogram.kl_div target (distribution t)
 

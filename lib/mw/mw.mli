@@ -44,6 +44,20 @@ val update : t -> loss:(int -> float) -> unit
 val update_gain : t -> gain:(int -> float) -> unit
 (** The opposite sign ([+η·gain]), provided for completeness/tests. *)
 
+val update_checked : t -> loss:(int -> float) -> (unit, string) result
+(** {!update} with a numeric quarantine: every loss value is evaluated and
+    checked finite {e before} any weight moves, so a NaN/Inf gradient cannot
+    half-apply an update. [Error] (naming the offending element) leaves the
+    hypothesis and the update counter exactly as they were. *)
+
+val log_weights : t -> float array
+(** A copy of the raw (unnormalized) log-weight vector, for checkpointing. *)
+
+val restore : t -> log_weights:float array -> updates:int -> unit
+(** Overwrite the state of [t] with checkpointed log-weights and update
+    counter. @raise Invalid_argument on a length mismatch, a NaN entry, or a
+    negative counter. *)
+
 val kl_to : t -> Pmw_data.Histogram.t -> float
 (** [KL(target ‖ D̂ₜ)] — the potential function of the convergence analysis. *)
 

@@ -52,6 +52,7 @@ module Mw = Pmw_mw.Mw
 (* single-query oracles *)
 module Oracle = Pmw_erm.Oracle
 module Oracles = Pmw_erm.Oracles
+module Faulty_oracle = Pmw_erm.Faulty_oracle
 
 (* the paper's mechanisms *)
 module Cm_query = Pmw_core.Cm_query
@@ -70,6 +71,10 @@ module Predicate = Pmw_core.Predicate
 module Theory = Pmw_core.Theory
 module Transfer = Pmw_core.Transfer
 module Budget = Pmw_core.Budget
+
+(* fault-tolerant session engine *)
+module Session = Pmw_session.Session
+module Checkpoint = Pmw_session.Checkpoint
 
 (* attacks *)
 module Reconstruction = Pmw_attacks.Reconstruction

@@ -34,6 +34,24 @@ let bits64 t =
 
 let split t = of_seed64 (bits64 t)
 
+let state t = [| t.s0; t.s1; t.s2; t.s3 |]
+
+let check_state s =
+  if Array.length s <> 4 then invalid_arg "Rng: state must have exactly 4 words";
+  if Int64.equal (Int64.logor (Int64.logor s.(0) s.(1)) (Int64.logor s.(2) s.(3))) 0L then
+    invalid_arg "Rng: the all-zero state is invalid for xoshiro256++"
+
+let of_state s =
+  check_state s;
+  { s0 = s.(0); s1 = s.(1); s2 = s.(2); s3 = s.(3) }
+
+let restore t s =
+  check_state s;
+  t.s0 <- s.(0);
+  t.s1 <- s.(1);
+  t.s2 <- s.(2);
+  t.s3 <- s.(3)
+
 let two_pow_53 = 9007199254740992.0 (* 2^53 *)
 
 let float t =

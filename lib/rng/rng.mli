@@ -20,6 +20,20 @@ val split : t -> t
     stream is decorrelated from the parent's future output; use it to give
     sub-components their own streams. *)
 
+val state : t -> int64 array
+(** The 4 words of xoshiro256++ state, for checkpointing. Restoring this
+    exact array reproduces the generator's future output bit-for-bit. *)
+
+val of_state : int64 array -> t
+(** A generator at the given state.
+    @raise Invalid_argument unless the array has exactly 4 words and at
+    least one is non-zero (the all-zero state is a fixed point). *)
+
+val restore : t -> int64 array -> unit
+(** Overwrite [t]'s state in place (same validation as {!of_state}) —
+    resumes a checkpointed stream without re-threading a new generator
+    through existing components. *)
+
 val bits64 : t -> int64
 (** 64 uniform pseudo-random bits. *)
 

@@ -1,0 +1,359 @@
+let version = 1
+let magic = "pmw-session-checkpoint"
+
+type fingerprint = {
+  fp_eps : float;
+  fp_delta : float;
+  fp_alpha : float;
+  fp_scale : float;
+  fp_k : int;
+  fp_t_max : int;
+  fp_eta : float;
+  fp_universe_size : int;
+  fp_universe_name : string;
+  fp_dataset_size : int;
+}
+
+type attempt = { at_oracle : string; at_eps : float; at_delta : float; at_ok : bool }
+
+type t = {
+  fingerprint : fingerprint;
+  queries : int;
+  degraded : int;
+  refused : int;
+  breached : bool;
+  granted : (float * float) list;  (** budget ledger, oldest first *)
+  attempts : attempt list;  (** oracle attempts, oldest first *)
+  answered : int;
+  mw_updates : int;
+  mw_log_weights : float array;
+  sv_threshold : float;
+  sv_tops : int;
+  sv_asked : int;
+  sv_rng : int64 array;
+  rng : int64 array;
+  acct_rho : float;
+  acct_events : (float * float) list;
+}
+
+(* --- checksum --- *)
+
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+(* --- encoding ---
+
+   Text, line-oriented, one [key value...] pair per line. Floats are written
+   as hex literals ("%h") so every bit round-trips; RNG words as hex int64.
+   Free-form strings (universe / oracle names) are always the LAST field of
+   their line and extend to the end of it. *)
+
+let f = Printf.sprintf "%h"
+
+let body t =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  let fp = t.fingerprint in
+  line "config %s %s %s %s %d %d %s" (f fp.fp_eps) (f fp.fp_delta) (f fp.fp_alpha) (f fp.fp_scale)
+    fp.fp_k fp.fp_t_max (f fp.fp_eta);
+  line "universe %d %s" fp.fp_universe_size fp.fp_universe_name;
+  line "dataset %d" fp.fp_dataset_size;
+  line "session %d %d %d %b" t.queries t.degraded t.refused t.breached;
+  line "granted %d" (List.length t.granted);
+  List.iteri (fun i (eps, delta) -> line "granted.%d %s %s" i (f eps) (f delta)) t.granted;
+  line "attempts %d" (List.length t.attempts);
+  List.iteri
+    (fun i a -> line "attempt.%d %b %s %s %s" i a.at_ok (f a.at_eps) (f a.at_delta) a.at_oracle)
+    t.attempts;
+  line "answered %d" t.answered;
+  line "mw %d %d" t.mw_updates (Array.length t.mw_log_weights);
+  Buffer.add_string b "mw.logw";
+  Array.iter
+    (fun w ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b (f w))
+    t.mw_log_weights;
+  Buffer.add_char b '\n';
+  line "sv %s %d %d" (f t.sv_threshold) t.sv_tops t.sv_asked;
+  line "sv.rng %Lx %Lx %Lx %Lx" t.sv_rng.(0) t.sv_rng.(1) t.sv_rng.(2) t.sv_rng.(3);
+  line "rng %Lx %Lx %Lx %Lx" t.rng.(0) t.rng.(1) t.rng.(2) t.rng.(3);
+  line "acct %s %d" (f t.acct_rho) (List.length t.acct_events);
+  List.iteri (fun i (eps, delta) -> line "acct.%d %s %s" i (f eps) (f delta)) t.acct_events;
+  Buffer.contents b
+
+let to_string t =
+  let body = body t in
+  Printf.sprintf "%s %d\nchecksum %Lx\n%s" magic version (fnv1a64 body) body
+
+(* --- decoding --- *)
+
+let ( let* ) = Result.bind
+
+let float_field what s =
+  match float_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "checkpoint: bad float %S in %s" s what)
+
+let int_field what s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "checkpoint: bad int %S in %s" s what)
+
+let bool_field what s =
+  match bool_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "checkpoint: bad bool %S in %s" s what)
+
+let int64_field what s =
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "checkpoint: bad word %S in %s" s what)
+
+(* [key] -> fields after the key, split on spaces; [raw] keeps the rest of
+   the line verbatim for keys whose last field is free-form. *)
+let index_lines body =
+  let tbl = Hashtbl.create 64 in
+  String.split_on_char '\n' body
+  |> List.iter (fun l ->
+         if l <> "" then
+           match String.index_opt l ' ' with
+           | None -> Hashtbl.replace tbl l ""
+           | Some i ->
+               Hashtbl.replace tbl (String.sub l 0 i) (String.sub l (i + 1) (String.length l - i - 1)));
+  tbl
+
+let lookup tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "checkpoint: missing field %S" key)
+
+let fields s = String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
+
+let split_last_free ~count what s =
+  (* First [count] space-separated fields, then the rest of the line. *)
+  let rec take n acc rest =
+    if n = 0 then Ok (List.rev acc, rest)
+    else
+      match String.index_opt rest ' ' with
+      | None -> Error (Printf.sprintf "checkpoint: truncated %s line" what)
+      | Some i ->
+          take (n - 1) (String.sub rest 0 i :: acc) (String.sub rest (i + 1) (String.length rest - i - 1))
+  in
+  take count [] s
+
+let parse_rng what s =
+  match fields s with
+  | [ a; b; c; d ] ->
+      let* a = int64_field what a in
+      let* b = int64_field what b in
+      let* c = int64_field what c in
+      let* d = int64_field what d in
+      Ok [| a; b; c; d |]
+  | _ -> Error (Printf.sprintf "checkpoint: %s needs 4 words" what)
+
+let parse_pairs tbl ~prefix ~count =
+  let rec loop i acc =
+    if i = count then Ok (List.rev acc)
+    else
+      let key = Printf.sprintf "%s.%d" prefix i in
+      let* v = lookup tbl key in
+      match fields v with
+      | [ eps; delta ] ->
+          let* eps = float_field key eps in
+          let* delta = float_field key delta in
+          loop (i + 1) ((eps, delta) :: acc)
+      | _ -> Error (Printf.sprintf "checkpoint: bad %s line" key)
+  in
+  loop 0 []
+
+let of_string s =
+  let* header, rest =
+    match String.index_opt s '\n' with
+    | None -> Error "checkpoint: empty input"
+    | Some i -> Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  let* () =
+    match fields header with
+    | [ m; v ] when m = magic ->
+        if v = string_of_int version then Ok ()
+        else Error (Printf.sprintf "checkpoint: unsupported version %s (this build reads %d)" v version)
+    | _ -> Error "checkpoint: not a pmw session checkpoint"
+  in
+  let* checksum_line, body =
+    match String.index_opt rest '\n' with
+    | None -> Error "checkpoint: truncated after header"
+    | Some i -> Ok (String.sub rest 0 i, String.sub rest (i + 1) (String.length rest - i - 1))
+  in
+  let* expected =
+    match fields checksum_line with
+    | [ "checksum"; v ] -> int64_field "checksum" v
+    | _ -> Error "checkpoint: missing checksum line"
+  in
+  let actual = fnv1a64 body in
+  let* () =
+    if Int64.equal expected actual then Ok ()
+    else Error (Printf.sprintf "checkpoint: checksum mismatch (stored %Lx, computed %Lx) — corrupt file" expected actual)
+  in
+  let tbl = index_lines body in
+  let* config = lookup tbl "config" in
+  let* fingerprint =
+    match fields config with
+    | [ eps; delta; alpha; scale; k; t_max; eta ] ->
+        let* fp_eps = float_field "config" eps in
+        let* fp_delta = float_field "config" delta in
+        let* fp_alpha = float_field "config" alpha in
+        let* fp_scale = float_field "config" scale in
+        let* fp_k = int_field "config" k in
+        let* fp_t_max = int_field "config" t_max in
+        let* fp_eta = float_field "config" eta in
+        let* universe = lookup tbl "universe" in
+        let* us, uname = split_last_free ~count:1 "universe" universe in
+        let* fp_universe_size = int_field "universe" (List.hd us) in
+        let* dataset = lookup tbl "dataset" in
+        let* fp_dataset_size = int_field "dataset" dataset in
+        Ok
+          {
+            fp_eps;
+            fp_delta;
+            fp_alpha;
+            fp_scale;
+            fp_k;
+            fp_t_max;
+            fp_eta;
+            fp_universe_size;
+            fp_universe_name = uname;
+            fp_dataset_size;
+          }
+    | _ -> Error "checkpoint: bad config line"
+  in
+  let* session = lookup tbl "session" in
+  let* queries, degraded, refused, breached =
+    match fields session with
+    | [ q; d; r; b ] ->
+        let* q = int_field "session" q in
+        let* d = int_field "session" d in
+        let* r = int_field "session" r in
+        let* b = bool_field "session" b in
+        Ok (q, d, r, b)
+    | _ -> Error "checkpoint: bad session line"
+  in
+  let* granted_count = Result.bind (lookup tbl "granted") (int_field "granted") in
+  let* granted = parse_pairs tbl ~prefix:"granted" ~count:granted_count in
+  let* attempt_count = Result.bind (lookup tbl "attempts") (int_field "attempts") in
+  let* attempts =
+    let rec loop i acc =
+      if i = attempt_count then Ok (List.rev acc)
+      else
+        let key = Printf.sprintf "attempt.%d" i in
+        let* v = lookup tbl key in
+        let* front, at_oracle = split_last_free ~count:3 key v in
+        match front with
+        | [ ok; eps; delta ] ->
+            let* at_ok = bool_field key ok in
+            let* at_eps = float_field key eps in
+            let* at_delta = float_field key delta in
+            loop (i + 1) ({ at_oracle; at_eps; at_delta; at_ok } :: acc)
+        | _ -> Error (Printf.sprintf "checkpoint: bad %s line" key)
+    in
+    loop 0 []
+  in
+  let* answered = Result.bind (lookup tbl "answered") (int_field "answered") in
+  let* mw = lookup tbl "mw" in
+  let* mw_updates, mw_len =
+    match fields mw with
+    | [ u; n ] ->
+        let* u = int_field "mw" u in
+        let* n = int_field "mw" n in
+        Ok (u, n)
+    | _ -> Error "checkpoint: bad mw line"
+  in
+  let* logw_line = lookup tbl "mw.logw" in
+  let* mw_log_weights =
+    let parts = fields logw_line in
+    if List.length parts <> mw_len then
+      Error
+        (Printf.sprintf "checkpoint: mw.logw has %d entries, expected %d" (List.length parts) mw_len)
+    else
+      let arr = Array.make mw_len 0. in
+      let rec fill i = function
+        | [] -> Ok arr
+        | p :: rest ->
+            let* v = float_field "mw.logw" p in
+            arr.(i) <- v;
+            fill (i + 1) rest
+      in
+      fill 0 parts
+  in
+  let* sv = lookup tbl "sv" in
+  let* sv_threshold, sv_tops, sv_asked =
+    match fields sv with
+    | [ th; tops; asked ] ->
+        let* th = float_field "sv" th in
+        let* tops = int_field "sv" tops in
+        let* asked = int_field "sv" asked in
+        Ok (th, tops, asked)
+    | _ -> Error "checkpoint: bad sv line"
+  in
+  let* sv_rng = Result.bind (lookup tbl "sv.rng") (parse_rng "sv.rng") in
+  let* rng = Result.bind (lookup tbl "rng") (parse_rng "rng") in
+  let* acct = lookup tbl "acct" in
+  let* acct_rho, acct_count =
+    match fields acct with
+    | [ rho; n ] ->
+        let* rho = float_field "acct" rho in
+        let* n = int_field "acct" n in
+        Ok (rho, n)
+    | _ -> Error "checkpoint: bad acct line"
+  in
+  let* acct_events = parse_pairs tbl ~prefix:"acct" ~count:acct_count in
+  Ok
+    {
+      fingerprint;
+      queries;
+      degraded;
+      refused;
+      breached;
+      granted;
+      attempts;
+      answered;
+      mw_updates;
+      mw_log_weights;
+      sv_threshold;
+      sv_tops;
+      sv_asked;
+      sv_rng;
+      rng;
+      acct_rho;
+      acct_events;
+    }
+
+(* --- file I/O --- *)
+
+let write ~path t =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string t);
+      flush oc);
+  Sys.rename tmp path
+
+let read ~path =
+  if not (Sys.file_exists path) then Error (Printf.sprintf "checkpoint: no such file %s" path)
+  else begin
+    let ic = open_in_bin path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    of_string s
+  end
+
+let attempts_for t name =
+  List.length (List.filter (fun a -> a.at_oracle = name) t.attempts)

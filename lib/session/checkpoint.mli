@@ -1,0 +1,71 @@
+(** Versioned, checksummed text serialization of a session's full mutable
+    state — everything a killed process needs to resume {e without
+    re-spending ε}: the MW log-weights, the sparse-vector epoch (noisy
+    threshold, counters, generator), the budget ledger, the oracle-attempt
+    log, the query counters and both RNG states.
+
+    What is deliberately NOT serialized: the sensitive dataset (a checkpoint
+    must be safe to place on disk next to the process — it only contains
+    state that is already part of the DP-released transcript plus internal
+    noise values), the oracle implementations, and the config. The caller
+    re-supplies those at resume time; a {!fingerprint} of the config,
+    universe and dataset size is stored and checked so a mismatched resume
+    fails loudly instead of silently corrupting the privacy accounting.
+
+    Format: a [magic version] line, a [checksum] line (FNV-1a 64 of the
+    body), then one [key value…] pair per line. Floats are hex literals
+    ([%h]) so every bit round-trips; RNG words are hex int64. Any edit to
+    the body invalidates the checksum. *)
+
+type fingerprint = {
+  fp_eps : float;
+  fp_delta : float;
+  fp_alpha : float;
+  fp_scale : float;
+  fp_k : int;
+  fp_t_max : int;
+  fp_eta : float;
+  fp_universe_size : int;
+  fp_universe_name : string;
+  fp_dataset_size : int;
+}
+
+type attempt = { at_oracle : string; at_eps : float; at_delta : float; at_ok : bool }
+
+type t = {
+  fingerprint : fingerprint;
+  queries : int;  (** queries the session has processed (any verdict) *)
+  degraded : int;
+  refused : int;
+  breached : bool;  (** a misreported spend drained the ledger *)
+  granted : (float * float) list;  (** budget ledger slices, oldest first *)
+  attempts : attempt list;  (** oracle attempts, oldest first *)
+  answered : int;  (** queries fed to the SV stream *)
+  mw_updates : int;
+  mw_log_weights : float array;
+  sv_threshold : float;
+  sv_tops : int;
+  sv_asked : int;
+  sv_rng : int64 array;
+  rng : int64 array;
+  acct_rho : float;
+  acct_events : (float * float) list;
+}
+
+val version : int
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Rejects wrong magic/version, checksum mismatches (corruption), and any
+    missing or malformed field — never raises on bad input. *)
+
+val write : path:string -> t -> unit
+(** Atomic: writes [path.tmp] then renames, so a crash mid-write leaves the
+    previous checkpoint intact. *)
+
+val read : path:string -> (t, string) result
+
+val attempts_for : t -> string -> int
+(** Number of recorded attempts by the named oracle — what
+    [Faulty_oracle.set_calls] needs to replay a fault schedule on resume. *)

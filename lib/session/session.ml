@@ -1,0 +1,264 @@
+module Online = Pmw_core.Online_pmw
+module Budget = Pmw_core.Budget
+module Config = Pmw_core.Config
+module Cm_query = Pmw_core.Cm_query
+module Params = Pmw_dp.Params
+module Oracle = Pmw_erm.Oracle
+module Oracles = Pmw_erm.Oracles
+module Solve = Pmw_convex.Solve
+
+let log_src = Logs.Src.create "pmw.session" ~doc:"Fault-tolerant PMW session events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  config : Config.t;
+  dataset : Pmw_data.Dataset.t;
+  budget : Budget.t;
+  online : Online.t;
+  mutable queries : int;
+  mutable degraded_count : int;
+  mutable refused_count : int;
+  breached : bool ref;
+  attempts : Checkpoint.attempt list ref;  (* newest first *)
+}
+
+let default_oracles () = [ Oracles.noisy_gd (); Oracles.output_perturbation ]
+
+let fingerprint config dataset =
+  let universe = Pmw_data.Dataset.universe dataset in
+  {
+    Checkpoint.fp_eps = config.Config.privacy.Params.eps;
+    fp_delta = config.Config.privacy.Params.delta;
+    fp_alpha = config.Config.alpha;
+    fp_scale = config.Config.scale;
+    fp_k = config.Config.k;
+    fp_t_max = config.Config.t_max;
+    fp_eta = config.Config.eta;
+    fp_universe_size = Pmw_data.Universe.size universe;
+    fp_universe_name = Pmw_data.Universe.name universe;
+    fp_dataset_size = Pmw_data.Dataset.size dataset;
+  }
+
+(* Shared by create and resume; [ledger] is the pre-populated budget for a
+   resume (create starts a fresh one and debits the SV half). *)
+let make ~config ~dataset ~oracles ~retries ~spend_claim ?prior ~rng ~budget () =
+  let breached = ref false in
+  let attempts = ref [] in
+  let authorize (_ : Oracle.request) =
+    if !breached then Error "ledger breached by a misreported oracle spend"
+    else Result.map (fun _ -> ()) (Budget.request budget config.Config.oracle_privacy)
+  in
+  let on_attempt (a : Oracles.attempt) =
+    attempts :=
+      {
+        Checkpoint.at_oracle = a.Oracles.attempt_oracle;
+        at_eps = a.Oracles.attempt_spend.Params.eps;
+        at_delta = a.Oracles.attempt_spend.Params.delta;
+        at_ok = Result.is_ok a.Oracles.attempt_outcome;
+      }
+      :: !attempts;
+    (* A misreporting oracle claims it spent more than it was handed. The
+       sound response is to believe the claim: debit the excess, and when
+       the pot cannot cover it, drain everything and refuse all future
+       attempts — Budget.spent can then never exceed Budget.total. *)
+    match spend_claim () with
+    | None -> ()
+    | Some claim ->
+        let spend = a.Oracles.attempt_spend in
+        let excess_eps = Float.max 0. (claim.Params.eps -. spend.Params.eps) in
+        let excess_delta = Float.max 0. (claim.Params.delta -. spend.Params.delta) in
+        if excess_eps > 0. || excess_delta > 0. then begin
+          match Budget.request budget (Params.create ~eps:excess_eps ~delta:excess_delta) with
+          | Ok _ ->
+              Log.warn (fun m ->
+                  m "oracle %s misreported spend (+eps=%g); excess debited" a.Oracles.attempt_oracle
+                    excess_eps)
+          | Error why ->
+              ignore (Budget.request_all budget);
+              breached := true;
+              Log.err (fun m ->
+                  m "oracle %s misreported spend beyond the remaining budget (%s); ledger drained, \
+                     degrading"
+                    a.Oracles.attempt_oracle why)
+        end
+  in
+  let chain =
+    match oracles with
+    | [] -> invalid_arg "Session.create: empty oracle chain"
+    | oracles -> Oracles.with_fallback ~retries ~authorize ~on_attempt oracles
+  in
+  let online = Online.create ~config ~dataset ~oracle:chain ?prior ~rng () in
+  {
+    config;
+    dataset;
+    budget;
+    online;
+    queries = 0;
+    degraded_count = 0;
+    refused_count = 0;
+    breached;
+    attempts;
+  }
+
+let create ~config ~dataset ?oracles ?(retries = 0) ?(spend_claim = fun () -> None) ?prior ~rng () =
+  let oracles = match oracles with Some o -> o | None -> default_oracles () in
+  let budget = Budget.create config.Config.privacy in
+  (* The SV half is committed for the whole session up front: the sparse
+     vector spends it progressively over its epochs, but the ledger must
+     reserve it before the first query or oracle retries could eat it. *)
+  (match Budget.request budget config.Config.sv_privacy with
+  | Ok _ -> ()
+  | Error why -> invalid_arg ("Session.create: SV budget does not fit: " ^ why));
+  make ~config ~dataset ~oracles ~retries ~spend_claim ?prior ~rng ~budget ()
+
+let from_hypothesis t query =
+  let dhat = Online.hypothesis t.online in
+  let iters = t.config.Config.solver_iters in
+  (Cm_query.minimize_on_histogram ~iters query dhat).Solve.theta
+
+let all_finite v =
+  let ok = ref true in
+  Array.iter (fun x -> if not (Float.is_finite x) then ok := false) v;
+  !ok
+
+let answer t query =
+  let verdict =
+    match Online.answer t.online query with
+    | Online.Refused (Online.Oracle_failed why) ->
+        (* Last stage of the fallback chain: the hypothesis still answers,
+           as pure post-processing, even when every oracle is down. *)
+        let theta = from_hypothesis t query in
+        if all_finite theta then
+          Online.Degraded
+            ( { Online.theta; source = Online.From_hypothesis; update_index = Online.updates t.online },
+              Online.Oracle_unavailable why )
+        else Online.Refused (Online.Oracle_failed why)
+    | Online.Refused (Online.Oracle_budget_denied why) ->
+        let theta = from_hypothesis t query in
+        if all_finite theta then
+          Online.Degraded
+            ( { Online.theta; source = Online.From_hypothesis; update_index = Online.updates t.online },
+              Online.Privacy_budget_exhausted why )
+        else Online.Refused (Online.Oracle_budget_denied why)
+    | v -> v
+  in
+  t.queries <- t.queries + 1;
+  (match verdict with
+  | Online.Degraded _ -> t.degraded_count <- t.degraded_count + 1
+  | Online.Refused _ -> t.refused_count <- t.refused_count + 1
+  | Online.Answered _ -> ());
+  verdict
+
+let answer_all t queries = List.map (answer t) queries
+
+let budget t = t.budget
+let mechanism t = t.online
+let config t = t.config
+let queries t = t.queries
+let degraded_answers t = t.degraded_count
+let refusals t = t.refused_count
+let answered t = t.queries - t.degraded_count - t.refused_count
+let breached t = !(t.breached)
+let attempts t = List.rev !(t.attempts)
+let attempt_count t = List.length !(t.attempts)
+let hypothesis t = Online.hypothesis t.online
+
+(* --- checkpoint / restore --- *)
+
+let checkpoint t =
+  let snap = Online.snapshot t.online in
+  {
+    Checkpoint.fingerprint = fingerprint t.config t.dataset;
+    queries = t.queries;
+    degraded = t.degraded_count;
+    refused = t.refused_count;
+    breached = !(t.breached);
+    granted =
+      List.map (fun p -> (p.Params.eps, p.Params.delta)) (Budget.history t.budget);
+    attempts = List.rev !(t.attempts);
+    answered = snap.Online.snap_answered;
+    mw_updates = snap.Online.snap_mw_updates;
+    mw_log_weights = snap.Online.snap_mw_log_weights;
+    sv_threshold = snap.Online.snap_sv.Pmw_dp.Sparse_vector.snap_noisy_threshold;
+    sv_tops = snap.Online.snap_sv.Pmw_dp.Sparse_vector.snap_tops;
+    sv_asked = snap.Online.snap_sv.Pmw_dp.Sparse_vector.snap_asked;
+    sv_rng = snap.Online.snap_sv.Pmw_dp.Sparse_vector.snap_rng;
+    rng = snap.Online.snap_rng;
+    acct_rho = snap.Online.snap_oracle_rho;
+    acct_events = List.map (fun p -> (p.Params.eps, p.Params.delta)) snap.Online.snap_oracle_events;
+  }
+
+let save t ~path = Checkpoint.write ~path (checkpoint t)
+
+let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let check_fingerprint (fp : Checkpoint.fingerprint) config dataset =
+  let now = fingerprint config dataset in
+  let mismatch what = Error (Printf.sprintf "checkpoint fingerprint mismatch: %s differs" what) in
+  if not (feq fp.Checkpoint.fp_eps now.Checkpoint.fp_eps && feq fp.fp_delta now.fp_delta) then
+    mismatch "privacy budget"
+  else if not (feq fp.fp_alpha now.fp_alpha) then mismatch "alpha"
+  else if not (feq fp.fp_scale now.fp_scale) then mismatch "scale"
+  else if fp.fp_k <> now.fp_k then mismatch "k"
+  else if fp.fp_t_max <> now.fp_t_max then mismatch "t_max"
+  else if not (feq fp.fp_eta now.fp_eta) then mismatch "eta"
+  else if fp.fp_universe_size <> now.fp_universe_size || fp.fp_universe_name <> now.fp_universe_name
+  then mismatch "universe"
+  else if fp.fp_dataset_size <> now.fp_dataset_size then mismatch "dataset size"
+  else Ok ()
+
+let resume ~config ~dataset ?oracles ?(retries = 0) ?(spend_claim = fun () -> None) ~rng
+    (ckpt : Checkpoint.t) =
+  let ( let* ) = Result.bind in
+  let oracles = match oracles with Some o -> o | None -> default_oracles () in
+  let* () = check_fingerprint ckpt.Checkpoint.fingerprint config dataset in
+  (* Replay the ledger verbatim: the resumed process starts from the exact
+     spend of the killed one — nothing is re-debited, nothing forgiven. *)
+  let budget = Budget.create config.Config.privacy in
+  let* () =
+    List.fold_left
+      (fun acc (eps, delta) ->
+        let* () = acc in
+        match Budget.request budget (Params.create ~eps ~delta) with
+        | Ok _ -> Ok ()
+        | Error why -> Error ("checkpoint ledger does not replay: " ^ why))
+      (Ok ()) ckpt.Checkpoint.granted
+  in
+  let t = make ~config ~dataset ~oracles ~retries ~spend_claim ~rng ~budget () in
+  let* () =
+    match
+      Online.restore t.online
+        {
+          Online.snap_answered = ckpt.Checkpoint.answered;
+          snap_mw_log_weights = ckpt.Checkpoint.mw_log_weights;
+          snap_mw_updates = ckpt.Checkpoint.mw_updates;
+          snap_sv =
+            {
+              Pmw_dp.Sparse_vector.snap_noisy_threshold = ckpt.Checkpoint.sv_threshold;
+              snap_tops = ckpt.Checkpoint.sv_tops;
+              snap_asked = ckpt.Checkpoint.sv_asked;
+              snap_rng = ckpt.Checkpoint.sv_rng;
+            };
+          snap_rng = ckpt.Checkpoint.rng;
+          snap_oracle_events =
+            List.map (fun (eps, delta) -> Params.create ~eps ~delta) ckpt.Checkpoint.acct_events;
+          snap_oracle_rho = ckpt.Checkpoint.acct_rho;
+        }
+    with
+    | () -> Ok ()
+    | exception Invalid_argument why -> Error ("checkpoint state rejected: " ^ why)
+  in
+  t.queries <- ckpt.Checkpoint.queries;
+  t.degraded_count <- ckpt.Checkpoint.degraded;
+  t.refused_count <- ckpt.Checkpoint.refused;
+  t.breached := ckpt.Checkpoint.breached;
+  t.attempts := List.rev ckpt.Checkpoint.attempts;
+  Log.info (fun m ->
+      m "session resumed at query %d (eps spent %g of %g)" t.queries
+        (Budget.spent budget).Params.eps config.Config.privacy.Params.eps);
+  Ok t
+
+let resume_path ~config ~dataset ?oracles ?retries ?spend_claim ~rng ~path () =
+  Result.bind (Checkpoint.read ~path) (fun ckpt ->
+      resume ~config ~dataset ?oracles ?retries ?spend_claim ~rng ckpt)

@@ -1,0 +1,96 @@
+(** A fault-tolerant session around the online PMW mechanism.
+
+    The session owns the privacy ledger ({!Pmw_core.Budget}) and wires the
+    mechanism's oracle slot to a retry/fallback chain
+    ({!Pmw_erm.Oracles.with_fallback}) whose every attempt — including
+    failed ones — is debited from the ledger before it runs. On top of the
+    mechanism's own verdicts it adds one more layer of degradation: when
+    the whole oracle chain fails or the budget refuses another attempt, the
+    query is still answered from the frozen public hypothesis (pure
+    post-processing, no further privacy cost) and flagged
+    [Degraded (Oracle_unavailable _)] or
+    [Degraded (Privacy_budget_exhausted _)].
+
+    Sessions checkpoint to a {!Checkpoint.t} and resume from one with the
+    exact ledger, MW weights, sparse-vector epoch and RNG states of the
+    killed process — the resumed answer stream is bit-identical to the
+    uninterrupted one and no ε is ever re-spent.
+
+    Invariant maintained under every fault class (NaN/Inf answers,
+    divergent solves, timeouts, misreported spends): [Budget.spent] never
+    exceeds [Budget.total]. A misreported spend that cannot be covered
+    drains the ledger and marks the session breached; all further oracle
+    attempts are refused and answers degrade to the frozen hypothesis. *)
+
+type t
+
+val create :
+  config:Pmw_core.Config.t ->
+  dataset:Pmw_data.Dataset.t ->
+  ?oracles:Pmw_erm.Oracle.t list ->
+  ?retries:int ->
+  ?spend_claim:(unit -> Pmw_dp.Params.t option) ->
+  ?prior:Pmw_data.Histogram.t ->
+  rng:Pmw_rng.Rng.t ->
+  unit ->
+  t
+(** [oracles] is the fallback chain, tried in order (default:
+    noisy-GD then output perturbation); [retries] extra tries per stage
+    (default 0). [spend_claim] is polled after every oracle attempt: when
+    it returns a spend larger than the allocation the attempt was handed,
+    the excess is debited (see {!breached}). The SV half of the budget is
+    debited up front. @raise Invalid_argument if the config's SV budget
+    does not fit the total, or [oracles] is empty. *)
+
+val answer : t -> Pmw_core.Cm_query.t -> Pmw_core.Online_pmw.verdict
+val answer_all : t -> Pmw_core.Cm_query.t list -> Pmw_core.Online_pmw.verdict list
+
+val budget : t -> Pmw_core.Budget.t
+val mechanism : t -> Pmw_core.Online_pmw.t
+val config : t -> Pmw_core.Config.t
+val hypothesis : t -> Pmw_data.Histogram.t
+
+val queries : t -> int
+(** Queries processed, any verdict. *)
+
+val answered : t -> int
+val degraded_answers : t -> int
+val refusals : t -> int
+
+val breached : t -> bool
+(** A misreported oracle spend exceeded the remaining budget: the ledger
+    was drained to its cap and every further oracle attempt is refused. *)
+
+val attempts : t -> Checkpoint.attempt list
+(** Oracle attempts so far, oldest first, successes and failures alike. *)
+
+val attempt_count : t -> int
+
+val checkpoint : t -> Checkpoint.t
+val save : t -> path:string -> unit
+
+val resume :
+  config:Pmw_core.Config.t ->
+  dataset:Pmw_data.Dataset.t ->
+  ?oracles:Pmw_erm.Oracle.t list ->
+  ?retries:int ->
+  ?spend_claim:(unit -> Pmw_dp.Params.t option) ->
+  rng:Pmw_rng.Rng.t ->
+  Checkpoint.t ->
+  (t, string) result
+(** Rebuild a session from a checkpoint. The config, dataset and oracle
+    chain are re-supplied by the caller and validated against the stored
+    fingerprint; the ledger is replayed verbatim and all RNG/noise state is
+    restored, so the continuation spends no ε that the killed process had
+    not already spent. The supplied [rng]'s state is overwritten. *)
+
+val resume_path :
+  config:Pmw_core.Config.t ->
+  dataset:Pmw_data.Dataset.t ->
+  ?oracles:Pmw_erm.Oracle.t list ->
+  ?retries:int ->
+  ?spend_claim:(unit -> Pmw_dp.Params.t option) ->
+  rng:Pmw_rng.Rng.t ->
+  path:string ->
+  unit ->
+  (t, string) result

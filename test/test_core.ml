@@ -140,7 +140,12 @@ let test_online_halts_at_k () =
     ignore (Online_pmw.answer m squared_query)
   done;
   Alcotest.(check bool) "halted after k" true (Online_pmw.halted m);
-  Alcotest.(check bool) "further queries rejected" true (Online_pmw.answer m squared_query = None)
+  (* post-halt queries are still served from the frozen hypothesis, flagged *)
+  match Online_pmw.answer m squared_query with
+  | Online_pmw.Degraded ({ Online_pmw.source = Online_pmw.From_hypothesis; _ }, Online_pmw.Query_limit_reached)
+    ->
+      ()
+  | _ -> Alcotest.fail "expected a Degraded hypothesis answer after the query limit"
 
 let test_online_rejects_oversized_scale () =
   let ds = small_dataset () in
@@ -148,11 +153,9 @@ let test_online_rejects_oversized_scale () =
     Config.practical ~universe ~privacy ~alpha:0.05 ~beta:0.05 ~scale:0.1 ~k:5 ~t_max:5 ()
   in
   let m = Online_pmw.create ~config ~dataset:ds ~oracle:Pmw_erm.Oracles.exact ~rng () in
-  Alcotest.(check bool) "raises on S violation" true
-    (try
-       ignore (Online_pmw.answer m squared_query);
-       false
-     with Invalid_argument _ -> true)
+  match Online_pmw.answer m squared_query with
+  | Online_pmw.Refused (Online_pmw.Scale_exceeded _) -> ()
+  | _ -> Alcotest.fail "expected a Scale_exceeded refusal"
 
 let test_online_update_budget_respected () =
   let ds = small_dataset () in
@@ -161,7 +164,7 @@ let test_online_update_budget_respected () =
   let answered = ref 0 in
   (try
      for _ = 1 to 200 do
-       match Online_pmw.answer m squared_query with
+       match Online_pmw.answer_opt m squared_query with
        | Some _ -> incr answered
        | None -> raise Exit
      done
@@ -213,7 +216,7 @@ let test_online_accurate_with_exact_oracle () =
   in
   List.iter
     (fun q ->
-      match Online_pmw.answer m q with
+      match Online_pmw.answer_opt m q with
       | None -> Alcotest.fail "halted unexpectedly"
       | Some o ->
           let err = Cm_query.err_answer ~iters:600 q ds o.Online_pmw.theta in
@@ -778,6 +781,48 @@ let test_budget_validation () =
   Alcotest.check_raises "fraction" (Invalid_argument "Budget.request_fraction: fraction must lie in (0, 1]")
     (fun () -> ignore (Budget.request_fraction b 0.))
 
+let test_budget_full_fraction_twice () =
+  let b = Budget.create (Params.create ~eps:1. ~delta:1e-6) in
+  (match Budget.request_fraction b 1.0 with Ok _ -> () | Error m -> Alcotest.fail m);
+  (match Budget.request_fraction b 1.0 with
+  | Ok _ -> Alcotest.fail "second full grant must be refused"
+  | Error _ -> ());
+  Alcotest.(check bool) "exhausted" true (Budget.exhausted b);
+  (* the float-summed remainder must still be re-grantable despite round-off *)
+  checkf 1e-15 "spent equals total" 1. (Budget.spent b).Params.eps
+
+let test_budget_zero_total () =
+  let b = Budget.create (Params.create ~eps:0. ~delta:0.) in
+  Alcotest.(check bool) "born exhausted" true (Budget.exhausted b);
+  (match Budget.request b (Params.pure 0.1) with
+  | Ok _ -> Alcotest.fail "grant from an empty pot"
+  | Error _ -> ());
+  (* a zero-cost request is harmless and still recorded *)
+  (match Budget.request b (Params.pure 0.) with Ok _ -> () | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "zero grant recorded" 1 (List.length (Budget.history b))
+
+let test_budget_request_all () =
+  let b = Budget.create (Params.create ~eps:1. ~delta:1e-6) in
+  (match Budget.request_fraction b 0.25 with Ok _ -> () | Error m -> Alcotest.fail m);
+  let r = Budget.request_all b in
+  checkf 1e-12 "drain takes the remainder" 0.75 r.Params.eps;
+  Alcotest.(check bool) "exhausted after drain" true (Budget.exhausted b);
+  checkf 1e-12 "second drain is empty" 0. (Budget.request_all b).Params.eps;
+  checkf 1e-15 "spent equals total" (Budget.total b).Params.eps (Budget.spent b).Params.eps
+
+let test_budget_history_order () =
+  let b = Budget.create (Params.pure 1.) in
+  ignore (Budget.request b (Params.pure 0.1));
+  ignore (Budget.request b (Params.pure 0.2));
+  ignore (Budget.request b (Params.pure 5.) : (Params.t, string) result) (* refused *);
+  ignore (Budget.request b (Params.pure 0.3));
+  match Budget.history b with
+  | [ g1; g2; g3 ] ->
+      checkf 1e-15 "first" 0.1 g1.Params.eps;
+      checkf 1e-15 "second" 0.2 g2.Params.eps;
+      checkf 1e-15 "third (refusal left no trace)" 0.3 g3.Params.eps
+  | h -> Alcotest.fail (Printf.sprintf "history has %d entries" (List.length h))
+
 (* --- warm start --- *)
 
 let test_warm_start_prior () =
@@ -791,7 +836,7 @@ let test_warm_start_prior () =
   let warm = Online_pmw.create ~config ~dataset:ds ~oracle:Pmw_erm.Oracles.exact ~prior ~rng () in
   let q = squared_query in
   (* a near-perfect prior answers immediately from the hypothesis... *)
-  (match Online_pmw.answer warm q with
+  (match Online_pmw.answer_opt warm q with
   | Some { Online_pmw.source = Online_pmw.From_hypothesis; _ } -> ()
   | Some { Online_pmw.source = Online_pmw.From_oracle; _ } ->
       Alcotest.fail "near-truth prior should answer from the hypothesis"
@@ -994,6 +1039,10 @@ let () =
           Alcotest.test_case "accounting" `Quick test_budget_accounting;
           Alcotest.test_case "delta guard" `Quick test_budget_delta_guard;
           Alcotest.test_case "validation" `Quick test_budget_validation;
+          Alcotest.test_case "full fraction twice" `Quick test_budget_full_fraction_twice;
+          Alcotest.test_case "zero total" `Quick test_budget_zero_total;
+          Alcotest.test_case "request_all" `Quick test_budget_request_all;
+          Alcotest.test_case "history order" `Quick test_budget_history_order;
         ] );
       ( "warm_start",
         [

@@ -99,7 +99,7 @@ let test_strongly_convex_oracle () =
   Alcotest.(check bool) (Printf.sprintf "risk %.5f small" risk) true (risk < 0.01);
   (* and it must refuse non-strongly-convex losses *)
   Alcotest.check_raises "refuses merely convex"
-    (Invalid_argument "Oracles.strongly_convex: loss is not strongly convex") (fun () ->
+    (Oracle.Unsupported "Oracles.strongly_convex: loss is not strongly convex") (fun () ->
       ignore (run Oracles.strongly_convex (request ~loss:(Losses.logistic ()) ())))
 
 let test_laplace_output_oracle () =
@@ -129,7 +129,7 @@ let test_laplace_output_oracle () =
     true (lap <= gauss +. 1e-4);
   (* rejects non-strongly-convex losses *)
   Alcotest.check_raises "needs strong convexity"
-    (Invalid_argument "Oracles.laplace_output: loss is not strongly convex") (fun () ->
+    (Oracle.Unsupported "Oracles.laplace_output: loss is not strongly convex") (fun () ->
       ignore (run Oracles.laplace_output (request ~loss:(Losses.logistic ()) ())))
 
 let test_glm_oracle_useful () =

@@ -52,7 +52,7 @@ let test_full_pipeline_regression () =
   let analyst = Analyst.cycle ~name:"panel" queries ~k in
   let records =
     Analyst.run ~analyst ~k
-      ~answer:(fun q -> Option.map (fun o -> o.Online_pmw.theta) (Online_pmw.answer mechanism q))
+      ~answer:(fun q -> Option.map (fun o -> o.Online_pmw.theta) (Online_pmw.answer_opt mechanism q))
       ~dataset ~solver_iters:400 ()
   in
   Alcotest.(check int) "all k rounds answered" k (Analyst.answered records);
@@ -87,7 +87,7 @@ let test_full_pipeline_classification_glm () =
   let analyst = Analyst.cycle ~name:"classifiers" queries ~k in
   let records =
     Analyst.run ~analyst ~k
-      ~answer:(fun q -> Option.map (fun o -> o.Online_pmw.theta) (Online_pmw.answer mechanism q))
+      ~answer:(fun q -> Option.map (fun o -> o.Online_pmw.theta) (Online_pmw.answer_opt mechanism q))
       ~dataset ~solver_iters:400 ()
   in
   Alcotest.(check int) "all answered" k (Analyst.answered records);
@@ -127,7 +127,7 @@ let test_adaptive_game_stays_accurate () =
   in
   let records =
     Analyst.run ~analyst ~k
-      ~answer:(fun q -> Option.map (fun o -> o.Online_pmw.theta) (Online_pmw.answer mechanism q))
+      ~answer:(fun q -> Option.map (fun o -> o.Online_pmw.theta) (Online_pmw.answer_opt mechanism q))
       ~dataset ~solver_iters:400 ()
   in
   Alcotest.(check int) "all adaptive rounds answered" k (Analyst.answered records);
@@ -236,7 +236,7 @@ let test_online_offline_agree () =
   Array.iteri
     (fun i q ->
       let off_err = Cm_query.err_answer ~iters:600 q dataset offline.Offline_pmw.answers.(i) in
-      match Online_pmw.answer online q with
+      match Online_pmw.answer_opt online q with
       | None -> Alcotest.fail "online halted"
       | Some o ->
           let on_err = Cm_query.err_answer ~iters:600 q dataset o.Online_pmw.theta in
@@ -262,7 +262,7 @@ let test_hypothesis_as_synthetic_data () =
   let mechanism = Online_pmw.create ~config ~dataset ~oracle:Pmw_erm.Oracles.exact ~rng () in
   let q = Cm_query.make ~loss:(Losses.squared ()) ~domain () in
   for _ = 1 to 8 do
-    ignore (Online_pmw.answer mechanism q)
+    ignore (Online_pmw.answer_opt mechanism q)
   done;
   (* Sampling a synthetic dataset from the hypothesis and re-answering the
      query must land near the hypothesis answer (self-consistency). *)
@@ -300,7 +300,7 @@ let test_adversarial_analyst_stays_accurate () =
   let analyst = Analyst.greedy_hardest ~name:"adversary" pool ~k in
   let records =
     Analyst.run ~analyst ~k
-      ~answer:(fun q -> Option.map (fun o -> o.Online_pmw.theta) (Online_pmw.answer mechanism q))
+      ~answer:(fun q -> Option.map (fun o -> o.Online_pmw.theta) (Online_pmw.answer_opt mechanism q))
       ~dataset ~solver_iters:400 ()
   in
   Alcotest.(check int) "all adversarial rounds answered" k (Analyst.answered records);
@@ -357,7 +357,7 @@ let test_umbrella_namespace () =
   let mechanism =
     Pmw.Online_pmw.create ~config ~dataset ~oracle:(Pmw.Oracles.glm ()) ~rng ()
   in
-  (match Pmw.Online_pmw.answer mechanism query with
+  (match Pmw.Online_pmw.answer_opt mechanism query with
   | Some o -> Alcotest.(check bool) "feasible" true (Pmw.Domain.contains ~tol:1e-6 domain o.Pmw.Online_pmw.theta)
   | None -> Alcotest.fail "halted");
   Alcotest.(check bool) "theory accessible" true
