@@ -7,11 +7,17 @@
    2. Bechamel micro-benchmarks of the mechanism's inner operations (one per
       reproduced table/figure, timing the kernel that experiment stresses).
 
+   Two layers plus a kernel regression harness: the before/after kernel
+   suite times the pooled O(|X|) kernels against the pre-pool (seed)
+   algorithms, replicated verbatim below, at |X| = 2^10 / 2^14 / 2^18.
+
    Usage:
-     dune exec bench/main.exe              # micro-benchmarks + all experiments
-     dune exec bench/main.exe -- list      # list experiment ids
-     dune exec bench/main.exe -- t1-uglm   # one experiment
-     dune exec bench/main.exe -- micro     # micro-benchmarks only *)
+     dune exec bench/main.exe                       # micro + kernels + experiments
+     dune exec bench/main.exe -- list               # list experiment ids
+     dune exec bench/main.exe -- t1-uglm            # one experiment
+     dune exec bench/main.exe -- micro              # micro + kernel benchmarks only
+     dune exec bench/main.exe -- micro --json       # also write BENCH_pmw.json
+     dune exec bench/main.exe -- micro --json --quick  # |X| = 2^10 only (CI smoke) *)
 
 open Bechamel
 open Toolkit
@@ -27,7 +33,7 @@ let micro_tests () =
   let rng = Rng.create ~seed:1 () in
   let universe = Universe.hypercube ~d:10 () in
   let hist = Pmw_data.Synth.zipf_histogram ~universe ~s:1. rng in
-  let mw = Pmw_mw.Mw.create ~universe ~eta:0.3 in
+  let mw = Pmw_mw.Mw.create ~universe ~eta:0.3 () in
   let sv =
     Pmw_dp.Sparse_vector.create ~t_max:1_000_000 ~k:max_int ~threshold:1.
       ~privacy:(Pmw_dp.Params.create ~eps:1. ~delta:1e-6)
@@ -39,10 +45,15 @@ let micro_tests () =
   let query = List.hd workload.Common.Workload.queries in
   let dhat = Histogram.uniform workload.Common.Workload.universe in
   [
-    (* T1.linear: the linear-PMW kernel = one histogram inner product *)
+    (* T1.linear: the linear-PMW kernel = one histogram inner product, via
+       the production path (memoized per-query value table + chunked dot) *)
     Test.make ~name:"t1-linear/query-eval"
-      (Staged.stage (fun () ->
-           Histogram.expect hist (fun _ x -> if x.Pmw_data.Point.features.(0) > 0. then 1. else 0.)));
+      (Staged.stage
+         (let lq =
+            Pmw_core.Linear_pmw.counting_query ~name:"first-feature" (fun x ->
+                x.Pmw_data.Point.features.(0) > 0.)
+          in
+          fun () -> Pmw_core.Linear_pmw.evaluate lq hist));
     (* T1.lipschitz & friends: one public argmin over the hypothesis *)
     Test.make ~name:"t1-lipschitz/public-argmin"
       (Staged.stage (fun () -> Pmw_core.Cm_query.minimize_on_histogram ~iters:50 query dhat));
@@ -122,20 +133,209 @@ let run_micro () =
   List.iter (fun (name, t) -> Printf.printf "%-32s %12.0f ns\n" name t) rows;
   Printf.printf "%!"
 
+(* --- kernel regression bench: the pooled kernels against the pre-pool
+   (seed) algorithms, replicated verbatim from the original Mw/Special/
+   Histogram implementations so "baseline" means the actual before-code. --- *)
+
+module Pool = Pmw_parallel.Pool
+
+let seed_log_sum_exp a =
+  let n = Array.length a in
+  if n = 0 then neg_infinity
+  else begin
+    let m = Array.fold_left Float.max neg_infinity a in
+    if m = neg_infinity then neg_infinity
+    else begin
+      let acc = ref 0. in
+      for i = 0 to n - 1 do
+        acc := !acc +. exp (a.(i) -. m)
+      done;
+      m +. log !acc
+    end
+  end
+
+let seed_softmax a =
+  let lse = seed_log_sum_exp a in
+  Array.map (fun x -> exp (x -. lse)) a
+
+let seed_mw_update log_w ~eta ~loss =
+  for i = 0 to Array.length log_w - 1 do
+    log_w.(i) <- log_w.(i) -. (eta *. loss i)
+  done;
+  let lse = seed_log_sum_exp log_w in
+  if Float.abs lse > 500. then
+    for i = 0 to Array.length log_w - 1 do
+      log_w.(i) <- log_w.(i) -. lse
+    done
+
+let seed_distribution universe log_w = Histogram.of_weights universe (seed_softmax log_w)
+
+let seed_expect universe w f =
+  let values = Array.mapi (fun i wi -> wi *. f i (Universe.get universe i)) w in
+  Pmw_linalg.Vec.kahan_sum values
+
+(* Median of three timed batches, each batch running for ~0.15 s wall clock;
+   returns ns per call. *)
+let time_ns f =
+  f ();
+  f ();
+  let batch () =
+    let t0 = Unix.gettimeofday () in
+    let iters = ref 0 in
+    let elapsed = ref 0. in
+    while !elapsed < 0.15 do
+      f ();
+      incr iters;
+      elapsed := Unix.gettimeofday () -. t0
+    done;
+    !elapsed *. 1e9 /. float_of_int !iters
+  in
+  match List.sort compare [ batch (); batch (); batch () ] with
+  | [ _; median; _ ] -> median
+  | _ -> assert false
+
+type kernel_row = {
+  kr_name : string;
+  kr_bits : int;
+  kr_baseline : float;  (** seed algorithm, ns/call *)
+  kr_seq : float;  (** pooled kernel, 1 domain, ns/call *)
+  kr_par : float;  (** pooled kernel, [par_domains] domains, ns/call *)
+}
+
+let par_domains = 4
+
+let bench_kernels_at ~pool1 ~pool4 bits =
+  let universe = Universe.hypercube ~d:bits () in
+  let n = Universe.size universe in
+  let eta = 0.3 in
+  let loss i = float_of_int (i land 7) in
+  (* mw-update: the F2/F5 hot loop. The element with loss 0 pins the max at
+     0, so neither variant recenters — each call is the steady-state cost. *)
+  let mw_update =
+    let log_w = Array.make n 0. in
+    let mw1 = Pmw_mw.Mw.create ~pool:pool1 ~universe ~eta () in
+    let mw4 = Pmw_mw.Mw.create ~pool:pool4 ~universe ~eta () in
+    {
+      kr_name = "f2-f5/mw-update";
+      kr_bits = bits;
+      kr_baseline = time_ns (fun () -> seed_mw_update log_w ~eta ~loss);
+      kr_seq = time_ns (fun () -> Pmw_mw.Mw.update mw1 ~loss);
+      kr_par = time_ns (fun () -> Pmw_mw.Mw.update mw4 ~loss);
+    }
+  in
+  (* distribution: softmax over |X| + histogram construction (F3). The MW
+     state is warmed with a few updates so the weights are non-uniform. *)
+  let distribution =
+    let mw1 = Pmw_mw.Mw.create ~pool:pool1 ~universe ~eta () in
+    let mw4 = Pmw_mw.Mw.create ~pool:pool4 ~universe ~eta () in
+    for _ = 1 to 3 do
+      Pmw_mw.Mw.update mw1 ~loss;
+      Pmw_mw.Mw.update mw4 ~loss
+    done;
+    let log_w = Pmw_mw.Mw.log_weights mw1 in
+    {
+      kr_name = "f3/distribution";
+      kr_bits = bits;
+      kr_baseline = time_ns (fun () -> ignore (seed_distribution universe log_w));
+      kr_seq = time_ns (fun () -> ignore (Pmw_mw.Mw.distribution mw1));
+      kr_par = time_ns (fun () -> ignore (Pmw_mw.Mw.distribution mw4));
+    }
+  in
+  (* log-sum-exp: the shared normalization primitive. *)
+  let lse =
+    let a = Array.init n (fun i -> -.(eta *. loss i)) in
+    {
+      kr_name = "linalg/log-sum-exp";
+      kr_bits = bits;
+      kr_baseline = time_ns (fun () -> ignore (seed_log_sum_exp a));
+      kr_seq = time_ns (fun () -> ignore (Pmw_linalg.Special.log_sum_exp ~pool:pool1 a));
+      kr_par = time_ns (fun () -> ignore (Pmw_linalg.Special.log_sum_exp ~pool:pool4 a));
+    }
+  in
+  (* expect: the linear-query evaluation sweep. *)
+  let expect =
+    let hist = Histogram.uniform universe in
+    let w = Histogram.weights hist in
+    let f _ (x : Pmw_data.Point.t) = if x.Pmw_data.Point.features.(0) > 0. then 1. else 0. in
+    {
+      kr_name = "hist/expect";
+      kr_bits = bits;
+      kr_baseline = time_ns (fun () -> ignore (seed_expect universe w f));
+      kr_seq = time_ns (fun () -> ignore (Histogram.expect ~pool:pool1 hist f));
+      kr_par = time_ns (fun () -> ignore (Histogram.expect ~pool:pool4 hist f));
+    }
+  in
+  [ mw_update; distribution; lse; expect ]
+
+let speedup r = r.kr_baseline /. r.kr_par
+
+let print_kernel_rows rows =
+  Printf.printf
+    "\n== kernel regression bench (ns per call; baseline = seed algorithm, par = %d domains) ==\n"
+    par_domains;
+  Printf.printf "%-22s %6s %14s %14s %14s %9s\n" "kernel" "|X|" "baseline" "pool-1" "pool-4"
+    "speedup";
+  List.iter
+    (fun r ->
+      Printf.printf "%-22s %6s %14.0f %14.0f %14.0f %8.2fx\n" r.kr_name
+        (Printf.sprintf "2^%d" r.kr_bits)
+        r.kr_baseline r.kr_seq r.kr_par (speedup r))
+    rows;
+  Printf.printf "%!"
+
+let write_json ~path rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"pmw-kernel-bench/1\",\n";
+  Printf.fprintf oc "  \"command\": \"bench/main.exe -- micro --json\",\n";
+  Printf.fprintf oc "  \"domains\": %d,\n" par_domains;
+  Printf.fprintf oc "  \"grain\": %d,\n" Pool.grain;
+  Printf.fprintf oc "  \"kernels\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"name\": \"%s\", \"universe_bits\": %d, \"baseline_ns\": %.1f, \"seq_ns\": %.1f, \
+         \"par_ns\": %.1f, \"speedup\": %.3f }%s\n"
+        r.kr_name r.kr_bits r.kr_baseline r.kr_seq r.kr_par (speedup r)
+        (if i = last then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let run_kernels ~json ~quick () =
+  let sizes = if quick then [ 10 ] else [ 10; 14; 18 ] in
+  let pool1 = Pool.create ~domains:1 () in
+  let pool4 = Pool.create ~domains:par_domains () in
+  let rows = List.concat_map (bench_kernels_at ~pool1 ~pool4) sizes in
+  print_kernel_rows rows;
+  if json then write_json ~path:"BENCH_pmw.json" rows;
+  Pool.shutdown pool4;
+  Pool.shutdown pool1
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: "list" :: _ ->
+  let args = List.tl (Array.to_list Sys.argv) in
+  let is_flag a = String.length a >= 2 && String.sub a 0 2 = "--" in
+  let flags, positional = List.partition is_flag args in
+  let json = List.mem "--json" flags in
+  let quick = List.mem "--quick" flags in
+  match positional with
+  | "list" :: _ ->
       List.iter
         (fun e ->
           Printf.printf "%-14s %s\n" e.Registry.name e.Registry.description)
         Registry.all
-  | _ :: "micro" :: _ -> run_micro ()
-  | _ :: name :: _ -> (
+  | "micro" :: _ ->
+      run_micro ();
+      run_kernels ~json ~quick ()
+  | name :: _ -> (
       match Registry.find name with
       | Some e -> e.Registry.run ()
       | None ->
           Printf.eprintf "unknown experiment %S; try 'list'\n" name;
           exit 1)
-  | _ ->
+  | [] ->
       run_micro ();
+      run_kernels ~json ~quick ();
       Registry.run_all ()

@@ -1,18 +1,117 @@
 module Vec = Pmw_linalg.Vec
+module Special = Pmw_linalg.Special
+module Pool = Pmw_parallel.Pool
 
 type t = { dim : int; f : Vec.t -> float; grad : Vec.t -> Vec.t }
 
-let of_histogram (loss : Loss.t) hist ~dim =
-  {
-    dim;
-    f = (fun theta -> Pmw_data.Histogram.expect hist (fun _ x -> loss.Loss.value theta x));
-    grad =
-      (fun theta -> Pmw_data.Histogram.expect_vec hist ~dim (fun _ x -> loss.Loss.grad theta x));
-  }
+(* Histogram objectives are evaluated hundreds of times per solve (two solver
+   arms, Armijo backtracking, suffix averaging), each evaluation an O(|X|)
+   sweep. Two memo layers cut the repeated work:
+
+   - a per-objective decoded-point table: the support (indices of positive
+     mass), weights and — for GLM losses — the feature vectors φ(x) are
+     extracted once when the objective is built, instead of re-decoded on
+     every [f]/[grad] call of every solver iteration;
+
+   - a last-θ cache: GLM losses share the inner products zᵢ = ⟨θ, φᵢ⟩
+     between [f θ] and [grad θ] at the same point (solvers routinely call
+     both), so each θ pays for its dot products once.
+
+   Everything is chunked on the pool with index-ordered tree combines, so the
+   results are bit-identical whatever the pool size. *)
+
+type 'a support = { weights : float array; points : 'a array }
+
+let build_support hist decode =
+  let n = Pmw_data.Histogram.size hist in
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    if Pmw_data.Histogram.get hist i > 0. then incr m
+  done;
+  let weights = Array.make !m 0. in
+  let points = Array.make !m (decode 0) in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    let w = Pmw_data.Histogram.get hist i in
+    if w > 0. then begin
+      weights.(!j) <- w;
+      points.(!j) <- decode i;
+      incr j
+    end
+  done;
+  { weights; points }
+
+let of_histogram ?pool (loss : Loss.t) hist ~dim =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let universe = Pmw_data.Histogram.universe hist in
+  let decode i = Pmw_data.Universe.get universe i in
+  match loss.Loss.glm with
+  | Some g ->
+      let { weights; points = phi } = build_support hist (fun i -> g.Loss.feature (decode i)) in
+      let m = Array.length weights in
+      let z = Array.make m 0. in
+      let cached_theta = ref [||] in
+      (* Structural equality: a hit requires equal coordinates, which implies
+         equal zᵢ — the cache can never go stale. *)
+      let ensure_z theta =
+        if not (!cached_theta = theta) then begin
+          Pool.parallel_for pool ~n:m (fun lo hi ->
+              for i = lo to hi - 1 do
+                z.(i) <- Vec.dot theta phi.(i)
+              done);
+          cached_theta := Array.copy theta
+        end
+      in
+      let f theta =
+        ensure_z theta;
+        Pool.parallel_reduce pool ~n:m ~neutral:0. ~combine:( +. )
+          ~chunk:(fun lo hi -> Special.kahan_range lo hi (fun i -> weights.(i) *. g.Loss.link z.(i)))
+      in
+      let grad theta =
+        ensure_z theta;
+        let acc =
+          Pool.parallel_reduce pool ~n:m
+            ~neutral:(Vec.create dim)
+            ~chunk:(fun lo hi ->
+              let acc = Vec.create dim in
+              for i = lo to hi - 1 do
+                Vec.axpy ~alpha:(weights.(i) *. g.Loss.link_deriv z.(i)) ~x:phi.(i) ~y:acc
+              done;
+              acc)
+            ~combine:(fun a b ->
+              Vec.add_inplace a b;
+              a)
+        in
+        acc
+      in
+      { dim; f; grad }
+  | None ->
+      let { weights; points } = build_support hist decode in
+      let m = Array.length weights in
+      let f theta =
+        Pool.parallel_reduce pool ~n:m ~neutral:0. ~combine:( +. )
+          ~chunk:(fun lo hi ->
+            Special.kahan_range lo hi (fun i -> weights.(i) *. loss.Loss.value theta points.(i)))
+      in
+      let grad theta =
+        Pool.parallel_reduce pool ~n:m
+          ~neutral:(Vec.create dim)
+          ~chunk:(fun lo hi ->
+            let acc = Vec.create dim in
+            for i = lo to hi - 1 do
+              Vec.axpy ~alpha:weights.(i) ~x:(loss.Loss.grad theta points.(i)) ~y:acc
+            done;
+            acc)
+          ~combine:(fun a b ->
+            Vec.add_inplace a b;
+            a)
+      in
+      { dim; f; grad }
 
 (* The dataset's histogram is an exact summary of the empirical objective, so
    evaluate through it: O(|X|) per evaluation instead of O(n). *)
-let of_dataset (loss : Loss.t) ds ~dim = of_histogram loss (Pmw_data.Dataset.histogram ds) ~dim
+let of_dataset ?pool (loss : Loss.t) ds ~dim =
+  of_histogram ?pool loss (Pmw_data.Dataset.histogram ds) ~dim
 
 let of_fn ~dim ~f ~grad = { dim; f; grad }
 

@@ -11,10 +11,18 @@ type t = {
   grad : Pmw_linalg.Vec.t -> Pmw_linalg.Vec.t;
 }
 
-val of_histogram : Loss.t -> Pmw_data.Histogram.t -> dim:int -> t
-(** [ℓ(θ; D) = Σ_x D(x) ℓ(θ; x)] and its gradient. *)
+val of_histogram : ?pool:Pmw_parallel.Pool.t -> Loss.t -> Pmw_data.Histogram.t -> dim:int -> t
+(** [ℓ(θ; D) = Σ_x D(x) ℓ(θ; x)] and its gradient, evaluated over the
+    histogram's support with chunked deterministic sweeps on [pool]
+    (default: the shared pool).
 
-val of_dataset : Loss.t -> Pmw_data.Dataset.t -> dim:int -> t
+    Construction builds a per-query memo table: the support indices, their
+    weights and — for GLM losses — the decoded feature vectors [φ(x)] are
+    extracted {e once}, and the inner products [⟨θ, φ(x)⟩] are cached and
+    shared between [f θ] and [grad θ] at the same [θ], so solver iterations
+    stop re-decoding the universe and re-computing identical dot products. *)
+
+val of_dataset : ?pool:Pmw_parallel.Pool.t -> Loss.t -> Pmw_data.Dataset.t -> dim:int -> t
 (** [(1/n) Σᵢ ℓ(θ; xᵢ)]. *)
 
 val of_fn : dim:int -> f:(Pmw_linalg.Vec.t -> float) -> grad:(Pmw_linalg.Vec.t -> Pmw_linalg.Vec.t) -> t

@@ -157,12 +157,12 @@ let minimize ?(iters = 400) ?theta0 ?(lipschitz = 1.) ?(strong_convexity = 0.) d
       let best = if arm1.value <= arm2.value then arm1 else arm2 in
       { best with iterations = arm1.iterations + arm2.iterations }
 
-let minimize_loss_on_histogram ?iters (loss : Loss.t) domain hist =
-  let obj = Objective.of_histogram loss hist ~dim:(Domain.dim domain) in
+let minimize_loss_on_histogram ?pool ?iters (loss : Loss.t) domain hist =
+  let obj = Objective.of_histogram ?pool loss hist ~dim:(Domain.dim domain) in
   minimize ?iters ~lipschitz:(Float.max loss.Loss.lipschitz 1e-9)
     ~strong_convexity:loss.Loss.strong_convexity domain obj
 
-let minimize_loss_on_dataset ?iters (loss : Loss.t) domain ds =
-  let obj = Objective.of_dataset loss ds ~dim:(Domain.dim domain) in
+let minimize_loss_on_dataset ?pool ?iters (loss : Loss.t) domain ds =
+  let obj = Objective.of_dataset ?pool loss ds ~dim:(Domain.dim domain) in
   minimize ?iters ~lipschitz:(Float.max loss.Loss.lipschitz 1e-9)
     ~strong_convexity:loss.Loss.strong_convexity domain obj

@@ -77,8 +77,10 @@ val minimize :
     subgradient schedule and returns whichever found the lower value. *)
 
 val minimize_loss_on_histogram :
-  ?iters:int -> Loss.t -> Domain.t -> Pmw_data.Histogram.t -> report
-(** [argmin_θ ℓ(θ; D̂)] — the public minimization of Figure 3. *)
+  ?pool:Pmw_parallel.Pool.t -> ?iters:int -> Loss.t -> Domain.t -> Pmw_data.Histogram.t -> report
+(** [argmin_θ ℓ(θ; D̂)] — the public minimization of Figure 3. The per-
+    iteration O(|X|) objective/gradient sweeps run on [pool] (default: the
+    shared pool) through the memoized {!Objective.of_histogram}. *)
 
 val minimize_loss_on_dataset :
-  ?iters:int -> Loss.t -> Domain.t -> Pmw_data.Dataset.t -> report
+  ?pool:Pmw_parallel.Pool.t -> ?iters:int -> Loss.t -> Domain.t -> Pmw_data.Dataset.t -> report

@@ -17,22 +17,39 @@ let error_sensitivity t ~n =
   if n <= 0 then invalid_arg "Cm_query.error_sensitivity: n must be positive";
   3. *. scale t /. float_of_int n
 
-let minimize_on_histogram ?iters t hist = Solve.minimize_loss_on_histogram ?iters t.loss t.domain hist
-let minimize_on_dataset ?iters t ds = Solve.minimize_loss_on_dataset ?iters t.loss t.domain ds
+let minimize_on_histogram ?pool ?iters t hist =
+  Solve.minimize_loss_on_histogram ?pool ?iters t.loss t.domain hist
 
-let loss_on_histogram t hist theta =
-  Pmw_data.Histogram.expect hist (fun _ x -> t.loss.Loss.value theta x)
+let minimize_on_dataset ?pool ?iters t ds =
+  Solve.minimize_loss_on_dataset ?pool ?iters t.loss t.domain ds
 
-let loss_on_dataset t ds theta = loss_on_histogram t (Pmw_data.Dataset.histogram ds) theta
+let loss_on_histogram ?pool t hist theta =
+  Pmw_data.Histogram.expect ?pool hist (fun _ x -> t.loss.Loss.value theta x)
 
-let err_answer ?iters t ds theta =
-  let reference = minimize_on_dataset ?iters t ds in
-  Float.max 0. (loss_on_dataset t ds theta -. reference.Solve.value)
+let loss_on_dataset ?pool t ds theta =
+  loss_on_histogram ?pool t (Pmw_data.Dataset.histogram ds) theta
 
-let err_hypothesis ?iters t ds hyp =
-  let theta_hyp = (minimize_on_histogram ?iters t hyp).Solve.theta in
-  err_answer ?iters t ds theta_hyp
+let err_answer ?pool ?iters t ds theta =
+  let reference = minimize_on_dataset ?pool ?iters t ds in
+  Float.max 0. (loss_on_dataset ?pool t ds theta -. reference.Solve.value)
+
+let err_hypothesis ?pool ?iters t ds hyp =
+  let theta_hyp = (minimize_on_histogram ?pool ?iters t hyp).Solve.theta in
+  err_answer ?pool ?iters t ds theta_hyp
 
 let update_vector t ~theta_oracle ~theta_hyp _index x =
   let direction = Vec.sub theta_oracle theta_hyp in
   Vec.dot direction (t.loss.Loss.grad theta_hyp x)
+
+(* Same linear query as [update_vector], but with the direction θᵗ − θ̂ᵗ
+   hoisted out of the per-element loop and — for GLM losses — the gradient
+   ∇ℓ_x(θ̂) = link'(⟨θ̂, φ(x)⟩)·φ(x) contracted against the direction without
+   materializing it, so the O(|X|) MW update sweep allocates nothing. *)
+let update_fn t ~theta_oracle ~theta_hyp =
+  let direction = Vec.sub theta_oracle theta_hyp in
+  match t.loss.Loss.glm with
+  | Some g ->
+      fun _index x ->
+        let phi = g.Loss.feature x in
+        g.Loss.link_deriv (Vec.dot theta_hyp phi) *. Vec.dot direction phi
+  | None -> fun _index x -> Vec.dot direction (t.loss.Loss.grad theta_hyp x)

@@ -19,21 +19,29 @@ val error_sensitivity : t -> n:int -> float
 (** Global sensitivity of the sparse-vector query [q_j(D) = err_ℓ(D, D̂ᵗ)]:
     the [3S/n] bound proved in Section 3.4.2. *)
 
-val minimize_on_histogram : ?iters:int -> t -> Pmw_data.Histogram.t -> Pmw_convex.Solve.report
-(** [argmin_θ ℓ(θ; D̂)] by the non-private solver (default 400 iterations). *)
+val minimize_on_histogram :
+  ?pool:Pmw_parallel.Pool.t -> ?iters:int -> t -> Pmw_data.Histogram.t -> Pmw_convex.Solve.report
+(** [argmin_θ ℓ(θ; D̂)] by the non-private solver (default 400 iterations).
+    The O(|X|) objective sweeps run chunked on [pool] (default: the shared
+    pool); results are bit-identical for any pool size. *)
 
-val minimize_on_dataset : ?iters:int -> t -> Pmw_data.Dataset.t -> Pmw_convex.Solve.report
+val minimize_on_dataset :
+  ?pool:Pmw_parallel.Pool.t -> ?iters:int -> t -> Pmw_data.Dataset.t -> Pmw_convex.Solve.report
 
-val loss_on_histogram : t -> Pmw_data.Histogram.t -> Pmw_linalg.Vec.t -> float
+val loss_on_histogram :
+  ?pool:Pmw_parallel.Pool.t -> t -> Pmw_data.Histogram.t -> Pmw_linalg.Vec.t -> float
 (** [ℓ(θ; D̂) = Σ_x D̂(x)·ℓ(θ; x)]. *)
 
-val loss_on_dataset : t -> Pmw_data.Dataset.t -> Pmw_linalg.Vec.t -> float
+val loss_on_dataset :
+  ?pool:Pmw_parallel.Pool.t -> t -> Pmw_data.Dataset.t -> Pmw_linalg.Vec.t -> float
 
-val err_answer : ?iters:int -> t -> Pmw_data.Dataset.t -> Pmw_linalg.Vec.t -> float
+val err_answer :
+  ?pool:Pmw_parallel.Pool.t -> ?iters:int -> t -> Pmw_data.Dataset.t -> Pmw_linalg.Vec.t -> float
 (** Definition 2.2: [err_ℓ(D, θ̂) = ℓ(θ̂; D) − min_θ ℓ(θ; D)] (clamped at 0,
     since the solver's reference minimum is itself approximate). *)
 
-val err_hypothesis : ?iters:int -> t -> Pmw_data.Dataset.t -> Pmw_data.Histogram.t -> float
+val err_hypothesis :
+  ?pool:Pmw_parallel.Pool.t -> ?iters:int -> t -> Pmw_data.Dataset.t -> Pmw_data.Histogram.t -> float
 (** Definition 2.3: [err_ℓ(D, D̂) = ℓ_D(argmin ℓ_D̂) − min_θ ℓ_D(θ)] — the
     quantity the sparse-vector algorithm thresholds in Figure 3. *)
 
@@ -42,3 +50,15 @@ val update_vector : t -> theta_oracle:Pmw_linalg.Vec.t -> theta_hyp:Pmw_linalg.V
     [uᵗ(x) = ⟨θᵗ − θ̂ᵗ, ∇ℓ_x(θ̂ᵗ)⟩], where [θᵗ] is the oracle's (private)
     near-minimizer on [D] and [θ̂ᵗ] the exact minimizer on [D̂ᵗ]. Values lie
     in [\[-S, S\]]. *)
+
+val update_fn :
+  t ->
+  theta_oracle:Pmw_linalg.Vec.t ->
+  theta_hyp:Pmw_linalg.Vec.t ->
+  int -> Pmw_data.Point.t -> float
+(** [update_fn t ~theta_oracle ~theta_hyp] is pointwise equal to
+    [update_vector t ~theta_oracle ~theta_hyp], but hoists the direction
+    [θᵗ − θ̂ᵗ] out of the per-element loop and, for GLM losses, contracts the
+    gradient against the direction without allocating it — use it when the
+    closure is swept over the whole universe (the MW update). The returned
+    closure is pure and safe to call from worker domains. *)

@@ -4,13 +4,33 @@ module Params = Pmw_dp.Params
 module Sv = Pmw_dp.Sparse_vector
 module Mechanisms = Pmw_dp.Mechanisms
 
-type query = { name : string; value : int -> Pmw_data.Point.t -> float }
+type query = {
+  name : string;
+  value : int -> Pmw_data.Point.t -> float;
+  mutable table : (string * float array) option;
+}
 
-let counting_query ~name p = { name; value = (fun _ x -> if p x then 1. else 0.) }
+let counting_query ~name p = { name; value = (fun _ x -> if p x then 1. else 0.); table = None }
 
-let evaluate q hist = Histogram.expect hist (fun i x -> q.value i x)
+(* Per-query decoded-point memo: the query's values over the whole universe,
+   tabulated once on first evaluation (keyed by universe name, so a query
+   reused across universes re-tabulates). Repeated evaluations — every MWEM
+   round scores every query; every [answer] call evaluates the query on two
+   histograms — become a single deterministic dot product. *)
+let values q universe =
+  match q.table with
+  | Some (uname, v) when String.equal uname (Universe.name universe) && Array.length v = Universe.size universe ->
+      v
+  | Some _ | None ->
+      let pts = Universe.points universe in
+      let v = Array.init (Array.length pts) (fun i -> q.value i pts.(i)) in
+      q.table <- Some (Universe.name universe, v);
+      v
+
+let evaluate ?pool q hist = Histogram.dot ?pool hist (values q (Histogram.universe hist))
 
 type t = {
+  pool : Pmw_parallel.Pool.t;
   dataset : Pmw_data.Dataset.t;
   true_hist : Histogram.t;
   mw : Pmw_mw.Mw.t;
@@ -21,7 +41,8 @@ type t = {
   mutable answered : int;
 }
 
-let create ~universe ~dataset ~privacy ~alpha ~beta ~k ?t_max ~rng () =
+let create ?pool ~universe ~dataset ~privacy ~alpha ~beta ~k ?t_max ~rng () =
+  let pool = match pool with Some p -> p | None -> Pmw_parallel.Pool.default () in
   ignore beta;
   if alpha <= 0. || alpha >= 1. then invalid_arg "Linear_pmw.create: alpha must lie in (0,1)";
   let t_max =
@@ -40,9 +61,10 @@ let create ~universe ~dataset ~privacy ~alpha ~beta ~k ?t_max ~rng () =
   let answer_eps = (Params.split_advanced ~count:t_max half).Params.eps in
   let eta = alpha /. 2. in
   {
+    pool;
     dataset;
     true_hist = Pmw_data.Dataset.histogram dataset;
-    mw = Pmw_mw.Mw.create ~universe ~eta;
+    mw = Pmw_mw.Mw.create ~pool ~universe ~eta ();
     sv;
     answer_eps;
     n;
@@ -59,8 +81,8 @@ let answer t q =
   if halted t then None
   else begin
     let dhat = hypothesis t in
-    let a_hyp = evaluate q dhat in
-    let a_true = evaluate q t.true_hist in
+    let a_hyp = evaluate ~pool:t.pool q dhat in
+    let a_true = evaluate ~pool:t.pool q t.true_hist in
     t.answered <- t.answered + 1;
     match Sv.query t.sv (Float.abs (a_hyp -. a_true)) with
     | None -> None
@@ -72,7 +94,7 @@ let answer t q =
         (* Push hypothesis mass toward agreement with the noisy answer: if the
            hypothesis overestimates, elements with large q(x) lose weight. *)
         let sign = if a_hyp > noisy then 1. else -1. in
-        let universe = Pmw_mw.Mw.universe t.mw in
-        Pmw_mw.Mw.update t.mw ~loss:(fun i -> sign *. q.value i (Universe.get universe i));
+        let tab = values q (Pmw_mw.Mw.universe t.mw) in
+        Pmw_mw.Mw.update t.mw ~loss:(fun i -> sign *. tab.(i));
         Some noisy
   end

@@ -9,18 +9,32 @@
     query itself (signed by the direction of the error) as the update
     vector. *)
 
-type query = { name : string; value : int -> Pmw_data.Point.t -> float }
+type query = {
+  name : string;
+  value : int -> Pmw_data.Point.t -> float;
+  mutable table : (string * float array) option;
+      (** memoized per-universe value table, filled by {!values}; build
+          queries with {!counting_query} (or [table = None]) *)
+}
 (** [value i x] must lie in [\[0, 1\]]; [i] is the universe index of [x]. *)
 
 val counting_query : name:string -> (Pmw_data.Point.t -> bool) -> query
 (** The classical "what fraction of rows satisfy p?" query. *)
 
-val evaluate : query -> Pmw_data.Histogram.t -> float
-(** [⟨q, D⟩]. *)
+val values : query -> Pmw_data.Universe.t -> float array
+(** The query tabulated over the whole universe — [q(x)] for each point, in
+    index order. Computed once per (query, universe) pair and memoized on
+    the query, so repeated evaluation and MW-update sweeps stop re-decoding
+    points. Callers must not mutate the returned array. *)
+
+val evaluate : ?pool:Pmw_parallel.Pool.t -> query -> Pmw_data.Histogram.t -> float
+(** [⟨q, D⟩], as a chunked deterministic dot product against the memoized
+    {!values} table (default pool: {!Pmw_parallel.Pool.default}). *)
 
 type t
 
 val create :
+  ?pool:Pmw_parallel.Pool.t ->
   universe:Pmw_data.Universe.t ->
   dataset:Pmw_data.Dataset.t ->
   privacy:Pmw_dp.Params.t ->

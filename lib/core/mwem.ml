@@ -9,7 +9,8 @@ type report = {
   selected : int list;
 }
 
-let run ~dataset ~queries ~eps ~rounds ?(answer_from = `Final) ?(replays = 10) ~rng () =
+let run ?pool ~dataset ~queries ~eps ~rounds ?(answer_from = `Final) ?(replays = 10) ~rng () =
+  let pool = match pool with Some p -> p | None -> Pmw_parallel.Pool.default () in
   let k = Array.length queries in
   if k = 0 then invalid_arg "Mwem.run: empty workload";
   if rounds <= 0 then invalid_arg "Mwem.run: rounds must be positive";
@@ -18,27 +19,31 @@ let run ~dataset ~queries ~eps ~rounds ?(answer_from = `Final) ?(replays = 10) ~
   let universe = Pmw_data.Dataset.universe dataset in
   let n = float_of_int (Pmw_data.Dataset.size dataset) in
   let truth = Pmw_data.Dataset.histogram dataset in
-  let true_answers = Array.map (fun q -> Linear_pmw.evaluate q truth) queries in
+  let true_answers = Array.map (fun q -> Linear_pmw.evaluate ~pool q truth) queries in
+  (* Tabulate each query over the universe once: every round evaluates every
+     query, and the replayed updates sweep them |measurements|·replays times. *)
+  let tables = Array.map (fun q -> Linear_pmw.values q universe) queries in
   let eps_round = eps /. (2. *. float_of_int rounds) in
   (* eta = 1 and explicit HLM12 exponents via the loss callback *)
-  let mw = Pmw_mw.Mw.create ~universe ~eta:1. in
+  let mw = Pmw_mw.Mw.create ~pool ~universe ~eta:1. () in
   let average_acc = Array.make (Universe.size universe) 0. in
   let selected = ref [] in
   let measurements = ref [] in
   (* One MW step toward an already-taken (noisy) measurement — free to repeat
      arbitrarily: it touches only published values (post-processing). *)
   let apply (j, measurement) =
-    let q = queries.(j) in
-    let hyp_answer = Linear_pmw.evaluate q (Pmw_mw.Mw.distribution mw) in
+    let tab = tables.(j) in
+    let hyp_answer = Histogram.dot ~pool (Pmw_mw.Mw.distribution mw) tab in
     let direction = measurement -. hyp_answer in
     (* HLM12 update: Dhat(x) *= exp(q(x) * direction / 2) *)
-    Pmw_mw.Mw.update_gain mw ~gain:(fun i ->
-        q.Linear_pmw.value i (Universe.get universe i) *. direction /. 2.)
+    Pmw_mw.Mw.update_gain mw ~gain:(fun i -> tab.(i) *. direction /. 2.)
   in
   for _ = 1 to rounds do
     let dhat = Pmw_mw.Mw.distribution mw in
     let scores =
-      Array.mapi (fun j q -> Float.abs (Linear_pmw.evaluate q dhat -. true_answers.(j))) queries
+      Array.mapi
+        (fun j _ -> Float.abs (Histogram.dot ~pool dhat tables.(j) -. true_answers.(j)))
+        queries
     in
     let j = Mechanisms.exponential ~eps:eps_round ~sensitivity:(1. /. n) ~scores rng in
     let measurement =
@@ -57,5 +62,5 @@ let run ~dataset ~queries ~eps ~rounds ?(answer_from = `Final) ?(replays = 10) ~
   let final = Pmw_mw.Mw.distribution mw in
   let average = Histogram.of_weights universe average_acc in
   let source = match answer_from with `Final -> final | `Average -> average in
-  let answers = Array.map (fun q -> Linear_pmw.evaluate q source) queries in
+  let answers = Array.map (fun q -> Linear_pmw.evaluate ~pool q source) queries in
   { answers; final; average; selected = List.rev !selected }

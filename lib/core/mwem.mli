@@ -21,6 +21,7 @@ type report = {
 }
 
 val run :
+  ?pool:Pmw_parallel.Pool.t ->
   dataset:Pmw_data.Dataset.t ->
   queries:Linear_pmw.query array ->
   eps:float ->

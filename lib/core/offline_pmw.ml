@@ -13,7 +13,8 @@ type report = {
 
 type selector = Exponential | Permute_and_flip
 
-let run ~config ~dataset ~oracle ~queries ?(selector = Exponential) ~rng () =
+let run ?pool ~config ~dataset ~oracle ~queries ?(selector = Exponential) ~rng () =
+  let pool = match pool with Some p -> p | None -> Pmw_parallel.Pool.default () in
   let k = Array.length queries in
   if k = 0 then invalid_arg "Offline_pmw.run: no queries";
   Array.iter
@@ -34,10 +35,10 @@ let run ~config ~dataset ~oracle ~queries ?(selector = Exponential) ~rng () =
     3. *. sensitivity /. (per_round.Params.eps /. 3.) <= 0.75 *. config.Config.alpha
   in
   let eps_third = per_round.Params.eps /. if use_stop_test then 3. else 2. in
-  let mw = Pmw_mw.Mw.create ~universe ~eta:config.Config.eta in
+  let mw = Pmw_mw.Mw.create ~pool ~universe ~eta:config.Config.eta () in
   (* Pre-solve the true minima once per query: each is reused every round. *)
   let references =
-    Array.map (fun q -> (Cm_query.minimize_on_dataset ~iters q dataset).Solve.value) queries
+    Array.map (fun q -> (Cm_query.minimize_on_dataset ~pool ~iters q dataset).Solve.value) queries
   in
   let selected = ref [] in
   let rounds = ref 0 in
@@ -45,12 +46,15 @@ let run ~config ~dataset ~oracle ~queries ?(selector = Exponential) ~rng () =
      for _ = 1 to config.Config.t_max do
        let dhat = Pmw_mw.Mw.distribution mw in
        let hyp_thetas =
-         Array.map (fun q -> (Cm_query.minimize_on_histogram ~iters q dhat).Solve.theta) queries
+         Array.map
+           (fun q -> (Cm_query.minimize_on_histogram ~pool ~iters q dhat).Solve.theta)
+           queries
        in
        let scores =
          Array.mapi
            (fun j q ->
-             Float.max 0. (Cm_query.loss_on_dataset q dataset hyp_thetas.(j) -. references.(j)))
+             Float.max 0.
+               (Cm_query.loss_on_dataset ~pool q dataset hyp_thetas.(j) -. references.(j)))
            queries
        in
        let j =
@@ -78,10 +82,10 @@ let run ~config ~dataset ~oracle ~queries ?(selector = Exponential) ~rng () =
        let theta_oracle = oracle.Pmw_erm.Oracle.run request in
        let theta_hyp = hyp_thetas.(j) in
        let s = config.Config.scale in
+       let update = Cm_query.update_fn query ~theta_oracle ~theta_hyp in
        let u i =
          let x = Universe.get universe i in
-         Pmw_linalg.Special.clamp ~lo:(-.s) ~hi:s
-           (Cm_query.update_vector query ~theta_oracle ~theta_hyp i x)
+         Pmw_linalg.Special.clamp ~lo:(-.s) ~hi:s (update i x)
        in
        Pmw_mw.Mw.update mw ~loss:u;
        selected := j :: !selected;
@@ -90,6 +94,6 @@ let run ~config ~dataset ~oracle ~queries ?(selector = Exponential) ~rng () =
    with Exit -> ());
   let final = Pmw_mw.Mw.distribution mw in
   let answers =
-    Array.map (fun q -> (Cm_query.minimize_on_histogram ~iters q final).Solve.theta) queries
+    Array.map (fun q -> (Cm_query.minimize_on_histogram ~pool ~iters q final).Solve.theta) queries
   in
   { answers; hypothesis = final; rounds_used = !rounds; selected = List.rev !selected }

@@ -26,6 +26,7 @@ type selector = Exponential | Permute_and_flip
     stochastically dominates the exponential mechanism in utility. *)
 
 val run :
+  ?pool:Pmw_parallel.Pool.t ->
   config:Config.t ->
   dataset:Pmw_data.Dataset.t ->
   oracle:Pmw_erm.Oracle.t ->

@@ -40,6 +40,7 @@ let refusal_to_string = function
 
 type t = {
   config : Config.t;
+  pool : Pmw_parallel.Pool.t;
   dataset : Pmw_data.Dataset.t;
   oracle : Pmw_erm.Oracle.t;
   rng : Pmw_rng.Rng.t;
@@ -49,7 +50,8 @@ type t = {
   mutable answered : int;
 }
 
-let create ~config ~dataset ~oracle ?prior ~rng () =
+let create ?pool ~config ~dataset ~oracle ?prior ~rng () =
+  let pool = match pool with Some p -> p | None -> Pmw_parallel.Pool.default () in
   let universe = Pmw_data.Dataset.universe dataset in
   let n = Pmw_data.Dataset.size dataset in
   let sensitivity = 3. *. config.Config.scale /. float_of_int n in
@@ -59,7 +61,7 @@ let create ~config ~dataset ~oracle ?prior ~rng () =
   in
   let mw =
     match prior with
-    | None -> Pmw_mw.Mw.create ~universe ~eta:config.Config.eta
+    | None -> Pmw_mw.Mw.create ~pool ~universe ~eta:config.Config.eta ()
     | Some h ->
         if Pmw_data.Universe.name (Pmw_data.Histogram.universe h) <> Pmw_data.Universe.name universe
         then invalid_arg "Online_pmw.create: prior over a different universe";
@@ -67,9 +69,19 @@ let create ~config ~dataset ~oracle ?prior ~rng () =
           if Pmw_data.Histogram.get h i <= 0. then
             invalid_arg "Online_pmw.create: prior must have full support"
         done;
-        Pmw_mw.Mw.of_histogram h ~eta:config.Config.eta
+        Pmw_mw.Mw.of_histogram ~pool h ~eta:config.Config.eta
   in
-  { config; dataset; oracle; rng; mw; sv; accountant = Pmw_dp.Accountant.create (); answered = 0 }
+  {
+    config;
+    pool;
+    dataset;
+    oracle;
+    rng;
+    mw;
+    sv;
+    accountant = Pmw_dp.Accountant.create ();
+    answered = 0;
+  }
 
 let hypothesis t = Pmw_mw.Mw.distribution t.mw
 let updates t = Pmw_mw.Mw.updates t.mw
@@ -92,8 +104,9 @@ let answer t query =
     Refused (Scale_exceeded { query_scale = Cm_query.scale query; limit = t.config.Config.scale })
   else begin
     let iters = t.config.Config.solver_iters in
+    let pool = t.pool in
     let dhat = hypothesis t in
-    let theta_hyp = (Cm_query.minimize_on_histogram ~iters query dhat).Solve.theta in
+    let theta_hyp = (Cm_query.minimize_on_histogram ~pool ~iters query dhat).Solve.theta in
     if not (all_finite theta_hyp) then Refused (Quarantined "non-finite hypothesis minimizer")
     else if halted t then begin
       (* Graceful degradation: the SV budget is gone, but the frozen public
@@ -108,9 +121,10 @@ let answer t query =
     else begin
       (* q_j(D) = err_l(D, Dhat^t); the true-data solve below is an internal
          computation whose output only reaches the analyst through SV. *)
-      let reference = Cm_query.minimize_on_dataset ~iters query t.dataset in
+      let reference = Cm_query.minimize_on_dataset ~pool ~iters query t.dataset in
       let q_value =
-        Float.max 0. (Cm_query.loss_on_dataset query t.dataset theta_hyp -. reference.Solve.value)
+        Float.max 0.
+          (Cm_query.loss_on_dataset ~pool query t.dataset theta_hyp -. reference.Solve.value)
       in
       if not (Float.is_finite q_value) then Refused (Quarantined "non-finite error-query value")
       else begin
@@ -163,10 +177,10 @@ let answer t query =
                 else begin
                   let s = t.config.Config.scale in
                   let universe = Pmw_mw.Mw.universe t.mw in
+                  let update = Cm_query.update_fn query ~theta_oracle ~theta_hyp in
                   let u i =
                     let x = Universe.get universe i in
-                    let v = Cm_query.update_vector query ~theta_oracle ~theta_hyp i x in
-                    Pmw_linalg.Special.clamp ~lo:(-.s) ~hi:s v
+                    Pmw_linalg.Special.clamp ~lo:(-.s) ~hi:s (update i x)
                   in
                   match Pmw_mw.Mw.update_checked t.mw ~loss:u with
                   | Error why -> Refused (Quarantined why)

@@ -64,6 +64,7 @@ val refusal_to_string : refusal -> string
 type t
 
 val create :
+  ?pool:Pmw_parallel.Pool.t ->
   config:Config.t ->
   dataset:Pmw_data.Dataset.t ->
   oracle:Pmw_erm.Oracle.t ->
@@ -71,7 +72,13 @@ val create :
   rng:Pmw_rng.Rng.t ->
   unit ->
   t
-(** [prior] warm-starts the hypothesis from a PUBLIC distribution (e.g. a
+(** [pool] (default: the shared {!Pmw_parallel.Pool.default}) runs every
+    O(|X|) sweep of the mechanism — MW updates, hypothesis extraction and
+    the solver's objective evaluations — chunked across its domains. Results
+    are bit-identical whatever the pool size, so checkpoints transfer
+    between differently-sized pools.
+
+    [prior] warm-starts the hypothesis from a PUBLIC distribution (e.g. a
     previous run's released hypothesis, or public census margins) instead of
     uniform — pure post-processing, no privacy cost, and a good prior means
     fewer updates spent. The convergence guarantee degrades from [log |X|]

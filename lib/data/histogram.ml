@@ -1,6 +1,10 @@
 module Vec = Pmw_linalg.Vec
+module Special = Pmw_linalg.Special
+module Pool = Pmw_parallel.Pool
 
 type t = { universe : Universe.t; w : float array }
+
+let the_pool = function Some p -> p | None -> Pool.default ()
 
 let universe t = t.universe
 let size t = Array.length t.w
@@ -33,22 +37,61 @@ let of_counts u counts =
          float_of_int c)
        counts)
 
+let unsafe_of_normalized u w =
+  if Array.length w <> Universe.size u then
+    invalid_arg "Histogram.unsafe_of_normalized: length mismatch";
+  { universe = u; w }
+
 let point_mass u i =
   if i < 0 || i >= Universe.size u then invalid_arg "Histogram.point_mass: index out of range";
   let w = Array.make (Universe.size u) 0. in
   w.(i) <- 1.;
   { universe = u; w }
 
-let expect t f =
-  let values = Array.mapi (fun i wi -> wi *. f i (Universe.get t.universe i)) t.w in
-  Vec.kahan_sum values
+(* The O(|X|) sweeps below run chunked on the pool with per-chunk compensated
+   sums and an index-ordered tree combine — no intermediate |X|-sized arrays,
+   and bit-identical results whatever the pool size. Zero-mass elements are
+   skipped entirely: their [f] is never evaluated. *)
 
-let expect_vec t ~dim f =
-  let acc = Vec.create dim in
-  Array.iteri
-    (fun i wi -> if wi > 0. then Vec.axpy ~alpha:wi ~x:(f i (Universe.get t.universe i)) ~y:acc)
-    t.w;
-  acc
+let expect ?pool t f =
+  let pts = Universe.points t.universe in
+  let w = t.w in
+  Pool.parallel_reduce (the_pool pool) ~n:(Array.length w) ~neutral:0. ~combine:( +. )
+    ~chunk:(fun lo hi ->
+      Special.kahan_range lo hi (fun i ->
+          let wi = w.(i) in
+          if wi = 0. then 0. else wi *. f i pts.(i)))
+
+let expect_vec_into ?pool t ~dst f =
+  let pts = Universe.points t.universe in
+  let w = t.w in
+  let dim = Array.length dst in
+  Array.fill dst 0 dim 0.;
+  let acc =
+    Pool.parallel_reduce (the_pool pool) ~n:(Array.length w) ~neutral:dst
+      ~chunk:(fun lo hi ->
+        let acc = Vec.create dim in
+        for i = lo to hi - 1 do
+          let wi = w.(i) in
+          if wi > 0. then Vec.axpy ~alpha:wi ~x:(f i pts.(i)) ~y:acc
+        done;
+        acc)
+      ~combine:(fun a b ->
+        Vec.add_inplace a b;
+        a)
+  in
+  if acc != dst then Array.blit acc 0 dst 0 dim
+
+let expect_vec ?pool t ~dim f =
+  let dst = Vec.create dim in
+  expect_vec_into ?pool t ~dst f;
+  dst
+
+let dot ?pool t v =
+  if Array.length v <> Array.length t.w then invalid_arg "Histogram.dot: length mismatch";
+  let w = t.w in
+  Pool.parallel_reduce (the_pool pool) ~n:(Array.length w) ~neutral:0. ~combine:( +. )
+    ~chunk:(fun lo hi -> Special.kahan_range lo hi (fun i -> w.(i) *. v.(i)))
 
 let same_universe name a b =
   if a.universe != b.universe && Universe.name a.universe <> Universe.name b.universe then

@@ -29,15 +29,37 @@ val of_weights : Universe.t -> float array -> t
 val of_counts : Universe.t -> int array -> t
 (** Histogram of raw counts. *)
 
+val unsafe_of_normalized : Universe.t -> float array -> t
+(** Takes {e ownership} of [w], skipping validation and normalization: the
+    caller guarantees non-negative entries summing to 1 and must not mutate
+    [w] afterwards. The allocation-free constructor behind
+    [Mw.distribution], whose softmax output is already a distribution.
+    @raise Invalid_argument on a length mismatch. *)
+
 val point_mass : Universe.t -> int -> t
 
-val expect : t -> (int -> Point.t -> float) -> float
+val expect : ?pool:Pmw_parallel.Pool.t -> t -> (int -> Point.t -> float) -> float
 (** [expect h f] is [Σ_x h(x) · f(x)] — expected value of [f] under the
-    histogram, computed with compensated summation. This is how expected
-    losses [ℓ(θ; D)] and linear-query answers [⟨q, D⟩] are evaluated. *)
+    histogram, computed with chunked compensated summation on the pool
+    (deterministically: see {!Pmw_parallel.Pool}). This is how expected
+    losses [ℓ(θ; D)] and linear-query answers [⟨q, D⟩] are evaluated.
+    [f] is skipped (never called) on zero-mass elements, and may run on
+    worker domains, so it must be thread-safe. *)
 
-val expect_vec : t -> dim:int -> (int -> Point.t -> Pmw_linalg.Vec.t) -> Pmw_linalg.Vec.t
+val expect_vec :
+  ?pool:Pmw_parallel.Pool.t -> t -> dim:int -> (int -> Point.t -> Pmw_linalg.Vec.t) -> Pmw_linalg.Vec.t
 (** Vector-valued expectation, e.g. the gradient [∇ℓ_D(θ) = Σ_x D(x) ∇ℓ_x(θ)]. *)
+
+val expect_vec_into :
+  ?pool:Pmw_parallel.Pool.t -> t -> dst:Pmw_linalg.Vec.t -> (int -> Point.t -> Pmw_linalg.Vec.t) -> unit
+(** {!expect_vec} accumulated into a caller-supplied buffer (overwritten),
+    for solvers that evaluate gradients every iteration. *)
+
+val dot : ?pool:Pmw_parallel.Pool.t -> t -> float array -> float
+(** [⟨w, v⟩] against a pre-tabulated per-element value vector — the fast
+    path for linear queries whose values have been memoized over the
+    universe (see [Linear_pmw.values]).
+    @raise Invalid_argument on a length mismatch. *)
 
 val l1_dist : t -> t -> float
 (** [‖D − D'‖₁]. Adjacent size-[n] datasets satisfy [l1_dist <= 2/n]. *)

@@ -49,10 +49,11 @@ let run_output_perturbation (req : request) =
 let output_perturbation = { name = "output_perturbation"; run = run_output_perturbation }
 
 (* Shared noisy-projected-GD loop; [noise] draws one per-step perturbation
-   already calibrated to the per-step privacy budget. *)
-let noisy_descent (req : request) ~steps ~noise =
+   already calibrated to the per-step privacy budget. The per-step gradient
+   sum runs chunked on [pool] through the memoized objective. *)
+let noisy_descent ?pool (req : request) ~steps ~noise =
   let dim = Domain.dim req.domain in
-  let obj = Objective.of_dataset req.loss req.dataset ~dim in
+  let obj = Objective.of_dataset ?pool req.loss req.dataset ~dim in
   let lipschitz = Float.max req.loss.Loss.lipschitz 1e-9 in
   let diameter = Float.max (Domain.diameter req.domain) 1e-9 in
   let theta = ref (Domain.center req.domain) in
@@ -75,7 +76,7 @@ let noisy_descent (req : request) ~steps ~noise =
 let gd_steps max_steps (req : request) =
   Int.max 1 (Int.min max_steps (Pmw_data.Dataset.size req.dataset))
 
-let run_noisy_gd ~max_steps (req : request) =
+let run_noisy_gd ?pool ~max_steps (req : request) =
   let steps = gd_steps max_steps req in
   let n = float_of_int (Pmw_data.Dataset.size req.dataset) in
   let lipschitz = Float.max req.loss.Loss.lipschitz 1e-9 in
@@ -86,14 +87,14 @@ let run_noisy_gd ~max_steps (req : request) =
   in
   let dim = Domain.dim req.domain in
   let noise () = Pmw_rng.Dist.gaussian_vector ~dim ~sigma req.rng in
-  noisy_descent req ~steps ~noise
+  noisy_descent ?pool req ~steps ~noise
 
-let noisy_gd ?(max_steps = 200) () =
-  { name = "noisy_gd"; run = (fun req -> run_noisy_gd ~max_steps req) }
+let noisy_gd ?pool ?(max_steps = 200) () =
+  { name = "noisy_gd"; run = (fun req -> run_noisy_gd ?pool ~max_steps req) }
 
-let run_glm ~max_steps (req : request) =
+let run_glm ?pool ~max_steps (req : request) =
   match req.loss.Loss.glm with
-  | None -> run_noisy_gd ~max_steps req
+  | None -> run_noisy_gd ?pool ~max_steps req
   | Some _ ->
       let steps = gd_steps max_steps req in
       let n = float_of_int (Pmw_data.Dataset.size req.dataset) in
@@ -112,9 +113,10 @@ let run_glm ~max_steps (req : request) =
         let direction = Pmw_data.Synth.random_unit_vector ~dim req.rng in
         Vec.scale magnitude direction
       in
-      noisy_descent req ~steps ~noise
+      noisy_descent ?pool req ~steps ~noise
 
-let glm ?(max_steps = 200) () = { name = "glm"; run = (fun req -> run_glm ~max_steps req) }
+let glm ?pool ?(max_steps = 200) () =
+  { name = "glm"; run = (fun req -> run_glm ?pool ~max_steps req) }
 
 let run_laplace_output (req : request) =
   let sigma_loss = req.loss.Loss.strong_convexity in

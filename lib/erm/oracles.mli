@@ -16,15 +16,18 @@ val output_perturbation : Oracle.t
     λ-strongly convex) with [λ] chosen to balance the regularization bias
     [λ·R²/2] against the noise cost [√d · σ_noise · L]. *)
 
-val noisy_gd : ?max_steps:int -> unit -> Oracle.t
+val noisy_gd : ?pool:Pmw_parallel.Pool.t -> ?max_steps:int -> unit -> Oracle.t
 (** Bassily–Smith–Thakurta (Theorem 4.1) style noisy projected gradient
     descent: [T] full-batch steps; each step perturbs the empirical gradient
     (L2 sensitivity [2L/n]) with Gaussian noise at the per-step budget given
     by advanced composition over the [T] steps. [T = min(max_steps, n)]
     (default [max_steps = 200]); suffix averaging. Excess risk scales as
-    [√d · polylog / (n·ε₀)] — the Table 1 row 2, column 1 shape. *)
+    [√d · polylog / (n·ε₀)] — the Table 1 row 2, column 1 shape. The
+    per-step empirical gradient sum runs chunked on [pool] (default: the
+    shared pool); the noise stream is untouched, so answers are bit-identical
+    for any pool size. *)
 
-val glm : ?max_steps:int -> unit -> Oracle.t
+val glm : ?pool:Pmw_parallel.Pool.t -> ?max_steps:int -> unit -> Oracle.t
 (** Jain–Thakurta (Theorem 4.3) style oracle for unconstrained generalized
     linear models — SIMULATED (see DESIGN.md, substitution 2): noisy
     projected gradient descent where the per-step perturbation is a

@@ -15,7 +15,7 @@ let description = "Ablation: MW learning-rate sensitivity around Figure 3's sqrt
 
 let final_error ~(workload : Common.Workload.regression) ~dataset ~eta ~rounds =
   let universe = workload.Common.Workload.universe in
-  let mw = Pmw_mw.Mw.create ~universe ~eta in
+  let mw = Pmw_mw.Mw.create ~universe ~eta () in
   let queries = Array.of_list workload.Common.Workload.queries in
   let iters = 200 in
   (* Non-private replay of the update loop (oracle = exact solver): isolates

@@ -52,7 +52,7 @@ let run () =
                 ~oracle:(Pmw_erm.Oracles.noisy_gd ()) ~seed)
         in
         (* (c) cost of one MW update at this |X| *)
-        let mw = Pmw_mw.Mw.create ~universe ~eta:0.3 in
+        let mw = Pmw_mw.Mw.create ~universe ~eta:0.3 () in
         let (), dt =
           Common.timed (fun () ->
               for _ = 1 to 20 do

@@ -19,7 +19,7 @@ let description = "Lemma 3.4: measured MW regret vs the 2 S sqrt(log|X|/T) bound
 let adversarial_regret ~universe ~t_max ~s =
   let size = Universe.size universe in
   let eta = sqrt (Universe.log_size universe /. float_of_int t_max) /. s in
-  let mw = Mw.create ~universe ~eta in
+  let mw = Mw.create ~universe ~eta () in
   let target = 3 in
   let total = ref 0. in
   for _ = 1 to t_max do

@@ -1,22 +1,70 @@
-let log_sum_exp a =
+module Pool = Pmw_parallel.Pool
+
+(* Compensated (Kahan) sum of [f i] over [lo, hi) — the per-chunk kernel of
+   the deterministic reductions below. *)
+let kahan_range lo hi f =
+  let sum = ref 0. and c = ref 0. in
+  for i = lo to hi - 1 do
+    let y = f i -. !c in
+    let t = !sum +. y in
+    c := t -. !sum -. y;
+    sum := t
+  done;
+  !sum
+
+let max_elt ?pool a =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  Pool.parallel_reduce pool ~n:(Array.length a) ~neutral:neg_infinity ~combine:Float.max
+    ~chunk:(fun lo hi ->
+      let m = ref neg_infinity in
+      for i = lo to hi - 1 do
+        if a.(i) > !m then m := a.(i)
+      done;
+      !m)
+
+let log_sum_exp ?pool a =
   let n = Array.length a in
   if n = 0 then neg_infinity
   else begin
-    let m = Array.fold_left Float.max neg_infinity a in
+    let pool = match pool with Some p -> p | None -> Pool.default () in
+    let m = max_elt ~pool a in
     if m = neg_infinity then neg_infinity
     else begin
-      let acc = ref 0. in
-      for i = 0 to n - 1 do
-        acc := !acc +. exp (a.(i) -. m)
-      done;
-      m +. log !acc
+      let acc =
+        Pool.parallel_reduce pool ~n ~neutral:0. ~combine:( +. )
+          ~chunk:(fun lo hi -> kahan_range lo hi (fun i -> exp (a.(i) -. m)))
+      in
+      m +. log acc
     end
   end
 
-let softmax a =
-  if Array.length a = 0 then invalid_arg "Special.softmax: empty array";
-  let lse = log_sum_exp a in
-  Array.map (fun x -> exp (x -. lse)) a
+(* Fused softmax: one exp per element, written straight into [dst], with the
+   normalizing sum accumulated in the same pass (the textbook version pays a
+   second full exp sweep inside log_sum_exp and then discards it). *)
+let softmax_into ?pool ~dst a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Special.softmax: empty array";
+  if Array.length dst <> n then invalid_arg "Special.softmax_into: dst length mismatch";
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  let m = max_elt ~pool a in
+  if m = neg_infinity then invalid_arg "Special.softmax: no finite entry";
+  let total =
+    Pool.parallel_reduce pool ~n ~neutral:0. ~combine:( +. )
+      ~chunk:(fun lo hi ->
+        kahan_range lo hi (fun i ->
+            let e = exp (a.(i) -. m) in
+            dst.(i) <- e;
+            e))
+  in
+  Pool.parallel_for pool ~n (fun lo hi ->
+      for i = lo to hi - 1 do
+        dst.(i) <- dst.(i) /. total
+      done)
+
+let softmax ?pool a =
+  let dst = Array.make (Array.length a) 0. in
+  softmax_into ?pool ~dst a;
+  dst
 
 let logistic z = if z >= 0. then 1. /. (1. +. exp (-.z)) else exp z /. (1. +. exp z)
 

@@ -1,12 +1,31 @@
-(** Scalar numeric helpers shared by the mechanisms and solvers. *)
+(** Scalar numeric helpers shared by the mechanisms and solvers.
 
-val log_sum_exp : float array -> float
+    The array kernels ([log_sum_exp], [softmax]) run on a
+    {!Pmw_parallel.Pool} (the shared default pool when none is given) with
+    deterministic chunking: every result is bit-identical whatever the pool
+    size. [neg_infinity] entries carry exactly zero mass through both. *)
+
+val kahan_range : int -> int -> (int -> float) -> float
+(** [kahan_range lo hi f] — compensated sum of [f i] over [lo, hi); the
+    per-chunk building block of the deterministic reductions. *)
+
+val max_elt : ?pool:Pmw_parallel.Pool.t -> float array -> float
+(** Maximum entry ([neg_infinity] on the empty array). *)
+
+val log_sum_exp : ?pool:Pmw_parallel.Pool.t -> float array -> float
 (** [log Σᵢ exp(aᵢ)], computed stably by shifting by the maximum. Returns
-    [neg_infinity] on the empty array. *)
+    [neg_infinity] on the empty array or when every entry is
+    [neg_infinity]. *)
 
-val softmax : float array -> float array
-(** Stable softmax: [exp(aᵢ - log_sum_exp a)]. Sums to 1 up to round-off.
-    @raise Invalid_argument on an empty array. *)
+val softmax : ?pool:Pmw_parallel.Pool.t -> float array -> float array
+(** Stable softmax: [exp(aᵢ - log_sum_exp a)]. Sums to 1 up to round-off;
+    computed fused (a single exp per element).
+    @raise Invalid_argument on an empty array or when no entry is finite. *)
+
+val softmax_into : ?pool:Pmw_parallel.Pool.t -> dst:float array -> float array -> unit
+(** {!softmax} written into a caller-supplied buffer — the allocation-free
+    hot path. [dst] may not alias the input.
+    @raise Invalid_argument on a length mismatch. *)
 
 val logistic : float -> float
 (** [1 / (1 + e^{-z})], stable for large |z|. *)

@@ -1,68 +1,112 @@
 module Special = Pmw_linalg.Special
 module Histogram = Pmw_data.Histogram
 module Universe = Pmw_data.Universe
+module Pool = Pmw_parallel.Pool
 
 type t = {
   universe : Universe.t;
   eta : float;
   log_w : float array;
+  pool : Pool.t;
+  scratch : float array;  (* staged losses for [update_checked]; reused *)
   mutable update_count : int;
 }
 
-let create ~universe ~eta =
-  if eta <= 0. then invalid_arg "Mw.create: eta must be positive";
-  { universe; eta; log_w = Array.make (Universe.size universe) 0.; update_count = 0 }
+let make ?pool ~universe ~eta log_w =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  { universe; eta; log_w; pool; scratch = Array.make (Array.length log_w) 0.; update_count = 0 }
 
-let of_histogram hist ~eta =
+let create ?pool ~universe ~eta () =
+  if eta <= 0. then invalid_arg "Mw.create: eta must be positive";
+  make ?pool ~universe ~eta (Array.make (Universe.size universe) 0.)
+
+let of_histogram ?pool hist ~eta =
   if eta <= 0. then invalid_arg "Mw.of_histogram: eta must be positive";
   let universe = Histogram.universe hist in
+  (* Zero prior mass is represented exactly: log 0 = −∞. The update
+     [−∞ − η·loss] stays −∞ for every finite loss, and softmax/log_sum_exp
+     assign such elements exactly zero mass — a zero-prior element can never
+     drift back into the support. *)
   let log_w =
     Array.init (Universe.size universe) (fun i ->
         let p = Histogram.get hist i in
-        if p > 0. then log p else -1e300)
+        if p > 0. then log p else Float.neg_infinity)
   in
-  { universe; eta; log_w; update_count = 0 }
+  make ?pool ~universe ~eta log_w
 
 let eta t = t.eta
 let universe t = t.universe
 let updates t = t.update_count
+let pool t = t.pool
 
-let renormalize t =
-  (* Keep log-weights centered to avoid drifting toward -inf/overflow. *)
-  let lse = Special.log_sum_exp t.log_w in
-  if Float.abs lse > 500. then
-    for i = 0 to Array.length t.log_w - 1 do
-      t.log_w.(i) <- t.log_w.(i) -. lse
-    done
+(* Log-weights must stay inside a window where [exp] arithmetic is safe. The
+   seed recomputed a full log-sum-exp after every update to decide whether to
+   recenter; tracking the maximum (free inside the fused update pass) gives
+   the same protection — [lse] is within [log |X|] of the max — without the
+   per-update exp sweep. *)
+let recenter_bound = 500.
+
+let recenter t mx =
+  if Float.abs mx > recenter_bound then begin
+    let lse = Special.log_sum_exp ~pool:t.pool t.log_w in
+    let lw = t.log_w in
+    Pool.parallel_for t.pool ~n:(Array.length lw) (fun lo hi ->
+        for i = lo to hi - 1 do
+          lw.(i) <- lw.(i) -. lse
+        done)
+  end
 
 let distribution t =
-  let w = Special.softmax t.log_w in
-  Histogram.of_weights t.universe w
+  let w = Array.make (Array.length t.log_w) 0. in
+  Special.softmax_into ~pool:t.pool ~dst:w t.log_w;
+  Histogram.unsafe_of_normalized t.universe w
 
-let update t ~loss =
-  for i = 0 to Array.length t.log_w - 1 do
-    t.log_w.(i) <- t.log_w.(i) -. (t.eta *. loss i)
-  done;
+(* One fused sweep: apply the step and track the running maximum of the new
+   log-weights in the same pass. [loss] may be evaluated on worker domains
+   and must be thread-safe (all mechanism losses are pure index functions). *)
+let apply_loss t loss =
+  let lw = t.log_w in
+  let eta = t.eta in
+  let mx =
+    Pool.parallel_reduce t.pool ~n:(Array.length lw) ~neutral:neg_infinity ~combine:Float.max
+      ~chunk:(fun lo hi ->
+        let m = ref neg_infinity in
+        for i = lo to hi - 1 do
+          let v = lw.(i) -. (eta *. loss i) in
+          lw.(i) <- v;
+          if v > !m then m := v
+        done;
+        !m)
+  in
   t.update_count <- t.update_count + 1;
-  renormalize t
+  recenter t mx
+
+let update t ~loss = apply_loss t loss
 
 let update_checked t ~loss =
-  (* Two-phase: evaluate every loss first, apply only if all are finite, so a
-     NaN/Inf anywhere leaves the hypothesis untouched. *)
+  (* Two-phase: evaluate every loss first (into the reusable scratch buffer),
+     apply only if all are finite, so a NaN/Inf anywhere leaves the
+     hypothesis untouched. *)
   let n = Array.length t.log_w in
-  let staged = Array.init n loss in
-  let bad = ref (-1) in
-  for i = n - 1 downto 0 do
-    if not (Float.is_finite staged.(i)) then bad := i
-  done;
-  if !bad >= 0 then
-    Error (Printf.sprintf "Mw.update_checked: non-finite loss %h at element %d" staged.(!bad) !bad)
+  let staged = t.scratch in
+  Pool.parallel_for t.pool ~n (fun lo hi ->
+      for i = lo to hi - 1 do
+        staged.(i) <- loss i
+      done);
+  let first_bad a b = if a >= 0 then (if b >= 0 then Int.min a b else a) else b in
+  let bad =
+    Pool.parallel_reduce t.pool ~n ~neutral:(-1) ~combine:first_bad
+      ~chunk:(fun lo hi ->
+        let bad = ref (-1) in
+        for i = hi - 1 downto lo do
+          if not (Float.is_finite staged.(i)) then bad := i
+        done;
+        !bad)
+  in
+  if bad >= 0 then
+    Error (Printf.sprintf "Mw.update_checked: non-finite loss %h at element %d" staged.(bad) bad)
   else begin
-    for i = 0 to n - 1 do
-      t.log_w.(i) <- t.log_w.(i) -. (t.eta *. staged.(i))
-    done;
-    t.update_count <- t.update_count + 1;
-    renormalize t;
+    apply_loss t (fun i -> staged.(i));
     Ok ()
   end
 

@@ -21,15 +21,24 @@
 
 type t
 
-val create : universe:Pmw_data.Universe.t -> eta:float -> t
-(** Uniform initial distribution [D̂₁]. @raise Invalid_argument if
-    [eta <= 0]. *)
+val create : ?pool:Pmw_parallel.Pool.t -> universe:Pmw_data.Universe.t -> eta:float -> unit -> t
+(** Uniform initial distribution [D̂₁]. The O(|X|) sweeps (update, softmax,
+    normalization) run on [pool] (default: the shared
+    {!Pmw_parallel.Pool.default}) with deterministic chunking — every
+    log-weight and distribution bit is independent of the pool size.
+    @raise Invalid_argument if [eta <= 0]. *)
 
-val of_histogram : Pmw_data.Histogram.t -> eta:float -> t
-(** Start from a given (e.g. publicly known) prior. *)
+val of_histogram : ?pool:Pmw_parallel.Pool.t -> Pmw_data.Histogram.t -> eta:float -> t
+(** Start from a given (e.g. publicly known) prior. Zero-mass elements get
+    log-weight [−∞] exactly: they carry zero mass forever (no finite loss
+    sequence can resurrect them), instead of drifting via a large-negative
+    sentinel. *)
 
 val eta : t -> float
 val universe : t -> Pmw_data.Universe.t
+
+val pool : t -> Pmw_parallel.Pool.t
+(** The pool this instance runs its sweeps on. *)
 
 val updates : t -> int
 (** Number of updates performed so far (the paper's [t]). *)
@@ -38,8 +47,11 @@ val distribution : t -> Pmw_data.Histogram.t
 (** The current hypothesis [D̂ₜ] (normalized). *)
 
 val update : t -> loss:(int -> float) -> unit
-(** One MW step: [log w(x) ← log w(x) − η·loss(x)], then renormalize lazily.
-    [loss] is evaluated once per universe element. *)
+(** One MW step: [log w(x) ← log w(x) − η·loss(x)], then renormalize lazily
+    (recentering only when the running maximum drifts out of the safe
+    window, so the common case is a single fused sweep). [loss] is evaluated
+    once per universe element, possibly from worker domains — it must be
+    thread-safe (every mechanism loss is a pure function of the index). *)
 
 val update_gain : t -> gain:(int -> float) -> unit
 (** The opposite sign ([+η·gain]), provided for completeness/tests. *)

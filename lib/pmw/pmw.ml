@@ -14,6 +14,9 @@
 module Rng = Pmw_rng.Rng
 module Dist = Pmw_rng.Dist
 
+(* deterministic multicore kernels *)
+module Pool = Pmw_parallel.Pool
+
 (* numerics *)
 module Vec = Pmw_linalg.Vec
 module Mat = Pmw_linalg.Mat

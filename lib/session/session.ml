@@ -13,6 +13,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type t = {
   config : Config.t;
+  pool : Pmw_parallel.Pool.t;
   dataset : Pmw_data.Dataset.t;
   budget : Budget.t;
   online : Online.t;
@@ -23,7 +24,7 @@ type t = {
   attempts : Checkpoint.attempt list ref;  (* newest first *)
 }
 
-let default_oracles () = [ Oracles.noisy_gd (); Oracles.output_perturbation ]
+let default_oracles ?pool () = [ Oracles.noisy_gd ?pool (); Oracles.output_perturbation ]
 
 let fingerprint config dataset =
   let universe = Pmw_data.Dataset.universe dataset in
@@ -42,7 +43,7 @@ let fingerprint config dataset =
 
 (* Shared by create and resume; [ledger] is the pre-populated budget for a
    resume (create starts a fresh one and debits the SV half). *)
-let make ~config ~dataset ~oracles ~retries ~spend_claim ?prior ~rng ~budget () =
+let make ~config ~pool ~dataset ~oracles ~retries ~spend_claim ?prior ~rng ~budget () =
   let breached = ref false in
   let attempts = ref [] in
   let authorize (_ : Oracle.request) =
@@ -88,9 +89,10 @@ let make ~config ~dataset ~oracles ~retries ~spend_claim ?prior ~rng ~budget () 
     | [] -> invalid_arg "Session.create: empty oracle chain"
     | oracles -> Oracles.with_fallback ~retries ~authorize ~on_attempt oracles
   in
-  let online = Online.create ~config ~dataset ~oracle:chain ?prior ~rng () in
+  let online = Online.create ~pool ~config ~dataset ~oracle:chain ?prior ~rng () in
   {
     config;
+    pool;
     dataset;
     budget;
     online;
@@ -101,8 +103,10 @@ let make ~config ~dataset ~oracles ~retries ~spend_claim ?prior ~rng ~budget () 
     attempts;
   }
 
-let create ~config ~dataset ?oracles ?(retries = 0) ?(spend_claim = fun () -> None) ?prior ~rng () =
-  let oracles = match oracles with Some o -> o | None -> default_oracles () in
+let create ?pool ~config ~dataset ?oracles ?(retries = 0) ?(spend_claim = fun () -> None) ?prior
+    ~rng () =
+  let pool = match pool with Some p -> p | None -> Pmw_parallel.Pool.default () in
+  let oracles = match oracles with Some o -> o | None -> default_oracles ~pool () in
   let budget = Budget.create config.Config.privacy in
   (* The SV half is committed for the whole session up front: the sparse
      vector spends it progressively over its epochs, but the ledger must
@@ -110,12 +114,12 @@ let create ~config ~dataset ?oracles ?(retries = 0) ?(spend_claim = fun () -> No
   (match Budget.request budget config.Config.sv_privacy with
   | Ok _ -> ()
   | Error why -> invalid_arg ("Session.create: SV budget does not fit: " ^ why));
-  make ~config ~dataset ~oracles ~retries ~spend_claim ?prior ~rng ~budget ()
+  make ~config ~pool ~dataset ~oracles ~retries ~spend_claim ?prior ~rng ~budget ()
 
 let from_hypothesis t query =
   let dhat = Online.hypothesis t.online in
   let iters = t.config.Config.solver_iters in
-  (Cm_query.minimize_on_histogram ~iters query dhat).Solve.theta
+  (Cm_query.minimize_on_histogram ~pool:t.pool ~iters query dhat).Solve.theta
 
 let all_finite v =
   let ok = ref true in
@@ -208,10 +212,11 @@ let check_fingerprint (fp : Checkpoint.fingerprint) config dataset =
   else if fp.fp_dataset_size <> now.fp_dataset_size then mismatch "dataset size"
   else Ok ()
 
-let resume ~config ~dataset ?oracles ?(retries = 0) ?(spend_claim = fun () -> None) ~rng
+let resume ?pool ~config ~dataset ?oracles ?(retries = 0) ?(spend_claim = fun () -> None) ~rng
     (ckpt : Checkpoint.t) =
   let ( let* ) = Result.bind in
-  let oracles = match oracles with Some o -> o | None -> default_oracles () in
+  let pool = match pool with Some p -> p | None -> Pmw_parallel.Pool.default () in
+  let oracles = match oracles with Some o -> o | None -> default_oracles ~pool () in
   let* () = check_fingerprint ckpt.Checkpoint.fingerprint config dataset in
   (* Replay the ledger verbatim: the resumed process starts from the exact
      spend of the killed one — nothing is re-debited, nothing forgiven. *)
@@ -225,7 +230,7 @@ let resume ~config ~dataset ?oracles ?(retries = 0) ?(spend_claim = fun () -> No
         | Error why -> Error ("checkpoint ledger does not replay: " ^ why))
       (Ok ()) ckpt.Checkpoint.granted
   in
-  let t = make ~config ~dataset ~oracles ~retries ~spend_claim ~rng ~budget () in
+  let t = make ~config ~pool ~dataset ~oracles ~retries ~spend_claim ~rng ~budget () in
   let* () =
     match
       Online.restore t.online
@@ -259,6 +264,6 @@ let resume ~config ~dataset ?oracles ?(retries = 0) ?(spend_claim = fun () -> No
         (Budget.spent budget).Params.eps config.Config.privacy.Params.eps);
   Ok t
 
-let resume_path ~config ~dataset ?oracles ?retries ?spend_claim ~rng ~path () =
+let resume_path ?pool ~config ~dataset ?oracles ?retries ?spend_claim ~rng ~path () =
   Result.bind (Checkpoint.read ~path) (fun ckpt ->
-      resume ~config ~dataset ?oracles ?retries ?spend_claim ~rng ckpt)
+      resume ?pool ~config ~dataset ?oracles ?retries ?spend_claim ~rng ckpt)

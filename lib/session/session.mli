@@ -25,6 +25,7 @@
 type t
 
 val create :
+  ?pool:Pmw_parallel.Pool.t ->
   config:Pmw_core.Config.t ->
   dataset:Pmw_data.Dataset.t ->
   ?oracles:Pmw_erm.Oracle.t list ->
@@ -34,7 +35,13 @@ val create :
   rng:Pmw_rng.Rng.t ->
   unit ->
   t
-(** [oracles] is the fallback chain, tried in order (default:
+(** [pool] (default: {!Pmw_parallel.Pool.default}) runs every O(|X|) kernel
+    of the session — the MW state, the solvers and the default oracle chain —
+    chunked across its domains; answers and checkpoints are bit-identical
+    whatever the pool size, so a session checkpointed under one pool resumes
+    exactly under another.
+
+    [oracles] is the fallback chain, tried in order (default:
     noisy-GD then output perturbation); [retries] extra tries per stage
     (default 0). [spend_claim] is polled after every oracle attempt: when
     it returns a spend larger than the allocation the attempt was handed,
@@ -70,6 +77,7 @@ val checkpoint : t -> Checkpoint.t
 val save : t -> path:string -> unit
 
 val resume :
+  ?pool:Pmw_parallel.Pool.t ->
   config:Pmw_core.Config.t ->
   dataset:Pmw_data.Dataset.t ->
   ?oracles:Pmw_erm.Oracle.t list ->
@@ -85,6 +93,7 @@ val resume :
     not already spent. The supplied [rng]'s state is overwritten. *)
 
 val resume_path :
+  ?pool:Pmw_parallel.Pool.t ->
   config:Pmw_core.Config.t ->
   dataset:Pmw_data.Dataset.t ->
   ?oracles:Pmw_erm.Oracle.t list ->

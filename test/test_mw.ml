@@ -11,7 +11,7 @@ let checkf tol = Alcotest.(check (float tol))
 let u = Universe.hypercube ~d:4 ()
 
 let test_create_uniform () =
-  let mw = Mw.create ~universe:u ~eta:0.1 in
+  let mw = Mw.create ~universe:u ~eta:0.1 () in
   let d = Mw.distribution mw in
   for i = 0 to Universe.size u - 1 do
     checkf 1e-12 "uniform start" (1. /. 16.) (Histogram.get d i)
@@ -24,7 +24,7 @@ let test_of_histogram_start () =
   checkf 1e-9 "prior preserved" (Histogram.get prior 3) (Histogram.get (Mw.distribution mw) 3)
 
 let test_update_moves_mass_away_from_loss () =
-  let mw = Mw.create ~universe:u ~eta:0.5 in
+  let mw = Mw.create ~universe:u ~eta:0.5 () in
   (* element 0 has loss 1, everything else 0 *)
   Mw.update mw ~loss:(fun i -> if i = 0 then 1. else 0.);
   let d = Mw.distribution mw in
@@ -36,13 +36,13 @@ let test_update_moves_mass_away_from_loss () =
     (Histogram.get d 0 /. Histogram.get d 1)
 
 let test_update_gain_opposite_sign () =
-  let mw = Mw.create ~universe:u ~eta:0.5 in
+  let mw = Mw.create ~universe:u ~eta:0.5 () in
   Mw.update_gain mw ~gain:(fun i -> if i = 0 then 1. else 0.);
   let d = Mw.distribution mw in
   Alcotest.(check bool) "gain increases mass" true (Histogram.get d 0 > 1. /. 16.)
 
 let test_distribution_normalized () =
-  let mw = Mw.create ~universe:u ~eta:1. in
+  let mw = Mw.create ~universe:u ~eta:1. () in
   for t = 1 to 50 do
     Mw.update mw ~loss:(fun i -> float_of_int ((i + t) mod 3))
   done;
@@ -53,7 +53,7 @@ let test_kl_decreases_under_informative_updates () =
   (* Target: point mass at element 7. Loss = 0 on 7, 1 elsewhere. KL(target ||
      hypothesis) must fall monotonically. *)
   let target = Histogram.point_mass u 7 in
-  let mw = Mw.create ~universe:u ~eta:0.3 in
+  let mw = Mw.create ~universe:u ~eta:0.3 () in
   let prev = ref (Mw.kl_to mw target) in
   checkf 1e-9 "initial KL is log|X|" (log 16.) !prev;
   for _ = 1 to 10 do
@@ -66,7 +66,7 @@ let test_kl_decreases_under_informative_updates () =
 let test_log_space_stability () =
   (* Thousands of aggressive updates must not produce NaN or a degenerate
      distribution. This is the scenario that underflows naive weights. *)
-  let mw = Mw.create ~universe:u ~eta:5. in
+  let mw = Mw.create ~universe:u ~eta:5. () in
   for t = 1 to 5000 do
     Mw.update mw ~loss:(fun i -> if (i + t) mod 2 = 0 then 1. else -1.)
   done;
@@ -82,7 +82,7 @@ let test_regret_bound_lemma_3_4 () =
   let s = 1. in
   let t_max = 200 in
   let eta = sqrt (Universe.log_size u /. float_of_int t_max) /. s in
-  let mw = Mw.create ~universe:u ~eta in
+  let mw = Mw.create ~universe:u ~eta () in
   let target = Histogram.point_mass u 3 in
   let total = ref 0. in
   for _ = 1 to t_max do
@@ -110,13 +110,13 @@ let test_theory_eta () =
 
 let test_validation () =
   Alcotest.check_raises "eta" (Invalid_argument "Mw.create: eta must be positive") (fun () ->
-      ignore (Mw.create ~universe:u ~eta:0.))
+      ignore (Mw.create ~universe:u ~eta:0. ()))
 
 let qcheck_distribution_always_valid =
   QCheck.Test.make ~name:"distribution valid after arbitrary updates" ~count:100
     QCheck.(list_of_size (Gen.int_range 1 20) (array_of_size (Gen.return 16) (float_range (-2.) 2.)))
     (fun losses ->
-      let mw = Mw.create ~universe:u ~eta:0.7 in
+      let mw = Mw.create ~universe:u ~eta:0.7 () in
       List.iter (fun l -> Mw.update mw ~loss:(fun i -> l.(i))) losses;
       let w = Histogram.weights (Mw.distribution mw) in
       Array.for_all (fun x -> x >= 0. && Float.is_finite x) w
@@ -134,7 +134,7 @@ let qcheck_regret_bound_any_sequence =
     (fun (t_max, target, losses) ->
       let s = 1. in
       let eta = sqrt (Universe.log_size u /. float_of_int t_max) /. s in
-      let mw = Mw.create ~universe:u ~eta in
+      let mw = Mw.create ~universe:u ~eta () in
       let comparator = Histogram.point_mass u target in
       let total = ref 0. in
       List.iteri
@@ -154,7 +154,7 @@ let qcheck_uniform_loss_is_noop =
   QCheck.Test.make ~name:"constant loss leaves distribution unchanged" ~count:100
     QCheck.(float_range (-3.) 3.)
     (fun c ->
-      let mw = Mw.create ~universe:u ~eta:0.9 in
+      let mw = Mw.create ~universe:u ~eta:0.9 () in
       Mw.update mw ~loss:(fun _ -> c);
       let d = Mw.distribution mw in
       let ok = ref true in

@@ -159,6 +159,39 @@ let test_all_oracles_down_degrades () =
   Alcotest.(check bool) "failed attempts debited" true
     ((Budget.spent (Session.budget s)).Params.eps > sv.Params.eps)
 
+(* --- parallel pool: the session's answers are bit-identical across pool
+   sizes, and a checkpoint taken under one pool resumes exactly under
+   another (the determinism contract of Pmw_parallel.Pool) --- *)
+
+let test_pool_invariance_and_cross_pool_resume () =
+  let qs = queries 10 in
+  let kill_at = 5 in
+  let pool1 = Pmw_parallel.Pool.create ~domains:1 () in
+  let pool4 = Pmw_parallel.Pool.create ~domains:4 () in
+  let fresh pool = Session.create ~pool ~config:(config ()) ~dataset ~rng:(Rng.create ~seed:42 ()) () in
+  let full1 = run_stream (fresh pool1) qs in
+  let full4 = run_stream (fresh pool4) qs in
+  Alcotest.(check (list string)) "pool-1 and pool-4 verdict streams bit-identical" full1 full4;
+  (* kill after [kill_at] queries under pool-4; resume the serialized
+     checkpoint under pool-1 — the continuation must be bit-identical to
+     the uninterrupted run *)
+  let s_a = fresh pool4 in
+  let before = run_stream s_a (List.filteri (fun i _ -> i < kill_at) qs) in
+  let blob = Checkpoint.to_string (Session.checkpoint s_a) in
+  let ckpt = match Checkpoint.of_string blob with Ok c -> c | Error e -> Alcotest.fail e in
+  let s_b =
+    match
+      Session.resume ~pool:pool1 ~config:(config ()) ~dataset ~rng:(Rng.create ~seed:999 ()) ckpt
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let after = run_stream s_b (List.filteri (fun i _ -> i >= kill_at) qs) in
+  Alcotest.(check (list string)) "resume across pool sizes is bit-identical" full1
+    (before @ after);
+  Pmw_parallel.Pool.shutdown pool4;
+  Pmw_parallel.Pool.shutdown pool1
+
 (* --- checkpoint codec --- *)
 
 let test_checkpoint_roundtrip () =
@@ -247,6 +280,11 @@ let () =
         [
           Alcotest.test_case "misreport cannot overdraw" `Quick test_misreport_cannot_overdraw;
           Alcotest.test_case "all oracles down" `Quick test_all_oracles_down_degrades;
+        ] );
+      ( "parallel pool",
+        [
+          Alcotest.test_case "bit-identical across pools, cross-pool resume" `Quick
+            test_pool_invariance_and_cross_pool_resume;
         ] );
       ( "checkpoint",
         [
