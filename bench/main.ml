@@ -37,7 +37,7 @@ let micro_tests () =
   let sv =
     Pmw_dp.Sparse_vector.create ~t_max:1_000_000 ~k:max_int ~threshold:1.
       ~privacy:(Pmw_dp.Params.create ~eps:1. ~delta:1e-6)
-      ~sensitivity:0.001 ~rng
+      ~sensitivity:0.001 ~rng ()
   in
   let scores = Array.init 1024 (fun i -> float_of_int (i mod 17)) in
   let workload = Common.Workload.regression ~d:2 ~levels:5 () in
@@ -200,7 +200,17 @@ type kernel_row = {
   kr_baseline : float;  (** seed algorithm, ns/call *)
   kr_seq : float;  (** pooled kernel, 1 domain, ns/call *)
   kr_par : float;  (** pooled kernel, [par_domains] domains, ns/call *)
+  mutable kr_wall_s : float;  (** wall clock spent measuring this row *)
 }
+
+(* Stamp the row with how long its three measurements took end to end —
+   a trajectory signal (is the bench itself slowing down?) that the ns/call
+   estimates deliberately exclude. *)
+let walled make =
+  let t0 = Unix.gettimeofday () in
+  let row = make () in
+  row.kr_wall_s <- Unix.gettimeofday () -. t0;
+  row
 
 let par_domains = 4
 
@@ -215,13 +225,15 @@ let bench_kernels_at ~pool1 ~pool4 bits =
     let log_w = Array.make n 0. in
     let mw1 = Pmw_mw.Mw.create ~pool:pool1 ~universe ~eta () in
     let mw4 = Pmw_mw.Mw.create ~pool:pool4 ~universe ~eta () in
-    {
-      kr_name = "f2-f5/mw-update";
-      kr_bits = bits;
-      kr_baseline = time_ns (fun () -> seed_mw_update log_w ~eta ~loss);
-      kr_seq = time_ns (fun () -> Pmw_mw.Mw.update mw1 ~loss);
-      kr_par = time_ns (fun () -> Pmw_mw.Mw.update mw4 ~loss);
-    }
+    walled (fun () ->
+        {
+          kr_name = "f2-f5/mw-update";
+          kr_bits = bits;
+          kr_baseline = time_ns (fun () -> seed_mw_update log_w ~eta ~loss);
+          kr_seq = time_ns (fun () -> Pmw_mw.Mw.update mw1 ~loss);
+          kr_par = time_ns (fun () -> Pmw_mw.Mw.update mw4 ~loss);
+          kr_wall_s = 0.;
+        })
   in
   (* distribution: softmax over |X| + histogram construction (F3). The MW
      state is warmed with a few updates so the weights are non-uniform. *)
@@ -233,37 +245,43 @@ let bench_kernels_at ~pool1 ~pool4 bits =
       Pmw_mw.Mw.update mw4 ~loss
     done;
     let log_w = Pmw_mw.Mw.log_weights mw1 in
-    {
-      kr_name = "f3/distribution";
-      kr_bits = bits;
-      kr_baseline = time_ns (fun () -> ignore (seed_distribution universe log_w));
-      kr_seq = time_ns (fun () -> ignore (Pmw_mw.Mw.distribution mw1));
-      kr_par = time_ns (fun () -> ignore (Pmw_mw.Mw.distribution mw4));
-    }
+    walled (fun () ->
+        {
+          kr_name = "f3/distribution";
+          kr_bits = bits;
+          kr_baseline = time_ns (fun () -> ignore (seed_distribution universe log_w));
+          kr_seq = time_ns (fun () -> ignore (Pmw_mw.Mw.distribution mw1));
+          kr_par = time_ns (fun () -> ignore (Pmw_mw.Mw.distribution mw4));
+          kr_wall_s = 0.;
+        })
   in
   (* log-sum-exp: the shared normalization primitive. *)
   let lse =
     let a = Array.init n (fun i -> -.(eta *. loss i)) in
-    {
-      kr_name = "linalg/log-sum-exp";
-      kr_bits = bits;
-      kr_baseline = time_ns (fun () -> ignore (seed_log_sum_exp a));
-      kr_seq = time_ns (fun () -> ignore (Pmw_linalg.Special.log_sum_exp ~pool:pool1 a));
-      kr_par = time_ns (fun () -> ignore (Pmw_linalg.Special.log_sum_exp ~pool:pool4 a));
-    }
+    walled (fun () ->
+        {
+          kr_name = "linalg/log-sum-exp";
+          kr_bits = bits;
+          kr_baseline = time_ns (fun () -> ignore (seed_log_sum_exp a));
+          kr_seq = time_ns (fun () -> ignore (Pmw_linalg.Special.log_sum_exp ~pool:pool1 a));
+          kr_par = time_ns (fun () -> ignore (Pmw_linalg.Special.log_sum_exp ~pool:pool4 a));
+          kr_wall_s = 0.;
+        })
   in
   (* expect: the linear-query evaluation sweep. *)
   let expect =
     let hist = Histogram.uniform universe in
     let w = Histogram.weights hist in
     let f _ (x : Pmw_data.Point.t) = if x.Pmw_data.Point.features.(0) > 0. then 1. else 0. in
-    {
-      kr_name = "hist/expect";
-      kr_bits = bits;
-      kr_baseline = time_ns (fun () -> ignore (seed_expect universe w f));
-      kr_seq = time_ns (fun () -> ignore (Histogram.expect ~pool:pool1 hist f));
-      kr_par = time_ns (fun () -> ignore (Histogram.expect ~pool:pool4 hist f));
-    }
+    walled (fun () ->
+        {
+          kr_name = "hist/expect";
+          kr_bits = bits;
+          kr_baseline = time_ns (fun () -> ignore (seed_expect universe w f));
+          kr_seq = time_ns (fun () -> ignore (Histogram.expect ~pool:pool1 hist f));
+          kr_par = time_ns (fun () -> ignore (Histogram.expect ~pool:pool4 hist f));
+          kr_wall_s = 0.;
+        })
   in
   [ mw_update; distribution; lse; expect ]
 
@@ -283,11 +301,43 @@ let print_kernel_rows rows =
     rows;
   Printf.printf "%!"
 
-let write_json ~path rows =
+(* First line of a subprocess, or None on any failure — used for the
+   best-effort git revision stamp (benches also run from tarballs). *)
+let read_first_line cmd =
+  match Unix.open_process_in cmd with
+  | exception _ -> None
+  | ic -> (
+      let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 -> (match line with Some "" | None -> None | s -> s)
+      | _ | (exception _) -> None)
+
+let iso8601_utc () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let write_json ~path ~quick rows =
   let oc = open_out path in
+  let git =
+    match read_first_line "git describe --always --dirty 2>/dev/null" with
+    | Some rev -> rev
+    | None -> "unknown"
+  in
+  let pmw_domains = try Sys.getenv "PMW_DOMAINS" with Not_found -> "" in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"pmw-kernel-bench/1\",\n";
-  Printf.fprintf oc "  \"command\": \"bench/main.exe -- micro --json\",\n";
+  Printf.fprintf oc "  \"schema\": \"pmw-kernel-bench/2\",\n";
+  Printf.fprintf oc "  \"command\": \"bench/main.exe -- micro --json%s\",\n"
+    (if quick then " --quick" else "");
+  (* Trajectory metadata: enough to line up two BENCH_pmw.json files from
+     different commits/machines before comparing their numbers. *)
+  Printf.fprintf oc "  \"meta\": {\n";
+  Printf.fprintf oc "    \"git\": \"%s\",\n" (String.escaped git);
+  Printf.fprintf oc "    \"timestamp\": \"%s\",\n" (iso8601_utc ());
+  Printf.fprintf oc "    \"ocaml\": \"%s\",\n" Sys.ocaml_version;
+  Printf.fprintf oc "    \"pmw_domains_env\": \"%s\",\n" (String.escaped pmw_domains);
+  Printf.fprintf oc "    \"quick\": %b\n" quick;
+  Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"domains\": %d,\n" par_domains;
   Printf.fprintf oc "  \"grain\": %d,\n" Pool.grain;
   Printf.fprintf oc "  \"kernels\": [\n";
@@ -296,8 +346,8 @@ let write_json ~path rows =
     (fun i r ->
       Printf.fprintf oc
         "    { \"name\": \"%s\", \"universe_bits\": %d, \"baseline_ns\": %.1f, \"seq_ns\": %.1f, \
-         \"par_ns\": %.1f, \"speedup\": %.3f }%s\n"
-        r.kr_name r.kr_bits r.kr_baseline r.kr_seq r.kr_par (speedup r)
+         \"par_ns\": %.1f, \"speedup\": %.3f, \"wall_s\": %.3f }%s\n"
+        r.kr_name r.kr_bits r.kr_baseline r.kr_seq r.kr_par (speedup r) r.kr_wall_s
         (if i = last then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";
@@ -310,7 +360,7 @@ let run_kernels ~json ~quick () =
   let pool4 = Pool.create ~domains:par_domains () in
   let rows = List.concat_map (bench_kernels_at ~pool1 ~pool4) sizes in
   print_kernel_rows rows;
-  if json then write_json ~path:"BENCH_pmw.json" rows;
+  if json then write_json ~path:"BENCH_pmw.json" ~quick rows;
   Pool.shutdown pool4;
   Pool.shutdown pool1
 

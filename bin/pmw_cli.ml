@@ -17,6 +17,25 @@
 open Cmdliner
 module Registry = Pmw_experiments.Registry
 module Common = Pmw_experiments.Common
+module Telemetry = Pmw_telemetry.Telemetry
+module Trace = Pmw_telemetry.Trace
+
+(* Shared --trace flag: a JSONL event trace of the whole run. *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.jsonl"
+        ~doc:
+          "Write a structured JSONL event trace (spans, counters, privacy-ledger debits) to \
+           $(docv); inspect it with 'pmw_cli stats'.")
+
+let make_telemetry trace =
+  match trace with
+  | None -> Telemetry.null ()
+  | Some path -> Telemetry.create ~sink:(Telemetry.Sink.jsonl_file path) ()
+
+let close_telemetry tel = if Telemetry.enabled tel then Telemetry.close tel
 
 (* --- list --- *)
 
@@ -76,7 +95,7 @@ let run_cmd =
     Arg.(value & opt kind `Auto & info [ "oracle" ] ~docv:"ORACLE"
            ~doc:"auto|noisy-gd|glm|output-perturbation|exact (exact is non-private!)")
   in
-  let run workload n k alpha eps delta t_max d seed oracle_kind =
+  let run workload n k alpha eps delta t_max d seed oracle_kind trace =
     if n <= 0 || k <= 0 then `Error (false, "n and k must be positive")
     else begin
       let w =
@@ -105,7 +124,8 @@ let run_cmd =
         (Pmw_data.Universe.name w.Common.Workload.universe)
         (Pmw_data.Universe.size w.Common.Workload.universe)
         n oracle.Pmw_erm.Oracle.name;
-      let mechanism = Pmw_core.Online_pmw.create ~config ~dataset ~oracle ~rng () in
+      let telemetry = make_telemetry trace in
+      let mechanism = Pmw_core.Online_pmw.create ~telemetry ~config ~dataset ~oracle ~rng () in
       let analyst = Pmw_core.Analyst.cycle ~name:"cli" w.Common.Workload.queries ~k in
       let records =
         Pmw_core.Analyst.run ~analyst ~k
@@ -128,6 +148,8 @@ let run_cmd =
         (Pmw_core.Analyst.mean_error records)
         (Pmw_core.Online_pmw.updates mechanism)
         t_max;
+      Telemetry.emit_ledger_finals telemetry;
+      close_telemetry telemetry;
       `Ok ()
     end
   in
@@ -135,7 +157,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ workload_arg $ n_arg $ k_arg $ alpha_arg $ eps_arg $ delta_arg $ t_arg $ d_arg
-       $ seed_arg $ oracle_arg))
+       $ seed_arg $ oracle_arg $ trace_arg))
 
 (* --- ingest --- *)
 
@@ -303,7 +325,7 @@ let session_cmd =
            ~doc:"Exit after answering M queries this invocation (simulates a crash; resume later)")
   in
   let run workload n k alpha eps delta t_max d seed dir resume fault_spec fault_every fault_seed
-      kill_after =
+      kill_after trace =
     let ( let* ) r f = match r with Error m -> `Error (false, m) | Ok v -> f v in
     let* fault =
       match fault_spec with
@@ -323,10 +345,11 @@ let session_cmd =
           ~privacy:(Pmw_dp.Params.create ~eps ~delta)
           ~alpha ~beta:0.05 ~scale:w.Common.Workload.scale ~k ~t_max ~solver_iters:200 ()
       in
+      let telemetry = make_telemetry trace in
       let faulty =
         Option.map
           (fun f ->
-            Faulty.create ~seed:fault_seed
+            Faulty.create ~seed:fault_seed ~telemetry
               ~plan:(Faulty.Every { period = fault_every; fault = f })
               (Pmw_erm.Oracles.noisy_gd ()))
           fault
@@ -355,8 +378,8 @@ let session_cmd =
                     (fun fo ->
                       Faulty.set_calls fo (Checkpoint.attempts_for ckpt (Faulty.oracle fo).Pmw_erm.Oracle.name))
                     faulty;
-                  Session.resume ~config ~dataset ~oracles ~spend_claim ~rng ckpt)
-        else Ok (Session.create ~config ~dataset ~oracles ~spend_claim ~rng ())
+                  Session.resume ~telemetry ~config ~dataset ~oracles ~spend_claim ~rng ckpt)
+        else Ok (Session.create ~telemetry ~config ~dataset ~oracles ~spend_claim ~rng ())
       in
       Option.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755) dir;
       let qarr = Array.of_list w.Common.Workload.queries in
@@ -390,16 +413,60 @@ let session_cmd =
         (if Session.breached session then "; LEDGER BREACHED (drained to cap)" else "")
         spent.Pmw_dp.Params.eps total.Pmw_dp.Params.eps spent.Pmw_dp.Params.delta
         total.Pmw_dp.Params.delta;
-      if Session.queries session < k then
+      Session.finish session;
+      close_telemetry telemetry;
+      if Session.queries session < k then begin
         Printf.printf "stopped early after --kill-after; rerun with --resume to continue\n";
-      `Ok ()
+        `Ok ()
+      end
+      else
+        match Session.exit_status session with
+        | Ok () -> `Ok ()
+        | Error reason ->
+            (* A session that ended refused or with a drained ledger is a
+               failure for scripts even though the process ran to the end. *)
+            Printf.eprintf "session ended badly: %s\n" reason;
+            exit 2
     end
   in
   Cmd.v (Cmd.info "session" ~doc)
     Term.(
       ret
         (const run $ workload_arg $ n_arg $ k_arg $ alpha_arg $ eps_arg $ delta_arg $ t_arg $ d_arg
-       $ seed_arg $ dir_arg $ resume_flag $ fault_arg $ fault_every_arg $ fault_seed_arg $ kill_arg))
+       $ seed_arg $ dir_arg $ resume_flag $ fault_arg $ fault_every_arg $ fault_seed_arg $ kill_arg
+       $ trace_arg))
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let doc = "Summarize a JSONL trace written with --trace (spans, counters, privacy ledgers)" in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.jsonl" ~doc:"Trace file")
+  in
+  let check_flag =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Also validate the trace (monotone timestamps and rounds, balanced spans, ledger \
+             running totals and final marks consistent with the replayed debits) and fail on any \
+             violation.")
+  in
+  let run file check =
+    match Trace.load ~path:file with
+    | Error m -> `Error (false, m)
+    | Ok events -> (
+        let summary = Trace.summarize events in
+        Format.printf "%a@." Trace.pp_summary summary;
+        if not check then `Ok ()
+        else
+          match Trace.validate events with
+          | Ok () ->
+              Printf.printf "trace OK: %d events validated\n" (List.length events);
+              `Ok ()
+          | Error m -> `Error (false, "trace validation failed: " ^ m))
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run $ file_arg $ check_flag))
 
 (* --- theory --- *)
 
@@ -437,4 +504,5 @@ let () =
   let info = Cmd.info "pmw_cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; exp_cmd; run_cmd; session_cmd; theory_cmd; ingest_cmd; release_cmd ]))
+       (Cmd.group info
+          [ list_cmd; exp_cmd; run_cmd; session_cmd; stats_cmd; theory_cmd; ingest_cmd; release_cmd ]))

@@ -1,8 +1,16 @@
 module Params = Pmw_dp.Params
+module Telemetry = Pmw_telemetry.Telemetry
 
-type t = { total : Params.t; mutable granted : Params.t list }
+type t = {
+  total : Params.t;
+  mutable granted : Params.t list;
+  telemetry : Telemetry.t;
+  label : string;
+}
 
-let create total = { total; granted = [] }
+let create ?telemetry ?(label = "budget") total =
+  let telemetry = match telemetry with Some t -> t | None -> Telemetry.null () in
+  { total; granted = []; telemetry; label }
 
 let total t = t.total
 
@@ -24,33 +32,41 @@ let slack = 1e-12
 let eps_slack t = slack *. Float.max t.total.Params.eps 1.
 let delta_slack t = slack *. Float.max t.total.Params.delta Float.min_float
 
-let request t slice =
+let refuse t ~mechanism reason =
+  Telemetry.incr t.telemetry "budget_refusals";
+  Telemetry.mark t.telemetry "budget.refused"
+    ~fields:[ ("ledger", Telemetry.Str t.label); ("mechanism", Telemetry.Str mechanism) ];
+  Error reason
+
+let grant t ~mechanism slice =
+  t.granted <- slice :: t.granted;
+  Telemetry.debit t.telemetry ~ledger:t.label ~mechanism ~eps:slice.Params.eps
+    ~delta:slice.Params.delta;
+  slice
+
+let request ?(mechanism = "slice") t slice =
   let r = remaining t in
   if slice.Params.eps > r.Params.eps +. eps_slack t then
-    Error
+    refuse t ~mechanism
       (Printf.sprintf "budget exhausted: requested eps=%g but only %g remains" slice.Params.eps
          r.Params.eps)
   else if slice.Params.delta > r.Params.delta +. delta_slack t then
-    Error
+    refuse t ~mechanism
       (Printf.sprintf "budget exhausted: requested delta=%g but only %g remains"
          slice.Params.delta r.Params.delta)
-  else begin
-    t.granted <- slice :: t.granted;
-    Ok slice
-  end
+  else Ok (grant t ~mechanism slice)
 
-let request_fraction t fraction =
+let request_fraction ?mechanism t fraction =
   if fraction <= 0. || fraction > 1. then
     invalid_arg "Budget.request_fraction: fraction must lie in (0, 1]";
-  request t
+  request ?mechanism t
     (Params.create
        ~eps:(t.total.Params.eps *. fraction)
        ~delta:(t.total.Params.delta *. fraction))
 
-let request_all t =
+let request_all ?(mechanism = "drain") t =
   let r = remaining t in
-  t.granted <- r :: t.granted;
-  r
+  grant t ~mechanism r
 
 let exhausted ?tolerance t =
   let eps_tol, delta_tol =

@@ -22,27 +22,32 @@
 
 type t
 
-val create : Pmw_dp.Params.t -> t
-(** A fresh pot. *)
+val create : ?telemetry:Pmw_telemetry.Telemetry.t -> ?label:string -> Pmw_dp.Params.t -> t
+(** A fresh pot. [telemetry] mirrors every grant into the telemetry
+    privacy-ledger timeline under the ledger tag [label] (default
+    ["budget"]), tagged with the requesting mechanism, and counts refusals
+    under [budget_refusals] — so the session's cumulative spend curve can be
+    replayed from a trace alone. *)
 
 val total : t -> Pmw_dp.Params.t
 val spent : t -> Pmw_dp.Params.t
 val remaining : t -> Pmw_dp.Params.t
 
-val request : t -> Pmw_dp.Params.t -> (Pmw_dp.Params.t, string) result
+val request : ?mechanism:string -> t -> Pmw_dp.Params.t -> (Pmw_dp.Params.t, string) result
 (** [request t slice] debits [slice] if it fits in the remainder, returning
     it for the caller to hand to a mechanism; [Error] (with a human-readable
     reason) otherwise — nothing is debited on refusal. Fit is judged with a
     relative round-off slack of [1e-12·total] applied consistently to both
     [ε] and [δ], so a remainder produced by float summation is always
-    re-grantable. *)
+    re-grantable. [mechanism] (default ["slice"]) tags the debit in the
+    telemetry timeline. *)
 
-val request_fraction : t -> float -> (Pmw_dp.Params.t, string) result
+val request_fraction : ?mechanism:string -> t -> float -> (Pmw_dp.Params.t, string) result
 (** Debit the given fraction of the ORIGINAL total (e.g. [0.5] twice
     exhausts the pot). @raise Invalid_argument unless the fraction lies in
     (0, 1]. *)
 
-val request_all : t -> Pmw_dp.Params.t
+val request_all : ?mechanism:string -> t -> Pmw_dp.Params.t
 (** Drain the pot: debit and return whatever remains (possibly zero), in one
     atomic step — no race between reading [remaining] and requesting it.
     The drain is recorded in the history like any grant. This is the

@@ -3,6 +3,7 @@ module Histogram = Pmw_data.Histogram
 module Params = Pmw_dp.Params
 module Sv = Pmw_dp.Sparse_vector
 module Mechanisms = Pmw_dp.Mechanisms
+module Telemetry = Pmw_telemetry.Telemetry
 
 type query = {
   name : string;
@@ -38,11 +39,13 @@ type t = {
   answer_eps : float;
   n : int;
   rng : Pmw_rng.Rng.t;
+  telemetry : Telemetry.t;
   mutable answered : int;
 }
 
-let create ?pool ~universe ~dataset ~privacy ~alpha ~beta ~k ?t_max ~rng () =
+let create ?pool ?telemetry ~universe ~dataset ~privacy ~alpha ~beta ~k ?t_max ~rng () =
   let pool = match pool with Some p -> p | None -> Pmw_parallel.Pool.default () in
+  let telemetry = match telemetry with Some t -> t | None -> Telemetry.null () in
   ignore beta;
   if alpha <= 0. || alpha >= 1. then invalid_arg "Linear_pmw.create: alpha must lie in (0,1)";
   let t_max =
@@ -55,8 +58,9 @@ let create ?pool ~universe ~dataset ~privacy ~alpha ~beta ~k ?t_max ~rng () =
   let n = Pmw_data.Dataset.size dataset in
   let half = Params.create ~eps:(privacy.Params.eps /. 2.) ~delta:(privacy.Params.delta /. 2.) in
   let sv =
-    Sv.create ~t_max ~k ~threshold:alpha ~privacy:half ~sensitivity:(1. /. float_of_int n)
-      ~rng:(Pmw_rng.Rng.split rng)
+    Sv.create ~telemetry ~t_max ~k ~threshold:alpha ~privacy:half
+      ~sensitivity:(1. /. float_of_int n)
+      ~rng:(Pmw_rng.Rng.split rng) ()
   in
   let answer_eps = (Params.split_advanced ~count:t_max half).Params.eps in
   let eta = alpha /. 2. in
@@ -69,6 +73,7 @@ let create ?pool ~universe ~dataset ~privacy ~alpha ~beta ~k ?t_max ~rng () =
     answer_eps;
     n;
     rng;
+    telemetry;
     answered = 0;
   }
 
@@ -80,6 +85,7 @@ let halted t = Sv.halted t.sv
 let answer t q =
   if halted t then None
   else begin
+    ignore (Telemetry.next_round t.telemetry : int);
     let dhat = hypothesis t in
     let a_hyp = evaluate ~pool:t.pool q dhat in
     let a_true = evaluate ~pool:t.pool q t.true_hist in
@@ -91,10 +97,13 @@ let answer t q =
         let noisy =
           Mechanisms.laplace ~eps:t.answer_eps ~sensitivity:(1. /. float_of_int t.n) a_true t.rng
         in
+        Telemetry.debit t.telemetry ~ledger:"linear" ~mechanism:"laplace-answer"
+          ~eps:t.answer_eps ~delta:0.;
         (* Push hypothesis mass toward agreement with the noisy answer: if the
            hypothesis overestimates, elements with large q(x) lose weight. *)
         let sign = if a_hyp > noisy then 1. else -1. in
         let tab = values q (Pmw_mw.Mw.universe t.mw) in
         Pmw_mw.Mw.update t.mw ~loss:(fun i -> sign *. tab.(i));
+        Telemetry.incr t.telemetry "mw_updates";
         Some noisy
   end

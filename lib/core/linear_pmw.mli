@@ -35,6 +35,7 @@ type t
 
 val create :
   ?pool:Pmw_parallel.Pool.t ->
+  ?telemetry:Pmw_telemetry.Telemetry.t ->
   universe:Pmw_data.Universe.t ->
   dataset:Pmw_data.Dataset.t ->
   privacy:Pmw_dp.Params.t ->

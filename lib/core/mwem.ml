@@ -1,6 +1,7 @@
 module Histogram = Pmw_data.Histogram
 module Universe = Pmw_data.Universe
 module Mechanisms = Pmw_dp.Mechanisms
+module Telemetry = Pmw_telemetry.Telemetry
 
 type report = {
   answers : float array;
@@ -9,8 +10,10 @@ type report = {
   selected : int list;
 }
 
-let run ?pool ~dataset ~queries ~eps ~rounds ?(answer_from = `Final) ?(replays = 10) ~rng () =
+let run ?pool ?telemetry ~dataset ~queries ~eps ~rounds ?(answer_from = `Final) ?(replays = 10)
+    ~rng () =
   let pool = match pool with Some p -> p | None -> Pmw_parallel.Pool.default () in
+  let tel = match telemetry with Some t -> t | None -> Telemetry.null () in
   let k = Array.length queries in
   if k = 0 then invalid_arg "Mwem.run: empty workload";
   if rounds <= 0 then invalid_arg "Mwem.run: rounds must be positive";
@@ -39,6 +42,7 @@ let run ?pool ~dataset ~queries ~eps ~rounds ?(answer_from = `Final) ?(replays =
     Pmw_mw.Mw.update_gain mw ~gain:(fun i -> tab.(i) *. direction /. 2.)
   in
   for _ = 1 to rounds do
+    ignore (Telemetry.next_round tel : int);
     let dhat = Pmw_mw.Mw.distribution mw in
     let scores =
       Array.mapi
@@ -46,15 +50,18 @@ let run ?pool ~dataset ~queries ~eps ~rounds ?(answer_from = `Final) ?(replays =
         queries
     in
     let j = Mechanisms.exponential ~eps:eps_round ~sensitivity:(1. /. n) ~scores rng in
+    Telemetry.debit tel ~ledger:"mwem" ~mechanism:"exponential" ~eps:eps_round ~delta:0.;
     let measurement =
       Mechanisms.laplace ~eps:eps_round ~sensitivity:(1. /. n) true_answers.(j) rng
     in
+    Telemetry.debit tel ~ledger:"mwem" ~mechanism:"laplace" ~eps:eps_round ~delta:0.;
     measurements := (j, measurement) :: !measurements;
     (* HLM12's practical improvement: iterate the update over every
        measurement taken so far (the fresh one first). *)
     for _ = 1 to replays do
       List.iter apply !measurements
     done;
+    Telemetry.incr tel "mw_updates" ~by:(replays * List.length !measurements);
     let w = Histogram.weights (Pmw_mw.Mw.distribution mw) in
     Array.iteri (fun i x -> average_acc.(i) <- average_acc.(i) +. x) w;
     selected := j :: !selected

@@ -22,6 +22,7 @@ type report = {
 
 val run :
   ?pool:Pmw_parallel.Pool.t ->
+  ?telemetry:Pmw_telemetry.Telemetry.t ->
   dataset:Pmw_data.Dataset.t ->
   queries:Linear_pmw.query array ->
   eps:float ->

@@ -3,6 +3,7 @@ module Universe = Pmw_data.Universe
 module Params = Pmw_dp.Params
 module Mechanisms = Pmw_dp.Mechanisms
 module Solve = Pmw_convex.Solve
+module Telemetry = Pmw_telemetry.Telemetry
 
 type report = {
   answers : Vec.t array;
@@ -13,8 +14,9 @@ type report = {
 
 type selector = Exponential | Permute_and_flip
 
-let run ?pool ~config ~dataset ~oracle ~queries ?(selector = Exponential) ~rng () =
+let run ?pool ?telemetry ~config ~dataset ~oracle ~queries ?(selector = Exponential) ~rng () =
   let pool = match pool with Some p -> p | None -> Pmw_parallel.Pool.default () in
+  let tel = match telemetry with Some t -> t | None -> Telemetry.null () in
   let k = Array.length queries in
   if k = 0 then invalid_arg "Offline_pmw.run: no queries";
   Array.iter
@@ -57,15 +59,21 @@ let run ?pool ~config ~dataset ~oracle ~queries ?(selector = Exponential) ~rng (
                (Cm_query.loss_on_dataset ~pool q dataset hyp_thetas.(j) -. references.(j)))
            queries
        in
+       ignore (Telemetry.next_round tel : int);
        let j =
          match selector with
          | Exponential -> Mechanisms.exponential ~eps:eps_third ~sensitivity ~scores rng
          | Permute_and_flip ->
              Mechanisms.permute_and_flip ~eps:eps_third ~sensitivity ~scores rng
        in
+       Telemetry.debit tel ~ledger:"offline" ~mechanism:"selector" ~eps:eps_third ~delta:0.;
        if use_stop_test then begin
          let noisy_err = Mechanisms.laplace ~eps:eps_third ~sensitivity scores.(j) rng in
-         if noisy_err < 0.75 *. config.Config.alpha then raise Exit
+         Telemetry.debit tel ~ledger:"offline" ~mechanism:"stop-test" ~eps:eps_third ~delta:0.;
+         if noisy_err < 0.75 *. config.Config.alpha then begin
+           Telemetry.mark tel "offline.stop" ~fields:[ ("round", Telemetry.Int (!rounds + 1)) ];
+           raise Exit
+         end
        end;
        let query = queries.(j) in
        let request =
@@ -79,7 +87,11 @@ let run ?pool ~config ~dataset ~oracle ~queries ?(selector = Exponential) ~rng (
            solver_iters = iters;
          }
        in
-       let theta_oracle = oracle.Pmw_erm.Oracle.run request in
+       Telemetry.debit tel ~ledger:"offline" ~mechanism:"oracle-call" ~eps:eps_third
+         ~delta:(per_round.Params.delta /. 2.);
+       let theta_oracle =
+         Telemetry.span tel "oracle.call" (fun () -> oracle.Pmw_erm.Oracle.run request)
+       in
        let theta_hyp = hyp_thetas.(j) in
        let s = config.Config.scale in
        let update = Cm_query.update_fn query ~theta_oracle ~theta_hyp in
@@ -88,6 +100,7 @@ let run ?pool ~config ~dataset ~oracle ~queries ?(selector = Exponential) ~rng (
          Pmw_linalg.Special.clamp ~lo:(-.s) ~hi:s (update i x)
        in
        Pmw_mw.Mw.update mw ~loss:u;
+       Telemetry.incr tel "mw_updates";
        selected := j :: !selected;
        incr rounds
      done

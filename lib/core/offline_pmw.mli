@@ -27,6 +27,7 @@ type selector = Exponential | Permute_and_flip
 
 val run :
   ?pool:Pmw_parallel.Pool.t ->
+  ?telemetry:Pmw_telemetry.Telemetry.t ->
   config:Config.t ->
   dataset:Pmw_data.Dataset.t ->
   oracle:Pmw_erm.Oracle.t ->

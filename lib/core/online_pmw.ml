@@ -2,6 +2,7 @@ module Vec = Pmw_linalg.Vec
 module Universe = Pmw_data.Universe
 module Sv = Pmw_dp.Sparse_vector
 module Solve = Pmw_convex.Solve
+module Telemetry = Pmw_telemetry.Telemetry
 
 let log_src = Logs.Src.create "pmw.online" ~doc:"Online PMW mechanism events"
 
@@ -47,17 +48,20 @@ type t = {
   mw : Pmw_mw.Mw.t;
   sv : Sv.t;
   accountant : Pmw_dp.Accountant.t;
+  telemetry : Telemetry.t;
   mutable answered : int;
 }
 
-let create ?pool ~config ~dataset ~oracle ?prior ~rng () =
+let create ?pool ?telemetry ~config ~dataset ~oracle ?prior ~rng () =
   let pool = match pool with Some p -> p | None -> Pmw_parallel.Pool.default () in
+  let telemetry = match telemetry with Some t -> t | None -> Telemetry.null () in
   let universe = Pmw_data.Dataset.universe dataset in
   let n = Pmw_data.Dataset.size dataset in
   let sensitivity = 3. *. config.Config.scale /. float_of_int n in
   let sv =
-    Sv.create ~t_max:config.Config.t_max ~k:config.Config.k ~threshold:config.Config.alpha
-      ~privacy:config.Config.sv_privacy ~sensitivity ~rng:(Pmw_rng.Rng.split rng)
+    Sv.create ~telemetry ~t_max:config.Config.t_max ~k:config.Config.k
+      ~threshold:config.Config.alpha ~privacy:config.Config.sv_privacy ~sensitivity
+      ~rng:(Pmw_rng.Rng.split rng) ()
   in
   let mw =
     match prior with
@@ -79,11 +83,13 @@ let create ?pool ~config ~dataset ~oracle ?prior ~rng () =
     rng;
     mw;
     sv;
-    accountant = Pmw_dp.Accountant.create ();
+    accountant = Pmw_dp.Accountant.create ~telemetry ~label:"oracle" ();
+    telemetry;
     answered = 0;
   }
 
 let hypothesis t = Pmw_mw.Mw.distribution t.mw
+let telemetry t = t.telemetry
 let updates t = Pmw_mw.Mw.updates t.mw
 let queries_answered t = t.answered
 let halted t = Sv.halted t.sv
@@ -99,14 +105,17 @@ let all_finite v =
   Array.iter (fun x -> if not (Float.is_finite x) then ok := false) v;
   !ok
 
-let answer t query =
+let answer_inner t query =
   if Cm_query.scale query > t.config.Config.scale +. 1e-9 then
     Refused (Scale_exceeded { query_scale = Cm_query.scale query; limit = t.config.Config.scale })
   else begin
     let iters = t.config.Config.solver_iters in
     let pool = t.pool in
     let dhat = hypothesis t in
-    let theta_hyp = (Cm_query.minimize_on_histogram ~pool ~iters query dhat).Solve.theta in
+    let theta_hyp =
+      Telemetry.span t.telemetry "solve.hypothesis" (fun () ->
+          (Cm_query.minimize_on_histogram ~pool ~iters query dhat).Solve.theta)
+    in
     if not (all_finite theta_hyp) then Refused (Quarantined "non-finite hypothesis minimizer")
     else if halted t then begin
       (* Graceful degradation: the SV budget is gone, but the frozen public
@@ -121,7 +130,10 @@ let answer t query =
     else begin
       (* q_j(D) = err_l(D, Dhat^t); the true-data solve below is an internal
          computation whose output only reaches the analyst through SV. *)
-      let reference = Cm_query.minimize_on_dataset ~pool ~iters query t.dataset in
+      let reference =
+        Telemetry.span t.telemetry "solve.reference" (fun () ->
+            Cm_query.minimize_on_dataset ~pool ~iters query t.dataset)
+      in
       let q_value =
         Float.max 0.
           (Cm_query.loss_on_dataset ~pool query t.dataset theta_hyp -. reference.Solve.value)
@@ -129,6 +141,7 @@ let answer t query =
       if not (Float.is_finite q_value) then Refused (Quarantined "non-finite error-query value")
       else begin
         t.answered <- t.answered + 1;
+        Telemetry.observe t.telemetry "q_value" q_value;
         match Sv.query t.sv q_value with
         | None ->
             (* Unreachable given the halt check above; treat as degradation. *)
@@ -139,6 +152,7 @@ let answer t query =
             Log.debug (fun m ->
                 m "query %d (%s): below threshold, answered from hypothesis" t.answered
                   query.Cm_query.name);
+            Telemetry.incr t.telemetry "answered_from_hypothesis";
             Answered { theta = theta_hyp; source = From_hypothesis; update_index = updates t }
         | Some Sv.Top -> (
             let request =
@@ -154,8 +168,12 @@ let answer t query =
             (* Debit the per-call (eps0, delta0) BEFORE the oracle runs: a
                failed or quarantined attempt has still touched the data, so
                its budget stays spent (the ledger never un-debits). *)
-            Pmw_dp.Accountant.spend t.accountant t.config.Config.oracle_privacy;
-            match t.oracle.Pmw_erm.Oracle.run request with
+            Pmw_dp.Accountant.spend ~mechanism:"oracle-call" t.accountant
+              t.config.Config.oracle_privacy;
+            match
+              Telemetry.span t.telemetry "oracle.call" (fun () ->
+                  t.oracle.Pmw_erm.Oracle.run request)
+            with
             | exception Pmw_erm.Oracle.Budget_denied why ->
                 Log.warn (fun m ->
                     m "query %d (%s): oracle budget denied: %s" t.answered query.Cm_query.name why);
@@ -182,17 +200,28 @@ let answer t query =
                     let x = Universe.get universe i in
                     Pmw_linalg.Special.clamp ~lo:(-.s) ~hi:s (update i x)
                   in
-                  match Pmw_mw.Mw.update_checked t.mw ~loss:u with
+                  match
+                    Telemetry.span t.telemetry "mw.update" (fun () ->
+                        Pmw_mw.Mw.update_checked t.mw ~loss:u)
+                  with
                   | Error why -> Refused (Quarantined why)
                   | Ok () ->
                       Log.debug (fun m ->
                           m "query %d (%s): above threshold, oracle answered, MW update %d/%d"
                             t.answered query.Cm_query.name (updates t) t.config.Config.t_max);
+                      Telemetry.incr t.telemetry "mw_updates";
+                      Telemetry.incr t.telemetry "answered_from_oracle";
                       Answered { theta = theta_oracle; source = From_oracle; update_index = updates t }
                 end)
       end
     end
   end
+
+let answer t query =
+  ignore (Telemetry.next_round t.telemetry : int);
+  Telemetry.span t.telemetry "query"
+    ~fields:[ ("query", Telemetry.Str query.Cm_query.name) ]
+    (fun () -> answer_inner t query)
 
 let answer_opt t query = match answer t query with Answered o -> Some o | _ -> None
 

@@ -65,6 +65,7 @@ type t
 
 val create :
   ?pool:Pmw_parallel.Pool.t ->
+  ?telemetry:Pmw_telemetry.Telemetry.t ->
   config:Config.t ->
   dataset:Pmw_data.Dataset.t ->
   oracle:Pmw_erm.Oracle.t ->
@@ -77,6 +78,15 @@ val create :
     the solver's objective evaluations — chunked across its domains. Results
     are bit-identical whatever the pool size, so checkpoints transfer
     between differently-sized pools.
+
+    [telemetry] (default: a no-op instance) receives the mechanism's whole
+    event stream: a ["query"] span per {!answer} call (with
+    ["solve.hypothesis"], ["solve.reference"], ["oracle.call"] and
+    ["mw.update"] sub-spans), the [mw_updates] /
+    [answered_from_hypothesis] / [answered_from_oracle] counters, a
+    [q_value] observation per live round, the SV instance's events, and a
+    privacy debit per oracle call under the ["oracle"] ledger. Round
+    numbering advances once per {!answer} call.
 
     [prior] warm-starts the hypothesis from a PUBLIC distribution (e.g. a
     previous run's released hypothesis, or public census margins) instead of
@@ -117,6 +127,9 @@ val updates : t -> int
 val queries_answered : t -> int
 val halted : t -> bool
 val config : t -> Config.t
+
+val telemetry : t -> Pmw_telemetry.Telemetry.t
+(** The instance handed to {!create} (or the shared no-op). *)
 
 val oracle_accountant : t -> Pmw_dp.Accountant.t
 (** Ledger of the oracle calls made so far (the SV budget is accounted

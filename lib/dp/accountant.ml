@@ -1,19 +1,37 @@
-type t = { mutable events : Params.t list; mutable rho : float }
+module Telemetry = Pmw_telemetry.Telemetry
 
-let create () = { events = []; rho = 0. }
+type t = {
+  mutable events : Params.t list;
+  mutable rho : float;
+  telemetry : Telemetry.t;
+  label : string;
+}
 
-let spend t p =
+let create ?telemetry ?(label = "accountant") () =
+  let telemetry = match telemetry with Some t -> t | None -> Telemetry.null () in
+  { events = []; rho = 0.; telemetry; label }
+
+let spend ?(mechanism = "mechanism") t p =
   t.events <- p :: t.events;
   (* Pure eps-DP implies (eps^2/2)-zCDP; (eps, delta)-DP has no lossless zCDP
      conversion, so we charge the pure part and keep delta in the event list.
      This keeps the zCDP total sound for the mechanisms this library uses
      (Laplace, exponential, sparse-vector epochs are pure per-event). *)
-  t.rho <- t.rho +. (p.Params.eps *. p.Params.eps /. 2.)
+  t.rho <- t.rho +. (p.Params.eps *. p.Params.eps /. 2.);
+  Telemetry.debit t.telemetry ~ledger:t.label ~mechanism ~eps:p.Params.eps ~delta:p.Params.delta
 
 let spend_gaussian t ~sigma ~sensitivity =
   if sigma <= 0. then invalid_arg "Accountant.spend_gaussian: sigma must be positive";
   if sensitivity < 0. then invalid_arg "Accountant.spend_gaussian: negative sensitivity";
-  t.rho <- t.rho +. (sensitivity *. sensitivity /. (2. *. sigma *. sigma))
+  let rho = sensitivity *. sensitivity /. (2. *. sigma *. sigma) in
+  t.rho <- t.rho +. rho;
+  Telemetry.mark t.telemetry "ledger.gaussian"
+    ~fields:
+      [
+        ("ledger", Telemetry.Str t.label);
+        ("rho", Telemetry.Float rho);
+        ("rho_total", Telemetry.Float t.rho);
+      ]
 
 let count t = List.length t.events
 

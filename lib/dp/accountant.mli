@@ -10,15 +10,22 @@
 
 type t
 
-val create : unit -> t
+val create : ?telemetry:Pmw_telemetry.Telemetry.t -> ?label:string -> unit -> t
+(** [telemetry] mirrors every debit into the telemetry privacy-ledger
+    timeline under the ledger tag [label] (default ["accountant"]), so the
+    cumulative [(ε, δ)] curve can be replayed from a trace alone. Without
+    it, the ledger behaves exactly as before. *)
 
-val spend : t -> Params.t -> unit
-(** Record one invocation of an [(ε, δ)]-DP mechanism. *)
+val spend : ?mechanism:string -> t -> Params.t -> unit
+(** Record one invocation of an [(ε, δ)]-DP mechanism. [mechanism] (default
+    ["mechanism"]) tags the debit in the telemetry timeline. *)
 
 val spend_gaussian : t -> sigma:float -> sensitivity:float -> unit
 (** Record a Gaussian mechanism by its noise multiplier — enters the zCDP
     ledger exactly as [ρ = Δ²/(2σ²)] and the (ε, δ) ledger as [(Δ/σ ·
-    √(2 ln(1.25/1e-6)), 1e-6)]-equivalents only through {!total_zcdp}. *)
+    √(2 ln(1.25/1e-6)), 1e-6)]-equivalents only through {!total_zcdp}.
+    Emits a ["ledger.gaussian"] telemetry mark (carrying [ρ]) rather than a
+    debit, since the event has no standalone [(ε, δ)] cost. *)
 
 val count : t -> int
 

@@ -23,7 +23,7 @@ let create ~t_max ~k ~threshold ~privacy ~sensitivity ?(value_fraction = 1. /. 3
   let per_value = Params.split_advanced ~count:t_max value_budget in
   let sv =
     Sparse_vector.create ~t_max ~k ~threshold ~privacy:sv_privacy ~sensitivity
-      ~rng:(Pmw_rng.Rng.split rng)
+      ~rng:(Pmw_rng.Rng.split rng) ()
   in
   { sv; value_eps = per_value.Params.eps; sensitivity; rng }
 

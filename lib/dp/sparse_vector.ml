@@ -1,5 +1,6 @@
 module Dist = Pmw_rng.Dist
 module Rng = Pmw_rng.Rng
+module Telemetry = Pmw_telemetry.Telemetry
 
 type answer = Top | Bottom
 
@@ -9,6 +10,8 @@ type t = {
   decision_point : float; (* midpoint of the (threshold/2, threshold) gap *)
   sensitivity : float;
   eps_epoch : float;
+  delta_epoch : float;
+  telemetry : Telemetry.t;
   rng : Rng.t;
   mutable noisy_threshold : float;
   mutable tops : int;
@@ -19,12 +22,13 @@ let fresh_threshold t =
   (* AboveThreshold: threshold noise Lap(2Δ/ε₀). *)
   t.decision_point +. Dist.laplace ~scale:(2. *. t.sensitivity /. t.eps_epoch) t.rng
 
-let create ~t_max ~k ~threshold ~privacy ~sensitivity ~rng =
+let create ?telemetry ~t_max ~k ~threshold ~privacy ~sensitivity ~rng () =
   if t_max <= 0 then invalid_arg "Sparse_vector.create: t_max must be positive";
   if k <= 0 then invalid_arg "Sparse_vector.create: k must be positive";
   if threshold <= 0. then invalid_arg "Sparse_vector.create: threshold must be positive";
   if sensitivity < 0. then invalid_arg "Sparse_vector.create: sensitivity must be non-negative";
   let per_epoch = Params.split_advanced ~count:t_max privacy in
+  let telemetry = match telemetry with Some t -> t | None -> Telemetry.null () in
   let t =
     {
       t_max;
@@ -32,6 +36,8 @@ let create ~t_max ~k ~threshold ~privacy ~sensitivity ~rng =
       decision_point = 0.75 *. threshold;
       sensitivity = Float.max sensitivity 1e-300;
       eps_epoch = per_epoch.Params.eps;
+      delta_epoch = per_epoch.Params.delta;
+      telemetry;
       rng;
       noisy_threshold = 0.;
       tops = 0;
@@ -55,9 +61,20 @@ let query t value =
     if value +. nu >= t.noisy_threshold then begin
       t.tops <- t.tops + 1;
       if not (halted t) then t.noisy_threshold <- fresh_threshold t;
+      (* One AboveThreshold epoch consumed: its (ε₀, δ₀) share hits the
+         ledger timeline here, where the spend actually happens. *)
+      Telemetry.incr t.telemetry "sv_failures";
+      Telemetry.debit t.telemetry ~ledger:"sv" ~mechanism:"sv-epoch" ~eps:t.eps_epoch
+        ~delta:t.delta_epoch;
+      Telemetry.mark t.telemetry "sv.test"
+        ~fields:[ ("outcome", Telemetry.Str "top"); ("tops", Telemetry.Int t.tops) ];
       Some Top
     end
-    else Some Bottom
+    else begin
+      Telemetry.incr t.telemetry "sv_passes";
+      Telemetry.mark t.telemetry "sv.test" ~fields:[ ("outcome", Telemetry.Str "bottom") ];
+      Some Bottom
+    end
   end
 
 type snapshot = {

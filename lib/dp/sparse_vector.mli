@@ -21,17 +21,23 @@ type answer = Top | Bottom
 type t
 
 val create :
+  ?telemetry:Pmw_telemetry.Telemetry.t ->
   t_max:int ->
   k:int ->
   threshold:float ->
   privacy:Params.t ->
   sensitivity:float ->
   rng:Pmw_rng.Rng.t ->
+  unit ->
   t
 (** [t_max] = maximum number of ⊤ answers before halting (the paper's [T]);
     [k] = maximum stream length; [threshold] = the accuracy target [α] of the
     game in Figure 2; [sensitivity] = the queries' global sensitivity (the
-    paper uses [3S/n]). @raise Invalid_argument on non-positive [t_max], [k],
+    paper uses [3S/n]). [telemetry] receives one ["sv.test"] mark per query
+    (its ⊤/⊥ outcome, never the raw value), the [sv_passes] (⊥) /
+    [sv_failures] (⊤) counters, and — on every consumed epoch — a debit of
+    the per-epoch [(ε₀, δ₀)] under the ["sv"] ledger.
+    @raise Invalid_argument on non-positive [t_max], [k],
     [threshold] or [sensitivity < 0], or [privacy.delta = 0]. *)
 
 val query : t -> float -> answer option

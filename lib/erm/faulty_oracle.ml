@@ -1,6 +1,7 @@
 module Vec = Pmw_linalg.Vec
 module Params = Pmw_dp.Params
 module Splitmix64 = Pmw_rng.Splitmix64
+module Telemetry = Pmw_telemetry.Telemetry
 
 type fault =
   | Nan_answer
@@ -20,6 +21,7 @@ type t = {
   inner : Oracle.t;
   plan : plan;
   seed : int;
+  telemetry : Telemetry.t;
   mutable calls : int;
   mutable injected : int;
   mutable last_claim : Params.t option;
@@ -70,11 +72,28 @@ let corrupt fault theta =
   | Timeout | Misreport _ -> ());
   bad
 
-let create ?(seed = 0) ~plan inner =
+let create ?(seed = 0) ?telemetry ~plan inner =
   validate_plan plan;
-  { inner; plan; seed; calls = 0; injected = 0; last_claim = None }
+  let telemetry = match telemetry with Some t -> t | None -> Telemetry.null () in
+  { inner; plan; seed; telemetry; calls = 0; injected = 0; last_claim = None }
 
 let name t = t.inner.Oracle.name ^ "!faulty"
+
+let fault_to_string = function
+  | Nan_answer -> "nan"
+  | Inf_answer -> "inf"
+  | Divergent -> "divergent"
+  | Timeout -> "timeout"
+  | Misreport f -> Printf.sprintf "misreport:%g" f
+
+let record t index fault ~fields =
+  t.injected <- t.injected + 1;
+  Telemetry.incr t.telemetry "faults_injected";
+  Telemetry.mark t.telemetry "fault.injected"
+    ~fields:
+      (( "fault", Telemetry.Str (fault_to_string fault) )
+       :: ( "call", Telemetry.Int index )
+       :: fields)
 
 let run t (req : Oracle.request) =
   let index = t.calls in
@@ -83,18 +102,24 @@ let run t (req : Oracle.request) =
   match decide t index with
   | None -> t.inner.Oracle.run req
   | Some Timeout ->
-      t.injected <- t.injected + 1;
+      record t index Timeout ~fields:[];
       raise (Oracle.Timeout (name t))
   | Some (Misreport factor) ->
-      t.injected <- t.injected + 1;
       let p = req.Oracle.privacy in
-      t.last_claim <-
-        Some
-          (Params.create ~eps:(p.Params.eps *. factor)
-             ~delta:(Float.min 1. (p.Params.delta *. factor)));
+      let claim =
+        Params.create ~eps:(p.Params.eps *. factor)
+          ~delta:(Float.min 1. (p.Params.delta *. factor))
+      in
+      record t index (Misreport factor)
+        ~fields:
+          [
+            ("claimed_eps", Telemetry.Float claim.Params.eps);
+            ("claimed_delta", Telemetry.Float claim.Params.delta);
+          ];
+      t.last_claim <- Some claim;
       t.inner.Oracle.run req
   | Some ((Nan_answer | Inf_answer | Divergent) as fault) ->
-      t.injected <- t.injected + 1;
+      record t index fault ~fields:[];
       corrupt fault (t.inner.Oracle.run req)
 
 let oracle t = { Oracle.name = name t; run = (fun req -> run t req) }
@@ -105,13 +130,6 @@ let claimed_spend t = t.last_claim
 let set_calls t n =
   if n < 0 then invalid_arg "Faulty_oracle.set_calls: negative count";
   t.calls <- n
-
-let fault_to_string = function
-  | Nan_answer -> "nan"
-  | Inf_answer -> "inf"
-  | Divergent -> "divergent"
-  | Timeout -> "timeout"
-  | Misreport f -> Printf.sprintf "misreport:%g" f
 
 let fault_of_string s =
   match String.lowercase_ascii s with

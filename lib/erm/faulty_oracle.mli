@@ -30,7 +30,7 @@ type plan =
 
 type t
 
-val create : ?seed:int -> plan:plan -> Oracle.t -> t
+val create : ?seed:int -> ?telemetry:Pmw_telemetry.Telemetry.t -> plan:plan -> Oracle.t -> t
 (** @raise Invalid_argument on a non-positive period, a rate outside
     [0, 1], or a negative scheduled index. *)
 

@@ -5,6 +5,7 @@ module Objective = Pmw_convex.Objective
 module Solve = Pmw_convex.Solve
 module Params = Pmw_dp.Params
 module Mechanisms = Pmw_dp.Mechanisms
+module Telemetry = Pmw_telemetry.Telemetry
 open Oracle
 
 let solve_exact (req : request) =
@@ -164,10 +165,11 @@ let finite_in_domain (req : request) theta =
   then Error "answer diverged outside the domain"
   else Ok ()
 
-let with_fallback ?name ?(retries = 0) ?(validate = finite_in_domain)
+let with_fallback ?name ?telemetry ?(retries = 0) ?(validate = finite_in_domain)
     ?(authorize = fun (_ : request) -> Ok ()) ?(on_attempt = fun (_ : attempt) -> ()) oracles =
   if oracles = [] then invalid_arg "Oracles.with_fallback: empty chain";
   if retries < 0 then invalid_arg "Oracles.with_fallback: negative retries";
+  let tel = match telemetry with Some t -> t | None -> Telemetry.null () in
   let name =
     match name with
     | Some n -> n
@@ -175,18 +177,42 @@ let with_fallback ?name ?(retries = 0) ?(validate = finite_in_domain)
   in
   let run req =
     let reasons = ref [] in
+    let try_index = ref 0 in
     let attempt oracle =
       (* The debit happens in [authorize] BEFORE the oracle runs: a failed
          attempt has already interacted with the sensitive data, so its
          budget is spent whether or not an answer comes back. *)
+      incr try_index;
+      let this_try = !try_index in
       (match authorize req with
-      | Error why -> raise (Oracle.Budget_denied why)
+      | Error why ->
+          Telemetry.mark tel "oracle.attempt"
+            ~fields:
+              [
+                ("oracle", Telemetry.Str oracle.Oracle.name);
+                ("try", Telemetry.Int this_try);
+                ("ok", Telemetry.Bool false);
+                ("reason", Telemetry.Str (Printf.sprintf "budget denied: %s" why));
+              ];
+          raise (Oracle.Budget_denied why)
       | Ok () -> ());
+      Telemetry.incr tel "oracle_attempts";
+      if this_try > 1 then Telemetry.incr tel "oracle_retries";
       let outcome =
         match oracle.Oracle.run req with
         | theta -> ( match validate req theta with Ok () -> Ok theta | Error e -> Error e)
         | exception e -> ( match Oracle.failure_reason e with Some r -> Error r | None -> raise e)
       in
+      Telemetry.mark tel "oracle.attempt"
+        ~fields:
+          (( "oracle", Telemetry.Str oracle.Oracle.name )
+           :: ( "try", Telemetry.Int this_try )
+           :: ( "eps", Telemetry.Float req.privacy.Params.eps )
+           :: ( "delta", Telemetry.Float req.privacy.Params.delta )
+           ::
+           (match outcome with
+           | Ok _ -> [ ("ok", Telemetry.Bool true) ]
+           | Error why -> [ ("ok", Telemetry.Bool false); ("reason", Telemetry.Str why) ]));
       on_attempt
         {
           attempt_oracle = oracle.Oracle.name;
@@ -206,6 +232,8 @@ let with_fallback ?name ?(retries = 0) ?(validate = finite_in_domain)
     in
     let rec stage = function
       | [] ->
+          Telemetry.mark tel "oracle.exhausted"
+            ~fields:[ ("attempts", Telemetry.Int !try_index) ];
           raise
             (Oracle.Failed
                (Printf.sprintf "all fallbacks failed (%s)" (String.concat "; " (List.rev !reasons))))

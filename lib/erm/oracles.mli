@@ -71,6 +71,7 @@ val finite_in_domain : Oracle.request -> Pmw_linalg.Vec.t -> (unit, string) resu
 
 val with_fallback :
   ?name:string ->
+  ?telemetry:Pmw_telemetry.Telemetry.t ->
   ?retries:int ->
   ?validate:(Oracle.request -> Pmw_linalg.Vec.t -> (unit, string) result) ->
   ?authorize:(Oracle.request -> (unit, string) result) ->
@@ -87,7 +88,12 @@ val with_fallback :
     failed attempts stay debited (a failed private computation still
     consumed its [(ε₀, δ₀)]; see DFH+15's caveat on conditioning). After
     each attempt, [on_attempt] receives what ran, what it cost, and how it
-    ended.
+    ended. [telemetry] mirrors the chain's life into the event stream: one
+    ["oracle.attempt"] mark per attempt (oracle name, 1-based try index
+    within the call, the request's [(ε₀, δ₀)], outcome and failure reason),
+    the [oracle_attempts] / [oracle_retries] counters, and an
+    ["oracle.exhausted"] mark when every stage has failed — enough to
+    reconstruct the retry/fallback chain from a trace alone.
 
     A stage counts as failed when it raises {!Oracle.Timeout},
     {!Oracle.Unsupported} or {!Oracle.Failed}, or when [validate] (default

@@ -30,7 +30,9 @@ let audit_sv ~eps ~trials =
       let sv =
         Sv.create ~t_max:4 ~k:10 ~threshold:1.
           ~privacy:(Params.create ~eps ~delta:1e-6)
-          ~sensitivity ~rng:(Rng.create ~seed ())
+          ~sensitivity
+          ~rng:(Rng.create ~seed ())
+          ()
       in
       let key =
         String.concat ""

@@ -1,3 +1,5 @@
+module Telemetry = Pmw_telemetry.Telemetry
+
 let grain = 8192
 
 let num_chunks n = if n <= 0 then 0 else (n + grain - 1) / grain
@@ -12,6 +14,7 @@ type t = {
   mutable pending : int;
   mutable error : exn option;
   mutable stopped : bool;
+  mutable telemetry : Telemetry.t option;
 }
 
 let size t = t.size
@@ -71,6 +74,7 @@ let create ?domains () =
       pending = 0;
       error = None;
       stopped = false;
+      telemetry = None;
     }
   in
   if size > 1 then begin
@@ -112,7 +116,7 @@ let tree_combine combine parts =
 
 (* Run [f c] for every chunk index, caller participating: enqueue all chunks,
    drain the queue from the caller too, then wait for stragglers. *)
-let run_chunks t ~chunks f =
+let run_chunks_raw t ~chunks f =
   if t.stopped then invalid_arg "Pool: used after shutdown";
   if t.size = 1 || chunks = 1 then
     for c = 0 to chunks - 1 do
@@ -149,6 +153,27 @@ let run_chunks t ~chunks f =
     Mutex.unlock t.mutex;
     match err with Some e -> raise e | None -> ()
   end
+
+let set_telemetry t tel = t.telemetry <- tel
+
+(* Per-chunk timing rides on the verbose flag: workers stamp durations into
+   disjoint slots of a per-batch array (no shared mutation, and the batch
+   barrier publishes the writes), and the calling domain emits the events
+   after the batch — telemetry instances are single-domain by contract. *)
+let run_chunks t ~chunks f =
+  match t.telemetry with
+  | Some tel when Telemetry.enabled tel && Telemetry.verbose tel ->
+      let durs = Array.make chunks 0. in
+      let t0 = Unix.gettimeofday () in
+      run_chunks_raw t ~chunks (fun c ->
+          let c0 = Unix.gettimeofday () in
+          f c;
+          durs.(c) <- Unix.gettimeofday () -. c0);
+      let batch_s = Unix.gettimeofday () -. t0 in
+      Array.iter (fun d -> Telemetry.observe tel "pool.chunk_s" d) durs;
+      Telemetry.mark tel "pool.batch"
+        ~fields:[ ("chunks", Telemetry.Int chunks); ("batch_s", Telemetry.Float batch_s) ]
+  | _ -> run_chunks_raw t ~chunks f
 
 let parallel_for t ~n body =
   let chunks = num_chunks n in

@@ -46,6 +46,16 @@ val shutdown : t -> unit
 (** Join the worker domains. Idempotent; the pool cannot be used after.
     Pools also shut themselves down at process exit. *)
 
+val set_telemetry : t -> Pmw_telemetry.Telemetry.t option -> unit
+(** Attach (or detach, with [None]) a telemetry instance. Per-chunk and
+    per-batch timing events ([pool.chunk_s] observations, [pool.batch]
+    marks) are emitted only when the instance is {e verbose}
+    ({!Pmw_telemetry.Telemetry.verbose}, e.g. [PMW_TRACE_POOL=1]) — they
+    fire on every kernel call and would otherwise swamp a trace. Workers
+    stamp chunk durations into disjoint slots; the calling domain emits the
+    events after each batch, so the telemetry instance itself is only ever
+    touched from the domain that runs the pool. *)
+
 val grain : int
 (** Elements per chunk (8192). Exposed so tests can build inputs that span
     multiple chunks. *)

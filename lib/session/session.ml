@@ -6,20 +6,24 @@ module Params = Pmw_dp.Params
 module Oracle = Pmw_erm.Oracle
 module Oracles = Pmw_erm.Oracles
 module Solve = Pmw_convex.Solve
+module Telemetry = Pmw_telemetry.Telemetry
 
 let log_src = Logs.Src.create "pmw.session" ~doc:"Fault-tolerant PMW session events"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* The Degraded/Refused tallies live in the telemetry counters ("queries",
+   "degraded_answers", "refusals") — the instance tracks counters even with
+   a null sink, so there is exactly one bookkeeping path whether or not a
+   trace is being written. *)
 type t = {
   config : Config.t;
   pool : Pmw_parallel.Pool.t;
   dataset : Pmw_data.Dataset.t;
   budget : Budget.t;
   online : Online.t;
-  mutable queries : int;
-  mutable degraded_count : int;
-  mutable refused_count : int;
+  telemetry : Telemetry.t;
+  mutable last_refusal : string option;
   breached : bool ref;
   attempts : Checkpoint.attempt list ref;  (* newest first *)
 }
@@ -43,12 +47,15 @@ let fingerprint config dataset =
 
 (* Shared by create and resume; [ledger] is the pre-populated budget for a
    resume (create starts a fresh one and debits the SV half). *)
-let make ~config ~pool ~dataset ~oracles ~retries ~spend_claim ?prior ~rng ~budget () =
+let make ~config ~pool ~dataset ~oracles ~retries ~spend_claim ?prior ~rng ~budget ~telemetry () =
   let breached = ref false in
   let attempts = ref [] in
   let authorize (_ : Oracle.request) =
     if !breached then Error "ledger breached by a misreported oracle spend"
-    else Result.map (fun _ -> ()) (Budget.request budget config.Config.oracle_privacy)
+    else
+      Result.map
+        (fun _ -> ())
+        (Budget.request ~mechanism:"oracle-attempt" budget config.Config.oracle_privacy)
   in
   let on_attempt (a : Oracles.attempt) =
     attempts :=
@@ -70,14 +77,19 @@ let make ~config ~pool ~dataset ~oracles ~retries ~spend_claim ?prior ~rng ~budg
         let excess_eps = Float.max 0. (claim.Params.eps -. spend.Params.eps) in
         let excess_delta = Float.max 0. (claim.Params.delta -. spend.Params.delta) in
         if excess_eps > 0. || excess_delta > 0. then begin
-          match Budget.request budget (Params.create ~eps:excess_eps ~delta:excess_delta) with
+          match
+            Budget.request ~mechanism:"misreport-excess" budget
+              (Params.create ~eps:excess_eps ~delta:excess_delta)
+          with
           | Ok _ ->
               Log.warn (fun m ->
                   m "oracle %s misreported spend (+eps=%g); excess debited" a.Oracles.attempt_oracle
                     excess_eps)
           | Error why ->
-              ignore (Budget.request_all budget);
+              ignore (Budget.request_all ~mechanism:"misreport-drain" budget);
               breached := true;
+              Telemetry.mark telemetry "session.breached"
+                ~fields:[ ("oracle", Telemetry.Str a.Oracles.attempt_oracle) ];
               Log.err (fun m ->
                   m "oracle %s misreported spend beyond the remaining budget (%s); ledger drained, \
                      degrading"
@@ -87,34 +99,34 @@ let make ~config ~pool ~dataset ~oracles ~retries ~spend_claim ?prior ~rng ~budg
   let chain =
     match oracles with
     | [] -> invalid_arg "Session.create: empty oracle chain"
-    | oracles -> Oracles.with_fallback ~retries ~authorize ~on_attempt oracles
+    | oracles -> Oracles.with_fallback ~telemetry ~retries ~authorize ~on_attempt oracles
   in
-  let online = Online.create ~pool ~config ~dataset ~oracle:chain ?prior ~rng () in
+  let online = Online.create ~pool ~telemetry ~config ~dataset ~oracle:chain ?prior ~rng () in
   {
     config;
     pool;
     dataset;
     budget;
     online;
-    queries = 0;
-    degraded_count = 0;
-    refused_count = 0;
+    telemetry;
+    last_refusal = None;
     breached;
     attempts;
   }
 
-let create ?pool ~config ~dataset ?oracles ?(retries = 0) ?(spend_claim = fun () -> None) ?prior
-    ~rng () =
+let create ?pool ?telemetry ~config ~dataset ?oracles ?(retries = 0)
+    ?(spend_claim = fun () -> None) ?prior ~rng () =
   let pool = match pool with Some p -> p | None -> Pmw_parallel.Pool.default () in
+  let telemetry = match telemetry with Some t -> t | None -> Telemetry.null () in
   let oracles = match oracles with Some o -> o | None -> default_oracles ~pool () in
-  let budget = Budget.create config.Config.privacy in
+  let budget = Budget.create ~telemetry config.Config.privacy in
   (* The SV half is committed for the whole session up front: the sparse
      vector spends it progressively over its epochs, but the ledger must
      reserve it before the first query or oracle retries could eat it. *)
-  (match Budget.request budget config.Config.sv_privacy with
+  (match Budget.request ~mechanism:"sv-reserve" budget config.Config.sv_privacy with
   | Ok _ -> ()
   | Error why -> invalid_arg ("Session.create: SV budget does not fit: " ^ why));
-  make ~config ~pool ~dataset ~oracles ~retries ~spend_claim ?prior ~rng ~budget ()
+  make ~config ~pool ~dataset ~oracles ~retries ~spend_claim ?prior ~rng ~budget ~telemetry ()
 
 let from_hypothesis t query =
   let dhat = Online.hypothesis t.online in
@@ -147,10 +159,17 @@ let answer t query =
         else Online.Refused (Online.Oracle_budget_denied why)
     | v -> v
   in
-  t.queries <- t.queries + 1;
+  Telemetry.incr t.telemetry "queries";
   (match verdict with
-  | Online.Degraded _ -> t.degraded_count <- t.degraded_count + 1
-  | Online.Refused _ -> t.refused_count <- t.refused_count + 1
+  | Online.Degraded (_, d) ->
+      Telemetry.incr t.telemetry "degraded_answers";
+      Telemetry.mark t.telemetry "session.degraded"
+        ~fields:[ ("reason", Telemetry.Str (Online.degradation_to_string d)) ]
+  | Online.Refused r ->
+      let why = Online.refusal_to_string r in
+      t.last_refusal <- Some why;
+      Telemetry.incr t.telemetry "refusals";
+      Telemetry.mark t.telemetry "session.refused" ~fields:[ ("reason", Telemetry.Str why) ]
   | Online.Answered _ -> ());
   verdict
 
@@ -159,11 +178,25 @@ let answer_all t queries = List.map (answer t) queries
 let budget t = t.budget
 let mechanism t = t.online
 let config t = t.config
-let queries t = t.queries
-let degraded_answers t = t.degraded_count
-let refusals t = t.refused_count
-let answered t = t.queries - t.degraded_count - t.refused_count
+let telemetry t = t.telemetry
+let queries t = Telemetry.counter t.telemetry "queries"
+let degraded_answers t = Telemetry.counter t.telemetry "degraded_answers"
+let refusals t = Telemetry.counter t.telemetry "refusals"
+let answered t = queries t - degraded_answers t - refusals t
 let breached t = !(t.breached)
+
+let exit_status t =
+  if !(t.breached) then
+    Error "session breached: a misreported oracle spend drained the privacy ledger"
+  else
+    match t.last_refusal with
+    | Some why -> Error (Printf.sprintf "last query refused: %s" why)
+    | None ->
+        if Budget.exhausted t.budget then Error "privacy budget exhausted"
+        else Ok ()
+
+let finish t =
+  Telemetry.emit_ledger_finals t.telemetry
 let attempts t = List.rev !(t.attempts)
 let attempt_count t = List.length !(t.attempts)
 let hypothesis t = Online.hypothesis t.online
@@ -174,9 +207,9 @@ let checkpoint t =
   let snap = Online.snapshot t.online in
   {
     Checkpoint.fingerprint = fingerprint t.config t.dataset;
-    queries = t.queries;
-    degraded = t.degraded_count;
-    refused = t.refused_count;
+    queries = queries t;
+    degraded = degraded_answers t;
+    refused = refusals t;
     breached = !(t.breached);
     granted =
       List.map (fun p -> (p.Params.eps, p.Params.delta)) (Budget.history t.budget);
@@ -212,25 +245,26 @@ let check_fingerprint (fp : Checkpoint.fingerprint) config dataset =
   else if fp.fp_dataset_size <> now.fp_dataset_size then mismatch "dataset size"
   else Ok ()
 
-let resume ?pool ~config ~dataset ?oracles ?(retries = 0) ?(spend_claim = fun () -> None) ~rng
-    (ckpt : Checkpoint.t) =
+let resume ?pool ?telemetry ~config ~dataset ?oracles ?(retries = 0)
+    ?(spend_claim = fun () -> None) ~rng (ckpt : Checkpoint.t) =
   let ( let* ) = Result.bind in
   let pool = match pool with Some p -> p | None -> Pmw_parallel.Pool.default () in
+  let telemetry = match telemetry with Some t -> t | None -> Telemetry.null () in
   let oracles = match oracles with Some o -> o | None -> default_oracles ~pool () in
   let* () = check_fingerprint ckpt.Checkpoint.fingerprint config dataset in
   (* Replay the ledger verbatim: the resumed process starts from the exact
      spend of the killed one — nothing is re-debited, nothing forgiven. *)
-  let budget = Budget.create config.Config.privacy in
+  let budget = Budget.create ~telemetry config.Config.privacy in
   let* () =
     List.fold_left
       (fun acc (eps, delta) ->
         let* () = acc in
-        match Budget.request budget (Params.create ~eps ~delta) with
+        match Budget.request ~mechanism:"replay" budget (Params.create ~eps ~delta) with
         | Ok _ -> Ok ()
         | Error why -> Error ("checkpoint ledger does not replay: " ^ why))
       (Ok ()) ckpt.Checkpoint.granted
   in
-  let t = make ~config ~pool ~dataset ~oracles ~retries ~spend_claim ~rng ~budget () in
+  let t = make ~config ~pool ~dataset ~oracles ~retries ~spend_claim ~rng ~budget ~telemetry () in
   let* () =
     match
       Online.restore t.online
@@ -254,16 +288,27 @@ let resume ?pool ~config ~dataset ?oracles ?(retries = 0) ?(spend_claim = fun ()
     | () -> Ok ()
     | exception Invalid_argument why -> Error ("checkpoint state rejected: " ^ why)
   in
-  t.queries <- ckpt.Checkpoint.queries;
-  t.degraded_count <- ckpt.Checkpoint.degraded;
-  t.refused_count <- ckpt.Checkpoint.refused;
+  Telemetry.set_counter telemetry "queries" ckpt.Checkpoint.queries;
+  Telemetry.set_counter telemetry "degraded_answers" ckpt.Checkpoint.degraded;
+  Telemetry.set_counter telemetry "refusals" ckpt.Checkpoint.refused;
+  (* Round numbering continues where the killed process stopped: a resumed
+     trace reads as one session with an explicit restart mark, not as a new
+     session starting over at round 1. *)
+  Telemetry.set_round telemetry ckpt.Checkpoint.queries;
+  Telemetry.mark telemetry "session.restart"
+    ~fields:
+      [
+        ("queries", Telemetry.Int ckpt.Checkpoint.queries);
+        ("eps_spent", Telemetry.Float (Budget.spent budget).Params.eps);
+        ("delta_spent", Telemetry.Float (Budget.spent budget).Params.delta);
+      ];
   t.breached := ckpt.Checkpoint.breached;
   t.attempts := List.rev ckpt.Checkpoint.attempts;
   Log.info (fun m ->
-      m "session resumed at query %d (eps spent %g of %g)" t.queries
+      m "session resumed at query %d (eps spent %g of %g)" (queries t)
         (Budget.spent budget).Params.eps config.Config.privacy.Params.eps);
   Ok t
 
-let resume_path ?pool ~config ~dataset ?oracles ?retries ?spend_claim ~rng ~path () =
+let resume_path ?pool ?telemetry ~config ~dataset ?oracles ?retries ?spend_claim ~rng ~path () =
   Result.bind (Checkpoint.read ~path) (fun ckpt ->
-      resume ?pool ~config ~dataset ?oracles ?retries ?spend_claim ~rng ckpt)
+      resume ?pool ?telemetry ~config ~dataset ?oracles ?retries ?spend_claim ~rng ckpt)

@@ -26,6 +26,7 @@ type t
 
 val create :
   ?pool:Pmw_parallel.Pool.t ->
+  ?telemetry:Pmw_telemetry.Telemetry.t ->
   config:Pmw_core.Config.t ->
   dataset:Pmw_data.Dataset.t ->
   ?oracles:Pmw_erm.Oracle.t list ->
@@ -47,12 +48,21 @@ val create :
     it returns a spend larger than the allocation the attempt was handed,
     the excess is debited (see {!breached}). The SV half of the budget is
     debited up front. @raise Invalid_argument if the config's SV budget
-    does not fit the total, or [oracles] is empty. *)
+    does not fit the total, or [oracles] is empty.
+
+    [telemetry] (default: a no-op instance) observes the whole stack — the
+    mechanism's spans and counters, the SV instance, the oracle chain's
+    attempt marks, and every ledger grant (tagged ["sv-reserve"],
+    ["oracle-attempt"], ["misreport-excess"], ["misreport-drain"] or
+    ["replay"]). The session's own {!queries} / {!degraded_answers} /
+    {!refusals} tallies ARE its telemetry counters — one bookkeeping path,
+    with or without a sink. *)
 
 val answer : t -> Pmw_core.Cm_query.t -> Pmw_core.Online_pmw.verdict
 val answer_all : t -> Pmw_core.Cm_query.t list -> Pmw_core.Online_pmw.verdict list
 
 val budget : t -> Pmw_core.Budget.t
+val telemetry : t -> Pmw_telemetry.Telemetry.t
 val mechanism : t -> Pmw_core.Online_pmw.t
 val config : t -> Pmw_core.Config.t
 val hypothesis : t -> Pmw_data.Histogram.t
@@ -63,6 +73,17 @@ val queries : t -> int
 val answered : t -> int
 val degraded_answers : t -> int
 val refusals : t -> int
+
+val exit_status : t -> (unit, string) result
+(** [Ok ()] when the session can still answer live queries; [Error reason]
+    when it ended badly — the ledger was breached, the last query was
+    refused, or the privacy budget is exhausted. The CLI maps [Error] to
+    exit code 2. *)
+
+val finish : t -> unit
+(** Emit the end-of-run ["ledger.final"] marks
+    ({!Pmw_telemetry.Telemetry.emit_ledger_finals}) so a written trace is
+    self-checking. Call once, when no more queries will be asked. *)
 
 val breached : t -> bool
 (** A misreported oracle spend exceeded the remaining budget: the ledger
@@ -78,6 +99,7 @@ val save : t -> path:string -> unit
 
 val resume :
   ?pool:Pmw_parallel.Pool.t ->
+  ?telemetry:Pmw_telemetry.Telemetry.t ->
   config:Pmw_core.Config.t ->
   dataset:Pmw_data.Dataset.t ->
   ?oracles:Pmw_erm.Oracle.t list ->
@@ -90,10 +112,15 @@ val resume :
     chain are re-supplied by the caller and validated against the stored
     fingerprint; the ledger is replayed verbatim and all RNG/noise state is
     restored, so the continuation spends no ε that the killed process had
-    not already spent. The supplied [rng]'s state is overwritten. *)
+    not already spent. The supplied [rng]'s state is overwritten.
+
+    A resumed trace continues the killed one: the verdict counters and the
+    round numbering are restored and a ["session.restart"] mark (carrying
+    the replayed spend) separates the two lives. *)
 
 val resume_path :
   ?pool:Pmw_parallel.Pool.t ->
+  ?telemetry:Pmw_telemetry.Telemetry.t ->
   config:Pmw_core.Config.t ->
   dataset:Pmw_data.Dataset.t ->
   ?oracles:Pmw_erm.Oracle.t list ->

@@ -1,0 +1,433 @@
+(* Structured tracing, metrics and privacy-ledger observability.
+
+   One [Telemetry.t] instance is threaded through a mechanism stack the same
+   way [?pool] is: every instrumented module emits events into it, and the
+   instance routes them to a sink (ring buffer, JSONL file, callback, or
+   nothing). Counters and ledger totals are tracked in the instance even
+   when the sink is [Null], so the session layer can use them as its
+   authoritative tallies; spans and observations are recorded only when a
+   real sink is attached, which keeps the no-op configuration within noise
+   of the uninstrumented hot paths. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type kind = Span_begin | Span_end | Count | Observe | Debit | Mark
+
+let kind_to_string = function
+  | Span_begin -> "span_begin"
+  | Span_end -> "span_end"
+  | Count -> "count"
+  | Observe -> "observe"
+  | Debit -> "debit"
+  | Mark -> "mark"
+
+let kind_of_string = function
+  | "span_begin" -> Some Span_begin
+  | "span_end" -> Some Span_end
+  | "count" -> Some Count
+  | "observe" -> Some Observe
+  | "debit" -> Some Debit
+  | "mark" -> Some Mark
+  | _ -> None
+
+type event = {
+  ts : float;  (* seconds since instance creation, non-decreasing *)
+  round : int;  (* current round id; -1 outside any round *)
+  kind : kind;
+  name : string;
+  fields : (string * value) list;
+}
+
+(* --- JSON encoding (JSONL sink) --- *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* %.17g round-trips every finite double; non-finite values have no JSON
+   literal, so they are stringified (the trace reader maps them back). *)
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.17g" v
+  else if Float.is_nan v then "\"nan\""
+  else if v > 0. then "\"inf\""
+  else "\"-inf\""
+
+let json_value b = function
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float v -> Buffer.add_string b (json_float v)
+  | Bool v -> Buffer.add_string b (string_of_bool v)
+  | Str s ->
+      Buffer.add_char b '"';
+      json_escape b s;
+      Buffer.add_char b '"'
+
+let event_to_json e =
+  let b = Buffer.create 160 in
+  Buffer.add_string b "{\"ts\":";
+  Buffer.add_string b (json_float e.ts);
+  Buffer.add_string b ",\"round\":";
+  Buffer.add_string b (string_of_int e.round);
+  Buffer.add_string b ",\"kind\":\"";
+  Buffer.add_string b (kind_to_string e.kind);
+  Buffer.add_string b "\",\"name\":\"";
+  json_escape b e.name;
+  Buffer.add_char b '"';
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b ",\"";
+      json_escape b k;
+      Buffer.add_string b "\":";
+      json_value b v)
+    e.fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* --- sinks --- *)
+
+module Sink = struct
+  type t =
+    | Null
+    | Ring of { capacity : int; buf : event Queue.t }
+    | Jsonl of { oc : out_channel; owned : bool; mutable closed : bool }
+    | Fn of (event -> unit)
+    | Multi of t list
+
+  let null = Null
+  let ring ?(capacity = 65536) () = Ring { capacity; buf = Queue.create () }
+  let jsonl oc = Jsonl { oc; owned = false; closed = false }
+
+  let jsonl_file path = Jsonl { oc = open_out path; owned = true; closed = false }
+
+  let fn f = Fn f
+  let multi sinks = Multi sinks
+
+  let rec emit sink e =
+    match sink with
+    | Null -> ()
+    | Ring r ->
+        if Queue.length r.buf >= r.capacity then ignore (Queue.pop r.buf);
+        Queue.push e r.buf
+    | Jsonl j ->
+        if not j.closed then begin
+          output_string j.oc (event_to_json e);
+          output_char j.oc '\n'
+        end
+    | Fn f -> f e
+    | Multi sinks -> List.iter (fun s -> emit s e) sinks
+
+  let rec events = function
+    | Ring r -> List.of_seq (Queue.to_seq r.buf)
+    | Multi sinks -> List.concat_map events sinks
+    | Null | Jsonl _ | Fn _ -> []
+
+  let rec close = function
+    | Jsonl j ->
+        if not j.closed then begin
+          flush j.oc;
+          if j.owned then close_out j.oc;
+          j.closed <- true
+        end
+    | Multi sinks -> List.iter close sinks
+    | Null | Ring _ | Fn _ -> ()
+
+  let rec is_null = function
+    | Null -> true
+    | Multi sinks -> List.for_all is_null sinks
+    | Ring _ | Jsonl _ | Fn _ -> false
+end
+
+(* --- aggregate state kept in the instance --- *)
+
+type obs_stats = {
+  mutable o_count : int;
+  mutable o_sum : float;
+  mutable o_min : float;
+  mutable o_max : float;
+  mutable o_last : float;
+}
+
+type span_stats = { mutable s_calls : int; mutable s_total : float; mutable s_max : float }
+
+type ledger_totals = {
+  mutable l_debits : int;
+  mutable l_eps : float;
+  mutable l_delta : float;
+}
+
+type t = {
+  sink : Sink.t;
+  clock : unit -> float;
+  t0 : float;
+  enabled : bool;
+  verbose : bool;
+  counters : (string, int ref) Hashtbl.t;
+  observations : (string, obs_stats) Hashtbl.t;
+  spans : (string, span_stats) Hashtbl.t;
+  ledgers : (string, ledger_totals) Hashtbl.t;
+  mutable round : int;
+  mutable last_ts : float;
+  mutable next_span_id : int;
+  mutable span_stack : int list;
+}
+
+let default_verbose () =
+  match Sys.getenv_opt "PMW_TRACE_POOL" with Some ("1" | "true") -> true | _ -> false
+
+let create ?(clock = Unix.gettimeofday) ?(sink = Sink.Null) ?verbose () =
+  let verbose = match verbose with Some v -> v | None -> default_verbose () in
+  {
+    sink;
+    clock;
+    t0 = clock ();
+    enabled = not (Sink.is_null sink);
+    verbose;
+    counters = Hashtbl.create 16;
+    observations = Hashtbl.create 16;
+    spans = Hashtbl.create 16;
+    ledgers = Hashtbl.create 4;
+    round = -1;
+    last_ts = 0.;
+    next_span_id = 0;
+    span_stack = [];
+  }
+
+let null () = create ()
+
+let enabled t = t.enabled
+let verbose t = t.verbose
+let close t = Sink.close t.sink
+let events t = Sink.events t.sink
+
+(* Timestamps are clamped non-decreasing, so the emitted stream is monotone
+   even if the wall clock steps backwards under the run. *)
+let now t =
+  let ts = t.clock () -. t.t0 in
+  let ts = if ts > t.last_ts then ts else t.last_ts in
+  t.last_ts <- ts;
+  ts
+
+let set_round t r = t.round <- r
+let next_round t =
+  t.round <- (if t.round < 0 then 1 else t.round + 1);
+  t.round
+
+let round t = t.round
+
+let emit t kind name fields =
+  Sink.emit t.sink { ts = now t; round = t.round; kind; name; fields }
+
+let mark t ?(fields = []) name = if t.enabled then emit t Mark name fields
+
+(* --- counters (tracked even with a Null sink) --- *)
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let incr ?(by = 1) t name =
+  let r = counter_ref t name in
+  r := !r + by;
+  if t.enabled then emit t Count name [ ("by", Int by); ("total", Int !r) ]
+
+let set_counter t name v =
+  let r = counter_ref t name in
+  r := v
+
+let counter t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  List.sort compare (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [])
+
+(* --- observations (float histograms; recorded when a sink is attached) --- *)
+
+let observe t name v =
+  if t.enabled then begin
+    (match Hashtbl.find_opt t.observations name with
+    | Some s ->
+        s.o_count <- s.o_count + 1;
+        s.o_sum <- s.o_sum +. v;
+        if v < s.o_min then s.o_min <- v;
+        if v > s.o_max then s.o_max <- v;
+        s.o_last <- v
+    | None ->
+        Hashtbl.add t.observations name
+          { o_count = 1; o_sum = v; o_min = v; o_max = v; o_last = v });
+    emit t Observe name [ ("value", Float v) ]
+  end
+
+type observation = { obs_count : int; obs_sum : float; obs_min : float; obs_max : float; obs_last : float }
+
+let observation t name =
+  Option.map
+    (fun s ->
+      { obs_count = s.o_count; obs_sum = s.o_sum; obs_min = s.o_min; obs_max = s.o_max; obs_last = s.o_last })
+    (Hashtbl.find_opt t.observations name)
+
+let observations t =
+  List.sort compare
+    (Hashtbl.fold
+       (fun k s acc ->
+         ( k,
+           { obs_count = s.o_count; obs_sum = s.o_sum; obs_min = s.o_min; obs_max = s.o_max; obs_last = s.o_last } )
+         :: acc)
+       t.observations [])
+
+(* --- privacy-ledger timeline (tracked even with a Null sink) --- *)
+
+let debit t ~ledger ~mechanism ~eps ~delta =
+  let l =
+    match Hashtbl.find_opt t.ledgers ledger with
+    | Some l -> l
+    | None ->
+        let l = { l_debits = 0; l_eps = 0.; l_delta = 0. } in
+        Hashtbl.add t.ledgers ledger l;
+        l
+  in
+  l.l_debits <- l.l_debits + 1;
+  l.l_eps <- l.l_eps +. eps;
+  l.l_delta <- l.l_delta +. delta;
+  if t.enabled then
+    emit t Debit ledger
+      [
+        ("mechanism", Str mechanism);
+        ("eps", Float eps);
+        ("delta", Float delta);
+        ("eps_total", Float l.l_eps);
+        ("delta_total", Float l.l_delta);
+        ("debits", Int l.l_debits);
+      ]
+
+let ledger_total t ledger =
+  match Hashtbl.find_opt t.ledgers ledger with
+  | Some l -> (l.l_eps, l.l_delta)
+  | None -> (0., 0.)
+
+let ledgers t =
+  List.sort compare
+    (Hashtbl.fold (fun k l acc -> (k, (l.l_eps, l.l_delta, l.l_debits)) :: acc) t.ledgers [])
+
+let emit_ledger_finals t =
+  List.iter
+    (fun (name, (eps, delta, debits)) ->
+      mark t "ledger.final"
+        ~fields:
+          [ ("ledger", Str name); ("eps", Float eps); ("delta", Float delta); ("debits", Int debits) ])
+    (ledgers t)
+
+(* --- spans --- *)
+
+let span_stats_ref t name =
+  match Hashtbl.find_opt t.spans name with
+  | Some s -> s
+  | None ->
+      let s = { s_calls = 0; s_total = 0.; s_max = 0. } in
+      Hashtbl.add t.spans name s;
+      s
+
+let span t ?(fields = []) name f =
+  if not t.enabled then f ()
+  else begin
+    let id = t.next_span_id in
+    t.next_span_id <- id + 1;
+    let parent = match t.span_stack with [] -> -1 | p :: _ -> p in
+    t.span_stack <- id :: t.span_stack;
+    let start = now t in
+    Sink.emit t.sink
+      {
+        ts = start;
+        round = t.round;
+        kind = Span_begin;
+        name;
+        fields = ("id", Int id) :: ("parent", Int parent) :: fields;
+      };
+    let finish ok =
+      let stop = now t in
+      let dur = stop -. start in
+      let s = span_stats_ref t name in
+      s.s_calls <- s.s_calls + 1;
+      s.s_total <- s.s_total +. dur;
+      if dur > s.s_max then s.s_max <- dur;
+      (match t.span_stack with top :: rest when top = id -> t.span_stack <- rest | _ -> ());
+      Sink.emit t.sink
+        {
+          ts = stop;
+          round = t.round;
+          kind = Span_end;
+          name;
+          fields = [ ("id", Int id); ("parent", Int parent); ("dur_s", Float dur); ("ok", Bool ok) ];
+        }
+    in
+    match f () with
+    | v ->
+        finish true;
+        v
+    | exception e ->
+        finish false;
+        raise e
+  end
+
+type span_summary = { span_calls : int; span_total_s : float; span_max_s : float }
+
+let span_stats t name =
+  Option.map
+    (fun s -> { span_calls = s.s_calls; span_total_s = s.s_total; span_max_s = s.s_max })
+    (Hashtbl.find_opt t.spans name)
+
+let spans t =
+  List.sort compare
+    (Hashtbl.fold
+       (fun k s acc ->
+         (k, { span_calls = s.s_calls; span_total_s = s.s_total; span_max_s = s.s_max }) :: acc)
+       t.spans [])
+
+(* --- human-readable summary --- *)
+
+let pp_summary fmt t =
+  let open Format in
+  fprintf fmt "@[<v>";
+  (match counters t with
+  | [] -> ()
+  | cs ->
+      fprintf fmt "counters:@,";
+      List.iter (fun (k, v) -> fprintf fmt "  %-28s %d@," k v) cs);
+  (match spans t with
+  | [] -> ()
+  | ss ->
+      fprintf fmt "spans (calls, total s, mean ms, max ms):@,";
+      List.iter
+        (fun (k, s) ->
+          fprintf fmt "  %-28s %6d %10.3f %10.3f %10.3f@," k s.span_calls s.span_total_s
+            (if s.span_calls = 0 then 0. else 1e3 *. s.span_total_s /. float_of_int s.span_calls)
+            (1e3 *. s.span_max_s))
+        ss);
+  (match observations t with
+  | [] -> ()
+  | os ->
+      fprintf fmt "observations (count, mean, min, max, last):@,";
+      List.iter
+        (fun (k, o) ->
+          fprintf fmt "  %-28s %6d %10.4g %10.4g %10.4g %10.4g@," k o.obs_count
+            (if o.obs_count = 0 then 0. else o.obs_sum /. float_of_int o.obs_count)
+            o.obs_min o.obs_max o.obs_last)
+        os);
+  (match ledgers t with
+  | [] -> ()
+  | ls ->
+      fprintf fmt "privacy ledgers (debits, eps total, delta total):@,";
+      List.iter
+        (fun (k, (eps, delta, debits)) -> fprintf fmt "  %-28s %6d %12.6g %12.3e@," k debits eps delta)
+        ls);
+  fprintf fmt "@]"

@@ -1,0 +1,182 @@
+(** Structured tracing, metrics and privacy-ledger observability for the PMW
+    pipeline.
+
+    A {!t} instance is threaded through the mechanism stack the same way
+    [?pool] is: each instrumented module (sparse vector, accountant, budget,
+    oracles, MW loop, session, pool) emits {!event}s into it, and the
+    instance routes them to a {!Sink.t}. Three guarantees shape the design:
+
+    - {b No-op is free}: with the default {!Sink.null} sink, spans read no
+      clock and emit nothing; only plain counter increments and ledger sums
+      (a handful of adds per query) remain, so instrumented hot paths stay
+      within noise of the uninstrumented code.
+    - {b Counters and ledgers are authoritative}: they are tracked in the
+      instance even when no sink is attached, so the session layer can use
+      them as its only verdict/budget tallies (no duplicated bookkeeping).
+    - {b Timestamps are monotone}: event timestamps are clamped
+      non-decreasing relative to instance creation, so a trace always
+      replays in order even if the wall clock steps.
+
+    Threading contract: all emission entry points must be called from the
+    domain that owns the instrumented mechanism (worker domains never emit;
+    the pool aggregates per-chunk timings and emits them from the caller).
+
+    Traces record {e unprotected} intermediate values (per-round true
+    errors, noisy thresholds' outcomes, per-call budget debits). They are a
+    curator-side debugging artifact and must never be released to the
+    analyst alongside the mechanism's answers. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type kind = Span_begin | Span_end | Count | Observe | Debit | Mark
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+type event = {
+  ts : float;  (** seconds since instance creation; non-decreasing *)
+  round : int;  (** round id the event belongs to; [-1] outside any round *)
+  kind : kind;
+  name : string;  (** counter/span/observation name, or ledger tag for [Debit] *)
+  fields : (string * value) list;
+}
+
+val event_to_json : event -> string
+(** One-line JSON object: [{"ts":..,"round":..,"kind":..,"name":..,<fields>}].
+    Finite floats round-trip exactly ([%.17g]); non-finite floats are encoded
+    as the strings ["nan"], ["inf"], ["-inf"]. *)
+
+(** Event destinations. A sink only stores/forwards; all aggregation lives in
+    the instance. *)
+module Sink : sig
+  type t
+
+  val null : t
+  (** Drop everything (the default). *)
+
+  val ring : ?capacity:int -> unit -> t
+  (** Keep the last [capacity] (default 65536) events in memory — the test
+      and in-process-inspection sink. *)
+
+  val jsonl : out_channel -> t
+  (** Write one JSON object per line to a caller-owned channel (the caller
+      closes it; {!Telemetry.close} only flushes). *)
+
+  val jsonl_file : string -> t
+  (** Open [path] and write JSONL to it; {!Telemetry.close} flushes and
+      closes the file. *)
+
+  val fn : (event -> unit) -> t
+  (** Forward every event to a callback. *)
+
+  val multi : t list -> t
+  (** Fan out to several sinks. *)
+
+  val events : t -> event list
+  (** Buffered events, oldest first (ring sinks only; [[]] otherwise). *)
+end
+
+type t
+
+val create : ?clock:(unit -> float) -> ?sink:Sink.t -> ?verbose:bool -> unit -> t
+(** A fresh instance. [clock] (default [Unix.gettimeofday]) is read only when
+    a non-null sink is attached; inject a counter clock for deterministic
+    tests. [verbose] (default: true iff [PMW_TRACE_POOL=1] in the
+    environment) additionally enables high-frequency per-chunk pool timing
+    events. *)
+
+val null : unit -> t
+(** [create ()] — a fresh no-op instance whose counters and ledgers still
+    accumulate. Each call returns an independent instance (never a shared
+    singleton: counter state must be per-mechanism). *)
+
+val enabled : t -> bool
+(** [true] iff a non-null sink is attached. *)
+
+val verbose : t -> bool
+val close : t -> unit
+(** Flush/close the attached sinks (idempotent). *)
+
+val events : t -> event list
+(** Events buffered by ring sinks of this instance, oldest first. *)
+
+val now : t -> float
+(** Seconds since instance creation, clamped non-decreasing. *)
+
+(** {1 Rounds} *)
+
+val set_round : t -> int -> unit
+(** Force the round id subsequent events are stamped with — used on
+    checkpoint resume so a resumed trace continues the numbering. *)
+
+val next_round : t -> int
+(** Advance to the next round (first call yields 1) and return it. *)
+
+val round : t -> int
+
+(** {1 Emission} *)
+
+val mark : t -> ?fields:(string * value) list -> string -> unit
+(** A point event (no aggregation). No-op without a sink. *)
+
+val incr : ?by:int -> t -> string -> unit
+(** Increment a named counter (tracked even without a sink) and emit a
+    [Count] event carrying the new total when a sink is attached. *)
+
+val set_counter : t -> string -> int -> unit
+(** Overwrite a counter without emitting — for checkpoint restore. *)
+
+val counter : t -> string -> int
+(** Current value (0 if never touched). *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val observe : t -> string -> float -> unit
+(** Record a float sample (streaming count/sum/min/max kept per name) and
+    emit an [Observe] event. No-op without a sink. *)
+
+type observation = {
+  obs_count : int;
+  obs_sum : float;
+  obs_min : float;
+  obs_max : float;
+  obs_last : float;
+}
+
+val observation : t -> string -> observation option
+val observations : t -> (string * observation) list
+
+val debit : t -> ledger:string -> mechanism:string -> eps:float -> delta:float -> unit
+(** Record one privacy-ledger debit under the named ledger with its
+    mechanism tag. Running [(ε, δ)] totals are tracked even without a sink;
+    with one, the emitted [Debit] event carries both the per-event cost and
+    the cumulative totals, so the whole curve can be replayed from the trace
+    alone. *)
+
+val ledger_total : t -> string -> float * float
+(** Cumulative [(ε, δ)] sums debited under a ledger. *)
+
+val ledgers : t -> (string * (float * float * int)) list
+(** All ledgers, sorted: [(name, (eps_total, delta_total, debits))]. *)
+
+val emit_ledger_finals : t -> unit
+(** Emit one ["ledger.final"] mark per ledger carrying its cumulative
+    [(ε, δ)] and debit count — the self-check {!Trace.validate} replays a
+    trace's debits against. Call once, at the end of a run, before
+    {!close}. *)
+
+val span : t -> ?fields:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [span t name f] times [f ()] between a [Span_begin]/[Span_end] pair with
+    a fresh id and the enclosing span's id as parent; the end event carries
+    [dur_s] and [ok] (false when [f] raised — the exception is re-raised).
+    Without a sink this is exactly [f ()]: no clock read, no allocation. *)
+
+type span_summary = { span_calls : int; span_total_s : float; span_max_s : float }
+
+val span_stats : t -> string -> span_summary option
+val spans : t -> (string * span_summary) list
+
+val pp_summary : Format.formatter -> t -> unit
+(** Human-readable dump of the aggregated counters, span timings,
+    observations and ledger totals. *)

@@ -1,0 +1,43 @@
+(** Offline trace analysis: read a JSONL trace back into {!Telemetry.event}s,
+    check its structural invariants, and aggregate it into per-phase tables.
+
+    The reader accepts exactly the flat-object JSON subset
+    {!Telemetry.event_to_json} produces (one object per line; string, number
+    and bool values; no nesting), which keeps the library dependency-free. *)
+
+val load : path:string -> (Telemetry.event list, string) result
+(** Parse a JSONL trace file, oldest event first. Blank lines are skipped;
+    the first malformed line aborts with its line number. *)
+
+val validate : Telemetry.event list -> (unit, string) result
+(** Structural invariants every well-formed trace satisfies:
+    - timestamps non-decreasing, round ids non-decreasing;
+    - every [Span_end] closes a matching open [Span_begin] of the same name,
+      ids unique, durations non-negative, no span left open;
+    - each [Debit]'s carried cumulative totals equal the replayed
+      per-ledger sums (to a 1e-9 relative tolerance);
+    - any ["ledger.final"] mark matches the replayed sum of its ledger's
+      debits — the "ledger sums match the accountant" check, from the trace
+      alone. *)
+
+val ledger_totals : Telemetry.event list -> (string * (float * float)) list
+(** Replay the privacy-ledger timeline: per-ledger [(ε, δ)] sums of the
+    individual debit events, sorted by ledger tag. *)
+
+type span_row = { sr_name : string; sr_calls : int; sr_total_s : float; sr_max_s : float }
+
+type summary = {
+  events : int;
+  rounds : int;  (** highest round id seen *)
+  wall_s : float;  (** last timestamp minus first *)
+  span_rows : span_row list;
+  counter_rows : (string * int) list;  (** final value of each counter *)
+  ledger_rows : (string * (float * float * int)) list;
+      (** [(eps_total, delta_total, debits)] per ledger *)
+  marks : (string * int) list;  (** occurrences per mark name *)
+}
+
+val summarize : Telemetry.event list -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+(** The per-phase table the CLI's [stats] subcommand prints. *)

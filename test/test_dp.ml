@@ -132,7 +132,9 @@ let test_randomized_response_bias () =
 let make_sv ?(t_max = 5) ?(k = 1000) ?(threshold = 1.) ?(eps = 5.) ?(sensitivity = 0.001) seed =
   Sv.create ~t_max ~k ~threshold
     ~privacy:(Params.create ~eps ~delta:1e-6)
-    ~sensitivity ~rng:(Rng.create ~seed ())
+    ~sensitivity
+    ~rng:(Rng.create ~seed ())
+    ()
 
 let test_sv_accuracy_on_clear_gaps () =
   (* With tiny sensitivity (large n), answers must respect the gap. *)

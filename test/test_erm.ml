@@ -200,6 +200,109 @@ let test_privacy_budget_affects_noise () =
     (Printf.sprintf "more budget, less error: %.4f vs %.4f" high low)
     true (high < low)
 
+(* --- fault-injection telemetry --- *)
+
+module Telemetry = Pmw_telemetry.Telemetry
+module Faulty = Pmw_erm.Faulty_oracle
+
+let ring_telemetry () = Telemetry.create ~sink:(Telemetry.Sink.ring ()) ()
+
+let marks_named tel name =
+  List.filter
+    (fun e -> e.Telemetry.kind = Telemetry.Mark && e.Telemetry.name = name)
+    (Telemetry.events tel)
+
+let str_field e name =
+  match List.assoc_opt name e.Telemetry.fields with
+  | Some (Telemetry.Str s) -> s
+  | _ -> Alcotest.failf "mark %s: missing string field %S" e.Telemetry.name name
+
+let float_field e name =
+  match List.assoc_opt name e.Telemetry.fields with
+  | Some (Telemetry.Float f) -> f
+  | _ -> Alcotest.failf "mark %s: missing float field %S" e.Telemetry.name name
+
+let test_every_fault_class_emits_event () =
+  (* Each injected fault class must surface as a "fault.injected" mark whose
+     "fault" field round-trips through fault_to_string. *)
+  List.iter
+    (fun fault ->
+      let tel = ring_telemetry () in
+      let faulty = Faulty.create ~telemetry:tel ~plan:(Faulty.Always fault) Oracles.exact in
+      let req = request ~n:1_000 () in
+      (match (Faulty.oracle faulty).Oracle.run req with
+      | (_ : Vec.t) -> ()
+      | exception Oracle.Timeout _ -> ());
+      let marks = marks_named tel "fault.injected" in
+      Alcotest.(check int)
+        (Faulty.fault_to_string fault ^ ": one event")
+        1 (List.length marks);
+      let m = List.hd marks in
+      Alcotest.(check string)
+        (Faulty.fault_to_string fault ^ ": fault tag")
+        (Faulty.fault_to_string fault) (str_field m "fault");
+      Alcotest.(check int)
+        (Faulty.fault_to_string fault ^ ": counter")
+        1
+        (Telemetry.counter tel "faults_injected");
+      match fault with
+      | Faulty.Misreport factor ->
+          (* the event carries the inflated claim a ledger-aware caller debits *)
+          Alcotest.(check (float 1e-12))
+            "claimed eps"
+            (req.Oracle.privacy.Params.eps *. factor)
+            (float_field m "claimed_eps");
+          Alcotest.(check bool) "claim surfaced" true (Faulty.claimed_spend faulty <> None)
+      | _ -> ())
+    [ Faulty.Nan_answer; Faulty.Inf_answer; Faulty.Divergent; Faulty.Timeout; Faulty.Misreport 3. ]
+
+let test_chain_reconstructible_from_trace () =
+  (* A retry/fallback run must be replayable from the trace alone: the
+     oracle.attempt marks carry (oracle, try, ok) for every attempt, in
+     order, ending with the success. *)
+  let tel = ring_telemetry () in
+  let bad = Faulty.create ~plan:(Faulty.Always Faulty.Nan_answer) Oracles.exact in
+  let chain =
+    Oracles.with_fallback ~telemetry:tel ~retries:1 [ Faulty.oracle bad; Oracles.exact ]
+  in
+  let theta = chain.Oracle.run (request ~n:1_000 ()) in
+  Alcotest.(check bool) "chain answered" true (Array.for_all Float.is_finite theta);
+  let attempts =
+    List.map
+      (fun m ->
+        let ok =
+          match List.assoc_opt "ok" m.Telemetry.fields with
+          | Some (Telemetry.Bool b) -> b
+          | _ -> Alcotest.fail "attempt without ok field"
+        in
+        let try_i =
+          match List.assoc_opt "try" m.Telemetry.fields with
+          | Some (Telemetry.Int i) -> i
+          | _ -> Alcotest.fail "attempt without try field"
+        in
+        (str_field m "oracle", try_i, ok))
+      (marks_named tel "oracle.attempt")
+  in
+  Alcotest.(check (list (triple string int bool)))
+    "reconstructed chain"
+    [ ("exact!faulty", 1, false); ("exact!faulty", 2, false); ("exact", 3, true) ]
+    attempts;
+  Alcotest.(check int) "oracle_attempts" 3 (Telemetry.counter tel "oracle_attempts");
+  Alcotest.(check int) "oracle_retries" 2 (Telemetry.counter tel "oracle_retries")
+
+let test_exhausted_chain_marks_trace () =
+  let tel = ring_telemetry () in
+  let bad = Faulty.create ~plan:(Faulty.Always Faulty.Divergent) Oracles.exact in
+  let chain = Oracles.with_fallback ~telemetry:tel [ Faulty.oracle bad ] in
+  (match chain.Oracle.run (request ~n:1_000 ()) with
+  | (_ : Vec.t) -> Alcotest.fail "divergent chain must fail"
+  | exception Oracle.Failed _ -> ());
+  let marks = marks_named tel "oracle.exhausted" in
+  Alcotest.(check int) "one exhausted mark" 1 (List.length marks);
+  match List.assoc_opt "attempts" (List.hd marks).Telemetry.fields with
+  | Some (Telemetry.Int 1) -> ()
+  | _ -> Alcotest.fail "exhausted mark must carry the attempt count"
+
 let qcheck_outputs_always_feasible =
   QCheck.Test.make ~name:"oracle outputs always in domain" ~count:20
     QCheck.(pair (int_range 100 2000) (float_range 0.05 2.))
@@ -226,6 +329,14 @@ let () =
           Alcotest.test_case "glm fallback" `Quick test_glm_falls_back_without_structure;
           Alcotest.test_case "dispatch" `Quick test_for_loss_dispatch;
           Alcotest.test_case "budget direction" `Quick test_privacy_budget_affects_noise;
+        ] );
+      ( "fault telemetry",
+        [
+          Alcotest.test_case "every fault class emits event" `Quick
+            test_every_fault_class_emits_event;
+          Alcotest.test_case "chain reconstructible from trace" `Quick
+            test_chain_reconstructible_from_trace;
+          Alcotest.test_case "exhausted chain marked" `Quick test_exhausted_chain_marks_trace;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest [ qcheck_outputs_always_feasible ]);
     ]

@@ -191,7 +191,9 @@ let test_sv_empirical_privacy () =
       let sv =
         Sv.create ~t_max:3 ~k:10 ~threshold:1.
           ~privacy:(Params.create ~eps ~delta:1e-6)
-          ~sensitivity ~rng:(Rng.create ~seed ())
+          ~sensitivity
+          ~rng:(Rng.create ~seed ())
+          ()
       in
       let answers = Array.map (fun v -> Sv.query sv v) stream in
       if

@@ -265,6 +265,79 @@ let test_fault_plan_replay () =
   Alcotest.(check (list bool)) "replayed pattern" a (head @ tail);
   Alcotest.(check bool) "some faults fired" true (List.exists Fun.id a)
 
+(* --- exit status and the centralized telemetry tallies --- *)
+
+module Telemetry = Pmw_telemetry.Telemetry
+
+let test_exit_status_clean () =
+  let s, _ = faulty_session ~plan:Faulty.Never ~rng:(Rng.create ~seed:3 ()) () in
+  ignore (run_stream s (queries 4));
+  match Session.exit_status s with
+  | Ok () -> ()
+  | Error why -> Alcotest.failf "clean session reported %S" why
+
+let test_exit_status_breached () =
+  let s, _ =
+    faulty_session ~plan:(Faulty.Always (Faulty.Misreport 1e6)) ~rng:(Rng.create ~seed:11 ()) ()
+  in
+  ignore (run_stream s (queries 8));
+  Alcotest.(check bool) "breached" true (Session.breached s);
+  match Session.exit_status s with
+  | Ok () -> Alcotest.fail "breached session must exit non-zero"
+  | Error why ->
+      Alcotest.(check bool) ("reason mentions breach: " ^ why) true
+        (let rec has i =
+           i + 8 <= String.length why && (String.sub why i 8 = "breached" || has (i + 1))
+         in
+         has 0)
+
+let test_tallies_are_telemetry_counters () =
+  (* The session keeps NO private verdict counters: its accessors read the
+     telemetry instance, with or without a sink. *)
+  let s, _ =
+    faulty_session ~plan:(Faulty.Every { period = 2; fault = Faulty.Timeout })
+      ~rng:(Rng.create ~seed:21 ()) ()
+  in
+  ignore (run_stream s (queries 9));
+  let tel = Session.telemetry s in
+  Alcotest.(check int) "queries" (Session.queries s) (Telemetry.counter tel "queries");
+  Alcotest.(check int) "degraded" (Session.degraded_answers s)
+    (Telemetry.counter tel "degraded_answers");
+  Alcotest.(check int) "refused" (Session.refusals s) (Telemetry.counter tel "refusals");
+  Alcotest.(check int) "sum" (Session.queries s)
+    (Session.answered s + Session.degraded_answers s + Session.refusals s)
+
+let test_resume_restores_trace_state () =
+  (* A resumed trace continues the killed one: counters restored, round
+     numbering continued, and a session.restart mark separates the lives. *)
+  let kill_at = 5 in
+  let qs = queries 8 in
+  let s1, _ = faulty_session ~plan:Faulty.Never ~rng:(Rng.create ~seed:42 ()) () in
+  ignore (run_stream s1 (List.filteri (fun i _ -> i < kill_at) qs));
+  let ckpt = Session.checkpoint s1 in
+  let tel = Telemetry.create ~sink:(Telemetry.Sink.ring ()) () in
+  let s2 =
+    match
+      Session.resume ~telemetry:tel ~config:(config ()) ~dataset
+        ~rng:(Rng.create ~seed:999 ()) ckpt
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check int) "queries restored" kill_at (Session.queries s2);
+  Alcotest.(check int) "answered restored" (Session.answered s1) (Session.answered s2);
+  Alcotest.(check int) "round continued" kill_at (Telemetry.round tel);
+  let restarts =
+    List.filter (fun e -> e.Telemetry.name = "session.restart") (Telemetry.events tel)
+  in
+  Alcotest.(check int) "one restart mark" 1 (List.length restarts);
+  (match List.assoc_opt "queries" (List.hd restarts).Telemetry.fields with
+  | Some (Telemetry.Int q) -> Alcotest.(check int) "restart mark carries queries" kill_at q
+  | _ -> Alcotest.fail "restart mark must carry the replayed query count");
+  (* the next query gets round kill_at + 1 — numbering never restarts at 1 *)
+  ignore (Session.answer s2 (List.nth qs kill_at));
+  Alcotest.(check int) "next round" (kill_at + 1) (Telemetry.round tel)
+
 let () =
   Alcotest.run "pmw_session"
     [
@@ -294,4 +367,13 @@ let () =
         ] );
       ( "faulty oracle",
         [ Alcotest.test_case "plan replay" `Quick test_fault_plan_replay ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "exit status clean" `Quick test_exit_status_clean;
+          Alcotest.test_case "exit status breached" `Quick test_exit_status_breached;
+          Alcotest.test_case "tallies are telemetry counters" `Quick
+            test_tallies_are_telemetry_counters;
+          Alcotest.test_case "resume restores trace state" `Quick
+            test_resume_restores_trace_state;
+        ] );
     ]
