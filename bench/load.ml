@@ -1,0 +1,416 @@
+(* Closed-loop load generator for the query server (docs/serving.md).
+
+   Each analyst is a thread in a closed loop: submit one request, wait for
+   the answer, submit the next — so concurrency equals the analyst count and
+   the broker's batch size is bounded by it. Latency is measured around each
+   submit; queue wait and batch size come back in the responses themselves,
+   so the numbers below need no telemetry instance.
+
+   Modes:
+     load.exe --compare --json
+         In-process A/B on the 2^16-universe regression config: the same
+         workload at --max-batch and again at batch size 1 (the sequential
+         baseline), reporting the batching speedup and merging a "server"
+         section into BENCH_pmw.json (pmw-kernel-bench/2 schema).
+     load.exe --socket /tmp/pmw.sock --duration-s 5
+         Drive an external `pmw_cli serve` over its Unix socket for a fixed
+         duration (the CI server-smoke job).
+     load.exe
+         One in-process run, printed only.
+
+   The default budget is deliberately generous (--eps 20): the bench
+   measures serving capacity, not exhaustion — backpressure behaviour has
+   its own tests in test/test_server.ml. *)
+
+module Broker = Pmw_server.Broker
+module Net = Pmw_server.Net
+module Protocol = Pmw_server.Protocol
+module Session = Pmw_session.Session
+module Common = Pmw_experiments.Common
+module Rng = Pmw_rng.Rng
+
+type sample = {
+  s_latency : float;
+  s_status : string;
+  s_wait : float option;
+  s_batch : int option;
+}
+
+type run_result = {
+  r_label : string;
+  r_max_batch : int;
+  r_analysts : int;
+  r_completed : int;
+  r_wall_s : float;
+  r_latencies : float array;  (* sorted ascending, seconds *)
+  r_statuses : (string * int) list;
+  r_wait_mean_s : float;
+  r_batch_mean : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(min (n - 1) (int_of_float (Float.of_int (n - 1) *. p +. 0.5)))
+
+let summarize ~label ~max_batch ~analysts ~wall_s samples =
+  let all = List.concat (Array.to_list samples) in
+  let lat = Array.of_list (List.map (fun s -> s.s_latency) all) in
+  Array.sort compare lat;
+  let statuses =
+    List.sort_uniq compare (List.map (fun s -> s.s_status) all)
+    |> List.map (fun st -> (st, List.length (List.filter (fun s -> s.s_status = st) all)))
+  in
+  let mean f =
+    let vals = List.filter_map f all in
+    if vals = [] then 0. else List.fold_left ( +. ) 0. vals /. float_of_int (List.length vals)
+  in
+  {
+    r_label = label;
+    r_max_batch = max_batch;
+    r_analysts = analysts;
+    r_completed = List.length all;
+    r_wall_s = wall_s;
+    r_latencies = lat;
+    r_statuses = statuses;
+    r_wait_mean_s = mean (fun s -> s.s_wait);
+    r_batch_mean = mean (fun s -> Option.map float_of_int s.s_batch);
+  }
+
+let throughput r = if r.r_wall_s > 0. then float_of_int r.r_completed /. r.r_wall_s else 0.
+
+let print_result r =
+  let ms v = v *. 1e3 in
+  Printf.printf
+    "%-10s batch<=%-3d %d analysts: %d requests in %.2fs = %.1f req/s\n\
+    \           latency ms p50 %.2f  p90 %.2f  p99 %.2f  max %.2f; queue wait mean %.2f ms; \
+     batch mean %.2f\n"
+    r.r_label r.r_max_batch r.r_analysts r.r_completed r.r_wall_s (throughput r)
+    (ms (percentile r.r_latencies 0.50))
+    (ms (percentile r.r_latencies 0.90))
+    (ms (percentile r.r_latencies 0.99))
+    (ms (percentile r.r_latencies 1.0))
+    (ms r.r_wait_mean_s) r.r_batch_mean;
+  List.iter (fun (st, n) -> Printf.printf "           %6d %s\n" n st) r.r_statuses;
+  Printf.printf "%!"
+
+let status_of_response (rsp : Protocol.response) = Protocol.status_tag rsp.Protocol.rsp_status
+
+(* The closed loop an analyst runs, generic over the transport. [call] is
+   Broker.submit (in-process) or Net.Client.call (socket). Stops after
+   [requests] calls or at [deadline], whichever comes first. *)
+let analyst_loop ~call ~queries ~requests ~deadline ~analyst =
+  let out = ref [] in
+  let r = ref 0 in
+  let continue () =
+    (match requests with Some n -> !r < n | None -> true)
+    && match deadline with Some d -> Unix.gettimeofday () < d | None -> true
+  in
+  while continue () do
+    let name = queries.(!r mod Array.length queries) in
+    let req = { Protocol.req_id = !r; req_analyst = analyst; req_query = name } in
+    let t0 = Unix.gettimeofday () in
+    (match call req with
+    | Some (rsp : Protocol.response) ->
+        let t1 = Unix.gettimeofday () in
+        out :=
+          {
+            s_latency = t1 -. t0;
+            s_status = status_of_response rsp;
+            s_wait = rsp.Protocol.rsp_queue_wait_s;
+            s_batch = rsp.Protocol.rsp_batch;
+          }
+          :: !out
+    | None -> ());
+    incr r
+  done;
+  !out
+
+let drive ~label ~max_batch ~analysts ~queries ~requests ~duration_s ~make_call ~finish =
+  let samples = Array.make analysts [] in
+  let deadline = Option.map (fun d -> Unix.gettimeofday () +. d) duration_s in
+  let t_start = Unix.gettimeofday () in
+  let t_done = ref t_start in
+  let threads =
+    List.init analysts (fun i ->
+        Thread.create
+          (fun () ->
+            let analyst = Printf.sprintf "an%d" i in
+            let call = make_call i in
+            samples.(i) <- analyst_loop ~call ~queries ~requests ~deadline ~analyst)
+          ())
+  in
+  (* The coordinator joins the analysts and then releases whatever the
+     transport needs released (the broker's drain, the clients' sockets);
+     the caller's current thread may be busy being the serializer. *)
+  let coordinator =
+    Thread.create
+      (fun () ->
+        List.iter Thread.join threads;
+        t_done := Unix.gettimeofday ();
+        finish ())
+      ()
+  in
+  (coordinator, fun () -> summarize ~label ~max_batch ~analysts ~wall_s:(!t_done -. t_start) samples)
+
+(* --- in-process serving --- *)
+
+(* levels for a d=2 regression grid with 5 label levels: levels^2 * 5 ~ 2^bits *)
+let levels_for_bits bits = max 2 (int_of_float (sqrt (ldexp 1. bits /. 5.)))
+
+let run_inproc ~label ~bits ~n ~eps ~t_max ~analysts ~requests ~max_batch () =
+  let w = Common.Workload.regression ~d:2 ~levels:(levels_for_bits bits) () in
+  let universe = w.Common.Workload.universe in
+  let dataset = w.Common.Workload.sample ~n (Rng.create ~seed:2 ()) in
+  let k = (analysts * requests) + 16 in
+  let config =
+    Pmw_core.Config.practical ~universe
+      ~privacy:(Pmw_dp.Params.create ~eps ~delta:1e-6)
+      ~alpha:0.1 ~beta:0.05 ~scale:w.Common.Workload.scale ~k ~t_max ~solver_iters:200 ()
+  in
+  let session = Session.create ~config ~dataset ~rng:(Rng.create ~seed:3 ()) () in
+  let registry = Hashtbl.create 16 in
+  List.iter (fun q -> Hashtbl.replace registry q.Pmw_core.Cm_query.name q) w.Common.Workload.queries;
+  let broker =
+    Broker.create
+      ~config:{ Broker.max_batch; quota = 0; retry_after_s = 0.05 }
+      ~session ~resolve:(Hashtbl.find_opt registry) ()
+  in
+  let queries =
+    Array.of_list (List.map (fun q -> q.Pmw_core.Cm_query.name) w.Common.Workload.queries)
+  in
+  let coordinator, result =
+    drive ~label ~max_batch ~analysts ~queries ~requests:(Some requests) ~duration_s:None
+      ~make_call:(fun _ -> fun req -> Some (Broker.submit broker req))
+      ~finish:(fun () -> Broker.shutdown broker)
+  in
+  Broker.run broker;
+  Thread.join coordinator;
+  (result (), Pmw_data.Universe.size universe)
+
+(* --- socket client mode --- *)
+
+(* Query names the stock `pmw_cli serve` regression workload (d=2)
+   registers; `serve` prints its registered names at startup, and --queries
+   overrides this list for other workloads. *)
+let default_panel =
+  [|
+    "0.25*squared";
+    "huber(0.5)";
+    "absolute";
+    "quantile(0.25)";
+    "quantile(0.75)";
+    "0.25*squared|mask=01";
+    "0.25*squared|mask=10";
+  |]
+
+let run_socket ~path ~queries ~analysts ~requests ~duration_s () =
+  let clients = Array.init analysts (fun _ -> Net.Client.connect path) in
+  let coordinator, result =
+    drive ~label:"socket" ~max_batch:0 ~analysts ~queries ~requests ~duration_s
+      ~make_call:(fun i ->
+        fun req ->
+          match Net.Client.call clients.(i) req with
+          | Ok rsp -> Some rsp
+          | Error why ->
+              Printf.eprintf "analyst %s: %s\n%!" req.Protocol.req_analyst why;
+              None)
+      ~finish:(fun () -> Array.iter Net.Client.close clients)
+  in
+  Thread.join coordinator;
+  result ()
+
+(* --- BENCH_pmw.json merge --- *)
+
+(* Pretty printer for the merged document: objects multi-line down to the
+   section level, arrays of objects one element per line, leaves compact —
+   close enough to bench/main.ml's hand formatting to diff sanely. *)
+let rec pretty ~depth buf j =
+  let indent n = String.make (2 * n) ' ' in
+  let compact j = Buffer.add_string buf (Protocol.json_to_string j) in
+  match j with
+  | Protocol.Obj fields when depth < 2 && fields <> [] ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (indent (depth + 1));
+          Buffer.add_string buf (Protocol.json_to_string (Protocol.Str k));
+          Buffer.add_string buf ": ";
+          pretty ~depth:(depth + 1) buf v)
+        fields;
+      Buffer.add_string buf "\n";
+      Buffer.add_string buf (indent depth);
+      Buffer.add_string buf "}"
+  | Protocol.Arr items
+    when items <> [] && List.for_all (function Protocol.Obj _ -> true | _ -> false) items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (indent (depth + 1));
+          compact item)
+        items;
+      Buffer.add_string buf "\n";
+      Buffer.add_string buf (indent depth);
+      Buffer.add_string buf "]"
+  | j -> compact j
+
+let iso8601_utc () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let run_json r =
+  let ms v = v *. 1e3 in
+  Protocol.Obj
+    [
+      ("label", Protocol.Str r.r_label);
+      ("max_batch", Protocol.Num (float_of_int r.r_max_batch));
+      ("analysts", Protocol.Num (float_of_int r.r_analysts));
+      ("requests", Protocol.Num (float_of_int r.r_completed));
+      ("wall_s", Protocol.Num r.r_wall_s);
+      ("throughput_rps", Protocol.Num (throughput r));
+      ("latency_p50_ms", Protocol.Num (ms (percentile r.r_latencies 0.50)));
+      ("latency_p90_ms", Protocol.Num (ms (percentile r.r_latencies 0.90)));
+      ("latency_p99_ms", Protocol.Num (ms (percentile r.r_latencies 0.99)));
+      ("latency_max_ms", Protocol.Num (ms (percentile r.r_latencies 1.0)));
+      ("queue_wait_mean_ms", Protocol.Num (ms r.r_wait_mean_s));
+      ("batch_size_mean", Protocol.Num r.r_batch_mean);
+    ]
+
+let merge_bench_json ~path ~bits ~universe_size ~results ~speedup =
+  let server =
+    Protocol.Obj
+      [
+        ("universe_bits", Protocol.Num (float_of_int bits));
+        ("universe_size", Protocol.Num (float_of_int universe_size));
+        ("generator", Protocol.Str "bench/load.exe -- --compare --json");
+        ("timestamp", Protocol.Str (iso8601_utc ()));
+        ("runs", Protocol.Arr (List.map run_json results));
+        ("batching_speedup", Protocol.Num speedup);
+      ]
+  in
+  let existing =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let raw = really_input_string ic len in
+      close_in ic;
+      match Protocol.json_of_string raw with Ok (Protocol.Obj fields) -> fields | _ -> []
+    end
+    else []
+  in
+  let fields =
+    if existing = [] then
+      [
+        ("schema", Protocol.Str "pmw-kernel-bench/2");
+        ("command", Protocol.Str "bench/load.exe -- --compare --json");
+        ( "meta",
+          Protocol.Obj
+            [
+              ("timestamp", Protocol.Str (iso8601_utc ()));
+              ("ocaml", Protocol.Str Sys.ocaml_version);
+            ] );
+      ]
+    else existing
+  in
+  let fields = List.remove_assoc "server" fields @ [ ("server", server) ] in
+  let buf = Buffer.create 4096 in
+  pretty ~depth:0 buf (Protocol.Obj fields);
+  Buffer.add_char buf '\n';
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote %s (server section)\n%!" path
+
+(* --- entry point --- *)
+
+let () =
+  let socket = ref None in
+  let analysts = ref 8 in
+  let requests = ref 16 in
+  let duration = ref None in
+  let max_batch = ref 16 in
+  let bits = ref 16 in
+  let n = ref 40_000 in
+  let eps = ref 20. in
+  let t_max = ref 12 in
+  let compare_flag = ref false in
+  let json = ref false in
+  let panel = ref default_panel in
+  let rec parse = function
+    | [] -> ()
+    | "--socket" :: v :: rest ->
+        socket := Some v;
+        parse rest
+    | "--analysts" :: v :: rest ->
+        analysts := int_of_string v;
+        parse rest
+    | "--requests" :: v :: rest ->
+        requests := int_of_string v;
+        parse rest
+    | "--duration-s" :: v :: rest ->
+        duration := Some (float_of_string v);
+        parse rest
+    | "--max-batch" :: v :: rest ->
+        max_batch := int_of_string v;
+        parse rest
+    | "--universe-bits" :: v :: rest ->
+        bits := int_of_string v;
+        parse rest
+    | "--n" :: v :: rest ->
+        n := int_of_string v;
+        parse rest
+    | "--eps" :: v :: rest ->
+        eps := float_of_string v;
+        parse rest
+    | "--t-max" :: v :: rest ->
+        t_max := int_of_string v;
+        parse rest
+    | "--queries" :: v :: rest ->
+        panel := Array.of_list (String.split_on_char ',' v);
+        parse rest
+    | "--compare" :: rest ->
+        compare_flag := true;
+        parse rest
+    | "--json" :: rest ->
+        json := true;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "unknown argument %s\n\
+           usage: load.exe [--socket PATH [--duration-s S] [--queries A,B,...]]\n\
+          \       [--analysts N] [--requests N] [--max-batch N] [--universe-bits B]\n\
+          \       [--n N] [--eps E] [--t-max T] [--compare] [--json]\n"
+          arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !socket with
+  | Some path ->
+      let requests = if !duration = None then Some !requests else None in
+      let r = run_socket ~path ~queries:!panel ~analysts:!analysts ~requests ~duration_s:!duration () in
+      print_result r
+  | None ->
+      let run ~label ~max_batch =
+        run_inproc ~label ~bits:!bits ~n:!n ~eps:!eps ~t_max:!t_max ~analysts:!analysts
+          ~requests:!requests ~max_batch ()
+      in
+      if not !compare_flag then begin
+        let r, _ = run ~label:"batched" ~max_batch:!max_batch in
+        print_result r
+      end
+      else begin
+        let batched, universe_size = run ~label:"batched" ~max_batch:!max_batch in
+        print_result batched;
+        let sequential, _ = run ~label:"batch-1" ~max_batch:1 in
+        print_result sequential;
+        let speedup =
+          if throughput sequential > 0. then throughput batched /. throughput sequential else 0.
+        in
+        Printf.printf "batching speedup: %.2fx\n%!" speedup;
+        if !json then
+          merge_bench_json ~path:"BENCH_pmw.json" ~bits:!bits ~universe_size
+            ~results:[ batched; sequential ] ~speedup
+      end

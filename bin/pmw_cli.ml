@@ -4,6 +4,11 @@
      list            list the paper-reproduction experiments
      exp NAME        run one experiment (or --all)
      run             run online PMW on a synthetic workload with chosen knobs
+     session         run the fault-tolerant session engine (checkpoints,
+                     fault injection, resume)
+     serve           serve a session to concurrent analysts over a Unix
+                     socket (batched evaluation, graceful SIGTERM drain)
+     stats           validate and aggregate a JSONL telemetry trace
      theory          print the Table 1 sample-complexity bounds for given
                      parameters
 
@@ -12,6 +17,8 @@
      pmw_cli run --workload classification --n 200000 --k 24 --alpha 0.05
      pmw_cli session --checkpoint-dir /tmp/pmw --fault timeout --kill-after 8
      pmw_cli session --checkpoint-dir /tmp/pmw --fault timeout --resume
+     pmw_cli serve -n 40000 --eps 20 --socket /tmp/pmw.sock --trace serve.jsonl
+     pmw_cli stats serve.jsonl --check
      pmw_cli theory --alpha 0.05 --k 1000 --d 4 --log-universe 10 *)
 
 open Cmdliner
@@ -436,6 +443,159 @@ let session_cmd =
        $ seed_arg $ dir_arg $ resume_flag $ fault_arg $ fault_every_arg $ fault_seed_arg $ kill_arg
        $ trace_arg))
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let doc =
+    "Serve a synthetic workload to concurrent analysts over a Unix domain socket \
+     (line-delimited JSON; see docs/serving.md). Drains gracefully on SIGTERM/SIGINT, \
+     writing a final checkpoint."
+  in
+  let module Session = Pmw_session.Session in
+  let module Faulty = Pmw_erm.Faulty_oracle in
+  let module Broker = Pmw_server.Broker in
+  let module Net = Pmw_server.Net in
+  let workload_arg =
+    let kind = Arg.enum [ ("regression", `Regression); ("classification", `Classification) ] in
+    Arg.(value & opt kind `Regression & info [ "workload" ] ~docv:"KIND" ~doc:"regression|classification")
+  in
+  let n_arg = Arg.(value & opt int 150_000 & info [ "n" ] ~doc:"Dataset size") in
+  let k_arg = Arg.(value & opt int 200 & info [ "k" ] ~doc:"Sparse-vector stream capacity") in
+  let alpha_arg = Arg.(value & opt float 0.06 & info [ "alpha" ] ~doc:"Target excess risk") in
+  let eps_arg = Arg.(value & opt float 1.0 & info [ "eps" ] ~doc:"Privacy budget epsilon") in
+  let delta_arg = Arg.(value & opt float 1e-6 & info [ "delta" ] ~doc:"Privacy budget delta") in
+  let t_arg = Arg.(value & opt int 20 & info [ "t-max" ] ~doc:"MW update budget T") in
+  let d_arg = Arg.(value & opt int 2 & info [ "d" ] ~doc:"Feature dimension") in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed") in
+  let socket_arg =
+    Arg.(value & opt string "/tmp/pmw.sock" & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix domain socket to listen on")
+  in
+  let max_batch_arg =
+    Arg.(value & opt int 16 & info [ "max-batch" ] ~doc:"Most requests answered per serializer pass")
+  in
+  let quota_arg =
+    Arg.(value & opt int 0 & info [ "quota" ] ~doc:"Per-analyst query cap (0 = unlimited)")
+  in
+  let retry_arg =
+    Arg.(value & opt float 1.0 & info [ "retry-after" ] ~docv:"SECONDS"
+           ~doc:"Backpressure hint attached to budget rejections")
+  in
+  let dir_arg =
+    Arg.(value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR"
+           ~doc:"Write DIR/session.ckpt on graceful drain")
+  in
+  let fault_arg =
+    Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC"
+           ~doc:"Inject oracle faults: nan|inf|divergent|timeout|misreport:FACTOR")
+  in
+  let fault_every_arg =
+    Arg.(value & opt int 3 & info [ "fault-every" ] ~doc:"Inject on every Nth oracle call")
+  in
+  let fault_seed_arg = Arg.(value & opt int 5 & info [ "fault-seed" ] ~doc:"Fault-injection seed") in
+  let run workload n k alpha eps delta t_max d seed socket max_batch quota retry_after dir
+      fault_spec fault_every fault_seed trace =
+    let ( let* ) r f = match r with Error m -> `Error (false, m) | Ok v -> f v in
+    let* fault =
+      match fault_spec with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (Faulty.fault_of_string s)
+    in
+    if n <= 0 || k <= 0 then `Error (false, "n and k must be positive")
+    else if max_batch < 1 then `Error (false, "max-batch must be >= 1")
+    else begin
+      (* Block the shutdown signals before any thread exists so every thread
+         inherits the mask and only the watcher consumes them. *)
+      ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigterm; Sys.sigint ] : int list);
+      let w =
+        match workload with
+        | `Regression -> Common.Workload.regression ~d ()
+        | `Classification -> Common.Workload.classification ~d ()
+      in
+      let dataset = w.Common.Workload.sample ~n (Pmw_rng.Rng.create ~seed ()) in
+      let config =
+        Pmw_core.Config.practical ~universe:w.Common.Workload.universe
+          ~privacy:(Pmw_dp.Params.create ~eps ~delta)
+          ~alpha ~beta:0.05 ~scale:w.Common.Workload.scale ~k ~t_max ~solver_iters:200 ()
+      in
+      let telemetry = make_telemetry trace in
+      let faulty =
+        Option.map
+          (fun f ->
+            Faulty.create ~seed:fault_seed ~telemetry
+              ~plan:(Faulty.Every { period = fault_every; fault = f })
+              (Pmw_erm.Oracles.noisy_gd ()))
+          fault
+      in
+      let oracles =
+        match faulty with
+        | Some fo -> [ Faulty.oracle fo; Pmw_erm.Oracles.output_perturbation ]
+        | None -> [ Pmw_erm.Oracles.noisy_gd (); Pmw_erm.Oracles.output_perturbation ]
+      in
+      let spend_claim =
+        match faulty with
+        | Some fo -> fun () -> Faulty.claimed_spend fo
+        | None -> fun () -> None
+      in
+      let rng = Pmw_rng.Rng.create ~seed:(seed + 7919) () in
+      let session = Session.create ~telemetry ~config ~dataset ~oracles ~spend_claim ~rng () in
+      let registry = Hashtbl.create 16 in
+      List.iter
+        (fun q -> Hashtbl.replace registry q.Pmw_core.Cm_query.name q)
+        w.Common.Workload.queries;
+      let broker =
+        Broker.create
+          ~config:{ Broker.max_batch; quota; retry_after_s = retry_after }
+          ~session
+          ~resolve:(Hashtbl.find_opt registry)
+          ()
+      in
+      Option.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755) dir;
+      let checkpoint = Option.map (fun dir -> Filename.concat dir "session.ckpt") dir in
+      let listener = Net.listen ~broker ~path:socket in
+      let (_ : Thread.t) =
+        Thread.create
+          (fun () ->
+            let (_ : int) = Thread.wait_signal [ Sys.sigterm; Sys.sigint ] in
+            Printf.eprintf "draining...\n%!";
+            Broker.shutdown broker)
+          ()
+      in
+      Printf.printf "serving %s (|X|=%d, n=%d, k=%d) on %s; queries: %s\n%!"
+        (Pmw_data.Universe.name w.Common.Workload.universe)
+        (Pmw_data.Universe.size w.Common.Workload.universe)
+        n k socket
+        (String.concat " " (List.map (fun q -> q.Pmw_core.Cm_query.name) w.Common.Workload.queries));
+      (* The serializer loop runs here, on the thread that owns the pool;
+         it returns once the SIGTERM watcher starts the drain and the queue
+         empties. *)
+      Broker.run ?checkpoint broker;
+      Net.stop listener;
+      Printf.printf "processed %d requests from %d analysts\n"
+        (Broker.processed broker)
+        (List.length (Broker.analysts broker));
+      List.iter
+        (fun a ->
+          Printf.printf "  %-16s submitted %d: %d answered, %d degraded, %d refused, %d rejected\n"
+            a.Broker.an_id a.Broker.an_submitted a.Broker.an_answered a.Broker.an_degraded
+            a.Broker.an_refused a.Broker.an_rejected)
+        (Broker.analysts broker);
+      let b = Session.budget session in
+      let spent = Pmw_core.Budget.spent b and total = Pmw_core.Budget.total b in
+      Printf.printf "privacy spent (eps %.4f of %.4f, delta %.2e of %.2e)\n" spent.Pmw_dp.Params.eps
+        total.Pmw_dp.Params.eps spent.Pmw_dp.Params.delta total.Pmw_dp.Params.delta;
+      Session.finish session;
+      close_telemetry telemetry;
+      `Ok ()
+    end
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run $ workload_arg $ n_arg $ k_arg $ alpha_arg $ eps_arg $ delta_arg $ t_arg $ d_arg
+       $ seed_arg $ socket_arg $ max_batch_arg $ quota_arg $ retry_arg $ dir_arg $ fault_arg
+       $ fault_every_arg $ fault_seed_arg $ trace_arg))
+
 (* --- stats --- *)
 
 let stats_cmd =
@@ -505,4 +665,14 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; exp_cmd; run_cmd; session_cmd; stats_cmd; theory_cmd; ingest_cmd; release_cmd ]))
+          [
+            list_cmd;
+            exp_cmd;
+            run_cmd;
+            session_cmd;
+            serve_cmd;
+            stats_cmd;
+            theory_cmd;
+            ingest_cmd;
+            release_cmd;
+          ]))

@@ -18,7 +18,15 @@
     total.delta)]-DP; a future accountant could grant more slices from the
     same pot, never fewer. Failed or retried mechanism invocations must
     keep their slices debited (a failed private computation still consumed
-    its budget) — the session layer's retry chain is built on this rule. *)
+    its budget) — the session layer's retry chain is built on this rule.
+
+    {b Thread-safety:} every entry point is atomic behind an internal lock,
+    so a pot shared between the mechanism's serializer thread and observers
+    (the query server's admission controller, a stats endpoint) can never
+    double-spend: the fit check and the debit of a {!request} happen under
+    one lock acquisition, and {!request_all} drains what {e actually}
+    remains at drain time. Telemetry mirroring still must come from a single
+    thread — only the ledger arithmetic is locked. *)
 
 type t
 
@@ -41,6 +49,14 @@ val request : ?mechanism:string -> t -> Pmw_dp.Params.t -> (Pmw_dp.Params.t, str
     [ε] and [δ], so a remainder produced by float summation is always
     re-grantable. [mechanism] (default ["slice"]) tags the debit in the
     telemetry timeline. *)
+
+val fits : t -> Pmw_dp.Params.t -> (unit, string) result
+(** Read-only admission check: would [request t slice] succeed right now?
+    Judged with exactly {!request}'s slack rules but debits nothing and
+    emits nothing — the query server's admission controller polls this
+    before enqueueing work. A positive answer is only a hint under
+    concurrency; the authoritative check-and-debit is the atomic {!request}
+    on the serializer thread. *)
 
 val request_fraction : ?mechanism:string -> t -> float -> (Pmw_dp.Params.t, string) result
 (** Debit the given fraction of the ORIGINAL total (e.g. [0.5] twice

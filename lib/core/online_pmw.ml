@@ -50,6 +50,9 @@ type t = {
   accountant : Pmw_dp.Accountant.t;
   telemetry : Telemetry.t;
   mutable answered : int;
+  mutable stamp : int;
+      (* bumped whenever the hypothesis may have changed (MW update,
+         restore); versions every batch-memo entry *)
 }
 
 let create ?pool ?telemetry ~config ~dataset ~oracle ?prior ~rng () =
@@ -86,6 +89,7 @@ let create ?pool ?telemetry ~config ~dataset ~oracle ?prior ~rng () =
     accountant = Pmw_dp.Accountant.create ~telemetry ~label:"oracle" ();
     telemetry;
     answered = 0;
+    stamp = 0;
   }
 
 let hypothesis t = Pmw_mw.Mw.distribution t.mw
@@ -105,17 +109,94 @@ let all_finite v =
   Array.iter (fun x -> if not (Float.is_finite x) then ok := false) v;
   !ok
 
-let answer_inner t query =
+(* --- batch-scoped solve memoization ---
+
+   Every value cached here is a deterministic pure function of its key: the
+   hypothesis distribution and the public minimizer depend only on (query,
+   MW state), the reference solve and the error-query value only on (query,
+   dataset, MW state) — and the pool guarantees each is bit-identical on
+   recomputation. Reusing a memo entry therefore NEVER changes an answer,
+   only skips redundant O(|X|) sweeps; a batch of queries runs bit-for-bit
+   like the same queries answered one by one.
+
+   Entries are versioned by [t.stamp] (bumped on every MW update and on
+   restore) so a ⊤ mid-batch invalidates everything computed against the
+   old hypothesis. Keys are query names, but each entry carries the query
+   value itself and is only reused on PHYSICAL equality — two distinct
+   queries that happen to share a name fall back to recomputation instead
+   of silently aliasing. *)
+
+type memo = {
+  mutable m_dhat : (int * Pmw_data.Histogram.t) option;  (** stamped D̂ᵗ *)
+  m_theta : (string, int * Cm_query.t * Vec.t) Hashtbl.t;  (** stamped θ̂ *)
+  m_ref : (string, Cm_query.t * float) Hashtbl.t;  (** min_θ ℓ(θ; D): stamp-free *)
+  m_q : (string, int * Cm_query.t * float) Hashtbl.t;  (** stamped err_ℓ(D, D̂ᵗ) *)
+}
+
+type batch = { b_mech : t; b_memo : memo }
+
+let batch t =
+  {
+    b_mech = t;
+    b_memo =
+      { m_dhat = None; m_theta = Hashtbl.create 8; m_ref = Hashtbl.create 8; m_q = Hashtbl.create 8 };
+  }
+
+let memo_dhat t memo =
+  match memo.m_dhat with
+  | Some (stamp, dhat) when stamp = t.stamp -> dhat
+  | _ ->
+      let dhat = hypothesis t in
+      memo.m_dhat <- Some (t.stamp, dhat);
+      dhat
+
+let memo_theta_hyp t memo query dhat =
+  match Hashtbl.find_opt memo.m_theta query.Cm_query.name with
+  | Some (stamp, q, theta) when stamp = t.stamp && q == query ->
+      Telemetry.incr t.telemetry "solve_memo_hits";
+      theta
+  | _ ->
+      let theta =
+        Telemetry.span t.telemetry "solve.hypothesis" (fun () ->
+            (Cm_query.minimize_on_histogram ~pool:t.pool ~iters:t.config.Config.solver_iters query
+               dhat)
+              .Solve.theta)
+      in
+      Hashtbl.replace memo.m_theta query.Cm_query.name (t.stamp, query, theta);
+      theta
+
+let memo_reference_value t memo query =
+  match Hashtbl.find_opt memo.m_ref query.Cm_query.name with
+  | Some (q, v) when q == query ->
+      Telemetry.incr t.telemetry "solve_memo_hits";
+      v
+  | _ ->
+      let report =
+        Telemetry.span t.telemetry "solve.reference" (fun () ->
+            Cm_query.minimize_on_dataset ~pool:t.pool ~iters:t.config.Config.solver_iters query
+              t.dataset)
+      in
+      Hashtbl.replace memo.m_ref query.Cm_query.name (query, report.Solve.value);
+      report.Solve.value
+
+let memo_q_value t memo query theta_hyp =
+  match Hashtbl.find_opt memo.m_q query.Cm_query.name with
+  | Some (stamp, q, v) when stamp = t.stamp && q == query -> v
+  | _ ->
+      let reference = memo_reference_value t memo query in
+      let v =
+        Float.max 0. (Cm_query.loss_on_dataset ~pool:t.pool query t.dataset theta_hyp -. reference)
+      in
+      Hashtbl.replace memo.m_q query.Cm_query.name (t.stamp, query, v);
+      v
+
+let answer_inner t memo query =
   if Cm_query.scale query > t.config.Config.scale +. 1e-9 then
     Refused (Scale_exceeded { query_scale = Cm_query.scale query; limit = t.config.Config.scale })
   else begin
     let iters = t.config.Config.solver_iters in
-    let pool = t.pool in
-    let dhat = hypothesis t in
-    let theta_hyp =
-      Telemetry.span t.telemetry "solve.hypothesis" (fun () ->
-          (Cm_query.minimize_on_histogram ~pool ~iters query dhat).Solve.theta)
-    in
+    let dhat = memo_dhat t memo in
+    let theta_hyp = memo_theta_hyp t memo query dhat in
     if not (all_finite theta_hyp) then Refused (Quarantined "non-finite hypothesis minimizer")
     else if halted t then begin
       (* Graceful degradation: the SV budget is gone, but the frozen public
@@ -128,16 +209,10 @@ let answer_inner t query =
       Degraded ({ theta = theta_hyp; source = From_hypothesis; update_index = updates t }, reason)
     end
     else begin
-      (* q_j(D) = err_l(D, Dhat^t); the true-data solve below is an internal
-         computation whose output only reaches the analyst through SV. *)
-      let reference =
-        Telemetry.span t.telemetry "solve.reference" (fun () ->
-            Cm_query.minimize_on_dataset ~pool ~iters query t.dataset)
-      in
-      let q_value =
-        Float.max 0.
-          (Cm_query.loss_on_dataset ~pool query t.dataset theta_hyp -. reference.Solve.value)
-      in
+      (* q_j(D) = err_l(D, Dhat^t); the true-data solve behind it is an
+         internal computation whose output only reaches the analyst through
+         SV. *)
+      let q_value = memo_q_value t memo query theta_hyp in
       if not (Float.is_finite q_value) then Refused (Quarantined "non-finite error-query value")
       else begin
         t.answered <- t.answered + 1;
@@ -206,6 +281,7 @@ let answer_inner t query =
                   with
                   | Error why -> Refused (Quarantined why)
                   | Ok () ->
+                      t.stamp <- t.stamp + 1;
                       Log.debug (fun m ->
                           m "query %d (%s): above threshold, oracle answered, MW update %d/%d"
                             t.answered query.Cm_query.name (updates t) t.config.Config.t_max);
@@ -217,11 +293,18 @@ let answer_inner t query =
     end
   end
 
-let answer t query =
+let batch_answer b query =
+  let t = b.b_mech in
   ignore (Telemetry.next_round t.telemetry : int);
   Telemetry.span t.telemetry "query"
     ~fields:[ ("query", Telemetry.Str query.Cm_query.name) ]
-    (fun () -> answer_inner t query)
+    (fun () -> answer_inner t b.b_memo query)
+
+let batch_mechanism b = b.b_mech
+
+(* A fresh single-use batch per call: no sharing, so the sequential path
+   computes exactly what it always did. *)
+let answer t query = batch_answer (batch t) query
 
 let answer_opt t query = match answer t query with Answered o -> Some o | _ -> None
 
@@ -258,4 +341,8 @@ let restore t s =
   Sv.restore t.sv s.snap_sv;
   Pmw_rng.Rng.restore t.rng s.snap_rng;
   Pmw_dp.Accountant.restore t.accountant ~events:s.snap_oracle_events ~rho:s.snap_oracle_rho;
-  t.answered <- s.snap_answered
+  t.answered <- s.snap_answered;
+  (* The update counter alone cannot version memo entries (a restore can
+     land on the same count with different weights), so invalidate
+     unconditionally. *)
+  t.stamp <- t.stamp + 1

@@ -113,6 +113,37 @@ val answer_opt : t -> Cm_query.t -> outcome option
 val answer_all : t -> Cm_query.t list -> verdict list
 (** Convenience fold of {!answer}. *)
 
+(** {1 Batched evaluation}
+
+    A batch is a short-lived evaluation context that amortizes the O(|X|)
+    work behind consecutive {!batch_answer} calls: the hypothesis extraction
+    (one softmax sweep of [D̂ᵗ]), the public minimizer [θ̂] and the
+    error-query value [err_ℓ(D, D̂ᵗ)] are each computed once per (query,
+    hypothesis version) and reused — the query server's broker evaluates a
+    whole batch of pending analyst requests against one hypothesis pass.
+
+    Reuse is {e sound by construction}: every cached value is a
+    deterministic pure function of its key (the pool makes recomputation
+    bit-identical), so a batch produces bit-for-bit the verdicts of the same
+    queries fed to {!answer} one at a time, in the same order — including
+    when a ⊤ mid-batch updates the hypothesis (entries are versioned and
+    invalidated). Each sparse-vector test still consumes its own stream
+    slot and draws its own noise; only the deterministic solves are shared.
+    Reuse requires physically-equal query values (e.g. resolved from one
+    registry); name-equal but distinct queries are recomputed, never
+    aliased. A [solve_memo_hits] counter tracks sharing. *)
+
+type batch
+
+val batch : t -> batch
+(** A fresh context. Keep it for one broker batch; drop it after (entries
+    pin the histograms/vectors they cache). *)
+
+val batch_answer : batch -> Cm_query.t -> verdict
+(** Exactly {!answer}, sharing solves with earlier calls on this batch. *)
+
+val batch_mechanism : batch -> t
+
 val as_answerer : t -> Cm_query.t -> Pmw_linalg.Vec.t option
 (** The mechanism as a bare answering function — the shape
     {!Analyst.run}'s [answer] callback expects. [None] once degraded or

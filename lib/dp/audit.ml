@@ -35,6 +35,9 @@ let run ~trials ~mechanism ~input_a ~input_b ?min_count () =
     ca;
   { eps_hat = !eps_hat; worst_outcome = !worst; outcomes_compared = !compared; trials }
 
+let estimate_epsilon ~trials ~mechanism ~input_a ~input_b ?min_count () =
+  (run ~trials ~mechanism ~input_a ~input_b ?min_count ()).eps_hat
+
 let laplace_counter_example () =
   let eps = 0.5 in
   let mechanism ~seed ~input =

@@ -31,6 +31,19 @@ val run :
     (default [trials/100]) on either side are skipped — their ratio estimate
     would be noise. @raise Invalid_argument if [trials <= 0]. *)
 
+val estimate_epsilon :
+  trials:int ->
+  mechanism:(seed:int -> input:'a -> string) ->
+  input_a:'a ->
+  input_b:'a ->
+  ?min_count:int ->
+  unit ->
+  float
+(** [(run ...).eps_hat] — the scalar empirical lower bound, for callers
+    (property-based tests, the F4 experiment driver) that compare it
+    directly against an accounted ε and do not need the diagnostics. Same
+    contract and validation as {!run}. *)
+
 val laplace_counter_example : unit -> float
 (** A self-test target: the ε̂ of a correctly calibrated ε=0.5 Laplace
     counting mechanism, binned to its sign — must come out ≤ ~0.5. Used by

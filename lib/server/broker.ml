@@ -1,0 +1,317 @@
+module Session = Pmw_session.Session
+module Online = Pmw_core.Online_pmw
+module Cm_query = Pmw_core.Cm_query
+module Telemetry = Pmw_telemetry.Telemetry
+
+let log_src = Logs.Src.create "pmw.server" ~doc:"PMW query-server broker events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = { max_batch : int; quota : int; retry_after_s : float }
+
+let default_config = { max_batch = 16; quota = 0; retry_after_s = 1. }
+
+type analyst = {
+  an_id : string;
+  an_submitted : int;
+  an_answered : int;
+  an_degraded : int;
+  an_refused : int;
+  an_rejected : int;
+  an_history : (int * string) list;
+}
+
+(* Mutable twin of [analyst]; all fields are guarded by the broker lock
+   (submit bumps submitted/rejected, the serializer bumps the verdict
+   tallies when it publishes replies). *)
+type analyst_state = {
+  mutable st_submitted : int;
+  mutable st_answered : int;
+  mutable st_degraded : int;
+  mutable st_refused : int;
+  mutable st_rejected : int;
+  mutable st_history : (int * string) list;  (* newest first *)
+}
+
+type pending = {
+  p_req : Protocol.request;
+  p_enqueued_at : float;
+  mutable p_reply : Protocol.response option;
+}
+
+type t = {
+  session : Session.t;
+  resolve : string -> Cm_query.t option;
+  cfg : config;
+  telemetry : Telemetry.t;
+  lock : Mutex.t;
+  cond : Condition.t;  (* queue became non-empty, a reply landed, or drain *)
+  queue : pending Queue.t;
+  analysts : (string, analyst_state) Hashtbl.t;
+  mutable draining : bool;
+  mutable stopped : bool;
+  mutable seq : int;
+  (* Submit-side rejection tallies. Telemetry emission is single-threaded by
+     contract, and submit runs on client threads — so rejections land in
+     atomics here and the serializer mirrors them into the telemetry
+     counters between batches. *)
+  rejected_budget : int Atomic.t;
+  rejected_quota : int Atomic.t;
+  rejected_draining : int Atomic.t;
+}
+
+let create ?(config = default_config) ~session ~resolve () =
+  if config.max_batch < 1 then invalid_arg "Broker.create: max_batch must be >= 1";
+  {
+    session;
+    resolve;
+    cfg = config;
+    telemetry = Session.telemetry session;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    queue = Queue.create ();
+    analysts = Hashtbl.create 16;
+    draining = false;
+    stopped = false;
+    seq = 0;
+    rejected_budget = Atomic.make 0;
+    rejected_quota = Atomic.make 0;
+    rejected_draining = Atomic.make 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let analyst_state t id =
+  match Hashtbl.find_opt t.analysts id with
+  | Some st -> st
+  | None ->
+      let st =
+        {
+          st_submitted = 0;
+          st_answered = 0;
+          st_degraded = 0;
+          st_refused = 0;
+          st_rejected = 0;
+          st_history = [];
+        }
+      in
+      Hashtbl.add t.analysts id st;
+      st
+
+let rejected ?retry_after_s req reason =
+  {
+    Protocol.rsp_id = req.Protocol.req_id;
+    rsp_seq = -1;
+    rsp_status = Protocol.Rejected { retry_after_s; reason };
+    rsp_theta = None;
+    rsp_source = None;
+    rsp_update_index = None;
+    rsp_batch = None;
+    rsp_queue_wait_s = None;
+  }
+
+(* Admission, quota and enqueue run under one lock acquisition; the ledger
+   fit test itself is atomic inside Budget. A request admitted here can
+   still degrade if the pot moves before its oracle call — the
+   authoritative check-and-debit stays in the session's authorize hook —
+   but backpressure keeps the queue from filling with work that could only
+   degrade. *)
+let submit t req =
+  let verdict =
+    locked t (fun () ->
+        let st = analyst_state t req.Protocol.req_analyst in
+        if t.draining || t.stopped then begin
+          Atomic.incr t.rejected_draining;
+          st.st_rejected <- st.st_rejected + 1;
+          Error (rejected req "server is draining")
+        end
+        else begin
+          if t.cfg.quota > 0 && st.st_submitted >= t.cfg.quota then begin
+            Atomic.incr t.rejected_quota;
+            st.st_rejected <- st.st_rejected + 1;
+            Error (rejected req (Printf.sprintf "analyst quota of %d queries reached" t.cfg.quota))
+          end
+          else
+            match Session.admissible t.session with
+            | Error why ->
+                Atomic.incr t.rejected_budget;
+                st.st_rejected <- st.st_rejected + 1;
+                Error
+                  (rejected ~retry_after_s:t.cfg.retry_after_s req
+                     ("admission refused: " ^ why))
+            | Ok () ->
+                st.st_submitted <- st.st_submitted + 1;
+                let p = { p_req = req; p_enqueued_at = Unix.gettimeofday (); p_reply = None } in
+                Queue.push p t.queue;
+                Condition.broadcast t.cond;
+                Ok p
+        end)
+  in
+  match verdict with
+  | Error reply -> reply
+  | Ok p ->
+      locked t (fun () ->
+          while p.p_reply = None do
+            Condition.wait t.cond t.lock
+          done;
+          Option.get p.p_reply)
+
+let source_str = function Online.From_hypothesis -> "hypothesis" | Online.From_oracle -> "oracle"
+
+let response_of_verdict ~id ~seq ~batch ~queue_wait_s verdict =
+  let base status theta source update_index =
+    {
+      Protocol.rsp_id = id;
+      rsp_seq = seq;
+      rsp_status = status;
+      rsp_theta = theta;
+      rsp_source = source;
+      rsp_update_index = update_index;
+      rsp_batch = Some batch;
+      rsp_queue_wait_s = Some queue_wait_s;
+    }
+  in
+  match verdict with
+  | Online.Answered o ->
+      base Protocol.Answered (Some o.Online.theta) (Some (source_str o.Online.source))
+        (Some o.Online.update_index)
+  | Online.Degraded (o, d) ->
+      base
+        (Protocol.Degraded (Online.degradation_to_string d))
+        (Some o.Online.theta)
+        (Some (source_str o.Online.source))
+        (Some o.Online.update_index)
+  | Online.Refused r -> base (Protocol.Refused (Online.refusal_to_string r)) None None None
+
+let mirror_rejections t =
+  Telemetry.set_counter t.telemetry "server_rejected_budget" (Atomic.get t.rejected_budget);
+  Telemetry.set_counter t.telemetry "server_rejected_quota" (Atomic.get t.rejected_quota);
+  Telemetry.set_counter t.telemetry "server_rejected_draining" (Atomic.get t.rejected_draining)
+
+(* Serializer-side: answer one drained batch through a single
+   [Session.batch] context so the deterministic solves are shared, then
+   publish all replies under the lock in one broadcast. *)
+let process_batch t items =
+  let served_at = Unix.gettimeofday () in
+  let batch_size = List.length items in
+  Telemetry.observe t.telemetry "server.batch_size" (float_of_int batch_size);
+  let b = Session.batch t.session in
+  let replies =
+    List.map
+      (fun p ->
+        let seq = t.seq in
+        t.seq <- t.seq + 1;
+        let queue_wait_s = Float.max 0. (served_at -. p.p_enqueued_at) in
+        Telemetry.observe t.telemetry "server.queue_wait_s" queue_wait_s;
+        let req = p.p_req in
+        let reply =
+          Telemetry.span t.telemetry "server.request"
+            ~fields:
+              [
+                ("analyst", Telemetry.Str req.Protocol.req_analyst);
+                ("query", Telemetry.Str req.Protocol.req_query);
+                ("seq", Telemetry.Int seq);
+                ("batch", Telemetry.Int batch_size);
+              ]
+            (fun () ->
+              match t.resolve req.Protocol.req_query with
+              | None ->
+                  {
+                    (rejected req ("unknown query " ^ req.Protocol.req_query)) with
+                    Protocol.rsp_seq = seq;
+                    rsp_status = Protocol.Failed ("unknown query " ^ req.Protocol.req_query);
+                    rsp_batch = Some batch_size;
+                    rsp_queue_wait_s = Some queue_wait_s;
+                  }
+              | Some q ->
+                  response_of_verdict ~id:req.Protocol.req_id ~seq ~batch:batch_size ~queue_wait_s
+                    (Session.batch_answer b q))
+        in
+        (p, reply))
+      items
+  in
+  locked t (fun () ->
+      List.iter
+        (fun (p, reply) ->
+          let st = analyst_state t p.p_req.Protocol.req_analyst in
+          (match reply.Protocol.rsp_status with
+          | Protocol.Answered -> st.st_answered <- st.st_answered + 1
+          | Protocol.Degraded _ -> st.st_degraded <- st.st_degraded + 1
+          | Protocol.Refused _ | Protocol.Failed _ -> st.st_refused <- st.st_refused + 1
+          | Protocol.Rejected _ -> st.st_rejected <- st.st_rejected + 1);
+          st.st_history <-
+            (reply.Protocol.rsp_seq, Protocol.status_tag reply.Protocol.rsp_status)
+            :: st.st_history;
+          p.p_reply <- Some reply)
+        replies;
+      Condition.broadcast t.cond);
+  mirror_rejections t
+
+let run ?checkpoint t =
+  Telemetry.mark t.telemetry "server.start"
+    ~fields:
+      [
+        ("max_batch", Telemetry.Int t.cfg.max_batch);
+        ("quota", Telemetry.Int t.cfg.quota);
+      ];
+  let running = ref true in
+  while !running do
+    let batch =
+      locked t (fun () ->
+          while Queue.is_empty t.queue && not t.draining do
+            Condition.wait t.cond t.lock
+          done;
+          if Queue.is_empty t.queue then begin
+            (* draining and nothing left: this is the graceful-drain exit —
+               every enqueued request has been answered. *)
+            t.stopped <- true;
+            Condition.broadcast t.cond;
+            []
+          end
+          else begin
+            let n = min t.cfg.max_batch (Queue.length t.queue) in
+            List.init n (fun _ -> Queue.pop t.queue)
+          end)
+    in
+    match batch with
+    | [] -> running := false
+    | items -> process_batch t items
+  done;
+  mirror_rejections t;
+  (match checkpoint with
+  | None -> ()
+  | Some path ->
+      Session.save t.session ~path;
+      Telemetry.mark t.telemetry "server.checkpoint" ~fields:[ ("path", Telemetry.Str path) ];
+      Log.info (fun m -> m "final checkpoint written to %s" path));
+  Telemetry.mark t.telemetry "server.drained"
+    ~fields:[ ("processed", Telemetry.Int t.seq) ];
+  Log.info (fun m -> m "drained after %d queries" t.seq)
+
+let shutdown t =
+  locked t (fun () ->
+      t.draining <- true;
+      Condition.broadcast t.cond)
+
+let drained t = locked t (fun () -> t.stopped)
+let processed t = locked t (fun () -> t.seq)
+let session t = t.session
+
+let analysts t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun id st acc ->
+          {
+            an_id = id;
+            an_submitted = st.st_submitted;
+            an_answered = st.st_answered;
+            an_degraded = st.st_degraded;
+            an_refused = st.st_refused;
+            an_rejected = st.st_rejected;
+            an_history = List.rev st.st_history;
+          }
+          :: acc)
+        t.analysts []
+      |> List.sort (fun a b -> String.compare a.an_id b.an_id))

@@ -1,0 +1,88 @@
+(** The query server's request broker: many concurrent analysts, one PMW
+    state, one serializer.
+
+    Client threads call {!submit} (directly in-process, or via the socket
+    front end in {!Net}); requests pass admission control and land in a
+    FIFO queue. A single serializer thread — {!run}, which must execute on
+    the thread that owns the session's {!Pmw_parallel.Pool} — drains up to
+    [max_batch] pending requests at a time and answers them through one
+    {!Pmw_session.Session.batch} context, so the O(|X|) hypothesis pass and
+    the per-query solves are shared across the batch. Verdicts are
+    bit-identical to sequential processing in [seq] order (the batch layer's
+    contract), so concurrency changes throughput and interleaving, never
+    answers.
+
+    {b Admission control} (inside {!submit}, atomic with the enqueue):
+    requests are rejected-with-retry-after once the session cannot fund one
+    more oracle attempt ({!Pmw_session.Session.admissible} — the PR 1
+    exhaustion semantics), rejected permanently when the per-analyst quota
+    is spent, and rejected during drain. Rejected requests never consume a
+    [seq] slot or any privacy budget.
+
+    {b Telemetry} (the session's instance): a ["server.request"] span per
+    processed request (analyst / query / seq / batch fields),
+    ["server.queue_wait_s"] and ["server.batch_size"] observations, and
+    [server_rejected_budget] / [server_rejected_quota] /
+    [server_rejected_draining] counters. Rejections are tallied in atomics
+    on the client threads and mirrored into the counters by the serializer,
+    preserving the telemetry single-writer contract. *)
+
+type config = {
+  max_batch : int;  (** most requests answered per serializer pass; >= 1 *)
+  quota : int;  (** per-analyst lifetime query cap; [0] means unlimited *)
+  retry_after_s : float;  (** backpressure hint on budget rejections *)
+}
+
+val default_config : config
+(** [{ max_batch = 16; quota = 0; retry_after_s = 1. }] *)
+
+(** A per-analyst service record (immutable snapshot). *)
+type analyst = {
+  an_id : string;
+  an_submitted : int;  (** admitted requests (rejections not included) *)
+  an_answered : int;
+  an_degraded : int;
+  an_refused : int;  (** refusals and protocol errors *)
+  an_rejected : int;  (** turned away at admission *)
+  an_history : (int * string) list;  (** (seq, status tag), oldest first *)
+}
+
+type t
+
+val create :
+  ?config:config ->
+  session:Pmw_session.Session.t ->
+  resolve:(string -> Pmw_core.Cm_query.t option) ->
+  unit ->
+  t
+(** [resolve] maps wire query names to registered queries; returning the
+    same physical value for the same name is what lets a batch share
+    solves. @raise Invalid_argument if [max_batch < 1]. *)
+
+val submit : t -> Protocol.request -> Protocol.response
+(** Thread-safe, blocking: admission-check, enqueue, and wait for the
+    serializer's reply. Returns a [Rejected] response without blocking when
+    admission refuses. Callable from any thread {e except} the serializer's
+    own (it would deadlock waiting for itself). *)
+
+val run : ?checkpoint:string -> t -> unit
+(** The serializer loop. Call from the thread that created the session's
+    pool; returns after {!shutdown} once the queue is fully drained —
+    every admitted request is answered, then a final checkpoint is written
+    to [checkpoint] (if given) via {!Pmw_session.Session.save}, and a
+    ["server.drained"] mark closes the trace. *)
+
+val shutdown : t -> unit
+(** Begin graceful drain: new submissions are rejected with
+    ["server is draining"], queued ones still get answers. Safe from any
+    thread (the SIGTERM watcher calls this). Idempotent. *)
+
+val drained : t -> bool
+(** [run] has finished its queue (set just before it returns). *)
+
+val processed : t -> int
+(** Requests answered so far — the next [seq] to be assigned. *)
+
+val session : t -> Pmw_session.Session.t
+val analysts : t -> analyst list
+(** Snapshot of every analyst ever seen, sorted by id. *)

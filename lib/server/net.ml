@@ -1,0 +1,134 @@
+(* Unix-domain-socket front end for the broker. One reader thread per
+   connection: read a request line, Broker.submit (blocking — the broker's
+   serializer answers), write the response line. Analyst clients are
+   closed-loop, so one in-flight request per connection is the natural
+   discipline; N concurrent analysts are N connections. *)
+
+let log_src = Logs.Src.create "pmw.server.net" ~doc:"PMW query-server socket front end"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type listener = {
+  broker : Broker.t;
+  path : string;
+  sock : Unix.file_descr;
+  mutable accept_thread : Thread.t option;  (* set once, right after creation *)
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  conns_lock : Mutex.t;
+  mutable stopping : bool;
+}
+
+let error_line id why =
+  Protocol.encode_response
+    {
+      Protocol.rsp_id = id;
+      rsp_seq = -1;
+      rsp_status = Protocol.Failed why;
+      rsp_theta = None;
+      rsp_source = None;
+      rsp_update_index = None;
+      rsp_batch = None;
+      rsp_queue_wait_s = None;
+    }
+
+let serve_conn l fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let respond line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  (try
+     let rec loop () =
+       match input_line ic with
+       | line ->
+           (match Protocol.decode_request line with
+           | Error why ->
+               (* A malformed line cannot carry a trustworthy id; -1 tells the
+                  client the correlation is lost but the connection survives. *)
+               respond (error_line (-1) ("bad request: " ^ why))
+           | Ok req -> respond (Protocol.encode_response (Broker.submit l.broker req)));
+           loop ()
+       | exception End_of_file -> ()
+     in
+     loop ()
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  Mutex.lock l.conns_lock;
+  Hashtbl.remove l.conns fd;
+  Mutex.unlock l.conns_lock;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rec accept_loop l =
+  match Unix.accept l.sock with
+  | fd, _ ->
+      Mutex.lock l.conns_lock;
+      Hashtbl.replace l.conns fd ();
+      Mutex.unlock l.conns_lock;
+      ignore (Thread.create (serve_conn l) fd : Thread.t);
+      accept_loop l
+  | exception Unix.Unix_error _ -> if not l.stopping then Log.warn (fun m -> m "accept failed")
+
+let listen ~broker ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind sock (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen sock 64;
+  Log.info (fun m -> m "listening on %s" path);
+  let l =
+    {
+      broker;
+      path;
+      sock;
+      accept_thread = None;
+      conns = Hashtbl.create 16;
+      conns_lock = Mutex.create ();
+      stopping = false;
+    }
+  in
+  l.accept_thread <- Some (Thread.create accept_loop l);
+  l
+
+let stop l =
+  l.stopping <- true;
+  (* shutdown (not just close) wakes the blocked accept on Linux; readers
+     blocked in input_line are woken the same way. *)
+  (try Unix.shutdown l.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close l.sock with Unix.Unix_error _ -> ());
+  (match l.accept_thread with Some th -> Thread.join th | None -> ());
+  Mutex.lock l.conns_lock;
+  let fds = Hashtbl.fold (fun fd () acc -> fd :: acc) l.conns [] in
+  Mutex.unlock l.conns_lock;
+  List.iter (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()) fds;
+  try Unix.unlink l.path with Unix.Unix_error _ -> ()
+
+let path l = l.path
+
+module Client = struct
+  type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+  let connect path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+  let call c req =
+    match
+      output_string c.oc (Protocol.encode_request req);
+      output_char c.oc '\n';
+      flush c.oc;
+      input_line c.ic
+    with
+    | line -> Protocol.decode_response line
+    | exception End_of_file -> Error "connection closed by server"
+    | exception Sys_error why -> Error why
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+  let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+end

@@ -1,0 +1,35 @@
+(** Unix-domain-socket front end for {!Broker}: line-delimited
+    {!Protocol} JSON over a stream socket, one reader thread per analyst
+    connection, one in-flight request per connection (analysts are
+    closed-loop). Malformed lines get an [error] response with [id = -1]
+    (correlation lost) and the connection survives; the protocol state never
+    desynchronizes because every line in is answered by exactly one line
+    out. *)
+
+type listener
+
+val listen : broker:Broker.t -> path:string -> listener
+(** Bind (replacing any stale socket file at [path]), listen, and start the
+    accept thread. Raises [Unix.Unix_error] if the bind fails. *)
+
+val stop : listener -> unit
+(** Stop accepting, wake every blocked connection, join the accept thread
+    and remove the socket file. Does NOT drain the broker — call
+    {!Broker.shutdown} for that; the usual order is [stop] (no new work)
+    then [Broker.shutdown] (drain what's queued). *)
+
+val path : listener -> string
+
+(** A minimal blocking client — what the load generator and the tests
+    speak; also a reference implementation of the protocol's framing. *)
+module Client : sig
+  type t
+
+  val connect : string -> t
+  (** Raises [Unix.Unix_error] if the server is not there. *)
+
+  val call : t -> Protocol.request -> (Protocol.response, string) result
+  (** Send one request line and block for the one response line. *)
+
+  val close : t -> unit
+end

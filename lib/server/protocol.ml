@@ -1,0 +1,399 @@
+(* Line-delimited JSON wire protocol for the query server. The JSON layer is
+   hand-rolled because the repo deliberately carries no JSON dependency: the
+   telemetry trace reader only parses flat objects, and the protocol needs
+   nested values (theta arrays), so this module owns a small full parser.
+   Floats follow the telemetry convention — %.17g for finite values (which
+   round-trips every double), and the strings "nan" / "inf" / "-inf" for the
+   values JSON cannot spell. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+(* --- printing --- *)
+
+let escape_into b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let num_to_string v =
+  if Float.is_finite v then Printf.sprintf "%.17g" v
+  else if Float.is_nan v then "\"nan\""
+  else if v > 0. then "\"inf\""
+  else "\"-inf\""
+
+let rec print_into b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Num v -> Buffer.add_string b (num_to_string v)
+  | Str s ->
+      Buffer.add_char b '"';
+      escape_into b s;
+      Buffer.add_char b '"'
+  | Arr items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          print_into b item)
+        items;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          escape_into b k;
+          Buffer.add_string b "\":";
+          print_into b v)
+        fields;
+      Buffer.add_char b '}'
+
+let json_to_string j =
+  let b = Buffer.create 256 in
+  print_into b j;
+  Buffer.contents b
+
+(* --- parsing: recursive descent over the line --- *)
+
+exception Bad of string
+
+type cursor = { text : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.text
+    && match c.text.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | Some x -> raise (Bad (Printf.sprintf "expected '%c' at byte %d, found '%c'" ch c.pos x))
+  | None -> raise (Bad (Printf.sprintf "expected '%c' at byte %d, found end of input" ch c.pos))
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.text && String.sub c.text c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else raise (Bad (Printf.sprintf "bad literal at byte %d" c.pos))
+
+let parse_hex4 c =
+  if c.pos + 4 > String.length c.text then raise (Bad "truncated \\u escape");
+  let v = int_of_string ("0x" ^ String.sub c.text c.pos 4) in
+  c.pos <- c.pos + 4;
+  v
+
+(* Decodes \uXXXX escapes to UTF-8 (surrogate pairs included) so a string
+   round-trips even when the peer escapes non-ASCII. *)
+let add_utf8 b cp =
+  if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> raise (Bad "unterminated string")
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' -> (
+        c.pos <- c.pos + 1;
+        match peek c with
+        | None -> raise (Bad "unterminated escape")
+        | Some e ->
+            c.pos <- c.pos + 1;
+            (match e with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'n' -> Buffer.add_char b '\n'
+            | 'r' -> Buffer.add_char b '\r'
+            | 't' -> Buffer.add_char b '\t'
+            | 'u' ->
+                let hi = parse_hex4 c in
+                if hi >= 0xD800 && hi <= 0xDBFF then begin
+                  expect c '\\';
+                  expect c 'u';
+                  let lo = parse_hex4 c in
+                  if lo < 0xDC00 || lo > 0xDFFF then raise (Bad "bad surrogate pair");
+                  add_utf8 b (0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00))
+                end
+                else add_utf8 b hi
+            | _ -> raise (Bad (Printf.sprintf "bad escape '\\%c'" e)));
+            go ())
+    | Some ch ->
+        c.pos <- c.pos + 1;
+        Buffer.add_char b ch;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let numeric ch =
+    match ch with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while c.pos < String.length c.text && numeric c.text.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  match float_of_string_opt (String.sub c.text start (c.pos - start)) with
+  | Some v -> v
+  | None -> raise (Bad (Printf.sprintf "bad number at byte %d" start))
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> raise (Bad "unexpected end of input")
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.pos <- c.pos + 1;
+        Arr []
+      end
+      else begin
+        let items = ref [ parse_value c ] in
+        skip_ws c;
+        while peek c = Some ',' do
+          c.pos <- c.pos + 1;
+          items := parse_value c :: !items;
+          skip_ws c
+        done;
+        expect c ']';
+        Arr (List.rev !items)
+      end
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.pos <- c.pos + 1;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          (k, v)
+        in
+        let fields = ref [ field () ] in
+        skip_ws c;
+        while peek c = Some ',' do
+          c.pos <- c.pos + 1;
+          fields := field () :: !fields;
+          skip_ws c
+        done;
+        expect c '}';
+        Obj (List.rev !fields)
+      end
+  | Some _ -> Num (parse_number c)
+
+let json_of_string s =
+  let c = { text = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos <> String.length s then
+        Error (Printf.sprintf "trailing bytes after JSON value at byte %d" c.pos)
+      else Ok v
+  | exception Bad why -> Error why
+
+(* --- schema --- *)
+
+let version = 1
+
+type request = { req_id : int; req_analyst : string; req_query : string }
+
+type status =
+  | Answered
+  | Degraded of string
+  | Refused of string
+  | Rejected of { retry_after_s : float option; reason : string }
+  | Failed of string
+
+type response = {
+  rsp_id : int;
+  rsp_seq : int;
+  rsp_status : status;
+  rsp_theta : float array option;
+  rsp_source : string option;
+  rsp_update_index : int option;
+  rsp_batch : int option;
+  rsp_queue_wait_s : float option;
+}
+
+let field fields name = List.assoc_opt name fields
+
+let as_num = function
+  | Num v -> Some v
+  | Str "nan" -> Some Float.nan
+  | Str "inf" -> Some Float.infinity
+  | Str "-inf" -> Some Float.neg_infinity
+  | _ -> None
+
+let as_int j =
+  match as_num j with
+  | Some v when Float.is_integer v -> Some (int_of_float v)
+  | _ -> None
+
+let as_str = function Str s -> Some s | _ -> None
+
+let check_version fields =
+  match Option.bind (field fields "v") as_int with
+  | None -> Error "missing schema version field \"v\""
+  | Some v when v <> version -> Error (Printf.sprintf "unsupported schema version %d (speaking %d)" v version)
+  | Some _ -> Ok ()
+
+let encode_request r =
+  json_to_string
+    (Obj
+       [
+         ("v", Num (float_of_int version));
+         ("id", Num (float_of_int r.req_id));
+         ("analyst", Str r.req_analyst);
+         ("query", Str r.req_query);
+       ])
+
+let decode_request line =
+  Result.bind (json_of_string line) (function
+    | Obj fields -> (
+        Result.bind (check_version fields) (fun () ->
+            match
+              ( Option.bind (field fields "id") as_int,
+                Option.bind (field fields "analyst") as_str,
+                Option.bind (field fields "query") as_str )
+            with
+            | Some id, Some analyst, Some query ->
+                Ok { req_id = id; req_analyst = analyst; req_query = query }
+            | None, _, _ -> Error "request is missing integer field \"id\""
+            | _, None, _ -> Error "request is missing string field \"analyst\""
+            | _, _, None -> Error "request is missing string field \"query\""))
+    | _ -> Error "request is not a JSON object")
+
+let status_tag = function
+  | Answered -> "answered"
+  | Degraded _ -> "degraded"
+  | Refused _ -> "refused"
+  | Rejected _ -> "rejected"
+  | Failed _ -> "error"
+
+let encode_response r =
+  let opt name f v tail = match v with None -> tail | Some v -> (name, f v) :: tail in
+  let num v = Num v in
+  let int v = Num (float_of_int v) in
+  let reason_fields =
+    match r.rsp_status with
+    | Answered -> []
+    | Degraded why | Refused why | Failed why -> [ ("reason", Str why) ]
+    | Rejected { retry_after_s; reason } ->
+        ("reason", Str reason)
+        :: (match retry_after_s with None -> [] | Some s -> [ ("retry_after_s", Num s) ])
+  in
+  json_to_string
+    (Obj
+       (("v", Num (float_of_int version))
+        :: ("id", int r.rsp_id)
+        :: ("seq", int r.rsp_seq)
+        :: ("status", Str (status_tag r.rsp_status))
+        :: (reason_fields
+           @ opt "theta" (fun a -> Arr (Array.to_list (Array.map num a))) r.rsp_theta
+             (opt "source" (fun s -> Str s) r.rsp_source
+                (opt "update_index" int r.rsp_update_index
+                   (opt "batch" int r.rsp_batch
+                      (opt "queue_wait_s" num r.rsp_queue_wait_s [])))))))
+
+let decode_response line =
+  Result.bind (json_of_string line) (function
+    | Obj fields -> (
+        Result.bind (check_version fields) (fun () ->
+            let reason () =
+              Option.value ~default:"" (Option.bind (field fields "reason") as_str)
+            in
+            let status =
+              match Option.bind (field fields "status") as_str with
+              | Some "answered" -> Ok Answered
+              | Some "degraded" -> Ok (Degraded (reason ()))
+              | Some "refused" -> Ok (Refused (reason ()))
+              | Some "rejected" ->
+                  Ok
+                    (Rejected
+                       {
+                         retry_after_s = Option.bind (field fields "retry_after_s") as_num;
+                         reason = reason ();
+                       })
+              | Some "error" -> Ok (Failed (reason ()))
+              | Some other -> Error (Printf.sprintf "unknown status %S" other)
+              | None -> Error "response is missing string field \"status\""
+            in
+            Result.bind status (fun status ->
+                let theta =
+                  match field fields "theta" with
+                  | Some (Arr items) ->
+                      let vals = List.map as_num items in
+                      if List.for_all Option.is_some vals then
+                        Some (Array.of_list (List.map Option.get vals))
+                      else None
+                  | _ -> None
+                in
+                match
+                  (Option.bind (field fields "id") as_int, Option.bind (field fields "seq") as_int)
+                with
+                | Some id, Some seq ->
+                    Ok
+                      {
+                        rsp_id = id;
+                        rsp_seq = seq;
+                        rsp_status = status;
+                        rsp_theta = theta;
+                        rsp_source = Option.bind (field fields "source") as_str;
+                        rsp_update_index = Option.bind (field fields "update_index") as_int;
+                        rsp_batch = Option.bind (field fields "batch") as_int;
+                        rsp_queue_wait_s = Option.bind (field fields "queue_wait_s") as_num;
+                      }
+                | None, _ -> Error "response is missing integer field \"id\""
+                | _, None -> Error "response is missing integer field \"seq\"")))
+    | _ -> Error "response is not a JSON object")

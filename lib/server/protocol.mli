@@ -1,0 +1,87 @@
+(** Wire protocol for the concurrent query server: one JSON object per line
+    in each direction, schema-versioned so a deployed analyst client and a
+    newer server fail loudly instead of mis-parsing each other.
+
+    A {b request} is [{"v":1, "id":<int>, "analyst":<string>,
+    "query":<string>}] — the query is named, not inlined: the server resolves
+    it against its registered workload, which both keeps the sensitive
+    dataset's geometry out of the protocol and gives the broker
+    physically-equal query values to share batched solves on.
+
+    A {b response} echoes [id], carries the broker's global [seq] (the
+    serializer's processing order — replaying the queries sequentially in
+    [seq] order reproduces the transcript bit-for-bit), a [status] of
+    [answered | degraded | refused | rejected | error] with a [reason] for
+    everything but [answered], the released [theta] when there is one, and
+    the service observations [batch] (how many requests shared the pass) and
+    [queue_wait_s]. [rejected] is the admission controller speaking — the
+    request never reached the mechanism (so no [seq] slot is consumed,
+    [seq] is [-1]) and [retry_after_s] hints when to try again.
+
+    Floats use the telemetry convention: finite values as [%.17g] (which
+    round-trips every double), NaN/±∞ as the strings ["nan"], ["inf"],
+    ["-inf"]. Unknown fields are ignored (forward compatibility); a missing
+    or different ["v"] is an error (versioning contract). *)
+
+(** {1 JSON values}
+
+    The full nested JSON layer (the telemetry trace reader only parses flat
+    objects, a response's [theta] needs arrays). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val json_to_string : json -> string
+(** Compact, single-line. *)
+
+val json_of_string : string -> (json, string) result
+(** Whole-string parse: trailing non-whitespace bytes are an error. String
+    escapes (including [\uXXXX] with surrogate pairs, decoded to UTF-8) are
+    handled. *)
+
+(** {1 Schema} *)
+
+val version : int
+(** Spoken on every line; currently [1]. *)
+
+type request = { req_id : int; req_analyst : string; req_query : string }
+(** [req_id] is the analyst's correlation id, echoed verbatim. Integers
+    travel as JSON numbers — IEEE doubles — so ids must fit the exactly
+    representable range [±2^53]; larger values are silently rounded by any
+    standards-conforming JSON peer. *)
+
+type status =
+  | Answered
+  | Degraded of string  (** answered from the frozen hypothesis; reason attached *)
+  | Refused of string  (** the mechanism refused; ledger already consistent *)
+  | Rejected of { retry_after_s : float option; reason : string }
+      (** admission control said no before the mechanism saw the query *)
+  | Failed of string  (** protocol or server error (e.g. unknown query name) *)
+
+type response = {
+  rsp_id : int;  (** echo of the request's [id] *)
+  rsp_seq : int;  (** global serializer order; [-1] when never processed *)
+  rsp_status : status;
+  rsp_theta : float array option;
+  rsp_source : string option;  (** ["hypothesis"] or ["oracle"] *)
+  rsp_update_index : int option;
+  rsp_batch : int option;  (** size of the batch that served this request *)
+  rsp_queue_wait_s : float option;
+}
+
+val status_tag : status -> string
+(** The wire tag: ["answered"], ["degraded"], ["refused"], ["rejected"] or
+    ["error"]. *)
+
+val encode_request : request -> string
+(** One line, no trailing newline. *)
+
+val decode_request : string -> (request, string) result
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result

@@ -138,9 +138,14 @@ let all_finite v =
   Array.iter (fun x -> if not (Float.is_finite x) then ok := false) v;
   !ok
 
-let answer t query =
+(* One post-processing path shared by [answer] and [batch_answer]:
+   [online_answer] is either [Online.answer t.online] or a batch-scoped
+   [Online.batch_answer] — the degraded-fallback solve and the tallies are
+   identical either way, which is what makes batched and sequential
+   transcripts comparable verdict-for-verdict. *)
+let answer_via t online_answer query =
   let verdict =
-    match Online.answer t.online query with
+    match online_answer query with
     | Online.Refused (Online.Oracle_failed why) ->
         (* Last stage of the fallback chain: the hypothesis still answers,
            as pure post-processing, even when every oracle is down. *)
@@ -173,7 +178,25 @@ let answer t query =
   | Online.Answered _ -> ());
   verdict
 
+let answer t query = answer_via t (Online.answer t.online) query
 let answer_all t queries = List.map (answer t) queries
+
+(* --- batched answering --- *)
+
+type batch = { bt_session : t; bt_online : Online.batch }
+
+let batch t = { bt_session = t; bt_online = Online.batch t.online }
+let batch_answer b query = answer_via b.bt_session (Online.batch_answer b.bt_online) query
+
+let answer_batch t queries =
+  let b = batch t in
+  List.map (batch_answer b) queries
+
+(* --- admission control --- *)
+
+let admissible t =
+  if !(t.breached) then Error "ledger breached by a misreported oracle spend"
+  else Budget.fits t.budget t.config.Config.oracle_privacy
 
 let budget t = t.budget
 let mechanism t = t.online

@@ -61,6 +61,38 @@ val create :
 val answer : t -> Pmw_core.Cm_query.t -> Pmw_core.Online_pmw.verdict
 val answer_all : t -> Pmw_core.Cm_query.t list -> Pmw_core.Online_pmw.verdict list
 
+(** {1 Batched answering}
+
+    The query server's broker answers each drained batch of analyst requests
+    through one {!batch} context, so the mechanism's deterministic solves
+    (hypothesis extraction, public minimizers, error-query values) are shared
+    across the batch — see {!Pmw_core.Online_pmw.batch}. Verdicts, ledger
+    debits and degradation behaviour are bit-identical to calling {!answer}
+    on the same queries in the same order. *)
+
+type batch
+
+val batch : t -> batch
+(** A fresh short-lived context; drop it once the batch is answered. *)
+
+val batch_answer : batch -> Pmw_core.Cm_query.t -> Pmw_core.Online_pmw.verdict
+(** Exactly {!answer} — including the degraded-fallback solve and the
+    telemetry tallies — sharing solves with earlier calls on the batch. *)
+
+val answer_batch : t -> Pmw_core.Cm_query.t list -> Pmw_core.Online_pmw.verdict list
+(** [answer_all] through one fresh {!batch}. *)
+
+val admissible : t -> (unit, string) result
+(** Budget-aware admission check: can this session fund one more oracle
+    attempt right now? [Error] when the ledger is breached or
+    {!Pmw_core.Budget.fits} refuses the per-attempt debit
+    ([config.oracle_privacy]) — the server's broker turns that into a
+    reject-with-retry-after instead of queueing work that can only degrade.
+    Read-only and atomic against concurrent debits; a query admitted on a
+    positive answer can still degrade if the pot moves before its oracle
+    call (the authoritative check-and-debit stays inside the chain's
+    [authorize]). *)
+
 val budget : t -> Pmw_core.Budget.t
 val telemetry : t -> Pmw_telemetry.Telemetry.t
 val mechanism : t -> Pmw_core.Online_pmw.t

@@ -328,12 +328,21 @@ let validate events =
 
 type span_row = { sr_name : string; sr_calls : int; sr_total_s : float; sr_max_s : float }
 
+type obs_row = {
+  or_name : string;
+  or_count : int;
+  or_mean : float;
+  or_min : float;
+  or_max : float;
+}
+
 type summary = {
   events : int;
   rounds : int;
   wall_s : float;
   span_rows : span_row list;
   counter_rows : (string * int) list;
+  obs_rows : obs_row list;
   ledger_rows : (string * (float * float * int)) list;
   marks : (string * int) list;
 }
@@ -347,6 +356,7 @@ let summarize events =
   in
   let spans = Hashtbl.create 16 in
   let counters = Hashtbl.create 16 in
+  let observations = Hashtbl.create 16 in
   let ledger_tbl = Hashtbl.create 4 in
   let marks = Hashtbl.create 16 in
   List.iter
@@ -369,10 +379,18 @@ let summarize events =
             Option.value ~default:(0., 0., 0) (Hashtbl.find_opt ledger_tbl e.Telemetry.name)
           in
           Hashtbl.replace ledger_tbl e.Telemetry.name (e_sum +. eps, d_sum +. delta, n + 1)
+      | Telemetry.Observe ->
+          let v = Option.value ~default:0. (float_field e "value") in
+          let count, sum, mn, mx =
+            Option.value ~default:(0, 0., Float.infinity, Float.neg_infinity)
+              (Hashtbl.find_opt observations e.Telemetry.name)
+          in
+          Hashtbl.replace observations e.Telemetry.name
+            (count + 1, sum +. v, Float.min mn v, Float.max mx v)
       | Telemetry.Mark ->
           Hashtbl.replace marks e.Telemetry.name
             (1 + Option.value ~default:0 (Hashtbl.find_opt marks e.Telemetry.name))
-      | Telemetry.Span_begin | Telemetry.Observe -> ())
+      | Telemetry.Span_begin -> ())
     events;
   {
     events = List.length events;
@@ -385,6 +403,19 @@ let summarize events =
              { sr_name = name; sr_calls = calls; sr_total_s = total; sr_max_s = mx } :: acc)
            spans []);
     counter_rows = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counters []);
+    obs_rows =
+      List.sort compare
+        (Hashtbl.fold
+           (fun name (count, sum, mn, mx) acc ->
+             {
+               or_name = name;
+               or_count = count;
+               or_mean = (if count = 0 then 0. else sum /. float_of_int count);
+               or_min = mn;
+               or_max = mx;
+             }
+             :: acc)
+           observations []);
     ledger_rows = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) ledger_tbl []);
     marks = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) marks []);
   }
@@ -405,6 +436,14 @@ let pp_summary fmt s =
   if s.counter_rows <> [] then begin
     fprintf fmt "@,%-28s %8s@," "counter" "total";
     List.iter (fun (k, v) -> fprintf fmt "%-28s %8d@," k v) s.counter_rows
+  end;
+  if s.obs_rows <> [] then begin
+    fprintf fmt "@,%-28s %8s %12s %12s %12s@," "observation" "count" "mean" "min" "max";
+    List.iter
+      (fun r ->
+        fprintf fmt "%-28s %8d %12.6g %12.6g %12.6g@," r.or_name r.or_count r.or_mean r.or_min
+          r.or_max)
+      s.obs_rows
   end;
   if s.ledger_rows <> [] then begin
     fprintf fmt "@,%-28s %8s %14s %14s@," "ledger" "debits" "eps total" "delta total";

@@ -26,12 +26,23 @@ val ledger_totals : Telemetry.event list -> (string * (float * float)) list
 
 type span_row = { sr_name : string; sr_calls : int; sr_total_s : float; sr_max_s : float }
 
+(** Aggregate of one observation stream (e.g. the server's
+    ["server.queue_wait_s"] and ["server.batch_size"]). *)
+type obs_row = {
+  or_name : string;
+  or_count : int;
+  or_mean : float;
+  or_min : float;
+  or_max : float;
+}
+
 type summary = {
   events : int;
   rounds : int;  (** highest round id seen *)
   wall_s : float;  (** last timestamp minus first *)
   span_rows : span_row list;
   counter_rows : (string * int) list;  (** final value of each counter *)
+  obs_rows : obs_row list;
   ledger_rows : (string * (float * float * int)) list;
       (** [(eps_total, delta_total, debits)] per ledger *)
   marks : (string * int) list;  (** occurrences per mark name *)

@@ -480,6 +480,94 @@ let qcheck_laplace_preserves_mean =
       done;
       Float.abs ((!acc /. float_of_int n) -. v) < 0.1)
 
+(* --- property-based privacy audits ---
+
+   Definition 2.1 as a testable property: for EVERY pair of neighboring
+   histograms the generators produce, the empirical epsilon lower bound
+   ({!Audit.estimate_epsilon}) must stay at or below the accounted epsilon.
+   Outcomes are binned coarsely (two to a handful of cells) so the
+   frequency estimates are stable at the trial counts used here; the
+   additive tolerances below cover the residual sampling noise of those
+   estimates (a 3-sigma bound on the log-ratio of binomial proportions at
+   the configured [trials] and [min_count]), NOT any privacy slack — a
+   mechanism noised for eps' > eps + tolerance fails these deterministically
+   (see [test_audit_catches_broken_mechanism] above). Both suites are
+   seeded through [to_alcotest ~rand] in the registration below. *)
+
+(* A histogram over a domain of [m <= 4] cells with small counts, plus one
+   neighbor: the same histogram with one more record in one cell. *)
+let gen_neighboring_histograms =
+  QCheck.Gen.(
+    let* m = int_range 2 4 in
+    let* counts = array_size (return m) (int_bound 10) in
+    let* cell = int_bound (m - 1) in
+    let neighbor = Array.copy counts in
+    neighbor.(cell) <- neighbor.(cell) + 1;
+    return (counts, neighbor, cell))
+
+let print_histograms (a, b, cell) =
+  Printf.sprintf "a=[%s] b=[%s] cell=%d"
+    (String.concat ";" (Array.to_list (Array.map string_of_int a)))
+    (String.concat ";" (Array.to_list (Array.map string_of_int b)))
+    cell
+
+(* Laplace counting release on the changed cell, binned to the sign around
+   the midpoint (2 outcomes, each with probability >= 0.2 at eps <= 1, so
+   at 2000 trials the log-ratio noise is ~0.07 sd; tolerance = 0.25). *)
+let qcheck_audit_laplace_neighboring =
+  QCheck.Test.make ~name:"laplace audit: empirical eps <= accounted eps" ~count:200
+    (QCheck.make ~print:print_histograms gen_neighboring_histograms)
+    (fun (a, b, cell) ->
+      let eps = 0.8 in
+      let midpoint = float_of_int a.(cell) +. 0.5 in
+      let mechanism ~seed ~input =
+        let rng = Rng.create ~seed () in
+        let noisy =
+          Mechanisms.laplace ~eps ~sensitivity:1. (float_of_int input.(cell)) rng
+        in
+        if noisy >= midpoint then "high" else "low"
+      in
+      let eps_hat =
+        Audit.estimate_epsilon ~trials:2_000 ~mechanism ~input_a:a ~input_b:b ()
+      in
+      if eps_hat <= eps +. 0.25 then true
+      else QCheck.Test.fail_reportf "eps_hat %.3f > accounted %.3f (+0.25 tolerance)" eps_hat eps)
+
+(* The sparse-vector transcript as the observable: feed the cell
+   frequencies of each histogram as the query stream (sensitivity 1/n for
+   neighboring data at fixed n) and audit the full ⊤/⊥/halt transcript.
+   AboveThreshold's accounting is conservative, so the empirical bound
+   sits well below eps; [min_count] keeps rare transcripts (noisy ratio
+   estimates) out, and the tolerance again covers sampling noise only. *)
+let qcheck_audit_sparse_vector_neighboring =
+  QCheck.Test.make ~name:"sparse-vector audit: empirical eps <= accounted eps" ~count:200
+    (QCheck.make ~print:print_histograms gen_neighboring_histograms)
+    (fun (a, b, _) ->
+      let eps = 1.0 in
+      let n = 25. in
+      let privacy = Params.create ~eps ~delta:1e-6 in
+      let mechanism ~seed ~input =
+        let rng = Rng.create ~seed () in
+        let sv =
+          Sv.create ~t_max:1 ~k:(Array.length input) ~threshold:0.2 ~privacy
+            ~sensitivity:(1. /. n) ~rng ()
+        in
+        String.concat ""
+          (Array.to_list
+             (Array.map
+                (fun count ->
+                  match Sv.query sv (float_of_int count /. n) with
+                  | Some Sv.Top -> "T"
+                  | Some Sv.Bottom -> "B"
+                  | None -> ".")
+                input))
+      in
+      let eps_hat =
+        Audit.estimate_epsilon ~trials:1_500 ~min_count:100 ~mechanism ~input_a:a ~input_b:b ()
+      in
+      if eps_hat <= eps +. 0.3 then true
+      else QCheck.Test.fail_reportf "eps_hat %.3f > accounted %.3f (+0.3 tolerance)" eps_hat eps)
+
 let () =
   Alcotest.run "pmw_dp"
     [
@@ -557,5 +645,15 @@ let () =
             qcheck_advanced_monotone_in_count;
             qcheck_split_within_budget;
             qcheck_laplace_preserves_mean;
+          ]
+        @ [
+            (* seeded: the audit tolerances are calibrated to these trial
+               counts, so the case stream must be reproducible *)
+            QCheck_alcotest.to_alcotest
+              ~rand:(Random.State.make [| 0xad17 |])
+              qcheck_audit_laplace_neighboring;
+            QCheck_alcotest.to_alcotest
+              ~rand:(Random.State.make [| 0xad25 |])
+              qcheck_audit_sparse_vector_neighboring;
           ] );
     ]

@@ -303,6 +303,115 @@ let test_exhausted_chain_marks_trace () =
   | Some (Telemetry.Int 1) -> ()
   | _ -> Alcotest.fail "exhausted mark must carry the attempt count"
 
+(* --- the fallback table: every (fault class x chain depth) cell ---
+
+   One faulty head stage ([Always fault]) in front of [depth - 1] healthy
+   fallbacks, driven through {!Oracles.with_fallback} with a real
+   budget-debiting [authorize] hook. Per cell the table asserts BOTH the
+   verdict (recovered answer vs exhausted chain — Misreport rows always
+   succeed at attempt 1, their poison being the claimed spend, not the
+   answer) and the ledger debit: every attempt is paid for before it runs,
+   and a failed attempt stays debited. *)
+
+module Budget = Pmw_core.Budget
+
+type cell_expectation = {
+  expect_answer : bool;
+  expect_attempts : int;  (** = ledger debits, at one [(ε₀, δ₀)] each *)
+}
+
+let expected_cell ~fault ~depth =
+  match fault with
+  | Faulty.Misreport _ -> { expect_answer = true; expect_attempts = 1 }
+  | Faulty.Nan_answer | Faulty.Inf_answer | Faulty.Divergent | Faulty.Timeout ->
+      if depth >= 2 then { expect_answer = true; expect_attempts = 2 }
+      else { expect_answer = false; expect_attempts = 1 }
+
+let test_fallback_fault_table () =
+  let faults =
+    [ Faulty.Nan_answer; Faulty.Inf_answer; Faulty.Divergent; Faulty.Timeout; Faulty.Misreport 4. ]
+  in
+  List.iter
+    (fun fault ->
+      List.iter
+        (fun depth ->
+          let cell = Printf.sprintf "[%s x depth %d]" (Faulty.fault_to_string fault) depth in
+          let req = request ~n:2_000 () in
+          let budget = Budget.create (Params.create ~eps:10. ~delta:1e-4) in
+          let authorize r =
+            Result.map (fun (_ : Params.t) -> ())
+              (Budget.request ~mechanism:"oracle-attempt" budget r.Oracle.privacy)
+          in
+          let attempts = ref [] in
+          let faulty = Faulty.create ~plan:(Faulty.Always fault) Oracles.exact in
+          let chain =
+            Faulty.oracle faulty
+            :: List.init (depth - 1) (fun _ -> Oracles.output_perturbation)
+          in
+          let oracle =
+            Oracles.with_fallback ~authorize
+              ~on_attempt:(fun a -> attempts := a :: !attempts)
+              chain
+          in
+          let expected = expected_cell ~fault ~depth in
+          (match oracle.Oracle.run req with
+          | theta ->
+              Alcotest.(check bool) (cell ^ " expected an exhausted chain") true
+                expected.expect_answer;
+              (match Oracles.finite_in_domain req theta with
+              | Ok () -> ()
+              | Error why -> Alcotest.failf "%s recovered answer invalid: %s" cell why)
+          | exception Oracle.Failed _ ->
+              Alcotest.(check bool) (cell ^ " expected a recovered answer") false
+                expected.expect_answer);
+          Alcotest.(check int) (cell ^ " attempts") expected.expect_attempts
+            (List.length !attempts);
+          (* every attempt's own record carries the per-call price *)
+          List.iter
+            (fun (a : Oracles.attempt) ->
+              Alcotest.(check (float 1e-12)) (cell ^ " attempt spend eps")
+                req.Oracle.privacy.Params.eps a.Oracles.attempt_spend.Params.eps)
+            !attempts;
+          (* and the ledger was debited once per attempt, failed or not *)
+          Alcotest.(check int) (cell ^ " ledger debits") expected.expect_attempts
+            (List.length (Budget.history budget));
+          let spent = Budget.spent budget in
+          Alcotest.(check (float 1e-9)) (cell ^ " eps debited")
+            (float_of_int expected.expect_attempts *. req.Oracle.privacy.Params.eps)
+            spent.Params.eps;
+          Alcotest.(check (float 1e-15)) (cell ^ " delta debited")
+            (float_of_int expected.expect_attempts *. req.Oracle.privacy.Params.delta)
+            spent.Params.delta;
+          match fault with
+          | Faulty.Misreport _ ->
+              Alcotest.(check bool) (cell ^ " misreport claim surfaced") true
+                (Faulty.claimed_spend faulty <> None)
+          | _ -> ())
+        [ 1; 2; 3 ])
+    faults
+
+(* The ledger saying no mid-chain: the first attempt is funded and fails,
+   the pot cannot fund the fallback, and the chain must abort with
+   [Budget_denied] — leaving exactly the one funded attempt debited. *)
+let test_fallback_budget_denied_mid_chain () =
+  let req = request ~n:2_000 () in
+  let budget = Budget.create (Params.create ~eps:1.5 ~delta:1e-4) in
+  let authorize r =
+    Result.map (fun (_ : Params.t) -> ())
+      (Budget.request ~mechanism:"oracle-attempt" budget r.Oracle.privacy)
+  in
+  let faulty = Faulty.create ~plan:(Faulty.Always Faulty.Nan_answer) Oracles.exact in
+  let oracle =
+    Oracles.with_fallback ~authorize [ Faulty.oracle faulty; Oracles.output_perturbation ]
+  in
+  (match oracle.Oracle.run req with
+  | (_ : Vec.t) -> Alcotest.fail "chain must abort when the ledger denies the fallback"
+  | exception Oracle.Budget_denied _ -> ());
+  Alcotest.(check int) "only the funded attempt is debited" 1
+    (List.length (Budget.history budget));
+  Alcotest.(check (float 1e-9)) "its eps stays spent" req.Oracle.privacy.Params.eps
+    (Budget.spent budget).Params.eps
+
 let qcheck_outputs_always_feasible =
   QCheck.Test.make ~name:"oracle outputs always in domain" ~count:20
     QCheck.(pair (int_range 100 2000) (float_range 0.05 2.))
@@ -337,6 +446,12 @@ let () =
           Alcotest.test_case "chain reconstructible from trace" `Quick
             test_chain_reconstructible_from_trace;
           Alcotest.test_case "exhausted chain marked" `Quick test_exhausted_chain_marks_trace;
+        ] );
+      ( "fallback table",
+        [
+          Alcotest.test_case "every (fault x depth) cell" `Quick test_fallback_fault_table;
+          Alcotest.test_case "budget denied mid-chain" `Quick
+            test_fallback_budget_denied_mid_chain;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest [ qcheck_outputs_always_feasible ]);
     ]
