@@ -1,0 +1,476 @@
+(* Chaos soak harness for the crash-safe serving layer (docs/robustness.md).
+
+   Topology: this process spawns a real `pmw_cli serve` daemon (journal +
+   checkpoints + --resume), puts the Flaky fault proxy in front of its
+   socket, and drives N analyst threads through the proxy with
+   rid-stamped requests and the Client retry loop. A killer loop SIGKILLs
+   the server at random points and restarts it, measuring recovery time.
+   After the last cycle the analysts stop, the server is drained with
+   SIGTERM, and the journal + traces are validated:
+
+     (a) the journal's cumulative (eps, delta) is monotone, additive for
+         serve debits, covers the largest spend any client was ever told
+         (rsp_spent_eps/delta), and never exceeds the configured pot — no budget is
+         forgotten by a crash and none is spent twice;
+     (b) every deliberately re-asked request_id produced a byte-identical
+         answer to the recorded one (client side), and no rid appears in
+         the journal twice with different bytes (server side);
+     (c) the final incarnation's telemetry trace passes Trace.validate.
+
+   Exit status 0 when every invariant holds, 1 otherwise. With --json, a
+   "chaos" section (recovery-time and dedup-hit metrics included) is merged
+   into BENCH_pmw.json. *)
+
+module Protocol = Pmw_server.Protocol
+module Net = Pmw_server.Net
+module Flaky = Pmw_server.Flaky
+module Journal = Pmw_server.Journal
+module Trace = Pmw_telemetry.Trace
+module Splitmix64 = Pmw_rng.Splitmix64
+
+type analyst_stats = {
+  mutable a_completed : int;
+  mutable a_answered : int;
+  mutable a_errors : int;
+  mutable a_dedup_checks : int;
+  mutable a_dedup_mismatches : int;
+  mutable a_max_eps : float;
+  mutable a_max_delta : float;
+  mutable a_lines : (string * string) list;  (* (rid, recorded line), newest first *)
+}
+
+let new_stats () =
+  {
+    a_completed = 0;
+    a_answered = 0;
+    a_errors = 0;
+    a_dedup_checks = 0;
+    a_dedup_mismatches = 0;
+    a_max_eps = 0.;
+    a_max_delta = 0.;
+    a_lines = [];
+  }
+
+let uniform rng lo hi =
+  lo +. ((hi -. lo) *. (float_of_int (Splitmix64.next_in rng ~bound:1_000_000) /. 1_000_000.))
+
+let is_rejected (rsp : Protocol.response) =
+  match rsp.Protocol.rsp_status with Protocol.Rejected _ -> true | _ -> false
+
+(* One analyst: closed loop through the proxy, every request rid-stamped,
+   and a fraction of answered rids immediately re-asked — the dedup layer
+   must hand back the recorded bytes. *)
+let analyst ~running ~proxy_path ~panel ~seed ~dup_prob i =
+  let stats = new_stats () in
+  let rng = Splitmix64.create (Int64.add seed (Int64.of_int (101 * (i + 1)))) in
+  let name = Printf.sprintf "an%d" i in
+  let policy =
+    {
+      Net.Client.rp_max_attempts = 12;
+      rp_base_delay_s = 0.05;
+      rp_max_delay_s = 1.;
+      rp_seed = Int64.add seed (Int64.of_int i);
+    }
+  in
+  let client = ref None in
+  let get_client () =
+    match !client with
+    | Some c -> Some c
+    | None -> (
+        match Net.Client.connect ~deadline_s:5. proxy_path with
+        | c ->
+            client := Some c;
+            Some c
+        | exception Unix.Unix_error _ -> None)
+  in
+  let r = ref 0 in
+  while Atomic.get running do
+    (match get_client () with
+    | None -> Thread.delay 0.05
+    | Some c -> (
+        let rid = Printf.sprintf "%s-r%d" name !r in
+        let req =
+          {
+            Protocol.req_id = !r;
+            req_analyst = name;
+            req_query = panel.(Splitmix64.next_in rng ~bound:(Array.length panel));
+            req_rid = Some rid;
+          }
+        in
+        match Net.Client.call_with_retry ~policy c req with
+        | Error _ ->
+            stats.a_errors <- stats.a_errors + 1;
+            (* the connection object reconnects lazily; brief pause so a
+               dead server window doesn't spin *)
+            Thread.delay 0.05
+        | Ok rsp ->
+            stats.a_completed <- stats.a_completed + 1;
+            Option.iter (fun e -> stats.a_max_eps <- Float.max stats.a_max_eps e)
+              rsp.Protocol.rsp_spent_eps;
+            Option.iter (fun d -> stats.a_max_delta <- Float.max stats.a_max_delta d)
+              rsp.Protocol.rsp_spent_delta;
+            if not (is_rejected rsp) then begin
+              stats.a_answered <- stats.a_answered + 1;
+              let line = Protocol.encode_response rsp in
+              stats.a_lines <- (rid, line) :: stats.a_lines;
+              if uniform rng 0. 1. < dup_prob then begin
+                (* idempotent retry check: same rid again, on purpose *)
+                match Net.Client.call_with_retry ~policy c req with
+                | Error _ -> stats.a_errors <- stats.a_errors + 1
+                | Ok dup when is_rejected dup -> ()
+                | Ok dup ->
+                    stats.a_dedup_checks <- stats.a_dedup_checks + 1;
+                    if Protocol.encode_response dup <> line then begin
+                      stats.a_dedup_mismatches <- stats.a_dedup_mismatches + 1;
+                      Printf.eprintf "DEDUP MISMATCH %s/%s:\n  first %s\n  retry %s\n%!" name rid
+                        line
+                        (Protocol.encode_response dup)
+                    end
+              end
+            end));
+    incr r;
+    Thread.delay 0.01
+  done;
+  Option.iter Net.Client.close !client;
+  stats
+
+(* --- server lifecycle --- *)
+
+type server = { mutable pid : int; mutable incarnation : int }
+
+let spawn_server ~bin ~dir ~socket ~journal ~eps ~n ~k srv =
+  srv.incarnation <- srv.incarnation + 1;
+  let log =
+    Unix.openfile
+      (Filename.concat dir (Printf.sprintf "server-%d.log" srv.incarnation))
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+      0o644
+  in
+  let trace = Filename.concat dir (Printf.sprintf "trace-%d.jsonl" srv.incarnation) in
+  let args =
+    [|
+      bin; "serve";
+      "--socket"; socket;
+      "--journal"; journal;
+      "--checkpoint-dir"; Filename.concat dir "ckpt";
+      "--resume";
+      "--checkpoint-every"; "8";
+      "--dedup-cap"; "200000";
+      "-n"; string_of_int n;
+      "-k"; string_of_int k;
+      "--eps"; Printf.sprintf "%g" eps;
+      "--alpha"; "0.1";
+      "--seed"; "7";
+      "--trace"; trace;
+    |]
+  in
+  srv.pid <- Unix.create_process bin args Unix.stdin log log;
+  Unix.close log;
+  trace
+
+let wait_ready ~socket ~timeout_s =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Some (Unix.gettimeofday () -. t0)
+    | exception Unix.Unix_error _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if Unix.gettimeofday () -. t0 > timeout_s then None
+        else begin
+          Thread.delay 0.02;
+          go ()
+        end
+  in
+  go ()
+
+let kill_wait pid signal =
+  (try Unix.kill pid signal with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] pid : int * Unix.process_status) with Unix.Unix_error _ -> ()
+
+(* --- journal validation --- *)
+
+let check cond fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if cond then true
+      else begin
+        Printf.eprintf "INVARIANT VIOLATED: %s\n%!" msg;
+        false
+      end)
+    fmt
+
+let validate_journal ~path ~eps_total ~max_reported_eps ~max_reported_delta =
+  let raw =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  match Journal.replay_string raw with
+  | Error why ->
+      Printf.eprintf "INVARIANT VIOLATED: journal unreadable: %s\n%!" why;
+      (false, 0, (0., 0.))
+  | Ok rv ->
+      let ok = ref (check (not rv.Journal.rv_torn) "journal torn after graceful drain") in
+      let tol = 1e-9 *. Float.max 1. eps_total in
+      let prev = ref (0., 0.) in
+      List.iter
+        (fun r ->
+          match r with
+          | Journal.Debit { jd_mechanism; jd_eps; jd_delta = _; jd_cum_eps; jd_cum_delta } ->
+              let pe, pd = !prev in
+              ok :=
+                check
+                  (jd_cum_eps >= pe -. tol && jd_cum_delta >= pd -. tol)
+                  "cumulative ledger went backwards (%.6g,%.3g) -> (%.6g,%.3g)" pe pd jd_cum_eps
+                  jd_cum_delta
+                && !ok;
+              if jd_mechanism = "serve" then
+                ok :=
+                  check
+                    (Float.abs (jd_cum_eps -. (pe +. jd_eps)) <= tol)
+                    "serve debit not additive: %.6g + %.6g <> %.6g" pe jd_eps jd_cum_eps
+                  && !ok;
+              prev := (jd_cum_eps, jd_cum_delta)
+          | Journal.Answer _ | Journal.Mark _ -> ())
+        rv.Journal.rv_records;
+      let cum_eps, cum_delta = rv.Journal.rv_cum in
+      ok :=
+        check
+          (cum_eps <= eps_total +. tol)
+          "journal cumulative eps %.6g exceeds the %.6g pot (double-spend)" cum_eps eps_total
+        && !ok;
+      ok :=
+        check
+          (cum_eps +. tol >= max_reported_eps)
+          "a client saw spent_eps %.6g but the journal only covers %.6g" max_reported_eps cum_eps
+        && !ok;
+      ok :=
+        check
+          (cum_delta +. (tol *. 1e-6) >= max_reported_delta)
+          "a client saw spent_delta %.3g but the journal only covers %.3g" max_reported_delta
+          cum_delta
+        && !ok;
+      (* server-side byte identity: a rid journaled twice must carry the
+         same bytes (it should in fact never be journaled twice at all —
+         the dedup path replays without re-recording) *)
+      let by_rid = Hashtbl.create 256 in
+      List.iter
+        (fun (key, line) ->
+          match Hashtbl.find_opt by_rid key with
+          | None -> Hashtbl.add by_rid key line
+          | Some first ->
+              ok :=
+                check (String.equal first line) "rid %s journaled twice with different bytes"
+                  (snd key)
+                && !ok)
+        rv.Journal.rv_answers;
+      (!ok, List.length rv.Journal.rv_records, rv.Journal.rv_cum)
+
+(* --- entry point --- *)
+
+let () =
+  let cycles = ref 20 in
+  let analysts = ref 4 in
+  let dir = ref None in
+  let bin = ref "_build/default/bin/pmw_cli.exe" in
+  let seed = ref 42 in
+  let json = ref false in
+  let eps = ref 200. in
+  let n = ref 20_000 in
+  let k = ref 20_000 in
+  let kill_min = ref 0.3 in
+  let kill_max = ref 0.9 in
+  let dup_prob = ref 0.35 in
+  let rec parse = function
+    | [] -> ()
+    | "--cycles" :: v :: rest -> cycles := int_of_string v; parse rest
+    | "--analysts" :: v :: rest -> analysts := int_of_string v; parse rest
+    | "--dir" :: v :: rest -> dir := Some v; parse rest
+    | "--server-bin" :: v :: rest -> bin := v; parse rest
+    | "--seed" :: v :: rest -> seed := int_of_string v; parse rest
+    | "--eps" :: v :: rest -> eps := float_of_string v; parse rest
+    | "--n" :: v :: rest -> n := int_of_string v; parse rest
+    | "--k" :: v :: rest -> k := int_of_string v; parse rest
+    | "--kill-min-s" :: v :: rest -> kill_min := float_of_string v; parse rest
+    | "--kill-max-s" :: v :: rest -> kill_max := float_of_string v; parse rest
+    | "--dup-prob" :: v :: rest -> dup_prob := float_of_string v; parse rest
+    | "--json" :: rest -> json := true; parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "unknown argument %s\n\
+           usage: chaos.exe [--cycles N] [--analysts N] [--dir D] [--server-bin PATH]\n\
+          \       [--seed S] [--eps E] [--n N] [--k K] [--kill-min-s S] [--kill-max-s S]\n\
+          \       [--dup-prob P] [--json]\n"
+          arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if not (Sys.file_exists !bin) then begin
+    Printf.eprintf "server binary %s not found (dune build bin/ first)\n" !bin;
+    exit 2
+  end;
+  let dir =
+    match !dir with
+    | Some d ->
+        if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+        d
+    | None ->
+        let d = Filename.temp_file "pmw-chaos" "" in
+        Sys.remove d;
+        Sys.mkdir d 0o755;
+        d
+  in
+  let socket = Filename.concat dir "real.sock" in
+  let journal = Filename.concat dir "journal.wal" in
+  let proxy_path = Filename.concat dir "flaky.sock" in
+  let srv = { pid = -1; incarnation = 0 } in
+  let spawn () = spawn_server ~bin:!bin ~dir ~socket ~journal ~eps:!eps ~n:!n ~k:!k srv in
+  let t_start = Unix.gettimeofday () in
+  let trace = ref (spawn ()) in
+  (match wait_ready ~socket ~timeout_s:60. with
+  | Some _ -> ()
+  | None ->
+      Printf.eprintf "server never came up; see %s/server-1.log\n" dir;
+      exit 2);
+  let proxy =
+    Flaky.start
+      ~config:
+        {
+          Flaky.fl_seed = Int64.of_int !seed;
+          fl_drop = 0.03;
+          fl_delay = 0.08;
+          fl_delay_max_s = 0.03;
+          fl_truncate = 0.015;
+          fl_garbage = 0.03;
+          fl_disconnect = 0.015;
+        }
+      ~listen_path:proxy_path ~upstream:socket ()
+  in
+  let running = Atomic.make true in
+  let panel = Bench_json.default_panel in
+  let results = Array.make !analysts (new_stats ()) in
+  let threads =
+    List.init !analysts (fun i ->
+        Thread.create
+          (fun () ->
+            results.(i) <-
+              analyst ~running ~proxy_path ~panel ~seed:(Int64.of_int !seed) ~dup_prob:!dup_prob i)
+          ())
+  in
+  (* killer loop: SIGKILL at a random point, restart, measure time back to
+     an accepting socket *)
+  let rng = Splitmix64.create (Int64.of_int (!seed + 997)) in
+  let recoveries = ref [] in
+  let failed_restart = ref false in
+  for cycle = 1 to !cycles do
+    Thread.delay (uniform rng !kill_min !kill_max);
+    kill_wait srv.pid Sys.sigkill;
+    let t0 = Unix.gettimeofday () in
+    trace := spawn ();
+    match wait_ready ~socket ~timeout_s:60. with
+    | Some _ ->
+        let dt = Unix.gettimeofday () -. t0 in
+        recoveries := dt :: !recoveries;
+        Printf.printf "cycle %2d/%d: killed pid, recovered in %.0f ms\n%!" cycle !cycles
+          (dt *. 1e3)
+    | None ->
+        Printf.eprintf "cycle %d: server did not recover; see %s/server-%d.log\n%!" cycle dir
+          srv.incarnation;
+        failed_restart := true
+  done;
+  Atomic.set running false;
+  List.iter Thread.join threads;
+  (* graceful drain of the final incarnation, then validate *)
+  kill_wait srv.pid Sys.sigterm;
+  Flaky.stop proxy;
+  let wall_s = Unix.gettimeofday () -. t_start in
+  let total f = Array.fold_left (fun acc s -> acc + f s) 0 results in
+  let completed = total (fun s -> s.a_completed) in
+  let answered = total (fun s -> s.a_answered) in
+  let errors = total (fun s -> s.a_errors) in
+  let dedup_checks = total (fun s -> s.a_dedup_checks) in
+  let dedup_mismatches = total (fun s -> s.a_dedup_mismatches) in
+  let max_reported_eps =
+    Array.fold_left (fun acc s -> Float.max acc s.a_max_eps) 0. results
+  in
+  let max_reported_delta =
+    Array.fold_left (fun acc s -> Float.max acc s.a_max_delta) 0. results
+  in
+  let journal_ok, journal_records, (cum_eps, cum_delta) =
+    validate_journal ~path:journal ~eps_total:!eps ~max_reported_eps ~max_reported_delta
+  in
+  let trace_ok =
+    match Trace.load ~path:!trace with
+    | Error why ->
+        Printf.eprintf "INVARIANT VIOLATED: final trace unreadable: %s\n%!" why;
+        false
+    | Ok events -> (
+        match Trace.validate events with
+        | Ok () -> true
+        | Error why ->
+            Printf.eprintf "INVARIANT VIOLATED: final trace invalid: %s\n%!" why;
+            false)
+  in
+  let recov = Array.of_list !recoveries in
+  Array.sort compare recov;
+  let recovery_mean =
+    if Array.length recov = 0 then 0.
+    else Array.fold_left ( +. ) 0. recov /. float_of_int (Array.length recov)
+  in
+  let recovery_max = if Array.length recov = 0 then 0. else recov.(Array.length recov - 1) in
+  let checks_ok =
+    check (dedup_mismatches = 0) "%d dedup mismatches (retried rids got fresh bytes)"
+      dedup_mismatches
+    && check (dedup_checks > 0) "no dedup retries were exercised (%d checks)" dedup_checks
+    && check (not !failed_restart) "at least one restart never came back"
+    && check (completed > 0) "no requests completed"
+    && journal_ok && trace_ok
+  in
+  Printf.printf
+    "chaos soak: %d kill/restart cycles, %d analysts, %.1fs wall\n\
+    \  %d completed (%d answered, %d client errors), %d dedup retries, %d mismatches\n\
+    \  recovery ms mean %.0f max %.0f; journal records %d, cum eps %.4f (max reported %.4f), \
+     cum delta %.3g\n\
+    \  proxy faults: %s\n\
+     %s\n%!"
+    !cycles !analysts wall_s completed answered errors dedup_checks dedup_mismatches
+    (recovery_mean *. 1e3) (recovery_max *. 1e3) journal_records cum_eps max_reported_eps
+    cum_delta
+    (String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s %d" k v) (Flaky.stats proxy)))
+    (if checks_ok then "ALL INVARIANTS HELD" else "INVARIANTS VIOLATED");
+  if !json then begin
+    let num v = Protocol.Num v in
+    let int v = Protocol.Num (float_of_int v) in
+    let section =
+      Protocol.Obj
+        [
+          ("generator", Protocol.Str "bench/chaos.exe -- --json");
+          ("timestamp", Protocol.Str (Bench_json.iso8601_utc ()));
+          ("cycles", int !cycles);
+          ("analysts", int !analysts);
+          ("wall_s", num wall_s);
+          ("requests_completed", int completed);
+          ("requests_answered", int answered);
+          ("client_errors", int errors);
+          ("dedup_retries", int dedup_checks);
+          ("dedup_mismatches", int dedup_mismatches);
+          ("recovery_mean_ms", num (recovery_mean *. 1e3));
+          ("recovery_max_ms", num (recovery_max *. 1e3));
+          ("journal_records", int journal_records);
+          ("journal_cum_eps", num cum_eps);
+          ("journal_cum_delta", num cum_delta);
+          ("max_reported_eps", num max_reported_eps);
+          ( "proxy_faults",
+            Protocol.Obj (List.map (fun (k, v) -> (k, int v)) (Flaky.stats proxy)) );
+          ("invariants_held", Protocol.Bool checks_ok);
+        ]
+    in
+    Bench_json.merge_section ~path:"BENCH_pmw.json" ~section:"chaos"
+      ~command:"bench/chaos.exe -- --json" section
+  end;
+  exit (if checks_ok then 0 else 1)

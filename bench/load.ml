@@ -8,10 +8,12 @@
 
    Modes:
      load.exe --compare --json
-         In-process A/B on the 2^16-universe regression config: the same
-         workload at --max-batch and again at batch size 1 (the sequential
-         baseline), reporting the batching speedup and merging a "server"
-         section into BENCH_pmw.json (pmw-kernel-bench/2 schema).
+         In-process A/B/C on the 2^16-universe regression config: the same
+         workload at --max-batch, again at batch size 1 (the sequential
+         baseline), and again at --max-batch with the write-ahead journal
+         fsyncing every batch — reporting the batching speedup and the
+         journal overhead, and merging a "server" section into
+         BENCH_pmw.json (pmw-kernel-bench/2 schema).
      load.exe --socket /tmp/pmw.sock --duration-s 5
          Drive an external `pmw_cli serve` over its Unix socket for a fixed
          duration (the CI server-smoke job).
@@ -108,7 +110,9 @@ let analyst_loop ~call ~queries ~requests ~deadline ~analyst =
   in
   while continue () do
     let name = queries.(!r mod Array.length queries) in
-    let req = { Protocol.req_id = !r; req_analyst = analyst; req_query = name } in
+    let req =
+      { Protocol.req_id = !r; req_analyst = analyst; req_query = name; req_rid = None }
+    in
     let t0 = Unix.gettimeofday () in
     (match call req with
     | Some (rsp : Protocol.response) ->
@@ -158,7 +162,7 @@ let drive ~label ~max_batch ~analysts ~queries ~requests ~duration_s ~make_call 
 (* levels for a d=2 regression grid with 5 label levels: levels^2 * 5 ~ 2^bits *)
 let levels_for_bits bits = max 2 (int_of_float (sqrt (ldexp 1. bits /. 5.)))
 
-let run_inproc ~label ~bits ~n ~eps ~t_max ~analysts ~requests ~max_batch () =
+let run_inproc ?journal_path ~label ~bits ~n ~eps ~t_max ~analysts ~requests ~max_batch () =
   let w = Common.Workload.regression ~d:2 ~levels:(levels_for_bits bits) () in
   let universe = w.Common.Workload.universe in
   let dataset = w.Common.Workload.sample ~n (Rng.create ~seed:2 ()) in
@@ -171,10 +175,20 @@ let run_inproc ~label ~bits ~n ~eps ~t_max ~analysts ~requests ~max_batch () =
   let session = Session.create ~config ~dataset ~rng:(Rng.create ~seed:3 ()) () in
   let registry = Hashtbl.create 16 in
   List.iter (fun q -> Hashtbl.replace registry q.Pmw_core.Cm_query.name q) w.Common.Workload.queries;
+  let journal =
+    Option.map
+      (fun path ->
+        (try Sys.remove path with Sys_error _ -> ());
+        match Pmw_server.Journal.open_journal ~path with
+        | Ok (j, _) -> j
+        | Error why -> failwith why)
+      journal_path
+  in
   let broker =
     Broker.create
-      ~config:{ Broker.max_batch; quota = 0; retry_after_s = 0.05 }
-      ~session ~resolve:(Hashtbl.find_opt registry) ()
+      ~config:
+        { Broker.max_batch; quota = 0; retry_after_s = 0.05; dedup_cap = 4096; checkpoint_every = 0 }
+      ?journal ~session ~resolve:(Hashtbl.find_opt registry) ()
   in
   let queries =
     Array.of_list (List.map (fun q -> q.Pmw_core.Cm_query.name) w.Common.Workload.queries)
@@ -186,34 +200,27 @@ let run_inproc ~label ~bits ~n ~eps ~t_max ~analysts ~requests ~max_batch () =
   in
   Broker.run broker;
   Thread.join coordinator;
+  Option.iter Pmw_server.Journal.close journal;
   (result (), Pmw_data.Universe.size universe)
 
 (* --- socket client mode --- *)
 
-(* Query names the stock `pmw_cli serve` regression workload (d=2)
-   registers; `serve` prints its registered names at startup, and --queries
-   overrides this list for other workloads. *)
-let default_panel =
-  [|
-    "0.25*squared";
-    "huber(0.5)";
-    "absolute";
-    "quantile(0.25)";
-    "quantile(0.75)";
-    "0.25*squared|mask=01";
-    "0.25*squared|mask=10";
-  |]
+(* --queries overrides this stock panel for other workloads. *)
+let default_panel = Bench_json.default_panel
 
 let run_socket ~path ~queries ~analysts ~requests ~duration_s () =
-  let clients = Array.init analysts (fun _ -> Net.Client.connect path) in
+  (* The 30 s deadline is a watchdog, not a latency target: a socket bench
+     against a wedged server should fail, not hang the CI job. *)
+  let clients = Array.init analysts (fun _ -> Net.Client.connect ~deadline_s:30. path) in
   let coordinator, result =
     drive ~label:"socket" ~max_batch:0 ~analysts ~queries ~requests ~duration_s
       ~make_call:(fun i ->
         fun req ->
           match Net.Client.call clients.(i) req with
           | Ok rsp -> Some rsp
-          | Error why ->
-              Printf.eprintf "analyst %s: %s\n%!" req.Protocol.req_analyst why;
+          | Error e ->
+              Printf.eprintf "analyst %s: %s\n%!" req.Protocol.req_analyst
+                (Net.Client.error_to_string e);
               None)
       ~finish:(fun () -> Array.iter Net.Client.close clients)
   in
@@ -221,45 +228,6 @@ let run_socket ~path ~queries ~analysts ~requests ~duration_s () =
   result ()
 
 (* --- BENCH_pmw.json merge --- *)
-
-(* Pretty printer for the merged document: objects multi-line down to the
-   section level, arrays of objects one element per line, leaves compact —
-   close enough to bench/main.ml's hand formatting to diff sanely. *)
-let rec pretty ~depth buf j =
-  let indent n = String.make (2 * n) ' ' in
-  let compact j = Buffer.add_string buf (Protocol.json_to_string j) in
-  match j with
-  | Protocol.Obj fields when depth < 2 && fields <> [] ->
-      Buffer.add_string buf "{\n";
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_string buf ",\n";
-          Buffer.add_string buf (indent (depth + 1));
-          Buffer.add_string buf (Protocol.json_to_string (Protocol.Str k));
-          Buffer.add_string buf ": ";
-          pretty ~depth:(depth + 1) buf v)
-        fields;
-      Buffer.add_string buf "\n";
-      Buffer.add_string buf (indent depth);
-      Buffer.add_string buf "}"
-  | Protocol.Arr items
-    when items <> [] && List.for_all (function Protocol.Obj _ -> true | _ -> false) items ->
-      Buffer.add_string buf "[\n";
-      List.iteri
-        (fun i item ->
-          if i > 0 then Buffer.add_string buf ",\n";
-          Buffer.add_string buf (indent (depth + 1));
-          compact item)
-        items;
-      Buffer.add_string buf "\n";
-      Buffer.add_string buf (indent depth);
-      Buffer.add_string buf "]"
-  | j -> compact j
-
-let iso8601_utc () =
-  let tm = Unix.gmtime (Unix.gettimeofday ()) in
-  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
-    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
 
 let run_json r =
   let ms v = v *. 1e3 in
@@ -279,50 +247,21 @@ let run_json r =
       ("batch_size_mean", Protocol.Num r.r_batch_mean);
     ]
 
-let merge_bench_json ~path ~bits ~universe_size ~results ~speedup =
+let merge_bench_json ~path ~bits ~universe_size ~results ~speedup ~journal_ratio =
   let server =
     Protocol.Obj
       [
         ("universe_bits", Protocol.Num (float_of_int bits));
         ("universe_size", Protocol.Num (float_of_int universe_size));
         ("generator", Protocol.Str "bench/load.exe -- --compare --json");
-        ("timestamp", Protocol.Str (iso8601_utc ()));
+        ("timestamp", Protocol.Str (Bench_json.iso8601_utc ()));
         ("runs", Protocol.Arr (List.map run_json results));
         ("batching_speedup", Protocol.Num speedup);
+        ("journal_throughput_ratio", Protocol.Num journal_ratio);
       ]
   in
-  let existing =
-    if Sys.file_exists path then begin
-      let ic = open_in_bin path in
-      let len = in_channel_length ic in
-      let raw = really_input_string ic len in
-      close_in ic;
-      match Protocol.json_of_string raw with Ok (Protocol.Obj fields) -> fields | _ -> []
-    end
-    else []
-  in
-  let fields =
-    if existing = [] then
-      [
-        ("schema", Protocol.Str "pmw-kernel-bench/2");
-        ("command", Protocol.Str "bench/load.exe -- --compare --json");
-        ( "meta",
-          Protocol.Obj
-            [
-              ("timestamp", Protocol.Str (iso8601_utc ()));
-              ("ocaml", Protocol.Str Sys.ocaml_version);
-            ] );
-      ]
-    else existing
-  in
-  let fields = List.remove_assoc "server" fields @ [ ("server", server) ] in
-  let buf = Buffer.create 4096 in
-  pretty ~depth:0 buf (Protocol.Obj fields);
-  Buffer.add_char buf '\n';
-  let oc = open_out path in
-  Buffer.output_buffer oc buf;
-  close_out oc;
-  Printf.printf "wrote %s (server section)\n%!" path
+  Bench_json.merge_section ~path ~section:"server"
+    ~command:"bench/load.exe -- --compare --json" server
 
 (* --- entry point --- *)
 
@@ -406,11 +345,25 @@ let () =
         print_result batched;
         let sequential, _ = run ~label:"batch-1" ~max_batch:1 in
         print_result sequential;
+        (* same workload again with the write-ahead journal fsyncing every
+           batch: the durability tax the chaos layer's acceptance bound
+           (within 20% of no-journal) holds against *)
+        let journal_path = Filename.temp_file "pmw-load" ".journal" in
+        let journaled, _ =
+          run_inproc ~journal_path ~label:"journaled" ~bits:!bits ~n:!n ~eps:!eps ~t_max:!t_max
+            ~analysts:!analysts ~requests:!requests ~max_batch:!max_batch ()
+        in
+        (try Sys.remove journal_path with Sys_error _ -> ());
+        print_result journaled;
         let speedup =
           if throughput sequential > 0. then throughput batched /. throughput sequential else 0.
         in
-        Printf.printf "batching speedup: %.2fx\n%!" speedup;
+        let journal_ratio =
+          if throughput batched > 0. then throughput journaled /. throughput batched else 0.
+        in
+        Printf.printf "batching speedup: %.2fx; journaled throughput: %.1f%% of no-journal\n%!"
+          speedup (100. *. journal_ratio);
         if !json then
           merge_bench_json ~path:"BENCH_pmw.json" ~bits:!bits ~universe_size
-            ~results:[ batched; sequential ] ~speedup
+            ~results:[ batched; sequential; journaled ] ~speedup ~journal_ratio
       end

@@ -452,9 +452,11 @@ let serve_cmd =
      writing a final checkpoint."
   in
   let module Session = Pmw_session.Session in
+  let module Checkpoint = Pmw_session.Checkpoint in
   let module Faulty = Pmw_erm.Faulty_oracle in
   let module Broker = Pmw_server.Broker in
   let module Net = Pmw_server.Net in
+  let module Journal = Pmw_server.Journal in
   let workload_arg =
     let kind = Arg.enum [ ("regression", `Regression); ("classification", `Classification) ] in
     Arg.(value & opt kind `Regression & info [ "workload" ] ~docv:"KIND" ~doc:"regression|classification")
@@ -483,7 +485,28 @@ let serve_cmd =
   in
   let dir_arg =
     Arg.(value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR"
-           ~doc:"Write DIR/session.ckpt on graceful drain")
+           ~doc:"Write DIR/session.ckpt on graceful drain (and every --checkpoint-every requests)")
+  in
+  let resume_flag =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Resume from DIR/session.ckpt when it exists (requires --checkpoint-dir); a \
+                   missing checkpoint starts fresh, so crash-restart loops can pass --resume \
+                   unconditionally")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"PATH"
+           ~doc:"Write-ahead journal: fsync every released answer and budget debit to PATH \
+                 before replying, and replay it on startup (quarantining post-checkpoint spend, \
+                 seeding retry dedup)")
+  in
+  let ckpt_every_arg =
+    Arg.(value & opt int 0 & info [ "checkpoint-every" ]
+           ~doc:"Also checkpoint every N processed requests (0 = final only)")
+  in
+  let dedup_cap_arg =
+    Arg.(value & opt int 4096 & info [ "dedup-cap" ]
+           ~doc:"Recorded answers kept for request_id retry dedup (0 disables)")
   in
   let fault_arg =
     Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC"
@@ -493,8 +516,8 @@ let serve_cmd =
     Arg.(value & opt int 3 & info [ "fault-every" ] ~doc:"Inject on every Nth oracle call")
   in
   let fault_seed_arg = Arg.(value & opt int 5 & info [ "fault-seed" ] ~doc:"Fault-injection seed") in
-  let run workload n k alpha eps delta t_max d seed socket max_batch quota retry_after dir
-      fault_spec fault_every fault_seed trace =
+  let run workload n k alpha eps delta t_max d seed socket max_batch quota retry_after dir resume
+      journal_path ckpt_every dedup_cap fault_spec fault_every fault_seed trace =
     let ( let* ) r f = match r with Error m -> `Error (false, m) | Ok v -> f v in
     let* fault =
       match fault_spec with
@@ -503,6 +526,8 @@ let serve_cmd =
     in
     if n <= 0 || k <= 0 then `Error (false, "n and k must be positive")
     else if max_batch < 1 then `Error (false, "max-batch must be >= 1")
+    else if dedup_cap < 0 then `Error (false, "dedup-cap must be >= 0")
+    else if resume && dir = None then `Error (false, "--resume requires --checkpoint-dir")
     else begin
       (* Block the shutdown signals before any thread exists so every thread
          inherits the mask and only the watcher consumes them. *)
@@ -538,20 +563,46 @@ let serve_cmd =
         | None -> fun () -> None
       in
       let rng = Pmw_rng.Rng.create ~seed:(seed + 7919) () in
-      let session = Session.create ~telemetry ~config ~dataset ~oracles ~spend_claim ~rng () in
+      Option.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755) dir;
+      let checkpoint = Option.map (fun dir -> Filename.concat dir "session.ckpt") dir in
+      (* Resume tolerates a missing checkpoint (first boot of a crash-restart
+         loop): same seed + fresh state recomputes the identical transcript,
+         and the journal still quarantines anything already spent. *)
+      let* session =
+        match (resume, checkpoint) with
+        | true, Some path when Sys.file_exists path ->
+            Result.bind (Checkpoint.read ~path) (fun ckpt ->
+                Option.iter
+                  (fun fo ->
+                    Faulty.set_calls fo
+                      (Checkpoint.attempts_for ckpt (Faulty.oracle fo).Pmw_erm.Oracle.name))
+                  faulty;
+                Session.resume ~telemetry ~config ~dataset ~oracles ~spend_claim ~rng ckpt)
+        | _ -> Ok (Session.create ~telemetry ~config ~dataset ~oracles ~spend_claim ~rng ())
+      in
+      let* journal, recovery =
+        match journal_path with
+        | None -> Ok (None, Journal.empty_recovery)
+        | Some p -> Result.map (fun (j, r) -> (Some j, r)) (Journal.open_journal ~path:p)
+      in
       let registry = Hashtbl.create 16 in
       List.iter
         (fun q -> Hashtbl.replace registry q.Pmw_core.Cm_query.name q)
         w.Common.Workload.queries;
       let broker =
         Broker.create
-          ~config:{ Broker.max_batch; quota; retry_after_s = retry_after }
-          ~session
+          ~config:
+            {
+              Broker.max_batch;
+              quota;
+              retry_after_s = retry_after;
+              dedup_cap;
+              checkpoint_every = ckpt_every;
+            }
+          ?journal ~recovery ~session
           ~resolve:(Hashtbl.find_opt registry)
           ()
       in
-      Option.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755) dir;
-      let checkpoint = Option.map (fun dir -> Filename.concat dir "session.ckpt") dir in
       let listener = Net.listen ~broker ~path:socket in
       let (_ : Thread.t) =
         Thread.create
@@ -571,14 +622,17 @@ let serve_cmd =
          empties. *)
       Broker.run ?checkpoint broker;
       Net.stop listener;
-      Printf.printf "processed %d requests from %d analysts\n"
+      Option.iter Journal.close journal;
+      Printf.printf "processed %d requests from %d analysts (%d dedup hits)\n"
         (Broker.processed broker)
-        (List.length (Broker.analysts broker));
+        (List.length (Broker.analysts broker))
+        (Broker.dedup_hits broker);
       List.iter
         (fun a ->
-          Printf.printf "  %-16s submitted %d: %d answered, %d degraded, %d refused, %d rejected\n"
+          Printf.printf
+            "  %-16s submitted %d: %d answered, %d degraded, %d refused, %d rejected, %d deduped\n"
             a.Broker.an_id a.Broker.an_submitted a.Broker.an_answered a.Broker.an_degraded
-            a.Broker.an_refused a.Broker.an_rejected)
+            a.Broker.an_refused a.Broker.an_rejected a.Broker.an_deduped)
         (Broker.analysts broker);
       let b = Session.budget session in
       let spent = Pmw_core.Budget.spent b and total = Pmw_core.Budget.total b in
@@ -593,8 +647,9 @@ let serve_cmd =
     Term.(
       ret
         (const run $ workload_arg $ n_arg $ k_arg $ alpha_arg $ eps_arg $ delta_arg $ t_arg $ d_arg
-       $ seed_arg $ socket_arg $ max_batch_arg $ quota_arg $ retry_arg $ dir_arg $ fault_arg
-       $ fault_every_arg $ fault_seed_arg $ trace_arg))
+       $ seed_arg $ socket_arg $ max_batch_arg $ quota_arg $ retry_arg $ dir_arg $ resume_flag
+       $ journal_arg $ ckpt_every_arg $ dedup_cap_arg $ fault_arg $ fault_every_arg
+       $ fault_seed_arg $ trace_arg))
 
 (* --- stats --- *)
 

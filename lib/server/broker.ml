@@ -1,15 +1,24 @@
 module Session = Pmw_session.Session
 module Online = Pmw_core.Online_pmw
 module Cm_query = Pmw_core.Cm_query
+module Budget = Pmw_core.Budget
+module Params = Pmw_dp.Params
 module Telemetry = Pmw_telemetry.Telemetry
 
 let log_src = Logs.Src.create "pmw.server" ~doc:"PMW query-server broker events"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type config = { max_batch : int; quota : int; retry_after_s : float }
+type config = {
+  max_batch : int;
+  quota : int;
+  retry_after_s : float;
+  dedup_cap : int;
+  checkpoint_every : int;
+}
 
-let default_config = { max_batch = 16; quota = 0; retry_after_s = 1. }
+let default_config =
+  { max_batch = 16; quota = 0; retry_after_s = 1.; dedup_cap = 4096; checkpoint_every = 0 }
 
 type analyst = {
   an_id : string;
@@ -18,18 +27,20 @@ type analyst = {
   an_degraded : int;
   an_refused : int;
   an_rejected : int;
+  an_deduped : int;
   an_history : (int * string) list;
 }
 
 (* Mutable twin of [analyst]; all fields are guarded by the broker lock
-   (submit bumps submitted/rejected, the serializer bumps the verdict
-   tallies when it publishes replies). *)
+   (submit bumps submitted/rejected/deduped, the serializer bumps the
+   verdict tallies when it publishes replies). *)
 type analyst_state = {
   mutable st_submitted : int;
   mutable st_answered : int;
   mutable st_degraded : int;
   mutable st_refused : int;
   mutable st_rejected : int;
+  mutable st_deduped : int;
   mutable st_history : (int * string) list;  (* newest first *)
 }
 
@@ -44,40 +55,121 @@ type t = {
   resolve : string -> Cm_query.t option;
   cfg : config;
   telemetry : Telemetry.t;
+  journal : Journal.t option;
   lock : Mutex.t;
   cond : Condition.t;  (* queue became non-empty, a reply landed, or drain *)
   queue : pending Queue.t;
   analysts : (string, analyst_state) Hashtbl.t;
+  (* Idempotency state, guarded by the broker lock: [dedup] maps
+     [analyst ^ "\x1f" ^ rid] to the exact encoded response line released
+     for that rid (FIFO-evicted at [dedup_cap]); [inflight] maps the same
+     key to the pending slot while the original request is still queued, so
+     a concurrent duplicate coalesces onto it instead of enqueueing. *)
+  dedup : (string, string) Hashtbl.t;
+  dedup_order : string Queue.t;
+  inflight : (string, pending) Hashtbl.t;
   mutable draining : bool;
   mutable stopped : bool;
   mutable seq : int;
-  (* Submit-side rejection tallies. Telemetry emission is single-threaded by
-     contract, and submit runs on client threads — so rejections land in
-     atomics here and the serializer mirrors them into the telemetry
-     counters between batches. *)
+  (* Journal cumulative already recorded; serializer-only. *)
+  mutable last_cum : float * float;
+  mutable last_checkpoint_seq : int;
+  (* Submit-side tallies. Telemetry emission is single-threaded by
+     contract, and submit runs on client threads — so these land in atomics
+     (plus a lock-guarded hit log for the dedup marks) and the serializer
+     mirrors them into the telemetry stream between batches. *)
   rejected_budget : int Atomic.t;
   rejected_quota : int Atomic.t;
   rejected_draining : int Atomic.t;
+  dedup_hits : int Atomic.t;
+  mutable dedup_hit_log : (string * string) list;  (* (analyst, rid), newest first *)
 }
 
-let create ?(config = default_config) ~session ~resolve () =
+let dedup_key analyst rid = analyst ^ "\x1f" ^ rid
+
+let dedup_insert t key line =
+  if t.cfg.dedup_cap > 0 then begin
+    if not (Hashtbl.mem t.dedup key) then Queue.push key t.dedup_order;
+    Hashtbl.replace t.dedup key line;
+    while Hashtbl.length t.dedup > t.cfg.dedup_cap do
+      Hashtbl.remove t.dedup (Queue.pop t.dedup_order)
+    done
+  end
+
+let create ?(config = default_config) ?journal ?(recovery = Journal.empty_recovery) ~session
+    ~resolve () =
   if config.max_batch < 1 then invalid_arg "Broker.create: max_batch must be >= 1";
-  {
-    session;
-    resolve;
-    cfg = config;
-    telemetry = Session.telemetry session;
-    lock = Mutex.create ();
-    cond = Condition.create ();
-    queue = Queue.create ();
-    analysts = Hashtbl.create 16;
-    draining = false;
-    stopped = false;
-    seq = 0;
-    rejected_budget = Atomic.make 0;
-    rejected_quota = Atomic.make 0;
-    rejected_draining = Atomic.make 0;
-  }
+  if config.dedup_cap < 0 then invalid_arg "Broker.create: dedup_cap must be >= 0";
+  let telemetry = Session.telemetry session in
+  let budget = Session.budget session in
+  (* Reconcile the journal against the resumed ledger before serving: any
+     spend the journal saw that the checkpoint did not is quarantined as
+     already-spent (a half-completed batch whose answers may have reached
+     clients must be paid for, never re-funded). *)
+  let q_eps, q_delta = Journal.reconcile recovery ~budget in
+  if recovery.Journal.rv_records <> [] || recovery.Journal.rv_torn then
+    Telemetry.mark telemetry "journal.replayed"
+      ~fields:
+        [
+          ("records", Telemetry.Int (List.length recovery.Journal.rv_records));
+          ("torn", Telemetry.Bool recovery.Journal.rv_torn);
+          ("dropped_bytes", Telemetry.Int recovery.Journal.rv_dropped_bytes);
+          ("answers", Telemetry.Int (List.length recovery.Journal.rv_answers));
+          ("max_seq", Telemetry.Int recovery.Journal.rv_max_seq);
+          ("quarantined_eps", Telemetry.Float q_eps);
+          ("quarantined_delta", Telemetry.Float q_delta);
+        ];
+  let t =
+    {
+      session;
+      resolve;
+      cfg = config;
+      telemetry;
+      journal;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      analysts = Hashtbl.create 16;
+      dedup = Hashtbl.create 64;
+      dedup_order = Queue.create ();
+      inflight = Hashtbl.create 16;
+      draining = false;
+      stopped = false;
+      seq = max 0 (recovery.Journal.rv_max_seq + 1);
+      last_cum = (0., 0.);
+      last_checkpoint_seq = max 0 (recovery.Journal.rv_max_seq + 1);
+      rejected_budget = Atomic.make 0;
+      rejected_quota = Atomic.make 0;
+      rejected_draining = Atomic.make 0;
+      dedup_hits = Atomic.make 0;
+      dedup_hit_log = [];
+    }
+  in
+  (* Seed the dedup table with the journal's recorded answers (oldest
+     first, so FIFO eviction keeps the newest when over cap). *)
+  List.iter
+    (fun ((analyst, rid), line) -> dedup_insert t (dedup_key analyst rid) line)
+    recovery.Journal.rv_answers;
+  (* Journal a restart boundary and the ledger's baseline cumulative, so
+     the very first replay of a fresh journal already covers the session's
+     up-front reserve (and a post-reconcile journal covers the quarantine). *)
+  (match journal with
+  | None -> ()
+  | Some j ->
+      let spent = Budget.spent budget in
+      Journal.append j (Journal.Mark "start");
+      Journal.append j
+        (Journal.Debit
+           {
+             jd_mechanism = "baseline";
+             jd_eps = 0.;
+             jd_delta = 0.;
+             jd_cum_eps = spent.Params.eps;
+             jd_cum_delta = spent.Params.delta;
+           });
+      Journal.sync j;
+      t.last_cum <- (spent.Params.eps, spent.Params.delta));
+  t
 
 let locked t f =
   Mutex.lock t.lock;
@@ -94,6 +186,7 @@ let analyst_state t id =
           st_degraded = 0;
           st_refused = 0;
           st_rejected = 0;
+          st_deduped = 0;
           st_history = [];
         }
       in
@@ -110,6 +203,8 @@ let rejected ?retry_after_s req reason =
     rsp_update_index = None;
     rsp_batch = None;
     rsp_queue_wait_s = None;
+    rsp_spent_eps = None;
+    rsp_spent_delta = None;
   }
 
 (* Admission, quota and enqueue run under one lock acquisition; the ledger
@@ -117,46 +212,84 @@ let rejected ?retry_after_s req reason =
    still degrade if the pot moves before its oracle call — the
    authoritative check-and-debit stays in the session's authorize hook —
    but backpressure keeps the queue from filling with work that could only
-   degrade. *)
+   degrade.
+
+   Idempotent retries come first, before any draining/quota/budget check:
+   a rid we already answered was paid for by its original admission, so
+   the recorded bytes go back out unconditionally — even during drain,
+   even for an analyst whose quota has since filled. *)
 let submit t req =
+  let rid_key = Option.map (dedup_key req.Protocol.req_analyst) req.Protocol.req_rid in
   let verdict =
     locked t (fun () ->
         let st = analyst_state t req.Protocol.req_analyst in
-        if t.draining || t.stopped then begin
-          Atomic.incr t.rejected_draining;
-          st.st_rejected <- st.st_rejected + 1;
-          Error (rejected req "server is draining")
-        end
-        else begin
-          if t.cfg.quota > 0 && st.st_submitted >= t.cfg.quota then begin
-            Atomic.incr t.rejected_quota;
-            st.st_rejected <- st.st_rejected + 1;
-            Error (rejected req (Printf.sprintf "analyst quota of %d queries reached" t.cfg.quota))
-          end
-          else
-            match Session.admissible t.session with
-            | Error why ->
-                Atomic.incr t.rejected_budget;
-                st.st_rejected <- st.st_rejected + 1;
-                Error
-                  (rejected ~retry_after_s:t.cfg.retry_after_s req
-                     ("admission refused: " ^ why))
-            | Ok () ->
-                st.st_submitted <- st.st_submitted + 1;
-                let p = { p_req = req; p_enqueued_at = Unix.gettimeofday (); p_reply = None } in
-                Queue.push p t.queue;
-                Condition.broadcast t.cond;
-                Ok p
-        end)
+        let dedup_hit () =
+          Atomic.incr t.dedup_hits;
+          st.st_deduped <- st.st_deduped + 1;
+          t.dedup_hit_log <-
+            (req.Protocol.req_analyst, Option.get req.Protocol.req_rid) :: t.dedup_hit_log
+        in
+        match Option.bind rid_key (Hashtbl.find_opt t.dedup) with
+        | Some line ->
+            dedup_hit ();
+            `Recorded line
+        | None -> (
+            match Option.bind rid_key (Hashtbl.find_opt t.inflight) with
+            | Some orig ->
+                dedup_hit ();
+                `Coalesce orig
+            | None ->
+                if t.draining || t.stopped then begin
+                  Atomic.incr t.rejected_draining;
+                  st.st_rejected <- st.st_rejected + 1;
+                  `Rejected (rejected req "server is draining")
+                end
+                else if t.cfg.quota > 0 && st.st_submitted >= t.cfg.quota then begin
+                  Atomic.incr t.rejected_quota;
+                  st.st_rejected <- st.st_rejected + 1;
+                  `Rejected
+                    (rejected req
+                       (Printf.sprintf "analyst quota of %d queries reached" t.cfg.quota))
+                end
+                else (
+                  match Session.admissible t.session with
+                  | Error why ->
+                      Atomic.incr t.rejected_budget;
+                      st.st_rejected <- st.st_rejected + 1;
+                      `Rejected
+                        (rejected ~retry_after_s:t.cfg.retry_after_s req
+                           ("admission refused: " ^ why))
+                  | Ok () ->
+                      st.st_submitted <- st.st_submitted + 1;
+                      let p =
+                        { p_req = req; p_enqueued_at = Unix.gettimeofday (); p_reply = None }
+                      in
+                      Option.iter (fun k -> Hashtbl.replace t.inflight k p) rid_key;
+                      Queue.push p t.queue;
+                      Condition.broadcast t.cond;
+                      `Enqueued p)))
+  in
+  let wait_for p =
+    locked t (fun () ->
+        while p.p_reply = None do
+          Condition.wait t.cond t.lock
+        done;
+        Option.get p.p_reply)
   in
   match verdict with
-  | Error reply -> reply
-  | Ok p ->
-      locked t (fun () ->
-          while p.p_reply = None do
-            Condition.wait t.cond t.lock
-          done;
-          Option.get p.p_reply)
+  | `Rejected reply -> reply
+  | `Recorded line -> (
+      match Protocol.decode_response line with
+      | Ok reply -> reply
+      | Error why ->
+          (* cannot happen for lines we encoded ourselves; fail loudly
+             rather than re-running the mechanism *)
+          {
+            (rejected req ("recorded answer unreadable: " ^ why)) with
+            Protocol.rsp_status = Protocol.Failed ("recorded answer unreadable: " ^ why);
+          })
+  | `Coalesce orig -> wait_for orig
+  | `Enqueued p -> wait_for p
 
 let source_str = function Online.From_hypothesis -> "hypothesis" | Online.From_oracle -> "oracle"
 
@@ -171,6 +304,8 @@ let response_of_verdict ~id ~seq ~batch ~queue_wait_s verdict =
       rsp_update_index = update_index;
       rsp_batch = Some batch;
       rsp_queue_wait_s = Some queue_wait_s;
+      rsp_spent_eps = None;
+      rsp_spent_delta = None;
     }
   in
   match verdict with
@@ -185,19 +320,70 @@ let response_of_verdict ~id ~seq ~batch ~queue_wait_s verdict =
         (Some o.Online.update_index)
   | Online.Refused r -> base (Protocol.Refused (Online.refusal_to_string r)) None None None
 
-let mirror_rejections t =
+let mirror_counters t =
   Telemetry.set_counter t.telemetry "server_rejected_budget" (Atomic.get t.rejected_budget);
   Telemetry.set_counter t.telemetry "server_rejected_quota" (Atomic.get t.rejected_quota);
-  Telemetry.set_counter t.telemetry "server_rejected_draining" (Atomic.get t.rejected_draining)
+  Telemetry.set_counter t.telemetry "server_rejected_draining" (Atomic.get t.rejected_draining);
+  Telemetry.set_counter t.telemetry "server_dedup_hits" (Atomic.get t.dedup_hits);
+  let hits =
+    locked t (fun () ->
+        let l = t.dedup_hit_log in
+        t.dedup_hit_log <- [];
+        List.rev l)
+  in
+  List.iter
+    (fun (analyst, rid) ->
+      Telemetry.mark t.telemetry "dedup.hit"
+        ~fields:[ ("analyst", Telemetry.Str analyst); ("rid", Telemetry.Str rid) ])
+    hits
+
+(* The durability point: journal every answer line of the batch plus the
+   ledger's new cumulative, fsync once, all BEFORE any reply is published.
+   A crash after the sync re-serves the same bytes from the journal; a
+   crash before it means no client ever saw the batch, so re-running it
+   after restart is fresh (and the quarantine covers any spend the session
+   made for answers that never left). *)
+let journal_batch t replies =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      List.iter
+        (fun (p, reply, line) ->
+          Journal.append j
+            (Journal.Answer
+               {
+                 ja_seq = reply.Protocol.rsp_seq;
+                 ja_analyst = p.p_req.Protocol.req_analyst;
+                 ja_rid = p.p_req.Protocol.req_rid;
+                 ja_line = line;
+               }))
+        replies;
+      let spent = Budget.spent (Session.budget t.session) in
+      let le, ld = t.last_cum in
+      if spent.Params.eps > le || spent.Params.delta > ld then begin
+        Journal.append j
+          (Journal.Debit
+             {
+               jd_mechanism = "serve";
+               jd_eps = Float.max 0. (spent.Params.eps -. le);
+               jd_delta = Float.max 0. (spent.Params.delta -. ld);
+               jd_cum_eps = spent.Params.eps;
+               jd_cum_delta = spent.Params.delta;
+             });
+        t.last_cum <- (spent.Params.eps, spent.Params.delta)
+      end;
+      Journal.sync j
 
 (* Serializer-side: answer one drained batch through a single
-   [Session.batch] context so the deterministic solves are shared, then
-   publish all replies under the lock in one broadcast. *)
+   [Session.batch] context so the deterministic solves are shared, journal
+   and fsync the results, then publish all replies under the lock in one
+   broadcast. *)
 let process_batch t items =
   let served_at = Unix.gettimeofday () in
   let batch_size = List.length items in
   Telemetry.observe t.telemetry "server.batch_size" (float_of_int batch_size);
   let b = Session.batch t.session in
+  let budget = Session.budget t.session in
   let replies =
     List.map
       (fun p ->
@@ -229,12 +415,23 @@ let process_batch t items =
                   response_of_verdict ~id:req.Protocol.req_id ~seq ~batch:batch_size ~queue_wait_s
                     (Session.batch_answer b q))
         in
-        (p, reply))
+        (* stamp the ledger cumulative at release so any client-held answer
+           names a spend level the journal must (and does) cover *)
+        let spent = Budget.spent budget in
+        let reply =
+          {
+            reply with
+            Protocol.rsp_spent_eps = Some spent.Params.eps;
+            rsp_spent_delta = Some spent.Params.delta;
+          }
+        in
+        (p, reply, Protocol.encode_response reply))
       items
   in
+  journal_batch t replies;
   locked t (fun () ->
       List.iter
-        (fun (p, reply) ->
+        (fun (p, reply, line) ->
           let st = analyst_state t p.p_req.Protocol.req_analyst in
           (match reply.Protocol.rsp_status with
           | Protocol.Answered -> st.st_answered <- st.st_answered + 1
@@ -244,10 +441,27 @@ let process_batch t items =
           st.st_history <-
             (reply.Protocol.rsp_seq, Protocol.status_tag reply.Protocol.rsp_status)
             :: st.st_history;
+          (match p.p_req.Protocol.req_rid with
+          | None -> ()
+          | Some rid ->
+              let key = dedup_key p.p_req.Protocol.req_analyst rid in
+              dedup_insert t key line;
+              Hashtbl.remove t.inflight key);
           p.p_reply <- Some reply)
         replies;
       Condition.broadcast t.cond);
-  mirror_rejections t
+  mirror_counters t
+
+let write_checkpoint t ~path ~why =
+  Session.save t.session ~path;
+  Option.iter
+    (fun j ->
+      Journal.append j (Journal.Mark "checkpoint");
+      Journal.sync j)
+    t.journal;
+  Telemetry.mark t.telemetry "server.checkpoint"
+    ~fields:[ ("path", Telemetry.Str path); ("seq", Telemetry.Int t.seq) ];
+  Log.info (fun m -> m "%s checkpoint written to %s (seq %d)" why path t.seq)
 
 let run ?checkpoint t =
   Telemetry.mark t.telemetry "server.start"
@@ -255,6 +469,8 @@ let run ?checkpoint t =
       [
         ("max_batch", Telemetry.Int t.cfg.max_batch);
         ("quota", Telemetry.Int t.cfg.quota);
+        ("journal", Telemetry.Bool (t.journal <> None));
+        ("first_seq", Telemetry.Int t.seq);
       ];
   let running = ref true in
   while !running do
@@ -265,7 +481,7 @@ let run ?checkpoint t =
           done;
           if Queue.is_empty t.queue then begin
             (* draining and nothing left: this is the graceful-drain exit —
-               every enqueued request has been answered. *)
+               every enqueued request has been answered (and journaled). *)
             t.stopped <- true;
             Condition.broadcast t.cond;
             []
@@ -277,15 +493,29 @@ let run ?checkpoint t =
     in
     match batch with
     | [] -> running := false
-    | items -> process_batch t items
+    | items ->
+        process_batch t items;
+        (match checkpoint with
+        | Some path
+          when t.cfg.checkpoint_every > 0
+               && t.seq - t.last_checkpoint_seq >= t.cfg.checkpoint_every ->
+            t.last_checkpoint_seq <- t.seq;
+            write_checkpoint t ~path ~why:"periodic"
+        | _ -> ())
   done;
-  mirror_rejections t;
+  mirror_counters t;
+  (* Drain boundary goes to the journal before the final checkpoint: a
+     replayer seeing the mark knows every journaled answer was released. *)
+  Option.iter
+    (fun j ->
+      Journal.append j (Journal.Mark "drain");
+      Journal.sync j)
+    t.journal;
   (match checkpoint with
   | None -> ()
   | Some path ->
-      Session.save t.session ~path;
-      Telemetry.mark t.telemetry "server.checkpoint" ~fields:[ ("path", Telemetry.Str path) ];
-      Log.info (fun m -> m "final checkpoint written to %s" path));
+      t.last_checkpoint_seq <- t.seq;
+      write_checkpoint t ~path ~why:"final");
   Telemetry.mark t.telemetry "server.drained"
     ~fields:[ ("processed", Telemetry.Int t.seq) ];
   Log.info (fun m -> m "drained after %d queries" t.seq)
@@ -298,6 +528,7 @@ let shutdown t =
 let drained t = locked t (fun () -> t.stopped)
 let processed t = locked t (fun () -> t.seq)
 let session t = t.session
+let dedup_hits t = Atomic.get t.dedup_hits
 
 let analysts t =
   locked t (fun () ->
@@ -310,6 +541,7 @@ let analysts t =
             an_degraded = st.st_degraded;
             an_refused = st.st_refused;
             an_rejected = st.st_rejected;
+            an_deduped = st.st_deduped;
             an_history = List.rev st.st_history;
           }
           :: acc)

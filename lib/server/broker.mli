@@ -19,22 +19,45 @@
     is spent, and rejected during drain. Rejected requests never consume a
     [seq] slot or any privacy budget.
 
+    {b Durability} (when a {!Journal.t} is passed to {!create}): before any
+    reply of a batch is released, the serializer journals every answer's
+    exact response line plus the ledger's new cumulative [(ε, δ)], then
+    [fsync]s — one sync per batch, not per request. A [kill -9] therefore
+    never loses spend a client observed. On {!create}, a replayed
+    {!Journal.recovery} is reconciled into the resumed session's ledger
+    ({!Journal.reconcile} quarantines post-checkpoint spend as
+    already-spent), the recorded answers seed the dedup table, and [seq]
+    continues past the journal's maximum.
+
+    {b Idempotent retries}: a request stamped with a [rid] that the broker
+    has already answered (this process, or any earlier incarnation whose
+    journal was replayed) is served the {e recorded} response line — byte
+    identical, no fresh noise, no budget touched — even during drain or
+    past quota. A concurrent duplicate of a still-queued rid coalesces onto
+    the original's reply. The table holds the newest [dedup_cap] answers
+    (FIFO eviction).
+
     {b Telemetry} (the session's instance): a ["server.request"] span per
-    processed request (analyst / query / seq / batch fields),
-    ["server.queue_wait_s"] and ["server.batch_size"] observations, and
-    [server_rejected_budget] / [server_rejected_quota] /
-    [server_rejected_draining] counters. Rejections are tallied in atomics
-    on the client threads and mirrored into the counters by the serializer,
-    preserving the telemetry single-writer contract. *)
+    processed request, ["server.queue_wait_s"] / ["server.batch_size"]
+    observations, ["journal.replayed"] on recovery, ["dedup.hit"] marks and
+    the [server_dedup_hits] counter, plus the [server_rejected_*] counters.
+    Submit-side events are tallied on the client threads and mirrored into
+    the stream by the serializer, preserving the telemetry single-writer
+    contract. *)
 
 type config = {
   max_batch : int;  (** most requests answered per serializer pass; >= 1 *)
   quota : int;  (** per-analyst lifetime query cap; [0] means unlimited *)
   retry_after_s : float;  (** backpressure hint on budget rejections *)
+  dedup_cap : int;  (** recorded answers kept for retry dedup; [0] disables *)
+  checkpoint_every : int;
+      (** write a checkpoint every this-many processed requests during
+          {!run} (needs its [checkpoint] path); [0] means final-only *)
 }
 
 val default_config : config
-(** [{ max_batch = 16; quota = 0; retry_after_s = 1. }] *)
+(** [{ max_batch = 16; quota = 0; retry_after_s = 1.; dedup_cap = 4096;
+      checkpoint_every = 0 }] *)
 
 (** A per-analyst service record (immutable snapshot). *)
 type analyst = {
@@ -44,6 +67,7 @@ type analyst = {
   an_degraded : int;
   an_refused : int;  (** refusals and protocol errors *)
   an_rejected : int;  (** turned away at admission *)
+  an_deduped : int;  (** served from the recorded-answer table *)
   an_history : (int * string) list;  (** (seq, status tag), oldest first *)
 }
 
@@ -51,37 +75,53 @@ type t
 
 val create :
   ?config:config ->
+  ?journal:Journal.t ->
+  ?recovery:Journal.recovery ->
   session:Pmw_session.Session.t ->
   resolve:(string -> Pmw_core.Cm_query.t option) ->
   unit ->
   t
 (** [resolve] maps wire query names to registered queries; returning the
     same physical value for the same name is what lets a batch share
-    solves. @raise Invalid_argument if [max_batch < 1]. *)
+    solves. Pass the [journal] and the [recovery] that
+    {!Journal.open_journal} returned to enable the durability layer —
+    reconciliation, dedup seeding and seq continuation happen here, before
+    any request is admitted. @raise Invalid_argument if [max_batch < 1] or
+    [dedup_cap < 0]. *)
 
 val submit : t -> Protocol.request -> Protocol.response
 (** Thread-safe, blocking: admission-check, enqueue, and wait for the
     serializer's reply. Returns a [Rejected] response without blocking when
-    admission refuses. Callable from any thread {e except} the serializer's
-    own (it would deadlock waiting for itself). *)
+    admission refuses, and a recorded response without blocking on a dedup
+    hit. Callable from any thread {e except} the serializer's own (it would
+    deadlock waiting for itself). *)
 
 val run : ?checkpoint:string -> t -> unit
 (** The serializer loop. Call from the thread that created the session's
     pool; returns after {!shutdown} once the queue is fully drained —
-    every admitted request is answered, then a final checkpoint is written
-    to [checkpoint] (if given) via {!Pmw_session.Session.save}, and a
-    ["server.drained"] mark closes the trace. *)
+    every admitted request is answered (and journaled, when a journal is
+    attached: the drain window cannot lose queued work), then a journal
+    ["drain"] mark and a final checkpoint are written to [checkpoint] (if
+    given) via {!Pmw_session.Session.save}, and a ["server.drained"] mark
+    closes the trace. With [checkpoint_every > 0], intermediate checkpoints
+    are also written to the same path as the run progresses. *)
 
 val shutdown : t -> unit
 (** Begin graceful drain: new submissions are rejected with
-    ["server is draining"], queued ones still get answers. Safe from any
-    thread (the SIGTERM watcher calls this). Idempotent. *)
+    ["server is draining"] (dedup hits are still served), queued ones still
+    get answers. Safe from any thread (the SIGTERM watcher calls this).
+    Idempotent. *)
 
 val drained : t -> bool
 (** [run] has finished its queue (set just before it returns). *)
 
 val processed : t -> int
-(** Requests answered so far — the next [seq] to be assigned. *)
+(** Requests answered so far — the next [seq] to be assigned. Starts past
+    the journal's max seq after a recovery. *)
+
+val dedup_hits : t -> int
+(** Requests served from the recorded-answer table (or coalesced onto an
+    in-flight duplicate) so far. *)
 
 val session : t -> Pmw_session.Session.t
 val analysts : t -> analyst list

@@ -1,0 +1,211 @@
+(* Fault-injecting Unix-socket proxy: sits between a client and the real
+   server socket and mangles the line stream with seeded randomness. The
+   chaos harness points analysts at the proxy so retries, timeouts and torn
+   lines are exercised against a live broker. *)
+
+module Splitmix64 = Pmw_rng.Splitmix64
+
+let log_src = Logs.Src.create "pmw.server.flaky" ~doc:"PMW fault-injecting socket proxy"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  fl_seed : int64;
+  fl_drop : float;
+  fl_delay : float;
+  fl_delay_max_s : float;
+  fl_truncate : float;
+  fl_garbage : float;
+  fl_disconnect : float;
+}
+
+let default_config =
+  {
+    fl_seed = 0x5DEECE66DL;
+    fl_drop = 0.02;
+    fl_delay = 0.05;
+    fl_delay_max_s = 0.05;
+    fl_truncate = 0.01;
+    fl_garbage = 0.02;
+    fl_disconnect = 0.01;
+  }
+
+type t = {
+  cfg : config;
+  listen_path : string;
+  upstream : string;
+  sock : Unix.file_descr;
+  mutable accept_thread : Thread.t option;
+  fds : (Unix.file_descr, unit) Hashtbl.t;  (* every live fd, for stop *)
+  fds_lock : Mutex.t;
+  mutable stopping : bool;
+  mutable conn_count : int;  (* guarded by fds_lock; seeds per-conn rngs *)
+  n_drop : int Atomic.t;
+  n_delay : int Atomic.t;
+  n_truncate : int Atomic.t;
+  n_garbage : int Atomic.t;
+  n_disconnect : int Atomic.t;
+}
+
+let track t fd =
+  Mutex.lock t.fds_lock;
+  Hashtbl.replace t.fds fd ();
+  Mutex.unlock t.fds_lock
+
+let untrack_close t fd =
+  Mutex.lock t.fds_lock;
+  Hashtbl.remove t.fds fd;
+  Mutex.unlock t.fds_lock;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let uniform rng = float_of_int (Splitmix64.next_in rng ~bound:1_000_000) /. 1_000_000.
+
+(* One direction of one connection: read lines off [src], roll a fault per
+   line, forward (or not) to [dst]. Truncate and disconnect end the relay —
+   a half-line on the wire makes the framing unrecoverable anyway, which is
+   exactly the torn-write shape the server must survive. *)
+let relay t rng src dst =
+  let r = Net.Io.reader ~max_bytes:(4 * Protocol.max_line_bytes) src in
+  let rec loop () =
+    match Net.Io.read_line r with
+    | `Line line -> (
+        let u = uniform rng in
+        let c = t.cfg in
+        let p0 = c.fl_drop in
+        let p1 = p0 +. c.fl_truncate in
+        let p2 = p1 +. c.fl_garbage in
+        let p3 = p2 +. c.fl_disconnect in
+        let p4 = p3 +. c.fl_delay in
+        if u < p0 then begin
+          Atomic.incr t.n_drop;
+          loop ()
+        end
+        else if u < p1 then begin
+          Atomic.incr t.n_truncate;
+          let keep = Splitmix64.next_in rng ~bound:(String.length line + 1) in
+          (try Net.Io.write_all dst (String.sub line 0 keep) with
+          | Unix.Unix_error _ | Sys_error _ -> ());
+          (* no newline, then hang up: the peer sees a torn final line *)
+          try Unix.shutdown dst Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+        end
+        else if u < p2 then begin
+          Atomic.incr t.n_garbage;
+          let len = 1 + Splitmix64.next_in rng ~bound:64 in
+          let junk =
+            String.init len (fun _ -> Char.chr (32 + Splitmix64.next_in rng ~bound:95))
+          in
+          match Net.Io.write_all dst (junk ^ "\n" ^ line ^ "\n") with
+          | () -> loop ()
+          | exception (Unix.Unix_error _ | Sys_error _) -> ()
+        end
+        else if u < p3 then begin
+          Atomic.incr t.n_disconnect;
+          (try Unix.shutdown dst Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+          try Unix.shutdown src Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+        end
+        else begin
+          if u < p4 then begin
+            Atomic.incr t.n_delay;
+            Thread.delay (uniform rng *. t.cfg.fl_delay_max_s)
+          end;
+          match Net.Io.write_all dst (line ^ "\n") with
+          | () -> loop ()
+          | exception (Unix.Unix_error _ | Sys_error _) -> ()
+        end)
+    | `Too_long | `Timeout | `Eof | `Error _ ->
+        (* relay whatever framing fate arrives: just stop this direction *)
+        (try Unix.shutdown dst Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+  in
+  loop ()
+
+let serve_conn t client seed =
+  match
+    let up = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect up (Unix.ADDR_UNIX t.upstream)
+     with e ->
+       (try Unix.close up with Unix.Unix_error _ -> ());
+       raise e);
+    up
+  with
+  | exception Unix.Unix_error _ -> untrack_close t client
+  | up ->
+      track t up;
+      let fwd = Splitmix64.create seed in
+      let bwd = Splitmix64.create (Int64.lognot seed) in
+      let th = Thread.create (fun () -> relay t bwd up client) () in
+      relay t fwd client up;
+      Thread.join th;
+      untrack_close t up;
+      untrack_close t client
+
+let rec accept_loop t =
+  match Unix.accept t.sock with
+  | fd, _ ->
+      track t fd;
+      let seed =
+        Mutex.lock t.fds_lock;
+        let n = t.conn_count in
+        t.conn_count <- n + 1;
+        Mutex.unlock t.fds_lock;
+        Int64.add t.cfg.fl_seed (Int64.of_int (1 + n))
+      in
+      ignore (Thread.create (fun () -> serve_conn t fd seed) () : Thread.t);
+      accept_loop t
+  | exception Unix.Unix_error _ ->
+      if not t.stopping then Log.warn (fun m -> m "proxy accept failed")
+
+let start ?(config = default_config) ~listen_path ~upstream () =
+  Lazy.force Net.ignore_sigpipe;
+  (try Unix.unlink listen_path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind sock (Unix.ADDR_UNIX listen_path)
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen sock 64;
+  Log.info (fun m -> m "fault proxy %s -> %s" listen_path upstream);
+  let t =
+    {
+      cfg = config;
+      listen_path;
+      upstream;
+      sock;
+      accept_thread = None;
+      fds = Hashtbl.create 16;
+      fds_lock = Mutex.create ();
+      stopping = false;
+      conn_count = 0;
+      n_drop = Atomic.make 0;
+      n_delay = Atomic.make 0;
+      n_truncate = Atomic.make 0;
+      n_garbage = Atomic.make 0;
+      n_disconnect = Atomic.make 0;
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let stop t =
+  t.stopping <- true;
+  (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close t.sock with Unix.Unix_error _ -> ());
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  Mutex.lock t.fds_lock;
+  let fds = Hashtbl.fold (fun fd () acc -> fd :: acc) t.fds [] in
+  Mutex.unlock t.fds_lock;
+  List.iter (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()) fds;
+  try Unix.unlink t.listen_path with Unix.Unix_error _ -> ()
+
+let stats t =
+  [
+    ("drop", Atomic.get t.n_drop);
+    ("delay", Atomic.get t.n_delay);
+    ("truncate", Atomic.get t.n_truncate);
+    ("garbage", Atomic.get t.n_garbage);
+    ("disconnect", Atomic.get t.n_disconnect);
+  ]
+
+let faults_injected t =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (stats t) - Atomic.get t.n_delay
+
+let path t = t.listen_path

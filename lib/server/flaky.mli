@@ -1,0 +1,53 @@
+(** Fault-injecting Unix-socket proxy for chaos testing.
+
+    [start] listens on [listen_path] and relays line traffic to the real
+    server at [upstream], rolling an independent seeded fault per relayed
+    line in each direction:
+
+    - {b drop}: the line silently vanishes (the client's deadline fires);
+    - {b truncate}: a random prefix is forwarded {e without} the newline and
+      the connection is torn down — the receiver sees a torn final line;
+    - {b garbage}: a line of random printable junk is injected before the
+      real line (the server must answer the junk with a structured error
+      and keep framing);
+    - {b disconnect}: both directions are shut down mid-conversation;
+    - {b delay}: the line is forwarded late (uniform in
+      [[0, fl_delay_max_s]]).
+
+    Probabilities are per-line and mutually exclusive (summed in the order
+    drop, truncate, garbage, disconnect, delay; keep the sum ≤ 1).
+    Randomness is {!Pmw_rng.Splitmix64} seeded from [fl_seed] and the
+    connection index, so a chaos run is reproducible given its seed. *)
+
+type config = {
+  fl_seed : int64;
+  fl_drop : float;
+  fl_delay : float;
+  fl_delay_max_s : float;
+  fl_truncate : float;
+  fl_garbage : float;
+  fl_disconnect : float;
+}
+
+val default_config : config
+(** Seeded, with a few percent of each fault class. *)
+
+type t
+
+val start : ?config:config -> listen_path:string -> upstream:string -> unit -> t
+(** Raises [Unix.Unix_error] if the proxy socket cannot bind. The upstream
+    is dialed per accepted connection, so the proxy may outlive (and
+    predate) the server across restarts. *)
+
+val stop : t -> unit
+(** Close the listener and every live relay. Idempotent enough for
+    shutdown paths. *)
+
+val stats : t -> (string * int) list
+(** Injected-fault tallies by class: [drop], [delay], [truncate],
+    [garbage], [disconnect]. *)
+
+val faults_injected : t -> int
+(** Total disruptive faults (delays not counted). *)
+
+val path : t -> string

@@ -1,0 +1,269 @@
+(* Write-ahead journal: one checksummed line per record, single write(2)
+   per append on an O_APPEND descriptor, fsync at the caller's durability
+   points. See journal.mli for the recovery contract. *)
+
+module Budget = Pmw_core.Budget
+module Params = Pmw_dp.Params
+
+type record =
+  | Debit of {
+      jd_mechanism : string;
+      jd_eps : float;
+      jd_delta : float;
+      jd_cum_eps : float;
+      jd_cum_delta : float;
+    }
+  | Answer of { ja_seq : int; ja_analyst : string; ja_rid : string option; ja_line : string }
+  | Mark of string
+
+type recovery = {
+  rv_records : record list;
+  rv_torn : bool;
+  rv_dropped_bytes : int;
+  rv_cum : float * float;
+  rv_answers : ((string * string) * string) list;
+  rv_max_seq : int;
+}
+
+let empty_recovery =
+  {
+    rv_records = [];
+    rv_torn = false;
+    rv_dropped_bytes = 0;
+    rv_cum = (0., 0.);
+    rv_answers = [];
+    rv_max_seq = -1;
+  }
+
+(* Same FNV-1a 64 the checkpoint format uses. *)
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+(* --- record <-> JSON payload --- *)
+
+let payload_of_record r =
+  let num v = Protocol.Num v in
+  let int v = Protocol.Num (float_of_int v) in
+  match r with
+  | Debit d ->
+      Protocol.Obj
+        [
+          ("k", Protocol.Str "debit");
+          ("mech", Protocol.Str d.jd_mechanism);
+          ("eps", num d.jd_eps);
+          ("delta", num d.jd_delta);
+          ("cum_eps", num d.jd_cum_eps);
+          ("cum_delta", num d.jd_cum_delta);
+        ]
+  | Answer a ->
+      Protocol.Obj
+        (("k", Protocol.Str "answer")
+        :: ("seq", int a.ja_seq)
+        :: ("analyst", Protocol.Str a.ja_analyst)
+        :: ((match a.ja_rid with None -> [] | Some rid -> [ ("rid", Protocol.Str rid) ])
+           @ [ ("rsp", Protocol.Str a.ja_line) ]))
+  | Mark name -> Protocol.Obj [ ("k", Protocol.Str "mark"); ("name", Protocol.Str name) ]
+
+let field fields name = List.assoc_opt name fields
+let as_str = function Protocol.Str s -> Some s | _ -> None
+
+let as_num = function
+  | Protocol.Num v -> Some v
+  | Protocol.Str "nan" -> Some Float.nan
+  | Protocol.Str "inf" -> Some Float.infinity
+  | Protocol.Str "-inf" -> Some Float.neg_infinity
+  | _ -> None
+
+let as_int j =
+  match as_num j with Some v when Float.is_integer v -> Some (int_of_float v) | _ -> None
+
+let record_of_payload j =
+  match j with
+  | Protocol.Obj fields -> (
+      match Option.bind (field fields "k") as_str with
+      | Some "debit" -> (
+          match
+            ( Option.bind (field fields "mech") as_str,
+              Option.bind (field fields "eps") as_num,
+              Option.bind (field fields "delta") as_num,
+              Option.bind (field fields "cum_eps") as_num,
+              Option.bind (field fields "cum_delta") as_num )
+          with
+          | Some jd_mechanism, Some jd_eps, Some jd_delta, Some jd_cum_eps, Some jd_cum_delta ->
+              Ok (Debit { jd_mechanism; jd_eps; jd_delta; jd_cum_eps; jd_cum_delta })
+          | _ -> Error "journal: malformed debit record")
+      | Some "answer" -> (
+          match
+            ( Option.bind (field fields "seq") as_int,
+              Option.bind (field fields "analyst") as_str,
+              Option.bind (field fields "rsp") as_str )
+          with
+          | Some ja_seq, Some ja_analyst, Some ja_line ->
+              Ok
+                (Answer
+                   { ja_seq; ja_analyst; ja_rid = Option.bind (field fields "rid") as_str; ja_line })
+          | _ -> Error "journal: malformed answer record")
+      | Some "mark" -> (
+          match Option.bind (field fields "name") as_str with
+          | Some name -> Ok (Mark name)
+          | None -> Error "journal: malformed mark record")
+      | Some other -> Error (Printf.sprintf "journal: unknown record kind %S" other)
+      | None -> Error "journal: record has no kind")
+  | _ -> Error "journal: record is not a JSON object"
+
+let record_to_string r =
+  let payload = Protocol.json_to_string (payload_of_record r) in
+  Printf.sprintf "%Lx %s" (fnv1a64 payload) payload
+
+let record_of_line line =
+  match String.index_opt line ' ' with
+  | None -> Error "journal: line has no checksum field"
+  | Some i -> (
+      let crc = String.sub line 0 i in
+      let payload = String.sub line (i + 1) (String.length line - i - 1) in
+      match Int64.of_string_opt ("0x" ^ crc) with
+      | None -> Error "journal: bad checksum field"
+      | Some expected ->
+          if not (Int64.equal expected (fnv1a64 payload)) then
+            Error "journal: checksum mismatch"
+          else Result.bind (Protocol.json_of_string payload) record_of_payload)
+
+(* --- replay --- *)
+
+let summarize records torn dropped =
+  let cum = ref (0., 0.) in
+  let answers = ref [] in
+  let max_seq = ref (-1) in
+  List.iter
+    (fun r ->
+      match r with
+      | Debit d -> cum := (d.jd_cum_eps, d.jd_cum_delta)
+      | Answer a ->
+          if a.ja_seq > !max_seq then max_seq := a.ja_seq;
+          Option.iter (fun rid -> answers := ((a.ja_analyst, rid), a.ja_line) :: !answers) a.ja_rid
+      | Mark _ -> ())
+    records;
+  {
+    rv_records = records;
+    rv_torn = torn;
+    rv_dropped_bytes = dropped;
+    rv_cum = !cum;
+    rv_answers = List.rev !answers;
+    rv_max_seq = !max_seq;
+  }
+
+(* A crash can only tear the tail: a record is one write(2) of a full line,
+   so the only invalid data a clean shutdown or a kill -9 can leave is a
+   truncated final line (no '\n', or a last line whose checksum fails).
+   Anything invalid that is FOLLOWED by more data is disk corruption and a
+   hard error — silently dropping valid answer records would break the
+   dedup byte-identity contract. *)
+let replay_string s =
+  let len = String.length s in
+  let rec go pos records =
+    if pos >= len then Ok (summarize (List.rev records) false 0)
+    else
+      match String.index_from_opt s pos '\n' with
+      | None ->
+          (* trailing bytes without a newline: torn tail *)
+          Ok (summarize (List.rev records) true (len - pos))
+      | Some nl -> (
+          let line = String.sub s pos (nl - pos) in
+          match record_of_line line with
+          | Ok r -> go (nl + 1) (r :: records)
+          | Error why ->
+              if nl + 1 >= len then
+                (* invalid final complete line: a torn write that happened
+                   to end at a byte that looks like '\n', or a partially
+                   synced tail — drop it *)
+                Ok (summarize (List.rev records) true (len - pos))
+              else Error (Printf.sprintf "%s (mid-file, at byte %d)" why pos))
+  in
+  go 0 []
+
+(* --- file handle --- *)
+
+type t = { jt_path : string; jt_fd : Unix.file_descr; mutable jt_closed : bool }
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd b !written (n - !written)
+  done
+
+let open_journal ~path =
+  match
+    let content =
+      if Sys.file_exists path then begin
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      end
+      else ""
+    in
+    Result.map (fun r -> (content, r)) (replay_string content)
+  with
+  | exception Sys_error why -> Error ("journal: " ^ why)
+  | Error why -> Error why
+  | Ok (content, recovery) -> (
+      match
+        let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+        if recovery.rv_dropped_bytes > 0 then begin
+          (* truncate the torn tail off so the next reader starts clean *)
+          Unix.ftruncate fd (String.length content - recovery.rv_dropped_bytes);
+          Unix.fsync fd
+        end;
+        fd
+      with
+      | fd -> Ok ({ jt_path = path; jt_fd = fd; jt_closed = false }, recovery)
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "journal: cannot open %s: %s" path (Unix.error_message e)))
+
+let append t r =
+  if t.jt_closed then invalid_arg "Journal.append: journal is closed";
+  write_all t.jt_fd (record_to_string r ^ "\n")
+
+let sync t = if not t.jt_closed then Unix.fsync t.jt_fd
+
+let close t =
+  if not t.jt_closed then begin
+    t.jt_closed <- true;
+    (try Unix.fsync t.jt_fd with Unix.Unix_error _ -> ());
+    try Unix.close t.jt_fd with Unix.Unix_error _ -> ()
+  end
+
+let path t = t.jt_path
+
+(* --- ledger reconciliation --- *)
+
+let reconcile recovery ~budget =
+  let cum_eps, cum_delta = recovery.rv_cum in
+  let spent = Budget.spent budget in
+  let diff_eps = Float.max 0. (cum_eps -. spent.Params.eps) in
+  let diff_delta = Float.max 0. (cum_delta -. spent.Params.delta) in
+  (* Round-off guard: the journal stores the same float sums the ledger
+     recomputes, so a genuine difference is at least one real debit; treat
+     anything at relative-epsilon scale as equal. *)
+  let total = Budget.total budget in
+  let negligible v scale = v <= 1e-12 *. Float.max 1. scale in
+  if negligible diff_eps total.Params.eps && negligible diff_delta total.Params.delta then (0., 0.)
+  else begin
+    let quarantined =
+      match
+        Budget.request ~mechanism:"journal-replay" budget
+          (Params.create ~eps:diff_eps ~delta:(Float.min 1. diff_delta))
+      with
+      | Ok granted -> granted
+      | Error _ ->
+          (* should not happen for an honest journal; drain conservatively *)
+          Budget.request_all ~mechanism:"journal-replay" budget
+    in
+    (quarantined.Params.eps, quarantined.Params.delta)
+  end

@@ -98,11 +98,25 @@ let literal c word value =
   end
   else raise (Bad (Printf.sprintf "bad literal at byte %d" c.pos))
 
+(* Validates digits explicitly: int_of_string would raise Failure on a
+   malformed escape like \uZZZZ, and the parser's no-raise contract (any
+   byte garbage maps to Error, never an exception) is what the fuzz corpus
+   in test_server.ml pins down. *)
 let parse_hex4 c =
   if c.pos + 4 > String.length c.text then raise (Bad "truncated \\u escape");
-  let v = int_of_string ("0x" ^ String.sub c.text c.pos 4) in
+  let digit ch =
+    match ch with
+    | '0' .. '9' -> Char.code ch - Char.code '0'
+    | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+    | _ -> raise (Bad (Printf.sprintf "bad hex digit '%c' in \\u escape" ch))
+  in
+  let v = ref 0 in
+  for i = c.pos to c.pos + 3 do
+    v := (!v lsl 4) lor digit c.text.[i]
+  done;
   c.pos <- c.pos + 4;
-  v
+  !v
 
 (* Decodes \uXXXX escapes to UTF-8 (surrogate pairs included) so a string
    round-trips even when the peer escapes non-ASCII. *)
@@ -241,12 +255,36 @@ let json_of_string s =
         Error (Printf.sprintf "trailing bytes after JSON value at byte %d" c.pos)
       else Ok v
   | exception Bad why -> Error why
+  (* Belt and braces for the no-raise contract: any stray library exception
+     from a hostile input becomes a decode error, never a crashed reader
+     thread. *)
+  | exception Failure why -> Error ("malformed JSON: " ^ why)
+  | exception Invalid_argument why -> Error ("malformed JSON: " ^ why)
 
 (* --- schema --- *)
 
 let version = 1
 
-type request = { req_id : int; req_analyst : string; req_query : string }
+(* Framing limits: a line longer than this is rejected before parsing (one
+   hostile analyst must not be able to balloon the reader's buffers), and a
+   NUL byte anywhere is rejected — no legitimate encoder emits raw NUL, and
+   truncation bugs in C-string-minded peers show up as embedded NULs. *)
+let max_line_bytes = 65536
+
+let frame_check what line =
+  let n = String.length line in
+  if n > max_line_bytes then
+    Error (Printf.sprintf "%s line of %d bytes exceeds the %d-byte limit" what n max_line_bytes)
+  else if String.contains line '\000' then
+    Error (Printf.sprintf "%s line contains a NUL byte" what)
+  else Ok ()
+
+type request = {
+  req_id : int;
+  req_analyst : string;
+  req_query : string;
+  req_rid : string option;
+}
 
 type status =
   | Answered
@@ -264,6 +302,8 @@ type response = {
   rsp_update_index : int option;
   rsp_batch : int option;
   rsp_queue_wait_s : float option;
+  rsp_spent_eps : float option;
+  rsp_spent_delta : float option;
 }
 
 let field fields name = List.assoc_opt name fields
@@ -291,28 +331,34 @@ let check_version fields =
 let encode_request r =
   json_to_string
     (Obj
-       [
-         ("v", Num (float_of_int version));
-         ("id", Num (float_of_int r.req_id));
-         ("analyst", Str r.req_analyst);
-         ("query", Str r.req_query);
-       ])
+       (("v", Num (float_of_int version))
+       :: ("id", Num (float_of_int r.req_id))
+       :: ("analyst", Str r.req_analyst)
+       :: ("query", Str r.req_query)
+       :: (match r.req_rid with None -> [] | Some rid -> [ ("rid", Str rid) ])))
 
 let decode_request line =
-  Result.bind (json_of_string line) (function
-    | Obj fields -> (
-        Result.bind (check_version fields) (fun () ->
-            match
-              ( Option.bind (field fields "id") as_int,
-                Option.bind (field fields "analyst") as_str,
-                Option.bind (field fields "query") as_str )
-            with
-            | Some id, Some analyst, Some query ->
-                Ok { req_id = id; req_analyst = analyst; req_query = query }
-            | None, _, _ -> Error "request is missing integer field \"id\""
-            | _, None, _ -> Error "request is missing string field \"analyst\""
-            | _, _, None -> Error "request is missing string field \"query\""))
-    | _ -> Error "request is not a JSON object")
+  Result.bind (frame_check "request" line) (fun () ->
+      Result.bind (json_of_string line) (function
+        | Obj fields -> (
+            Result.bind (check_version fields) (fun () ->
+                match
+                  ( Option.bind (field fields "id") as_int,
+                    Option.bind (field fields "analyst") as_str,
+                    Option.bind (field fields "query") as_str )
+                with
+                | Some id, Some analyst, Some query ->
+                    Ok
+                      {
+                        req_id = id;
+                        req_analyst = analyst;
+                        req_query = query;
+                        req_rid = Option.bind (field fields "rid") as_str;
+                      }
+                | None, _, _ -> Error "request is missing integer field \"id\""
+                | _, None, _ -> Error "request is missing string field \"analyst\""
+                | _, _, None -> Error "request is missing string field \"query\""))
+        | _ -> Error "request is not a JSON object"))
 
 let status_tag = function
   | Answered -> "answered"
@@ -344,9 +390,12 @@ let encode_response r =
              (opt "source" (fun s -> Str s) r.rsp_source
                 (opt "update_index" int r.rsp_update_index
                    (opt "batch" int r.rsp_batch
-                      (opt "queue_wait_s" num r.rsp_queue_wait_s [])))))))
+                      (opt "queue_wait_s" num r.rsp_queue_wait_s
+                         (opt "spent_eps" num r.rsp_spent_eps
+                            (opt "spent_delta" num r.rsp_spent_delta [])))))))))
 
 let decode_response line =
+  Result.bind (frame_check "response" line) (fun () ->
   Result.bind (json_of_string line) (function
     | Obj fields -> (
         Result.bind (check_version fields) (fun () ->
@@ -393,7 +442,9 @@ let decode_response line =
                         rsp_update_index = Option.bind (field fields "update_index") as_int;
                         rsp_batch = Option.bind (field fields "batch") as_int;
                         rsp_queue_wait_s = Option.bind (field fields "queue_wait_s") as_num;
+                        rsp_spent_eps = Option.bind (field fields "spent_eps") as_num;
+                        rsp_spent_delta = Option.bind (field fields "spent_delta") as_num;
                       }
                 | None, _ -> Error "response is missing integer field \"id\""
                 | _, None -> Error "response is missing integer field \"seq\"")))
-    | _ -> Error "response is not a JSON object")
+    | _ -> Error "response is not a JSON object"))

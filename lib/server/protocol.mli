@@ -18,10 +18,23 @@
     request never reached the mechanism (so no [seq] slot is consumed,
     [seq] is [-1]) and [retry_after_s] hints when to try again.
 
+    Requests may stamp an optional ["rid"] — a client-chosen {e idempotency
+    key}. The broker records the exact response line released for each
+    [(analyst, rid)] in its write-ahead journal and dedup table, so a retry
+    of the same rid (after a timeout, a dropped connection, or a server
+    restart) returns the {e recorded} bytes — no budget double-spend, no
+    fresh noise. Responses carry [spent_eps]/[spent_delta], the ledger's
+    cumulative totals when the answer was released, which lets an external
+    auditor check the journal covers everything any client ever saw.
+
     Floats use the telemetry convention: finite values as [%.17g] (which
     round-trips every double), NaN/±∞ as the strings ["nan"], ["inf"],
     ["-inf"]. Unknown fields are ignored (forward compatibility); a missing
-    or different ["v"] is an error (versioning contract). *)
+    or different ["v"] is an error (versioning contract).
+
+    {b Framing limits}: both decoders reject (with a structured [Error],
+    never an exception) any line longer than {!max_line_bytes} or containing
+    a NUL byte, before the JSON layer sees it. *)
 
 (** {1 JSON values}
 
@@ -47,13 +60,23 @@ val json_of_string : string -> (json, string) result
 (** {1 Schema} *)
 
 val version : int
-(** Spoken on every line; currently [1]. *)
+(** Spoken on every line; currently [1]. The rid / spent fields are
+    additive-optional, so version 1 still covers them. *)
 
-type request = { req_id : int; req_analyst : string; req_query : string }
-(** [req_id] is the analyst's correlation id, echoed verbatim. Integers
-    travel as JSON numbers — IEEE doubles — so ids must fit the exactly
-    representable range [±2^53]; larger values are silently rounded by any
-    standards-conforming JSON peer. *)
+val max_line_bytes : int
+(** Hard cap on a single protocol line (currently 64 KiB). Longer lines are
+    rejected by the decoders and by the server's bounded line reader. *)
+
+type request = {
+  req_id : int;  (** correlation id, echoed verbatim *)
+  req_analyst : string;
+  req_query : string;
+  req_rid : string option;
+      (** idempotency key: retries reusing the rid get the recorded answer *)
+}
+(** Integers travel as JSON numbers — IEEE doubles — so ids must fit the
+    exactly representable range [±2^53]; larger values are silently rounded
+    by any standards-conforming JSON peer. *)
 
 type status =
   | Answered
@@ -72,6 +95,9 @@ type response = {
   rsp_update_index : int option;
   rsp_batch : int option;  (** size of the batch that served this request *)
   rsp_queue_wait_s : float option;
+  rsp_spent_eps : float option;
+      (** ledger cumulative ε when this answer was released *)
+  rsp_spent_delta : float option;  (** ledger cumulative δ, same instant *)
 }
 
 val status_tag : status -> string

@@ -1,0 +1,250 @@
+(* Tests for the write-ahead privacy journal (lib/server/journal.ml): the
+   recovery contract that makes crash-safe serving work. Replay of any
+   byte-truncation of a valid journal succeeds (a crash can only tear the
+   tail), replay of any line-prefix is idempotent under [reconcile]
+   (debits carry cumulative totals), a torn final record is dropped
+   without losing earlier records, and corruption BEFORE the tail is a
+   hard error — silently dropping recorded answers would break the dedup
+   byte-identity contract. *)
+
+module Journal = Pmw_server.Journal
+module Budget = Pmw_core.Budget
+module Params = Pmw_dp.Params
+
+let journal_string records =
+  String.concat "" (List.map (fun r -> Journal.record_to_string r ^ "\n") records)
+
+let replay_ok s =
+  match Journal.replay_string s with
+  | Ok rv -> rv
+  | Error e -> Alcotest.failf "replay failed: %s" e
+
+(* --- generators --- *)
+
+let ident = QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 8))
+
+let gen_records =
+  QCheck.Gen.(
+    let* n = int_range 1 12 in
+    let rec go i cum_e cum_d acc =
+      if i >= n then return (List.rev acc)
+      else
+        let* kind = int_bound 2 in
+        match kind with
+        | 0 ->
+            let* de = float_bound_inclusive 0.3 and* dd = float_bound_inclusive 1e-7 in
+            let cum_e = cum_e +. de and cum_d = cum_d +. dd in
+            go (i + 1) cum_e cum_d
+              (Journal.Debit
+                 {
+                   jd_mechanism = "serve";
+                   jd_eps = de;
+                   jd_delta = dd;
+                   jd_cum_eps = cum_e;
+                   jd_cum_delta = cum_d;
+                 }
+              :: acc)
+        | 1 ->
+            let* seq = int_bound 100 and* analyst = ident in
+            let* rid = option ident and* line = ident in
+            go (i + 1) cum_e cum_d
+              (Journal.Answer { ja_seq = seq; ja_analyst = analyst; ja_rid = rid; ja_line = line }
+              :: acc)
+        | _ ->
+            let* name = ident in
+            go (i + 1) cum_e cum_d (Journal.Mark name :: acc)
+    in
+    go 0 0. 0. [])
+
+let print_records rs = journal_string rs
+
+(* --- record round-trip --- *)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"records survive the wire format" ~count:300
+    (QCheck.make ~print:print_records gen_records)
+    (fun records ->
+      let rv = replay_ok (journal_string records) in
+      rv.Journal.rv_records = records && (not rv.Journal.rv_torn)
+      && rv.Journal.rv_dropped_bytes = 0)
+
+(* --- prefix replay is idempotent under reconcile ---
+
+   Debits carry cumulative totals, so applying replay(first j lines) and
+   then replay(all lines) to the same ledger must land exactly where
+   applying replay(all lines) once would: the second reconcile only debits
+   the difference. *)
+
+let qcheck_prefix_idempotent =
+  QCheck.Test.make ~name:"replay(prefix) then replay(full) = replay(full)" ~count:200
+    (QCheck.make
+       ~print:(fun (rs, j) -> Printf.sprintf "prefix %d of:\n%s" j (print_records rs))
+       QCheck.Gen.(
+         let* rs = gen_records in
+         let* j = int_bound (List.length rs) in
+         return (rs, j)))
+    (fun (records, j) ->
+      let prefix = List.filteri (fun i _ -> i < j) records in
+      let rv_prefix = replay_ok (journal_string prefix) in
+      let rv_full = replay_ok (journal_string records) in
+      let budget = Budget.create (Params.create ~eps:10. ~delta:1e-4) in
+      let e1, d1 = Journal.reconcile rv_prefix ~budget in
+      let e2, d2 = Journal.reconcile rv_full ~budget in
+      let fe, fd = rv_full.Journal.rv_cum in
+      let spent = Budget.spent budget in
+      let close a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1. (Float.abs b) in
+      (* the two steps sum to exactly one full application... *)
+      close (e1 +. e2) fe && close (d1 +. d2) fd
+      (* ...and the ledger agrees *)
+      && close spent.Params.eps fe
+      && close spent.Params.delta fd
+      &&
+      (* a third application debits nothing *)
+      let e3, d3 = Journal.reconcile rv_full ~budget in
+      e3 = 0. && d3 = 0.)
+
+(* --- torn tails: any byte-truncation of a valid journal replays --- *)
+
+let qcheck_truncation =
+  QCheck.Test.make ~name:"any byte-truncation replays (tail dropped, prefix kept)" ~count:300
+    (QCheck.make
+       ~print:(fun (rs, cut) -> Printf.sprintf "cut at %d of:\n%s" cut (print_records rs))
+       QCheck.Gen.(
+         let* rs = gen_records in
+         let s = journal_string rs in
+         let* cut = int_bound (String.length s) in
+         return (rs, cut)))
+    (fun (records, cut) ->
+      let s = journal_string records in
+      let truncated = String.sub s 0 cut in
+      let rv = replay_ok truncated in
+      (* the recovered records are exactly the complete lines left *)
+      let complete_lines = String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 truncated in
+      let is_prefix =
+        List.length rv.Journal.rv_records <= List.length records
+        && List.for_all2
+             (fun a b -> a = b)
+             rv.Journal.rv_records
+             (List.filteri (fun i _ -> i < List.length rv.Journal.rv_records) records)
+      in
+      is_prefix
+      && List.length rv.Journal.rv_records = complete_lines
+      && (rv.Journal.rv_torn = (rv.Journal.rv_dropped_bytes > 0)))
+
+let test_torn_final_record () =
+  let records =
+    [
+      Journal.Mark "start";
+      Journal.Debit
+        { jd_mechanism = "serve"; jd_eps = 0.1; jd_delta = 0.; jd_cum_eps = 0.1; jd_cum_delta = 0. };
+      Journal.Answer { ja_seq = 0; ja_analyst = "a"; ja_rid = Some "r0"; ja_line = "x" };
+    ]
+  in
+  let s = journal_string records in
+  (* rip 3 bytes out of the final record (its trailing newline included) *)
+  let torn = String.sub s 0 (String.length s - 3) in
+  let rv = replay_ok torn in
+  Alcotest.(check bool) "torn tail detected" true rv.Journal.rv_torn;
+  Alcotest.(check int) "earlier records all kept" 2 (List.length rv.Journal.rv_records);
+  Alcotest.(check (pair (float 0.) (float 0.))) "cum comes from the surviving debit" (0.1, 0.)
+    rv.Journal.rv_cum
+
+(* --- corruption before the tail is a hard error --- *)
+
+let qcheck_midfile_corruption =
+  QCheck.Test.make ~name:"a flipped byte before the tail is a hard error" ~count:200
+    (QCheck.make
+       ~print:(fun (rs, pos, bits) ->
+         Printf.sprintf "flip byte %d with %02x in:\n%s" pos bits (print_records rs))
+       QCheck.Gen.(
+         let* rs = gen_records in
+         let* extra = ident in
+         let rs = rs @ [ Journal.Mark extra ] in
+         (* flip inside the FIRST line, never its newline *)
+         let first_len = String.length (Journal.record_to_string (List.hd rs)) in
+         let* pos = int_bound (first_len - 1) and* bits = int_range 1 255 in
+         return (rs, pos, bits)))
+    (fun (records, pos, bits) ->
+      let s = Bytes.of_string (journal_string records) in
+      Bytes.set s pos (Char.chr (Char.code (Bytes.get s pos) lxor bits land 0xff));
+      match Journal.replay_string (Bytes.to_string s) with
+      | Error why ->
+          (* the error names where it happened *)
+          let has_midfile =
+            let re = "mid-file" in
+            let n = String.length why and m = String.length re in
+            let rec find i = i + m <= n && (String.sub why i m = re || find (i + 1)) in
+            find 0
+          in
+          has_midfile
+      | Ok _ -> QCheck.Test.fail_reportf "corrupt journal replayed as valid")
+
+(* --- open_journal truncates the torn tail off the file --- *)
+
+let test_open_truncates_torn_tail () =
+  let path = Filename.temp_file "pmw_journal_test" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let good =
+        [
+          Journal.Mark "start";
+          Journal.Debit
+            {
+              jd_mechanism = "serve";
+              jd_eps = 0.2;
+              jd_delta = 1e-9;
+              jd_cum_eps = 0.2;
+              jd_cum_delta = 1e-9;
+            };
+        ]
+      in
+      let clean = journal_string good in
+      let oc = open_out_bin path in
+      output_string oc clean;
+      output_string oc "deadbeef {\"kind\":\"debit\",\"mech";
+      close_out oc;
+      (* first open: torn tail detected, dropped, and truncated off disk *)
+      (match Journal.open_journal ~path with
+      | Error e -> Alcotest.failf "open failed: %s" e
+      | Ok (j, rv) ->
+          Alcotest.(check bool) "torn detected" true rv.Journal.rv_torn;
+          Alcotest.(check int) "both clean records recovered" 2
+            (List.length rv.Journal.rv_records);
+          (* the handle still appends correctly after the truncation *)
+          Journal.append j (Journal.Mark "after");
+          Journal.sync j;
+          Journal.close j;
+          Journal.close j (* idempotent *));
+      (* second open: the file is clean and the append landed after the
+         recovered prefix *)
+      match Journal.open_journal ~path with
+      | Error e -> Alcotest.failf "re-open failed: %s" e
+      | Ok (j, rv) ->
+          Journal.close j;
+          Alcotest.(check bool) "no torn tail on re-open" false rv.Journal.rv_torn;
+          Alcotest.(check int) "three records now" 3 (List.length rv.Journal.rv_records);
+          match List.rev rv.Journal.rv_records with
+          | Journal.Mark "after" :: _ -> ()
+          | _ -> Alcotest.fail "appended record not last")
+
+let () =
+  Alcotest.run "pmw_journal"
+    [
+      ( "replay",
+        [
+          QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x3a1 |]) qcheck_roundtrip;
+          QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x3a2 |])
+            qcheck_prefix_idempotent;
+          QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x3a3 |]) qcheck_truncation;
+          QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x3a4 |])
+            qcheck_midfile_corruption;
+          Alcotest.test_case "torn final record dropped, prefix kept" `Quick
+            test_torn_final_record;
+        ] );
+      ( "file handle",
+        [
+          Alcotest.test_case "open truncates the torn tail off disk" `Quick
+            test_open_truncates_torn_tail;
+        ] );
+    ]

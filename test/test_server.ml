@@ -20,6 +20,8 @@ module Session = Pmw_session.Session
 module Pool = Pmw_parallel.Pool
 module Protocol = Pmw_server.Protocol
 module Broker = Pmw_server.Broker
+module Journal = Pmw_server.Journal
+module Net = Pmw_server.Net
 module Rng = Pmw_rng.Rng
 
 (* Concurrency cases run inside a worker thread watched by a deadline, so
@@ -137,6 +139,8 @@ let response_eq a b =
   && opt_eq Int.equal a.Protocol.rsp_update_index b.Protocol.rsp_update_index
   && opt_eq Int.equal a.Protocol.rsp_batch b.Protocol.rsp_batch
   && opt_eq float_eq a.Protocol.rsp_queue_wait_s b.Protocol.rsp_queue_wait_s
+  && opt_eq float_eq a.Protocol.rsp_spent_eps b.Protocol.rsp_spent_eps
+  && opt_eq float_eq a.Protocol.rsp_spent_delta b.Protocol.rsp_spent_delta
 
 (* Every finite double must survive the %.17g wire format; NaN/±∞ ride as
    strings. [special_float] mixes all of them in. *)
@@ -160,9 +164,10 @@ let wire_int = QCheck.Gen.int_range (-0x20_0000_0000_0000) 0x20_0000_0000_0000
 
 let gen_request =
   QCheck.Gen.(
-    map3
-      (fun id analyst query -> { Protocol.req_id = id; req_analyst = analyst; req_query = query })
-      wire_int (string_size (int_bound 24)) (string_size (int_bound 24)))
+    let* id = wire_int in
+    let* analyst = string_size (int_bound 24) and* query = string_size (int_bound 24) in
+    let* rid = option (string_size (int_bound 24)) in
+    return { Protocol.req_id = id; req_analyst = analyst; req_query = query; req_rid = rid })
 
 let gen_status =
   QCheck.Gen.(
@@ -186,6 +191,7 @@ let gen_response =
     let* source = option (oneofl [ "hypothesis"; "oracle" ]) in
     let* update_index = option small_nat and* batch = option small_nat in
     let* queue_wait = option special_float in
+    let* spent_eps = option special_float and* spent_delta = option special_float in
     return
       {
         Protocol.rsp_id = id;
@@ -196,6 +202,8 @@ let gen_response =
         rsp_update_index = update_index;
         rsp_batch = batch;
         rsp_queue_wait_s = queue_wait;
+        rsp_spent_eps = spent_eps;
+        rsp_spent_delta = spent_delta;
       })
 
 let qcheck_request_roundtrip =
@@ -214,8 +222,73 @@ let qcheck_response_roundtrip =
       | Ok rsp' -> response_eq rsp rsp'
       | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
 
+(* --- framing hardening: corruption corpora ---
+
+   What the wire can actually deliver after a fault: a prefix of a valid
+   line (truncation), a valid line with a byte flipped (corruption), a NUL,
+   an unbounded line. Decode must return a structured [Error] — never an
+   exception, and for the corpora below never a silently-wrong [Ok]. *)
+
+let decodes_gracefully line =
+  (match Protocol.decode_request line with Ok _ | Error _ -> ());
+  (match Protocol.decode_response line with Ok _ | Error _ -> ());
+  true
+
+let qcheck_truncated_prefix =
+  QCheck.Test.make ~name:"decode of every truncated prefix never raises" ~count:200
+    (QCheck.make
+       ~print:(fun (rsp, cut) ->
+         Printf.sprintf "cut=%d of %s" cut (Protocol.encode_response rsp))
+       QCheck.Gen.(
+         let* rsp = gen_response in
+         let* cut = int_bound (String.length (Protocol.encode_response rsp)) in
+         return (rsp, cut)))
+    (fun (rsp, cut) ->
+      let line = Protocol.encode_response rsp in
+      decodes_gracefully (String.sub line 0 (min cut (String.length line))))
+
+let qcheck_byte_flip =
+  QCheck.Test.make ~name:"decode of any byte-flipped line never raises" ~count:300
+    (QCheck.make
+       ~print:(fun (req, pos, bits) ->
+         Printf.sprintf "flip byte %d with %02x in %s" pos bits (Protocol.encode_request req))
+       QCheck.Gen.(
+         let* req = gen_request in
+         let n = String.length (Protocol.encode_request req) in
+         let* pos = int_bound (max 0 (n - 1)) and* bits = int_range 1 255 in
+         return (req, pos, bits)))
+    (fun (req, pos, bits) ->
+      let line = Bytes.of_string (Protocol.encode_request req) in
+      let pos = min pos (Bytes.length line - 1) in
+      Bytes.set line pos (Char.chr (Char.code (Bytes.get line pos) lxor bits land 0xff));
+      decodes_gracefully (Bytes.to_string line))
+
+let test_frame_limits () =
+  let nul = "{\"v\":1,\"id\":1,\"analyst\":\"a\x00b\",\"query\":\"sq\"}" in
+  (match Protocol.decode_request nul with
+  | Error reason -> Alcotest.(check bool) "NUL rejection has a reason" true (reason <> "")
+  | Ok _ -> Alcotest.fail "a line with a NUL byte must be rejected");
+  let huge =
+    Protocol.encode_request
+      {
+        Protocol.req_id = 1;
+        req_analyst = "a";
+        req_query = String.make (Protocol.max_line_bytes + 1) 'q';
+        req_rid = None;
+      }
+  in
+  (match Protocol.decode_request huge with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "a %d-byte line must exceed the frame limit" (String.length huge));
+  match Protocol.decode_response huge with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized response line must be rejected too"
+
 let test_protocol_versioning () =
-  let ok = Protocol.encode_request { Protocol.req_id = 1; req_analyst = "a"; req_query = "sq" } in
+  let ok =
+    Protocol.encode_request
+      { Protocol.req_id = 1; req_analyst = "a"; req_query = "sq"; req_rid = None }
+  in
   (match Protocol.decode_request ok with
   | Ok _ -> ()
   | Error e -> Alcotest.failf "well-formed line rejected: %s" e);
@@ -272,8 +345,9 @@ let test_budget_fits_is_read_only () =
 
 (* --- serving scenarios (in-process clients against a live broker) --- *)
 
-let submit broker ~id ~analyst ~query =
-  Broker.submit broker { Protocol.req_id = id; req_analyst = analyst; req_query = query }
+let submit ?rid broker ~id ~analyst ~query =
+  Broker.submit broker
+    { Protocol.req_id = id; req_analyst = analyst; req_query = query; req_rid = rid }
 
 (* Run [assignments] = (analyst, query names) pairs concurrently through a
    broker, one thread per analyst, serializer on the calling thread (which
@@ -397,7 +471,7 @@ let test_quota_unknown_and_drain () =
       let session = make_session ~pool ~seed:11 () in
       let broker =
         Broker.create
-          ~config:{ Broker.max_batch = 2; quota = 2; retry_after_s = 0.25 }
+          ~config:{ Broker.default_config with max_batch = 2; quota = 2; retry_after_s = 0.25 }
           ~session ~resolve ()
       in
       let replies = ref [] in
@@ -491,6 +565,218 @@ let test_drain_then_resume_bit_identity () =
           Alcotest.(check (float 1e-9)) "resumed eps spend matches control" a.eps b.eps;
           Alcotest.(check (float 1e-15)) "resumed delta spend matches control" a.delta b.delta))
 
+(* --- idempotent retries: the dedup layer --- *)
+
+(* A retried [rid] must get the recorded bytes back: no new seq slot, no
+   ledger movement, no fresh noise — and the hit must be tallied. *)
+let test_dedup_same_rid () =
+  let pool = Pool.create ~domains:1 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let session = make_session ~pool ~seed:21 () in
+      let broker = Broker.create ~session ~resolve () in
+      let out = ref None in
+      let client =
+        Thread.create
+          (fun () ->
+            let r1 = submit broker ~rid:"r-0" ~id:0 ~analyst:"a" ~query:"sq" in
+            let spent1 = (Budget.spent (Session.budget session)).Params.eps in
+            let r2 = submit broker ~rid:"r-0" ~id:0 ~analyst:"a" ~query:"sq" in
+            let spent2 = (Budget.spent (Session.budget session)).Params.eps in
+            let processed = Broker.processed broker in
+            let r3 = submit broker ~rid:"r-1" ~id:1 ~analyst:"a" ~query:"huber" in
+            out := Some (r1, r2, r3, spent1, spent2, processed);
+            Broker.shutdown broker)
+          ()
+      in
+      Broker.run broker;
+      Thread.join client;
+      match !out with
+      | None -> Alcotest.fail "client did not complete"
+      | Some (r1, r2, r3, spent1, spent2, processed) ->
+          Alcotest.(check string) "retried rid got byte-identical answer"
+            (Protocol.encode_response r1) (Protocol.encode_response r2);
+          Alcotest.(check (float 0.)) "retry moved no budget" spent1 spent2;
+          Alcotest.(check int) "retry consumed no batch slot" 1 processed;
+          Alcotest.(check int) "dedup hit tallied" 1 (Broker.dedup_hits broker);
+          Alcotest.(check int) "next fresh request takes the next seq" 1 r3.Protocol.rsp_seq)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* The same contract across a crash: incarnation 2 replays the journal,
+   quarantines the recorded spend, and serves the recorded bytes for a
+   retried rid without evaluating anything. *)
+let test_dedup_survives_restart () =
+  let jpath = Filename.temp_file "pmw_server_test" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove jpath with Sys_error _ -> ())
+    (fun () ->
+      let pool = Pool.create ~domains:1 () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          let serve_one ~expect_fresh () =
+            let session = make_session ~pool ~seed:33 () in
+            let journal, recovery =
+              match Journal.open_journal ~path:jpath with
+              | Ok jr -> jr
+              | Error e -> Alcotest.failf "journal open: %s" e
+            in
+            let cum_eps, _ = recovery.Journal.rv_cum in
+            let broker = Broker.create ~session ~resolve ~journal ~recovery () in
+            if not expect_fresh then begin
+              let spent = (Budget.spent (Session.budget session)).Params.eps in
+              Alcotest.(check bool)
+                (Printf.sprintf "journal spend quarantined (%.4f covers %.4f)" spent cum_eps)
+                true
+                (spent >= cum_eps -. 1e-9)
+            end;
+            let out = ref None in
+            let client =
+              Thread.create
+                (fun () ->
+                  out := Some (submit broker ~rid:"rid-7" ~id:0 ~analyst:"alice" ~query:"sq");
+                  Broker.shutdown broker)
+                ()
+            in
+            Broker.run broker;
+            Thread.join client;
+            Journal.close journal;
+            (* [processed] is the next seq slot: incarnation 2 starts at
+               rv_max_seq + 1 = 1 and must not have consumed another *)
+            Alcotest.(check int)
+              (if expect_fresh then "incarnation 1 evaluated the query"
+               else "incarnation 2 consumed no new seq slot")
+              1 (Broker.processed broker);
+            Alcotest.(check int) "dedup hits"
+              (if expect_fresh then 0 else 1)
+              (Broker.dedup_hits broker);
+            match !out with
+            | Some r -> Protocol.encode_response r
+            | None -> Alcotest.fail "no reply"
+          in
+          let line1 = serve_one ~expect_fresh:true () in
+          let line2 = serve_one ~expect_fresh:false () in
+          Alcotest.(check string) "recorded bytes served across the restart" line1 line2))
+
+(* Drain regression: requests already queued when shutdown is called must
+   each get exactly one reply — answered with its bytes journaled, or
+   rejected (nothing charged). None may hang, none may vanish. *)
+let test_drain_answers_queued () =
+  let jpath = Filename.temp_file "pmw_server_test" ".journal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove jpath with Sys_error _ -> ())
+    (fun () ->
+      let pool = Pool.create ~domains:1 () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          let session = make_session ~pool ~seed:55 () in
+          let journal, recovery =
+            match Journal.open_journal ~path:jpath with
+            | Ok jr -> jr
+            | Error e -> Alcotest.failf "journal open: %s" e
+          in
+          let broker =
+            Broker.create
+              ~config:{ Broker.default_config with max_batch = 2 }
+              ~session ~resolve ~journal ~recovery ()
+          in
+          let n = 6 in
+          let replies = Array.make n None in
+          let started = Atomic.make 0 in
+          let clients =
+            List.init n (fun i ->
+                Thread.create
+                  (fun () ->
+                    Atomic.incr started;
+                    replies.(i) <-
+                      Some
+                        (submit broker
+                           ~rid:(Printf.sprintf "d-%d" i)
+                           ~id:i ~analyst:"a" ~query:"sq"))
+                  ())
+          in
+          while Atomic.get started < n do
+            Thread.yield ()
+          done;
+          Broker.shutdown broker;
+          Broker.run broker;
+          List.iter Thread.join clients;
+          Journal.close journal;
+          let rv =
+            match Journal.replay_string (read_file jpath) with
+            | Ok rv -> rv
+            | Error e -> Alcotest.failf "journal replay: %s" e
+          in
+          Alcotest.(check bool) "no torn tail after a clean drain" false rv.Journal.rv_torn;
+          Array.iteri
+            (fun i reply ->
+              match reply with
+              | None -> Alcotest.failf "request %d never got a reply" i
+              | Some r -> (
+                  match r.Protocol.rsp_status with
+                  | Protocol.Rejected _ -> ()
+                  | _ ->
+                      let key = ("a", Printf.sprintf "d-%d" i) in
+                      let line = Protocol.encode_response r in
+                      let journaled =
+                        List.exists
+                          (fun (k, l) -> k = key && String.equal l line)
+                          rv.Journal.rv_answers
+                      in
+                      Alcotest.(check bool)
+                        (Printf.sprintf "answer %d journaled byte-identically" i)
+                        true journaled))
+            replies))
+
+(* --- client deadline: a stalled server surfaces as [Timeout] --- *)
+
+let test_client_timeout_on_stalled_socket () =
+  let path = Filename.temp_file "pmw_stall" ".sock" in
+  Sys.remove path;
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX path);
+  Unix.listen srv 1;
+  (* accept but never answer: the client's SO_RCVTIMEO must fire *)
+  let accepted = ref None in
+  let accepter =
+    Thread.create
+      (fun () ->
+        match Unix.accept srv with
+        | fd, _ -> accepted := Some fd
+        | exception Unix.Unix_error _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close srv with Unix.Unix_error _ -> ());
+      Thread.join accepter;
+      (match !accepted with
+      | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let client = Net.Client.connect ~deadline_s:0.2 path in
+      let req =
+        { Protocol.req_id = 0; req_analyst = "a"; req_query = "sq"; req_rid = None }
+      in
+      let t0 = Unix.gettimeofday () in
+      (match Net.Client.call client req with
+      | Error Net.Client.Timeout -> ()
+      | Ok _ -> Alcotest.fail "a stalled server cannot have answered"
+      | Error e -> Alcotest.failf "expected Timeout, got %s" (Net.Client.error_to_string e));
+      let dt = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "deadline honored (%.3fs, not hung)" dt)
+        true (dt < 5.);
+      Net.Client.close client)
+
 let () =
   Alcotest.run "pmw_server"
     [
@@ -501,6 +787,11 @@ let () =
             qcheck_request_roundtrip;
           QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e8 |])
             qcheck_response_roundtrip;
+          Alcotest.test_case "frame limits (NUL, oversize)" `Quick test_frame_limits;
+          QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e9 |])
+            qcheck_truncated_prefix;
+          QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5ea |])
+            qcheck_byte_flip;
         ] );
       ( "budget race",
         [
@@ -532,5 +823,19 @@ let () =
         [
           Alcotest.test_case "drain-then-resume bit-identity" `Quick (fun () ->
               with_timeout ~seconds:480. "drain/resume" test_drain_then_resume_bit_identity);
+          Alcotest.test_case "drain answers or rejects everything queued" `Quick (fun () ->
+              with_timeout ~seconds:240. "drain queued" test_drain_answers_queued);
+        ] );
+      ( "idempotent retries",
+        [
+          Alcotest.test_case "same rid returns recorded bytes" `Quick (fun () ->
+              with_timeout ~seconds:240. "dedup same rid" test_dedup_same_rid);
+          Alcotest.test_case "dedup survives a journal restart" `Quick (fun () ->
+              with_timeout ~seconds:240. "dedup restart" test_dedup_survives_restart);
+        ] );
+      ( "client deadlines",
+        [
+          Alcotest.test_case "stalled socket surfaces Timeout" `Quick (fun () ->
+              with_timeout ~seconds:60. "stalled socket" test_client_timeout_on_stalled_socket);
         ] );
     ]
