@@ -236,7 +236,36 @@ let validate_journal ~path ~eps_total ~max_reported_eps ~max_reported_delta =
                     "serve debit not additive: %.6g + %.6g <> %.6g" pe jd_eps jd_cum_eps
                   && !ok;
               prev := (jd_cum_eps, jd_cum_delta)
-          | Journal.Answer _ | Journal.Mark _ -> ())
+          | Journal.Answer { ja_seq; ja_line; _ } -> (
+              (* debit-before-answers: at every journal prefix, the spend
+                 an answer reports to its client must already be covered
+                 by the last durable debit — otherwise a crash right here
+                 would re-serve the answer with its cost never debited *)
+              match Protocol.decode_response ja_line with
+              | Error why ->
+                  ok := check false "journaled answer seq %d unreadable: %s" ja_seq why && !ok
+              | Ok rsp ->
+                  let pe, pd = !prev in
+                  Option.iter
+                    (fun e ->
+                      ok :=
+                        check (pe +. tol >= e)
+                          "answer seq %d reports spent_eps %.6g but the preceding debit only \
+                           covers %.6g"
+                          ja_seq e pe
+                        && !ok)
+                    rsp.Protocol.rsp_spent_eps;
+                  Option.iter
+                    (fun d ->
+                      ok :=
+                        check
+                          (pd +. (tol *. 1e-6) >= d)
+                          "answer seq %d reports spent_delta %.3g but the preceding debit only \
+                           covers %.3g"
+                          ja_seq d pd
+                        && !ok)
+                    rsp.Protocol.rsp_spent_delta)
+          | Journal.Mark _ -> ())
         rv.Journal.rv_records;
       let cum_eps, cum_delta = rv.Journal.rv_cum in
       ok :=

@@ -82,8 +82,16 @@ type t = {
   rejected_quota : int Atomic.t;
   rejected_draining : int Atomic.t;
   dedup_hits : int Atomic.t;
+  (* Per-hit mark backlog, drained at batch boundaries. Dedup hits never
+     enqueue work, so a client replaying a recorded rid in a tight loop
+     while the queue is idle could grow this without bound — the log is
+     capped and the overflow counted instead. *)
   mutable dedup_hit_log : (string * string) list;  (* (analyst, rid), newest first *)
+  mutable dedup_hit_log_len : int;
+  dedup_hit_marks_dropped : int Atomic.t;
 }
+
+let dedup_hit_log_cap = 1024
 
 let dedup_key analyst rid = analyst ^ "\x1f" ^ rid
 
@@ -110,15 +118,19 @@ let create ?(config = default_config) ?journal ?(recovery = Journal.empty_recove
   if recovery.Journal.rv_records <> [] || recovery.Journal.rv_torn then
     Telemetry.mark telemetry "journal.replayed"
       ~fields:
-        [
-          ("records", Telemetry.Int (List.length recovery.Journal.rv_records));
-          ("torn", Telemetry.Bool recovery.Journal.rv_torn);
-          ("dropped_bytes", Telemetry.Int recovery.Journal.rv_dropped_bytes);
-          ("answers", Telemetry.Int (List.length recovery.Journal.rv_answers));
-          ("max_seq", Telemetry.Int recovery.Journal.rv_max_seq);
-          ("quarantined_eps", Telemetry.Float q_eps);
-          ("quarantined_delta", Telemetry.Float q_delta);
-        ];
+        ([
+           ("records", Telemetry.Int (List.length recovery.Journal.rv_records));
+           ("torn", Telemetry.Bool recovery.Journal.rv_torn);
+           ("dropped_bytes", Telemetry.Int recovery.Journal.rv_dropped_bytes);
+           ("answers", Telemetry.Int (List.length recovery.Journal.rv_answers));
+           ("max_seq", Telemetry.Int recovery.Journal.rv_max_seq);
+           ("quarantined_eps", Telemetry.Float q_eps);
+           ("quarantined_delta", Telemetry.Float q_delta);
+         ]
+        @
+        match recovery.Journal.rv_tail_kind with
+        | None -> []
+        | Some k -> [ ("tail_kind", Telemetry.Str k) ]);
   let t =
     {
       session;
@@ -143,6 +155,8 @@ let create ?(config = default_config) ?journal ?(recovery = Journal.empty_recove
       rejected_draining = Atomic.make 0;
       dedup_hits = Atomic.make 0;
       dedup_hit_log = [];
+      dedup_hit_log_len = 0;
+      dedup_hit_marks_dropped = Atomic.make 0;
     }
   in
   (* Seed the dedup table with the journal's recorded answers (oldest
@@ -226,8 +240,12 @@ let submit t req =
         let dedup_hit () =
           Atomic.incr t.dedup_hits;
           st.st_deduped <- st.st_deduped + 1;
-          t.dedup_hit_log <-
-            (req.Protocol.req_analyst, Option.get req.Protocol.req_rid) :: t.dedup_hit_log
+          if t.dedup_hit_log_len < dedup_hit_log_cap then begin
+            t.dedup_hit_log <-
+              (req.Protocol.req_analyst, Option.get req.Protocol.req_rid) :: t.dedup_hit_log;
+            t.dedup_hit_log_len <- t.dedup_hit_log_len + 1
+          end
+          else Atomic.incr t.dedup_hit_marks_dropped
         in
         match Option.bind rid_key (Hashtbl.find_opt t.dedup) with
         | Some line ->
@@ -276,11 +294,19 @@ let submit t req =
         done;
         Option.get p.p_reply)
   in
+  (* The recorded payload travels back verbatim, but correlation belongs
+     to THIS call: a retry may carry a fresh [req_id] (e.g. a restarted
+     client that persisted its rids but not its id counter), and
+     [Net.Client.call] drops any response whose [rsp_id] does not match
+     its request as a framing desync. So a replayed reply is re-stamped
+     with the incoming id — byte-identical when the retry reuses the
+     original [req_id], payload-identical otherwise. *)
+  let correlate reply = { reply with Protocol.rsp_id = req.Protocol.req_id } in
   match verdict with
   | `Rejected reply -> reply
   | `Recorded line -> (
       match Protocol.decode_response line with
-      | Ok reply -> reply
+      | Ok reply -> correlate reply
       | Error why ->
           (* cannot happen for lines we encoded ourselves; fail loudly
              rather than re-running the mechanism *)
@@ -288,7 +314,7 @@ let submit t req =
             (rejected req ("recorded answer unreadable: " ^ why)) with
             Protocol.rsp_status = Protocol.Failed ("recorded answer unreadable: " ^ why);
           })
-  | `Coalesce orig -> wait_for orig
+  | `Coalesce orig -> correlate (wait_for orig)
   | `Enqueued p -> wait_for p
 
 let source_str = function Online.From_hypothesis -> "hypothesis" | Online.From_oracle -> "oracle"
@@ -325,10 +351,14 @@ let mirror_counters t =
   Telemetry.set_counter t.telemetry "server_rejected_quota" (Atomic.get t.rejected_quota);
   Telemetry.set_counter t.telemetry "server_rejected_draining" (Atomic.get t.rejected_draining);
   Telemetry.set_counter t.telemetry "server_dedup_hits" (Atomic.get t.dedup_hits);
+  (match Atomic.get t.dedup_hit_marks_dropped with
+  | 0 -> ()
+  | n -> Telemetry.set_counter t.telemetry "server_dedup_hit_marks_dropped" n);
   let hits =
     locked t (fun () ->
         let l = t.dedup_hit_log in
         t.dedup_hit_log <- [];
+        t.dedup_hit_log_len <- 0;
         List.rev l)
   in
   List.iter
@@ -337,27 +367,22 @@ let mirror_counters t =
         ~fields:[ ("analyst", Telemetry.Str analyst); ("rid", Telemetry.Str rid) ])
     hits
 
-(* The durability point: journal every answer line of the batch plus the
-   ledger's new cumulative, fsync once, all BEFORE any reply is published.
+(* The durability point: journal the ledger's new cumulative plus every
+   answer line of the batch, fsync once, all BEFORE any reply is published.
    A crash after the sync re-serves the same bytes from the journal; a
    crash before it means no client ever saw the batch, so re-running it
    after restart is fresh (and the quarantine covers any spend the session
-   made for answers that never left). *)
+   made for answers that never left).
+
+   Order matters: the Debit goes down FIRST. A kill -9 between the two
+   appends then persists spend with no answers — replay quarantines it as
+   already-spent, a safe over-count. Answers-first would invert the
+   failure: persisted answers seed the dedup table and are re-served on
+   --resume while no debit covers their cost. *)
 let journal_batch t replies =
   match t.journal with
   | None -> ()
   | Some j ->
-      List.iter
-        (fun (p, reply, line) ->
-          Journal.append j
-            (Journal.Answer
-               {
-                 ja_seq = reply.Protocol.rsp_seq;
-                 ja_analyst = p.p_req.Protocol.req_analyst;
-                 ja_rid = p.p_req.Protocol.req_rid;
-                 ja_line = line;
-               }))
-        replies;
       let spent = Budget.spent (Session.budget t.session) in
       let le, ld = t.last_cum in
       if spent.Params.eps > le || spent.Params.delta > ld then begin
@@ -372,6 +397,17 @@ let journal_batch t replies =
              });
         t.last_cum <- (spent.Params.eps, spent.Params.delta)
       end;
+      List.iter
+        (fun (p, reply, line) ->
+          Journal.append j
+            (Journal.Answer
+               {
+                 ja_seq = reply.Protocol.rsp_seq;
+                 ja_analyst = p.p_req.Protocol.req_analyst;
+                 ja_rid = p.p_req.Protocol.req_rid;
+                 ja_line = line;
+               }))
+        replies;
       Journal.sync j
 
 (* Serializer-side: answer one drained batch through a single

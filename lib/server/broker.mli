@@ -20,22 +20,27 @@
     [seq] slot or any privacy budget.
 
     {b Durability} (when a {!Journal.t} is passed to {!create}): before any
-    reply of a batch is released, the serializer journals every answer's
-    exact response line plus the ledger's new cumulative [(ε, δ)], then
+    reply of a batch is released, the serializer journals the ledger's new
+    cumulative [(ε, δ)] and then every answer's exact response line, then
     [fsync]s — one sync per batch, not per request. A [kill -9] therefore
-    never loses spend a client observed. On {!create}, a replayed
-    {!Journal.recovery} is reconciled into the resumed session's ledger
-    ({!Journal.reconcile} quarantines post-checkpoint spend as
-    already-spent), the recorded answers seed the dedup table, and [seq]
-    continues past the journal's maximum.
+    never loses spend a client observed, and the debit-before-answers
+    order means a crash between the two appends can only quarantine spend
+    for answers that never existed, never release an answer whose spend is
+    uncovered. On {!create}, a replayed {!Journal.recovery} is reconciled
+    into the resumed session's ledger ({!Journal.reconcile} quarantines
+    post-checkpoint spend as already-spent), the recorded answers seed the
+    dedup table, and [seq] continues past the journal's maximum.
 
     {b Idempotent retries}: a request stamped with a [rid] that the broker
     has already answered (this process, or any earlier incarnation whose
-    journal was replayed) is served the {e recorded} response line — byte
-    identical, no fresh noise, no budget touched — even during drain or
-    past quota. A concurrent duplicate of a still-queued rid coalesces onto
-    the original's reply. The table holds the newest [dedup_cap] answers
-    (FIFO eviction).
+    journal was replayed) is served the {e recorded} response line — no
+    fresh noise, no budget touched — even during drain or past quota. A
+    concurrent duplicate of a still-queued rid coalesces onto the
+    original's reply. The reply's [rsp_id] is re-stamped with the retry's
+    own [req_id] so the client-side correlation check passes: the bytes
+    are identical when the retry reuses the original [req_id] (the normal
+    retry-loop case) and payload-identical otherwise. The table holds the
+    newest [dedup_cap] answers (FIFO eviction).
 
     {b Telemetry} (the session's instance): a ["server.request"] span per
     processed request, ["server.queue_wait_s"] / ["server.batch_size"]

@@ -20,6 +20,7 @@ type recovery = {
   rv_records : record list;
   rv_torn : bool;
   rv_dropped_bytes : int;
+  rv_tail_kind : string option;
   rv_cum : float * float;
   rv_answers : ((string * string) * string) list;
   rv_max_seq : int;
@@ -30,6 +31,7 @@ let empty_recovery =
     rv_records = [];
     rv_torn = false;
     rv_dropped_bytes = 0;
+    rv_tail_kind = None;
     rv_cum = (0., 0.);
     rv_answers = [];
     rv_max_seq = -1;
@@ -134,7 +136,7 @@ let record_of_line line =
 
 (* --- replay --- *)
 
-let summarize records torn dropped =
+let summarize ?tail_kind records torn dropped =
   let cum = ref (0., 0.) in
   let answers = ref [] in
   let max_seq = ref (-1) in
@@ -151,10 +153,25 @@ let summarize records torn dropped =
     rv_records = records;
     rv_torn = torn;
     rv_dropped_bytes = dropped;
+    rv_tail_kind = tail_kind;
     rv_cum = !cum;
     rv_answers = List.rev !answers;
     rv_max_seq = !max_seq;
   }
+
+(* Best-effort classification of a dropped tail. The checksum failed (or
+   the newline never landed), so nothing in the fragment can be trusted as
+   a record — but when its JSON payload still parses, its "k" field tells
+   operators WHAT was lost, distinguishing a routine torn write from tail
+   corruption that ate e.g. a released answer. *)
+let tail_kind fragment =
+  match String.index_opt fragment ' ' with
+  | None -> None
+  | Some i -> (
+      let payload = String.sub fragment (i + 1) (String.length fragment - i - 1) in
+      match Protocol.json_of_string payload with
+      | Ok (Protocol.Obj fields) -> Option.bind (field fields "k") as_str
+      | Ok _ | Error _ -> None)
 
 (* A crash can only tear the tail: a record is one write(2) of a full line,
    so the only invalid data a clean shutdown or a kill -9 can leave is a
@@ -170,7 +187,8 @@ let replay_string s =
       match String.index_from_opt s pos '\n' with
       | None ->
           (* trailing bytes without a newline: torn tail *)
-          Ok (summarize (List.rev records) true (len - pos))
+          let tail = String.sub s pos (len - pos) in
+          Ok (summarize ?tail_kind:(tail_kind tail) (List.rev records) true (len - pos))
       | Some nl -> (
           let line = String.sub s pos (nl - pos) in
           match record_of_line line with
@@ -180,7 +198,7 @@ let replay_string s =
                 (* invalid final complete line: a torn write that happened
                    to end at a byte that looks like '\n', or a partially
                    synced tail — drop it *)
-                Ok (summarize (List.rev records) true (len - pos))
+                Ok (summarize ?tail_kind:(tail_kind line) (List.rev records) true (len - pos))
               else Error (Printf.sprintf "%s (mid-file, at byte %d)" why pos))
   in
   go 0 []
@@ -189,12 +207,16 @@ let replay_string s =
 
 type t = { jt_path : string; jt_fd : Unix.file_descr; mutable jt_closed : bool }
 
+(* EINTR means nothing was written (the process installs signal
+   handlers), so retrying keeps the single-write(2)-per-record framing. *)
 let write_all fd s =
   let b = Bytes.unsafe_of_string s in
   let n = Bytes.length b in
   let written = ref 0 in
   while !written < n do
-    written := !written + Unix.write fd b !written (n - !written)
+    match Unix.write fd b !written (n - !written) with
+    | k -> written := !written + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
 let open_journal ~path =

@@ -24,7 +24,14 @@
     the second time, and a half-completed batch is quarantined as
     already-spent rather than forgotten. Answer records seed the broker's
     dedup table, so a retried [request_id] is served the {e recorded}
-    bytes instead of fresh noise. *)
+    bytes instead of fresh noise.
+
+    {b Ordering invariant}: within a batch the broker appends the [Debit]
+    {e before} the [Answer] records it pays for. A crash between the two
+    can therefore only persist spend whose answers never existed (replay
+    quarantines it — a safe over-count), never an answer whose spend is
+    uncovered: at every prefix of a valid journal, the last [Debit]'s
+    cumulative covers every answer recorded so far. *)
 
 type record =
   | Debit of {
@@ -46,6 +53,12 @@ type recovery = {
   rv_records : record list;  (** valid records, oldest first *)
   rv_torn : bool;  (** a torn tail was detected and dropped *)
   rv_dropped_bytes : int;  (** size of the dropped tail, 0 when clean *)
+  rv_tail_kind : string option;
+      (** best-effort kind (["debit"], ["answer"], ["mark"]) of the
+          dropped tail when its JSON payload still parsed — lets an
+          operator distinguish a routine torn write from tail corruption
+          that lost a meaningful record; [None] when clean or when the
+          fragment is unparseable *)
   rv_cum : float * float;
       (** cumulative [(ε, δ)] of the last [Debit] record; [(0, 0)] if none *)
   rv_answers : ((string * string) * string) list;

@@ -149,6 +149,32 @@ let test_torn_final_record () =
   Alcotest.(check (pair (float 0.) (float 0.))) "cum comes from the surviving debit" (0.1, 0.)
     rv.Journal.rv_cum
 
+(* A corrupted-but-parseable final line is dropped like any torn tail, but
+   its record kind is surfaced so operators can tell tail corruption that
+   ate a meaningful record (an answer, a debit) from a routine torn
+   write. A payload torn mid-JSON stays unclassified. *)
+let test_tail_kind_reported () =
+  let records =
+    [
+      Journal.Mark "start";
+      Journal.Answer { ja_seq = 0; ja_analyst = "a"; ja_rid = Some "r0"; ja_line = "x" };
+    ]
+  in
+  let s = journal_string records in
+  (* corrupt the final line's checksum field, leaving its payload intact *)
+  let b = Bytes.of_string s in
+  let last_start = String.rindex_from s (String.length s - 2) '\n' + 1 in
+  Bytes.set b last_start (if Bytes.get b last_start = '0' then '1' else '0');
+  let rv = replay_ok (Bytes.to_string b) in
+  Alcotest.(check bool) "torn tail detected" true rv.Journal.rv_torn;
+  Alcotest.(check int) "prefix kept" 1 (List.length rv.Journal.rv_records);
+  Alcotest.(check (option string)) "dropped tail's kind surfaced" (Some "answer")
+    rv.Journal.rv_tail_kind;
+  (* truncation mid-payload: unparseable fragment, no kind *)
+  let rv2 = replay_ok (String.sub s 0 (String.length s - 4)) in
+  Alcotest.(check bool) "truncated tail detected" true rv2.Journal.rv_torn;
+  Alcotest.(check (option string)) "unparseable tail has no kind" None rv2.Journal.rv_tail_kind
+
 (* --- corruption before the tail is a hard error --- *)
 
 let qcheck_midfile_corruption =
@@ -241,6 +267,8 @@ let () =
             qcheck_midfile_corruption;
           Alcotest.test_case "torn final record dropped, prefix kept" `Quick
             test_torn_final_record;
+          Alcotest.test_case "dropped tail's record kind is reported" `Quick
+            test_tail_kind_reported;
         ] );
       ( "file handle",
         [

@@ -602,6 +602,40 @@ let test_dedup_same_rid () =
           Alcotest.(check int) "dedup hit tallied" 1 (Broker.dedup_hits broker);
           Alcotest.(check int) "next fresh request takes the next seq" 1 r3.Protocol.rsp_seq)
 
+(* A restarted client may reuse its rid under a fresh [req_id] (it
+   persisted rids, not its id counter). The recorded payload must come
+   back re-correlated to the retry's own id — otherwise the client-side
+   [rsp_id = req_id] check rejects the recorded answer as a desync and the
+   retry can never succeed. *)
+let test_dedup_fresh_req_id () =
+  let pool = Pool.create ~domains:1 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let session = make_session ~pool ~seed:22 () in
+      let broker = Broker.create ~session ~resolve () in
+      let out = ref None in
+      let client =
+        Thread.create
+          (fun () ->
+            let r1 = submit broker ~rid:"r-0" ~id:0 ~analyst:"a" ~query:"sq" in
+            let r2 = submit broker ~rid:"r-0" ~id:41 ~analyst:"a" ~query:"sq" in
+            out := Some (r1, r2);
+            Broker.shutdown broker)
+          ()
+      in
+      Broker.run broker;
+      Thread.join client;
+      match !out with
+      | None -> Alcotest.fail "client did not complete"
+      | Some (r1, r2) ->
+          Alcotest.(check int) "reply re-correlated to the retry's id" 41 r2.Protocol.rsp_id;
+          Alcotest.(check string) "payload identical to the recorded answer"
+            (Protocol.encode_response { r1 with Protocol.rsp_id = 41 })
+            (Protocol.encode_response r2);
+          Alcotest.(check int) "dedup hit tallied" 1 (Broker.dedup_hits broker);
+          Alcotest.(check int) "retry consumed no batch slot" 1 (Broker.processed broker))
+
 let read_file path =
   let ic = open_in_bin path in
   let s = really_input_string ic (in_channel_length ic) in
@@ -715,6 +749,30 @@ let test_drain_answers_queued () =
             | Error e -> Alcotest.failf "journal replay: %s" e
           in
           Alcotest.(check bool) "no torn tail after a clean drain" false rv.Journal.rv_torn;
+          (* debit-before-answers ordering: at every journal prefix, the
+             spend an answer reports to its client is already covered by
+             the last durable debit — the crash-safety direction (a kill
+             between the appends can over-count, never under-cover) *)
+          let cum = ref 0. in
+          List.iter
+            (fun r ->
+              match r with
+              | Journal.Debit { jd_cum_eps; _ } -> cum := jd_cum_eps
+              | Journal.Answer { ja_seq; ja_line; _ } -> (
+                  match Protocol.decode_response ja_line with
+                  | Error why -> Alcotest.failf "journaled answer unreadable: %s" why
+                  | Ok rsp ->
+                      Option.iter
+                        (fun e ->
+                          Alcotest.(check bool)
+                            (Printf.sprintf
+                               "answer seq %d spend %.6g covered by the preceding debit %.6g"
+                               ja_seq e !cum)
+                            true
+                            (!cum +. 1e-9 >= e))
+                        rsp.Protocol.rsp_spent_eps)
+              | Journal.Mark _ -> ())
+            rv.Journal.rv_records;
           Array.iteri
             (fun i reply ->
               match reply with
@@ -830,6 +888,8 @@ let () =
         [
           Alcotest.test_case "same rid returns recorded bytes" `Quick (fun () ->
               with_timeout ~seconds:240. "dedup same rid" test_dedup_same_rid);
+          Alcotest.test_case "retried rid re-correlates to a fresh req_id" `Quick (fun () ->
+              with_timeout ~seconds:240. "dedup fresh req_id" test_dedup_fresh_req_id);
           Alcotest.test_case "dedup survives a journal restart" `Quick (fun () ->
               with_timeout ~seconds:240. "dedup restart" test_dedup_survives_restart);
         ] );
