@@ -31,6 +31,8 @@ module Splitmix64 = Pmw_rng.Splitmix64
 type analyst_stats = {
   mutable a_completed : int;
   mutable a_answered : int;
+  mutable a_partials : int;
+  mutable a_coverage_bad : int;
   mutable a_errors : int;
   mutable a_dedup_checks : int;
   mutable a_dedup_mismatches : int;
@@ -43,6 +45,8 @@ let new_stats () =
   {
     a_completed = 0;
     a_answered = 0;
+    a_partials = 0;
+    a_coverage_bad = 0;
     a_errors = 0;
     a_dedup_checks = 0;
     a_dedup_mismatches = 0;
@@ -59,8 +63,15 @@ let is_rejected (rsp : Protocol.response) =
 
 (* One analyst: closed loop through the proxy, every request rid-stamped,
    and a fraction of answered rids immediately re-asked — the dedup layer
-   must hand back the recorded bytes. *)
-let analyst ~running ~proxy_path ~panel ~seed ~dup_prob i =
+   must hand back the recorded bytes. When [fleet = Some shards], Partial
+   verdicts are expected while a shard is down; their coverage must equal
+   the surviving-weight fraction (near-equal block partition: within 1e-3
+   of (shards - missing)/shards), and missing_shards must be non-empty.
+   Byte-identity dedup re-asks stay off in fleet mode — the router stamps a
+   fresh seq and recomposes the fleet envelope on every call, so the
+   single-broker byte contract intentionally does not hold; the per-shard
+   journals still enforce no-rid-rewrite server-side. *)
+let analyst ?fleet ~running ~proxy_path ~panel ~seed ~dup_prob i =
   let stats = new_stats () in
   let rng = Splitmix64.create (Int64.add seed (Int64.of_int (101 * (i + 1)))) in
   let name = Printf.sprintf "an%d" i in
@@ -69,6 +80,7 @@ let analyst ~running ~proxy_path ~panel ~seed ~dup_prob i =
       Net.Client.rp_max_attempts = 12;
       rp_base_delay_s = 0.05;
       rp_max_delay_s = 1.;
+      rp_deadline_s = 60.;
       rp_seed = Int64.add seed (Int64.of_int i);
     }
   in
@@ -95,6 +107,7 @@ let analyst ~running ~proxy_path ~panel ~seed ~dup_prob i =
             req_analyst = name;
             req_query = panel.(Splitmix64.next_in rng ~bound:(Array.length panel));
             req_rid = Some rid;
+            req_shards = None;
           }
         in
         match Net.Client.call_with_retry ~policy c req with
@@ -109,6 +122,24 @@ let analyst ~running ~proxy_path ~panel ~seed ~dup_prob i =
               rsp.Protocol.rsp_spent_eps;
             Option.iter (fun d -> stats.a_max_delta <- Float.max stats.a_max_delta d)
               rsp.Protocol.rsp_spent_delta;
+            (match (rsp.Protocol.rsp_status, fleet) with
+            | Protocol.Partial { missing_shards; coverage; _ }, Some shards ->
+                stats.a_partials <- stats.a_partials + 1;
+                let expected =
+                  float_of_int (shards - List.length missing_shards) /. float_of_int shards
+                in
+                if missing_shards = [] || Float.abs (coverage -. expected) > 1e-3 then begin
+                  stats.a_coverage_bad <- stats.a_coverage_bad + 1;
+                  Printf.eprintf "BAD COVERAGE %s/%s: [%s] coverage %.6f expected %.6f\n%!" name
+                    rid
+                    (String.concat "," (List.map string_of_int missing_shards))
+                    coverage expected
+                end
+            | Protocol.Partial _, None ->
+                (* a single broker can never produce a fleet verdict *)
+                stats.a_partials <- stats.a_partials + 1;
+                stats.a_coverage_bad <- stats.a_coverage_bad + 1
+            | _ -> ());
             if not (is_rejected rsp) then begin
               stats.a_answered <- stats.a_answered + 1;
               let line = Protocol.encode_response rsp in
@@ -138,7 +169,7 @@ let analyst ~running ~proxy_path ~panel ~seed ~dup_prob i =
 
 type server = { mutable pid : int; mutable incarnation : int }
 
-let spawn_server ~bin ~dir ~socket ~journal ~eps ~n ~k srv =
+let spawn_server ?(checkpointing = true) ?(extra = []) ~bin ~dir ~socket ~journal ~eps ~n ~k srv =
   srv.incarnation <- srv.incarnation + 1;
   let log =
     Unix.openfile
@@ -148,21 +179,21 @@ let spawn_server ~bin ~dir ~socket ~journal ~eps ~n ~k srv =
   in
   let trace = Filename.concat dir (Printf.sprintf "trace-%d.jsonl" srv.incarnation) in
   let args =
-    [|
-      bin; "serve";
-      "--socket"; socket;
-      "--journal"; journal;
-      "--checkpoint-dir"; Filename.concat dir "ckpt";
-      "--resume";
-      "--checkpoint-every"; "8";
-      "--dedup-cap"; "200000";
-      "-n"; string_of_int n;
-      "-k"; string_of_int k;
-      "--eps"; Printf.sprintf "%g" eps;
-      "--alpha"; "0.1";
-      "--seed"; "7";
-      "--trace"; trace;
-    |]
+    Array.of_list
+      ([ bin; "serve"; "--socket"; socket; "--journal"; journal ]
+      @ (if checkpointing then
+           [ "--checkpoint-dir"; Filename.concat dir "ckpt"; "--resume"; "--checkpoint-every"; "8" ]
+         else [])
+      @ [
+          "--dedup-cap"; "200000";
+          "-n"; string_of_int n;
+          "-k"; string_of_int k;
+          "--eps"; Printf.sprintf "%g" eps;
+          "--alpha"; "0.1";
+          "--seed"; "7";
+          "--trace"; trace;
+        ]
+      @ extra)
   in
   srv.pid <- Unix.create_process bin args Unix.stdin log log;
   Unix.close log;
@@ -300,6 +331,201 @@ let validate_journal ~path ~eps_total ~max_reported_eps ~max_reported_delta =
         rv.Journal.rv_answers;
       (!ok, List.length rv.Journal.rv_records, rv.Journal.rv_cum)
 
+(* --- fleet soak (--kill-shard) ---
+
+   One `pmw_cli serve --shards N --chaos-ctl` fleet process; analysts drive
+   it straight over its socket while a killer loop takes down one shard at
+   a time through the control plane and times the supervisor's recovery
+   (ctl:health polling). Validated afterwards: every partial answer named
+   the dead shards with the right coverage, each shard's journal passes the
+   single-broker invariants independently, the fleet-reported spend is the
+   parallel-composition max over the shard journals (never their sum — that
+   would be cross-shard double-counting), and every recovery beat the one-
+   second target. *)
+
+let fleet_soak ~bin ~dir ~seed ~eps ~n ~k ~shards ~analysts ~cycles ~kill_min ~kill_max ~json () =
+  let socket = Filename.concat dir "fleet.sock" in
+  let journal = Filename.concat dir "journal.wal" in
+  let srv = { pid = -1; incarnation = 0 } in
+  let t_start = Unix.gettimeofday () in
+  let trace =
+    spawn_server ~checkpointing:false
+      ~extra:
+        [
+          "--shards"; string_of_int shards; "--shard-by"; "block"; "--chaos-ctl";
+          "--fleet-deadline"; "10";
+        ]
+      ~bin ~dir ~socket ~journal ~eps ~n ~k srv
+  in
+  (match wait_ready ~socket ~timeout_s:120. with
+  | Some _ -> ()
+  | None ->
+      Printf.eprintf "fleet never came up; see %s/server-1.log\n" dir;
+      exit 2);
+  let running = Atomic.make true in
+  let panel = Bench_json.default_panel in
+  let results = Array.make analysts (new_stats ()) in
+  let threads =
+    List.init analysts (fun i ->
+        Thread.create
+          (fun () ->
+            results.(i) <-
+              analyst ~fleet:shards ~running ~proxy_path:socket ~panel ~seed:(Int64.of_int seed)
+                ~dup_prob:0. i)
+          ())
+  in
+  let ctl = Net.Client.connect ~deadline_s:5. socket in
+  let call_ctl ~id q =
+    Net.Client.call ctl
+      {
+        Protocol.req_id = id;
+        req_analyst = "chaos-ctl";
+        req_query = q;
+        req_rid = None;
+        req_shards = None;
+      }
+  in
+  let rng = Splitmix64.create (Int64.of_int (seed + 997)) in
+  let recoveries = ref [] in
+  let failed_restart = ref false in
+  let kill_errors = ref 0 in
+  for cycle = 1 to cycles do
+    Thread.delay (uniform rng kill_min kill_max);
+    let target = (cycle - 1) mod shards in
+    match call_ctl ~id:(10_000 + cycle) (Printf.sprintf "ctl:kill:%d" target) with
+    | Ok { Protocol.rsp_status = Protocol.Answered; _ } -> (
+        let t0 = Unix.gettimeofday () in
+        let rec poll () =
+          if Unix.gettimeofday () -. t0 > 30. then None
+          else
+            match call_ctl ~id:(20_000 + cycle) "ctl:health" with
+            | Ok { Protocol.rsp_status = Protocol.Answered; rsp_theta = Some states; _ }
+              when Array.length states > target && states.(target) = 2. ->
+                Some (Unix.gettimeofday () -. t0)
+            | _ ->
+                Thread.delay 0.005;
+                poll ()
+        in
+        match poll () with
+        | Some dt ->
+            recoveries := dt :: !recoveries;
+            Printf.printf "cycle %2d/%d: killed shard %d, recovered in %.0f ms\n%!" cycle cycles
+              target (dt *. 1e3)
+        | None ->
+            Printf.eprintf "cycle %d: shard %d never came back\n%!" cycle target;
+            failed_restart := true)
+    | Ok rsp ->
+        Printf.eprintf "cycle %d: ctl:kill:%d answered %s\n%!" cycle target
+          (Protocol.status_tag rsp.Protocol.rsp_status);
+        incr kill_errors
+    | Error e ->
+        Printf.eprintf "cycle %d: ctl error %s\n%!" cycle (Net.Client.error_to_string e);
+        incr kill_errors
+  done;
+  Net.Client.close ctl;
+  Atomic.set running false;
+  List.iter Thread.join threads;
+  kill_wait srv.pid Sys.sigterm;
+  let wall_s = Unix.gettimeofday () -. t_start in
+  let total f = Array.fold_left (fun acc s -> acc + f s) 0 results in
+  let completed = total (fun s -> s.a_completed) in
+  let answered = total (fun s -> s.a_answered) in
+  let errors = total (fun s -> s.a_errors) in
+  let partials = total (fun s -> s.a_partials) in
+  let coverage_bad = total (fun s -> s.a_coverage_bad) in
+  let max_reported_eps = Array.fold_left (fun acc s -> Float.max acc s.a_max_eps) 0. results in
+  let shard_journals =
+    List.init shards (fun i ->
+        let path = Printf.sprintf "%s.shard%d" journal i in
+        let ok, records, (cum_eps, cum_delta) =
+          validate_journal ~path ~eps_total:eps ~max_reported_eps:0. ~max_reported_delta:0.
+        in
+        (i, ok, records, cum_eps, cum_delta))
+  in
+  let max_cum_eps =
+    List.fold_left (fun acc (_, _, _, e, _) -> Float.max acc e) 0. shard_journals
+  in
+  let trace_ok =
+    match Trace.load ~path:trace with
+    | Error why ->
+        Printf.eprintf "INVARIANT VIOLATED: fleet trace unreadable: %s\n%!" why;
+        false
+    | Ok events -> (
+        match Trace.validate events with
+        | Ok () -> true
+        | Error why ->
+            Printf.eprintf "INVARIANT VIOLATED: fleet trace invalid: %s\n%!" why;
+            false)
+  in
+  let recov = Array.of_list !recoveries in
+  Array.sort compare recov;
+  let recovery_mean =
+    if Array.length recov = 0 then 0.
+    else Array.fold_left ( +. ) 0. recov /. float_of_int (Array.length recov)
+  in
+  let recovery_max = if Array.length recov = 0 then 0. else recov.(Array.length recov - 1) in
+  let tol = 1e-9 *. Float.max 1. eps in
+  let checks_ok =
+    List.for_all (fun (_, ok, _, _, _) -> ok) shard_journals
+    && check (coverage_bad = 0) "%d partial answers with wrong coverage/missing_shards"
+         coverage_bad
+    && check (partials > 0) "no partial answers observed across %d shard kills" cycles
+    && check (not !failed_restart) "a killed shard never came back"
+    && check (!kill_errors = 0) "%d ctl kills failed" !kill_errors
+    && check (completed > 0) "no requests completed"
+    && check
+         (max_reported_eps <= max_cum_eps +. tol)
+         "fleet reported spent_eps %.6g but the largest shard journal covers %.6g (cross-shard \
+          double-spend)"
+         max_reported_eps max_cum_eps
+    && check (recovery_max < 1.)
+         "slowest shard recovery %.0f ms blew the one-second target" (recovery_max *. 1e3)
+    && trace_ok
+  in
+  Printf.printf
+    "fleet soak: %d shard kills across %d shards, %d analysts, %.1fs wall\n\
+    \  %d completed (%d answered, %d partial, %d client errors), %d bad coverages\n\
+    \  shard recovery ms mean %.0f max %.0f; fleet max reported eps %.4f, max shard journal eps \
+     %.4f\n"
+    cycles shards analysts wall_s completed answered partials errors coverage_bad
+    (recovery_mean *. 1e3) (recovery_max *. 1e3) max_reported_eps max_cum_eps;
+  List.iter
+    (fun (i, ok, records, cum_eps, cum_delta) ->
+      Printf.printf "  shard %d journal: %d records, cum eps %.4f, cum delta %.3g%s\n" i records
+        cum_eps cum_delta
+        (if ok then "" else " INVALID"))
+    shard_journals;
+  Printf.printf "%s\n%!" (if checks_ok then "ALL INVARIANTS HELD" else "INVARIANTS VIOLATED");
+  if json then begin
+    let num v = Protocol.Num v in
+    let int v = Protocol.Num (float_of_int v) in
+    let section =
+      Protocol.Obj
+        [
+          ("generator", Protocol.Str "bench/chaos.exe -- --kill-shard --json");
+          ("timestamp", Protocol.Str (Bench_json.iso8601_utc ()));
+          ("shards", int shards);
+          ("cycles", int cycles);
+          ("analysts", int analysts);
+          ("wall_s", num wall_s);
+          ("requests_completed", int completed);
+          ("requests_answered", int answered);
+          ("requests_partial", int partials);
+          ("coverage_violations", int coverage_bad);
+          ("client_errors", int errors);
+          ("shard_recovery_mean_ms", num (recovery_mean *. 1e3));
+          ("shard_recovery_max_ms", num (recovery_max *. 1e3));
+          ("fleet_max_reported_eps", num max_reported_eps);
+          ( "shard_journal_cum_eps",
+            Protocol.Arr (List.map (fun (_, _, _, e, _) -> num e) shard_journals) );
+          ("invariants_held", Protocol.Bool checks_ok);
+        ]
+    in
+    Bench_json.merge_section ~path:"BENCH_pmw.json" ~section:"chaos_fleet"
+      ~command:"bench/chaos.exe -- --kill-shard --json" section
+  end;
+  exit (if checks_ok then 0 else 1)
+
 (* --- entry point --- *)
 
 let () =
@@ -315,6 +541,8 @@ let () =
   let kill_min = ref 0.3 in
   let kill_max = ref 0.9 in
   let dup_prob = ref 0.35 in
+  let kill_shard = ref false in
+  let shards = ref 4 in
   let rec parse = function
     | [] -> ()
     | "--cycles" :: v :: rest -> cycles := int_of_string v; parse rest
@@ -328,13 +556,15 @@ let () =
     | "--kill-min-s" :: v :: rest -> kill_min := float_of_string v; parse rest
     | "--kill-max-s" :: v :: rest -> kill_max := float_of_string v; parse rest
     | "--dup-prob" :: v :: rest -> dup_prob := float_of_string v; parse rest
+    | "--kill-shard" :: rest -> kill_shard := true; parse rest
+    | "--shards" :: v :: rest -> shards := int_of_string v; parse rest
     | "--json" :: rest -> json := true; parse rest
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %s\n\
            usage: chaos.exe [--cycles N] [--analysts N] [--dir D] [--server-bin PATH]\n\
           \       [--seed S] [--eps E] [--n N] [--k K] [--kill-min-s S] [--kill-max-s S]\n\
-          \       [--dup-prob P] [--json]\n"
+          \       [--dup-prob P] [--kill-shard [--shards N]] [--json]\n"
           arg;
         exit 2
   in
@@ -354,6 +584,9 @@ let () =
         Sys.mkdir d 0o755;
         d
   in
+  if !kill_shard then
+    fleet_soak ~bin:!bin ~dir ~seed:!seed ~eps:!eps ~n:!n ~k:!k ~shards:!shards
+      ~analysts:!analysts ~cycles:!cycles ~kill_min:!kill_min ~kill_max:!kill_max ~json:!json ();
   let socket = Filename.concat dir "real.sock" in
   let journal = Filename.concat dir "journal.wal" in
   let proxy_path = Filename.concat dir "flaky.sock" in

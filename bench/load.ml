@@ -111,7 +111,8 @@ let analyst_loop ~call ~queries ~requests ~deadline ~analyst =
   while continue () do
     let name = queries.(!r mod Array.length queries) in
     let req =
-      { Protocol.req_id = !r; req_analyst = analyst; req_query = name; req_rid = None }
+      { Protocol.req_id = !r; req_analyst = analyst; req_query = name; req_rid = None;
+        req_shards = None }
     in
     let t0 = Unix.gettimeofday () in
     (match call req with
@@ -203,6 +204,73 @@ let run_inproc ?journal_path ~label ~bits ~n ~eps ~t_max ~analysts ~requests ~ma
   Option.iter Pmw_server.Journal.close journal;
   (result (), Pmw_data.Universe.size universe)
 
+(* --- in-process fleet serving --- *)
+
+(* The same workload behind a sharded fleet: N disjoint block shards, each
+   with its own session and serializer domain, composed by the router.
+   Analyst i scopes its queries to shard (i mod shards) — the steady-state
+   routing pattern where each shard serves its own record block without
+   fan-out barriers — so throughput measures per-shard serialization, not
+   the composition path (the router tests own that). *)
+let run_fleet ~label ~bits ~n ~eps ~t_max ~analysts ~requests ~max_batch ~shards () =
+  let module Shard = Pmw_server.Shard in
+  let module Router = Pmw_server.Router in
+  let w = Common.Workload.regression ~d:2 ~levels:(levels_for_bits bits) () in
+  let universe = w.Common.Workload.universe in
+  let dataset = w.Common.Workload.sample ~n (Rng.create ~seed:2 ()) in
+  let k = (analysts * requests) + 16 in
+  let config =
+    Pmw_core.Config.practical ~universe
+      ~privacy:(Pmw_dp.Params.create ~eps ~delta:1e-6)
+      ~alpha:0.1 ~beta:0.05 ~scale:w.Common.Workload.scale ~k ~t_max ~solver_iters:200 ()
+  in
+  let registry = Hashtbl.create 16 in
+  List.iter (fun q -> Hashtbl.replace registry q.Pmw_core.Cm_query.name q) w.Common.Workload.queries;
+  let blocks = Shard.partition dataset ~by:Shard.Block ~shards in
+  let fleet =
+    Array.of_list
+      (List.mapi
+         (fun i block ->
+           Shard.create ~id:i
+             ~weight:(float_of_int (Pmw_data.Dataset.size block) /. float_of_int n)
+             ~config:
+               {
+                 Broker.max_batch;
+                 quota = 0;
+                 retry_after_s = 0.05;
+                 dedup_cap = 4096;
+                 checkpoint_every = 0;
+               }
+             ~make_session:(fun tel ->
+               let pool = Pmw_parallel.Pool.create ~domains:1 () in
+               Session.create ~pool ~telemetry:tel
+                 ~label:(Printf.sprintf "shard%d" i)
+                 ~config ~dataset:block
+                 ~rng:(Rng.create ~seed:(3 + i) ())
+                 ())
+             ~resolve:(Hashtbl.find_opt registry) ())
+         blocks)
+  in
+  Array.iter
+    (fun s ->
+      match Shard.start s with
+      | Ok () -> ()
+      | Error m -> failwith (Printf.sprintf "shard %d: %s" (Shard.id s) m))
+    fleet;
+  let router = Router.create ~shards:fleet () in
+  let queries =
+    Array.of_list (List.map (fun q -> q.Pmw_core.Cm_query.name) w.Common.Workload.queries)
+  in
+  let coordinator, result =
+    drive ~label ~max_batch ~analysts ~queries ~requests:(Some requests) ~duration_s:None
+      ~make_call:(fun i ->
+        fun req ->
+          Some (Router.submit router { req with Protocol.req_shards = Some [ i mod shards ] }))
+      ~finish:(fun () -> Array.iter Shard.stop fleet)
+  in
+  Thread.join coordinator;
+  result ()
+
 (* --- socket client mode --- *)
 
 (* --queries overrides this stock panel for other workloads. *)
@@ -247,7 +315,8 @@ let run_json r =
       ("batch_size_mean", Protocol.Num r.r_batch_mean);
     ]
 
-let merge_bench_json ~path ~bits ~universe_size ~results ~speedup ~journal_ratio =
+let merge_bench_json ~path ~bits ~universe_size ~results ~speedup ~journal_ratio ~fleet_shards
+    ~fleet_ratio =
   let server =
     Protocol.Obj
       [
@@ -258,6 +327,8 @@ let merge_bench_json ~path ~bits ~universe_size ~results ~speedup ~journal_ratio
         ("runs", Protocol.Arr (List.map run_json results));
         ("batching_speedup", Protocol.Num speedup);
         ("journal_throughput_ratio", Protocol.Num journal_ratio);
+        ("fleet_shards", Protocol.Num (float_of_int fleet_shards));
+        ("fleet_throughput_ratio", Protocol.Num fleet_ratio);
       ]
   in
   Bench_json.merge_section ~path ~section:"server"
@@ -277,6 +348,7 @@ let () =
   let t_max = ref 12 in
   let compare_flag = ref false in
   let json = ref false in
+  let shards = ref 4 in
   let panel = ref default_panel in
   let rec parse = function
     | [] -> ()
@@ -313,6 +385,9 @@ let () =
     | "--compare" :: rest ->
         compare_flag := true;
         parse rest
+    | "--shards" :: v :: rest ->
+        shards := int_of_string v;
+        parse rest
     | "--json" :: rest ->
         json := true;
         parse rest
@@ -321,7 +396,7 @@ let () =
           "unknown argument %s\n\
            usage: load.exe [--socket PATH [--duration-s S] [--queries A,B,...]]\n\
           \       [--analysts N] [--requests N] [--max-batch N] [--universe-bits B]\n\
-          \       [--n N] [--eps E] [--t-max T] [--compare] [--json]\n"
+          \       [--n N] [--eps E] [--t-max T] [--compare] [--shards N] [--json]\n"
           arg;
         exit 2
   in
@@ -355,15 +430,30 @@ let () =
         in
         (try Sys.remove journal_path with Sys_error _ -> ());
         print_result journaled;
+        (* the same workload again behind a --shards fleet: shard-scoped
+           analysts measure what sharding costs (or buys, with real cores)
+           relative to the single batched broker *)
+        let fleet =
+          run_fleet ~label:"fleet" ~bits:!bits ~n:!n ~eps:!eps ~t_max:!t_max ~analysts:!analysts
+            ~requests:!requests ~max_batch:!max_batch ~shards:!shards ()
+        in
+        print_result fleet;
         let speedup =
           if throughput sequential > 0. then throughput batched /. throughput sequential else 0.
         in
         let journal_ratio =
           if throughput batched > 0. then throughput journaled /. throughput batched else 0.
         in
-        Printf.printf "batching speedup: %.2fx; journaled throughput: %.1f%% of no-journal\n%!"
-          speedup (100. *. journal_ratio);
+        let fleet_ratio =
+          if throughput batched > 0. then throughput fleet /. throughput batched else 0.
+        in
+        Printf.printf
+          "batching speedup: %.2fx; journaled throughput: %.1f%% of no-journal; %d-shard fleet \
+           throughput: %.1f%% of single broker\n\
+           %!"
+          speedup (100. *. journal_ratio) !shards (100. *. fleet_ratio);
         if !json then
           merge_bench_json ~path:"BENCH_pmw.json" ~bits:!bits ~universe_size
-            ~results:[ batched; sequential; journaled ] ~speedup ~journal_ratio
+            ~results:[ batched; sequential; journaled; fleet ] ~speedup ~journal_ratio
+            ~fleet_shards:!shards ~fleet_ratio
       end

@@ -457,6 +457,9 @@ let serve_cmd =
   let module Broker = Pmw_server.Broker in
   let module Net = Pmw_server.Net in
   let module Journal = Pmw_server.Journal in
+  let module Shard = Pmw_server.Shard in
+  let module Router = Pmw_server.Router in
+  let module Supervisor = Pmw_server.Supervisor in
   let workload_arg =
     let kind = Arg.enum [ ("regression", `Regression); ("classification", `Classification) ] in
     Arg.(value & opt kind `Regression & info [ "workload" ] ~docv:"KIND" ~doc:"regression|classification")
@@ -516,8 +519,32 @@ let serve_cmd =
     Arg.(value & opt int 3 & info [ "fault-every" ] ~doc:"Inject on every Nth oracle call")
   in
   let fault_seed_arg = Arg.(value & opt int 5 & info [ "fault-seed" ] ~doc:"Fault-injection seed") in
+  let shards_arg =
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N"
+           ~doc:"Shard the record space into N disjoint blocks, each with its own session, \
+                 journal, budget and serializer domain, behind a routing tier with supervised \
+                 failover (1 = single broker, the default)")
+  in
+  let shard_by_arg =
+    let by = Arg.enum [ ("block", Pmw_server.Shard.Block); ("hash", Pmw_server.Shard.Hash) ] in
+    Arg.(value & opt by Pmw_server.Shard.Block & info [ "shard-by" ] ~docv:"KIND"
+           ~doc:"Partition rows by contiguous 'block' ranges (arrival-time windows) or by 'hash' \
+                 of the record value (content key)")
+  in
+  let chaos_ctl_flag =
+    Arg.(value & flag
+         & info [ "chaos-ctl" ]
+             ~doc:"Enable the fleet control plane (ctl:health, ctl:spent, ctl:kill:I queries) so \
+                   a chaos harness can kill shards mid-soak; never enable it for real analysts")
+  in
+  let fleet_deadline_arg =
+    Arg.(value & opt float 5.0 & info [ "fleet-deadline" ] ~docv:"SECONDS"
+           ~doc:"Fan-out deadline per query: shards that have not answered by then are reported \
+                 as missing in a partial answer (0 = wait forever)")
+  in
   let run workload n k alpha eps delta t_max d seed socket max_batch quota retry_after dir resume
-      journal_path ckpt_every dedup_cap fault_spec fault_every fault_seed trace =
+      journal_path ckpt_every dedup_cap fault_spec fault_every fault_seed shards shard_by chaos_ctl
+      fleet_deadline trace =
     let ( let* ) r f = match r with Error m -> `Error (false, m) | Ok v -> f v in
     let* fault =
       match fault_spec with
@@ -528,6 +555,16 @@ let serve_cmd =
     else if max_batch < 1 then `Error (false, "max-batch must be >= 1")
     else if dedup_cap < 0 then `Error (false, "dedup-cap must be >= 0")
     else if resume && dir = None then `Error (false, "--resume requires --checkpoint-dir")
+    else if shards < 1 then `Error (false, "--shards must be >= 1")
+    else if shards > 1 && (dir <> None || resume) then
+      `Error
+        ( false,
+          "--checkpoint-dir/--resume are single-broker options; fleet durability is per-shard \
+           journals (--journal)" )
+    else if shards > 1 && fault_spec <> None then
+      `Error
+        ( false,
+          "--fault is a single-broker option; fault the fleet with --chaos-ctl and ctl:kill:I" )
     else begin
       (* Block the shutdown signals before any thread exists so every thread
          inherits the mask and only the watcher consumes them. *)
@@ -562,6 +599,119 @@ let serve_cmd =
         | Some fo -> fun () -> Faulty.claimed_spend fo
         | None -> fun () -> None
       in
+      let registry = Hashtbl.create 16 in
+      List.iter
+        (fun q -> Hashtbl.replace registry q.Pmw_core.Cm_query.name q)
+        w.Common.Workload.queries;
+      if shards > 1 then begin
+        (* Fleet mode: disjoint record blocks, each with its own session,
+           journal and serializer domain, behind a supervised routing tier.
+           Parallel composition gives every shard the full (eps, delta) pot. *)
+        let* blocks =
+          try Ok (Shard.partition dataset ~by:shard_by ~shards)
+          with Invalid_argument m -> Error m
+        in
+        let n_total = float_of_int (Pmw_data.Dataset.size dataset) in
+        let mk_shard i block =
+          Shard.create ~id:i
+            ~weight:(float_of_int (Pmw_data.Dataset.size block) /. n_total)
+            ?journal_path:(Option.map (fun p -> Printf.sprintf "%s.shard%d" p i) journal_path)
+            ~config:
+              {
+                Broker.max_batch;
+                quota;
+                retry_after_s = retry_after;
+                dedup_cap;
+                checkpoint_every = 0;
+              }
+            ~telemetry:(fun ~incarnation ->
+              match trace with
+              | None -> Telemetry.null ()
+              | Some path ->
+                  Telemetry.create
+                    ~sink:
+                      (Telemetry.Sink.jsonl_file
+                         (Printf.sprintf "%s.shard%d.inc%d" path i incarnation))
+                    ~tag:(Printf.sprintf "shard%d" i) ())
+            ~make_session:(fun tel ->
+              (* Runs on the shard's domain at every (re)start: pool, oracles
+                 and rng are incarnation-private, so recovery state can only
+                 come from the shard's own journal. The pool is inline
+                 (domains = 1) — the fleet's parallelism axis is the shard
+                 domains, and an inline pool neither violates creator
+                 affinity nor leaks worker domains across restarts. *)
+              let pool = Pmw_parallel.Pool.create ~domains:1 () in
+              Session.create ~pool ~telemetry:tel
+                ~label:(Printf.sprintf "shard%d" i)
+                ~config ~dataset:block
+                ~oracles:
+                  [ Pmw_erm.Oracles.noisy_gd ~pool (); Pmw_erm.Oracles.output_perturbation ]
+                ~rng:(Pmw_rng.Rng.create ~seed:(seed + 7919 + (1000 * (i + 1))) ())
+                ())
+            ~resolve:(Hashtbl.find_opt registry)
+            ()
+        in
+        let fleet = Array.of_list (List.mapi mk_shard blocks) in
+        let* () =
+          let failed =
+            Array.to_list fleet
+            |> List.filter_map (fun s ->
+                   match Shard.start s with
+                   | Ok () -> None
+                   | Error m -> Some (Printf.sprintf "shard %d: %s" (Shard.id s) m))
+          in
+          if failed = [] then Ok () else Error (String.concat "; " failed)
+        in
+        let router =
+          Router.create
+            ~config:
+              {
+                Router.rt_deadline_s = fleet_deadline;
+                rt_retry_after_s = retry_after;
+                rt_allow_ctl = chaos_ctl;
+              }
+            ~shards:fleet ()
+        in
+        let supervisor =
+          Supervisor.start ~telemetry
+            ~extra_counters:(fun () -> Router.counters router)
+            ~shards:fleet ()
+        in
+        let listener = Net.listen ~handler:(Router.submit router) ~path:socket in
+        Printf.printf "serving %s (|X|=%d, n=%d, k=%d) on %s; %d %s shards%s; queries: %s\n%!"
+          (Pmw_data.Universe.name w.Common.Workload.universe)
+          (Pmw_data.Universe.size w.Common.Workload.universe)
+          n k socket shards (Shard.by_to_string shard_by)
+          (if chaos_ctl then ", ctl enabled" else "")
+          (String.concat " "
+             (List.map (fun q -> q.Pmw_core.Cm_query.name) w.Common.Workload.queries));
+        (* Shard serializers run on their own domains; this thread only
+           waits for the shutdown signal. *)
+        let (_ : int) = Thread.wait_signal [ Sys.sigterm; Sys.sigint ] in
+        Printf.eprintf "draining fleet...\n%!";
+        Net.stop listener;
+        Supervisor.stop supervisor;
+        Array.iter Shard.stop fleet;
+        Printf.printf "fleet composed %d requests across %d shards\n" (Router.processed router)
+          shards;
+        List.iter (fun (name, v) -> Printf.printf "  %-16s %d\n" name v) (Router.counters router);
+        Printf.printf "  %d restarts; quarantined: [%s]\n" (Supervisor.restarts supervisor)
+          (String.concat ", " (List.map string_of_int (Supervisor.quarantined supervisor)));
+        Array.iter
+          (fun s ->
+            let sp = Shard.spent s in
+            Printf.printf "  shard %d (%s, weight %.3f): spent eps %.4f delta %.2e\n" (Shard.id s)
+              (Shard.state_to_string (Shard.state s))
+              (Shard.weight s) sp.Pmw_dp.Params.eps sp.Pmw_dp.Params.delta)
+          fleet;
+        let spent = Router.fleet_spent router in
+        Printf.printf
+          "fleet privacy spent by parallel composition (eps %.4f of %.4f, delta %.2e of %.2e)\n"
+          spent.Pmw_dp.Params.eps eps spent.Pmw_dp.Params.delta delta;
+        close_telemetry telemetry;
+        `Ok ()
+      end
+      else begin
       let rng = Pmw_rng.Rng.create ~seed:(seed + 7919) () in
       Option.iter (fun d -> if not (Sys.file_exists d) then Sys.mkdir d 0o755) dir;
       let checkpoint = Option.map (fun dir -> Filename.concat dir "session.ckpt") dir in
@@ -585,10 +735,6 @@ let serve_cmd =
         | None -> Ok (None, Journal.empty_recovery)
         | Some p -> Result.map (fun (j, r) -> (Some j, r)) (Journal.open_journal ~path:p)
       in
-      let registry = Hashtbl.create 16 in
-      List.iter
-        (fun q -> Hashtbl.replace registry q.Pmw_core.Cm_query.name q)
-        w.Common.Workload.queries;
       let broker =
         Broker.create
           ~config:
@@ -603,7 +749,7 @@ let serve_cmd =
           ~resolve:(Hashtbl.find_opt registry)
           ()
       in
-      let listener = Net.listen ~broker ~path:socket in
+      let listener = Net.listen ~handler:(Broker.submit broker) ~path:socket in
       let (_ : Thread.t) =
         Thread.create
           (fun () ->
@@ -641,6 +787,7 @@ let serve_cmd =
       Session.finish session;
       close_telemetry telemetry;
       `Ok ()
+      end
     end
   in
   Cmd.v (Cmd.info "serve" ~doc)
@@ -649,7 +796,8 @@ let serve_cmd =
         (const run $ workload_arg $ n_arg $ k_arg $ alpha_arg $ eps_arg $ delta_arg $ t_arg $ d_arg
        $ seed_arg $ socket_arg $ max_batch_arg $ quota_arg $ retry_arg $ dir_arg $ resume_flag
        $ journal_arg $ ckpt_every_arg $ dedup_cap_arg $ fault_arg $ fault_every_arg
-       $ fault_seed_arg $ trace_arg))
+       $ fault_seed_arg $ shards_arg $ shard_by_arg $ chaos_ctl_flag $ fleet_deadline_arg
+       $ trace_arg))
 
 (* --- stats --- *)
 

@@ -112,3 +112,20 @@ let exhausted ?tolerance t =
   r.Params.eps <= eps_tol || (t.total.Params.delta > 0. && r.Params.delta <= delta_tol)
 
 let history t = locked t (fun () -> List.rev t.granted)
+
+(* Parallel composition: the pots belong to mechanisms running over DISJOINT
+   record blocks, so the fleet's privacy loss against any one record is the
+   loss of the single shard holding it — the coordinate-wise max, not the
+   sum. Each [spent] read is individually atomic; the fold is a consistent
+   fleet-level snapshot as long as callers read after the debits they care
+   about (the router reads it when composing an answer, i.e. after every
+   contributing shard has journalled its debit). *)
+let spent_parallel pots =
+  List.fold_left
+    (fun acc pot ->
+      let s = spent pot in
+      Params.create
+        ~eps:(Float.max acc.Params.eps s.Params.eps)
+        ~delta:(Float.max acc.Params.delta s.Params.delta))
+    (Params.create ~eps:0. ~delta:0.)
+    pots

@@ -79,3 +79,11 @@ val exhausted : ?tolerance:float -> t -> bool
 
 val history : t -> Pmw_dp.Params.t list
 (** Granted slices, oldest first (drains included). *)
+
+val spent_parallel : t list -> Pmw_dp.Params.t
+(** Fleet-level accounted spend for pots over {e disjoint} record blocks:
+    the coordinate-wise max of the pots' {!spent} values — parallel
+    composition of differential privacy. Any single record lives in exactly
+    one block, so the fleet's loss against it is that one shard's loss; the
+    max is sound (and tight) where summing would be needlessly loose. Each
+    pot read is atomic; [spent_parallel []] is [(0, 0)]. *)

@@ -69,6 +69,7 @@ type t = {
   dedup_order : string Queue.t;
   inflight : (string, pending) Hashtbl.t;
   mutable draining : bool;
+  mutable aborted : bool;
   mutable stopped : bool;
   mutable seq : int;
   (* Journal cumulative already recorded; serializer-only. *)
@@ -146,6 +147,7 @@ let create ?(config = default_config) ?journal ?(recovery = Journal.empty_recove
       dedup_order = Queue.create ();
       inflight = Hashtbl.create 16;
       draining = false;
+      aborted = false;
       stopped = false;
       seq = max 0 (recovery.Journal.rv_max_seq + 1);
       last_cum = (0., 0.);
@@ -346,14 +348,21 @@ let response_of_verdict ~id ~seq ~batch ~queue_wait_s verdict =
         (Some o.Online.update_index)
   | Online.Refused r -> base (Protocol.Refused (Online.refusal_to_string r)) None None None
 
+(* Mirroring must EMIT, not just overwrite: [Telemetry.set_counter] never
+   produces an event, so a set-only mirror leaves every server_* counter
+   (including the dedup-mark overflow count) invisible to written traces and
+   to [pmw_cli stats], which reads counters back out of Count events. The
+   serializer is the only caller, so the read-increment pair is race-free. *)
+let mirror_counter t name total =
+  let prev = Telemetry.counter t.telemetry name in
+  if total > prev then Telemetry.incr ~by:(total - prev) t.telemetry name
+
 let mirror_counters t =
-  Telemetry.set_counter t.telemetry "server_rejected_budget" (Atomic.get t.rejected_budget);
-  Telemetry.set_counter t.telemetry "server_rejected_quota" (Atomic.get t.rejected_quota);
-  Telemetry.set_counter t.telemetry "server_rejected_draining" (Atomic.get t.rejected_draining);
-  Telemetry.set_counter t.telemetry "server_dedup_hits" (Atomic.get t.dedup_hits);
-  (match Atomic.get t.dedup_hit_marks_dropped with
-  | 0 -> ()
-  | n -> Telemetry.set_counter t.telemetry "server_dedup_hit_marks_dropped" n);
+  mirror_counter t "server_rejected_budget" (Atomic.get t.rejected_budget);
+  mirror_counter t "server_rejected_quota" (Atomic.get t.rejected_quota);
+  mirror_counter t "server_rejected_draining" (Atomic.get t.rejected_draining);
+  mirror_counter t "server_dedup_hits" (Atomic.get t.dedup_hits);
+  mirror_counter t "server_dedup_hit_marks_dropped" (Atomic.get t.dedup_hit_marks_dropped);
   let hits =
     locked t (fun () ->
         let l = t.dedup_hit_log in
@@ -471,7 +480,10 @@ let process_batch t items =
           let st = analyst_state t p.p_req.Protocol.req_analyst in
           (match reply.Protocol.rsp_status with
           | Protocol.Answered -> st.st_answered <- st.st_answered + 1
-          | Protocol.Degraded _ -> st.st_degraded <- st.st_degraded + 1
+          (* Partial is a fleet-level verdict (the router composes it); a
+             single broker never produces one, but tally it as degraded if a
+             recorded line ever replays through here. *)
+          | Protocol.Degraded _ | Protocol.Partial _ -> st.st_degraded <- st.st_degraded + 1
           | Protocol.Refused _ | Protocol.Failed _ -> st.st_refused <- st.st_refused + 1
           | Protocol.Rejected _ -> st.st_rejected <- st.st_rejected + 1);
           st.st_history <-
@@ -540,26 +552,68 @@ let run ?checkpoint t =
         | _ -> ())
   done;
   mirror_counters t;
-  (* Drain boundary goes to the journal before the final checkpoint: a
-     replayer seeing the mark knows every journaled answer was released. *)
-  Option.iter
-    (fun j ->
-      Journal.append j (Journal.Mark "drain");
-      Journal.sync j)
-    t.journal;
-  (match checkpoint with
-  | None -> ()
-  | Some path ->
-      t.last_checkpoint_seq <- t.seq;
-      write_checkpoint t ~path ~why:"final");
-  Telemetry.mark t.telemetry "server.drained"
-    ~fields:[ ("processed", Telemetry.Int t.seq) ];
-  Log.info (fun m -> m "drained after %d queries" t.seq)
+  if t.aborted then begin
+    (* Simulated kill -9: no drain mark, no final checkpoint — the journal
+       must look exactly as a real crash would leave it, so restart goes
+       through the same replay/reconcile path a genuine kill exercises. *)
+    Telemetry.mark t.telemetry "server.aborted"
+      ~fields:[ ("processed", Telemetry.Int t.seq) ];
+    Log.info (fun m -> m "aborted after %d queries" t.seq)
+  end
+  else begin
+    (* Drain boundary goes to the journal before the final checkpoint: a
+       replayer seeing the mark knows every journaled answer was released. *)
+    Option.iter
+      (fun j ->
+        Journal.append j (Journal.Mark "drain");
+        Journal.sync j)
+      t.journal;
+    (match checkpoint with
+    | None -> ()
+    | Some path ->
+        t.last_checkpoint_seq <- t.seq;
+        write_checkpoint t ~path ~why:"final");
+    Telemetry.mark t.telemetry "server.drained"
+      ~fields:[ ("processed", Telemetry.Int t.seq) ];
+    Log.info (fun m -> m "drained after %d queries" t.seq)
+  end
 
 let shutdown t =
   locked t (fun () ->
       t.draining <- true;
       Condition.broadcast t.cond)
+
+(* Crash-style stop: fail every queued request NOW and make [run] exit
+   without the graceful-drain journal tail. Requests already drained into
+   the serializer's current batch are untouched — they were admitted, will
+   be journalled, and their replies still land; everything still in the
+   queue gets a [Failed] reply so no client thread is left blocked on a
+   broker whose serializer is gone. *)
+let abort ?(reason = "shard aborted") t =
+  locked t (fun () ->
+      if not t.stopped then begin
+        t.draining <- true;
+        t.aborted <- true;
+        Queue.iter
+          (fun p ->
+            if p.p_reply = None then begin
+              p.p_reply <-
+                Some
+                  {
+                    (rejected p.p_req reason) with
+                    Protocol.rsp_status = Protocol.Failed reason;
+                  };
+              match p.p_req.Protocol.req_rid with
+              | None -> ()
+              | Some rid ->
+                  Hashtbl.remove t.inflight (dedup_key p.p_req.Protocol.req_analyst rid)
+            end)
+          t.queue;
+        Queue.clear t.queue;
+        Condition.broadcast t.cond
+      end)
+
+let aborted t = locked t (fun () -> t.aborted)
 
 let drained t = locked t (fun () -> t.stopped)
 let processed t = locked t (fun () -> t.seq)

@@ -117,6 +117,20 @@ val shutdown : t -> unit
     get answers. Safe from any thread (the SIGTERM watcher calls this).
     Idempotent. *)
 
+val abort : ?reason:string -> t -> unit
+(** Crash-style stop, the shard supervisor's kill switch: every request
+    still in the queue is failed immediately (a [Failed reason] reply, so
+    no client thread stays blocked), new submissions are rejected, and
+    {!run} exits {e without} the graceful tail — no journal ["drain"] mark,
+    no final checkpoint. The journal is left exactly as a [kill -9] would
+    leave it, so a restart exercises the genuine crash-recovery path
+    (replay, reconcile, dedup re-seed). Requests already drained into the
+    serializer's current batch still complete and journal normally. Safe
+    from any thread; idempotent. *)
+
+val aborted : t -> bool
+(** {!abort} was called on this broker. *)
+
 val drained : t -> bool
 (** [run] has finished its queue (set just before it returns). *)
 

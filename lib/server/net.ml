@@ -71,7 +71,7 @@ module Io = struct
 end
 
 type listener = {
-  broker : Broker.t;
+  handler : Protocol.request -> Protocol.response;
   path : string;
   sock : Unix.file_descr;
   mutable accept_thread : Thread.t option;  (* set once, right after creation *)
@@ -106,7 +106,7 @@ let serve_conn l fd =
             (* A malformed line cannot carry a trustworthy id; -1 tells the
                client the correlation is lost but the connection survives. *)
             respond (error_line (-1) ("bad request: " ^ why))
-        | Ok req -> respond (Protocol.encode_response (Broker.submit l.broker req)));
+        | Ok req -> respond (Protocol.encode_response (l.handler req)));
         loop ()
     | `Too_long ->
         (* Framing is unrecoverable past the cap (no '\n' in sight): say
@@ -133,7 +133,7 @@ let rec accept_loop l =
       accept_loop l
   | exception Unix.Unix_error _ -> if not l.stopping then Log.warn (fun m -> m "accept failed")
 
-let listen ~broker ~path =
+let listen ~handler ~path =
   Lazy.force ignore_sigpipe;
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -145,7 +145,7 @@ let listen ~broker ~path =
   Log.info (fun m -> m "listening on %s" path);
   let l =
     {
-      broker;
+      handler;
       path;
       sock;
       accept_thread = None;
@@ -283,11 +283,18 @@ module Client = struct
     rp_max_attempts : int;
     rp_base_delay_s : float;
     rp_max_delay_s : float;
+    rp_deadline_s : float;
     rp_seed : int64;
   }
 
   let default_retry =
-    { rp_max_attempts = 6; rp_base_delay_s = 0.05; rp_max_delay_s = 2.; rp_seed = 0x9E3779B97F4A7C15L }
+    {
+      rp_max_attempts = 6;
+      rp_base_delay_s = 0.05;
+      rp_max_delay_s = 2.;
+      rp_deadline_s = 30.;
+      rp_seed = 0x9E3779B97F4A7C15L;
+    }
 
   let retryable = function
     | Timeout | Closed | Io_error _ -> true
@@ -305,17 +312,43 @@ module Client = struct
       Float.min policy.rp_max_delay_s expo *. (0.5 +. (0.5 *. frac ()))
     in
     let sleep s = if s > 0. then Thread.delay s in
+    (* Wall-clock cap across the WHOLE loop, not just an attempt count: a
+       policy that retries N times with server-hinted sleeps can otherwise
+       stall a caller far past any attempt-derived bound. When the next
+       sleep would cross the deadline, the loop returns its latest outcome
+       instead of sleeping. [rp_deadline_s <= 0] disables the cap. *)
+    let started = Unix.gettimeofday () in
+    let budget_for s =
+      policy.rp_deadline_s <= 0.
+      || Unix.gettimeofday () -. started +. s <= policy.rp_deadline_s
+    in
     let rec go attempt =
       match call c req with
+      | Ok ({ Protocol.rsp_status = Protocol.Partial _; _ } as rsp) ->
+          (* A Partial verdict is a SUCCESS: the theta is usable, just at
+             reduced coverage, and its retry_after_s field is advice about
+             when the fleet may heal — not an instruction to re-ask now.
+             Retrying it would turn every degraded window into a
+             thundering-herd retry storm against the surviving shards. *)
+          Ok rsp
       | Ok { Protocol.rsp_status = Protocol.Rejected { retry_after_s = Some after; _ }; _ }
+        as outcome
         when attempt + 1 < policy.rp_max_attempts ->
           (* backpressure: honor the server's hint (jittered up, capped) *)
-          sleep (Float.min policy.rp_max_delay_s (after *. (1. +. (0.25 *. frac ()))));
-          go (attempt + 1)
+          let s = Float.min policy.rp_max_delay_s (after *. (1. +. (0.25 *. frac ()))) in
+          if budget_for s then begin
+            sleep s;
+            go (attempt + 1)
+          end
+          else outcome
       | Ok rsp -> Ok rsp
       | Error e when retryable e && attempt + 1 < policy.rp_max_attempts ->
-          sleep (backoff attempt);
-          go (attempt + 1)
+          let s = backoff attempt in
+          if budget_for s then begin
+            sleep s;
+            go (attempt + 1)
+          end
+          else Error e
       | Error e -> Error e
     in
     go 0

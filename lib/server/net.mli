@@ -1,4 +1,5 @@
-(** Unix-domain-socket front end for {!Broker}: line-delimited
+(** Unix-domain-socket front end for a request handler — a single
+    {!Broker.submit} or a fleet {!Router.submit}: line-delimited
     {!Protocol} JSON over a stream socket, one reader thread per analyst
     connection, one in-flight request per connection (analysts are
     closed-loop). Malformed lines get an [error] response with [id = -1]
@@ -39,9 +40,12 @@ end
 
 type listener
 
-val listen : broker:Broker.t -> path:string -> listener
+val listen : handler:(Protocol.request -> Protocol.response) -> path:string -> listener
 (** Bind (replacing any stale socket file at [path]), listen, and start the
-    accept thread. Raises [Unix.Unix_error] if the bind fails. *)
+    accept thread. [handler] runs on the per-connection reader threads and
+    must be thread-safe and blocking-friendly ({!Broker.submit} and
+    {!Router.submit} both qualify). Raises [Unix.Unix_error] if the bind
+    fails. *)
 
 val stop : listener -> unit
 (** Stop accepting, wake every blocked connection, join the accept thread
@@ -85,20 +89,29 @@ module Client : sig
     rp_max_attempts : int;  (** total tries, first call included *)
     rp_base_delay_s : float;  (** backoff starts here, doubles per retry *)
     rp_max_delay_s : float;  (** cap on any single sleep *)
+    rp_deadline_s : float;
+        (** total wall-clock cap across the whole retry loop — when the
+            next sleep would cross it, the latest outcome is returned
+            instead; [<= 0] disables the cap *)
     rp_seed : int64;  (** jitter seed (mixed with the request id) *)
   }
 
   val default_retry : retry_policy
-  (** 6 attempts, 50 ms base, 2 s cap. *)
+  (** 6 attempts, 50 ms base, 2 s per-sleep cap, 30 s total deadline. *)
 
   val call_with_retry :
     ?policy:retry_policy -> t -> Protocol.request -> (Protocol.response, error) result
   (** {!call} under capped exponential backoff with deterministic jitter
       (seeded from [rp_seed] and the request id). Retries transport faults
       ([Timeout]/[Closed]/[Io_error]) and [Rejected] responses that carry a
-      [retry_after_s] hint (sleeping the hinted time, jittered). Stamp the
-      request with a [rid] so a retry after a transport fault returns the
-      recorded answer instead of spending fresh budget. *)
+      [retry_after_s] hint (sleeping the hinted time, jittered) — bounded
+      by {e both} [rp_max_attempts] and the [rp_deadline_s] wall clock.
+      A [Partial] fleet verdict is a {e success}, never retried: its theta
+      is usable at reduced coverage, and re-asking a degraded fleet from
+      every client at once is exactly the retry storm the deadline exists
+      to prevent. Stamp the request with a [rid] so a retry after a
+      transport fault returns the recorded answer instead of spending
+      fresh budget. *)
 
   val close : t -> unit
 end

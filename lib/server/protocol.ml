@@ -284,6 +284,7 @@ type request = {
   req_analyst : string;
   req_query : string;
   req_rid : string option;
+  req_shards : int list option;
 }
 
 type status =
@@ -292,6 +293,12 @@ type status =
   | Refused of string
   | Rejected of { retry_after_s : float option; reason : string }
   | Failed of string
+  | Partial of {
+      missing_shards : int list;
+      coverage : float;
+      retry_after_s : float option;
+      reason : string;
+    }
 
 type response = {
   rsp_id : int;
@@ -335,7 +342,12 @@ let encode_request r =
        :: ("id", Num (float_of_int r.req_id))
        :: ("analyst", Str r.req_analyst)
        :: ("query", Str r.req_query)
-       :: (match r.req_rid with None -> [] | Some rid -> [ ("rid", Str rid) ])))
+       :: ((match r.req_rid with None -> [] | Some rid -> [ ("rid", Str rid) ])
+          @
+          match r.req_shards with
+          | None -> []
+          | Some ids ->
+              [ ("shards", Arr (List.map (fun i -> Num (float_of_int i)) ids)) ])))
 
 let decode_request line =
   Result.bind (frame_check "request" line) (fun () ->
@@ -347,14 +359,31 @@ let decode_request line =
                     Option.bind (field fields "analyst") as_str,
                     Option.bind (field fields "query") as_str )
                 with
-                | Some id, Some analyst, Some query ->
-                    Ok
-                      {
-                        req_id = id;
-                        req_analyst = analyst;
-                        req_query = query;
-                        req_rid = Option.bind (field fields "rid") as_str;
-                      }
+                | Some id, Some analyst, Some query -> (
+                    let shards =
+                      match field fields "shards" with
+                      | None -> Ok None
+                      | Some (Arr items) ->
+                          let vals = List.map as_int items in
+                          if List.for_all Option.is_some vals then
+                            Ok (Some (List.map Option.get vals))
+                          else
+                            Error
+                              "request field \"shards\" must be an array of integers"
+                      | Some _ ->
+                          Error "request field \"shards\" must be an array of integers"
+                    in
+                    match shards with
+                    | Error why -> Error why
+                    | Ok shards ->
+                        Ok
+                          {
+                            req_id = id;
+                            req_analyst = analyst;
+                            req_query = query;
+                            req_rid = Option.bind (field fields "rid") as_str;
+                            req_shards = shards;
+                          })
                 | None, _, _ -> Error "request is missing integer field \"id\""
                 | _, None, _ -> Error "request is missing string field \"analyst\""
                 | _, _, None -> Error "request is missing string field \"query\""))
@@ -366,6 +395,7 @@ let status_tag = function
   | Refused _ -> "refused"
   | Rejected _ -> "rejected"
   | Failed _ -> "error"
+  | Partial _ -> "partial"
 
 let encode_response r =
   let opt name f v tail = match v with None -> tail | Some v -> (name, f v) :: tail in
@@ -377,6 +407,12 @@ let encode_response r =
     | Degraded why | Refused why | Failed why -> [ ("reason", Str why) ]
     | Rejected { retry_after_s; reason } ->
         ("reason", Str reason)
+        :: (match retry_after_s with None -> [] | Some s -> [ ("retry_after_s", Num s) ])
+    | Partial { missing_shards; coverage; retry_after_s; reason } ->
+        ("reason", Str reason)
+        :: ("coverage", Num coverage)
+        :: ( "missing_shards",
+             Arr (List.map (fun i -> Num (float_of_int i)) missing_shards) )
         :: (match retry_after_s with None -> [] | Some s -> [ ("retry_after_s", Num s) ])
   in
   json_to_string
@@ -415,6 +451,38 @@ let decode_response line =
                          reason = reason ();
                        })
               | Some "error" -> Ok (Failed (reason ()))
+              | Some "partial" -> (
+                  let missing =
+                    match field fields "missing_shards" with
+                    | Some (Arr items) ->
+                        let vals = List.map as_int items in
+                        if List.for_all Option.is_some vals then
+                          Ok (List.map Option.get vals)
+                        else
+                          Error
+                            "partial response field \"missing_shards\" must be an \
+                             array of integers"
+                    | Some _ ->
+                        Error
+                          "partial response field \"missing_shards\" must be an \
+                           array of integers"
+                    | None -> Error "partial response is missing \"missing_shards\""
+                  in
+                  match
+                    (missing, Option.bind (field fields "coverage") as_num)
+                  with
+                  | Error why, _ -> Error why
+                  | _, None -> Error "partial response is missing number \"coverage\""
+                  | Ok missing_shards, Some coverage ->
+                      Ok
+                        (Partial
+                           {
+                             missing_shards;
+                             coverage;
+                             retry_after_s =
+                               Option.bind (field fields "retry_after_s") as_num;
+                             reason = reason ();
+                           }))
               | Some other -> Error (Printf.sprintf "unknown status %S" other)
               | None -> Error "response is missing string field \"status\""
             in

@@ -73,6 +73,9 @@ type request = {
   req_query : string;
   req_rid : string option;
       (** idempotency key: retries reusing the rid get the recorded answer *)
+  req_shards : int list option;
+      (** scope the query to these shard ids (fleet serving); [None] means
+          every covering shard — the single-broker server ignores the field *)
 }
 (** Integers travel as JSON numbers — IEEE doubles — so ids must fit the
     exactly representable range [±2^53]; larger values are silently rounded
@@ -85,6 +88,18 @@ type status =
   | Rejected of { retry_after_s : float option; reason : string }
       (** admission control said no before the mechanism saw the query *)
   | Failed of string  (** protocol or server error (e.g. unknown query name) *)
+  | Partial of {
+      missing_shards : int list;
+      coverage : float;
+      retry_after_s : float option;
+      reason : string;
+    }
+      (** fleet answer composed from a strict subset of the covering shards:
+          [missing_shards] are the ids that were down, quarantined, exhausted
+          or past deadline, [coverage] is the record-weighted fraction of the
+          covering population that did contribute, and [retry_after_s] hints
+          when the missing shards may be back. A [Partial] is a {e success}
+          for retry purposes — the theta is usable, just lower-fidelity. *)
 
 type response = {
   rsp_id : int;  (** echo of the request's [id] *)
@@ -101,8 +116,8 @@ type response = {
 }
 
 val status_tag : status -> string
-(** The wire tag: ["answered"], ["degraded"], ["refused"], ["rejected"] or
-    ["error"]. *)
+(** The wire tag: ["answered"], ["degraded"], ["refused"], ["rejected"],
+    ["error"] or ["partial"]. *)
 
 val encode_request : request -> string
 (** One line, no trailing newline. *)

@@ -1,0 +1,326 @@
+module Params = Pmw_dp.Params
+
+let log_src = Logs.Src.create "pmw.router" ~doc:"PMW serving-fleet routing tier"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = { rt_deadline_s : float; rt_retry_after_s : float; rt_allow_ctl : bool }
+
+let default_config = { rt_deadline_s = 5.; rt_retry_after_s = 0.25; rt_allow_ctl = false }
+
+type t = {
+  cfg : config;
+  shards : Shard.t array;
+  seq : int Atomic.t;
+  (* Verdict tallies live in atomics: submits run on arbitrary client
+     threads, and the telemetry single-writer contract means the supervisor
+     (one thread) mirrors these into the trace, never the router itself. *)
+  n_answered : int Atomic.t;
+  n_degraded : int Atomic.t;
+  n_partial : int Atomic.t;
+  n_refused : int Atomic.t;
+  n_failed : int Atomic.t;
+  n_ctl : int Atomic.t;
+}
+
+let create ?(config = default_config) ~shards () =
+  if Array.length shards = 0 then invalid_arg "Router.create: no shards";
+  {
+    cfg = config;
+    shards;
+    seq = Atomic.make 0;
+    n_answered = Atomic.make 0;
+    n_degraded = Atomic.make 0;
+    n_partial = Atomic.make 0;
+    n_refused = Atomic.make 0;
+    n_failed = Atomic.make 0;
+    n_ctl = Atomic.make 0;
+  }
+
+let shards t = t.shards
+let processed t = Atomic.get t.seq
+
+let fleet_spent t =
+  Array.fold_left
+    (fun acc s ->
+      let sp = Shard.spent s in
+      Params.create
+        ~eps:(Float.max acc.Params.eps sp.Params.eps)
+        ~delta:(Float.max acc.Params.delta sp.Params.delta))
+    (Params.create ~eps:0. ~delta:0.)
+    t.shards
+
+let counters t =
+  [
+    ("fleet_answered", Atomic.get t.n_answered);
+    ("fleet_degraded", Atomic.get t.n_degraded);
+    ("fleet_partial", Atomic.get t.n_partial);
+    ("fleet_refused", Atomic.get t.n_refused);
+    ("fleet_failed", Atomic.get t.n_failed);
+    ("fleet_ctl", Atomic.get t.n_ctl);
+  ]
+
+let base_response req ~seq status =
+  {
+    Protocol.rsp_id = req.Protocol.req_id;
+    rsp_seq = seq;
+    rsp_status = status;
+    rsp_theta = None;
+    rsp_source = None;
+    rsp_update_index = None;
+    rsp_batch = None;
+    rsp_queue_wait_s = None;
+    rsp_spent_eps = None;
+    rsp_spent_delta = None;
+  }
+
+(* --- control plane (chaos harness) --- *)
+
+let state_code = function
+  | Shard.Stopped -> 0.
+  | Shard.Starting -> 1.
+  | Shard.Running -> 2.
+  | Shard.Draining -> 3.
+  | Shard.Crashed -> 4.
+  | Shard.Quarantined -> 5.
+
+let ctl t req =
+  Atomic.incr t.n_ctl;
+  let ok theta =
+    { (base_response req ~seq:(-1) Protocol.Answered) with
+      Protocol.rsp_theta = Some theta;
+      rsp_source = Some "ctl";
+    }
+  in
+  let fail why =
+    { (base_response req ~seq:(-1) (Protocol.Failed why)) with Protocol.rsp_source = Some "ctl" }
+  in
+  match req.Protocol.req_query with
+  | "ctl:health" -> ok (Array.map (fun s -> state_code (Shard.state s)) t.shards)
+  | "ctl:spent" ->
+      let s = fleet_spent t in
+      ok [| s.Params.eps; s.Params.delta |]
+  | q when String.length q > 9 && String.sub q 0 9 = "ctl:kill:" -> (
+      match int_of_string_opt (String.sub q 9 (String.length q - 9)) with
+      | Some i when i >= 0 && i < Array.length t.shards ->
+          if Shard.kill t.shards.(i) then ok [| 1. |]
+          else fail (Printf.sprintf "shard %d is not running" i)
+      | _ -> fail ("bad ctl kill target in " ^ q))
+  | q -> fail ("unknown ctl query " ^ q)
+
+(* --- covering set --- *)
+
+let covering t req =
+  match req.Protocol.req_shards with
+  | None -> Ok (List.init (Array.length t.shards) Fun.id)
+  | Some [] -> Error "empty shard scope"
+  | Some ids ->
+      let n = Array.length t.shards in
+      let sorted = List.sort_uniq compare ids in
+      if List.for_all (fun i -> i >= 0 && i < n) sorted then Ok sorted
+      else
+        Error
+          (Printf.sprintf "unknown shard id %d (fleet has %d shards)"
+             (List.find (fun i -> i < 0 || i >= n) sorted)
+             n)
+
+(* --- fan-out --- *)
+
+(* One thread per covering shard; a poller thread enforces the per-shard
+   deadline (Condition.t has no timed wait). Late answers after the deadline
+   are dropped — the shard that produced them already journalled its work,
+   and its dedup table re-serves the recorded bytes if the client retries
+   the same rid, so nothing is double-spent by abandoning a slow reply. *)
+let fanout t req ids =
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let remaining = ref (List.length ids) in
+  let timed_out = ref false in
+  let results = ref [] in
+  List.iter
+    (fun i ->
+      ignore
+        (Thread.create
+           (fun () ->
+             let r = try Shard.submit t.shards.(i) req with _ -> None in
+             Mutex.lock lock;
+             results := (i, r) :: !results;
+             decr remaining;
+             Condition.broadcast cond;
+             Mutex.unlock lock)
+           ()))
+    ids;
+  if t.cfg.rt_deadline_s > 0. then begin
+    let deadline_at = Unix.gettimeofday () +. t.cfg.rt_deadline_s in
+    ignore
+      (Thread.create
+         (fun () ->
+           let finished () =
+             Mutex.lock lock;
+             let d = !remaining <= 0 || !timed_out in
+             Mutex.unlock lock;
+             d
+           in
+           let rec loop () =
+             if not (finished ()) then begin
+               let left = deadline_at -. Unix.gettimeofday () in
+               if left <= 0. then begin
+                 Mutex.lock lock;
+                 timed_out := true;
+                 Condition.broadcast cond;
+                 Mutex.unlock lock
+               end
+               else begin
+                 Thread.delay (Float.min 0.02 left);
+                 loop ()
+               end
+             end
+           in
+           loop ())
+         ())
+  end;
+  Mutex.lock lock;
+  while !remaining > 0 && not !timed_out do
+    Condition.wait cond lock
+  done;
+  let snapshot = !results in
+  Mutex.unlock lock;
+  snapshot
+
+(* --- composition --- *)
+
+type miss = { m_id : int; m_why : string; m_retry : float option }
+
+let compose t req ~ids results =
+  let seq = Atomic.fetch_and_add t.seq 1 in
+  let contributing, missing =
+    List.partition_map
+      (fun i ->
+        match List.assoc_opt i results with
+        | Some (Some rsp) -> (
+            match (rsp.Protocol.rsp_status, rsp.Protocol.rsp_theta) with
+            | (Protocol.Answered | Protocol.Degraded _ | Protocol.Partial _), Some theta ->
+                Either.Left (i, rsp, theta)
+            | Protocol.Rejected { retry_after_s; reason = _ }, _ ->
+                Either.Right { m_id = i; m_why = "rejected"; m_retry = retry_after_s }
+            | status, _ ->
+                Either.Right
+                  { m_id = i; m_why = Protocol.status_tag status; m_retry = None })
+        | Some None ->
+            Either.Right
+              {
+                m_id = i;
+                m_why = Shard.state_to_string (Shard.state t.shards.(i));
+                m_retry = None;
+              }
+        | None -> Either.Right { m_id = i; m_why = "deadline"; m_retry = None })
+      ids
+  in
+  let weight_of i = Shard.weight t.shards.(i) in
+  let covering_w = List.fold_left (fun acc i -> acc +. weight_of i) 0. ids in
+  let summary misses =
+    String.concat "; "
+      (List.map (fun m -> Printf.sprintf "shard %d: %s" m.m_id m.m_why) misses)
+  in
+  let status, theta =
+    match contributing with
+    | [] ->
+        let all_backpressure =
+          missing <> [] && List.for_all (fun m -> m.m_why = "rejected") missing
+        in
+        if all_backpressure then
+          (* every covering shard said try-again: surface it as admission
+             backpressure (with the largest hint), not a terminal refusal *)
+          ( Protocol.Rejected
+              {
+                retry_after_s =
+                  List.fold_left
+                    (fun acc m ->
+                      match (acc, m.m_retry) with
+                      | None, h -> h
+                      | h, None -> h
+                      | Some a, Some b -> Some (Float.max a b))
+                    None missing;
+                reason = summary missing;
+              },
+            None )
+        else (Protocol.Refused ("no shard could answer: " ^ summary missing), None)
+    | (_, _, first_theta) :: _ ->
+        let dim = Array.length first_theta in
+        let usable =
+          List.filter (fun (_, _, th) -> Array.length th = dim) contributing
+        in
+        let total_w = List.fold_left (fun acc (i, _, _) -> acc +. weight_of i) 0. usable in
+        let acc = Array.make dim 0. in
+        List.iter
+          (fun (i, _, th) ->
+            let w = weight_of i /. total_w in
+            Array.iteri (fun k v -> acc.(k) <- acc.(k) +. (w *. v)) th)
+          usable;
+        if missing = [] then
+          let degraded =
+            List.filter_map
+              (fun (i, rsp, _) ->
+                match rsp.Protocol.rsp_status with
+                | Protocol.Degraded why -> Some (Printf.sprintf "shard %d: %s" i why)
+                | _ -> None)
+              contributing
+          in
+          match degraded with
+          | [] -> (Protocol.Answered, Some acc)
+          | reasons -> (Protocol.Degraded (String.concat "; " reasons), Some acc)
+        else
+          let contributed_w =
+            List.fold_left (fun a (i, _, _) -> a +. weight_of i) 0. contributing
+          in
+          ( Protocol.Partial
+              {
+                missing_shards = List.map (fun m -> m.m_id) missing;
+                coverage = (if covering_w > 0. then contributed_w /. covering_w else 0.);
+                retry_after_s = Some t.cfg.rt_retry_after_s;
+                reason = summary missing;
+              },
+            Some acc )
+  in
+  (match status with
+  | Protocol.Answered -> Atomic.incr t.n_answered
+  | Protocol.Degraded _ -> Atomic.incr t.n_degraded
+  | Protocol.Partial _ -> Atomic.incr t.n_partial
+  | Protocol.Refused _ | Protocol.Rejected _ -> Atomic.incr t.n_refused
+  | Protocol.Failed _ -> Atomic.incr t.n_failed);
+  let queue_wait =
+    List.fold_left
+      (fun acc (_, rsp, _) ->
+        match rsp.Protocol.rsp_queue_wait_s with
+        | Some w -> Some (match acc with None -> w | Some a -> Float.max a w)
+        | None -> acc)
+      None contributing
+  in
+  let spent = fleet_spent t in
+  {
+    (base_response req ~seq status) with
+    Protocol.rsp_theta = theta;
+    rsp_source = Some "fleet";
+    rsp_batch = Some (List.length contributing);
+    rsp_queue_wait_s = queue_wait;
+    rsp_spent_eps = Some spent.Params.eps;
+    rsp_spent_delta = Some spent.Params.delta;
+  }
+
+let submit t req =
+  let q = req.Protocol.req_query in
+  if String.length q >= 4 && String.sub q 0 4 = "ctl:" then
+    if t.cfg.rt_allow_ctl then ctl t req
+    else begin
+      Atomic.incr t.n_failed;
+      base_response req ~seq:(-1) (Protocol.Failed "ctl queries are disabled")
+    end
+  else
+    match covering t req with
+    | Error why ->
+        Atomic.incr t.n_failed;
+        base_response req ~seq:(-1) (Protocol.Failed why)
+    | Ok [ i ] ->
+        (* single-shard cover: direct call, no fan-out threads *)
+        compose t req ~ids:[ i ] [ (i, Shard.submit t.shards.(i) req) ]
+    | Ok ids -> compose t req ~ids (fanout t req ids)

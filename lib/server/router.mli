@@ -1,0 +1,70 @@
+(** The fleet's routing tier: fan a query out to its covering shards,
+    compose the per-shard answers, and degrade {e typed} instead of failing
+    when part of the fleet cannot contribute.
+
+    {b Covering set}: a request scoped with [req_shards] covers exactly
+    those ids; an unscoped request covers every shard. A single-shard cover
+    is served by a direct call (no fan-out threads); a multi-shard cover
+    fans out on one thread per shard with a per-shard deadline.
+
+    {b Composition}: contributing shards are those that returned an
+    [Answered] or [Degraded] theta in time. The composed theta is the
+    record-weighted average of the contributors (each shard's weight is its
+    share of the fleet's rows), and [coverage] is the contributed weight
+    over the covering weight. The fleet verdict is the degradation algebra
+    from the issue:
+
+    - every covering shard contributed → [Answered] (or [Degraded] if any
+      contributor degraded),
+    - a strict, non-empty subset contributed →
+      [Partial {missing_shards; coverage; …}] with a retry-after hint,
+    - nobody contributed → [Refused].
+
+    {b Accounting}: the response's [spent_eps]/[spent_delta] carry the
+    fleet-level account — the coordinate-wise {e max} over every shard's
+    last-observed ledger cumulative ({!Pmw_core.Budget.spent_parallel}'s
+    parallel-composition rule; shards hold disjoint records, so a record's
+    loss is its own shard's loss). A down shard contributes the spend last
+    seen before it died, which its journal can only confirm or exceed —
+    the fleet never reports spend that shrinks on a crash.
+
+    {b Control plane} (enabled via [rt_allow_ctl], for the chaos harness):
+    [ctl:health] answers with a per-shard state-code vector, [ctl:kill:<i>]
+    force-crashes shard [i], [ctl:spent] answers with the fleet [(ε, δ)].
+    Control queries bypass the shards and consume no budget. *)
+
+type config = {
+  rt_deadline_s : float;
+      (** per-shard wait on a fan-out; answers past it count as missing
+          ([<= 0] disables the deadline) *)
+  rt_retry_after_s : float;  (** hint stamped on [Partial]/[Refused] *)
+  rt_allow_ctl : bool;  (** serve [ctl:*] queries (chaos harness only) *)
+}
+
+val default_config : config
+(** [{ rt_deadline_s = 5.; rt_retry_after_s = 0.25; rt_allow_ctl = false }] *)
+
+type t
+
+val create : ?config:config -> shards:Shard.t array -> unit -> t
+(** @raise Invalid_argument on an empty shard array. *)
+
+val submit : t -> Protocol.request -> Protocol.response
+(** Thread-safe, blocking; never raises on hostile input (unknown shard ids
+    and malformed ctl queries map to [Failed] replies). *)
+
+val shards : t -> Shard.t array
+
+val fleet_spent : t -> Pmw_dp.Params.t
+(** The fleet-level accounted spend: coordinate-wise max over every shard's
+    last-observed cumulative. *)
+
+val processed : t -> int
+(** Fleet queries composed so far (ctl queries not included). *)
+
+val counters : t -> (string * int) list
+(** Verdict tallies ([fleet_answered], [fleet_degraded], [fleet_partial],
+    [fleet_refused], [fleet_failed]) plus [fleet_ctl] — mirrored into the
+    fleet telemetry by the supervisor's heartbeat (the router itself never
+    touches a telemetry instance: submits run on many client threads, and
+    emission is single-writer by contract). *)

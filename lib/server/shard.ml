@@ -1,0 +1,324 @@
+module Session = Pmw_session.Session
+module Budget = Pmw_core.Budget
+module Params = Pmw_dp.Params
+module Cm_query = Pmw_core.Cm_query
+module Dataset = Pmw_data.Dataset
+module Telemetry = Pmw_telemetry.Telemetry
+
+let log_src = Logs.Src.create "pmw.shard" ~doc:"PMW serving-fleet shard lifecycle"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* --- partitioning --- *)
+
+type by = Block | Hash
+
+let by_to_string = function Block -> "block" | Hash -> "hash"
+
+let by_of_string = function
+  | "block" -> Some Block
+  | "hash" -> Some Hash
+  | _ -> None
+
+(* splitmix64 finalizer: full-avalanche mix so consecutive universe indices
+   spread across buckets instead of striping. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let hash_bucket value ~shards =
+  let h = mix64 (Int64.of_int (value + 0x9E3779B9)) in
+  Int64.to_int (Int64.rem (Int64.logand h Int64.max_int) (Int64.of_int shards))
+
+let partition ds ~by ~shards =
+  if shards < 1 then invalid_arg "Shard.partition: shards must be >= 1";
+  let n = Dataset.size ds in
+  if shards > n then
+    invalid_arg
+      (Printf.sprintf "Shard.partition: %d shards exceed the %d records available" shards n);
+  let rows = Dataset.rows ds in
+  let universe = Dataset.universe ds in
+  match by with
+  | Block ->
+      (* Contiguous near-equal ranges over arrival order; the first
+         [n mod shards] blocks take the extra row. *)
+      let base = n / shards and extra = n mod shards in
+      let start = ref 0 in
+      List.init shards (fun i ->
+          let len = base + if i < extra then 1 else 0 in
+          let block = Array.sub rows !start len in
+          start := !start + len;
+          Dataset.create universe block)
+  | Hash ->
+      let buckets = Array.make shards [] in
+      (* Collect newest-first, reverse at the end: row order inside a shard
+         stays the dataset's order, so the partition is deterministic. *)
+      Array.iter
+        (fun v ->
+          let b = hash_bucket v ~shards in
+          buckets.(b) <- v :: buckets.(b))
+        rows;
+      Array.iter
+        (fun b ->
+          if b = [] then
+            invalid_arg
+              "Shard.partition: hash partitioning left a shard empty (skewed record \
+               values); use block sharding or fewer shards")
+        buckets;
+      Array.to_list
+        (Array.map (fun b -> Dataset.create universe (Array.of_list (List.rev b))) buckets)
+
+(* --- lifecycle --- *)
+
+type state = Starting | Running | Draining | Crashed | Quarantined | Stopped
+
+let state_to_string = function
+  | Starting -> "starting"
+  | Running -> "running"
+  | Draining -> "draining"
+  | Crashed -> "crashed"
+  | Quarantined -> "quarantined"
+  | Stopped -> "stopped"
+
+type t = {
+  sh_id : int;
+  sh_weight : float;
+  sh_journal_path : string option;
+  sh_cfg : Broker.config;
+  sh_make_session : Telemetry.t -> Session.t;
+  sh_resolve : string -> Cm_query.t option;
+  sh_telemetry : incarnation:int -> Telemetry.t;
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable st : state;
+  mutable broker : Broker.t option;
+  mutable domain : unit Domain.t option;
+  mutable inc : int;
+  mutable boot_error : string option;
+  (* Monotone last-observed ledger cumulative — survives the incarnation
+     that produced it, so a down shard still contributes its known spend to
+     the fleet's parallel composition. *)
+  mutable last_spent : Params.t;
+}
+
+let create ~id ~weight ?journal_path ?(config = Broker.default_config)
+    ?(telemetry = fun ~incarnation:_ -> Telemetry.null ()) ~make_session ~resolve () =
+  {
+    sh_id = id;
+    sh_weight = weight;
+    sh_journal_path = journal_path;
+    sh_cfg = config;
+    sh_make_session = make_session;
+    sh_resolve = resolve;
+    sh_telemetry = telemetry;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    st = Stopped;
+    broker = None;
+    domain = None;
+    inc = 0;
+    boot_error = None;
+    last_spent = Params.create ~eps:0. ~delta:0.;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let pmax a b =
+  Params.create
+    ~eps:(Float.max a.Params.eps b.Params.eps)
+    ~delta:(Float.max a.Params.delta b.Params.delta)
+
+(* The whole life of one incarnation, run on the shard's own domain: open
+   the shard's journal, build a fresh session (pool included) from scratch,
+   serve until drained or aborted, then close up. Crash recovery is
+   journal-only by construction — nothing from the previous incarnation's
+   memory survives into this closure except the journal file. *)
+let life t ~inc =
+  let telemetry = t.sh_telemetry ~incarnation:inc in
+  let fail_boot why =
+    Log.warn (fun m -> m "shard %d incarnation %d failed to boot: %s" t.sh_id inc why);
+    locked t (fun () ->
+        if t.inc = inc then begin
+          t.boot_error <- Some why;
+          t.st <- Crashed;
+          Condition.broadcast t.cond
+        end)
+  in
+  let opened =
+    match t.sh_journal_path with
+    | None -> Ok (None, Journal.empty_recovery)
+    | Some path -> (
+        match Journal.open_journal ~path with
+        | Ok (j, recovery) -> Ok (Some j, recovery)
+        | Error why -> Error ("journal: " ^ why))
+  in
+  match opened with
+  | Error why -> fail_boot why
+  | Ok (journal, recovery) -> (
+      match
+        try Ok (t.sh_make_session telemetry) with
+        | Invalid_argument why | Failure why -> Error ("session: " ^ why)
+      with
+      | Error why ->
+          Option.iter Journal.close journal;
+          fail_boot why
+      | Ok session ->
+          let broker =
+            Broker.create ~config:t.sh_cfg ?journal ~recovery ~session
+              ~resolve:t.sh_resolve ()
+          in
+          Telemetry.mark telemetry "shard.start"
+            ~fields:
+              [
+                ("shard", Telemetry.Int t.sh_id);
+                ("incarnation", Telemetry.Int inc);
+                ("replayed", Telemetry.Int (List.length recovery.Journal.rv_records));
+              ];
+          locked t (fun () ->
+              if t.inc = inc then begin
+                t.broker <- Some broker;
+                t.st <- Running;
+                t.last_spent <- pmax t.last_spent (Budget.spent (Session.budget session));
+                Condition.broadcast t.cond
+              end);
+          (* A session fault on the serializer (a raising solver, a poisoned
+             query) is a shard crash, not a fleet crash: convert it to the
+             abort path so waiters fail fast and the journal is left
+             crash-shaped. *)
+          (try Broker.run broker
+           with exn ->
+             Log.err (fun m ->
+                 m "shard %d serializer died: %s" t.sh_id (Printexc.to_string exn));
+             Broker.abort ~reason:("shard serializer died: " ^ Printexc.to_string exn)
+               broker);
+          let aborted = Broker.aborted broker in
+          if not aborted then Session.finish session;
+          Option.iter Journal.close journal;
+          Telemetry.close telemetry;
+          locked t (fun () ->
+              if t.inc = inc then begin
+                t.broker <- None;
+                t.last_spent <- pmax t.last_spent (Budget.spent (Session.budget session));
+                (match t.st with
+                | Quarantined -> ()
+                | _ -> t.st <- (if aborted then Crashed else Stopped));
+                Condition.broadcast t.cond
+              end))
+
+let start t =
+  let prev =
+    locked t (fun () ->
+        match t.st with
+        | Starting | Running | Draining ->
+            Error (Printf.sprintf "shard %d is already running" t.sh_id)
+        | Quarantined -> Error (Printf.sprintf "shard %d is quarantined" t.sh_id)
+        | Crashed | Stopped ->
+            let d = t.domain in
+            t.domain <- None;
+            t.broker <- None;
+            t.boot_error <- None;
+            t.st <- Starting;
+            t.inc <- t.inc + 1;
+            Ok d)
+  in
+  match prev with
+  | Error why -> Error why
+  | Ok prev ->
+      (* Join the previous incarnation before spawning the next: bounds the
+         domain count at one per shard, and guarantees the journal fd is
+         closed before the new life reopens the file. *)
+      Option.iter Domain.join prev;
+      let inc = locked t (fun () -> t.inc) in
+      let d = Domain.spawn (fun () -> life t ~inc) in
+      locked t (fun () ->
+          t.domain <- Some d;
+          while t.st = Starting do
+            Condition.wait t.cond t.lock
+          done;
+          match t.st with
+          | Running -> Ok ()
+          | _ ->
+              Error
+                (Option.value t.boot_error
+                   ~default:(Printf.sprintf "shard %d failed to start" t.sh_id)))
+
+let submit t req =
+  let broker =
+    locked t (fun () -> match (t.st, t.broker) with Running, Some b -> Some b | _ -> None)
+  in
+  match broker with
+  | None -> None
+  | Some b ->
+      let rsp = Broker.submit b req in
+      (match (rsp.Protocol.rsp_spent_eps, rsp.Protocol.rsp_spent_delta) with
+      | Some eps, Some delta ->
+          locked t (fun () ->
+              t.last_spent <- pmax t.last_spent (Params.create ~eps ~delta))
+      | _ -> ());
+      Some rsp
+
+let kill t =
+  let victim =
+    locked t (fun () ->
+        match (t.st, t.broker) with
+        | Running, Some b ->
+            t.st <- Crashed;
+            Some b
+        | _ -> None)
+  in
+  match victim with
+  | None -> false
+  | Some b ->
+      Log.info (fun m -> m "shard %d killed" t.sh_id);
+      Broker.abort ~reason:(Printf.sprintf "shard %d killed" t.sh_id) b;
+      true
+
+let stop t =
+  let broker =
+    locked t (fun () ->
+        (* let an in-flight boot land first, or the join below would block
+           on a serializer that never got its shutdown *)
+        while t.st = Starting do
+          Condition.wait t.cond t.lock
+        done;
+        match (t.st, t.broker) with
+        | Running, Some b ->
+            t.st <- Draining;
+            Some b
+        | _ -> None)
+  in
+  Option.iter Broker.shutdown broker;
+  let d =
+    locked t (fun () ->
+        let d = t.domain in
+        t.domain <- None;
+        d)
+  in
+  Option.iter Domain.join d;
+  locked t (fun () -> match t.st with Quarantined -> () | _ -> t.st <- Stopped)
+
+let quarantine t = locked t (fun () -> t.st <- Quarantined)
+
+let id t = t.sh_id
+let weight t = t.sh_weight
+let state t = locked t (fun () -> t.st)
+let incarnation t = locked t (fun () -> t.inc)
+let journal_path t = t.sh_journal_path
+
+let spent t =
+  locked t (fun () ->
+      (match t.broker with
+      | Some b ->
+          t.last_spent <- pmax t.last_spent (Budget.spent (Session.budget (Broker.session b)))
+      | None -> ());
+      t.last_spent)
+
+let budget t =
+  locked t (fun () ->
+      match (t.st, t.broker) with
+      | Running, Some b -> Some (Session.budget (Broker.session b))
+      | _ -> None)

@@ -1,0 +1,128 @@
+(** One shard of the serving fleet: a private block of the record space with
+    its own {!Pmw_session.Session}, write-ahead {!Journal}, privacy
+    {!Pmw_core.Budget} and serializer domain.
+
+    The fleet design follows parallel composition of differential privacy:
+    {!partition} splits the dataset into {e disjoint} row blocks, each block
+    gets a full [(ε, δ)] pot of its own, and any single record's privacy
+    loss is exactly the loss of the one shard holding it. A crashed,
+    exhausted or quarantined shard is therefore a {e per-shard} event — the
+    rest of the fleet keeps serving, and the router reports the hole as a
+    typed partial answer instead of failing the query.
+
+    {b Isolation model}: each shard runs its serializer ({!Broker.run}) on
+    its own domain, spawned by {!start}. The session, its pool and its
+    telemetry instance are all created {e inside} that domain (satisfying
+    the pool's created-by-caller affinity contract), so nothing but the
+    broker's thread-safe [submit] face is shared across shards. {!kill}
+    simulates [kill -9] of the shard process: the broker aborts (queued
+    requests fail fast, no graceful journal tail is written) and the shard's
+    journal is left exactly as a real crash would leave it. {!start} on a
+    crashed shard then runs the genuine recovery path — journal replay,
+    ledger reconcile (quarantining any spend past what the fresh session
+    knows), dedup re-seeding — under a new incarnation number.
+
+    A shard's lifecycle is driven from outside (the {!Supervisor} restarts
+    and quarantines; the {!Router} submits and observes): all entry points
+    are thread-safe. *)
+
+(** How {!partition} assigns rows to shards. *)
+type by =
+  | Block  (** contiguous row ranges — "time windows" over arrival order *)
+  | Hash  (** by hashed record value — a content partition key *)
+
+val by_to_string : by -> string
+val by_of_string : string -> by option
+
+val partition : Pmw_data.Dataset.t -> by:by -> shards:int -> Pmw_data.Dataset.t list
+(** Split the dataset into [shards] disjoint, jointly-exhaustive row blocks
+    (every row lands in exactly one shard — the precondition for parallel
+    composition). [Block] yields contiguous near-equal ranges; [Hash]
+    buckets by a 64-bit mix of the record value, so equal records co-locate.
+    @raise Invalid_argument if [shards < 1], if [shards] exceeds the row
+    count, or if hash partitioning leaves a shard empty (skewed keys — use
+    [Block] or fewer shards). *)
+
+type state =
+  | Starting  (** boot in progress on the shard domain *)
+  | Running
+  | Draining  (** graceful {!stop} in progress *)
+  | Crashed  (** killed or died; restartable *)
+  | Quarantined  (** flapping; the supervisor took it out of rotation *)
+  | Stopped  (** never started, or drained cleanly *)
+
+val state_to_string : state -> string
+
+type t
+
+val create :
+  id:int ->
+  weight:float ->
+  ?journal_path:string ->
+  ?config:Broker.config ->
+  ?telemetry:(incarnation:int -> Pmw_telemetry.Telemetry.t) ->
+  make_session:(Pmw_telemetry.Telemetry.t -> Pmw_session.Session.t) ->
+  resolve:(string -> Pmw_core.Cm_query.t option) ->
+  unit ->
+  t
+(** A shard handle in state [Stopped]; call {!start} to boot it.
+    [make_session] builds the shard's session (and, inside it, the shard's
+    pool) — it runs {e on the shard's domain} at every (re)start, so each
+    incarnation gets fresh state and recovery is forced through the journal,
+    never through leaked in-memory state. [telemetry] builds the
+    per-incarnation telemetry instance handed to [make_session] (default:
+    fresh null instances); give incarnations distinct sinks or tags to keep
+    their traces apart. [weight] is the shard's share of the fleet's records
+    (the router's coverage unit). *)
+
+val start : t -> (unit, string) result
+(** Boot (or reboot after a crash): spawns the shard domain, joins any
+    previous incarnation's domain first, and blocks until the shard is
+    [Running] or its boot failed. Restart recovery is journal-driven: the
+    new incarnation replays the shard's own journal, quarantines
+    unaccounted spend into its fresh ledger and re-seeds its dedup table.
+    [Error] if the shard is already running, quarantined, or the boot
+    failed (journal unreadable mid-file, session construction raised). *)
+
+val submit : t -> Protocol.request -> Protocol.response option
+(** Blocking submit to this shard's broker; [None] unless the shard is
+    [Running] (the router counts [None] as a missing shard). Thread-safe;
+    callable from any domain. A shard killed mid-call fails the request
+    fast ([Failed] reply) rather than blocking the caller. *)
+
+val kill : t -> bool
+(** Simulated [kill -9]: abort the broker (queued requests fail, no
+    graceful journal tail) and mark the shard [Crashed]. Returns [false]
+    if the shard was not running. The serializer domain winds down in the
+    background; {!start} joins it before re-spawning. *)
+
+val stop : t -> unit
+(** Graceful drain: broker shutdown, serializer joined, journal closed with
+    its ["drain"] mark, state [Stopped]. Safe in any state (a crashed
+    shard's leftover domain is joined and its state preserved as
+    restartable history only if quarantined — otherwise it ends
+    [Stopped]). *)
+
+val quarantine : t -> unit
+(** Take the shard out of rotation (the supervisor's flapping verdict):
+    {!submit} returns [None] and {!start} refuses until the operator
+    intervenes. *)
+
+val id : t -> int
+val weight : t -> float
+val state : t -> state
+val incarnation : t -> int
+(** Boot count: 1 after the first {!start}, bumped on every restart. *)
+
+val journal_path : t -> string option
+
+val spent : t -> Pmw_dp.Params.t
+(** Last observed cumulative [(ε, δ)] spend of this shard's ledger —
+    monotone across crashes and restarts (a down shard reports the spend
+    last seen before it died; its journal can only say more, never less).
+    The router folds these with {!Pmw_core.Budget.spent_parallel}'s max
+    rule for the fleet-level account. *)
+
+val budget : t -> Pmw_core.Budget.t option
+(** The current incarnation's live pot, when running — for tests asserting
+    fleet accounting against per-shard ledgers. *)

@@ -1,0 +1,190 @@
+module Telemetry = Pmw_telemetry.Telemetry
+
+let log_src = Logs.Src.create "pmw.supervisor" ~doc:"PMW serving-fleet shard supervisor"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  su_poll_s : float;
+  su_backoff_base_s : float;
+  su_backoff_max_s : float;
+  su_flap_window_s : float;
+  su_quarantine_after : int;
+  su_heartbeat_every_s : float;
+}
+
+let default_config =
+  {
+    su_poll_s = 0.01;
+    su_backoff_base_s = 0.02;
+    su_backoff_max_s = 1.;
+    su_flap_window_s = 2.;
+    su_quarantine_after = 5;
+    su_heartbeat_every_s = 1.;
+  }
+
+(* Per-shard supervision state; touched only by the monitor thread. *)
+type watched = {
+  w_shard : Shard.t;
+  mutable w_strikes : int;
+  mutable w_restart_at : float;  (** 0. = no restart scheduled *)
+  mutable w_last_boot : float;
+}
+
+type t = {
+  cfg : config;
+  telemetry : Telemetry.t;
+  extra : unit -> (string * int) list;
+  watched : watched array;
+  stop_flag : bool Atomic.t;
+  n_restarts : int Atomic.t;
+  n_quarantines : int Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+(* Emit-the-delta mirroring (same trick as the broker's): [set_counter]
+   never emits, and stats readers reconstruct counters from Count events. *)
+let mirror_counter telemetry name total =
+  let prev = Telemetry.counter telemetry name in
+  if total > prev then Telemetry.incr ~by:(total - prev) telemetry name
+
+let quarantine_shard t w ~now:_ =
+  Shard.quarantine w.w_shard;
+  Atomic.incr t.n_quarantines;
+  w.w_restart_at <- 0.;
+  let id = Shard.id w.w_shard in
+  Telemetry.incr t.telemetry "fleet_shard_quarantines";
+  Telemetry.incr t.telemetry (Printf.sprintf "shard%d_quarantined" id);
+  Telemetry.mark t.telemetry "shard.quarantined"
+    ~fields:[ ("shard", Telemetry.Int id); ("strikes", Telemetry.Int w.w_strikes) ];
+  Log.warn (fun m -> m "shard %d quarantined after %d rapid crashes" id w.w_strikes)
+
+let schedule_restart t w ~now =
+  let backoff =
+    Float.min t.cfg.su_backoff_max_s
+      (t.cfg.su_backoff_base_s *. Float.pow 2. (float_of_int (w.w_strikes - 1)))
+  in
+  w.w_restart_at <- now +. backoff;
+  Telemetry.mark t.telemetry "shard.crashed"
+    ~fields:
+      [
+        ("shard", Telemetry.Int (Shard.id w.w_shard));
+        ("strikes", Telemetry.Int w.w_strikes);
+        ("restart_in_s", Telemetry.Float backoff);
+      ]
+
+let handle_crashed t w ~now =
+  if w.w_restart_at = 0. then begin
+    (* fresh crash: a long stable run forgives earlier strikes *)
+    if now -. w.w_last_boot > t.cfg.su_flap_window_s then w.w_strikes <- 0;
+    w.w_strikes <- w.w_strikes + 1;
+    if w.w_strikes > t.cfg.su_quarantine_after then quarantine_shard t w ~now
+    else schedule_restart t w ~now
+  end
+  else if now >= w.w_restart_at then begin
+    let id = Shard.id w.w_shard in
+    let t0 = Unix.gettimeofday () in
+    match Shard.start w.w_shard with
+    | Ok () ->
+        let boot_s = Unix.gettimeofday () -. t0 in
+        Atomic.incr t.n_restarts;
+        w.w_last_boot <- Unix.gettimeofday ();
+        w.w_restart_at <- 0.;
+        Telemetry.incr t.telemetry "fleet_shard_restarts";
+        Telemetry.incr t.telemetry (Printf.sprintf "shard%d_restarts" id);
+        Telemetry.mark t.telemetry "shard.restarted"
+          ~fields:
+            [
+              ("shard", Telemetry.Int id);
+              ("incarnation", Telemetry.Int (Shard.incarnation w.w_shard));
+              ("boot_s", Telemetry.Float boot_s);
+            ];
+        Log.info (fun m ->
+            m "shard %d restarted (incarnation %d, boot %.3fs)" id
+              (Shard.incarnation w.w_shard) boot_s)
+    | Error why ->
+        (* failed boot is another strike: back off harder or give up *)
+        w.w_strikes <- w.w_strikes + 1;
+        Telemetry.mark t.telemetry "shard.restart_failed"
+          ~fields:[ ("shard", Telemetry.Int id); ("reason", Telemetry.Str why) ];
+        if w.w_strikes > t.cfg.su_quarantine_after then quarantine_shard t w ~now
+        else schedule_restart t w ~now
+  end
+
+let heartbeat t =
+  let fields =
+    Array.to_list
+      (Array.map
+         (fun w ->
+           ( Printf.sprintf "shard%d" (Shard.id w.w_shard),
+             Telemetry.Str (Shard.state_to_string (Shard.state w.w_shard)) ))
+         t.watched)
+  in
+  let running =
+    Array.fold_left
+      (fun acc w -> if Shard.state w.w_shard = Shard.Running then acc + 1 else acc)
+      0 t.watched
+  in
+  Telemetry.mark t.telemetry "fleet.heartbeat"
+    ~fields:(("running", Telemetry.Int running) :: fields);
+  List.iter (fun (name, v) -> mirror_counter t.telemetry name v) (t.extra ())
+
+let monitor t =
+  let last_beat = ref 0. in
+  while not (Atomic.get t.stop_flag) do
+    let now = Unix.gettimeofday () in
+    Array.iter
+      (fun w ->
+        match Shard.state w.w_shard with
+        | Shard.Crashed -> handle_crashed t w ~now
+        | _ -> ())
+      t.watched;
+    if now -. !last_beat >= t.cfg.su_heartbeat_every_s then begin
+      last_beat := now;
+      heartbeat t
+    end;
+    Thread.delay t.cfg.su_poll_s
+  done;
+  heartbeat t;
+  Telemetry.mark t.telemetry "fleet.stop"
+    ~fields:
+      [
+        ("restarts", Telemetry.Int (Atomic.get t.n_restarts));
+        ("quarantines", Telemetry.Int (Atomic.get t.n_quarantines));
+      ]
+
+let start ?(config = default_config) ?telemetry ?(extra_counters = fun () -> []) ~shards () =
+  let telemetry = match telemetry with Some t -> t | None -> Telemetry.null () in
+  let now = Unix.gettimeofday () in
+  let t =
+    {
+      cfg = config;
+      telemetry;
+      extra = extra_counters;
+      watched =
+        Array.map
+          (fun s -> { w_shard = s; w_strikes = 0; w_restart_at = 0.; w_last_boot = now })
+          shards;
+      stop_flag = Atomic.make false;
+      n_restarts = Atomic.make 0;
+      n_quarantines = Atomic.make 0;
+      thread = None;
+    }
+  in
+  t.thread <- Some (Thread.create monitor t);
+  t
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  (match t.thread with None -> () | Some th -> Thread.join th);
+  t.thread <- None
+
+let restarts t = Atomic.get t.n_restarts
+let quarantines t = Atomic.get t.n_quarantines
+
+let quarantined t =
+  Array.to_list t.watched
+  |> List.filter_map (fun w ->
+         if Shard.state w.w_shard = Shard.Quarantined then Some (Shard.id w.w_shard)
+         else None)
+  |> List.sort compare

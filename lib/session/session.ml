@@ -114,12 +114,12 @@ let make ~config ~pool ~dataset ~oracles ~retries ~spend_claim ?prior ~rng ~budg
     attempts;
   }
 
-let create ?pool ?telemetry ~config ~dataset ?oracles ?(retries = 0)
+let create ?pool ?telemetry ?label ~config ~dataset ?oracles ?(retries = 0)
     ?(spend_claim = fun () -> None) ?prior ~rng () =
   let pool = match pool with Some p -> p | None -> Pmw_parallel.Pool.default () in
   let telemetry = match telemetry with Some t -> t | None -> Telemetry.null () in
   let oracles = match oracles with Some o -> o | None -> default_oracles ~pool () in
-  let budget = Budget.create ~telemetry config.Config.privacy in
+  let budget = Budget.create ~telemetry ?label config.Config.privacy in
   (* The SV half is committed for the whole session up front: the sparse
      vector spends it progressively over its epochs, but the ledger must
      reserve it before the first query or oracle retries could eat it. *)
@@ -268,7 +268,7 @@ let check_fingerprint (fp : Checkpoint.fingerprint) config dataset =
   else if fp.fp_dataset_size <> now.fp_dataset_size then mismatch "dataset size"
   else Ok ()
 
-let resume ?pool ?telemetry ~config ~dataset ?oracles ?(retries = 0)
+let resume ?pool ?telemetry ?label ~config ~dataset ?oracles ?(retries = 0)
     ?(spend_claim = fun () -> None) ~rng (ckpt : Checkpoint.t) =
   let ( let* ) = Result.bind in
   let pool = match pool with Some p -> p | None -> Pmw_parallel.Pool.default () in
@@ -277,7 +277,7 @@ let resume ?pool ?telemetry ~config ~dataset ?oracles ?(retries = 0)
   let* () = check_fingerprint ckpt.Checkpoint.fingerprint config dataset in
   (* Replay the ledger verbatim: the resumed process starts from the exact
      spend of the killed one — nothing is re-debited, nothing forgiven. *)
-  let budget = Budget.create ~telemetry config.Config.privacy in
+  let budget = Budget.create ~telemetry ?label config.Config.privacy in
   let* () =
     List.fold_left
       (fun acc (eps, delta) ->
@@ -332,6 +332,7 @@ let resume ?pool ?telemetry ~config ~dataset ?oracles ?(retries = 0)
         (Budget.spent budget).Params.eps config.Config.privacy.Params.eps);
   Ok t
 
-let resume_path ?pool ?telemetry ~config ~dataset ?oracles ?retries ?spend_claim ~rng ~path () =
+let resume_path ?pool ?telemetry ?label ~config ~dataset ?oracles ?retries ?spend_claim ~rng
+    ~path () =
   Result.bind (Checkpoint.read ~path) (fun ckpt ->
-      resume ?pool ?telemetry ~config ~dataset ?oracles ?retries ?spend_claim ~rng ckpt)
+      resume ?pool ?telemetry ?label ~config ~dataset ?oracles ?retries ?spend_claim ~rng ckpt)

@@ -27,6 +27,7 @@ type t
 val create :
   ?pool:Pmw_parallel.Pool.t ->
   ?telemetry:Pmw_telemetry.Telemetry.t ->
+  ?label:string ->
   config:Pmw_core.Config.t ->
   dataset:Pmw_data.Dataset.t ->
   ?oracles:Pmw_erm.Oracle.t list ->
@@ -41,6 +42,11 @@ val create :
     chunked across its domains; answers and checkpoints are bit-identical
     whatever the pool size, so a session checkpointed under one pool resumes
     exactly under another.
+
+    [label] names the session's privacy ledger in the telemetry timeline
+    (default ["budget"]); a fleet gives each shard's session a distinct label
+    (["shard0"], ["shard1"], …) so merged traces keep per-shard spend curves
+    apart.
 
     [oracles] is the fallback chain, tried in order (default:
     noisy-GD then output perturbation); [retries] extra tries per stage
@@ -132,6 +138,7 @@ val save : t -> path:string -> unit
 val resume :
   ?pool:Pmw_parallel.Pool.t ->
   ?telemetry:Pmw_telemetry.Telemetry.t ->
+  ?label:string ->
   config:Pmw_core.Config.t ->
   dataset:Pmw_data.Dataset.t ->
   ?oracles:Pmw_erm.Oracle.t list ->
@@ -153,6 +160,7 @@ val resume :
 val resume_path :
   ?pool:Pmw_parallel.Pool.t ->
   ?telemetry:Pmw_telemetry.Telemetry.t ->
+  ?label:string ->
   config:Pmw_core.Config.t ->
   dataset:Pmw_data.Dataset.t ->
   ?oracles:Pmw_erm.Oracle.t list ->

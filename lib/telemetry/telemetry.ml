@@ -169,6 +169,7 @@ type t = {
   t0 : float;
   enabled : bool;
   verbose : bool;
+  tag : string option;
   counters : (string, int ref) Hashtbl.t;
   observations : (string, obs_stats) Hashtbl.t;
   spans : (string, span_stats) Hashtbl.t;
@@ -182,7 +183,7 @@ type t = {
 let default_verbose () =
   match Sys.getenv_opt "PMW_TRACE_POOL" with Some ("1" | "true") -> true | _ -> false
 
-let create ?(clock = Unix.gettimeofday) ?(sink = Sink.Null) ?verbose () =
+let create ?(clock = Unix.gettimeofday) ?(sink = Sink.Null) ?verbose ?tag () =
   let verbose = match verbose with Some v -> v | None -> default_verbose () in
   {
     sink;
@@ -190,6 +191,7 @@ let create ?(clock = Unix.gettimeofday) ?(sink = Sink.Null) ?verbose () =
     t0 = clock ();
     enabled = not (Sink.is_null sink);
     verbose;
+    tag;
     counters = Hashtbl.create 16;
     observations = Hashtbl.create 16;
     spans = Hashtbl.create 16;
@@ -204,6 +206,7 @@ let null () = create ()
 
 let enabled t = t.enabled
 let verbose t = t.verbose
+let tag t = t.tag
 let close t = Sink.close t.sink
 let events t = Sink.events t.sink
 
@@ -222,7 +225,12 @@ let next_round t =
 
 let round t = t.round
 
+(* The instance tag (a per-shard label in fleet serving) rides on every
+   emitted event, so a merged multi-instance trace stays attributable. *)
 let emit t kind name fields =
+  let fields =
+    match t.tag with None -> fields | Some tag -> ("tag", Str tag) :: fields
+  in
   Sink.emit t.sink { ts = now t; round = t.round; kind; name; fields }
 
 let mark t ?(fields = []) name = if t.enabled then emit t Mark name fields

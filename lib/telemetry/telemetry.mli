@@ -78,12 +78,14 @@ end
 
 type t
 
-val create : ?clock:(unit -> float) -> ?sink:Sink.t -> ?verbose:bool -> unit -> t
+val create :
+  ?clock:(unit -> float) -> ?sink:Sink.t -> ?verbose:bool -> ?tag:string -> unit -> t
 (** A fresh instance. [clock] (default [Unix.gettimeofday]) is read only when
     a non-null sink is attached; inject a counter clock for deterministic
     tests. [verbose] (default: true iff [PMW_TRACE_POOL=1] in the
     environment) additionally enables high-frequency per-chunk pool timing
-    events. *)
+    events. [tag] (e.g. ["shard3"]) is stamped as a ["tag"] field on every
+    emitted event, so per-shard traces stay attributable after merging. *)
 
 val null : unit -> t
 (** [create ()] — a fresh no-op instance whose counters and ledgers still
@@ -94,6 +96,10 @@ val enabled : t -> bool
 (** [true] iff a non-null sink is attached. *)
 
 val verbose : t -> bool
+
+val tag : t -> string option
+(** The instance tag stamped on every emitted event, if any. *)
+
 val close : t -> unit
 (** Flush/close the attached sinks (idempotent). *)
 

@@ -105,6 +105,11 @@ let response_fp (r : Protocol.response) =
         (part r.Protocol.rsp_source Fun.id)
         (part r.Protocol.rsp_update_index string_of_int)
         (part r.Protocol.rsp_theta vec_hex)
+  | Protocol.Partial { missing_shards; coverage; reason; _ } ->
+      Printf.sprintf "partial([%s]/%h/%s)/%s"
+        (String.concat "," (List.map string_of_int missing_shards))
+        coverage reason
+        (part r.Protocol.rsp_theta vec_hex)
   | Protocol.Refused reason -> Printf.sprintf "refused(%s)" reason
   | Protocol.Rejected { reason; _ } -> Printf.sprintf "rejected(%s)" reason
   | Protocol.Failed reason -> Printf.sprintf "error(%s)" reason
@@ -126,6 +131,11 @@ let status_eq a b =
   | ( Protocol.Rejected { retry_after_s = ra; reason = reason_a },
       Protocol.Rejected { retry_after_s = rb; reason = reason_b } ) ->
       String.equal reason_a reason_b && opt_eq float_eq ra rb
+  | ( Protocol.Partial { missing_shards = ma; coverage = ca; retry_after_s = ra; reason = rna },
+      Protocol.Partial { missing_shards = mb; coverage = cb; retry_after_s = rb; reason = rnb } )
+    ->
+      List.equal Int.equal ma mb && float_eq ca cb && opt_eq float_eq ra rb
+      && String.equal rna rnb
   | _ -> false
 
 let response_eq a b =
@@ -167,7 +177,10 @@ let gen_request =
     let* id = wire_int in
     let* analyst = string_size (int_bound 24) and* query = string_size (int_bound 24) in
     let* rid = option (string_size (int_bound 24)) in
-    return { Protocol.req_id = id; req_analyst = analyst; req_query = query; req_rid = rid })
+    let* shards = option (list_size (int_bound 5) (int_bound 64)) in
+    return
+      { Protocol.req_id = id; req_analyst = analyst; req_query = query; req_rid = rid;
+        req_shards = shards })
 
 let gen_status =
   QCheck.Gen.(
@@ -181,6 +194,12 @@ let gen_status =
           map2
             (fun retry s -> Protocol.Rejected { retry_after_s = retry; reason = s })
             (option special_float) reason );
+        ( 2,
+          let* missing_shards = list_size (int_bound 4) (int_bound 64) in
+          let* coverage = special_float and* retry_after_s = option special_float in
+          map
+            (fun s -> Protocol.Partial { missing_shards; coverage; retry_after_s; reason = s })
+            reason );
         (1, map (fun s -> Protocol.Failed s) reason);
       ])
 
@@ -275,6 +294,7 @@ let test_frame_limits () =
         req_analyst = "a";
         req_query = String.make (Protocol.max_line_bytes + 1) 'q';
         req_rid = None;
+        req_shards = None;
       }
   in
   (match Protocol.decode_request huge with
@@ -287,7 +307,7 @@ let test_frame_limits () =
 let test_protocol_versioning () =
   let ok =
     Protocol.encode_request
-      { Protocol.req_id = 1; req_analyst = "a"; req_query = "sq"; req_rid = None }
+      { Protocol.req_id = 1; req_analyst = "a"; req_query = "sq"; req_rid = None; req_shards = None }
   in
   (match Protocol.decode_request ok with
   | Ok _ -> ()
@@ -347,7 +367,8 @@ let test_budget_fits_is_read_only () =
 
 let submit ?rid broker ~id ~analyst ~query =
   Broker.submit broker
-    { Protocol.req_id = id; req_analyst = analyst; req_query = query; req_rid = rid }
+    { Protocol.req_id = id; req_analyst = analyst; req_query = query; req_rid = rid;
+      req_shards = None }
 
 (* Run [assignments] = (analyst, query names) pairs concurrently through a
    broker, one thread per analyst, serializer on the calling thread (which
@@ -822,7 +843,7 @@ let test_client_timeout_on_stalled_socket () =
     (fun () ->
       let client = Net.Client.connect ~deadline_s:0.2 path in
       let req =
-        { Protocol.req_id = 0; req_analyst = "a"; req_query = "sq"; req_rid = None }
+        { Protocol.req_id = 0; req_analyst = "a"; req_query = "sq"; req_rid = None; req_shards = None }
       in
       let t0 = Unix.gettimeofday () in
       (match Net.Client.call client req with

@@ -1,0 +1,323 @@
+(* Tests for the serving fleet's shard layer (lib/server/shard.ml):
+   partition laws (disjoint, jointly exhaustive — the precondition for
+   parallel composition), the shard lifecycle (start, kill, journal-driven
+   restart, quarantine, drain), per-shard journal independence (corrupting
+   one shard's journal cannot perturb another's recovery), and the
+   qcheck property that the fleet-level account [Budget.spent_parallel]
+   is exactly the coordinate-wise max over per-shard ledgers. *)
+
+module Universe = Pmw_data.Universe
+module Dataset = Pmw_data.Dataset
+module Synth = Pmw_data.Synth
+module Domain_ = Pmw_convex.Domain
+module Losses = Pmw_convex.Losses
+module Params = Pmw_dp.Params
+module Cm_query = Pmw_core.Cm_query
+module Config = Pmw_core.Config
+module Budget = Pmw_core.Budget
+module Session = Pmw_session.Session
+module Pool = Pmw_parallel.Pool
+module Protocol = Pmw_server.Protocol
+module Broker = Pmw_server.Broker
+module Shard = Pmw_server.Shard
+module Journal = Pmw_server.Journal
+module Rng = Pmw_rng.Rng
+
+(* --- fixture: the small regression setup the server tests use --- *)
+
+let universe = Universe.regression_grid ~d:2 ~levels:5 ~label_levels:5 ()
+let domain = Domain_.unit_ball ~dim:2
+let privacy = Params.create ~eps:1. ~delta:1e-6
+
+let dataset =
+  Synth.linear_regression ~universe ~theta_star:[| 0.5; -0.2 |] ~noise:0.1 ~n:3_000
+    (Rng.create ~seed:7 ())
+
+let config () =
+  Config.practical ~universe ~privacy ~alpha:0.02 ~beta:0.05 ~scale:2. ~k:14 ~t_max:8
+    ~solver_iters:120 ()
+
+let panel =
+  [
+    ("sq", Cm_query.make ~name:"sq" ~loss:(Losses.squared ()) ~domain ());
+    ("huber", Cm_query.make ~name:"huber" ~loss:(Losses.huber ~delta:0.5 ()) ~domain ());
+  ]
+
+let resolve name = List.assoc_opt name panel
+
+let mk_shard ?journal_path ~id ~block () =
+  Shard.create ~id
+    ~weight:(float_of_int (Dataset.size block) /. float_of_int (Dataset.size dataset))
+    ?journal_path
+    ~make_session:(fun tel ->
+      (* runs on the shard domain: inline pool, incarnation-private rng *)
+      let pool = Pool.create ~domains:1 () in
+      Session.create ~pool ~telemetry:tel
+        ~label:(Printf.sprintf "shard%d" id)
+        ~config:(config ()) ~dataset:block
+        ~rng:(Rng.create ~seed:(100 + id) ())
+        ())
+    ~resolve ()
+
+let req ?rid ?shards ~id ~analyst ~query () =
+  {
+    Protocol.req_id = id;
+    req_analyst = analyst;
+    req_query = query;
+    req_rid = rid;
+    req_shards = shards;
+  }
+
+let must_start s =
+  match Shard.start s with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "shard %d failed to start: %s" (Shard.id s) m
+
+let in_tmp name f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pmw-shard-%s-%d" name (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+(* --- partition laws --- *)
+
+let row_fp ds = Array.to_list (Dataset.rows ds)
+
+let check_partition ~by ~shards () =
+  let blocks = Shard.partition dataset ~by ~shards in
+  Alcotest.(check int) "block count" shards (List.length blocks);
+  let total = List.fold_left (fun acc b -> acc + Dataset.size b) 0 blocks in
+  Alcotest.(check int) "jointly exhaustive" (Dataset.size dataset) total;
+  (* disjointness + exhaustiveness as a multiset equation: the blocks'
+     rows, re-sorted, are exactly the dataset's rows *)
+  let all = List.concat_map row_fp blocks |> List.sort compare in
+  let orig = row_fp dataset |> List.sort compare in
+  Alcotest.(check bool) "same rows, each exactly once" true (all = orig)
+
+let test_partition_block () = check_partition ~by:Shard.Block ~shards:4 ()
+let test_partition_hash () = check_partition ~by:Shard.Hash ~shards:4 ()
+
+let test_partition_block_is_contiguous () =
+  let blocks = Shard.partition dataset ~by:Shard.Block ~shards:3 in
+  let rebuilt = List.concat_map row_fp blocks in
+  Alcotest.(check bool) "block partition preserves row order" true (rebuilt = row_fp dataset)
+
+let test_partition_rejects_bad_counts () =
+  (match Shard.partition dataset ~by:Shard.Block ~shards:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "shards = 0 must be rejected");
+  match Shard.partition dataset ~by:Shard.Block ~shards:(Dataset.size dataset + 1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "more shards than rows must be rejected"
+
+(* --- lifecycle --- *)
+
+let test_lifecycle_start_submit_stop () =
+  let block = List.hd (Shard.partition dataset ~by:Shard.Block ~shards:2) in
+  let s = mk_shard ~id:0 ~block () in
+  Alcotest.(check string) "starts stopped" "stopped" (Shard.state_to_string (Shard.state s));
+  Alcotest.(check bool) "submit before start" true
+    (Shard.submit s (req ~id:0 ~analyst:"a" ~query:"sq" ()) = None);
+  must_start s;
+  Alcotest.(check string) "running" "running" (Shard.state_to_string (Shard.state s));
+  (match Shard.start s with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double start must be refused");
+  (match Shard.submit s (req ~id:1 ~analyst:"a" ~query:"sq" ()) with
+  | Some rsp -> (
+      match rsp.Protocol.rsp_status with
+      | Protocol.Answered | Protocol.Degraded _ -> ()
+      | st -> Alcotest.failf "unexpected verdict %s" (Protocol.status_tag st))
+  | None -> Alcotest.fail "running shard refused a submit");
+  let spent = Shard.spent s in
+  Alcotest.(check bool) "an answered query spent budget" true (spent.Params.eps > 0.);
+  Shard.stop s;
+  Alcotest.(check string) "stopped after drain" "stopped"
+    (Shard.state_to_string (Shard.state s));
+  Alcotest.(check bool) "submit after stop" true
+    (Shard.submit s (req ~id:2 ~analyst:"a" ~query:"sq" ()) = None)
+
+let test_kill_then_journal_restart () =
+  in_tmp "restart" (fun dir ->
+      let jp = Filename.concat dir "s0.journal" in
+      let block = List.hd (Shard.partition dataset ~by:Shard.Block ~shards:2) in
+      let s = mk_shard ~journal_path:jp ~id:0 ~block () in
+      must_start s;
+      let rsp1 =
+        match Shard.submit s (req ~rid:"r-1" ~id:1 ~analyst:"a" ~query:"sq" ()) with
+        | Some r -> r
+        | None -> Alcotest.fail "first submit refused"
+      in
+      let spent_before = Shard.spent s in
+      Alcotest.(check bool) "killed" true (Shard.kill s);
+      Alcotest.(check bool) "kill is not idempotent on a dead shard" false (Shard.kill s);
+      Alcotest.(check string) "crashed" "crashed" (Shard.state_to_string (Shard.state s));
+      Alcotest.(check bool) "crashed shard refuses submits" true
+        (Shard.submit s (req ~id:2 ~analyst:"a" ~query:"sq" ()) = None);
+      (* a crashed shard still reports its last known spend — the fleet
+         account must never shrink because a shard died *)
+      Alcotest.(check (float 0.)) "spend survives the crash" spent_before.Params.eps
+        (Shard.spent s).Params.eps;
+      let t0 = Unix.gettimeofday () in
+      must_start s;
+      let boot_s = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "journal restart under a second (took %.3fs)" boot_s)
+        true (boot_s < 1.);
+      Alcotest.(check int) "incarnation bumped" 2 (Shard.incarnation s);
+      (* recovery is journal-driven: the replayed ledger covers everything
+         the first incarnation spent *)
+      let spent_after = Shard.spent s in
+      Alcotest.(check bool) "replayed spend covers pre-crash spend" true
+        (spent_after.Params.eps >= spent_before.Params.eps -. 1e-12);
+      (* the journal's recorded answer serves the retried rid byte-for-byte *)
+      (match Shard.submit s (req ~rid:"r-1" ~id:1 ~analyst:"a" ~query:"sq" ()) with
+      | Some rsp2 ->
+          Alcotest.(check bool) "dedup re-serves the recorded answer" true
+            (rsp2.Protocol.rsp_theta = rsp1.Protocol.rsp_theta)
+      | None -> Alcotest.fail "restarted shard refused the retried rid");
+      Shard.stop s)
+
+let test_quarantine_blocks_start () =
+  let block = List.hd (Shard.partition dataset ~by:Shard.Block ~shards:2) in
+  let s = mk_shard ~id:0 ~block () in
+  Shard.quarantine s;
+  Alcotest.(check string) "quarantined" "quarantined"
+    (Shard.state_to_string (Shard.state s));
+  (match Shard.start s with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "a quarantined shard must refuse to start");
+  Alcotest.(check bool) "quarantined shard refuses submits" true
+    (Shard.submit s (req ~id:0 ~analyst:"a" ~query:"sq" ()) = None);
+  Shard.stop s;
+  Alcotest.(check string) "stop preserves the quarantine verdict" "quarantined"
+    (Shard.state_to_string (Shard.state s))
+
+(* --- per-shard journal independence --- *)
+
+(* Two shards journal to their own files; corrupting (then deleting) shard
+   0's journal must leave shard 1's recovery bit-for-bit unperturbed. *)
+let test_journal_independence () =
+  in_tmp "indep" (fun dir ->
+      let blocks = Shard.partition dataset ~by:Shard.Block ~shards:2 in
+      let jp i = Filename.concat dir (Printf.sprintf "s%d.journal" i) in
+      let shards =
+        List.mapi (fun i block -> mk_shard ~journal_path:(jp i) ~id:i ~block ()) blocks
+      in
+      List.iter must_start shards;
+      List.iteri
+        (fun i s ->
+          ignore
+            (Shard.submit s
+               (req ~rid:(Printf.sprintf "r%d" i) ~id:i ~analyst:"a" ~query:"sq" ())))
+        shards;
+      let s0 = List.nth shards 0 and s1 = List.nth shards 1 in
+      let spent1 = Shard.spent s1 in
+      Alcotest.(check bool) "both killed" true (Shard.kill s0 && Shard.kill s1);
+      (* torn tail on shard 0's journal: chop the last 7 bytes *)
+      let len = (Unix.stat (jp 0)).Unix.st_size in
+      let fd = Unix.openfile (jp 0) [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd (max 0 (len - 7));
+      Unix.close fd;
+      must_start s1;
+      Alcotest.(check bool) "shard 1 recovered its own spend" true
+        ((Shard.spent s1).Params.eps >= spent1.Params.eps -. 1e-12);
+      must_start s0;
+      Shard.stop s0;
+      Shard.stop s1;
+      (* now nuke shard 0's journal entirely: shard 1 must still restart *)
+      Sys.remove (jp 0);
+      Alcotest.(check bool) "both restartable after drain" true
+        (match (Shard.start s0, Shard.start s1) with Ok (), Ok () -> true | _ -> false);
+      Shard.stop s0;
+      Shard.stop s1)
+
+(* --- fleet accounting: spent_parallel --- *)
+
+let qcheck_spent_parallel_is_max =
+  QCheck.Test.make ~name:"Budget.spent_parallel = coordinate-wise max" ~count:200
+    QCheck.(
+      list_of_size Gen.(int_range 0 8)
+        (pair (QCheck.map Float.abs (float_bound_exclusive 10.)) (float_bound_exclusive 0.1)))
+    (fun spends ->
+      let pots =
+        List.map
+          (fun (e, d) ->
+            let e = Float.abs e and d = Float.abs d in
+            let b = Budget.create (Params.create ~eps:(e +. 1.) ~delta:(d +. 1e-3)) in
+            (match Budget.request b (Params.create ~eps:e ~delta:d) with
+            | Ok _ -> ()
+            | Error m -> QCheck.Test.fail_reportf "request refused: %s" m);
+            b)
+          spends
+      in
+      let got = Budget.spent_parallel pots in
+      let exp_eps =
+        List.fold_left (fun acc b -> Float.max acc (Budget.spent b).Params.eps) 0. pots
+      and exp_delta =
+        List.fold_left (fun acc b -> Float.max acc (Budget.spent b).Params.delta) 0. pots
+      in
+      got.Params.eps = exp_eps && got.Params.delta = exp_delta)
+
+(* The fleet-level theorem the sharding design rests on: for ANY partition
+   arity, serving traffic through disjoint shards and folding their ledgers
+   with the parallel-composition rule accounts at most one shard's pot —
+   and exactly the max of what the shards actually spent. *)
+let test_fleet_account_equals_max_over_any_partition () =
+  List.iter
+    (fun shards ->
+      let blocks = Shard.partition dataset ~by:Shard.Block ~shards in
+      let fleet = List.mapi (fun i block -> mk_shard ~id:i ~block ()) blocks in
+      List.iter must_start fleet;
+      List.iteri
+        (fun i s ->
+          ignore (Shard.submit s (req ~id:i ~analyst:"a" ~query:"sq" ()));
+          if i mod 2 = 0 then
+            ignore (Shard.submit s (req ~id:(1000 + i) ~analyst:"a" ~query:"huber" ())))
+        fleet;
+      let pots = List.filter_map Shard.budget fleet in
+      Alcotest.(check int) "every running shard exposes its pot" shards (List.length pots);
+      let fleet_spent = Budget.spent_parallel pots in
+      let max_eps =
+        List.fold_left (fun acc s -> Float.max acc (Shard.spent s).Params.eps) 0. fleet
+      in
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "%d-shard fleet account = max shard spend" shards)
+        max_eps fleet_spent.Params.eps;
+      Alcotest.(check bool) "fleet spend bounded by one pot" true
+        (fleet_spent.Params.eps <= privacy.Params.eps +. 1e-9);
+      List.iter Shard.stop fleet)
+    [ 2; 3; 4 ]
+
+let () =
+  Alcotest.run "pmw_shard"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "block: disjoint + exhaustive" `Quick test_partition_block;
+          Alcotest.test_case "hash: disjoint + exhaustive" `Quick test_partition_hash;
+          Alcotest.test_case "block keeps row order" `Quick test_partition_block_is_contiguous;
+          Alcotest.test_case "rejects bad shard counts" `Quick test_partition_rejects_bad_counts;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "start, submit, drain" `Quick test_lifecycle_start_submit_stop;
+          Alcotest.test_case "kill then journal restart" `Quick test_kill_then_journal_restart;
+          Alcotest.test_case "quarantine blocks start" `Quick test_quarantine_blocks_start;
+        ] );
+      ( "journal",
+        [ Alcotest.test_case "per-shard independence" `Quick test_journal_independence ] );
+      ( "accounting",
+        [
+          QCheck_alcotest.to_alcotest qcheck_spent_parallel_is_max;
+          Alcotest.test_case "fleet account = max over any partition" `Quick
+            test_fleet_account_equals_max_over_any_partition;
+        ] );
+    ]
