@@ -39,15 +39,20 @@ let rec pretty ~depth buf j =
       Buffer.add_string buf "]"
   | j -> compact j
 
+(* Document schema. v3 added the per-leg "latency" block to the "server"
+   section (p50/p90/p99/max per run leg, not just throughput). *)
+let schema = "pmw-kernel-bench/3"
+
 let iso8601_utc () =
   let tm = Unix.gmtime (Unix.gettimeofday ()) in
   Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
     tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
 
-(* Replace one top-level [section] of the pmw-kernel-bench/2 document at
+(* Replace one top-level [section] of the pmw-kernel-bench document at
    [path], creating a minimal skeleton when the file is absent or
    unparsable. Other sections (the kernel table, "server", "chaos") are
-   preserved byte-for-value. *)
+   preserved byte-for-value; the schema tag is upgraded to the current
+   version, since the writer emits the current section shapes. *)
 let merge_section ~path ~section ~command json =
   let existing =
     if Sys.file_exists path then begin
@@ -62,7 +67,6 @@ let merge_section ~path ~section ~command json =
   let fields =
     if existing = [] then
       [
-        ("schema", Protocol.Str "pmw-kernel-bench/2");
         ("command", Protocol.Str command);
         ( "meta",
           Protocol.Obj
@@ -71,9 +75,11 @@ let merge_section ~path ~section ~command json =
               ("ocaml", Protocol.Str Sys.ocaml_version);
             ] );
       ]
-    else existing
+    else List.remove_assoc "schema" existing
   in
-  let fields = List.remove_assoc section fields @ [ (section, json) ] in
+  let fields =
+    (("schema", Protocol.Str schema) :: List.remove_assoc section fields) @ [ (section, json) ]
+  in
   let buf = Buffer.create 4096 in
   pretty ~depth:0 buf (Protocol.Obj fields);
   Buffer.add_char buf '\n';

@@ -108,6 +108,8 @@ let analyst ?fleet ~running ~proxy_path ~panel ~seed ~dup_prob i =
             req_query = panel.(Splitmix64.next_in rng ~bound:(Array.length panel));
             req_rid = Some rid;
             req_shards = None;
+            req_trace = None;
+            req_pspan = None;
           }
         in
         match Net.Client.call_with_retry ~policy c req with
@@ -383,6 +385,8 @@ let fleet_soak ~bin ~dir ~seed ~eps ~n ~k ~shards ~analysts ~cycles ~kill_min ~k
         req_query = q;
         req_rid = None;
         req_shards = None;
+        req_trace = None;
+        req_pspan = None;
       }
   in
   let rng = Splitmix64.create (Int64.of_int (seed + 997)) in

@@ -13,7 +13,8 @@
          baseline), and again at --max-batch with the write-ahead journal
          fsyncing every batch — reporting the batching speedup and the
          journal overhead, and merging a "server" section into
-         BENCH_pmw.json (pmw-kernel-bench/2 schema).
+         BENCH_pmw.json (pmw-kernel-bench/3 schema: per-leg runs plus a
+         "latency" block keyed by leg label with p50/p90/p99/max ms).
      load.exe --socket /tmp/pmw.sock --duration-s 5
          Drive an external `pmw_cli serve` over its Unix socket for a fixed
          duration (the CI server-smoke job).
@@ -112,7 +113,7 @@ let analyst_loop ~call ~queries ~requests ~deadline ~analyst =
     let name = queries.(!r mod Array.length queries) in
     let req =
       { Protocol.req_id = !r; req_analyst = analyst; req_query = name; req_rid = None;
-        req_shards = None }
+        req_shards = None; req_trace = None; req_pspan = None }
     in
     let t0 = Unix.gettimeofday () in
     (match call req with
@@ -315,6 +316,24 @@ let run_json r =
       ("batch_size_mean", Protocol.Num r.r_batch_mean);
     ]
 
+(* The v3 "latency" block: one object per comparison leg, keyed by the leg's
+   label, so a dashboard (or the CI 5%-drift check) can read a percentile
+   without scanning the "runs" array. *)
+let latency_json results =
+  let ms v = v *. 1e3 in
+  Protocol.Obj
+    (List.map
+       (fun r ->
+         ( r.r_label,
+           Protocol.Obj
+             [
+               ("p50_ms", Protocol.Num (ms (percentile r.r_latencies 0.50)));
+               ("p90_ms", Protocol.Num (ms (percentile r.r_latencies 0.90)));
+               ("p99_ms", Protocol.Num (ms (percentile r.r_latencies 0.99)));
+               ("max_ms", Protocol.Num (ms (percentile r.r_latencies 1.0)));
+             ] ))
+       results)
+
 let merge_bench_json ~path ~bits ~universe_size ~results ~speedup ~journal_ratio ~fleet_shards
     ~fleet_ratio =
   let server =
@@ -325,6 +344,7 @@ let merge_bench_json ~path ~bits ~universe_size ~results ~speedup ~journal_ratio
         ("generator", Protocol.Str "bench/load.exe -- --compare --json");
         ("timestamp", Protocol.Str (Bench_json.iso8601_utc ()));
         ("runs", Protocol.Arr (List.map run_json results));
+        ("latency", latency_json results);
         ("batching_speedup", Protocol.Num speedup);
         ("journal_throughput_ratio", Protocol.Num journal_ratio);
         ("fleet_shards", Protocol.Num (float_of_int fleet_shards));

@@ -326,7 +326,7 @@ let write_json ~path ~quick rows =
   in
   let pmw_domains = try Sys.getenv "PMW_DOMAINS" with Not_found -> "" in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"pmw-kernel-bench/2\",\n";
+  Printf.fprintf oc "  \"schema\": \"%s\",\n" Bench_json.schema;
   Printf.fprintf oc "  \"command\": \"bench/main.exe -- micro --json%s\",\n"
     (if quick then " --quick" else "");
   (* Trajectory metadata: enough to line up two BENCH_pmw.json files from

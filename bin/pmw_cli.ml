@@ -9,6 +9,8 @@
      serve           serve a session to concurrent analysts over a Unix
                      socket (batched evaluation, graceful SIGTERM drain)
      stats           validate and aggregate a JSONL telemetry trace
+                     (--fleet stitches cross-shard request trees)
+     top             live fleet metrics snapshot scraped over ctl:metrics
      theory          print the Table 1 sample-complexity bounds for given
                      parameters
 
@@ -18,7 +20,10 @@
      pmw_cli session --checkpoint-dir /tmp/pmw --fault timeout --kill-after 8
      pmw_cli session --checkpoint-dir /tmp/pmw --fault timeout --resume
      pmw_cli serve -n 40000 --eps 20 --socket /tmp/pmw.sock --trace serve.jsonl
+     pmw_cli serve --shards 4 --chaos-ctl --metrics --trace fleet.jsonl
+     pmw_cli top --socket /tmp/pmw.sock --once
      pmw_cli stats serve.jsonl --check
+     pmw_cli stats fleet.jsonl --fleet --journal /tmp/pmw.journal
      pmw_cli theory --alpha 0.05 --k 1000 --d 4 --log-universe 10 *)
 
 open Cmdliner
@@ -26,6 +31,7 @@ module Registry = Pmw_experiments.Registry
 module Common = Pmw_experiments.Common
 module Telemetry = Pmw_telemetry.Telemetry
 module Trace = Pmw_telemetry.Trace
+module Metrics = Pmw_telemetry.Metrics
 
 (* Shared --trace flag: a JSONL event trace of the whole run. *)
 let trace_arg =
@@ -542,9 +548,17 @@ let serve_cmd =
            ~doc:"Fan-out deadline per query: shards that have not answered by then are reported \
                  as missing in a partial answer (0 = wait forever)")
   in
+  let metrics_flag =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Enable the live metrics plane: latency histograms, rolling rates, gauges and \
+                   per-ledger privacy burn, shared across the whole fleet. Scrape it with \
+                   ctl:metrics / ctl:metrics:prom (fleet mode with --chaos-ctl) or watch it with \
+                   'pmw_cli top'. Off by default — disabled handles cost one branch per event.")
+  in
   let run workload n k alpha eps delta t_max d seed socket max_batch quota retry_after dir resume
       journal_path ckpt_every dedup_cap fault_spec fault_every fault_seed shards shard_by chaos_ctl
-      fleet_deadline trace =
+      fleet_deadline enable_metrics trace =
     let ( let* ) r f = match r with Error m -> `Error (false, m) | Ok v -> f v in
     let* fault =
       match fault_spec with
@@ -581,6 +595,7 @@ let serve_cmd =
           ~alpha ~beta:0.05 ~scale:w.Common.Workload.scale ~k ~t_max ~solver_iters:200 ()
       in
       let telemetry = make_telemetry trace in
+      let metrics = if enable_metrics then Metrics.create () else Metrics.disabled () in
       let faulty =
         Option.map
           (fun f ->
@@ -649,7 +664,7 @@ let serve_cmd =
                 ~rng:(Pmw_rng.Rng.create ~seed:(seed + 7919 + (1000 * (i + 1))) ())
                 ())
             ~resolve:(Hashtbl.find_opt registry)
-            ()
+            ~metrics ()
         in
         let fleet = Array.of_list (List.mapi mk_shard blocks) in
         let* () =
@@ -670,14 +685,18 @@ let serve_cmd =
                 rt_retry_after_s = retry_after;
                 rt_allow_ctl = chaos_ctl;
               }
-            ~shards:fleet ()
+            ~metrics ~shards:fleet ()
         in
+        (* Parallel composition: every shard holds the full (eps, delta)
+           pot, and so does the composed fleet view. *)
+        Metrics.set_ledger_budget (Metrics.ledger metrics "fleet") ~eps ~delta;
         let supervisor =
           Supervisor.start ~telemetry
             ~extra_counters:(fun () -> Router.counters router)
-            ~shards:fleet ()
+            ~extra_marks:(fun () -> Router.trace_marks router)
+            ~metrics ~shards:fleet ()
         in
-        let listener = Net.listen ~handler:(Router.submit router) ~path:socket in
+        let listener = Net.listen ~metrics ~handler:(Router.submit router) ~path:socket () in
         Printf.printf "serving %s (|X|=%d, n=%d, k=%d) on %s; %d %s shards%s; queries: %s\n%!"
           (Pmw_data.Universe.name w.Common.Workload.universe)
           (Pmw_data.Universe.size w.Common.Workload.universe)
@@ -747,9 +766,9 @@ let serve_cmd =
             }
           ?journal ~recovery ~session
           ~resolve:(Hashtbl.find_opt registry)
-          ()
+          ~metrics ()
       in
-      let listener = Net.listen ~handler:(Broker.submit broker) ~path:socket in
+      let listener = Net.listen ~metrics ~handler:(Broker.submit broker) ~path:socket () in
       let (_ : Thread.t) =
         Thread.create
           (fun () ->
@@ -797,12 +816,161 @@ let serve_cmd =
        $ seed_arg $ socket_arg $ max_batch_arg $ quota_arg $ retry_arg $ dir_arg $ resume_flag
        $ journal_arg $ ckpt_every_arg $ dedup_cap_arg $ fault_arg $ fault_every_arg
        $ fault_seed_arg $ shards_arg $ shard_by_arg $ chaos_ctl_flag $ fleet_deadline_arg
-       $ trace_arg))
+       $ metrics_flag $ trace_arg))
 
 (* --- stats --- *)
 
+(* Sibling trace files of a fleet run: --trace FILE writes the router/
+   supervisor trace to FILE and each shard incarnation to FILE.shardI.incJ.
+   Returns (shard_id, path) sorted by (id, path) so incarnations of one
+   shard stay adjacent. *)
+let fleet_siblings file =
+  let dir = Filename.dirname file and base = Filename.basename file in
+  let prefix = base ^ ".shard" in
+  let plen = String.length prefix in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (fun name ->
+         if String.length name > plen && String.sub name 0 plen = prefix then
+           let rest = String.sub name plen (String.length name - plen) in
+           let id =
+             match String.index_opt rest '.' with
+             | Some dot -> int_of_string_opt (String.sub rest 0 dot)
+             | None -> int_of_string_opt rest
+           in
+           Option.map (fun id -> (id, Filename.concat dir name)) id
+         else None)
+  |> List.sort compare
+
+let pp_losses summary =
+  match Trace.losses summary with
+  | [] -> ()
+  | ls ->
+      Printf.printf "\nlosses (events dropped on overflow):\n";
+      List.iter (fun (name, v) -> Printf.printf "  %-32s %8d\n" name v) ls
+
+(* Coordinate-wise max of (eps, delta) pairs — the parallel-composition
+   fold used everywhere the fleet accounts spend. *)
+let pmax (e1, d1) (e2, d2) = (Float.max e1 e2, Float.max d1 d2)
+
+let pp_tree t =
+  let ids l = String.concat "," (List.map string_of_int l) in
+  Printf.printf "  trace %-22s %-9s span %-4d shards [%s]%s coverage %s%s%s\n" t.Trace.tr_trace
+    t.Trace.tr_status t.Trace.tr_span (ids t.Trace.tr_shards)
+    (match t.Trace.tr_missing with [] -> "" | m -> Printf.sprintf " missing [%s]" (ids m))
+    (match t.Trace.tr_coverage with Some c -> Printf.sprintf "%.3f" c | None -> "?")
+    (match t.Trace.tr_spent with
+    | Some (e, d) -> Printf.sprintf " spent (%.4f, %.2e)" e d
+    | None -> "")
+    (if t.Trace.tr_complete then "" else "  [incomplete]");
+  List.iter
+    (fun (l : Trace.leg) ->
+      Printf.printf "    %-8s span %-5d parent %-4d %s %s\n" l.Trace.lg_tag l.Trace.lg_span
+        l.Trace.lg_parent_span
+        (match l.Trace.lg_dur_s with
+        | Some d -> Printf.sprintf "%8.2f ms" (1e3 *. d)
+        | None -> "   (never closed)")
+        (match l.Trace.lg_ok with Some true -> "ok" | Some false -> "FAILED" | None -> ""))
+    t.Trace.tr_legs
+
+let stats_fleet file events check =
+  let ( let* ) r f = match r with Error m -> `Error (false, m) | Ok v -> f v in
+  let siblings = fleet_siblings file in
+  let* streams =
+    List.fold_left
+      (fun acc (id, path) ->
+        Result.bind acc (fun l ->
+            match Trace.load ~path with
+            | Ok evs -> Ok ((id, path, evs) :: l)
+            | Error m -> Error (path ^ ": " ^ m)))
+      (Ok []) siblings
+    |> Result.map List.rev
+  in
+  let trees = Trace.stitch ~fleet:events ~shards:(List.map (fun (_, _, e) -> e) streams) in
+  let complete = List.filter (fun t -> t.Trace.tr_complete) trees in
+  Printf.printf "\nfleet request trees (%d stitched from %d shard trace files, %d complete):\n"
+    (List.length trees) (List.length streams) (List.length complete);
+  List.iter pp_tree trees;
+  (* Reported fleet spend: coordinate-wise max over every root's stamp. *)
+  let reported =
+    List.fold_left
+      (fun acc t -> match t.Trace.tr_spent with Some s -> pmax acc s | None -> acc)
+      (0., 0.) trees
+  in
+  (* Per-shard spend replayed from the shard traces: each incarnation
+     re-debits from zero (recovery quarantines prior spend into the fresh
+     ledger), so a shard's cumulative is the max over its incarnations, and
+     the fleet's is the coordinate-wise max over shards. *)
+  let trace_cum =
+    List.fold_left
+      (fun acc (_, _, evs) ->
+        List.fold_left (fun a (_, s) -> pmax a s) acc (Trace.ledger_totals evs))
+      (0., 0.) streams
+  in
+  Printf.printf
+    "fleet spend: reported (eps %.6g, delta %.3e); coordinate-wise max of shard-trace ledgers \
+     (eps %.6g, delta %.3e)\n"
+    (fst reported) (snd reported) (fst trace_cum) (snd trace_cum);
+  (* Soundness: the fleet must never report spend the shard ledgers cannot
+     account for. (The converse — ledgers ahead of the last stamped answer —
+     is legal: spend that landed after the last composed request.) *)
+  let tol = 1e-9 *. Float.max 1. (fst trace_cum) in
+  if fst reported > fst trace_cum +. tol || snd reported > snd trace_cum +. tol then
+    `Error
+      ( false,
+        Printf.sprintf
+          "fleet spend check failed: reported (%.9g, %.3e) exceeds the per-shard ledger max \
+           (%.9g, %.3e)"
+          (fst reported) (snd reported) (fst trace_cum) (snd trace_cum) )
+  else begin
+    if check && complete = [] && trees <> [] then
+      `Error (false, "stats --fleet --check: no complete request tree could be stitched")
+    else `Ok ()
+  end
+
+let stats_journal_check journal_path reported_of_trace =
+  let module Journal = Pmw_server.Journal in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let siblings = fleet_siblings journal_path in
+  let journals =
+    if siblings = [] && Sys.file_exists journal_path then [ (0, journal_path) ] else siblings
+  in
+  if journals = [] then `Error (false, "no journal files found at " ^ journal_path)
+  else begin
+    let cum =
+      List.fold_left
+        (fun acc (id, path) ->
+          match Journal.replay_string (read_file path) with
+          | Ok r ->
+              let e, d = r.Journal.rv_cum in
+              Printf.printf "  journal shard%d: cum (eps %.6g, delta %.3e)%s\n" id e d
+                (if r.Journal.rv_torn then "  [torn tail dropped]" else "");
+              pmax acc r.Journal.rv_cum
+          | Error m ->
+              Printf.printf "  journal shard%d: unreadable (%s)\n" id m;
+              acc)
+        (0., 0.) journals
+    in
+    let re, rd = reported_of_trace in
+    Printf.printf
+      "journal cross-check: reported fleet spend (eps %.6g, delta %.3e) vs coordinate-wise max \
+       of journal cums (eps %.6g, delta %.3e)\n"
+      re rd (fst cum) (snd cum);
+    let tol = 1e-9 *. Float.max 1. (fst cum) in
+    if re > fst cum +. tol || rd > snd cum +. tol then
+      `Error (false, "journal cross-check failed: reported spend exceeds journal cums")
+    else `Ok ()
+  end
+
 let stats_cmd =
-  let doc = "Summarize a JSONL trace written with --trace (spans, counters, privacy ledgers)" in
+  let doc =
+    "Summarize a JSONL trace written with --trace (spans, counters, privacy ledgers); --fleet \
+     also stitches cross-shard request trees and cross-checks the fleet's spend accounting"
+  in
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.jsonl" ~doc:"Trace file")
   in
@@ -813,23 +981,277 @@ let stats_cmd =
           ~doc:
             "Also validate the trace (monotone timestamps and rounds, balanced spans, ledger \
              running totals and final marks consistent with the replayed debits) and fail on any \
-             violation.")
+             violation. With --fleet, additionally require at least one complete stitched tree.")
   in
-  let run file check =
+  let fleet_flag =
+    Arg.(
+      value & flag
+      & info [ "fleet" ]
+          ~doc:
+            "Treat $(docv) as a fleet trace: load every sibling FILE.shardI.incJ shard trace, \
+             stitch the router's fleet.request root marks with the shards' server.request spans \
+             into per-request causal trees, and check that the reported fleet spend never \
+             exceeds the coordinate-wise max of the per-shard ledgers.")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"PATH"
+          ~doc:
+            "Cross-check the fleet spend against the write-ahead journals: replay PATH.shardI \
+             (or PATH itself for a single broker) and compare the reported spend with the \
+             coordinate-wise max of the journal cums.")
+  in
+  let run file check fleet journal =
     match Trace.load ~path:file with
     | Error m -> `Error (false, m)
     | Ok events -> (
         let summary = Trace.summarize events in
         Format.printf "%a@." Trace.pp_summary summary;
-        if not check then `Ok ()
-        else
-          match Trace.validate events with
-          | Ok () ->
-              Printf.printf "trace OK: %d events validated\n" (List.length events);
-              `Ok ()
-          | Error m -> `Error (false, "trace validation failed: " ^ m))
+        pp_losses summary;
+        let fleet_result =
+          if fleet then stats_fleet file events check
+          else `Ok ()
+        in
+        match fleet_result with
+        | `Error _ as e -> e
+        | `Ok () -> (
+            let reported =
+              List.fold_left
+                (fun acc e ->
+                  if e.Telemetry.kind = Telemetry.Mark && e.Telemetry.name = "fleet.request"
+                  then
+                    let f n =
+                      match List.assoc_opt n e.Telemetry.fields with
+                      | Some (Telemetry.Float v) -> v
+                      | Some (Telemetry.Int i) -> float_of_int i
+                      | _ -> 0.
+                    in
+                    pmax acc (f "spent_eps", f "spent_delta")
+                  else acc)
+                (0., 0.) events
+            in
+            let journal_result =
+              match journal with
+              | Some path -> stats_journal_check path reported
+              | None -> `Ok ()
+            in
+            match journal_result with
+            | `Error _ as e -> e
+            | `Ok () ->
+                if not check then `Ok ()
+                else (
+                  match Trace.validate events with
+                  | Ok () ->
+                      Printf.printf "trace OK: %d events validated\n" (List.length events);
+                      `Ok ()
+                  | Error m -> `Error (false, "trace validation failed: " ^ m))))
   in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run $ file_arg $ check_flag))
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(ret (const run $ file_arg $ check_flag $ fleet_flag $ journal_arg))
+
+(* --- top --- *)
+
+(* Parse one Prometheus exposition line into (family, labels, value).
+   The exposition grammar here is exactly what Metrics.to_prometheus
+   emits: [name value] or [name{k="v",...} value], '#' comments. *)
+let parse_prom_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    match String.index_opt line ' ' with
+    | None -> None
+    | Some sp -> (
+        let key = String.sub line 0 sp in
+        let v = String.sub line (sp + 1) (String.length line - sp - 1) in
+        let value =
+          match v with
+          | "+Inf" -> Some Float.infinity
+          | "-Inf" -> Some Float.neg_infinity
+          | "NaN" -> Some Float.nan
+          | v -> float_of_string_opt v
+        in
+        match value with
+        | None -> None
+        | Some value -> (
+            match String.index_opt key '{' with
+            | None -> Some (key, "", value)
+            | Some br ->
+                let name = String.sub key 0 br in
+                let labels = String.sub key (br + 1) (String.length key - br - 2) in
+                Some (name, labels, value)))
+
+let top_cmd =
+  let doc =
+    "Watch a serving fleet's live metrics: scrape ctl:metrics:prom over the Unix socket and \
+     render latency quantiles, rates, gauges and privacy burn (requires the server to run with \
+     --metrics and, in fleet mode, --chaos-ctl)"
+  in
+  let module Net = Pmw_server.Net in
+  let module Protocol = Pmw_server.Protocol in
+  let socket_arg =
+    Arg.(value & opt string "/tmp/pmw.sock" & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix domain socket the server listens on")
+  in
+  let interval_arg =
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period")
+  in
+  let once_flag =
+    Arg.(value & flag & info [ "once" ] ~doc:"Print one snapshot and exit (for scripts and CI)")
+  in
+  let render text =
+    let rows = List.filter_map parse_prom_line (String.split_on_char '\n' text) in
+    let assoc name = List.assoc_opt name (List.map (fun (n, _, v) -> (n, v)) rows) in
+    (* histogram families: pmw_X with quantile labels + _sum/_count/_max *)
+    let hist_names =
+      List.filter_map
+        (fun (n, labels, _) ->
+          if labels = "quantile=\"0.5\"" then Some n else None)
+        rows
+      |> List.sort_uniq compare
+    in
+    if hist_names <> [] then begin
+      Printf.printf "%-34s %8s %10s %10s %10s %10s\n" "histogram" "count" "p50" "p90" "p99" "max";
+      List.iter
+        (fun n ->
+          let q tag =
+            List.fold_left
+              (fun acc (n', l, v) ->
+                if n' = n && l = Printf.sprintf "quantile=\"%s\"" tag then Some v else acc)
+              None rows
+          in
+          let fmt = function Some v -> Printf.sprintf "%10.4g" v | None -> "         ?" in
+          Printf.printf "%-34s %8.0f %s %s %s %s\n" n
+            (Option.value ~default:0. (assoc (n ^ "_count")))
+            (fmt (q "0.5")) (fmt (q "0.9")) (fmt (q "0.99"))
+            (fmt (assoc (n ^ "_max"))))
+        hist_names
+    end;
+    let totals =
+      List.filter_map
+        (fun (n, labels, v) ->
+          let suffix = "_total" in
+          let nl = String.length n and sl = String.length suffix in
+          if labels = "" && nl > sl && String.sub n (nl - sl) sl = suffix
+             && String.sub n 0 10 <> "pmw_ledger"
+          then Some (String.sub n 0 (nl - sl), v)
+          else None)
+        rows
+    in
+    if totals <> [] then begin
+      Printf.printf "\n%-34s %10s %10s\n" "rate" "total" "per_s";
+      List.iter
+        (fun (n, total) ->
+          Printf.printf "%-34s %10.0f %10.3g\n" n total
+            (Option.value ~default:0. (assoc (n ^ "_per_s"))))
+        (List.sort compare totals)
+    end;
+    let gauges =
+      List.filter
+        (fun (n, labels, _) ->
+          labels = ""
+          && (not (List.mem_assoc n (List.map (fun (a, b) -> (a ^ "_total", b)) totals)))
+          && not
+               (List.exists
+                  (fun suffix ->
+                    let nl = String.length n and sl = String.length suffix in
+                    nl > sl && String.sub n (nl - sl) sl = suffix)
+                  [ "_total"; "_per_s"; "_sum"; "_count"; "_max" ])
+          && not (List.mem n hist_names))
+        rows
+    in
+    if gauges <> [] then begin
+      Printf.printf "\n%-34s %10s\n" "gauge" "value";
+      List.iter (fun (n, _, v) -> Printf.printf "%-34s %10.4g\n" n v) (List.sort compare gauges)
+    end;
+    let ledger_rows = List.filter (fun (n, _, _) -> String.length n > 10 && String.sub n 0 10 = "pmw_ledger") rows in
+    let ledger_names =
+      List.filter_map
+        (fun (_, labels, _) ->
+          let p = "ledger=\"" in
+          let pl = String.length p in
+          if String.length labels > pl && String.sub labels 0 pl = p then
+            Some (String.sub labels pl (String.length labels - pl - 1))
+          else None)
+        ledger_rows
+      |> List.sort_uniq compare
+    in
+    if ledger_names <> [] then begin
+      Printf.printf "\n%-12s %12s %12s %8s %14s %12s %12s\n" "ledger" "eps" "eps_budget"
+        "debits" "burn eps/s" "rounds_left" "secs_left";
+      List.iter
+        (fun l ->
+          let field fam =
+            List.fold_left
+              (fun acc (n, labels, v) ->
+                if n = "pmw_ledger_" ^ fam && labels = Printf.sprintf "ledger=\"%s\"" l then
+                  Some v
+                else acc)
+              None ledger_rows
+          in
+          let g fam = Option.value ~default:Float.nan (field fam) in
+          Printf.printf "%-12s %12.6g %12.6g %8.0f %14.4g %12.4g %12.4g\n" l (g "eps")
+            (g "eps_budget") (g "debits_total") (g "burn_eps_per_s") (g "rounds_left")
+            (g "seconds_left"))
+        ledger_names
+    end
+  in
+  let run socket interval once =
+    let req id =
+      {
+        Protocol.req_id = id;
+        req_analyst = "top";
+        req_query = "ctl:metrics:prom";
+        req_rid = None;
+        req_shards = None;
+        req_trace = None;
+        req_pspan = None;
+      }
+    in
+    match
+      (try Ok (Net.Client.connect ~deadline_s:5. socket)
+       with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+    with
+    | Error m -> `Error (false, Printf.sprintf "cannot connect to %s: %s" socket m)
+    | Ok client ->
+        let rec loop id =
+          match Net.Client.call client (req id) with
+          | Error e ->
+              Net.Client.close client;
+              `Error (false, "scrape failed: " ^ Net.Client.error_to_string e)
+          | Ok rsp -> (
+              match (rsp.Protocol.rsp_status, rsp.Protocol.rsp_body) with
+              | Protocol.Answered, Some body ->
+                  if not once then Printf.printf "\027[2J\027[H";
+                  Printf.printf "pmw top — %s — %s\n\n" socket
+                    (let t = Unix.localtime (Unix.time ()) in
+                     Printf.sprintf "%02d:%02d:%02d" t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec);
+                  render body;
+                  flush stdout;
+                  if once then begin
+                    Net.Client.close client;
+                    `Ok ()
+                  end
+                  else begin
+                    Unix.sleepf interval;
+                    loop (id + 1)
+                  end
+              | Protocol.Failed why, _ ->
+                  Net.Client.close client;
+                  `Error
+                    ( false,
+                      Printf.sprintf
+                        "server refused ctl:metrics:prom (%s) — run the server with --metrics \
+                         and --chaos-ctl"
+                        why )
+              | _ ->
+                  Net.Client.close client;
+                  `Error (false, "unexpected response to ctl:metrics:prom"))
+        in
+        loop 1
+  in
+  Cmd.v (Cmd.info "top" ~doc) Term.(ret (const run $ socket_arg $ interval_arg $ once_flag))
 
 (* --- theory --- *)
 
@@ -875,6 +1297,7 @@ let () =
             session_cmd;
             serve_cmd;
             stats_cmd;
+            top_cmd;
             theory_cmd;
             ingest_cmd;
             release_cmd;

@@ -4,6 +4,7 @@ module Cm_query = Pmw_core.Cm_query
 module Budget = Pmw_core.Budget
 module Params = Pmw_dp.Params
 module Telemetry = Pmw_telemetry.Telemetry
+module Metrics = Pmw_telemetry.Metrics
 
 let log_src = Logs.Src.create "pmw.server" ~doc:"PMW query-server broker events"
 
@@ -90,6 +91,20 @@ type t = {
   mutable dedup_hit_log : (string * string) list;  (* (analyst, rid), newest first *)
   mutable dedup_hit_log_len : int;
   dedup_hit_marks_dropped : int Atomic.t;
+  (* Live metrics handles, cached at create (handles are concurrent —
+     unlike telemetry they may be hit from client threads directly). All
+     no-op when the registry is disabled. *)
+  metrics : Metrics.t;
+  m_batch : Metrics.histogram;
+  m_queue_wait : Metrics.histogram;
+  m_request : Metrics.histogram;
+  m_queue_depth : Metrics.gauge;
+  m_admitted : Metrics.rate;
+  m_rej_budget : Metrics.rate;
+  m_rej_quota : Metrics.rate;
+  m_rej_draining : Metrics.rate;
+  m_dedup : Metrics.rate;
+  m_ledger : Metrics.ledger;
 }
 
 let dedup_hit_log_cap = 1024
@@ -105,8 +120,8 @@ let dedup_insert t key line =
     done
   end
 
-let create ?(config = default_config) ?journal ?(recovery = Journal.empty_recovery) ~session
-    ~resolve () =
+let create ?(config = default_config) ?journal ?(recovery = Journal.empty_recovery)
+    ?(metrics = Metrics.disabled ()) ?(metrics_label = "server") ~session ~resolve () =
   if config.max_batch < 1 then invalid_arg "Broker.create: max_batch must be >= 1";
   if config.dedup_cap < 0 then invalid_arg "Broker.create: dedup_cap must be >= 0";
   let telemetry = Session.telemetry session in
@@ -159,8 +174,24 @@ let create ?(config = default_config) ?journal ?(recovery = Journal.empty_recove
       dedup_hit_log = [];
       dedup_hit_log_len = 0;
       dedup_hit_marks_dropped = Atomic.make 0;
+      metrics;
+      m_batch = Metrics.histogram metrics "server.batch_size";
+      m_queue_wait = Metrics.histogram metrics "server.queue_wait_s";
+      m_request = Metrics.histogram metrics "server.request_s";
+      m_queue_depth = Metrics.gauge metrics "server.queue_depth";
+      m_admitted = Metrics.rate metrics "server_admitted";
+      m_rej_budget = Metrics.rate metrics "server_rejected_budget";
+      m_rej_quota = Metrics.rate metrics "server_rejected_quota";
+      m_rej_draining = Metrics.rate metrics "server_rejected_draining";
+      m_dedup = Metrics.rate metrics "server_dedup_hits";
+      m_ledger = Metrics.ledger metrics metrics_label;
     }
   in
+  let total = Budget.total budget in
+  Metrics.set_ledger_budget t.m_ledger ~eps:total.Params.eps ~delta:total.Params.delta;
+  (let spent = Budget.spent budget in
+   Metrics.ledger_cum t.m_ledger ~eps:spent.Params.eps ~delta:spent.Params.delta
+     ~debits:(List.length (Budget.history budget)));
   (* Seed the dedup table with the journal's recorded answers (oldest
      first, so FIFO eviction keeps the newest when over cap). *)
   List.iter
@@ -221,6 +252,7 @@ let rejected ?retry_after_s req reason =
     rsp_queue_wait_s = None;
     rsp_spent_eps = None;
     rsp_spent_delta = None;
+    rsp_body = None;
   }
 
 (* Admission, quota and enqueue run under one lock acquisition; the ledger
@@ -240,6 +272,7 @@ let submit t req =
     locked t (fun () ->
         let st = analyst_state t req.Protocol.req_analyst in
         let dedup_hit () =
+          Metrics.tick t.m_dedup;
           Atomic.incr t.dedup_hits;
           st.st_deduped <- st.st_deduped + 1;
           if t.dedup_hit_log_len < dedup_hit_log_cap then begin
@@ -260,11 +293,13 @@ let submit t req =
                 `Coalesce orig
             | None ->
                 if t.draining || t.stopped then begin
+                  Metrics.tick t.m_rej_draining;
                   Atomic.incr t.rejected_draining;
                   st.st_rejected <- st.st_rejected + 1;
                   `Rejected (rejected req "server is draining")
                 end
                 else if t.cfg.quota > 0 && st.st_submitted >= t.cfg.quota then begin
+                  Metrics.tick t.m_rej_quota;
                   Atomic.incr t.rejected_quota;
                   st.st_rejected <- st.st_rejected + 1;
                   `Rejected
@@ -274,6 +309,7 @@ let submit t req =
                 else (
                   match Session.admissible t.session with
                   | Error why ->
+                      Metrics.tick t.m_rej_budget;
                       Atomic.incr t.rejected_budget;
                       st.st_rejected <- st.st_rejected + 1;
                       `Rejected
@@ -286,6 +322,8 @@ let submit t req =
                       in
                       Option.iter (fun k -> Hashtbl.replace t.inflight k p) rid_key;
                       Queue.push p t.queue;
+                      Metrics.tick t.m_admitted;
+                      Metrics.set_gauge t.m_queue_depth (float_of_int (Queue.length t.queue));
                       Condition.broadcast t.cond;
                       `Enqueued p)))
   in
@@ -334,6 +372,7 @@ let response_of_verdict ~id ~seq ~batch ~queue_wait_s verdict =
       rsp_queue_wait_s = Some queue_wait_s;
       rsp_spent_eps = None;
       rsp_spent_delta = None;
+      rsp_body = None;
     }
   in
   match verdict with
@@ -427,6 +466,8 @@ let process_batch t items =
   let served_at = Unix.gettimeofday () in
   let batch_size = List.length items in
   Telemetry.observe t.telemetry "server.batch_size" (float_of_int batch_size);
+  Metrics.observe t.m_batch (float_of_int batch_size);
+  let timed = Metrics.is_enabled t.metrics in
   let b = Session.batch t.session in
   let budget = Session.budget t.session in
   let replies =
@@ -436,16 +477,32 @@ let process_batch t items =
         t.seq <- t.seq + 1;
         let queue_wait_s = Float.max 0. (served_at -. p.p_enqueued_at) in
         Telemetry.observe t.telemetry "server.queue_wait_s" queue_wait_s;
+        Metrics.observe t.m_queue_wait queue_wait_s;
         let req = p.p_req in
+        let t0 = if timed then Unix.gettimeofday () else 0. in
+        (* Distributed-tracing correlation: the trace id (and the caller's
+           span id, on a router fan-out) ride on the span's fields, so the
+           fleet stitcher can hang this shard-side span under the
+           fleet-level request that caused it. *)
+        let trace_fields =
+          (match req.Protocol.req_trace with
+          | None -> []
+          | Some tr -> [ ("trace", Telemetry.Str tr) ])
+          @
+          match req.Protocol.req_pspan with
+          | None -> []
+          | Some p -> [ ("parent_span", Telemetry.Int p) ]
+        in
         let reply =
           Telemetry.span t.telemetry "server.request"
             ~fields:
-              [
-                ("analyst", Telemetry.Str req.Protocol.req_analyst);
-                ("query", Telemetry.Str req.Protocol.req_query);
-                ("seq", Telemetry.Int seq);
-                ("batch", Telemetry.Int batch_size);
-              ]
+              ([
+                 ("analyst", Telemetry.Str req.Protocol.req_analyst);
+                 ("query", Telemetry.Str req.Protocol.req_query);
+                 ("seq", Telemetry.Int seq);
+                 ("batch", Telemetry.Int batch_size);
+               ]
+              @ trace_fields)
             (fun () ->
               match t.resolve req.Protocol.req_query with
               | None ->
@@ -460,6 +517,7 @@ let process_batch t items =
                   response_of_verdict ~id:req.Protocol.req_id ~seq ~batch:batch_size ~queue_wait_s
                     (Session.batch_answer b q))
         in
+        if timed then Metrics.observe t.m_request (Unix.gettimeofday () -. t0);
         (* stamp the ledger cumulative at release so any client-held answer
            names a spend level the journal must (and does) cover *)
         let spent = Budget.spent budget in
@@ -497,7 +555,14 @@ let process_batch t items =
               Hashtbl.remove t.inflight key);
           p.p_reply <- Some reply)
         replies;
+      Metrics.set_gauge t.m_queue_depth (float_of_int (Queue.length t.queue));
       Condition.broadcast t.cond);
+  (* Burn-rate feed: cumulative totals are idempotent, so reporting after
+     every batch is safe across retries and restarts alike. *)
+  (let budget = Session.budget t.session in
+   let spent = Budget.spent budget in
+   Metrics.ledger_cum t.m_ledger ~eps:spent.Params.eps ~delta:spent.Params.delta
+     ~debits:(List.length (Budget.history budget)));
   mirror_counters t
 
 let write_checkpoint t ~path ~why =

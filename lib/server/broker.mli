@@ -82,6 +82,8 @@ val create :
   ?config:config ->
   ?journal:Journal.t ->
   ?recovery:Journal.recovery ->
+  ?metrics:Pmw_telemetry.Metrics.t ->
+  ?metrics_label:string ->
   session:Pmw_session.Session.t ->
   resolve:(string -> Pmw_core.Cm_query.t option) ->
   unit ->
@@ -91,8 +93,17 @@ val create :
     solves. Pass the [journal] and the [recovery] that
     {!Journal.open_journal} returned to enable the durability layer —
     reconciliation, dedup seeding and seq continuation happen here, before
-    any request is admitted. @raise Invalid_argument if [max_batch < 1] or
-    [dedup_cap < 0]. *)
+    any request is admitted.
+
+    [metrics] (default disabled) feeds the live metrics plane:
+    [server.batch_size] / [server.queue_wait_s] / [server.request_s]
+    histograms, the [server.queue_depth] gauge, [server_admitted] /
+    [server_rejected_*] / [server_dedup_hits] rates, and a per-ledger
+    privacy burn feed registered under [metrics_label] (default
+    ["server"]; the fleet passes ["shard<i>"]) with the session budget's
+    totals declared for the exhaustion forecast. Handles are concurrent, so
+    a fleet's shards safely share one registry.
+    @raise Invalid_argument if [max_batch < 1] or [dedup_cap < 0]. *)
 
 val submit : t -> Protocol.request -> Protocol.response
 (** Thread-safe, blocking: admission-check, enqueue, and wait for the

@@ -5,6 +5,7 @@
    discipline; N concurrent analysts are N connections. *)
 
 module Splitmix64 = Pmw_rng.Splitmix64
+module Metrics = Pmw_telemetry.Metrics
 
 let log_src = Logs.Src.create "pmw.server.net" ~doc:"PMW query-server socket front end"
 
@@ -78,6 +79,14 @@ type listener = {
   conns : (Unix.file_descr, unit) Hashtbl.t;
   conns_lock : Mutex.t;
   mutable stopping : bool;
+  (* Metrics handles are concurrent: reader threads hit them directly. *)
+  timed : bool;
+  m_accepted : Metrics.rate;
+  m_requests : Metrics.rate;
+  m_bad_lines : Metrics.rate;
+  m_conns : Metrics.gauge;
+  m_read : Metrics.histogram;
+  m_write : Metrics.histogram;
 }
 
 let error_line id why =
@@ -93,24 +102,56 @@ let error_line id why =
       rsp_queue_wait_s = None;
       rsp_spent_eps = None;
       rsp_spent_delta = None;
+      rsp_body = None;
     }
+
+let conn_gauge l =
+  Mutex.lock l.conns_lock;
+  let n = Hashtbl.length l.conns in
+  Mutex.unlock l.conns_lock;
+  Metrics.set_gauge l.m_conns (float_of_int n)
 
 let serve_conn l fd =
   let r = Io.reader fd in
-  let respond line = Io.write_all fd (line ^ "\n") in
+  let respond line =
+    (* net.write_s is pure transmit time: how long pushing one response
+       line into the socket takes (blocking on a slow reader included). *)
+    if l.timed then begin
+      let t0 = Unix.gettimeofday () in
+      Io.write_all fd (line ^ "\n");
+      Metrics.observe l.m_write (Unix.gettimeofday () -. t0)
+    end
+    else Io.write_all fd (line ^ "\n")
+  in
+  let timed_read () =
+    (* net.read_s is time-to-next-request — for closed-loop analysts this
+       includes client think time, which is exactly the idle-vs-busy split
+       an operator wants next to server.request_s. *)
+    if l.timed then begin
+      let t0 = Unix.gettimeofday () in
+      let res = Io.read_line r in
+      Metrics.observe l.m_read (Unix.gettimeofday () -. t0);
+      res
+    end
+    else Io.read_line r
+  in
   let rec loop () =
-    match Io.read_line r with
+    match timed_read () with
     | `Line line ->
         (match Protocol.decode_request line with
         | Error why ->
             (* A malformed line cannot carry a trustworthy id; -1 tells the
                client the correlation is lost but the connection survives. *)
+            Metrics.tick l.m_bad_lines;
             respond (error_line (-1) ("bad request: " ^ why))
-        | Ok req -> respond (Protocol.encode_response (l.handler req)));
+        | Ok req ->
+            Metrics.tick l.m_requests;
+            respond (Protocol.encode_response (l.handler req)));
         loop ()
     | `Too_long ->
         (* Framing is unrecoverable past the cap (no '\n' in sight): say
            why, then hang up rather than buffer without bound. *)
+        Metrics.tick l.m_bad_lines;
         respond
           (error_line (-1)
              (Printf.sprintf "bad request: line exceeds %d bytes" Protocol.max_line_bytes))
@@ -121,6 +162,7 @@ let serve_conn l fd =
   Mutex.lock l.conns_lock;
   Hashtbl.remove l.conns fd;
   Mutex.unlock l.conns_lock;
+  conn_gauge l;
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let rec accept_loop l =
@@ -129,11 +171,13 @@ let rec accept_loop l =
       Mutex.lock l.conns_lock;
       Hashtbl.replace l.conns fd ();
       Mutex.unlock l.conns_lock;
+      Metrics.tick l.m_accepted;
+      conn_gauge l;
       ignore (Thread.create (serve_conn l) fd : Thread.t);
       accept_loop l
   | exception Unix.Unix_error _ -> if not l.stopping then Log.warn (fun m -> m "accept failed")
 
-let listen ~handler ~path =
+let listen ?(metrics = Metrics.disabled ()) ~handler ~path () =
   Lazy.force ignore_sigpipe;
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -152,6 +196,13 @@ let listen ~handler ~path =
       conns = Hashtbl.create 16;
       conns_lock = Mutex.create ();
       stopping = false;
+      timed = Metrics.is_enabled metrics;
+      m_accepted = Metrics.rate metrics "net_accepted";
+      m_requests = Metrics.rate metrics "net_requests";
+      m_bad_lines = Metrics.rate metrics "net_bad_lines";
+      m_conns = Metrics.gauge metrics "net.connections";
+      m_read = Metrics.histogram metrics "net.read_s";
+      m_write = Metrics.histogram metrics "net.write_s";
     }
   in
   l.accept_thread <- Some (Thread.create accept_loop l);

@@ -40,11 +40,20 @@ end
 
 type listener
 
-val listen : handler:(Protocol.request -> Protocol.response) -> path:string -> listener
+val listen :
+  ?metrics:Pmw_telemetry.Metrics.t ->
+  handler:(Protocol.request -> Protocol.response) ->
+  path:string ->
+  unit ->
+  listener
 (** Bind (replacing any stale socket file at [path]), listen, and start the
     accept thread. [handler] runs on the per-connection reader threads and
     must be thread-safe and blocking-friendly ({!Broker.submit} and
-    {!Router.submit} both qualify). Raises [Unix.Unix_error] if the bind
+    {!Router.submit} both qualify). [metrics] (default disabled) feeds the
+    live metrics plane: [net_accepted] / [net_requests] / [net_bad_lines]
+    rates, the [net.connections] gauge, and [net.read_s] (time to the next
+    request line — client think time included, by design) and [net.write_s]
+    (pure transmit time) histograms. Raises [Unix.Unix_error] if the bind
     fails. *)
 
 val stop : listener -> unit

@@ -285,6 +285,8 @@ type request = {
   req_query : string;
   req_rid : string option;
   req_shards : int list option;
+  req_trace : string option;
+  req_pspan : int option;
 }
 
 type status =
@@ -311,6 +313,7 @@ type response = {
   rsp_queue_wait_s : float option;
   rsp_spent_eps : float option;
   rsp_spent_delta : float option;
+  rsp_body : string option;
 }
 
 let field fields name = List.assoc_opt name fields
@@ -343,11 +346,12 @@ let encode_request r =
        :: ("analyst", Str r.req_analyst)
        :: ("query", Str r.req_query)
        :: ((match r.req_rid with None -> [] | Some rid -> [ ("rid", Str rid) ])
-          @
-          match r.req_shards with
-          | None -> []
-          | Some ids ->
-              [ ("shards", Arr (List.map (fun i -> Num (float_of_int i)) ids)) ])))
+          @ (match r.req_shards with
+            | None -> []
+            | Some ids ->
+                [ ("shards", Arr (List.map (fun i -> Num (float_of_int i)) ids)) ])
+          @ (match r.req_trace with None -> [] | Some tr -> [ ("trace", Str tr) ])
+          @ match r.req_pspan with None -> [] | Some p -> [ ("pspan", Num (float_of_int p)) ])))
 
 let decode_request line =
   Result.bind (frame_check "request" line) (fun () ->
@@ -383,6 +387,8 @@ let decode_request line =
                             req_query = query;
                             req_rid = Option.bind (field fields "rid") as_str;
                             req_shards = shards;
+                            req_trace = Option.bind (field fields "trace") as_str;
+                            req_pspan = Option.bind (field fields "pspan") as_int;
                           })
                 | None, _, _ -> Error "request is missing integer field \"id\""
                 | _, None, _ -> Error "request is missing string field \"analyst\""
@@ -428,7 +434,8 @@ let encode_response r =
                    (opt "batch" int r.rsp_batch
                       (opt "queue_wait_s" num r.rsp_queue_wait_s
                          (opt "spent_eps" num r.rsp_spent_eps
-                            (opt "spent_delta" num r.rsp_spent_delta [])))))))))
+                            (opt "spent_delta" num r.rsp_spent_delta
+                               (opt "body" (fun s -> Str s) r.rsp_body []))))))))))
 
 let decode_response line =
   Result.bind (frame_check "response" line) (fun () ->
@@ -512,6 +519,7 @@ let decode_response line =
                         rsp_queue_wait_s = Option.bind (field fields "queue_wait_s") as_num;
                         rsp_spent_eps = Option.bind (field fields "spent_eps") as_num;
                         rsp_spent_delta = Option.bind (field fields "spent_delta") as_num;
+                        rsp_body = Option.bind (field fields "body") as_str;
                       }
                 | None, _ -> Error "response is missing integer field \"id\""
                 | _, None -> Error "response is missing integer field \"seq\"")))

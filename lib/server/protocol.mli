@@ -76,6 +76,14 @@ type request = {
   req_shards : int list option;
       (** scope the query to these shard ids (fleet serving); [None] means
           every covering shard — the single-broker server ignores the field *)
+  req_trace : string option;
+      (** distributed-tracing id: the router stamps one when the client did
+          not, and propagates it to every covering shard, whose
+          ["server.request"] spans carry it as a ["trace"] field *)
+  req_pspan : int option;
+      (** parent span id in the {e caller's} span stream — on a router
+          fan-out this is the router-side span, so [pmw_cli stats --fleet]
+          can stitch per-shard spans under the fleet-level request *)
 }
 (** Integers travel as JSON numbers — IEEE doubles — so ids must fit the
     exactly representable range [±2^53]; larger values are silently rounded
@@ -113,6 +121,11 @@ type response = {
   rsp_spent_eps : float option;
       (** ledger cumulative ε when this answer was released *)
   rsp_spent_delta : float option;  (** ledger cumulative δ, same instant *)
+  rsp_body : string option;
+      (** opaque payload for ctl-plane answers that don't fit the numeric
+          [theta] channel — [ctl:metrics] returns its JSON snapshot (or
+          Prometheus text) here. Must keep the whole encoded line under
+          {!max_line_bytes}. *)
 }
 
 val status_tag : status -> string

@@ -1,4 +1,6 @@
 module Params = Pmw_dp.Params
+module Telemetry = Pmw_telemetry.Telemetry
+module Metrics = Pmw_telemetry.Metrics
 
 let log_src = Logs.Src.create "pmw.router" ~doc:"PMW serving-fleet routing tier"
 
@@ -7,6 +9,12 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 type config = { rt_deadline_s : float; rt_retry_after_s : float; rt_allow_ctl : bool }
 
 let default_config = { rt_deadline_s = 5.; rt_retry_after_s = 0.25; rt_allow_ctl = false }
+
+(* Pending fleet.request trace marks are capped: a fleet under load with no
+   supervisor draining them must not grow the list without bound. Overflow
+   is counted (fleet_trace_marks_dropped) and surfaced in the losses
+   section of [pmw_cli stats]. *)
+let trace_marks_cap = 4096
 
 type t = {
   cfg : config;
@@ -21,9 +29,35 @@ type t = {
   n_refused : int Atomic.t;
   n_failed : int Atomic.t;
   n_ctl : int Atomic.t;
+  (* Live metrics (concurrent handles — client threads hit these directly,
+     unlike telemetry). *)
+  metrics : Metrics.t;
+  m_request : Metrics.histogram;
+  m_fanout : Metrics.histogram;
+  m_coverage : Metrics.histogram;
+  m_answered : Metrics.rate;
+  m_degraded : Metrics.rate;
+  m_partial : Metrics.rate;
+  m_refused : Metrics.rate;
+  m_failed : Metrics.rate;
+  m_ctl : Metrics.rate;
+  m_shard_ok : Metrics.rate array;
+  m_shard_miss : Metrics.rate array;
+  m_fleet_ledger : Metrics.ledger;
+  (* Distributed tracing: the router stamps a trace id + its own span id on
+     every fan-out, and records one "fleet.request" mark per composed
+     request. It cannot emit telemetry itself (client threads), so marks
+     queue here until the supervisor's single thread drains them via
+     [trace_marks] into the fleet trace. *)
+  trace_nonce : string;
+  span_seq : int Atomic.t;
+  marks_lock : Mutex.t;
+  mutable marks : (string * Telemetry.value) list list;  (* newest first *)
+  mutable marks_len : int;
+  marks_dropped : int Atomic.t;
 }
 
-let create ?(config = default_config) ~shards () =
+let create ?(config = default_config) ?(metrics = Metrics.disabled ()) ~shards () =
   if Array.length shards = 0 then invalid_arg "Router.create: no shards";
   {
     cfg = config;
@@ -35,10 +69,53 @@ let create ?(config = default_config) ~shards () =
     n_refused = Atomic.make 0;
     n_failed = Atomic.make 0;
     n_ctl = Atomic.make 0;
+    metrics;
+    m_request = Metrics.histogram metrics "router.request_s";
+    m_fanout = Metrics.histogram metrics "router.fanout_shards";
+    m_coverage = Metrics.histogram metrics "router.coverage";
+    m_answered = Metrics.rate metrics "fleet_answered";
+    m_degraded = Metrics.rate metrics "fleet_degraded";
+    m_partial = Metrics.rate metrics "fleet_partial";
+    m_refused = Metrics.rate metrics "fleet_refused";
+    m_failed = Metrics.rate metrics "fleet_failed";
+    m_ctl = Metrics.rate metrics "fleet_ctl";
+    m_shard_ok =
+      Array.init (Array.length shards) (fun i ->
+          Metrics.rate metrics (Printf.sprintf "router.shard%d.contributed" i));
+    m_shard_miss =
+      Array.init (Array.length shards) (fun i ->
+          Metrics.rate metrics (Printf.sprintf "router.shard%d.missing" i));
+    m_fleet_ledger = Metrics.ledger metrics "fleet";
+    trace_nonce =
+      Printf.sprintf "%08x"
+        (Hashtbl.hash (Unix.gettimeofday (), Unix.getpid ()) land 0xFFFFFFF);
+    span_seq = Atomic.make 0;
+    marks_lock = Mutex.create ();
+    marks = [];
+    marks_len = 0;
+    marks_dropped = Atomic.make 0;
   }
 
 let shards t = t.shards
 let processed t = Atomic.get t.seq
+let metrics t = t.metrics
+
+let push_mark t fields =
+  Mutex.lock t.marks_lock;
+  if t.marks_len < trace_marks_cap then begin
+    t.marks <- fields :: t.marks;
+    t.marks_len <- t.marks_len + 1
+  end
+  else Atomic.incr t.marks_dropped;
+  Mutex.unlock t.marks_lock
+
+let trace_marks t =
+  Mutex.lock t.marks_lock;
+  let marks = t.marks in
+  t.marks <- [];
+  t.marks_len <- 0;
+  Mutex.unlock t.marks_lock;
+  List.rev_map (fun fields -> ("fleet.request", fields)) marks
 
 let fleet_spent t =
   Array.fold_left
@@ -58,6 +135,7 @@ let counters t =
     ("fleet_refused", Atomic.get t.n_refused);
     ("fleet_failed", Atomic.get t.n_failed);
     ("fleet_ctl", Atomic.get t.n_ctl);
+    ("fleet_trace_marks_dropped", Atomic.get t.marks_dropped);
   ]
 
 let base_response req ~seq status =
@@ -72,6 +150,7 @@ let base_response req ~seq status =
     rsp_queue_wait_s = None;
     rsp_spent_eps = None;
     rsp_spent_delta = None;
+    rsp_body = None;
   }
 
 (* --- control plane (chaos harness) --- *)
@@ -86,6 +165,7 @@ let state_code = function
 
 let ctl t req =
   Atomic.incr t.n_ctl;
+  Metrics.tick t.m_ctl;
   let ok theta =
     { (base_response req ~seq:(-1) Protocol.Answered) with
       Protocol.rsp_theta = Some theta;
@@ -95,8 +175,23 @@ let ctl t req =
   let fail why =
     { (base_response req ~seq:(-1) (Protocol.Failed why)) with Protocol.rsp_source = Some "ctl" }
   in
+  (* ctl-plane answers carrying a payload (the metrics snapshot) ride in
+     rsp_body; the line must stay under Protocol.max_line_bytes or the
+     client's framing breaks, so oversized snapshots fail typed instead. *)
+  let ok_body body =
+    if String.length body > Protocol.max_line_bytes - 512 then
+      fail
+        (Printf.sprintf "metrics snapshot too large (%d bytes)" (String.length body))
+    else
+      { (base_response req ~seq:(-1) Protocol.Answered) with
+        Protocol.rsp_source = Some "ctl";
+        rsp_body = Some body;
+      }
+  in
   match req.Protocol.req_query with
   | "ctl:health" -> ok (Array.map (fun s -> state_code (Shard.state s)) t.shards)
+  | "ctl:metrics" -> ok_body (Metrics.to_json t.metrics)
+  | "ctl:metrics:prom" -> ok_body (Metrics.to_prometheus t.metrics)
   | "ctl:spent" ->
       let s = fleet_spent t in
       ok [| s.Params.eps; s.Params.delta |]
@@ -283,11 +378,27 @@ let compose t req ~ids results =
             Some acc )
   in
   (match status with
-  | Protocol.Answered -> Atomic.incr t.n_answered
-  | Protocol.Degraded _ -> Atomic.incr t.n_degraded
-  | Protocol.Partial _ -> Atomic.incr t.n_partial
-  | Protocol.Refused _ | Protocol.Rejected _ -> Atomic.incr t.n_refused
-  | Protocol.Failed _ -> Atomic.incr t.n_failed);
+  | Protocol.Answered ->
+      Atomic.incr t.n_answered;
+      Metrics.tick t.m_answered
+  | Protocol.Degraded _ ->
+      Atomic.incr t.n_degraded;
+      Metrics.tick t.m_degraded
+  | Protocol.Partial _ ->
+      Atomic.incr t.n_partial;
+      Metrics.tick t.m_partial
+  | Protocol.Refused _ | Protocol.Rejected _ ->
+      Atomic.incr t.n_refused;
+      Metrics.tick t.m_refused
+  | Protocol.Failed _ ->
+      Atomic.incr t.n_failed;
+      Metrics.tick t.m_failed);
+  (* per-shard outcome mix: a covering shard either contributed to this
+     answer or was missing from it *)
+  List.iter
+    (fun m -> Metrics.tick t.m_shard_miss.(m.m_id))
+    missing;
+  List.iter (fun (i, _, _) -> Metrics.tick t.m_shard_ok.(i)) contributing;
   let queue_wait =
     List.fold_left
       (fun acc (_, rsp, _) ->
@@ -297,6 +408,11 @@ let compose t req ~ids results =
       None contributing
   in
   let spent = fleet_spent t in
+  (* Live fleet burn: feed the "fleet" ledger with the composed cumulative
+     (coordinate-wise max across shards) — monotone, so replays and racing
+     composers cannot move it backwards. *)
+  Metrics.ledger_cum t.m_fleet_ledger ~eps:spent.Params.eps ~delta:spent.Params.delta
+    ~debits:(seq + 1);
   {
     (base_response req ~seq status) with
     Protocol.rsp_theta = theta;
@@ -307,6 +423,45 @@ let compose t req ~ids results =
     rsp_spent_delta = Some spent.Params.delta;
   }
 
+(* One "fleet.request" trace mark per routed request — the root span of the
+   request's causal tree. Shard-side "server.request" spans carry the same
+   trace id (and this span id as their parent), so [pmw_cli stats --fleet]
+   can stitch the tree back together from the per-shard trace files. *)
+let record_request t ~trace ~span ~ids ~t0 req rsp =
+  let dur_s = Unix.gettimeofday () -. t0 in
+  Metrics.observe t.m_request dur_s;
+  Metrics.observe t.m_fanout (float_of_int (List.length ids));
+  let missing, coverage =
+    match rsp.Protocol.rsp_status with
+    | Protocol.Answered | Protocol.Degraded _ -> ([], 1.)
+    | Protocol.Partial { missing_shards; coverage; _ } -> (missing_shards, coverage)
+    | Protocol.Refused _ | Protocol.Rejected _ | Protocol.Failed _ -> (ids, 0.)
+  in
+  Metrics.observe t.m_coverage coverage;
+  let ints l = String.concat "," (List.map string_of_int l) in
+  let fields =
+    [
+      ("trace", Telemetry.Str trace);
+      ("span", Telemetry.Int span);
+      ("analyst", Telemetry.Str req.Protocol.req_analyst);
+      ("query", Telemetry.Str req.Protocol.req_query);
+      ("status", Telemetry.Str (Protocol.status_tag rsp.Protocol.rsp_status));
+      ("seq", Telemetry.Int rsp.Protocol.rsp_seq);
+      ("shards", Telemetry.Str (ints ids));
+      ("missing", Telemetry.Str (ints missing));
+      ("coverage", Telemetry.Float coverage);
+      ("dur_s", Telemetry.Float dur_s);
+    ]
+    @ (match rsp.Protocol.rsp_spent_eps with
+      | Some e -> [ ("spent_eps", Telemetry.Float e) ]
+      | None -> [])
+    @
+    match rsp.Protocol.rsp_spent_delta with
+    | Some d -> [ ("spent_delta", Telemetry.Float d) ]
+    | None -> []
+  in
+  push_mark t fields
+
 let submit t req =
   let q = req.Protocol.req_query in
   if String.length q >= 4 && String.sub q 0 4 = "ctl:" then
@@ -315,12 +470,33 @@ let submit t req =
       Atomic.incr t.n_failed;
       base_response req ~seq:(-1) (Protocol.Failed "ctl queries are disabled")
     end
-  else
+  else begin
+    let t0 = Unix.gettimeofday () in
+    (* Stamp (or adopt) the trace id and allot this routing decision its own
+       span id; shards log both, making every fan-out leg attributable. *)
+    let span = Atomic.fetch_and_add t.span_seq 1 in
+    let trace =
+      match req.Protocol.req_trace with
+      | Some tr -> tr
+      | None -> Printf.sprintf "%s-%d" t.trace_nonce span
+    in
+    let req = { req with Protocol.req_trace = Some trace; req_pspan = Some span } in
     match covering t req with
     | Error why ->
         Atomic.incr t.n_failed;
-        base_response req ~seq:(-1) (Protocol.Failed why)
-    | Ok [ i ] ->
-        (* single-shard cover: direct call, no fan-out threads *)
-        compose t req ~ids:[ i ] [ (i, Shard.submit t.shards.(i) req) ]
-    | Ok ids -> compose t req ~ids (fanout t req ids)
+        Metrics.tick t.m_failed;
+        let rsp = base_response req ~seq:(-1) (Protocol.Failed why) in
+        record_request t ~trace ~span ~ids:[] ~t0 req rsp;
+        rsp
+    | Ok ids ->
+        let results =
+          match ids with
+          | [ i ] ->
+              (* single-shard cover: direct call, no fan-out threads *)
+              [ (i, Shard.submit t.shards.(i) req) ]
+          | _ -> fanout t req ids
+        in
+        let rsp = compose t req ~ids results in
+        record_request t ~trace ~span ~ids ~t0 req rsp;
+        rsp
+  end

@@ -28,10 +28,21 @@
     seen before it died, which its journal can only confirm or exceed —
     the fleet never reports spend that shrinks on a crash.
 
-    {b Control plane} (enabled via [rt_allow_ctl], for the chaos harness):
-    [ctl:health] answers with a per-shard state-code vector, [ctl:kill:<i>]
-    force-crashes shard [i], [ctl:spent] answers with the fleet [(ε, δ)].
-    Control queries bypass the shards and consume no budget. *)
+    {b Control plane} (enabled via [rt_allow_ctl], for the chaos harness
+    and the metrics scraper): [ctl:health] answers with a per-shard
+    state-code vector, [ctl:kill:<i>] force-crashes shard [i], [ctl:spent]
+    answers with the fleet [(ε, δ)], [ctl:metrics] answers with the live
+    metrics snapshot as JSON in [rsp_body], and [ctl:metrics:prom] with the
+    same snapshot in Prometheus text exposition. Control queries bypass the
+    shards and consume no budget.
+
+    {b Tracing}: every non-ctl request gets a trace id (adopted from
+    [req_trace] when the client sent one, minted otherwise) and a
+    router-side span id stamped into [req_pspan] before fan-out; shard
+    spans log both, and the router queues one ["fleet.request"] root mark
+    per request for the supervisor to drain ({!trace_marks}) into the
+    fleet trace. [pmw_cli stats --fleet] stitches the two sides into causal
+    trees. *)
 
 type config = {
   rt_deadline_s : float;
@@ -46,8 +57,15 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> shards:Shard.t array -> unit -> t
-(** @raise Invalid_argument on an empty shard array. *)
+val create :
+  ?config:config -> ?metrics:Pmw_telemetry.Metrics.t -> shards:Shard.t array -> unit -> t
+(** [metrics] (default disabled) is the fleet-shared live registry: the
+    router feeds [router.request_s] / [router.fanout_shards] /
+    [router.coverage] histograms, per-verdict [fleet_*] rates, per-shard
+    [router.shard<i>.contributed]/[.missing] outcome rates, and the
+    ["fleet"] ledger (composed coordinate-wise-max burn). Pass the same
+    registry to the shards and the listener for one fleet-wide snapshot.
+    @raise Invalid_argument on an empty shard array. *)
 
 val submit : t -> Protocol.request -> Protocol.response
 (** Thread-safe, blocking; never raises on hostile input (unknown shard ids
@@ -64,7 +82,18 @@ val processed : t -> int
 
 val counters : t -> (string * int) list
 (** Verdict tallies ([fleet_answered], [fleet_degraded], [fleet_partial],
-    [fleet_refused], [fleet_failed]) plus [fleet_ctl] — mirrored into the
-    fleet telemetry by the supervisor's heartbeat (the router itself never
-    touches a telemetry instance: submits run on many client threads, and
-    emission is single-writer by contract). *)
+    [fleet_refused], [fleet_failed]) plus [fleet_ctl] and
+    [fleet_trace_marks_dropped] (root marks lost to the pending-queue cap —
+    a losses-section counter) — mirrored into the fleet telemetry by the
+    supervisor's heartbeat (the router itself never touches a telemetry
+    instance: submits run on many client threads, and emission is
+    single-writer by contract). *)
+
+val metrics : t -> Pmw_telemetry.Metrics.t
+(** The registry handed to {!create} (or the disabled one). *)
+
+val trace_marks : t -> (string * (string * Pmw_telemetry.Telemetry.value) list) list
+(** Drain the pending ["fleet.request"] root marks, oldest first — called
+    from the supervisor's heartbeat (single telemetry writer), which emits
+    each as a mark on the fleet trace. The pending queue is capped; spill
+    is counted in [fleet_trace_marks_dropped]. *)

@@ -4,6 +4,7 @@ module Params = Pmw_dp.Params
 module Cm_query = Pmw_core.Cm_query
 module Dataset = Pmw_data.Dataset
 module Telemetry = Pmw_telemetry.Telemetry
+module Metrics = Pmw_telemetry.Metrics
 
 let log_src = Logs.Src.create "pmw.shard" ~doc:"PMW serving-fleet shard lifecycle"
 
@@ -90,6 +91,7 @@ type t = {
   sh_make_session : Telemetry.t -> Session.t;
   sh_resolve : string -> Cm_query.t option;
   sh_telemetry : incarnation:int -> Telemetry.t;
+  sh_metrics : Metrics.t;
   lock : Mutex.t;
   cond : Condition.t;
   mutable st : state;
@@ -104,7 +106,8 @@ type t = {
 }
 
 let create ~id ~weight ?journal_path ?(config = Broker.default_config)
-    ?(telemetry = fun ~incarnation:_ -> Telemetry.null ()) ~make_session ~resolve () =
+    ?(telemetry = fun ~incarnation:_ -> Telemetry.null ())
+    ?(metrics = Metrics.disabled ()) ~make_session ~resolve () =
   {
     sh_id = id;
     sh_weight = weight;
@@ -113,6 +116,7 @@ let create ~id ~weight ?journal_path ?(config = Broker.default_config)
     sh_make_session = make_session;
     sh_resolve = resolve;
     sh_telemetry = telemetry;
+    sh_metrics = metrics;
     lock = Mutex.create ();
     cond = Condition.create ();
     st = Stopped;
@@ -168,7 +172,8 @@ let life t ~inc =
           fail_boot why
       | Ok session ->
           let broker =
-            Broker.create ~config:t.sh_cfg ?journal ~recovery ~session
+            Broker.create ~config:t.sh_cfg ?journal ~recovery ~metrics:t.sh_metrics
+              ~metrics_label:(Printf.sprintf "shard%d" t.sh_id) ~session
               ~resolve:t.sh_resolve ()
           in
           Telemetry.mark telemetry "shard.start"

@@ -61,6 +61,7 @@ val create :
   ?journal_path:string ->
   ?config:Broker.config ->
   ?telemetry:(incarnation:int -> Pmw_telemetry.Telemetry.t) ->
+  ?metrics:Pmw_telemetry.Metrics.t ->
   make_session:(Pmw_telemetry.Telemetry.t -> Pmw_session.Session.t) ->
   resolve:(string -> Pmw_core.Cm_query.t option) ->
   unit ->
@@ -72,8 +73,11 @@ val create :
     never through leaked in-memory state. [telemetry] builds the
     per-incarnation telemetry instance handed to [make_session] (default:
     fresh null instances); give incarnations distinct sinks or tags to keep
-    their traces apart. [weight] is the shard's share of the fleet's records
-    (the router's coverage unit). *)
+    their traces apart. [metrics] (default disabled) is the fleet-shared
+    live metrics registry, handed to every incarnation's broker with the
+    ledger label ["shard<id>"] — metrics handles are concurrent, so one
+    registry serves the whole fleet across domains. [weight] is the shard's
+    share of the fleet's records (the router's coverage unit). *)
 
 val start : t -> (unit, string) result
 (** Boot (or reboot after a crash): spawns the shard domain, joins any

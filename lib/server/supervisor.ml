@@ -1,4 +1,5 @@
 module Telemetry = Pmw_telemetry.Telemetry
+module Metrics = Pmw_telemetry.Metrics
 
 let log_src = Logs.Src.create "pmw.supervisor" ~doc:"PMW serving-fleet shard supervisor"
 
@@ -29,16 +30,23 @@ type watched = {
   mutable w_strikes : int;
   mutable w_restart_at : float;  (** 0. = no restart scheduled *)
   mutable w_last_boot : float;
+  mutable w_restarts : int;  (** successful restarts of this shard *)
+  mutable w_quarantined : int;  (** 0 or 1 — quarantine is terminal *)
 }
 
 type t = {
   cfg : config;
   telemetry : Telemetry.t;
   extra : unit -> (string * int) list;
+  extra_marks : unit -> (string * (string * Telemetry.value) list) list;
   watched : watched array;
   stop_flag : bool Atomic.t;
   n_restarts : int Atomic.t;
   n_quarantines : int Atomic.t;
+  metrics : Metrics.t;
+  m_restarts : Metrics.rate;
+  m_quarantines : Metrics.rate;
+  m_check : Metrics.histogram;
   mutable thread : Thread.t option;
 }
 
@@ -48,13 +56,33 @@ let mirror_counter telemetry name total =
   let prev = Telemetry.counter telemetry name in
   if total > prev then Telemetry.incr ~by:(total - prev) telemetry name
 
+(* The supervisor's own counters are mirrored from the authoritative
+   tallies, never bumped ad hoc at incident sites: incident paths and the
+   heartbeat both call this, and the delta rule makes the combination
+   idempotent — each counter converges on its tally no matter how the two
+   interleave. (The previous scheme emitted directly at incidents, so the
+   fleet-level quarantine counter drifted from its documented name and any
+   future mirror of the same name would have double-counted.) *)
+let mirror_own t =
+  mirror_counter t.telemetry "fleet_shard_restarts" (Atomic.get t.n_restarts);
+  mirror_counter t.telemetry "fleet_quarantined" (Atomic.get t.n_quarantines);
+  Array.iter
+    (fun w ->
+      let id = Shard.id w.w_shard in
+      mirror_counter t.telemetry (Printf.sprintf "shard%d_restarts" id) w.w_restarts;
+      mirror_counter t.telemetry
+        (Printf.sprintf "shard%d_quarantined" id)
+        w.w_quarantined)
+    t.watched
+
 let quarantine_shard t w ~now:_ =
   Shard.quarantine w.w_shard;
   Atomic.incr t.n_quarantines;
+  w.w_quarantined <- 1;
   w.w_restart_at <- 0.;
   let id = Shard.id w.w_shard in
-  Telemetry.incr t.telemetry "fleet_shard_quarantines";
-  Telemetry.incr t.telemetry (Printf.sprintf "shard%d_quarantined" id);
+  Metrics.tick t.m_quarantines;
+  mirror_own t;
   Telemetry.mark t.telemetry "shard.quarantined"
     ~fields:[ ("shard", Telemetry.Int id); ("strikes", Telemetry.Int w.w_strikes) ];
   Log.warn (fun m -> m "shard %d quarantined after %d rapid crashes" id w.w_strikes)
@@ -88,10 +116,11 @@ let handle_crashed t w ~now =
     | Ok () ->
         let boot_s = Unix.gettimeofday () -. t0 in
         Atomic.incr t.n_restarts;
+        w.w_restarts <- w.w_restarts + 1;
         w.w_last_boot <- Unix.gettimeofday ();
         w.w_restart_at <- 0.;
-        Telemetry.incr t.telemetry "fleet_shard_restarts";
-        Telemetry.incr t.telemetry (Printf.sprintf "shard%d_restarts" id);
+        Metrics.tick t.m_restarts;
+        mirror_own t;
         Telemetry.mark t.telemetry "shard.restarted"
           ~fields:
             [
@@ -127,10 +156,18 @@ let heartbeat t =
   in
   Telemetry.mark t.telemetry "fleet.heartbeat"
     ~fields:(("running", Telemetry.Int running) :: fields);
-  List.iter (fun (name, v) -> mirror_counter t.telemetry name v) (t.extra ())
+  mirror_own t;
+  List.iter (fun (name, v) -> mirror_counter t.telemetry name v) (t.extra ());
+  (* Drain marks queued by non-writer threads (the router's fleet.request
+     root spans): the heartbeat is the single telemetry writer, so this is
+     the only place they may be emitted. *)
+  List.iter
+    (fun (name, fields) -> Telemetry.mark t.telemetry name ~fields)
+    (t.extra_marks ())
 
 let monitor t =
   let last_beat = ref 0. in
+  let timed = Metrics.is_enabled t.metrics in
   while not (Atomic.get t.stop_flag) do
     let now = Unix.gettimeofday () in
     Array.iter
@@ -143,6 +180,10 @@ let monitor t =
       last_beat := now;
       heartbeat t
     end;
+    (* supervisor.check_s: one full health pass over the fleet — creeping
+       values here mean the monitor is being starved or a Shard.state lock
+       is contended *)
+    if timed then Metrics.observe t.m_check (Unix.gettimeofday () -. now);
     Thread.delay t.cfg.su_poll_s
   done;
   heartbeat t;
@@ -153,7 +194,8 @@ let monitor t =
         ("quarantines", Telemetry.Int (Atomic.get t.n_quarantines));
       ]
 
-let start ?(config = default_config) ?telemetry ?(extra_counters = fun () -> []) ~shards () =
+let start ?(config = default_config) ?telemetry ?(extra_counters = fun () -> [])
+    ?(extra_marks = fun () -> []) ?(metrics = Metrics.disabled ()) ~shards () =
   let telemetry = match telemetry with Some t -> t | None -> Telemetry.null () in
   let now = Unix.gettimeofday () in
   let t =
@@ -161,13 +203,26 @@ let start ?(config = default_config) ?telemetry ?(extra_counters = fun () -> [])
       cfg = config;
       telemetry;
       extra = extra_counters;
+      extra_marks;
       watched =
         Array.map
-          (fun s -> { w_shard = s; w_strikes = 0; w_restart_at = 0.; w_last_boot = now })
+          (fun s ->
+            {
+              w_shard = s;
+              w_strikes = 0;
+              w_restart_at = 0.;
+              w_last_boot = now;
+              w_restarts = 0;
+              w_quarantined = 0;
+            })
           shards;
       stop_flag = Atomic.make false;
       n_restarts = Atomic.make 0;
       n_quarantines = Atomic.make 0;
+      metrics;
+      m_restarts = Metrics.rate metrics "fleet_restarts";
+      m_quarantines = Metrics.rate metrics "fleet_quarantines";
+      m_check = Metrics.histogram metrics "supervisor.check_s";
       thread = None;
     }
   in

@@ -16,11 +16,16 @@
     mark every [heartbeat_every_s] carrying each shard's state and
     incarnation; ["shard.crashed"] / ["shard.restarted"] /
     ["shard.quarantined"] marks as they happen; counters
-    [fleet_shard_restarts], [fleet_shard_quarantines] and per-shard
-    [shard<i>_restarts] / [shard<i>_quarantined]; plus the router's
-    [fleet_*] counters mirrored on every heartbeat. All of it lands in the
-    written trace, so [pmw_cli stats] reports the fleet's restart history
-    with no extra plumbing. *)
+    [fleet_shard_restarts], [fleet_quarantined] and per-shard
+    [shard<i>_restarts] / [shard<i>_quarantined] — all delta-mirrored from
+    the supervisor's own authoritative tallies (incident paths and the
+    heartbeat may both mirror; the delta rule keeps the combination exact,
+    so these counters always equal the journal-derived restart counts);
+    plus the router's [fleet_*] counters mirrored on every heartbeat, and
+    any [extra_marks] (the router's queued ["fleet.request"] root spans)
+    drained and emitted. All of it lands in the written trace, so
+    [pmw_cli stats] reports the fleet's restart history with no extra
+    plumbing. *)
 
 type config = {
   su_poll_s : float;  (** crash-detection latency bound *)
@@ -44,12 +49,20 @@ val start :
   ?config:config ->
   ?telemetry:Pmw_telemetry.Telemetry.t ->
   ?extra_counters:(unit -> (string * int) list) ->
+  ?extra_marks:
+    (unit -> (string * (string * Pmw_telemetry.Telemetry.value) list) list) ->
+  ?metrics:Pmw_telemetry.Metrics.t ->
   shards:Shard.t array ->
   unit ->
   t
 (** Spawn the monitor thread. [extra_counters] (typically
     {!Router.counters}) is polled on each heartbeat and its deltas emitted
-    into [telemetry] under the same names. *)
+    into [telemetry] under the same names. [extra_marks] (typically
+    {!Router.trace_marks}) is drained on each heartbeat (and once at stop)
+    and each [(name, fields)] emitted as a mark — how trace events produced
+    on non-writer threads reach the fleet trace. [metrics] (default
+    disabled) feeds [fleet_restarts] / [fleet_quarantines] rates and the
+    [supervisor.check_s] health-pass histogram. *)
 
 val stop : t -> unit
 (** Stop monitoring and join the thread (a final heartbeat and counter

@@ -96,13 +96,13 @@ let event_to_json e =
 module Sink = struct
   type t =
     | Null
-    | Ring of { capacity : int; buf : event Queue.t }
+    | Ring of { capacity : int; buf : event Queue.t; mutable dropped : int }
     | Jsonl of { oc : out_channel; owned : bool; mutable closed : bool }
     | Fn of (event -> unit)
     | Multi of t list
 
   let null = Null
-  let ring ?(capacity = 65536) () = Ring { capacity; buf = Queue.create () }
+  let ring ?(capacity = 65536) () = Ring { capacity; buf = Queue.create (); dropped = 0 }
   let jsonl oc = Jsonl { oc; owned = false; closed = false }
 
   let jsonl_file path = Jsonl { oc = open_out path; owned = true; closed = false }
@@ -114,7 +114,12 @@ module Sink = struct
     match sink with
     | Null -> ()
     | Ring r ->
-        if Queue.length r.buf >= r.capacity then ignore (Queue.pop r.buf);
+        if Queue.length r.buf >= r.capacity then begin
+          ignore (Queue.pop r.buf);
+          (* evicting the oldest event is a silent loss unless counted:
+             the losses section of [pmw_cli stats] surfaces this total *)
+          r.dropped <- r.dropped + 1
+        end;
         Queue.push e r.buf
     | Jsonl j ->
         if not j.closed then begin
@@ -128,6 +133,11 @@ module Sink = struct
     | Ring r -> List.of_seq (Queue.to_seq r.buf)
     | Multi sinks -> List.concat_map events sinks
     | Null | Jsonl _ | Fn _ -> []
+
+  let rec drops = function
+    | Ring r -> r.dropped
+    | Multi sinks -> List.fold_left (fun acc s -> acc + drops s) 0 sinks
+    | Null | Jsonl _ | Fn _ -> 0
 
   let rec close = function
     | Jsonl j ->
@@ -209,6 +219,7 @@ let verbose t = t.verbose
 let tag t = t.tag
 let close t = Sink.close t.sink
 let events t = Sink.events t.sink
+let sink_drops t = Sink.drops t.sink
 
 (* Timestamps are clamped non-decreasing, so the emitted stream is monotone
    even if the wall clock steps backwards under the run. *)
@@ -227,11 +238,11 @@ let round t = t.round
 
 (* The instance tag (a per-shard label in fleet serving) rides on every
    emitted event, so a merged multi-instance trace stays attributable. *)
+let tag_fields t fields =
+  match t.tag with None -> fields | Some tag -> ("tag", Str tag) :: fields
+
 let emit t kind name fields =
-  let fields =
-    match t.tag with None -> fields | Some tag -> ("tag", Str tag) :: fields
-  in
-  Sink.emit t.sink { ts = now t; round = t.round; kind; name; fields }
+  Sink.emit t.sink { ts = now t; round = t.round; kind; name; fields = tag_fields t fields }
 
 let mark t ?(fields = []) name = if t.enabled then emit t Mark name fields
 
@@ -359,7 +370,7 @@ let span t ?(fields = []) name f =
         round = t.round;
         kind = Span_begin;
         name;
-        fields = ("id", Int id) :: ("parent", Int parent) :: fields;
+        fields = tag_fields t (("id", Int id) :: ("parent", Int parent) :: fields);
       };
     let finish ok =
       let stop = now t in
@@ -375,7 +386,9 @@ let span t ?(fields = []) name f =
           round = t.round;
           kind = Span_end;
           name;
-          fields = [ ("id", Int id); ("parent", Int parent); ("dur_s", Float dur); ("ok", Bool ok) ];
+          fields =
+            tag_fields t
+              [ ("id", Int id); ("parent", Int parent); ("dur_s", Float dur); ("ok", Bool ok) ];
         }
     in
     match f () with

@@ -74,6 +74,11 @@ module Sink : sig
 
   val events : t -> event list
   (** Buffered events, oldest first (ring sinks only; [[]] otherwise). *)
+
+  val drops : t -> int
+  (** Events evicted by ring sinks to make room for newer ones (summed over
+      [multi]) — the silent-truncation tally surfaced by the losses section
+      of [pmw_cli stats]. *)
 end
 
 type t
@@ -105,6 +110,9 @@ val close : t -> unit
 
 val events : t -> event list
 (** Events buffered by ring sinks of this instance, oldest first. *)
+
+val sink_drops : t -> int
+(** {!Sink.drops} of the attached sink — ring-evicted events. *)
 
 val now : t -> float
 (** Seconds since instance creation, clamped non-decreasing. *)

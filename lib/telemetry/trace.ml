@@ -324,6 +324,172 @@ let validate events =
     events;
   match !problem with None -> Ok () | Some m -> Error m
 
+(* --- fleet stitching (stats --fleet) --- *)
+
+(* One shard-side leg of a routed request: a "server.request" span carrying
+   the router's trace id (and the router span id as parent). The begin event
+   holds the identifying fields; the end event (joined by span id within the
+   same instance's stream) holds duration and outcome. A leg with no end
+   event is a span the shard never closed — a crash mid-request. *)
+type leg = {
+  lg_tag : string;  (* the emitting instance's tag ("shard0"), "?" if untagged *)
+  lg_span : int;
+  lg_parent_span : int;  (* router span id from req_pspan; -1 if absent *)
+  lg_ts : float;
+  lg_dur_s : float option;
+  lg_ok : bool option;
+}
+
+type tree = {
+  tr_trace : string;
+  tr_root : Telemetry.event option;  (* the router's fleet.request mark *)
+  tr_span : int;  (* router span id; -1 when the root is missing *)
+  tr_status : string;
+  tr_shards : int list;  (* covering ids, from the root *)
+  tr_missing : int list;
+  tr_coverage : float option;
+  tr_spent : (float * float) option;
+  tr_legs : leg list;  (* ascending shard-local timestamp *)
+  tr_complete : bool;
+      (* root present, non-empty contributing set, and every contributing
+         shard has a leg *)
+}
+
+let parse_id_list s =
+  if s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.filter_map int_of_string_opt
+    |> List.sort_uniq compare
+
+(* Collect the server.request legs of one instance's event stream, joining
+   span begin/end by id. Only spans stamped with a trace id participate —
+   un-traced requests (direct broker clients) stay out of the forest. *)
+let legs_of_stream events =
+  let open_spans = Hashtbl.create 32 in
+  let legs = ref [] in
+  List.iter
+    (fun e ->
+      match e.Telemetry.kind with
+      | Telemetry.Span_begin when e.Telemetry.name = "server.request" -> (
+          match (int_field e "id", str_field e "trace") with
+          | Some id, Some trace ->
+              let leg =
+                {
+                  lg_tag = Option.value ~default:"?" (str_field e "tag");
+                  lg_span = id;
+                  lg_parent_span = Option.value ~default:(-1) (int_field e "parent_span");
+                  lg_ts = e.Telemetry.ts;
+                  lg_dur_s = None;
+                  lg_ok = None;
+                }
+              in
+              Hashtbl.replace open_spans id (trace, leg)
+          | _ -> ())
+      | Telemetry.Span_end -> (
+          match int_field e "id" with
+          | Some id -> (
+              match Hashtbl.find_opt open_spans id with
+              | Some (trace, leg) ->
+                  Hashtbl.remove open_spans id;
+                  legs :=
+                    ( trace,
+                      {
+                        leg with
+                        lg_dur_s = float_field e "dur_s";
+                        lg_ok =
+                          (match List.assoc_opt "ok" e.Telemetry.fields with
+                          | Some (Telemetry.Bool b) -> Some b
+                          | _ -> None);
+                      } )
+                    :: !legs
+              | None -> ())
+          | None -> ())
+      | _ -> ())
+    events;
+  (* spans left open: the shard died mid-request — keep them, they are the
+     interesting legs *)
+  Hashtbl.iter (fun _ (trace, leg) -> legs := (trace, leg) :: !legs) open_spans;
+  !legs
+
+let stitch ~fleet ~shards =
+  let by_trace = Hashtbl.create 64 in
+  let order = ref [] in
+  let tree_for trace =
+    match Hashtbl.find_opt by_trace trace with
+    | Some t -> t
+    | None ->
+        let t =
+          ref
+            {
+              tr_trace = trace;
+              tr_root = None;
+              tr_span = -1;
+              tr_status = "?";
+              tr_shards = [];
+              tr_missing = [];
+              tr_coverage = None;
+              tr_spent = None;
+              tr_legs = [];
+              tr_complete = false;
+            }
+        in
+        Hashtbl.add by_trace trace t;
+        order := trace :: !order;
+        t
+  in
+  List.iter
+    (fun e ->
+      if e.Telemetry.kind = Telemetry.Mark && e.Telemetry.name = "fleet.request" then
+        match str_field e "trace" with
+        | None -> ()
+        | Some trace ->
+            let t = tree_for trace in
+            let spent =
+              match (float_field e "spent_eps", float_field e "spent_delta") with
+              | Some eps, Some delta -> Some (eps, delta)
+              | _ -> None
+            in
+            t :=
+              {
+                !t with
+                tr_root = Some e;
+                tr_span = Option.value ~default:(-1) (int_field e "span");
+                tr_status = Option.value ~default:"?" (str_field e "status");
+                tr_shards =
+                  Option.value ~default:[] (Option.map parse_id_list (str_field e "shards"));
+                tr_missing =
+                  Option.value ~default:[]
+                    (Option.map parse_id_list (str_field e "missing"));
+                tr_coverage = float_field e "coverage";
+                tr_spent = spent;
+              })
+    fleet;
+  List.iter
+    (fun stream ->
+      List.iter
+        (fun (trace, leg) ->
+          let t = tree_for trace in
+          t := { !t with tr_legs = leg :: !t.tr_legs })
+        (legs_of_stream stream))
+    shards;
+  List.rev_map
+    (fun trace ->
+      let t = !(Hashtbl.find by_trace trace) in
+      let legs = List.sort (fun a b -> compare a.lg_ts b.lg_ts) t.tr_legs in
+      let contributing =
+        List.filter (fun i -> not (List.mem i t.tr_missing)) t.tr_shards
+      in
+      let complete =
+        t.tr_root <> None && contributing <> []
+        && List.for_all
+             (fun i ->
+               List.exists (fun l -> l.lg_tag = Printf.sprintf "shard%d" i) legs)
+             contributing
+      in
+      { t with tr_legs = legs; tr_complete = complete })
+    !order
+
 (* --- aggregation (the CLI's stats table) --- *)
 
 type span_row = { sr_name : string; sr_calls : int; sr_total_s : float; sr_max_s : float }
@@ -419,6 +585,18 @@ let summarize events =
     ledger_rows = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) ledger_tbl []);
     marks = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) marks []);
   }
+
+(* Every overflow/drop counter, whatever layer coined it, ends in _dropped
+   or _drops by convention — one predicate keeps the losses section honest
+   as new counters appear. *)
+let losses s =
+  let ends_with suffix name =
+    let ls = String.length suffix and ln = String.length name in
+    ln >= ls && String.sub name (ln - ls) ls = suffix
+  in
+  List.filter
+    (fun (name, v) -> v > 0 && (ends_with "_dropped" name || ends_with "_drops" name))
+    s.counter_rows
 
 let pp_summary fmt s =
   let open Format in

@@ -50,5 +50,50 @@ type summary = {
 
 val summarize : Telemetry.event list -> summary
 
+val losses : summary -> (string * int) list
+(** Counters recording silent truncation — every counter whose name ends in
+    [_dropped] or [_drops] with a non-zero total (ring-sink evictions,
+    dedup-hit mark drops, router trace-mark spills). The CLI's [stats]
+    prints these in one "losses" section so nothing overflows invisibly. *)
+
 val pp_summary : Format.formatter -> summary -> unit
 (** The per-phase table the CLI's [stats] subcommand prints. *)
+
+(** {1 Fleet stitching}
+
+    [stats --fleet] reconstructs each routed request's causal tree from the
+    router's trace (the ["fleet.request"] root marks the supervisor drained)
+    plus every per-shard trace stream (the ["server.request"] spans stamped
+    with the same trace id). *)
+
+(** One shard-side leg of a routed request. *)
+type leg = {
+  lg_tag : string;  (** emitting instance's tag (["shard0"]); ["?"] if untagged *)
+  lg_span : int;  (** shard-local span id *)
+  lg_parent_span : int;  (** router span id ([req_pspan]); [-1] if absent *)
+  lg_ts : float;  (** shard-local clock — ordering is per-stream only *)
+  lg_dur_s : float option;  (** [None]: span never closed (crash mid-request) *)
+  lg_ok : bool option;
+}
+
+type tree = {
+  tr_trace : string;
+  tr_root : Telemetry.event option;  (** the router's ["fleet.request"] mark *)
+  tr_span : int;  (** router span id; [-1] when the root is missing *)
+  tr_status : string;
+  tr_shards : int list;  (** covering ids from the root *)
+  tr_missing : int list;
+  tr_coverage : float option;
+  tr_spent : (float * float) option;  (** fleet [(ε, δ)] stamped on the answer *)
+  tr_legs : leg list;  (** ascending shard-local timestamp *)
+  tr_complete : bool;
+      (** root present, contributing set non-empty, and every contributing
+          shard has a leg *)
+}
+
+val stitch : fleet:Telemetry.event list -> shards:Telemetry.event list list -> tree list
+(** Join root marks (from the fleet/router trace) with shard legs (one event
+    list per shard trace file, any number of incarnations each) on the trace
+    id. Trees are returned in first-seen order; a tree may lack its root
+    (shard span whose router mark was dropped) or lack legs (fan-out that
+    never reached a shard) — both are diagnostic, not errors. *)

@@ -84,6 +84,8 @@ let req ?rid ?shards ~id ~query () =
     req_query = query;
     req_rid = rid;
     req_shards = shards;
+    req_trace = None;
+    req_pspan = None;
   }
 
 (* --- composition --- *)
@@ -267,6 +269,7 @@ let base_rsp req status =
     rsp_queue_wait_s = None;
     rsp_spent_eps = None;
     rsp_spent_delta = None;
+    rsp_body = None;
   }
 
 let test_client_partial_is_success () =

@@ -180,7 +180,7 @@ let gen_request =
     let* shards = option (list_size (int_bound 5) (int_bound 64)) in
     return
       { Protocol.req_id = id; req_analyst = analyst; req_query = query; req_rid = rid;
-        req_shards = shards })
+        req_shards = shards; req_trace = None; req_pspan = None })
 
 let gen_status =
   QCheck.Gen.(
@@ -223,6 +223,7 @@ let gen_response =
         rsp_queue_wait_s = queue_wait;
         rsp_spent_eps = spent_eps;
         rsp_spent_delta = spent_delta;
+        rsp_body = None;
       })
 
 let qcheck_request_roundtrip =
@@ -295,6 +296,8 @@ let test_frame_limits () =
         req_query = String.make (Protocol.max_line_bytes + 1) 'q';
         req_rid = None;
         req_shards = None;
+        req_trace = None;
+        req_pspan = None;
       }
   in
   (match Protocol.decode_request huge with
@@ -307,7 +310,7 @@ let test_frame_limits () =
 let test_protocol_versioning () =
   let ok =
     Protocol.encode_request
-      { Protocol.req_id = 1; req_analyst = "a"; req_query = "sq"; req_rid = None; req_shards = None }
+      { Protocol.req_id = 1; req_analyst = "a"; req_query = "sq"; req_rid = None; req_shards = None; req_trace = None; req_pspan = None }
   in
   (match Protocol.decode_request ok with
   | Ok _ -> ()
@@ -368,7 +371,7 @@ let test_budget_fits_is_read_only () =
 let submit ?rid broker ~id ~analyst ~query =
   Broker.submit broker
     { Protocol.req_id = id; req_analyst = analyst; req_query = query; req_rid = rid;
-      req_shards = None }
+      req_shards = None; req_trace = None; req_pspan = None }
 
 (* Run [assignments] = (analyst, query names) pairs concurrently through a
    broker, one thread per analyst, serializer on the calling thread (which
@@ -843,7 +846,7 @@ let test_client_timeout_on_stalled_socket () =
     (fun () ->
       let client = Net.Client.connect ~deadline_s:0.2 path in
       let req =
-        { Protocol.req_id = 0; req_analyst = "a"; req_query = "sq"; req_rid = None; req_shards = None }
+        { Protocol.req_id = 0; req_analyst = "a"; req_query = "sq"; req_rid = None; req_shards = None; req_trace = None; req_pspan = None }
       in
       let t0 = Unix.gettimeofday () in
       (match Net.Client.call client req with

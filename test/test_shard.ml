@@ -66,6 +66,8 @@ let req ?rid ?shards ~id ~analyst ~query () =
     req_query = query;
     req_rid = rid;
     req_shards = shards;
+    req_trace = None;
+    req_pspan = None;
   }
 
 let must_start s =
