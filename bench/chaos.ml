@@ -110,6 +110,7 @@ let analyst ?fleet ~running ~proxy_path ~panel ~seed ~dup_prob i =
             req_shards = None;
             req_trace = None;
             req_pspan = None;
+            req_rows = None;
           }
         in
         match Net.Client.call_with_retry ~policy c req with
@@ -251,9 +252,16 @@ let validate_journal ~path ~eps_total ~max_reported_eps ~max_reported_delta =
       let ok = ref (check (not rv.Journal.rv_torn) "journal torn after graceful drain") in
       let tol = 1e-9 *. Float.max 1. eps_total in
       let prev = ref (0., 0.) in
+      (* Lifetime accounting: an Epoch record carries the spend retired into
+         sealed generations; answers after it report base + within-epoch cum. *)
+      let base = ref (0., 0.) in
       List.iter
         (fun r ->
           match r with
+          | Journal.Epoch { je_base_eps; je_base_delta; _ } ->
+              base := (je_base_eps, je_base_delta);
+              prev := (0., 0.)
+          | Journal.Ingest _ -> ()
           | Journal.Debit { jd_mechanism; jd_eps; jd_delta = _; jd_cum_eps; jd_cum_delta } ->
               let pe, pd = !prev in
               ok :=
@@ -279,28 +287,31 @@ let validate_journal ~path ~eps_total ~max_reported_eps ~max_reported_delta =
                   ok := check false "journaled answer seq %d unreadable: %s" ja_seq why && !ok
               | Ok rsp ->
                   let pe, pd = !prev in
+                  let be, bd = !base in
                   Option.iter
                     (fun e ->
                       ok :=
-                        check (pe +. tol >= e)
+                        check
+                          (be +. pe +. tol >= e)
                           "answer seq %d reports spent_eps %.6g but the preceding debit only \
                            covers %.6g"
-                          ja_seq e pe
+                          ja_seq e (be +. pe)
                         && !ok)
                     rsp.Protocol.rsp_spent_eps;
                   Option.iter
                     (fun d ->
                       ok :=
                         check
-                          (pd +. (tol *. 1e-6) >= d)
+                          (bd +. pd +. (tol *. 1e-6) >= d)
                           "answer seq %d reports spent_delta %.3g but the preceding debit only \
                            covers %.3g"
-                          ja_seq d pd
+                          ja_seq d (bd +. pd)
                         && !ok)
                     rsp.Protocol.rsp_spent_delta)
           | Journal.Mark _ -> ())
         rv.Journal.rv_records;
       let cum_eps, cum_delta = rv.Journal.rv_cum in
+      let base_eps, base_delta = rv.Journal.rv_base in
       ok :=
         check
           (cum_eps <= eps_total +. tol)
@@ -308,14 +319,15 @@ let validate_journal ~path ~eps_total ~max_reported_eps ~max_reported_delta =
         && !ok;
       ok :=
         check
-          (cum_eps +. tol >= max_reported_eps)
-          "a client saw spent_eps %.6g but the journal only covers %.6g" max_reported_eps cum_eps
+          (base_eps +. cum_eps +. tol >= max_reported_eps)
+          "a client saw spent_eps %.6g but the journal only covers %.6g" max_reported_eps
+          (base_eps +. cum_eps)
         && !ok;
       ok :=
         check
-          (cum_delta +. (tol *. 1e-6) >= max_reported_delta)
+          (base_delta +. cum_delta +. (tol *. 1e-6) >= max_reported_delta)
           "a client saw spent_delta %.3g but the journal only covers %.3g" max_reported_delta
-          cum_delta
+          (base_delta +. cum_delta)
         && !ok;
       (* server-side byte identity: a rid journaled twice must carry the
          same bytes (it should in fact never be journaled twice at all —
@@ -387,6 +399,7 @@ let fleet_soak ~bin ~dir ~seed ~eps ~n ~k ~shards ~analysts ~cycles ~kill_min ~k
         req_shards = None;
         req_trace = None;
         req_pspan = None;
+        req_rows = None;
       }
   in
   let rng = Splitmix64.create (Int64.of_int (seed + 997)) in
@@ -530,6 +543,444 @@ let fleet_soak ~bin ~dir ~seed ~eps ~n ~k ~shards ~analysts ~cycles ~kill_min ~k
   end;
   exit (if checks_ok then 0 else 1)
 
+(* --- epoch soak (--kill-epoch) ---
+
+   In-process twin-shard soak for the epoch transition protocol: a "chaos"
+   shard and a fault-free "reference" shard are built from identical
+   deterministic constructors (same seeds, same config — only journal paths
+   differ) and driven through the identical request script. Every cycle
+   answers a few queries, ingests rows, rolls the reference's epoch
+   cleanly, then rolls the chaos shard's epoch with a fault injected at one
+   transition step (kill -9, ENOSPC, EIO, torn mid-write — the Epoch fault
+   hook, which is why this soak is in-process), restarts it, and verifies:
+
+     Phase A (fault at Seal_mark or later — the seal checkpoint, or the
+     committed snapshot, survives): recovery must either resume the exact
+     pre-transition state from the seal and re-run the transition, or roll
+     the committed snapshot forward; both are deterministic, so every
+     subsequent answer must match the reference shard bit for bit (status,
+     seq, theta float bits, spent stamps, epoch).
+
+     Phase B (fault before the seal exists): the transition is lost
+     entirely and recovery must land on the whole OLD epoch. In-flight MW
+     state legitimately reverts to the journal account, so the twins
+     diverge and only structural invariants are checked from then on.
+
+   After the last cycle both journals are validated (per-epoch pot bound,
+   debit-before-answer, no rid rewrite), the compacted journal's record
+   count is asserted bounded by the per-epoch script (never total
+   history), and the chaos journal's generation must agree with its epoch
+   snapshot — old or new, never a hybrid. *)
+
+type fault_kind = F_crash | F_enospc | F_eio
+
+let fault_kind_to_string = function
+  | F_crash -> "kill"
+  | F_enospc -> "ENOSPC"
+  | F_eio -> "EIO"
+
+let epoch_fault_plan =
+  let module E = Pmw_server.Epoch in
+  [
+    (* Phase A: seal or snapshot survives; recovery must be exact. *)
+    (E.Seal_mark, F_crash, `A);
+    (E.Snap_write, F_crash, `A);
+    (E.Snap_write_mid, F_crash, `A);
+    (E.Snap_fsync, F_crash, `A);
+    (E.Snap_rename, F_crash, `A);
+    (E.Snap_dirsync, F_crash, `A);
+    (E.New_session, F_crash, `A);
+    (E.Compact_write, F_crash, `A);
+    (E.Compact_write_mid, F_crash, `A);
+    (E.Compact_fsync, F_crash, `A);
+    (E.Compact_rename, F_crash, `A);
+    (E.Compact_dirsync, F_crash, `A);
+    (E.Seal_cleanup, F_crash, `A);
+    (E.Snap_write, F_enospc, `A);
+    (E.Compact_write, F_enospc, `A);
+    (E.Snap_fsync, F_eio, `A);
+    (E.Compact_fsync, F_eio, `A);
+    (E.Seal_mark, F_eio, `A);
+    (* Phase B: pre-seal faults — the whole old epoch must survive. *)
+    (E.Seal_checkpoint, F_crash, `B);
+    (E.Seal_checkpoint, F_enospc, `B);
+  ]
+
+let copy_file src dst =
+  if Sys.file_exists src then begin
+    let ic = open_in_bin src in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let oc = open_out_bin dst in
+    output_string oc s;
+    close_out oc
+  end
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0. else sorted.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+
+let epoch_soak ~dir ~cycles ~json () =
+  let module Universe = Pmw_data.Universe in
+  let module Dataset = Pmw_data.Dataset in
+  let module Histogram = Pmw_data.Histogram in
+  let module Synth = Pmw_data.Synth in
+  let module Losses = Pmw_convex.Losses in
+  let module Domain_ = Pmw_convex.Domain in
+  let module Cm_query = Pmw_core.Cm_query in
+  let module Config = Pmw_core.Config in
+  let module Session = Pmw_session.Session in
+  let module Checkpoint = Pmw_session.Checkpoint in
+  let module Pool = Pmw_parallel.Pool in
+  let module Rng = Pmw_rng.Rng in
+  let module Shard = Pmw_server.Shard in
+  let module Epoch = Pmw_server.Epoch in
+  let t_start = Unix.gettimeofday () in
+  (* Fixture: the small regression setup the server tests use; a generous
+     per-epoch pot so the short per-epoch script never exhausts it. *)
+  let universe = Universe.regression_grid ~d:2 ~levels:5 ~label_levels:5 () in
+  let usize = Universe.size universe in
+  let domain = Domain_.unit_ball ~dim:2 in
+  let eps_pot = 5. in
+  let privacy = Pmw_dp.Params.create ~eps:eps_pot ~delta:1e-5 in
+  let dataset =
+    Synth.linear_regression ~universe ~theta_star:[| 0.5; -0.2 |] ~noise:0.1 ~n:3_000
+      (Rng.create ~seed:7 ())
+  in
+  let config =
+    Config.practical ~universe ~privacy ~alpha:0.02 ~beta:0.05 ~scale:2. ~k:14 ~t_max:8
+      ~solver_iters:120 ()
+  in
+  let panel =
+    [
+      ("sq", Cm_query.make ~name:"sq" ~loss:(Losses.squared ()) ~domain ());
+      ("huber", Cm_query.make ~name:"huber" ~loss:(Losses.huber ~delta:0.5 ()) ~domain ());
+    ]
+  in
+  let resolve name = List.assoc_opt name panel in
+  let base_rows = Dataset.rows dataset in
+  (* Twin constructors: everything (label, seeds, config) identical across
+     the two shards — byte-identity of the survivors depends on it. The
+     session is a pure function of (epoch, absorbed, prior). *)
+  let dataset_at ~epoch ~absorbed =
+    Dataset.create ~epoch universe (Array.append base_rows absorbed)
+  in
+  let mk_session ~epoch ~absorbed ~prior tel =
+    let pool = Pool.create ~domains:1 () in
+    Session.create ~pool ~telemetry:tel ~label:"epoch-twin" ~config
+      ~dataset:(dataset_at ~epoch ~absorbed)
+      ?prior:(Option.map (Histogram.of_weights universe) prior)
+      ~rng:(Rng.create ~seed:(1009 + (31 * epoch)) ())
+      ()
+  in
+  let jpath id = Filename.concat dir (Printf.sprintf "epoch%d.wal" id) in
+  let mk id =
+    Shard.create ~id ~weight:1.0 ~journal_path:(jpath id)
+      ~epoch:
+        {
+          Shard.se_snapshot = jpath id ^ ".epoch";
+          se_every = 0 (* transitions on request only: the script is the clock *);
+          se_row_bound = usize;
+          se_make = mk_session;
+          se_resume =
+            (fun ~absorbed ckpt tel ->
+              let pool = Pool.create ~domains:1 () in
+              Session.resume ~pool ~telemetry:tel ~label:"epoch-twin" ~config
+                ~dataset:(dataset_at ~epoch:ckpt.Checkpoint.epoch ~absorbed)
+                ~rng:(Rng.create ~seed:0 ())
+                ckpt);
+        }
+      ~make_session:(fun tel -> mk_session ~epoch:0 ~absorbed:[||] ~prior:None tel)
+      ~resolve ()
+  in
+  let chaos = mk 0 and refsh = mk 1 in
+  let must_start s what =
+    match Shard.start s with
+    | Ok () -> ()
+    | Error m ->
+        Printf.eprintf "%s shard failed to boot: %s\n" what m;
+        exit 2
+  in
+  must_start chaos "chaos";
+  must_start refsh "reference";
+  let ok = ref true in
+  let diverged = ref false in
+  let max_reported_eps = ref 0. and max_reported_delta = ref 0. in
+  let transitions = ref 0 in
+  let trans_times = ref [] and recov_times = ref [] in
+  let reclaimed = ref 0 in
+  let max_post_records = ref 0 in
+  let wait_for ?(timeout = 30.) pred =
+    let t0 = Unix.gettimeofday () in
+    let rec go () =
+      if pred () then true
+      else if Unix.gettimeofday () -. t0 > timeout then false
+      else begin
+        Thread.delay 0.002;
+        go ()
+      end
+    in
+    go ()
+  in
+  (* Everything nondeterministic (queue wait) is excluded; everything the
+     recovery contract promises (verdict, seq, theta bits, spent stamps,
+     epoch) is compared exactly. *)
+  let canon (r : Protocol.response) =
+    let bits v = Printf.sprintf "%Lx" (Int64.bits_of_float v) in
+    Printf.sprintf "%s seq=%d theta=[%s] src=%s upd=%s eps=%s delta=%s epoch=%s"
+      (Protocol.status_tag r.Protocol.rsp_status)
+      r.Protocol.rsp_seq
+      (match r.Protocol.rsp_theta with
+      | None -> ""
+      | Some th -> String.concat "," (List.map bits (Array.to_list th)))
+      (Option.value ~default:"-" r.Protocol.rsp_source)
+      (match r.Protocol.rsp_update_index with Some i -> string_of_int i | None -> "-")
+      (match r.Protocol.rsp_spent_eps with Some v -> bits v | None -> "-")
+      (match r.Protocol.rsp_spent_delta with Some v -> bits v | None -> "-")
+      (match r.Protocol.rsp_epoch with Some e -> string_of_int e | None -> "-")
+  in
+  let compare_replies ~what rid rc rr =
+    match (rc, rr) with
+    | Some rc, Some rr ->
+        let lc = canon rc and lr = canon rr in
+        ok :=
+          check (String.equal lc lr) "%s %s: twins disagree\n  chaos %s\n  ref   %s" what rid lc
+            lr
+          && !ok
+    | _ ->
+        ok :=
+          check false "%s %s: missing reply (chaos %b, reference %b)" what rid (rc <> None)
+            (rr <> None)
+          && !ok
+  in
+  let mkreq ?rows ~id ~rid ~query () =
+    {
+      Protocol.req_id = id;
+      req_analyst = "epoch-an";
+      req_query = query;
+      req_rid = Some rid;
+      req_shards = None;
+      req_trace = None;
+      req_pspan = None;
+      req_rows = rows;
+    }
+  in
+  let note_spent = function
+    | Some r ->
+        Option.iter (fun e -> max_reported_eps := Float.max !max_reported_eps e)
+          r.Protocol.rsp_spent_eps;
+        Option.iter (fun d -> max_reported_delta := Float.max !max_reported_delta d)
+          r.Protocol.rsp_spent_delta
+    | None -> ()
+  in
+  let plan_len = List.length epoch_fault_plan in
+  for cycle = 1 to cycles do
+    let step, kind, phase = List.nth epoch_fault_plan ((cycle - 1) mod plan_len) in
+    let e0 =
+      match Shard.epoch chaos with
+      | Some e -> e
+      | None ->
+          ok := check false "cycle %d: chaos shard not running at cycle start" cycle && !ok;
+          0
+    in
+    (* a few answered queries (identical script on both twins) *)
+    for j = 1 to 2 do
+      let query = if (cycle + j) mod 2 = 0 then "sq" else "huber" in
+      let rid = Printf.sprintf "c%d-q%d" cycle j in
+      let r = mkreq ~id:((100 * cycle) + j) ~rid ~query () in
+      let rc = Shard.submit chaos r and rr = Shard.submit refsh r in
+      note_spent rc;
+      if not !diverged then compare_replies ~what:"query" rid rc rr
+    done;
+    (* ingest two deterministic rows; absorbed at the transition below *)
+    let rows = [ 17 * cycle mod usize; (17 * cycle + 5) mod usize ] in
+    let ri =
+      mkreq ~rows ~id:(100 * cycle) ~rid:(Printf.sprintf "c%d-ing" cycle) ~query:"ingest" ()
+    in
+    let ic = Shard.submit chaos ri and ir = Shard.submit refsh ri in
+    if not !diverged then compare_replies ~what:"ingest" (Printf.sprintf "c%d-ing" cycle) ic ir;
+    (* reference rolls cleanly (it must finish before the fault hook arms —
+       the hook is process-global) *)
+    (let t0 = Unix.gettimeofday () in
+     let jb = Shard.journal_size refsh in
+     if not (Shard.request_epoch refsh) then
+       ok := check false "cycle %d: reference refused the epoch request" cycle && !ok
+     else if not (wait_for (fun () -> Shard.epoch refsh = Some (e0 + 1))) then
+       ok := check false "cycle %d: reference transition to %d never completed" cycle (e0 + 1) && !ok
+     else begin
+       trans_times := (Unix.gettimeofday () -. t0) :: !trans_times;
+       (* barrier: the epoch becomes visible at the session swap, but the
+          transition tail (compaction, open mark, seal cleanup) is still
+          running on the reference's serializer — and the fault hook is
+          process-global. The seal file is removed immediately after the
+          last probe (Seal_cleanup), so once it is gone the reference can
+          probe no more and the hook below can only catch the chaos twin. *)
+       ok :=
+         check
+           (wait_for (fun () ->
+                not (Sys.file_exists (Epoch.seal_path (jpath 1 ^ ".epoch")))))
+           "cycle %d: reference transition tail never finished (seal still present)" cycle
+         && !ok;
+       match (jb, Shard.journal_size refsh) with
+       | Some (b0, _), Some (b1, r1) ->
+           if b0 > b1 then reclaimed := !reclaimed + (b0 - b1);
+           max_post_records := max !max_post_records r1
+       | _ -> ()
+     end);
+    (* chaos rolls under an injected fault, crashes, restarts, recovers *)
+    if cycle <= 3 then
+      copy_file (jpath 0) (Filename.concat dir (Printf.sprintf "journal.pre-compact.c%d" cycle));
+    let armed = Atomic.make true in
+    Epoch.set_fault_hook (fun s ->
+        if s = step && Atomic.compare_and_set armed true false then
+          match kind with
+          | F_crash -> raise (Epoch.Injected (s, "kill"))
+          | F_enospc -> raise (Unix.Unix_error (Unix.ENOSPC, "write", "injected"))
+          | F_eio -> raise (Unix.Unix_error (Unix.EIO, "fsync", "injected")));
+    if not (Shard.request_epoch chaos) then
+      ok := check false "cycle %d: chaos shard refused the epoch request" cycle && !ok
+    else
+      ok :=
+        check
+          (wait_for (fun () -> Shard.state chaos = Shard.Crashed))
+          "cycle %d: fault %s at %s never crashed the shard" cycle (fault_kind_to_string kind)
+          (Epoch.step_to_string step)
+        && !ok;
+    Epoch.clear_fault_hook ();
+    let t0 = Unix.gettimeofday () in
+    (match Shard.start chaos with
+    | Ok () -> recov_times := (Unix.gettimeofday () -. t0) :: !recov_times
+    | Error m ->
+        ok :=
+          check false "cycle %d: restart after %s at %s failed: %s" cycle
+            (fault_kind_to_string kind) (Epoch.step_to_string step) m
+          && !ok);
+    (match phase with
+    | `A ->
+        (* seal resume or roll forward — either way the new epoch must land *)
+        ok :=
+          check
+            (wait_for (fun () -> Shard.epoch chaos = Some (e0 + 1)))
+            "cycle %d: recovery after %s at %s did not complete epoch %d (hybrid state?)" cycle
+            (fault_kind_to_string kind) (Epoch.step_to_string step) (e0 + 1)
+          && !ok
+    | `B ->
+        (* the whole old epoch, then a clean roll to rejoin the reference *)
+        ok :=
+          check
+            (Shard.epoch chaos = Some e0)
+            "cycle %d: pre-seal fault at %s should recover to old epoch %d but shard is at %s"
+            cycle (Epoch.step_to_string step) e0
+            (match Shard.epoch chaos with Some e -> string_of_int e | None -> "down")
+          && !ok;
+        diverged := true;
+        if not (Shard.request_epoch chaos && wait_for (fun () -> Shard.epoch chaos = Some (e0 + 1)))
+        then ok := check false "cycle %d: clean roll after phase-B recovery never completed" cycle && !ok);
+    incr transitions;
+    if cycle <= 3 then
+      copy_file (jpath 0) (Filename.concat dir (Printf.sprintf "journal.post-compact.c%d" cycle));
+    (* post-recovery: a fresh query and a dedup re-ask must match the twin *)
+    let post_rid = Printf.sprintf "c%d-post" cycle in
+    let rp = mkreq ~id:(100 * cycle + 9) ~rid:post_rid ~query:"sq" () in
+    let pc = Shard.submit chaos rp and pr = Shard.submit refsh rp in
+    note_spent pc;
+    if not !diverged then begin
+      compare_replies ~what:"post-recovery query" post_rid pc pr;
+      let old_rid = Printf.sprintf "c%d-q1" cycle in
+      let ro = mkreq ~id:(100 * cycle + 1) ~rid:old_rid ~query:(if (cycle + 1) mod 2 = 0 then "sq" else "huber") () in
+      compare_replies ~what:"dedup re-ask across compaction" old_rid (Shard.submit chaos ro)
+        (Shard.submit refsh ro)
+    end;
+    Printf.printf "cycle %2d/%d: %s at %-18s -> epoch %d, recovered%s\n%!" cycle cycles
+      (fault_kind_to_string kind)
+      (Epoch.step_to_string step)
+      (match Shard.epoch chaos with Some e -> e | None -> -1)
+      (if phase = `B then " (phase B: old epoch, then clean roll)" else "")
+  done;
+  (* graceful drain, then validate both journals and the epoch agreement *)
+  Shard.stop chaos;
+  Shard.stop refsh;
+  let wall_s = Unix.gettimeofday () -. t_start in
+  let chaos_ok, chaos_records, _ =
+    validate_journal ~path:(jpath 0) ~eps_total:eps_pot ~max_reported_eps:!max_reported_eps
+      ~max_reported_delta:!max_reported_delta
+  in
+  let ref_ok, _, _ =
+    validate_journal ~path:(jpath 1) ~eps_total:eps_pot ~max_reported_eps:0.
+      ~max_reported_delta:0.
+  in
+  (* whole-epoch recovery, never hybrid: the surviving journal's generation
+     must equal the epoch snapshot's *)
+  let agreement_ok =
+    let raw =
+      let ic = open_in_bin (jpath 0) in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    in
+    match
+      ( Journal.replay_string raw,
+        Pmw_server.Epoch.read_snapshot ~path:(jpath 0 ^ ".epoch") )
+    with
+    | Ok rv, Ok (Some snap) ->
+        check
+          (rv.Journal.rv_epoch = snap.Pmw_server.Epoch.sn_epoch)
+          "journal generation %d disagrees with epoch snapshot %d (hybrid state)"
+          rv.Journal.rv_epoch snap.Pmw_server.Epoch.sn_epoch
+    | Ok _, Ok None -> check false "no epoch snapshot survived the soak"
+    | Error m, _ -> check false "chaos journal unreadable at the end: %s" m
+    | _, Error m -> check false "epoch snapshot unreadable at the end: %s" m
+  in
+  (* compaction bound: the journal must scale with one epoch's script, not
+     with total history (~7 records per cycle would leak through otherwise) *)
+  let bound_ok =
+    check (chaos_records <= 24 && !max_post_records <= 24)
+      "journal not bounded by the per-epoch script: %d records now, %d max post-transition"
+      chaos_records !max_post_records
+  in
+  let trans = Array.of_list !trans_times in
+  Array.sort compare trans;
+  let recov = Array.of_list !recov_times in
+  Array.sort compare recov;
+  let recovery_max = if Array.length recov = 0 then 0. else recov.(Array.length recov - 1) in
+  let checks_ok = !ok && chaos_ok && ref_ok && agreement_ok && bound_ok in
+  Printf.printf
+    "epoch soak: %d cycles over %d fault combos, %.1fs wall\n\
+    \  %d transitions (reference p50 %.1f ms, p99 %.1f ms); chaos recovery max %.0f ms\n\
+    \  compaction reclaimed %d bytes; chaos journal %d records (max post-transition %d)\n\
+     %s\n%!"
+    cycles plan_len wall_s !transitions
+    (1e3 *. percentile trans 0.5)
+    (1e3 *. percentile trans 0.99)
+    (recovery_max *. 1e3) !reclaimed chaos_records !max_post_records
+    (if checks_ok then "ALL INVARIANTS HELD" else "INVARIANTS VIOLATED");
+  if json then begin
+    let num v = Protocol.Num v in
+    let int v = Protocol.Num (float_of_int v) in
+    let section =
+      Protocol.Obj
+        [
+          ("generator", Protocol.Str "bench/chaos.exe -- --kill-epoch --json");
+          ("timestamp", Protocol.Str (Bench_json.iso8601_utc ()));
+          ("cycles", int cycles);
+          ("fault_combos", int plan_len);
+          ("wall_s", num wall_s);
+          ("transitions", int !transitions);
+          ("transition_p50_ms", num (1e3 *. percentile trans 0.5));
+          ("transition_p99_ms", num (1e3 *. percentile trans 0.99));
+          ("recovery_max_ms", num (recovery_max *. 1e3));
+          ("compaction_bytes_reclaimed", int !reclaimed);
+          ("journal_records_final", int chaos_records);
+          ("journal_records_max_post_transition", int !max_post_records);
+          ("max_reported_eps", num !max_reported_eps);
+          ("invariants_held", Protocol.Bool checks_ok);
+        ]
+    in
+    Bench_json.merge_section ~path:"BENCH_pmw.json" ~section:"epochs"
+      ~command:"bench/chaos.exe -- --kill-epoch --json" section
+  end;
+  exit (if checks_ok then 0 else 1)
+
 (* --- entry point --- *)
 
 let () =
@@ -546,6 +997,7 @@ let () =
   let kill_max = ref 0.9 in
   let dup_prob = ref 0.35 in
   let kill_shard = ref false in
+  let kill_epoch = ref false in
   let shards = ref 4 in
   let rec parse = function
     | [] -> ()
@@ -561,6 +1013,7 @@ let () =
     | "--kill-max-s" :: v :: rest -> kill_max := float_of_string v; parse rest
     | "--dup-prob" :: v :: rest -> dup_prob := float_of_string v; parse rest
     | "--kill-shard" :: rest -> kill_shard := true; parse rest
+    | "--kill-epoch" :: rest -> kill_epoch := true; parse rest
     | "--shards" :: v :: rest -> shards := int_of_string v; parse rest
     | "--json" :: rest -> json := true; parse rest
     | arg :: _ ->
@@ -568,12 +1021,12 @@ let () =
           "unknown argument %s\n\
            usage: chaos.exe [--cycles N] [--analysts N] [--dir D] [--server-bin PATH]\n\
           \       [--seed S] [--eps E] [--n N] [--k K] [--kill-min-s S] [--kill-max-s S]\n\
-          \       [--dup-prob P] [--kill-shard [--shards N]] [--json]\n"
+          \       [--dup-prob P] [--kill-shard [--shards N]] [--kill-epoch] [--json]\n"
           arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if not (Sys.file_exists !bin) then begin
+  if (not !kill_epoch) && not (Sys.file_exists !bin) then begin
     Printf.eprintf "server binary %s not found (dune build bin/ first)\n" !bin;
     exit 2
   end;
@@ -588,6 +1041,7 @@ let () =
         Sys.mkdir d 0o755;
         d
   in
+  if !kill_epoch then epoch_soak ~dir ~cycles:!cycles ~json:!json ();
   if !kill_shard then
     fleet_soak ~bin:!bin ~dir ~seed:!seed ~eps:!eps ~n:!n ~k:!k ~shards:!shards
       ~analysts:!analysts ~cycles:!cycles ~kill_min:!kill_min ~kill_max:!kill_max ~json:!json ();

@@ -113,7 +113,7 @@ let analyst_loop ~call ~queries ~requests ~deadline ~analyst =
     let name = queries.(!r mod Array.length queries) in
     let req =
       { Protocol.req_id = !r; req_analyst = analyst; req_query = name; req_rid = None;
-        req_shards = None; req_trace = None; req_pspan = None }
+        req_shards = None; req_trace = None; req_pspan = None; req_rows = None }
     in
     let t0 = Unix.gettimeofday () in
     (match call req with

@@ -175,30 +175,108 @@ let run_cmd =
 (* --- ingest --- *)
 
 let ingest_cmd =
-  let doc = "Inspect how a CSV dataset discretizes (Section 1.1 rounding)" in
+  let doc =
+    "Inspect how a CSV dataset discretizes (Section 1.1 rounding), or stream rows into a \
+     running epoch-enabled server (--rows): the rows land in the shards' ingest buffers and \
+     are absorbed into the dataset at each shard's next epoch transition"
+  in
+  let module Net = Pmw_server.Net in
+  let module Protocol = Pmw_server.Protocol in
   let input_arg =
-    Arg.(required & opt (some file) None & info [ "input" ] ~docv:"CSV" ~doc:"Input dataset (features...,label per row)")
+    Arg.(value & opt (some file) None & info [ "input" ] ~docv:"CSV" ~doc:"Input dataset (features...,label per row)")
   in
   let alpha_arg = Arg.(value & opt float 0.1 & info [ "alpha" ] ~doc:"Target accuracy for the grid") in
-  let run input alpha =
-    match
-      (try Ok (Pmw_data.Io.load_dataset ~path:input ~alpha ()) with
-      | Failure m -> Error m
-      | Invalid_argument m -> Error m)
-    with
-    | Error m -> `Error (false, m)
-    | Ok (universe, dataset) ->
-        let d = Pmw_data.Universe.dim universe in
-        let spec = Pmw_data.Continuous.plan ~alpha ~dim:d ~labeled:true () in
-        Printf.printf "loaded %d records, d=%d\nuniverse: %s, |X| = %d\nrounding error bound: %.4f (target alpha %.4f)\n"
-          (Pmw_data.Dataset.size dataset) d
-          (Pmw_data.Universe.name universe)
-          (Pmw_data.Universe.size universe)
-          (Pmw_data.Continuous.rounding_error spec)
-          alpha;
-        `Ok ()
+  let rows_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "rows" ] ~docv:"I,J,..."
+          ~doc:
+            "Universe row indices to stream to the server at --socket. The reply reports rows \
+             accepted this call and rows still pending absorption; retries with the same --rid \
+             are idempotent. Ingest spends no privacy budget.")
   in
-  Cmd.v (Cmd.info "ingest" ~doc) Term.(ret (const run $ input_arg $ alpha_arg))
+  let socket_arg =
+    Arg.(value & opt string "/tmp/pmw.sock" & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix domain socket the server listens on (with --rows)")
+  in
+  let rid_arg =
+    Arg.(value & opt (some string) None & info [ "rid" ] ~docv:"KEY"
+           ~doc:"Idempotency key: retries reusing it re-get the recorded reply (with --rows)")
+  in
+  let analyst_arg =
+    Arg.(value & opt string "ingest" & info [ "analyst" ] ~doc:"Analyst id stamped on the request")
+  in
+  let stream rows socket rid analyst =
+    match
+      (try Ok (Net.Client.connect ~deadline_s:5. socket)
+       with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+    with
+    | Error m -> `Error (false, Printf.sprintf "cannot connect to %s: %s" socket m)
+    | Ok client ->
+        let req =
+          {
+            Protocol.req_id = 1;
+            req_analyst = analyst;
+            req_query = "ingest";
+            req_rid = rid;
+            req_shards = None;
+            req_trace = None;
+            req_pspan = None;
+            req_rows = Some rows;
+          }
+        in
+        let result = Net.Client.call client req in
+        Net.Client.close client;
+        (match result with
+        | Error e -> `Error (false, "ingest failed: " ^ Net.Client.error_to_string e)
+        | Ok rsp -> (
+            match (rsp.Protocol.rsp_status, rsp.Protocol.rsp_theta) with
+            | (Protocol.Answered | Protocol.Partial _), Some th when Array.length th = 2 ->
+                Printf.printf "ingested %d rows: %.0f accepted, %.0f pending absorption%s\n"
+                  (List.length rows) th.(0) th.(1)
+                  (match rsp.Protocol.rsp_epoch with
+                  | Some e -> Printf.sprintf " (oldest live epoch %d)" e
+                  | None -> "");
+                (match rsp.Protocol.rsp_status with
+                | Protocol.Partial { missing_shards; reason; _ } ->
+                    Printf.printf
+                      "  WARNING partial: shards [%s] missed (%s) — retry with the same --rid \
+                       to converge\n"
+                      (String.concat "," (List.map string_of_int missing_shards))
+                      reason
+                | _ -> ());
+                `Ok ()
+            | Protocol.Failed why, _ -> `Error (false, "ingest refused: " ^ why)
+            | status, _ ->
+                `Error
+                  (false, "unexpected ingest reply: " ^ Protocol.status_tag status)))
+  in
+  let run input alpha rows socket rid analyst =
+    match (rows, input) with
+    | Some rows, _ -> stream rows socket rid analyst
+    | None, None ->
+        `Error (false, "one of --rows (stream to a server) or --input (inspect a CSV) is required")
+    | None, Some input -> (
+        match
+          (try Ok (Pmw_data.Io.load_dataset ~path:input ~alpha ()) with
+          | Failure m -> Error m
+          | Invalid_argument m -> Error m)
+        with
+        | Error m -> `Error (false, m)
+        | Ok (universe, dataset) ->
+            let d = Pmw_data.Universe.dim universe in
+            let spec = Pmw_data.Continuous.plan ~alpha ~dim:d ~labeled:true () in
+            Printf.printf "loaded %d records, d=%d\nuniverse: %s, |X| = %d\nrounding error bound: %.4f (target alpha %.4f)\n"
+              (Pmw_data.Dataset.size dataset) d
+              (Pmw_data.Universe.name universe)
+              (Pmw_data.Universe.size universe)
+              (Pmw_data.Continuous.rounding_error spec)
+              alpha;
+            `Ok ())
+  in
+  Cmd.v (Cmd.info "ingest" ~doc)
+    Term.(ret (const run $ input_arg $ alpha_arg $ rows_arg $ socket_arg $ rid_arg $ analyst_arg))
 
 (* --- release --- *)
 
@@ -556,26 +634,46 @@ let serve_cmd =
                    ctl:metrics / ctl:metrics:prom (fleet mode with --chaos-ctl) or watch it with \
                    'pmw_cli top'. Off by default — disabled handles cost one branch per event.")
   in
+  let epoch_every_arg =
+    Arg.(value & opt int 0
+         & info [ "epoch-every" ] ~docv:"ANSWERS"
+             ~doc:"Roll each shard's dataset generation after this many answered queries: seal \
+                   the old epoch behind a checksummed snapshot, absorb ingested rows, re-anchor \
+                   the hypothesis as the new epoch's prior, refresh the budget pot and compact \
+                   the journal. 0 disables automatic rolls (epochs still roll on ctl:epoch:I or \
+                   --epoch-secs). Requires --journal; enables the 'ingest' request path.")
+  in
+  let epoch_secs_arg =
+    Arg.(value & opt float 0.
+         & info [ "epoch-secs" ] ~docv:"SECONDS"
+             ~doc:"Supervisor-driven time windows: ask every running shard to roll its epoch \
+                   this often (0 disables). Requires --journal.")
+  in
   let run workload n k alpha eps delta t_max d seed socket max_batch quota retry_after dir resume
       journal_path ckpt_every dedup_cap fault_spec fault_every fault_seed shards shard_by chaos_ctl
-      fleet_deadline enable_metrics trace =
+      fleet_deadline enable_metrics epoch_every epoch_secs trace =
     let ( let* ) r f = match r with Error m -> `Error (false, m) | Ok v -> f v in
     let* fault =
       match fault_spec with
       | None -> Ok None
       | Some s -> Result.map Option.some (Faulty.fault_of_string s)
     in
+    let epochs = epoch_every > 0 || epoch_secs > 0. in
     if n <= 0 || k <= 0 then `Error (false, "n and k must be positive")
     else if max_batch < 1 then `Error (false, "max-batch must be >= 1")
     else if dedup_cap < 0 then `Error (false, "dedup-cap must be >= 0")
     else if resume && dir = None then `Error (false, "--resume requires --checkpoint-dir")
     else if shards < 1 then `Error (false, "--shards must be >= 1")
-    else if shards > 1 && (dir <> None || resume) then
+    else if epoch_every < 0 || epoch_secs < 0. then
+      `Error (false, "--epoch-every/--epoch-secs must be >= 0")
+    else if epochs && journal_path = None then
+      `Error (false, "epochs need a write-ahead journal: add --journal PATH")
+    else if (shards > 1 || epochs) && (dir <> None || resume) then
       `Error
         ( false,
-          "--checkpoint-dir/--resume are single-broker options; fleet durability is per-shard \
-           journals (--journal)" )
-    else if shards > 1 && fault_spec <> None then
+          "--checkpoint-dir/--resume are single-broker options; fleet/epoch durability is \
+           per-shard journals (--journal) and epoch snapshots" )
+    else if (shards > 1 || epochs) && fault_spec <> None then
       `Error
         ( false,
           "--fault is a single-broker option; fault the fleet with --chaos-ctl and ctl:kill:I" )
@@ -618,19 +716,65 @@ let serve_cmd =
       List.iter
         (fun q -> Hashtbl.replace registry q.Pmw_core.Cm_query.name q)
         w.Common.Workload.queries;
-      if shards > 1 then begin
-        (* Fleet mode: disjoint record blocks, each with its own session,
-           journal and serializer domain, behind a supervised routing tier.
-           Parallel composition gives every shard the full (eps, delta) pot. *)
+      if shards > 1 || epochs then begin
+        (* Fleet mode (also used for a single epoch-rolling shard — the
+           shard lifecycle owns Epoch.recover): disjoint record blocks, each
+           with its own session, journal and serializer domain, behind a
+           supervised routing tier. Parallel composition gives every shard
+           the full (eps, delta) pot. *)
         let* blocks =
           try Ok (Shard.partition dataset ~by:shard_by ~shards)
           with Invalid_argument m -> Error m
         in
         let n_total = float_of_int (Pmw_data.Dataset.size dataset) in
+        let universe = w.Common.Workload.universe in
         let mk_shard i block =
+          let label = Printf.sprintf "shard%d" i in
+          let base_rows = Pmw_data.Dataset.rows block in
+          (* The generation-e dataset of this shard is a pure function of
+             (epoch, absorbed): boot block + every row absorbed so far. The
+             RNG seed is derived from the epoch, so a transition re-run
+             after a crash reconstructs the identical session — the
+             byte-identity the recovery contract rests on. *)
+          let dataset_at ~epoch ~absorbed =
+            Pmw_data.Dataset.create ~epoch universe (Array.append base_rows absorbed)
+          in
+          let oracles pool =
+            [ Pmw_erm.Oracles.noisy_gd ~pool (); Pmw_erm.Oracles.output_perturbation ]
+          in
+          let rng_at epoch =
+            Pmw_rng.Rng.create ~seed:(seed + 7919 + (1000 * (i + 1)) + (104729 * epoch)) ()
+          in
+          let epoch_cfg =
+            match (epochs, journal_path) with
+            | false, _ | _, None -> None
+            | true, Some jp ->
+                Some
+                  {
+                    Shard.se_snapshot = Printf.sprintf "%s.shard%d.epoch" jp i;
+                    se_every = epoch_every;
+                    se_row_bound = Pmw_data.Universe.size universe;
+                    se_make =
+                      (fun ~epoch ~absorbed ~prior tel ->
+                        let pool = Pmw_parallel.Pool.create ~domains:1 () in
+                        Session.create ~pool ~telemetry:tel ~label ~config
+                          ~dataset:(dataset_at ~epoch ~absorbed)
+                          ~oracles:(oracles pool)
+                          ?prior:(Option.map (Pmw_data.Histogram.of_weights universe) prior)
+                          ~rng:(rng_at epoch) ());
+                    se_resume =
+                      (fun ~absorbed ckpt tel ->
+                        let pool = Pmw_parallel.Pool.create ~domains:1 () in
+                        let epoch = ckpt.Checkpoint.epoch in
+                        Session.resume ~pool ~telemetry:tel ~label ~config
+                          ~dataset:(dataset_at ~epoch ~absorbed)
+                          ~oracles:(oracles pool) ~rng:(rng_at epoch) ckpt);
+                  }
+          in
           Shard.create ~id:i
             ~weight:(float_of_int (Pmw_data.Dataset.size block) /. n_total)
             ?journal_path:(Option.map (fun p -> Printf.sprintf "%s.shard%d" p i) journal_path)
+            ?epoch:epoch_cfg
             ~config:
               {
                 Broker.max_batch;
@@ -684,6 +828,8 @@ let serve_cmd =
                 Router.rt_deadline_s = fleet_deadline;
                 rt_retry_after_s = retry_after;
                 rt_allow_ctl = chaos_ctl;
+                rt_ingest_route =
+                  (if epochs then Some (Shard.route ~by:shard_by ~shards) else None);
               }
             ~metrics ~shards:fleet ()
         in
@@ -691,17 +837,23 @@ let serve_cmd =
            pot, and so does the composed fleet view. *)
         Metrics.set_ledger_budget (Metrics.ledger metrics "fleet") ~eps ~delta;
         let supervisor =
-          Supervisor.start ~telemetry
+          Supervisor.start
+            ~config:{ Supervisor.default_config with su_epoch_every_s = epoch_secs }
+            ~telemetry
             ~extra_counters:(fun () -> Router.counters router)
             ~extra_marks:(fun () -> Router.trace_marks router)
             ~metrics ~shards:fleet ()
         in
         let listener = Net.listen ~metrics ~handler:(Router.submit router) ~path:socket () in
-        Printf.printf "serving %s (|X|=%d, n=%d, k=%d) on %s; %d %s shards%s; queries: %s\n%!"
+        Printf.printf "serving %s (|X|=%d, n=%d, k=%d) on %s; %d %s shards%s%s; queries: %s\n%!"
           (Pmw_data.Universe.name w.Common.Workload.universe)
           (Pmw_data.Universe.size w.Common.Workload.universe)
           n k socket shards (Shard.by_to_string shard_by)
           (if chaos_ctl then ", ctl enabled" else "")
+          (if not epochs then ""
+           else
+             Printf.sprintf ", epochs (every %d answers%s)" epoch_every
+               (if epoch_secs > 0. then Printf.sprintf " / %.3gs" epoch_secs else ""))
           (String.concat " "
              (List.map (fun q -> q.Pmw_core.Cm_query.name) w.Common.Workload.queries));
         (* Shard serializers run on their own domains; this thread only
@@ -816,7 +968,7 @@ let serve_cmd =
        $ seed_arg $ socket_arg $ max_batch_arg $ quota_arg $ retry_arg $ dir_arg $ resume_flag
        $ journal_arg $ ckpt_every_arg $ dedup_cap_arg $ fault_arg $ fault_every_arg
        $ fault_seed_arg $ shards_arg $ shard_by_arg $ chaos_ctl_flag $ fleet_deadline_arg
-       $ metrics_flag $ trace_arg))
+       $ metrics_flag $ epoch_every_arg $ epoch_secs_arg $ trace_arg))
 
 (* --- stats --- *)
 
@@ -935,7 +1087,12 @@ let stats_journal_check journal_path reported_of_trace =
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let siblings = fleet_siblings journal_path in
+  let siblings =
+    (* exact .shardN only — not the .shardN.epoch snapshots (or .seal
+       checkpoints) the epoch lifecycle parks next to each journal *)
+    fleet_siblings journal_path
+    |> List.filter (fun (id, path) -> path = Printf.sprintf "%s.shard%d" journal_path id)
+  in
   let journals =
     if siblings = [] && Sys.file_exists journal_path then [ (0, journal_path) ] else siblings
   in
@@ -946,10 +1103,21 @@ let stats_journal_check journal_path reported_of_trace =
         (fun acc (id, path) ->
           match Journal.replay_string (read_file path) with
           | Ok r ->
-              let e, d = r.Journal.rv_cum in
-              Printf.printf "  journal shard%d: cum (eps %.6g, delta %.3e)%s\n" id e d
+              (* Lifetime account: sealed-epoch base plus the live epoch's
+                 cum — a compacted journal says no less than its history. *)
+              let be, bd = r.Journal.rv_base in
+              let ce, cd = r.Journal.rv_cum in
+              let life = (be +. ce, bd +. cd) in
+              Printf.printf "  journal shard%d: epoch %d, cum (eps %.6g, delta %.3e)%s%s%s\n" id
+                r.Journal.rv_epoch (fst life) (snd life)
+                (if r.Journal.rv_epoch > 0 then
+                   Printf.sprintf " = base (%.6g, %.3e) + live (%.6g, %.3e)" be bd ce cd
+                 else "")
+                (match List.length r.Journal.rv_ingest with
+                | 0 -> ""
+                | p -> Printf.sprintf "  [%d rows pending absorption]" p)
                 (if r.Journal.rv_torn then "  [torn tail dropped]" else "");
-              pmax acc r.Journal.rv_cum
+              pmax acc life
           | Error m ->
               Printf.printf "  journal shard%d: unreadable (%s)\n" id m;
               acc)
@@ -1207,6 +1375,7 @@ let top_cmd =
         req_shards = None;
         req_trace = None;
         req_pspan = None;
+        req_rows = None;
       }
     in
     match

@@ -1,17 +1,28 @@
 module Vec = Pmw_linalg.Vec
 
-type t = { universe : Universe.t; rows : int array; mutable hist : Histogram.t option }
+type t = {
+  universe : Universe.t;
+  rows : int array;
+  mutable hist : Histogram.t option;
+  epoch : int;
+}
 
-let create u rows =
+let create ?(epoch = 0) u rows =
   if Array.length rows = 0 then invalid_arg "Dataset.create: empty dataset";
+  if epoch < 0 then invalid_arg "Dataset.create: epoch must be >= 0";
   let n = Universe.size u in
   Array.iter
     (fun i -> if i < 0 || i >= n then invalid_arg "Dataset.create: row index out of range")
     rows;
-  { universe = u; rows; hist = None }
+  { universe = u; rows; hist = None; epoch }
 
 let universe t = t.universe
 let size t = Array.length t.rows
+let epoch t = t.epoch
+
+let with_epoch t epoch =
+  if epoch < 0 then invalid_arg "Dataset.with_epoch: epoch must be >= 0";
+  { t with epoch; hist = t.hist }
 
 let row t i =
   if i < 0 || i >= size t then invalid_arg "Dataset.row: index out of range";
@@ -68,5 +79,51 @@ let concat a b =
     invalid_arg "Dataset.concat: different universes";
   { a with rows = Array.append a.rows b.rows; hist = None }
 
+let advance t extra =
+  let n = Universe.size t.universe in
+  Array.iter
+    (fun i -> if i < 0 || i >= n then invalid_arg "Dataset.advance: row index out of range")
+    extra;
+  {
+    universe = t.universe;
+    rows = Array.append t.rows extra;
+    hist = None;
+    epoch = t.epoch + 1;
+  }
+
 let pp fmt t =
-  Format.fprintf fmt "dataset(n=%d over %s)" (size t) (Universe.name t.universe)
+  Format.fprintf fmt "dataset(n=%d over %s, epoch %d)" (size t) (Universe.name t.universe)
+    t.epoch
+
+(* Append-only staging area for rows that arrived after the dataset was
+   versioned: rows accumulate here (validated against the universe on entry)
+   until an epoch transition drains them into [advance]. The buffer itself
+   is NOT durable — callers that need crash-safety journal each add and
+   rebuild the buffer from the journal on recovery. *)
+module Ingest = struct
+  type buffer = {
+    bu_universe : Universe.t;
+    mutable bu_rows : int list;  (* newest first *)
+    mutable bu_count : int;
+  }
+
+  let create u = { bu_universe = u; bu_rows = []; bu_count = 0 }
+
+  let add b rows =
+    let n = Universe.size b.bu_universe in
+    Array.iter
+      (fun i -> if i < 0 || i >= n then invalid_arg "Ingest.add: row index out of range")
+      rows;
+    Array.iter (fun i -> b.bu_rows <- i :: b.bu_rows) rows;
+    b.bu_count <- b.bu_count + Array.length rows
+
+  let pending b = b.bu_count
+
+  let drain b =
+    let rows = Array.of_list (List.rev b.bu_rows) in
+    b.bu_rows <- [];
+    b.bu_count <- 0;
+    rows
+
+  let peek b = Array.of_list (List.rev b.bu_rows)
+end

@@ -7,11 +7,22 @@
 
 type t
 
-val create : Universe.t -> int array -> t
-(** @raise Invalid_argument on an empty row array or out-of-range indices. *)
+val create : ?epoch:int -> Universe.t -> int array -> t
+(** [epoch] (default 0) is the dataset's version id — see {!epoch}.
+    @raise Invalid_argument on an empty row array, out-of-range indices, or
+    a negative epoch. *)
 
 val universe : t -> Universe.t
 val size : t -> int
+
+val epoch : t -> int
+(** The dataset's version id. A serving system that grows its data in
+    epochs stamps each generation so checkpoints, journals and snapshots
+    can name exactly which [D] they were taken against; 0 means "the only
+    generation" for callers that never version. *)
+
+val with_epoch : t -> int -> t
+(** Same rows, re-stamped. @raise Invalid_argument on a negative epoch. *)
 
 val row : t -> int -> int
 (** Universe index of the [i]-th row. *)
@@ -48,6 +59,34 @@ val subsample : t -> m:int -> Pmw_rng.Rng.t -> t
     exceeds the dataset size or is non-positive. *)
 
 val concat : t -> t -> t
-(** Row-wise concatenation (universes must coincide). *)
+(** Row-wise concatenation (universes must coincide). Keeps [a]'s epoch. *)
+
+val advance : t -> int array -> t
+(** The next dataset generation: the old rows plus the ingested ones, with
+    the epoch id bumped by one. The histogram cache is dropped (the
+    empirical distribution changed). @raise Invalid_argument on
+    out-of-range rows. An empty [extra] is legal — an epoch may roll over
+    purely to refresh budget. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Append-only ingest staging for epoch-versioned serving: rows land here
+    as they arrive and are drained into {!advance} at the next epoch
+    transition. In-memory only — durability is the caller's journal. *)
+module Ingest : sig
+  type buffer
+
+  val create : Universe.t -> buffer
+
+  val add : buffer -> int array -> unit
+  (** @raise Invalid_argument on out-of-range rows (nothing is added). *)
+
+  val pending : buffer -> int
+  (** Rows currently staged. *)
+
+  val drain : buffer -> int array
+  (** All staged rows in arrival order; empties the buffer. *)
+
+  val peek : buffer -> int array
+  (** All staged rows in arrival order, without draining. *)
+end

@@ -3,6 +3,7 @@ module Online = Pmw_core.Online_pmw
 module Cm_query = Pmw_core.Cm_query
 module Budget = Pmw_core.Budget
 module Params = Pmw_dp.Params
+module Histogram = Pmw_data.Histogram
 module Telemetry = Pmw_telemetry.Telemetry
 module Metrics = Pmw_telemetry.Metrics
 
@@ -20,6 +21,45 @@ type config = {
 
 let default_config =
   { max_batch = 16; quota = 0; retry_after_s = 1.; dedup_cap = 4096; checkpoint_every = 0 }
+
+(* Epoch (dataset-generation) support. When configured, the serializer
+   rolls the shard to a new generation — absorbing ingested rows,
+   re-anchoring the hypothesis as the new epoch's prior, refreshing the
+   budget pot, compacting the journal — either every [ep_every] answers or
+   on an explicit [request_epoch]. The whole transition is crash-safe; see
+   Epoch for the protocol and recovery table. *)
+type epoch_config = {
+  ep_snapshot : string;  (* epoch snapshot path (the commit record) *)
+  ep_every : int;  (* answers per epoch before an automatic roll; 0 = only on request *)
+  ep_row_bound : int;  (* exclusive upper bound for ingest row indices (universe size) *)
+  ep_make : epoch:int -> absorbed:int array -> prior:float array option -> Session.t;
+      (* Deterministic constructor for generation [epoch]'s session: seed
+         dataset + [absorbed] rows at that epoch, fresh budget pot,
+         hypothesis re-anchored on [prior]. Recovery re-invokes it with the
+         snapshot's exact inputs, so it MUST be a pure function of them. *)
+}
+
+(* Recovered epoch state (from Epoch.recover) handed in at create. *)
+type epoch_boot = {
+  eb_epoch : int;
+  eb_base : float * float;  (* lifetime (ε, δ) retired into sealed epochs *)
+  eb_absorbed : int array;  (* cumulative ingested rows beyond the seed *)
+  eb_dedup : ((string * string) * string) list;  (* snapshot dedup seed, oldest first *)
+  eb_ingest : int list;  (* journaled-but-unabsorbed rows, oldest first *)
+  eb_resume_transition : bool;
+      (* a seal checkpoint was resumed: a transition was in flight and had
+         not committed — re-run it before serving the first batch *)
+}
+
+let empty_epoch_boot =
+  {
+    eb_epoch = 0;
+    eb_base = (0., 0.);
+    eb_absorbed = [||];
+    eb_dedup = [];
+    eb_ingest = [];
+    eb_resume_transition = false;
+  }
 
 type analyst = {
   an_id : string;
@@ -52,11 +92,24 @@ type pending = {
 }
 
 type t = {
-  session : Session.t;
+  (* [session] and [journal] are written only by the serializer (epoch
+     transitions swap both), read by client threads — all access is under
+     the broker lock. *)
+  mutable session : Session.t;
   resolve : string -> Cm_query.t option;
   cfg : config;
   telemetry : Telemetry.t;
-  journal : Journal.t option;
+  mutable journal : Journal.t option;
+  epoch_cfg : epoch_config option;
+  (* Epoch state; serializer-written, lock-guarded for readers. *)
+  mutable epoch : int;
+  mutable base : float * float;  (* lifetime spend retired into sealed epochs *)
+  mutable absorbed : int array;  (* cumulative ingested rows beyond the seed *)
+  mutable pending_ingest : int list;  (* newest first; absorbed at next transition *)
+  mutable pending_ingest_count : int;
+  mutable epoch_due : bool;  (* request_epoch arrived; roll before the next batch *)
+  mutable epoch_start_seq : int;  (* t.seq when this epoch opened (ep_every counts) *)
+  mutable last_compaction_at : float;
   lock : Mutex.t;
   cond : Condition.t;  (* queue became non-empty, a reply landed, or drain *)
   queue : pending Queue.t;
@@ -105,6 +158,12 @@ type t = {
   m_rej_draining : Metrics.rate;
   m_dedup : Metrics.rate;
   m_ledger : Metrics.ledger;
+  m_epoch : Metrics.gauge;
+  m_journal_bytes : Metrics.gauge;
+  m_journal_records : Metrics.gauge;
+  m_compaction_age : Metrics.gauge;
+  m_transition : Metrics.histogram;
+  m_transitions : Metrics.rate;
 }
 
 let dedup_hit_log_cap = 1024
@@ -121,9 +180,19 @@ let dedup_insert t key line =
   end
 
 let create ?(config = default_config) ?journal ?(recovery = Journal.empty_recovery)
-    ?(metrics = Metrics.disabled ()) ?(metrics_label = "server") ~session ~resolve () =
+    ?(metrics = Metrics.disabled ()) ?(metrics_label = "server") ?epoch
+    ?(epoch_boot = empty_epoch_boot) ~session ~resolve () =
   if config.max_batch < 1 then invalid_arg "Broker.create: max_batch must be >= 1";
   if config.dedup_cap < 0 then invalid_arg "Broker.create: dedup_cap must be >= 0";
+  (match epoch with
+  | Some ec ->
+      if ec.ep_every < 0 then invalid_arg "Broker.create: ep_every must be >= 0";
+      if ec.ep_row_bound < 1 then invalid_arg "Broker.create: ep_row_bound must be >= 1"
+  | None -> ());
+  if Session.epoch session <> epoch_boot.eb_epoch then
+    invalid_arg
+      (Printf.sprintf "Broker.create: session is at dataset epoch %d but the boot says %d"
+         (Session.epoch session) epoch_boot.eb_epoch);
   let telemetry = Session.telemetry session in
   let budget = Session.budget session in
   (* Reconcile the journal against the resumed ledger before serving: any
@@ -154,6 +223,15 @@ let create ?(config = default_config) ?journal ?(recovery = Journal.empty_recove
       cfg = config;
       telemetry;
       journal;
+      epoch_cfg = epoch;
+      epoch = epoch_boot.eb_epoch;
+      base = epoch_boot.eb_base;
+      absorbed = epoch_boot.eb_absorbed;
+      pending_ingest = List.rev epoch_boot.eb_ingest;
+      pending_ingest_count = List.length epoch_boot.eb_ingest;
+      epoch_due = epoch_boot.eb_resume_transition;
+      epoch_start_seq = 0;
+      last_compaction_at = Unix.gettimeofday ();
       lock = Mutex.create ();
       cond = Condition.create ();
       queue = Queue.create ();
@@ -185,15 +263,37 @@ let create ?(config = default_config) ?journal ?(recovery = Journal.empty_recove
       m_rej_draining = Metrics.rate metrics "server_rejected_draining";
       m_dedup = Metrics.rate metrics "server_dedup_hits";
       m_ledger = Metrics.ledger metrics metrics_label;
+      m_epoch = Metrics.gauge metrics "server.epoch";
+      m_journal_bytes = Metrics.gauge metrics "server.journal_bytes";
+      m_journal_records = Metrics.gauge metrics "server.journal_records";
+      m_compaction_age = Metrics.gauge metrics "server.compaction_age_s";
+      m_transition = Metrics.histogram metrics "server.epoch_transition_s";
+      m_transitions = Metrics.rate metrics "server_epoch_transitions";
     }
   in
+  t.epoch_start_seq <- t.seq;
   let total = Budget.total budget in
   Metrics.set_ledger_budget t.m_ledger ~eps:total.Params.eps ~delta:total.Params.delta;
+  (* The ledger feed carries LIFETIME spend — the per-epoch pot plus what
+     sealed epochs retired — so its cumulative stays monotone across
+     transitions (the pot itself resets every epoch). *)
   (let spent = Budget.spent budget in
-   Metrics.ledger_cum t.m_ledger ~eps:spent.Params.eps ~delta:spent.Params.delta
+   let be, bd = t.base in
+   Metrics.ledger_cum t.m_ledger ~eps:(be +. spent.Params.eps) ~delta:(bd +. spent.Params.delta)
      ~debits:(List.length (Budget.history budget)));
-  (* Seed the dedup table with the journal's recorded answers (oldest
-     first, so FIFO eviction keeps the newest when over cap). *)
+  Metrics.set_gauge t.m_epoch (float_of_int t.epoch);
+  (match t.journal with
+  | Some j ->
+      let bytes, records = Journal.size j in
+      Metrics.set_gauge t.m_journal_bytes (float_of_int bytes);
+      Metrics.set_gauge t.m_journal_records (float_of_int records)
+  | None -> ());
+  (* Seed the dedup table: the epoch snapshot's carried answers first (they
+     predate the compacted journal), then the journal's own — oldest first
+     throughout, so FIFO eviction keeps the newest when over cap. *)
+  List.iter
+    (fun ((analyst, rid), line) -> dedup_insert t (dedup_key analyst rid) line)
+    epoch_boot.eb_dedup;
   List.iter
     (fun ((analyst, rid), line) -> dedup_insert t (dedup_key analyst rid) line)
     recovery.Journal.rv_answers;
@@ -252,6 +352,7 @@ let rejected ?retry_after_s req reason =
     rsp_queue_wait_s = None;
     rsp_spent_eps = None;
     rsp_spent_delta = None;
+    rsp_epoch = None;
     rsp_body = None;
   }
 
@@ -292,40 +393,64 @@ let submit t req =
                 dedup_hit ();
                 `Coalesce orig
             | None ->
+                let enqueue () =
+                  st.st_submitted <- st.st_submitted + 1;
+                  let p =
+                    { p_req = req; p_enqueued_at = Unix.gettimeofday (); p_reply = None }
+                  in
+                  Option.iter (fun k -> Hashtbl.replace t.inflight k p) rid_key;
+                  Queue.push p t.queue;
+                  Metrics.tick t.m_admitted;
+                  Metrics.set_gauge t.m_queue_depth (float_of_int (Queue.length t.queue));
+                  Condition.broadcast t.cond;
+                  `Enqueued p
+                in
+                let failed why =
+                  st.st_rejected <- st.st_rejected + 1;
+                  `Rejected { (rejected req why) with Protocol.rsp_status = Protocol.Failed why }
+                in
                 if t.draining || t.stopped then begin
                   Metrics.tick t.m_rej_draining;
                   Atomic.incr t.rejected_draining;
                   st.st_rejected <- st.st_rejected + 1;
                   `Rejected (rejected req "server is draining")
                 end
-                else if t.cfg.quota > 0 && st.st_submitted >= t.cfg.quota then begin
-                  Metrics.tick t.m_rej_quota;
-                  Atomic.incr t.rejected_quota;
-                  st.st_rejected <- st.st_rejected + 1;
-                  `Rejected
-                    (rejected req
-                       (Printf.sprintf "analyst quota of %d queries reached" t.cfg.quota))
-                end
                 else (
-                  match Session.admissible t.session with
-                  | Error why ->
-                      Metrics.tick t.m_rej_budget;
-                      Atomic.incr t.rejected_budget;
-                      st.st_rejected <- st.st_rejected + 1;
-                      `Rejected
-                        (rejected ~retry_after_s:t.cfg.retry_after_s req
-                           ("admission refused: " ^ why))
-                  | Ok () ->
-                      st.st_submitted <- st.st_submitted + 1;
-                      let p =
-                        { p_req = req; p_enqueued_at = Unix.gettimeofday (); p_reply = None }
-                      in
-                      Option.iter (fun k -> Hashtbl.replace t.inflight k p) rid_key;
-                      Queue.push p t.queue;
-                      Metrics.tick t.m_admitted;
-                      Metrics.set_gauge t.m_queue_depth (float_of_int (Queue.length t.queue));
-                      Condition.broadcast t.cond;
-                      `Enqueued p)))
+                  match req.Protocol.req_rows with
+                  | Some rows -> (
+                      (* Ingest: rows spend no privacy (they only change the
+                         data the NEXT epoch answers from), so they bypass
+                         quota and budget admission — but stay rid-idempotent
+                         and draining-refusable like any other request. *)
+                      match t.epoch_cfg with
+                      | None -> failed "ingest is not enabled on this shard"
+                      | Some ec ->
+                          if rows = [] then failed "ingest carried no rows"
+                          else if
+                            List.exists (fun r -> r < 0 || r >= ec.ep_row_bound) rows
+                          then
+                            failed
+                              (Printf.sprintf "ingest rows must lie in [0, %d)" ec.ep_row_bound)
+                          else enqueue ())
+                  | None ->
+                      if t.cfg.quota > 0 && st.st_submitted >= t.cfg.quota then begin
+                        Metrics.tick t.m_rej_quota;
+                        Atomic.incr t.rejected_quota;
+                        st.st_rejected <- st.st_rejected + 1;
+                        `Rejected
+                          (rejected req
+                             (Printf.sprintf "analyst quota of %d queries reached" t.cfg.quota))
+                      end
+                      else (
+                        match Session.admissible t.session with
+                        | Error why ->
+                            Metrics.tick t.m_rej_budget;
+                            Atomic.incr t.rejected_budget;
+                            st.st_rejected <- st.st_rejected + 1;
+                            `Rejected
+                              (rejected ~retry_after_s:t.cfg.retry_after_s req
+                                 ("admission refused: " ^ why))
+                        | Ok () -> enqueue ()))))
   in
   let wait_for p =
     locked t (fun () ->
@@ -372,6 +497,7 @@ let response_of_verdict ~id ~seq ~batch ~queue_wait_s verdict =
       rsp_queue_wait_s = Some queue_wait_s;
       rsp_spent_eps = None;
       rsp_spent_delta = None;
+      rsp_epoch = None;
       rsp_body = None;
     }
   in
@@ -504,28 +630,65 @@ let process_batch t items =
                ]
               @ trace_fields)
             (fun () ->
-              match t.resolve req.Protocol.req_query with
-              | None ->
+              match req.Protocol.req_rows with
+              | Some rows ->
+                  (* Ingest: buffer the rows and journal them — the batch's
+                     fsync below makes them durable before this reply is
+                     published, and replay re-seeds the buffer on recovery.
+                     Absorption into the dataset happens at the next epoch
+                     transition. *)
+                  let rows_a = Array.of_list rows in
+                  t.pending_ingest <- List.rev_append rows t.pending_ingest;
+                  t.pending_ingest_count <- t.pending_ingest_count + Array.length rows_a;
+                  Option.iter
+                    (fun j -> Journal.append j (Journal.Ingest { ji_rows = rows_a }))
+                    t.journal;
                   {
-                    (rejected req ("unknown query " ^ req.Protocol.req_query)) with
-                    Protocol.rsp_seq = seq;
-                    rsp_status = Protocol.Failed ("unknown query " ^ req.Protocol.req_query);
+                    Protocol.rsp_id = req.Protocol.req_id;
+                    rsp_seq = seq;
+                    rsp_status = Protocol.Answered;
+                    rsp_theta =
+                      Some
+                        [|
+                          float_of_int (Array.length rows_a);
+                          float_of_int t.pending_ingest_count;
+                        |];
+                    rsp_source = Some "ingest";
+                    rsp_update_index = None;
                     rsp_batch = Some batch_size;
                     rsp_queue_wait_s = Some queue_wait_s;
+                    rsp_spent_eps = None;
+                    rsp_spent_delta = None;
+                    rsp_epoch = None;
+                    rsp_body = None;
                   }
-              | Some q ->
-                  response_of_verdict ~id:req.Protocol.req_id ~seq ~batch:batch_size ~queue_wait_s
-                    (Session.batch_answer b q))
+              | None -> (
+                  match t.resolve req.Protocol.req_query with
+                  | None ->
+                      {
+                        (rejected req ("unknown query " ^ req.Protocol.req_query)) with
+                        Protocol.rsp_seq = seq;
+                        rsp_status = Protocol.Failed ("unknown query " ^ req.Protocol.req_query);
+                        rsp_batch = Some batch_size;
+                        rsp_queue_wait_s = Some queue_wait_s;
+                      }
+                  | Some q ->
+                      response_of_verdict ~id:req.Protocol.req_id ~seq ~batch:batch_size
+                        ~queue_wait_s (Session.batch_answer b q)))
         in
         if timed then Metrics.observe t.m_request (Unix.gettimeofday () -. t0);
-        (* stamp the ledger cumulative at release so any client-held answer
-           names a spend level the journal must (and does) cover *)
+        (* stamp the LIFETIME ledger cumulative (sealed-epoch base + the
+           current pot) at release so any client-held answer names a spend
+           level the journal — base record plus within-epoch debits — must
+           (and does) cover, and stamp the generation that answered *)
         let spent = Budget.spent budget in
+        let be, bd = t.base in
         let reply =
           {
             reply with
-            Protocol.rsp_spent_eps = Some spent.Params.eps;
-            rsp_spent_delta = Some spent.Params.delta;
+            Protocol.rsp_spent_eps = Some (be +. spent.Params.eps);
+            rsp_spent_delta = Some (bd +. spent.Params.delta);
+            rsp_epoch = Some t.epoch;
           }
         in
         (p, reply, Protocol.encode_response reply))
@@ -558,11 +721,20 @@ let process_batch t items =
       Metrics.set_gauge t.m_queue_depth (float_of_int (Queue.length t.queue));
       Condition.broadcast t.cond);
   (* Burn-rate feed: cumulative totals are idempotent, so reporting after
-     every batch is safe across retries and restarts alike. *)
+     every batch is safe across retries and restarts alike. Lifetime values
+     keep the monotone-CAS ledger honest across epoch pot refreshes. *)
   (let budget = Session.budget t.session in
    let spent = Budget.spent budget in
-   Metrics.ledger_cum t.m_ledger ~eps:spent.Params.eps ~delta:spent.Params.delta
+   let be, bd = t.base in
+   Metrics.ledger_cum t.m_ledger ~eps:(be +. spent.Params.eps) ~delta:(bd +. spent.Params.delta)
      ~debits:(List.length (Budget.history budget)));
+  (match t.journal with
+  | Some j ->
+      let bytes, records = Journal.size j in
+      Metrics.set_gauge t.m_journal_bytes (float_of_int bytes);
+      Metrics.set_gauge t.m_journal_records (float_of_int records)
+  | None -> ());
+  Metrics.set_gauge t.m_compaction_age (Unix.gettimeofday () -. t.last_compaction_at);
   mirror_counters t
 
 let write_checkpoint t ~path ~why =
@@ -576,6 +748,161 @@ let write_checkpoint t ~path ~why =
     ~fields:[ ("path", Telemetry.Str path); ("seq", Telemetry.Int t.seq) ];
   Log.info (fun m -> m "%s checkpoint written to %s (seq %d)" why path t.seq)
 
+(* The current dedup table in FIFO order — what the epoch snapshot carries
+   across a compaction. [dedup_order] tracks the table exactly (push on
+   first insert, pop on evict), so walking it recovers insertion order. *)
+let dedup_entries t =
+  locked t (fun () ->
+      Queue.fold
+        (fun acc key ->
+          match Hashtbl.find_opt t.dedup key with
+          | None -> acc
+          | Some line -> (
+              match String.index_opt key '\x1f' with
+              | None -> acc
+              | Some i ->
+                  let analyst = String.sub key 0 i in
+                  let rid = String.sub key (i + 1) (String.length key - i - 1) in
+                  ((analyst, rid), line) :: acc))
+        [] t.dedup_order
+      |> List.rev)
+
+(* The epoch transition, run on the serializer between batches. Protocol
+   order (every step probed for fault injection; see Epoch):
+
+     seal checkpoint → seal mark → SNAPSHOT COMMIT → new session →
+     journal compaction → seal cleanup
+
+   Any exception — injected crash, simulated or real disk fault — leaves
+   the disk in a state Epoch.recover maps to exactly one whole epoch, and
+   propagates out of [run] so the shard supervisor restarts through real
+   recovery. *)
+let do_transition t ~why =
+  match t.epoch_cfg with
+  | None -> ()
+  | Some ec ->
+      let t0 = Unix.gettimeofday () in
+      let old_epoch = t.epoch in
+      let new_epoch = old_epoch + 1 in
+      Telemetry.span t.telemetry "server.epoch.transition"
+        ~fields:
+          [
+            ("from", Telemetry.Int old_epoch);
+            ("to", Telemetry.Int new_epoch);
+            ("why", Telemetry.Str why);
+          ]
+        (fun () ->
+          let seal = Epoch.seal_path ec.ep_snapshot in
+          (* 1. Seal: the old session's exact state, durably. From here to
+             the commit, recovery resumes this checkpoint and re-runs the
+             transition deterministically — byte-identical outcome. *)
+          Epoch.probe Epoch.Seal_checkpoint;
+          Session.save t.session ~path:seal;
+          Epoch.probe Epoch.Seal_mark;
+          Option.iter
+            (fun j ->
+              Journal.append j (Journal.Mark "epoch.seal");
+              Journal.sync j)
+            t.journal;
+          (* 2. Commit: everything the new generation is made from, behind
+             one atomic rename. *)
+          let rows = List.rev t.pending_ingest in
+          let absorbed = Array.append t.absorbed (Array.of_list rows) in
+          let spent = Budget.spent (Session.budget t.session) in
+          let be, bd = t.base in
+          let base = (be +. spent.Params.eps, bd +. spent.Params.delta) in
+          let prior = Histogram.weights (Session.hypothesis t.session) in
+          Epoch.write_snapshot ~path:ec.ep_snapshot
+            {
+              Epoch.sn_epoch = new_epoch;
+              sn_seq = t.seq;
+              sn_base_eps = fst base;
+              sn_base_delta = snd base;
+              sn_absorbed = absorbed;
+              sn_prior = Some prior;
+              sn_dedup = dedup_entries t;
+              sn_ckpt = None;
+            };
+          (* 3. Roll forward — every step below is redone idempotently by
+             recovery if we die partway. *)
+          Epoch.probe Epoch.New_session;
+          let session' = ec.ep_make ~epoch:new_epoch ~absorbed ~prior:(Some prior) in
+          if Session.epoch session' <> new_epoch then
+            invalid_arg
+              (Printf.sprintf
+                 "Broker: ep_make returned a session at dataset epoch %d, wanted %d"
+                 (Session.epoch session') new_epoch);
+          locked t (fun () ->
+              t.session <- session';
+              t.epoch <- new_epoch;
+              t.base <- base;
+              t.absorbed <- absorbed;
+              t.pending_ingest <- [];
+              t.pending_ingest_count <- 0;
+              t.epoch_start_seq <- t.seq);
+          let reclaimed = ref 0 in
+          (match t.journal with
+          | None -> ()
+          | Some j ->
+              let path = Journal.path j in
+              let bytes_before, _ = Journal.size j in
+              Journal.close j;
+              (* no stale handle if compaction crashes partway *)
+              locked t (fun () -> t.journal <- None);
+              Epoch.compact ~journal_path:path ~epoch:new_epoch ~base ~seq:t.seq;
+              (match Journal.open_journal ~path with
+              | Error why ->
+                  failwith ("epoch transition: journal reopen after compaction: " ^ why)
+              | Ok (j', _) ->
+                  locked t (fun () -> t.journal <- Some j');
+                  let spent' = Budget.spent (Session.budget session') in
+                  Journal.append j' (Journal.Mark "epoch.open");
+                  Journal.append j'
+                    (Journal.Debit
+                       {
+                         jd_mechanism = "baseline";
+                         jd_eps = 0.;
+                         jd_delta = 0.;
+                         jd_cum_eps = spent'.Params.eps;
+                         jd_cum_delta = spent'.Params.delta;
+                       });
+                  Journal.sync j';
+                  t.last_cum <- (spent'.Params.eps, spent'.Params.delta);
+                  let bytes_after, records_after = Journal.size j' in
+                  reclaimed := max 0 (bytes_before - bytes_after);
+                  Metrics.set_gauge t.m_journal_bytes (float_of_int bytes_after);
+                  Metrics.set_gauge t.m_journal_records (float_of_int records_after)));
+          t.last_compaction_at <- Unix.gettimeofday ();
+          Metrics.set_gauge t.m_compaction_age 0.;
+          Epoch.probe Epoch.Seal_cleanup;
+          (try Sys.remove seal with Sys_error _ -> ());
+          let dt = Unix.gettimeofday () -. t0 in
+          Metrics.set_gauge t.m_epoch (float_of_int new_epoch);
+          Metrics.observe t.m_transition dt;
+          Metrics.tick t.m_transitions;
+          Telemetry.incr t.telemetry "server_epoch_transitions";
+          Telemetry.mark t.telemetry "epoch.transition"
+            ~fields:
+              [
+                ("epoch", Telemetry.Int new_epoch);
+                ("why", Telemetry.Str why);
+                ("absorbed_rows", Telemetry.Int (List.length rows));
+                ("base_eps", Telemetry.Float (fst base));
+                ("base_delta", Telemetry.Float (snd base));
+                ("seq", Telemetry.Int t.seq);
+                ("reclaimed_bytes", Telemetry.Int !reclaimed);
+                ("transition_s", Telemetry.Float dt);
+              ];
+          Log.info (fun m ->
+              m "epoch %d -> %d (%s): absorbed %d rows, reclaimed %d journal bytes in %.3fs"
+                old_epoch new_epoch why (List.length rows) !reclaimed dt))
+
+(* An automatic roll is due once the epoch has served [ep_every] answers. *)
+let periodic_epoch_due t =
+  match t.epoch_cfg with
+  | Some ec -> ec.ep_every > 0 && t.seq - t.epoch_start_seq >= ec.ep_every
+  | None -> false
+
 let run ?checkpoint t =
   Telemetry.mark t.telemetry "server.start"
     ~fields:
@@ -584,30 +911,39 @@ let run ?checkpoint t =
         ("quota", Telemetry.Int t.cfg.quota);
         ("journal", Telemetry.Bool (t.journal <> None));
         ("first_seq", Telemetry.Int t.seq);
+        ("epoch", Telemetry.Int t.epoch);
       ];
+  (* A seal resumed at boot means a transition was in flight when we died
+     and had not committed — re-run it before serving anything. *)
   let running = ref true in
   while !running do
-    let batch =
+    let action =
       locked t (fun () ->
-          while Queue.is_empty t.queue && not t.draining do
+          while Queue.is_empty t.queue && not t.draining && not t.epoch_due do
             Condition.wait t.cond t.lock
           done;
-          if Queue.is_empty t.queue then begin
+          if t.epoch_due && not t.draining then begin
+            t.epoch_due <- false;
+            `Transition
+          end
+          else if Queue.is_empty t.queue then begin
             (* draining and nothing left: this is the graceful-drain exit —
                every enqueued request has been answered (and journaled). *)
             t.stopped <- true;
             Condition.broadcast t.cond;
-            []
+            `Stop
           end
           else begin
             let n = min t.cfg.max_batch (Queue.length t.queue) in
-            List.init n (fun _ -> Queue.pop t.queue)
+            `Batch (List.init n (fun _ -> Queue.pop t.queue))
           end)
     in
-    match batch with
-    | [] -> running := false
-    | items ->
+    match action with
+    | `Stop -> running := false
+    | `Transition -> do_transition t ~why:"requested"
+    | `Batch items ->
         process_batch t items;
+        if periodic_epoch_due t then do_transition t ~why:"periodic";
         (match checkpoint with
         | Some path
           when t.cfg.checkpoint_every > 0
@@ -682,8 +1018,42 @@ let aborted t = locked t (fun () -> t.aborted)
 
 let drained t = locked t (fun () -> t.stopped)
 let processed t = locked t (fun () -> t.seq)
-let session t = t.session
+let session t = locked t (fun () -> t.session)
 let dedup_hits t = Atomic.get t.dedup_hits
+let epoch t = locked t (fun () -> t.epoch)
+let epoch_base t = locked t (fun () -> t.base)
+let pending_ingest t = locked t (fun () -> t.pending_ingest_count)
+
+(* Lifetime (ε, δ): what sealed epochs retired plus the current pot's
+   spend — the number an operator compares against a lifetime budget. *)
+let lifetime_spent t =
+  locked t (fun () ->
+      let be, bd = t.base in
+      let s = Budget.spent (Session.budget t.session) in
+      { Params.eps = be +. s.Params.eps; delta = bd +. s.Params.delta })
+
+(* Ask the serializer to roll the epoch before its next batch. False when
+   epochs are not configured. *)
+let request_epoch t =
+  locked t (fun () ->
+      match t.epoch_cfg with
+      | None -> false
+      | Some _ ->
+          if not (t.draining || t.stopped) then begin
+            t.epoch_due <- true;
+            Condition.broadcast t.cond
+          end;
+          not (t.draining || t.stopped))
+
+let journal_size t = locked t (fun () -> Option.map Journal.size t.journal)
+
+(* Compaction swaps the journal handle out from under whoever opened it, so
+   the broker owns closing: callers that passed [?journal] must close via
+   this (after [run] returns), never their original handle. *)
+let close_journal t =
+  locked t (fun () ->
+      Option.iter Journal.close t.journal;
+      t.journal <- None)
 
 let analysts t =
   locked t (fun () ->

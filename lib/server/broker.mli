@@ -76,6 +76,50 @@ type analyst = {
   an_history : (int * string) list;  (** (seq, status tag), oldest first *)
 }
 
+(** Epoch (dataset-generation) lifecycle. When configured, the serializer
+    rolls the shard to a new generation — absorbing ingested rows,
+    re-anchoring the hypothesis as the new epoch's prior (the PMW state is
+    DP, so warm-starting the next generation from it is post-processing),
+    refreshing the budget pot per the window policy, and compacting the
+    write-ahead journal down to one [Epoch] record — either automatically
+    every [ep_every] answers or on {!request_epoch}. The transition is
+    crash-safe end to end; {!Epoch} documents the protocol and the
+    recovery decision table. *)
+type epoch_config = {
+  ep_snapshot : string;  (** epoch snapshot path — the transition's commit record *)
+  ep_every : int;
+      (** answers served per epoch before an automatic roll; [0] means
+          only on {!request_epoch} *)
+  ep_row_bound : int;
+      (** exclusive upper bound for ingest row indices (the universe
+          size); >= 1 *)
+  ep_make : epoch:int -> absorbed:int array -> prior:float array option -> Pmw_session.Session.t;
+      (** deterministic constructor for generation [epoch]'s session: seed
+          dataset + [absorbed] rows stamped with that epoch, a fresh
+          budget pot, hypothesis re-anchored on [prior]. Recovery
+          re-invokes it with the snapshot's exact inputs, so it {b must}
+          be a pure function of them (derive RNG seeds from [epoch], not
+          from wall clock). *)
+}
+
+(** Recovered epoch state ({!Epoch.recover}'s [boot]) handed to {!create}
+    by the shard. All-zero defaults apply when omitted. *)
+type epoch_boot = {
+  eb_epoch : int;  (** must equal the session's dataset epoch *)
+  eb_base : float * float;  (** lifetime [(ε, δ)] retired into sealed epochs *)
+  eb_absorbed : int array;  (** cumulative ingested rows beyond the seed *)
+  eb_dedup : ((string * string) * string) list;
+      (** the snapshot's carried answers, oldest first — seeded {e before}
+          the journal's own (they predate the compaction) *)
+  eb_ingest : int list;  (** journaled-but-unabsorbed rows, oldest first *)
+  eb_resume_transition : bool;
+      (** a seal checkpoint was resumed: a transition was in flight and
+          had not committed — {!run} re-runs it before the first batch,
+          reproducing the uninterrupted outcome byte-for-byte *)
+}
+
+val empty_epoch_boot : epoch_boot
+
 type t
 
 val create :
@@ -84,6 +128,8 @@ val create :
   ?recovery:Journal.recovery ->
   ?metrics:Pmw_telemetry.Metrics.t ->
   ?metrics_label:string ->
+  ?epoch:epoch_config ->
+  ?epoch_boot:epoch_boot ->
   session:Pmw_session.Session.t ->
   resolve:(string -> Pmw_core.Cm_query.t option) ->
   unit ->
@@ -97,13 +143,20 @@ val create :
 
     [metrics] (default disabled) feeds the live metrics plane:
     [server.batch_size] / [server.queue_wait_s] / [server.request_s]
-    histograms, the [server.queue_depth] gauge, [server_admitted] /
-    [server_rejected_*] / [server_dedup_hits] rates, and a per-ledger
+    histograms, the [server.queue_depth] / [server.epoch] /
+    [server.journal_bytes] / [server.journal_records] /
+    [server.compaction_age_s] gauges, [server_admitted] /
+    [server_rejected_*] / [server_dedup_hits] / [server_epoch_transitions]
+    rates, the [server.epoch_transition_s] histogram, and a per-ledger
     privacy burn feed registered under [metrics_label] (default
     ["server"]; the fleet passes ["shard<i>"]) with the session budget's
-    totals declared for the exhaustion forecast. Handles are concurrent, so
-    a fleet's shards safely share one registry.
-    @raise Invalid_argument if [max_batch < 1] or [dedup_cap < 0]. *)
+    totals declared for the exhaustion forecast. The burn feed carries
+    {e lifetime} spend (sealed-epoch base + current pot), keeping its
+    monotone cumulative honest across pot refreshes. Handles are
+    concurrent, so a fleet's shards safely share one registry.
+    @raise Invalid_argument if [max_batch < 1], [dedup_cap < 0], the
+    epoch config is malformed, or the session's dataset epoch disagrees
+    with [epoch_boot]. *)
 
 val submit : t -> Protocol.request -> Protocol.response
 (** Thread-safe, blocking: admission-check, enqueue, and wait for the
@@ -154,5 +207,36 @@ val dedup_hits : t -> int
     in-flight duplicate) so far. *)
 
 val session : t -> Pmw_session.Session.t
+(** The {e current} epoch's session — transitions swap it, so don't cache
+    across epoch boundaries. *)
+
+val epoch : t -> int
+(** Dataset generation currently being served. *)
+
+val epoch_base : t -> float * float
+(** Lifetime [(ε, δ)] retired into sealed epochs (the journal [Epoch]
+    record's base). *)
+
+val lifetime_spent : t -> Pmw_dp.Params.t
+(** Sealed-epoch base plus the current pot's spend — the number to compare
+    against a lifetime budget (and what responses stamp in [rsp_spent_*]). *)
+
+val pending_ingest : t -> int
+(** Rows accepted into the ingest buffer but not yet absorbed (they fold
+    into the dataset at the next transition). *)
+
+val request_epoch : t -> bool
+(** Ask the serializer to roll the epoch before its next batch. [false]
+    when epochs are not configured or the broker is draining/stopped. *)
+
+val journal_size : t -> (int * int) option
+(** [(bytes, records)] of the live journal ({!Journal.size}); [None] when
+    journal-less. *)
+
+val close_journal : t -> unit
+(** Close the broker's {e current} journal handle (call after {!run}
+    returns). Compaction swaps handles, so the one passed to {!create} may
+    be long dead — owners must close through this, never their original. *)
+
 val analysts : t -> analyst list
 (** Snapshot of every analyst ever seen, sorted by id. *)

@@ -15,6 +15,13 @@ type record =
     }
   | Answer of { ja_seq : int; ja_analyst : string; ja_rid : string option; ja_line : string }
   | Mark of string
+  | Epoch of {
+      je_epoch : int;
+      je_base_eps : float;
+      je_base_delta : float;
+      je_seq : int;  (** first unused answer seq, carried across compaction *)
+    }
+  | Ingest of { ji_rows : int array }
 
 type recovery = {
   rv_records : record list;
@@ -24,6 +31,9 @@ type recovery = {
   rv_cum : float * float;
   rv_answers : ((string * string) * string) list;
   rv_max_seq : int;
+  rv_epoch : int;
+  rv_base : float * float;
+  rv_ingest : int list;
 }
 
 let empty_recovery =
@@ -35,6 +45,9 @@ let empty_recovery =
     rv_cum = (0., 0.);
     rv_answers = [];
     rv_max_seq = -1;
+    rv_epoch = 0;
+    rv_base = (0., 0.);
+    rv_ingest = [];
   }
 
 (* Same FNV-1a 64 the checkpoint format uses. *)
@@ -69,6 +82,21 @@ let payload_of_record r =
         :: ((match a.ja_rid with None -> [] | Some rid -> [ ("rid", Protocol.Str rid) ])
            @ [ ("rsp", Protocol.Str a.ja_line) ]))
   | Mark name -> Protocol.Obj [ ("k", Protocol.Str "mark"); ("name", Protocol.Str name) ]
+  | Epoch e ->
+      Protocol.Obj
+        [
+          ("k", Protocol.Str "epoch");
+          ("epoch", int e.je_epoch);
+          ("base_eps", num e.je_base_eps);
+          ("base_delta", num e.je_base_delta);
+          ("seq", int e.je_seq);
+        ]
+  | Ingest i ->
+      Protocol.Obj
+        [
+          ("k", Protocol.Str "ingest");
+          ("rows", Protocol.Arr (Array.to_list (Array.map (fun v -> int v) i.ji_rows)));
+        ]
 
 let field fields name = List.assoc_opt name fields
 let as_str = function Protocol.Str s -> Some s | _ -> None
@@ -113,6 +141,24 @@ let record_of_payload j =
           match Option.bind (field fields "name") as_str with
           | Some name -> Ok (Mark name)
           | None -> Error "journal: malformed mark record")
+      | Some "epoch" -> (
+          match
+            ( Option.bind (field fields "epoch") as_int,
+              Option.bind (field fields "base_eps") as_num,
+              Option.bind (field fields "base_delta") as_num,
+              Option.bind (field fields "seq") as_int )
+          with
+          | Some je_epoch, Some je_base_eps, Some je_base_delta, Some je_seq ->
+              Ok (Epoch { je_epoch; je_base_eps; je_base_delta; je_seq })
+          | _ -> Error "journal: malformed epoch record")
+      | Some "ingest" -> (
+          match field fields "rows" with
+          | Some (Protocol.Arr items) ->
+              let vals = List.map as_int items in
+              if List.for_all Option.is_some vals then
+                Ok (Ingest { ji_rows = Array.of_list (List.map Option.get vals) })
+              else Error "journal: malformed ingest record"
+          | _ -> Error "journal: malformed ingest record")
       | Some other -> Error (Printf.sprintf "journal: unknown record kind %S" other)
       | None -> Error "journal: record has no kind")
   | _ -> Error "journal: record is not a JSON object"
@@ -140,6 +186,9 @@ let summarize ?tail_kind records torn dropped =
   let cum = ref (0., 0.) in
   let answers = ref [] in
   let max_seq = ref (-1) in
+  let epoch = ref 0 in
+  let base = ref (0., 0.) in
+  let ingest = ref [] in
   List.iter
     (fun r ->
       match r with
@@ -147,7 +196,18 @@ let summarize ?tail_kind records torn dropped =
       | Answer a ->
           if a.ja_seq > !max_seq then max_seq := a.ja_seq;
           Option.iter (fun rid -> answers := ((a.ja_analyst, rid), a.ja_line) :: !answers) a.ja_rid
-      | Mark _ -> ())
+      | Mark _ -> ()
+      | Epoch e ->
+          (* A compacted journal starts with its Epoch record; everything
+             after it belongs to that generation, so the within-epoch
+             summaries reset here (defensive — compaction rewrites the file,
+             so records never precede an Epoch line in practice). *)
+          epoch := e.je_epoch;
+          base := (e.je_base_eps, e.je_base_delta);
+          if e.je_seq - 1 > !max_seq then max_seq := e.je_seq - 1;
+          cum := (0., 0.);
+          ingest := []
+      | Ingest i -> Array.iter (fun v -> ingest := v :: !ingest) i.ji_rows)
     records;
   {
     rv_records = records;
@@ -157,6 +217,9 @@ let summarize ?tail_kind records torn dropped =
     rv_cum = !cum;
     rv_answers = List.rev !answers;
     rv_max_seq = !max_seq;
+    rv_epoch = !epoch;
+    rv_base = !base;
+    rv_ingest = List.rev !ingest;
   }
 
 (* Best-effort classification of a dropped tail. The checksum failed (or
@@ -205,7 +268,13 @@ let replay_string s =
 
 (* --- file handle --- *)
 
-type t = { jt_path : string; jt_fd : Unix.file_descr; mutable jt_closed : bool }
+type t = {
+  jt_path : string;
+  jt_fd : Unix.file_descr;
+  mutable jt_closed : bool;
+  mutable jt_bytes : int;  (* valid on-disk bytes after open-time truncation *)
+  mutable jt_records : int;
+}
 
 (* EINTR means nothing was written (the process installs signal
    handlers), so retrying keeps the single-write(2)-per-record framing. *)
@@ -244,13 +313,25 @@ let open_journal ~path =
         end;
         fd
       with
-      | fd -> Ok ({ jt_path = path; jt_fd = fd; jt_closed = false }, recovery)
+      | fd ->
+          Ok
+            ( {
+                jt_path = path;
+                jt_fd = fd;
+                jt_closed = false;
+                jt_bytes = String.length content - recovery.rv_dropped_bytes;
+                jt_records = List.length recovery.rv_records;
+              },
+              recovery )
       | exception Unix.Unix_error (e, _, _) ->
           Error (Printf.sprintf "journal: cannot open %s: %s" path (Unix.error_message e)))
 
 let append t r =
   if t.jt_closed then invalid_arg "Journal.append: journal is closed";
-  write_all t.jt_fd (record_to_string r ^ "\n")
+  let line = record_to_string r ^ "\n" in
+  write_all t.jt_fd line;
+  t.jt_bytes <- t.jt_bytes + String.length line;
+  t.jt_records <- t.jt_records + 1
 
 let sync t = if not t.jt_closed then Unix.fsync t.jt_fd
 
@@ -262,6 +343,7 @@ let close t =
   end
 
 let path t = t.jt_path
+let size t = (t.jt_bytes, t.jt_records)
 
 (* --- ledger reconciliation --- *)
 

@@ -47,7 +47,25 @@ type record =
       ja_rid : string option;  (** client idempotency key, when stamped *)
       ja_line : string;  (** the exact encoded response line released *)
     }
-  | Mark of string  (** ["start"], ["checkpoint"], ["drain"] *)
+  | Mark of string  (** ["start"], ["checkpoint"], ["drain"], ["epoch.seal"] *)
+  | Epoch of {
+      je_epoch : int;  (** dataset generation the records after this line serve *)
+      je_base_eps : float;
+          (** lifetime [ε] retired into sealed epochs — the shard's true
+              cumulative spend is [base + rv_cum] *)
+      je_base_delta : float;
+      je_seq : int;
+          (** next answer seq at the compaction point, so seq stays monotone
+              across epochs even though the Answer records that proved it
+              were compacted away *)
+    }
+      (** First line of a compacted journal (written by [Epoch.compact]);
+          everything after it belongs to generation [je_epoch]. *)
+  | Ingest of { ji_rows : int array }
+      (** Rows accepted into the ingest buffer — durable before the ingest
+          reply is released (the batch [sync] covers them), replayed into
+          the buffer on recovery, absorbed into the dataset at the next
+          epoch transition. *)
 
 type recovery = {
   rv_records : record list;  (** valid records, oldest first *)
@@ -64,7 +82,16 @@ type recovery = {
   rv_answers : ((string * string) * string) list;
       (** [((analyst, rid), response-line)] for every rid-stamped answer,
           oldest first — the dedup seed *)
-  rv_max_seq : int;  (** highest journaled [seq]; [-1] if none *)
+  rv_max_seq : int;
+      (** highest journaled [seq] (an [Epoch] record's [je_seq - 1] counts);
+          [-1] if none *)
+  rv_epoch : int;  (** the journal's generation ([Epoch] record; 0 if none) *)
+  rv_base : float * float;
+      (** [(ε, δ)] retired into sealed epochs ([Epoch] record; [(0,0)] if
+          none) — lifetime spend is [rv_base + rv_cum] coordinate-wise *)
+  rv_ingest : int list;
+      (** rows from [Ingest] records since the last epoch boundary, oldest
+          first — the ingest-buffer seed *)
 }
 
 val empty_recovery : recovery
@@ -93,6 +120,12 @@ val close : t -> unit
 
 val path : t -> string
 
+val size : t -> int * int
+(** [(bytes, records)] currently on disk (valid content only — an
+    open-time torn tail is excluded). Tracked incrementally, so this is
+    free to poll; it is what the journal-size gauges and the compaction
+    bound checks read. *)
+
 val reconcile : recovery -> budget:Pmw_core.Budget.t -> float * float
 (** Quarantine the journal's spend into a resumed ledger: debit
     [max(0, rv_cum − Budget.spent budget)] coordinate-wise under the
@@ -104,3 +137,8 @@ val reconcile : recovery -> budget:Pmw_core.Budget.t -> float * float
 val record_to_string : record -> string
 (** The full journal line for a record (checksum prefix included, no
     trailing newline) — exposed for tests. *)
+
+val record_of_line : string -> (record, string) result
+(** Parse (and checksum-verify) one journal line. The epoch snapshot
+    embeds its dedup seed as journal [Answer] lines so both artifacts
+    agree byte-for-byte on what a recorded answer looks like. *)

@@ -102,6 +102,7 @@ let error_line id why =
       rsp_queue_wait_s = None;
       rsp_spent_eps = None;
       rsp_spent_delta = None;
+      rsp_epoch = None;
       rsp_body = None;
     }
 

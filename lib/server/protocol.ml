@@ -287,6 +287,7 @@ type request = {
   req_shards : int list option;
   req_trace : string option;
   req_pspan : int option;
+  req_rows : int list option;
 }
 
 type status =
@@ -313,6 +314,7 @@ type response = {
   rsp_queue_wait_s : float option;
   rsp_spent_eps : float option;
   rsp_spent_delta : float option;
+  rsp_epoch : int option;
   rsp_body : string option;
 }
 
@@ -351,7 +353,10 @@ let encode_request r =
             | Some ids ->
                 [ ("shards", Arr (List.map (fun i -> Num (float_of_int i)) ids)) ])
           @ (match r.req_trace with None -> [] | Some tr -> [ ("trace", Str tr) ])
-          @ match r.req_pspan with None -> [] | Some p -> [ ("pspan", Num (float_of_int p)) ])))
+          @ (match r.req_pspan with None -> [] | Some p -> [ ("pspan", Num (float_of_int p)) ])
+          @ match r.req_rows with
+            | None -> []
+            | Some rows -> [ ("rows", Arr (List.map (fun v -> Num (float_of_int v)) rows)) ])))
 
 let decode_request line =
   Result.bind (frame_check "request" line) (fun () ->
@@ -377,9 +382,19 @@ let decode_request line =
                       | Some _ ->
                           Error "request field \"shards\" must be an array of integers"
                     in
-                    match shards with
-                    | Error why -> Error why
-                    | Ok shards ->
+                    let rows =
+                      match field fields "rows" with
+                      | None -> Ok None
+                      | Some (Arr items) ->
+                          let vals = List.map as_int items in
+                          if List.for_all Option.is_some vals then
+                            Ok (Some (List.map Option.get vals))
+                          else Error "request field \"rows\" must be an array of integers"
+                      | Some _ -> Error "request field \"rows\" must be an array of integers"
+                    in
+                    match (shards, rows) with
+                    | Error why, _ | _, Error why -> Error why
+                    | Ok shards, Ok rows ->
                         Ok
                           {
                             req_id = id;
@@ -389,6 +404,7 @@ let decode_request line =
                             req_shards = shards;
                             req_trace = Option.bind (field fields "trace") as_str;
                             req_pspan = Option.bind (field fields "pspan") as_int;
+                            req_rows = rows;
                           })
                 | None, _, _ -> Error "request is missing integer field \"id\""
                 | _, None, _ -> Error "request is missing string field \"analyst\""
@@ -435,7 +451,8 @@ let encode_response r =
                       (opt "queue_wait_s" num r.rsp_queue_wait_s
                          (opt "spent_eps" num r.rsp_spent_eps
                             (opt "spent_delta" num r.rsp_spent_delta
-                               (opt "body" (fun s -> Str s) r.rsp_body []))))))))))
+                               (opt "epoch" int r.rsp_epoch
+                                  (opt "body" (fun s -> Str s) r.rsp_body [])))))))))))
 
 let decode_response line =
   Result.bind (frame_check "response" line) (fun () ->
@@ -519,6 +536,7 @@ let decode_response line =
                         rsp_queue_wait_s = Option.bind (field fields "queue_wait_s") as_num;
                         rsp_spent_eps = Option.bind (field fields "spent_eps") as_num;
                         rsp_spent_delta = Option.bind (field fields "spent_delta") as_num;
+                        rsp_epoch = Option.bind (field fields "epoch") as_int;
                         rsp_body = Option.bind (field fields "body") as_str;
                       }
                 | None, _ -> Error "response is missing integer field \"id\""

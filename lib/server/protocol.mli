@@ -84,6 +84,12 @@ type request = {
       (** parent span id in the {e caller's} span stream — on a router
           fan-out this is the router-side span, so [pmw_cli stats --fleet]
           can stitch per-shard spans under the fleet-level request *)
+  req_rows : int list option;
+      (** ingest: universe row indices to append to the dataset's ingest
+          buffer (absorbed at the next epoch transition). Requests carrying
+          rows skip quota/budget admission — ingest spends no privacy — and
+          answer with [theta = [|accepted; pending|]]. Idempotent under
+          [rid] like any other request. *)
 }
 (** Integers travel as JSON numbers — IEEE doubles — so ids must fit the
     exactly representable range [±2^53]; larger values are silently rounded
@@ -121,6 +127,10 @@ type response = {
   rsp_spent_eps : float option;
       (** ledger cumulative ε when this answer was released *)
   rsp_spent_delta : float option;  (** ledger cumulative δ, same instant *)
+  rsp_epoch : int option;
+      (** dataset generation that served this answer; on a fleet compose,
+          the {e minimum} across contributing shards (skew is surfaced in
+          the status) *)
   rsp_body : string option;
       (** opaque payload for ctl-plane answers that don't fit the numeric
           [theta] channel — [ctl:metrics] returns its JSON snapshot (or

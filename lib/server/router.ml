@@ -6,9 +6,18 @@ let log_src = Logs.Src.create "pmw.router" ~doc:"PMW serving-fleet routing tier"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type config = { rt_deadline_s : float; rt_retry_after_s : float; rt_allow_ctl : bool }
+type config = {
+  rt_deadline_s : float;
+  rt_retry_after_s : float;
+  rt_allow_ctl : bool;
+  rt_ingest_route : (int -> int) option;
+      (* row value -> owning shard id, mirroring the fleet's partition key
+         (hash sharding routes by the same mix; block sharding appends to a
+         designated shard). None = ingest not routable at this tier. *)
+}
 
-let default_config = { rt_deadline_s = 5.; rt_retry_after_s = 0.25; rt_allow_ctl = false }
+let default_config =
+  { rt_deadline_s = 5.; rt_retry_after_s = 0.25; rt_allow_ctl = false; rt_ingest_route = None }
 
 (* Pending fleet.request trace marks are capped: a fleet under load with no
    supervisor draining them must not grow the list without bound. Overflow
@@ -150,6 +159,7 @@ let base_response req ~seq status =
     rsp_queue_wait_s = None;
     rsp_spent_eps = None;
     rsp_spent_delta = None;
+    rsp_epoch = None;
     rsp_body = None;
   }
 
@@ -195,12 +205,27 @@ let ctl t req =
   | "ctl:spent" ->
       let s = fleet_spent t in
       ok [| s.Params.eps; s.Params.delta |]
+  | "ctl:epochs" ->
+      (* per-shard dataset generation; -1 for shards that are down (their
+         epoch is only knowable from their snapshot, which lives shard-side) *)
+      ok
+        (Array.map
+           (fun s -> match Shard.epoch s with Some e -> float_of_int e | None -> -1.)
+           t.shards)
   | q when String.length q > 9 && String.sub q 0 9 = "ctl:kill:" -> (
       match int_of_string_opt (String.sub q 9 (String.length q - 9)) with
       | Some i when i >= 0 && i < Array.length t.shards ->
           if Shard.kill t.shards.(i) then ok [| 1. |]
           else fail (Printf.sprintf "shard %d is not running" i)
       | _ -> fail ("bad ctl kill target in " ^ q))
+  | q when String.length q > 10 && String.sub q 0 10 = "ctl:epoch:" -> (
+      (* operator-triggered epoch roll: asynchronous, the shard's serializer
+         transitions before its next batch; poll ctl:epochs to observe it *)
+      match int_of_string_opt (String.sub q 10 (String.length q - 10)) with
+      | Some i when i >= 0 && i < Array.length t.shards ->
+          if Shard.request_epoch t.shards.(i) then ok [| 1. |]
+          else fail (Printf.sprintf "shard %d cannot roll its epoch (down or epochs not configured)" i)
+      | _ -> fail ("bad ctl epoch target in " ^ q))
   | q -> fail ("unknown ctl query " ^ q)
 
 (* --- covering set --- *)
@@ -377,6 +402,31 @@ let compose t req ~ids results =
               },
             Some acc )
   in
+  (* Epoch accounting: the composed answer is stamped with the OLDEST
+     generation that contributed (a fleet answer is only as fresh as its
+     stalest shard), and a mixed-generation blend is surfaced as degradation
+     — the weighted average then spans datasets that disagree about which
+     ingested rows exist, which the caller must be able to see. *)
+  let epochs =
+    List.filter_map (fun (_, rsp, _) -> rsp.Protocol.rsp_epoch) contributing
+  in
+  let rsp_epoch =
+    match epochs with [] -> None | e :: rest -> Some (List.fold_left min e rest)
+  in
+  let status =
+    match (epochs, rsp_epoch) with
+    | _ :: _ :: _, Some lo ->
+        let hi = List.fold_left max lo epochs in
+        if hi = lo then status
+        else
+          let skew = Printf.sprintf "epoch skew: shards span generations %d..%d" lo hi in
+          (match status with
+          | Protocol.Answered -> Protocol.Degraded skew
+          | Protocol.Degraded why -> Protocol.Degraded (why ^ "; " ^ skew)
+          | Protocol.Partial p -> Protocol.Partial { p with reason = p.reason ^ "; " ^ skew }
+          | s -> s)
+    | _ -> status
+  in
   (match status with
   | Protocol.Answered ->
       Atomic.incr t.n_answered;
@@ -421,6 +471,7 @@ let compose t req ~ids results =
     rsp_queue_wait_s = queue_wait;
     rsp_spent_eps = Some spent.Params.eps;
     rsp_spent_delta = Some spent.Params.delta;
+    rsp_epoch;
   }
 
 (* One "fleet.request" trace mark per routed request — the root span of the
@@ -462,6 +513,158 @@ let record_request t ~trace ~span ~ids ~t0 req rsp =
   in
   push_mark t fields
 
+(* --- ingest fan-out --- *)
+
+(* An ingest request is routed by row content, not by the caller's shard
+   scope: each row goes to the shard that owns it under the fleet's
+   partition key (rt_ingest_route), the same assignment {!Shard.partition}
+   made at boot — anything else would break the disjointness that parallel
+   composition rests on. Sub-requests reuse the caller's rid with a ":s<i>"
+   suffix so a client retry re-hits each shard's dedup entry independently:
+   shards that already accepted re-serve their recorded reply, shards that
+   missed the first attempt accept now, and the retry converges without
+   double-buffering any row. *)
+let ingest t req rows ~trace ~span ~t0 =
+  let seq () = Atomic.fetch_and_add t.seq 1 in
+  let failed why =
+    Atomic.incr t.n_failed;
+    Metrics.tick t.m_failed;
+    let rsp =
+      { (base_response req ~seq:(seq ()) (Protocol.Failed why)) with
+        Protocol.rsp_source = Some "fleet";
+      }
+    in
+    record_request t ~trace ~span ~ids:[] ~t0 req rsp;
+    rsp
+  in
+  match t.cfg.rt_ingest_route with
+  | None -> failed "ingest is not routable at the fleet tier (no partition key configured)"
+  | Some route -> (
+      let n = Array.length t.shards in
+      let buckets = Array.make n [] in
+      let bad = ref None in
+      List.iter
+        (fun r ->
+          if !bad = None then begin
+            let s = route r in
+            if s < 0 || s >= n then bad := Some (r, s)
+            else buckets.(s) <- r :: buckets.(s)
+          end)
+        rows;
+      match !bad with
+      | Some (r, s) ->
+          failed
+            (Printf.sprintf "row %d routed to shard %d outside the %d-shard fleet" r s n)
+      | None ->
+          let ids =
+            List.filter (fun i -> buckets.(i) <> []) (List.init n Fun.id)
+          in
+          if ids = [] then failed "ingest request carries no rows"
+          else begin
+            let sub_req i =
+              {
+                req with
+                Protocol.req_shards = None;
+                req_rows = Some (List.rev buckets.(i));
+                req_rid =
+                  Option.map (fun rid -> Printf.sprintf "%s:s%d" rid i) req.Protocol.req_rid;
+              }
+            in
+            (* parallel legs, joined unconditionally: a down shard's submit
+               returns None immediately, a live one answers at admission
+               speed (ingest replies do not wait on solver work) *)
+            let results = Array.make n None in
+            let threads =
+              List.map
+                (fun i ->
+                  Thread.create
+                    (fun () ->
+                      results.(i) <- (try Shard.submit t.shards.(i) (sub_req i) with _ -> None))
+                    ())
+                ids
+            in
+            List.iter Thread.join threads;
+            let contributing, missing =
+              List.partition_map
+                (fun i ->
+                  match results.(i) with
+                  | Some ({ Protocol.rsp_status = Protocol.Answered; rsp_theta = Some th; _ } as rsp)
+                    when Array.length th = 2 ->
+                      Either.Left (i, rsp, th)
+                  | Some rsp ->
+                      Either.Right
+                        { m_id = i; m_why = Protocol.status_tag rsp.Protocol.rsp_status;
+                          m_retry = None }
+                  | None ->
+                      Either.Right
+                        {
+                          m_id = i;
+                          m_why = Shard.state_to_string (Shard.state t.shards.(i));
+                          m_retry = None;
+                        })
+                ids
+            in
+            let accepted =
+              List.fold_left (fun a (_, _, th) -> a +. th.(0)) 0. contributing
+            in
+            let pending =
+              List.fold_left (fun a (_, _, th) -> a +. th.(1)) 0. contributing
+            in
+            let epochs =
+              List.filter_map (fun (_, rsp, _) -> rsp.Protocol.rsp_epoch) contributing
+            in
+            let rsp_epoch =
+              match epochs with [] -> None | e :: r -> Some (List.fold_left min e r)
+            in
+            let summary =
+              String.concat "; "
+                (List.map (fun m -> Printf.sprintf "shard %d: %s" m.m_id m.m_why) missing)
+            in
+            let total_rows = float_of_int (List.length rows) in
+            let routed_rows i = float_of_int (List.length buckets.(i)) in
+            let status =
+              match (contributing, missing) with
+              | [], _ -> Protocol.Failed ("no shard accepted the ingest: " ^ summary)
+              | _, [] -> Protocol.Answered
+              | _, _ ->
+                  Protocol.Partial
+                    {
+                      missing_shards = List.map (fun m -> m.m_id) missing;
+                      coverage =
+                        (if total_rows > 0. then
+                           List.fold_left (fun a (i, _, _) -> a +. routed_rows i) 0. contributing
+                           /. total_rows
+                         else 0.);
+                      retry_after_s = Some t.cfg.rt_retry_after_s;
+                      reason = summary;
+                    }
+            in
+            (match status with
+            | Protocol.Answered ->
+                Atomic.incr t.n_answered;
+                Metrics.tick t.m_answered
+            | Protocol.Partial _ ->
+                Atomic.incr t.n_partial;
+                Metrics.tick t.m_partial
+            | _ ->
+                Atomic.incr t.n_failed;
+                Metrics.tick t.m_failed);
+            List.iter (fun (i, _, _) -> Metrics.tick t.m_shard_ok.(i)) contributing;
+            List.iter (fun m -> Metrics.tick t.m_shard_miss.(m.m_id)) missing;
+            let rsp =
+              {
+                (base_response req ~seq:(seq ()) status) with
+                Protocol.rsp_theta =
+                  (if contributing = [] then None else Some [| accepted; pending |]);
+                rsp_source = Some "fleet";
+                rsp_batch = Some (List.length contributing);
+                rsp_epoch;
+              }
+            in
+            record_request t ~trace ~span ~ids ~t0 req rsp;
+            rsp
+          end)
+
 let submit t req =
   let q = req.Protocol.req_query in
   if String.length q >= 4 && String.sub q 0 4 = "ctl:" then
@@ -481,22 +684,25 @@ let submit t req =
       | None -> Printf.sprintf "%s-%d" t.trace_nonce span
     in
     let req = { req with Protocol.req_trace = Some trace; req_pspan = Some span } in
-    match covering t req with
-    | Error why ->
-        Atomic.incr t.n_failed;
-        Metrics.tick t.m_failed;
-        let rsp = base_response req ~seq:(-1) (Protocol.Failed why) in
-        record_request t ~trace ~span ~ids:[] ~t0 req rsp;
-        rsp
-    | Ok ids ->
-        let results =
-          match ids with
-          | [ i ] ->
-              (* single-shard cover: direct call, no fan-out threads *)
-              [ (i, Shard.submit t.shards.(i) req) ]
-          | _ -> fanout t req ids
-        in
-        let rsp = compose t req ~ids results in
-        record_request t ~trace ~span ~ids ~t0 req rsp;
-        rsp
+    match req.Protocol.req_rows with
+    | Some rows -> ingest t req rows ~trace ~span ~t0
+    | None -> (
+        match covering t req with
+        | Error why ->
+            Atomic.incr t.n_failed;
+            Metrics.tick t.m_failed;
+            let rsp = base_response req ~seq:(-1) (Protocol.Failed why) in
+            record_request t ~trace ~span ~ids:[] ~t0 req rsp;
+            rsp
+        | Ok ids ->
+            let results =
+              match ids with
+              | [ i ] ->
+                  (* single-shard cover: direct call, no fan-out threads *)
+                  [ (i, Shard.submit t.shards.(i) req) ]
+              | _ -> fanout t req ids
+            in
+            let rsp = compose t req ~ids results in
+            record_request t ~trace ~span ~ids ~t0 req rsp;
+            rsp)
   end

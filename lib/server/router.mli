@@ -28,13 +28,36 @@
     seen before it died, which its journal can only confirm or exceed —
     the fleet never reports spend that shrinks on a crash.
 
+    {b Epochs}: composed answers are stamped with [rsp_epoch] — the
+    {e oldest} dataset generation among the contributors, since a fleet
+    answer is only as fresh as its stalest shard. When contributors span
+    more than one generation ("epoch skew", transient while a roll
+    propagates across the fleet), the blend mixes datasets that disagree
+    about which ingested rows exist, so the verdict is downgraded:
+    [Answered] becomes [Degraded "epoch skew: …"], and [Degraded]/[Partial]
+    reasons get the skew appended.
+
+    {b Ingest}: a request carrying [req_rows] is routed by {e row content},
+    not by [req_shards] — each row goes to the shard owning it under
+    [rt_ingest_route] (refused [Failed] when unset), the legs run in
+    parallel and are joined without a deadline (ingest replies at admission
+    speed), and the composed answer sums the per-shard
+    [[|accepted; pending|]] thetas. Sub-requests reuse the client's [rid]
+    with a [":s<i>"] suffix, so a retry re-hits each shard's dedup entry
+    independently and converges without double-buffering any row. Shards
+    that miss the fan-out surface as [Partial] with row-weighted coverage;
+    no shard accepting is [Failed].
+
     {b Control plane} (enabled via [rt_allow_ctl], for the chaos harness
     and the metrics scraper): [ctl:health] answers with a per-shard
-    state-code vector, [ctl:kill:<i>] force-crashes shard [i], [ctl:spent]
-    answers with the fleet [(ε, δ)], [ctl:metrics] answers with the live
-    metrics snapshot as JSON in [rsp_body], and [ctl:metrics:prom] with the
-    same snapshot in Prometheus text exposition. Control queries bypass the
-    shards and consume no budget.
+    state-code vector, [ctl:kill:<i>] force-crashes shard [i],
+    [ctl:epochs] answers with the per-shard generation vector (-1 for a
+    down shard), [ctl:epoch:<i>] asks shard [i]'s serializer to roll its
+    epoch before the next batch (asynchronous; poll [ctl:epochs]),
+    [ctl:spent] answers with the fleet [(ε, δ)], [ctl:metrics] answers
+    with the live metrics snapshot as JSON in [rsp_body], and
+    [ctl:metrics:prom] with the same snapshot in Prometheus text
+    exposition. Control queries bypass the shards and consume no budget.
 
     {b Tracing}: every non-ctl request gets a trace id (adopted from
     [req_trace] when the client sent one, minted otherwise) and a
@@ -50,10 +73,19 @@ type config = {
           ([<= 0] disables the deadline) *)
   rt_retry_after_s : float;  (** hint stamped on [Partial]/[Refused] *)
   rt_allow_ctl : bool;  (** serve [ctl:*] queries (chaos harness only) *)
+  rt_ingest_route : (int -> int) option;
+      (** the fleet's partition key for ingest: row value → owning shard id.
+          Must agree with the {!Shard.partition} assignment used at boot
+          (hash sharding routes new rows by the same mix; block/time-window
+          sharding appends to the designated newest shard) — routing a row
+          to a shard that does not own it would break the disjointness
+          parallel composition rests on. [None] (the default) makes the
+          router refuse ingest requests as [Failed]. *)
 }
 
 val default_config : config
-(** [{ rt_deadline_s = 5.; rt_retry_after_s = 0.25; rt_allow_ctl = false }] *)
+(** [{ rt_deadline_s = 5.; rt_retry_after_s = 0.25; rt_allow_ctl = false;
+      rt_ingest_route = None }] *)
 
 type t
 

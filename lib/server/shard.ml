@@ -71,6 +71,14 @@ let partition ds ~by ~shards =
       Array.to_list
         (Array.map (fun b -> Dataset.create universe (Array.of_list (List.rev b))) buckets)
 
+(* The ingest routing key: where a row value belongs under each partition
+   scheme. Hash must agree bit-for-bit with [partition]'s bucketing (same
+   mix); Block appends to the newest window — the last shard — since block
+   ranges are arrival-ordered. *)
+let route ~by ~shards value =
+  if shards < 1 then invalid_arg "Shard.route: shards must be >= 1";
+  match by with Block -> shards - 1 | Hash -> hash_bucket value ~shards
+
 (* --- lifecycle --- *)
 
 type state = Starting | Running | Draining | Crashed | Quarantined | Stopped
@@ -83,10 +91,32 @@ let state_to_string = function
   | Quarantined -> "quarantined"
   | Stopped -> "stopped"
 
+(* Epoch (dataset-generation) config, shard flavour: like
+   Broker.epoch_config but session constructors take the incarnation's
+   telemetry (each incarnation owns its own stream), plus the seal-resume
+   hook recovery needs. *)
+type epoch = {
+  se_snapshot : string;
+  se_every : int;
+  se_row_bound : int;
+  se_make : epoch:int -> absorbed:int array -> prior:float array option -> Telemetry.t -> Session.t;
+      (* deterministic constructor for a generation's session (see
+         Broker.epoch_config.ep_make) *)
+  se_resume :
+    absorbed:int array ->
+    Pmw_session.Checkpoint.t ->
+    Telemetry.t ->
+    (Session.t, string) result;
+      (* resume the exact pre-transition state from a seal checkpoint; the
+         dataset must be rebuilt at the checkpoint's epoch with [absorbed]
+         rows before Session.resume *)
+}
+
 type t = {
   sh_id : int;
   sh_weight : float;
   sh_journal_path : string option;
+  sh_epoch : epoch option;
   sh_cfg : Broker.config;
   sh_make_session : Telemetry.t -> Session.t;
   sh_resolve : string -> Cm_query.t option;
@@ -105,13 +135,20 @@ type t = {
   mutable last_spent : Params.t;
 }
 
-let create ~id ~weight ?journal_path ?(config = Broker.default_config)
+let create ~id ~weight ?journal_path ?epoch ?(config = Broker.default_config)
     ?(telemetry = fun ~incarnation:_ -> Telemetry.null ())
     ?(metrics = Metrics.disabled ()) ~make_session ~resolve () =
+  (match (epoch, journal_path) with
+  | Some _, None ->
+      (* the epoch protocol's commit/compaction story is built around the
+         journal; a snapshot with no journal cannot recover ingest or spend *)
+      invalid_arg "Shard.create: epoch mode requires a journal_path"
+  | _ -> ());
   {
     sh_id = id;
     sh_weight = weight;
     sh_journal_path = journal_path;
+    sh_epoch = epoch;
     sh_cfg = config;
     sh_make_session = make_session;
     sh_resolve = resolve;
@@ -153,66 +190,130 @@ let life t ~inc =
         end)
   in
   let opened =
-    match t.sh_journal_path with
-    | None -> Ok (None, Journal.empty_recovery)
-    | Some path -> (
+    match (t.sh_epoch, t.sh_journal_path) with
+    | Some se, Some path -> (
+        (* Epoch-aware recovery: resolve snapshot vs journal to one whole
+           generation (rolling an interrupted compaction forward if needed)
+           before anything else touches the files. *)
+        match Epoch.recover ~snapshot_path:se.se_snapshot ~journal_path:path with
+        | Ok boot -> Ok (`Epoch (se, boot))
+        | Error why -> Error ("epoch recovery: " ^ why))
+    | _, None -> Ok (`Plain (None, Journal.empty_recovery))
+    | None, Some path -> (
         match Journal.open_journal ~path with
-        | Ok (j, recovery) -> Ok (Some j, recovery)
+        | Ok (j, recovery) -> Ok (`Plain (Some j, recovery))
         | Error why -> Error ("journal: " ^ why))
   in
   match opened with
   | Error why -> fail_boot why
-  | Ok (journal, recovery) -> (
+  | Ok prep -> (
+      let journal, recovery =
+        match prep with
+        | `Plain (j, r) -> (j, r)
+        | `Epoch (_, boot) -> (Some boot.Epoch.bt_journal, boot.Epoch.bt_recovery)
+      in
+      let make_session () =
+        match prep with
+        | `Plain _ -> t.sh_make_session telemetry
+        | `Epoch (se, boot) -> (
+            match boot.Epoch.bt_seal with
+            | Some ck -> (
+                (* a transition was in flight and had not committed: resume
+                   its exact pre-transition state; the broker re-runs the
+                   transition before serving (eb_resume_transition below) *)
+                match se.se_resume ~absorbed:boot.Epoch.bt_absorbed ck telemetry with
+                | Ok s -> s
+                | Error why -> failwith ("seal resume: " ^ why))
+            | None ->
+                se.se_make ~epoch:boot.Epoch.bt_epoch ~absorbed:boot.Epoch.bt_absorbed
+                  ~prior:boot.Epoch.bt_prior telemetry)
+      in
       match
-        try Ok (t.sh_make_session telemetry) with
+        try Ok (make_session ()) with
         | Invalid_argument why | Failure why -> Error ("session: " ^ why)
       with
       | Error why ->
           Option.iter Journal.close journal;
           fail_boot why
-      | Ok session ->
-          let broker =
-            Broker.create ~config:t.sh_cfg ?journal ~recovery ~metrics:t.sh_metrics
-              ~metrics_label:(Printf.sprintf "shard%d" t.sh_id) ~session
-              ~resolve:t.sh_resolve ()
-          in
-          Telemetry.mark telemetry "shard.start"
-            ~fields:
-              [
-                ("shard", Telemetry.Int t.sh_id);
-                ("incarnation", Telemetry.Int inc);
-                ("replayed", Telemetry.Int (List.length recovery.Journal.rv_records));
-              ];
-          locked t (fun () ->
-              if t.inc = inc then begin
-                t.broker <- Some broker;
-                t.st <- Running;
-                t.last_spent <- pmax t.last_spent (Budget.spent (Session.budget session));
-                Condition.broadcast t.cond
-              end);
-          (* A session fault on the serializer (a raising solver, a poisoned
-             query) is a shard crash, not a fleet crash: convert it to the
-             abort path so waiters fail fast and the journal is left
-             crash-shaped. *)
-          (try Broker.run broker
-           with exn ->
-             Log.err (fun m ->
-                 m "shard %d serializer died: %s" t.sh_id (Printexc.to_string exn));
-             Broker.abort ~reason:("shard serializer died: " ^ Printexc.to_string exn)
-               broker);
-          let aborted = Broker.aborted broker in
-          if not aborted then Session.finish session;
-          Option.iter Journal.close journal;
-          Telemetry.close telemetry;
-          locked t (fun () ->
-              if t.inc = inc then begin
-                t.broker <- None;
-                t.last_spent <- pmax t.last_spent (Budget.spent (Session.budget session));
-                (match t.st with
-                | Quarantined -> ()
-                | _ -> t.st <- (if aborted then Crashed else Stopped));
-                Condition.broadcast t.cond
-              end))
+      | Ok session -> (
+          match
+            try
+              Ok
+                (match prep with
+                | `Plain _ ->
+                    Broker.create ~config:t.sh_cfg ?journal ~recovery ~metrics:t.sh_metrics
+                      ~metrics_label:(Printf.sprintf "shard%d" t.sh_id) ~session
+                      ~resolve:t.sh_resolve ()
+                | `Epoch (se, boot) ->
+                    Broker.create ~config:t.sh_cfg ?journal ~recovery ~metrics:t.sh_metrics
+                      ~metrics_label:(Printf.sprintf "shard%d" t.sh_id)
+                      ~epoch:
+                        {
+                          Broker.ep_snapshot = se.se_snapshot;
+                          ep_every = se.se_every;
+                          ep_row_bound = se.se_row_bound;
+                          ep_make =
+                            (fun ~epoch ~absorbed ~prior ->
+                              se.se_make ~epoch ~absorbed ~prior telemetry);
+                        }
+                      ~epoch_boot:
+                        {
+                          Broker.eb_epoch = boot.Epoch.bt_epoch;
+                          eb_base = boot.Epoch.bt_base;
+                          eb_absorbed = boot.Epoch.bt_absorbed;
+                          eb_dedup = boot.Epoch.bt_dedup;
+                          eb_ingest = boot.Epoch.bt_recovery.Journal.rv_ingest;
+                          eb_resume_transition = boot.Epoch.bt_seal <> None;
+                        }
+                      ~session ~resolve:t.sh_resolve ())
+            with Invalid_argument why | Failure why -> Error ("broker: " ^ why)
+          with
+          | Error why ->
+              Option.iter Journal.close journal;
+              fail_boot why
+          | Ok broker ->
+              Telemetry.mark telemetry "shard.start"
+                ~fields:
+                  [
+                    ("shard", Telemetry.Int t.sh_id);
+                    ("incarnation", Telemetry.Int inc);
+                    ("replayed", Telemetry.Int (List.length recovery.Journal.rv_records));
+                    ("epoch", Telemetry.Int (Broker.epoch broker));
+                  ];
+              locked t (fun () ->
+                  if t.inc = inc then begin
+                    t.broker <- Some broker;
+                    t.st <- Running;
+                    t.last_spent <- pmax t.last_spent (Broker.lifetime_spent broker);
+                    Condition.broadcast t.cond
+                  end);
+              (* A session fault on the serializer (a raising solver, a
+                 poisoned query, an injected epoch-transition fault) is a
+                 shard crash, not a fleet crash: convert it to the abort
+                 path so waiters fail fast and the disk is left
+                 crash-shaped. *)
+              (try Broker.run broker
+               with exn ->
+                 Log.err (fun m ->
+                     m "shard %d serializer died: %s" t.sh_id (Printexc.to_string exn));
+                 Broker.abort ~reason:("shard serializer died: " ^ Printexc.to_string exn)
+                   broker);
+              let aborted = Broker.aborted broker in
+              if not aborted then Session.finish (Broker.session broker);
+              (* The broker owns the journal now: epoch compactions swap
+                 handles, so the one opened above may be long dead — close
+                 through the broker, never the original. *)
+              Broker.close_journal broker;
+              Telemetry.close telemetry;
+              locked t (fun () ->
+                  if t.inc = inc then begin
+                    t.last_spent <- pmax t.last_spent (Broker.lifetime_spent broker);
+                    t.broker <- None;
+                    (match t.st with
+                    | Quarantined -> ()
+                    | _ -> t.st <- (if aborted then Crashed else Stopped));
+                    Condition.broadcast t.cond
+                  end)))
 
 let start t =
   let prev =
@@ -316,9 +417,10 @@ let journal_path t = t.sh_journal_path
 
 let spent t =
   locked t (fun () ->
+      (* lifetime spend: sealed-epoch base + the live pot, so the fleet's
+         parallel composition never under-counts a shard that rolled *)
       (match t.broker with
-      | Some b ->
-          t.last_spent <- pmax t.last_spent (Budget.spent (Session.budget (Broker.session b)))
+      | Some b -> t.last_spent <- pmax t.last_spent (Broker.lifetime_spent b)
       | None -> ());
       t.last_spent)
 
@@ -327,3 +429,22 @@ let budget t =
       match (t.st, t.broker) with
       | Running, Some b -> Some (Session.budget (Broker.session b))
       | _ -> None)
+
+let epoch t =
+  locked t (fun () ->
+      match (t.st, t.broker) with
+      | (Running | Draining), Some b -> Some (Broker.epoch b)
+      | _ -> None)
+
+let pending_ingest t =
+  locked t (fun () -> match t.broker with Some b -> Broker.pending_ingest b | None -> 0)
+
+let journal_size t =
+  locked t (fun () -> Option.bind t.broker Broker.journal_size)
+
+let request_epoch t =
+  let b =
+    locked t (fun () ->
+        match (t.st, t.broker) with Running, Some b -> Some b | _ -> None)
+  in
+  match b with None -> false | Some b -> Broker.request_epoch b

@@ -43,6 +43,13 @@ val partition : Pmw_data.Dataset.t -> by:by -> shards:int -> Pmw_data.Dataset.t 
     count, or if hash partitioning leaves a shard empty (skewed keys — use
     [Block] or fewer shards). *)
 
+val route : by:by -> shards:int -> int -> int
+(** Where an {e ingested} row value belongs under each partition scheme —
+    the fleet's [rt_ingest_route] key. [Hash] buckets by the same 64-bit
+    mix as {!partition}, so new rows land on the shard that would have
+    owned them at boot; [Block] appends to the newest arrival window (the
+    last shard). @raise Invalid_argument if [shards < 1]. *)
+
 type state =
   | Starting  (** boot in progress on the shard domain *)
   | Running
@@ -55,10 +62,40 @@ val state_to_string : state -> string
 
 type t
 
+(** Epoch (dataset-generation) lifecycle config, shard flavour: like
+    {!Broker.epoch_config} but the session constructors take the
+    incarnation's telemetry instance, plus the seal-resume hook recovery
+    needs. With this configured, every (re)boot goes through
+    {!Epoch.recover} — snapshot vs journal resolved to one whole
+    generation, interrupted compactions rolled forward, in-flight
+    uncommitted transitions resumed from their seal and re-run. *)
+type epoch = {
+  se_snapshot : string;  (** epoch snapshot path (commit record) *)
+  se_every : int;  (** answers per epoch before an automatic roll; 0 = on request only *)
+  se_row_bound : int;  (** exclusive bound for ingest row indices (universe size) *)
+  se_make :
+    epoch:int ->
+    absorbed:int array ->
+    prior:float array option ->
+    Pmw_telemetry.Telemetry.t ->
+    Pmw_session.Session.t;
+      (** deterministic generation constructor — must be a pure function
+          of [(epoch, absorbed, prior)] (derive RNG seeds from [epoch]) *)
+  se_resume :
+    absorbed:int array ->
+    Pmw_session.Checkpoint.t ->
+    Pmw_telemetry.Telemetry.t ->
+    (Pmw_session.Session.t, string) result;
+      (** resume the exact pre-transition state from a seal checkpoint:
+          rebuild the dataset at the checkpoint's epoch (seed + [absorbed]
+          rows) and [Session.resume] against it *)
+}
+
 val create :
   id:int ->
   weight:float ->
   ?journal_path:string ->
+  ?epoch:epoch ->
   ?config:Broker.config ->
   ?telemetry:(incarnation:int -> Pmw_telemetry.Telemetry.t) ->
   ?metrics:Pmw_telemetry.Metrics.t ->
@@ -77,7 +114,11 @@ val create :
     live metrics registry, handed to every incarnation's broker with the
     ledger label ["shard<id>"] — metrics handles are concurrent, so one
     registry serves the whole fleet across domains. [weight] is the shard's
-    share of the fleet's records (the router's coverage unit). *)
+    share of the fleet's records (the router's coverage unit). [epoch]
+    enables the generation lifecycle; [make_session] is then only used
+    when epochs are {e not} configured (epoch boots construct sessions
+    through [se_make]/[se_resume]).
+    @raise Invalid_argument if [epoch] is given without [journal_path]. *)
 
 val start : t -> (unit, string) result
 (** Boot (or reboot after a crash): spawns the shard domain, joins any
@@ -121,12 +162,28 @@ val incarnation : t -> int
 val journal_path : t -> string option
 
 val spent : t -> Pmw_dp.Params.t
-(** Last observed cumulative [(ε, δ)] spend of this shard's ledger —
-    monotone across crashes and restarts (a down shard reports the spend
-    last seen before it died; its journal can only say more, never less).
-    The router folds these with {!Pmw_core.Budget.spent_parallel}'s max
-    rule for the fleet-level account. *)
+(** Last observed cumulative {e lifetime} [(ε, δ)] spend of this shard —
+    sealed-epoch base plus the live pot, monotone across crashes,
+    restarts and epoch transitions (a down shard reports the spend last
+    seen before it died; its journal can only say more, never less). The
+    router folds these with {!Pmw_core.Budget.spent_parallel}'s max rule
+    for the fleet-level account. *)
 
 val budget : t -> Pmw_core.Budget.t option
 (** The current incarnation's live pot, when running — for tests asserting
-    fleet accounting against per-shard ledgers. *)
+    fleet accounting against per-shard ledgers. Per-{e epoch} under the
+    generation lifecycle (transitions refresh it); use {!spent} for the
+    lifetime account. *)
+
+val epoch : t -> int option
+(** Dataset generation currently served; [None] unless running/draining. *)
+
+val pending_ingest : t -> int
+(** Rows buffered for the next epoch transition (0 when down). *)
+
+val journal_size : t -> (int * int) option
+(** Live journal's [(bytes, records)]; [None] when down or journal-less. *)
+
+val request_epoch : t -> bool
+(** Ask the running shard's serializer to roll the epoch before its next
+    batch; [false] when not running or epochs are not configured. *)

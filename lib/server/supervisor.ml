@@ -12,6 +12,7 @@ type config = {
   su_flap_window_s : float;
   su_quarantine_after : int;
   su_heartbeat_every_s : float;
+  su_epoch_every_s : float;
 }
 
 let default_config =
@@ -22,6 +23,7 @@ let default_config =
     su_flap_window_s = 2.;
     su_quarantine_after = 5;
     su_heartbeat_every_s = 1.;
+    su_epoch_every_s = 0.;
   }
 
 (* Per-shard supervision state; touched only by the monitor thread. *)
@@ -165,8 +167,24 @@ let heartbeat t =
     (fun (name, fields) -> Telemetry.mark t.telemetry name ~fields)
     (t.extra_marks ())
 
+(* Time-driven epoch rolls: ask every Running shard's serializer to
+   transition. The request is asynchronous and refused harmlessly by
+   shards without epoch config, draining shards, or shards that die
+   before acting on it — the transition itself stays crash-safe on the
+   shard's side, so the supervisor never needs to know whether it landed. *)
+let kick_epochs t =
+  Array.iter
+    (fun w ->
+      if Shard.state w.w_shard = Shard.Running && Shard.request_epoch w.w_shard then begin
+        Telemetry.mark t.telemetry "epoch.requested"
+          ~fields:[ ("shard", Telemetry.Int (Shard.id w.w_shard)) ];
+        Telemetry.incr t.telemetry "fleet_epoch_requests"
+      end)
+    t.watched
+
 let monitor t =
   let last_beat = ref 0. in
+  let last_epoch_kick = ref (Unix.gettimeofday ()) in
   let timed = Metrics.is_enabled t.metrics in
   while not (Atomic.get t.stop_flag) do
     let now = Unix.gettimeofday () in
@@ -176,6 +194,11 @@ let monitor t =
         | Shard.Crashed -> handle_crashed t w ~now
         | _ -> ())
       t.watched;
+    if t.cfg.su_epoch_every_s > 0. && now -. !last_epoch_kick >= t.cfg.su_epoch_every_s
+    then begin
+      last_epoch_kick := now;
+      kick_epochs t
+    end;
     if now -. !last_beat >= t.cfg.su_heartbeat_every_s then begin
       last_beat := now;
       heartbeat t

@@ -35,13 +35,21 @@ type config = {
       (** a crash within this of the last boot counts as a flap (strike) *)
   su_quarantine_after : int;  (** strikes beyond this quarantine the shard *)
   su_heartbeat_every_s : float;
+  su_epoch_every_s : float;
+      (** every this-many seconds, ask each Running shard to roll its
+          dataset epoch ({!Shard.request_epoch}); [0] disables. The kick
+          is fire-and-forget — shards without epoch config refuse it, and
+          a shard dying mid-transition recovers on its own — so the
+          supervisor drives {e when} epochs happen, never {e how}. Each
+          accepted kick emits an ["epoch.requested"] mark and bumps the
+          [fleet_epoch_requests] counter. *)
 }
 
 val default_config : config
 (** [{ su_poll_s = 0.01; su_backoff_base_s = 0.02; su_backoff_max_s = 1.;
       su_flap_window_s = 2.; su_quarantine_after = 5;
-      su_heartbeat_every_s = 1. }] — first restart lands well under the
-    fleet's one-second recovery target. *)
+      su_heartbeat_every_s = 1.; su_epoch_every_s = 0. }] — first restart
+    lands well under the fleet's one-second recovery target. *)
 
 type t
 

@@ -18,6 +18,7 @@ type attempt = { at_oracle : string; at_eps : float; at_delta : float; at_ok : b
 
 type t = {
   fingerprint : fingerprint;
+  epoch : int;
   queries : int;
   degraded : int;
   refused : int;
@@ -62,6 +63,7 @@ let body t =
     fp.fp_k fp.fp_t_max (f fp.fp_eta);
   line "universe %d %s" fp.fp_universe_size fp.fp_universe_name;
   line "dataset %d" fp.fp_dataset_size;
+  if t.epoch <> 0 then line "epoch %d" t.epoch;
   line "session %d %d %d %b" t.queries t.degraded t.refused t.breached;
   line "granted %d" (List.length t.granted);
   List.iteri (fun i (eps, delta) -> line "granted.%d %s %s" i (f eps) (f delta)) t.granted;
@@ -230,6 +232,13 @@ let of_string s =
           }
     | _ -> Error "checkpoint: bad config line"
   in
+  (* Optional: absent in checkpoints written before datasets were
+     versioned — those are epoch-0 by definition. *)
+  let* epoch =
+    match Hashtbl.find_opt tbl "epoch" with
+    | None -> Ok 0
+    | Some v -> int_field "epoch" v
+  in
   let* session = lookup tbl "session" in
   let* queries, degraded, refused, breached =
     match fields session with
@@ -313,6 +322,7 @@ let of_string s =
   Ok
     {
       fingerprint;
+      epoch;
       queries;
       degraded;
       refused;
@@ -333,15 +343,40 @@ let of_string s =
 
 (* --- file I/O --- *)
 
+(* rename(2) orders the directory entry, not the data: without the fsync
+   on the tmp file a crash just after the rename can expose a checkpoint
+   whose name is durable but whose bytes are not (empty or stale on ext4
+   with delayed allocation); without the directory fsync the rename itself
+   may be lost, resurrecting the previous checkpoint. Both syncs make the
+   swap a real commit point. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* some filesystems refuse fsync on a directory fd — best effort *)
+          try Unix.fsync fd with Unix.Unix_error _ -> ())
+
 let write ~path t =
   let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      output_string oc (to_string t);
-      flush oc);
-  Sys.rename tmp path
+      let s = to_string t in
+      let b = Bytes.unsafe_of_string s in
+      let n = Bytes.length b in
+      let written = ref 0 in
+      while !written < n do
+        match Unix.write fd b !written (n - !written) with
+        | k -> written := !written + k
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      Unix.fsync fd);
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
 
 let read ~path =
   if not (Sys.file_exists path) then Error (Printf.sprintf "checkpoint: no such file %s" path)

@@ -34,6 +34,10 @@ type attempt = { at_oracle : string; at_eps : float; at_delta : float; at_ok : b
 
 type t = {
   fingerprint : fingerprint;
+  epoch : int;
+      (** dataset generation this state was taken against (0 = unversioned;
+          the line is omitted on write so epoch-0 checkpoints are
+          byte-identical to pre-epoch ones, and absent on read means 0) *)
   queries : int;  (** queries the session has processed (any verdict) *)
   degraded : int;
   refused : int;
@@ -61,8 +65,16 @@ val of_string : string -> (t, string) result
     missing or malformed field — never raises on bad input. *)
 
 val write : path:string -> t -> unit
-(** Atomic: writes [path.tmp] then renames, so a crash mid-write leaves the
-    previous checkpoint intact. *)
+(** Atomic {e and} durable: writes [path.tmp], fsyncs it, renames over
+    [path], then fsyncs the parent directory — a crash at any point leaves
+    either the previous checkpoint or the new one, with the bytes of
+    whichever name survives guaranteed on disk. *)
+
+val fsync_dir : string -> unit
+(** Best-effort fsync of a directory fd — the second half of the atomic
+    rename commit (making the new name itself durable). Exposed for other
+    layers (epoch snapshots, journal compaction) that use the same
+    tmp-fsync-rename-dirsync pattern. *)
 
 val read : path:string -> (t, string) result
 

@@ -201,6 +201,7 @@ let admissible t =
 let budget t = t.budget
 let mechanism t = t.online
 let config t = t.config
+let epoch t = Pmw_data.Dataset.epoch t.dataset
 let telemetry t = t.telemetry
 let queries t = Telemetry.counter t.telemetry "queries"
 let degraded_answers t = Telemetry.counter t.telemetry "degraded_answers"
@@ -230,6 +231,7 @@ let checkpoint t =
   let snap = Online.snapshot t.online in
   {
     Checkpoint.fingerprint = fingerprint t.config t.dataset;
+    epoch = Pmw_data.Dataset.epoch t.dataset;
     queries = queries t;
     degraded = degraded_answers t;
     refused = refusals t;
@@ -275,6 +277,17 @@ let resume ?pool ?telemetry ?label ~config ~dataset ?oracles ?(retries = 0)
   let telemetry = match telemetry with Some t -> t | None -> Telemetry.null () in
   let oracles = match oracles with Some o -> o | None -> default_oracles ~pool () in
   let* () = check_fingerprint ckpt.Checkpoint.fingerprint config dataset in
+  (* Epoch stamps must agree exactly: resuming epoch-e state against an
+     epoch-e' dataset would silently answer against the wrong generation
+     even when the sizes happen to match. *)
+  let* () =
+    let now = Pmw_data.Dataset.epoch dataset in
+    if ckpt.Checkpoint.epoch = now then Ok ()
+    else
+      Error
+        (Printf.sprintf "checkpoint is for dataset epoch %d, resuming against epoch %d"
+           ckpt.Checkpoint.epoch now)
+  in
   (* Replay the ledger verbatim: the resumed process starts from the exact
      spend of the killed one — nothing is re-debited, nothing forgiven. *)
   let budget = Budget.create ~telemetry ?label config.Config.privacy in

@@ -105,6 +105,11 @@ val mechanism : t -> Pmw_core.Online_pmw.t
 val config : t -> Pmw_core.Config.t
 val hypothesis : t -> Pmw_data.Histogram.t
 
+val epoch : t -> int
+(** The dataset generation this session answers against
+    ([Dataset.epoch] of the dataset it was created with); stamped into
+    every checkpoint and checked on {!resume}. *)
+
 val queries : t -> int
 (** Queries processed, any verdict. *)
 

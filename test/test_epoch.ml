@@ -1,0 +1,464 @@
+(* Tests for crash-safe epoch transitions (lib/server/epoch.ml): the
+   snapshot wire format rejects any torn or edited bytes, the recovery
+   decision table maps every (snapshot epoch, journal epoch) combination
+   to exactly one whole generation, and a fuzz corpus of interrupted
+   compactions — torn tails, garbage lines, short writes at every swap
+   step — always recovers to exactly the old or the new journal with the
+   lifetime privacy account preserved (zero double-spend, zero lost
+   spend). *)
+
+module Epoch = Pmw_server.Epoch
+module Journal = Pmw_server.Journal
+module Checkpoint = Pmw_session.Checkpoint
+
+let tmp_dir () =
+  let d = Filename.temp_file "pmw-epoch" "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let journal_string records =
+  String.concat "" (List.map (fun r -> Journal.record_to_string r ^ "\n") records)
+
+let debit cum_e cum_d =
+  Journal.Debit
+    { jd_mechanism = "serve"; jd_eps = 0.1; jd_delta = 1e-8; jd_cum_eps = cum_e; jd_cum_delta = cum_d }
+
+let answer seq rid =
+  Journal.Answer { ja_seq = seq; ja_analyst = "an"; ja_rid = Some rid; ja_line = "resp" ^ rid }
+
+(* a mid-epoch journal: generation [epoch] with some spend and answers *)
+let live_journal ~epoch ~base:(be, bd) =
+  (if epoch > 0 then
+     [ Journal.Epoch { je_epoch = epoch; je_base_eps = be; je_base_delta = bd; je_seq = 10 } ]
+   else [])
+  @ [
+      Journal.Mark "boot";
+      debit 0.1 1e-8;
+      answer 10 "r1";
+      debit 0.2 2e-8;
+      answer 11 "r2";
+    ]
+
+let snapshot ~epoch ~base:(be, bd) =
+  {
+    Epoch.sn_epoch = epoch;
+    sn_seq = 10;
+    sn_base_eps = be;
+    sn_base_delta = bd;
+    sn_absorbed = [| 3; 7; 7 |];
+    sn_prior = Some [| 0.25; 0.5; 0.25 |];
+    sn_dedup = [ (("an", "r0"), "respr0") ];
+    sn_ckpt = None;
+  }
+
+let recover_ok ~what ~snapshot_path ~journal_path =
+  match Epoch.recover ~snapshot_path ~journal_path with
+  | Ok boot -> boot
+  | Error e -> Alcotest.failf "%s: recovery failed: %s" what e
+
+(* lifetime (ε, δ) a journal accounts for: sealed base + live cumulative *)
+let lifetime rv =
+  let be, bd = rv.Journal.rv_base and ce, cd = rv.Journal.rv_cum in
+  (be +. ce, bd +. cd)
+
+let close_boot boot = Journal.close boot.Epoch.bt_journal
+
+(* --- snapshot wire format --- *)
+
+let ident = QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 8))
+
+let gen_snapshot =
+  QCheck.Gen.(
+    let* sn_epoch = int_range 0 40 and* sn_seq = int_bound 500 in
+    let* sn_base_eps = float_bound_inclusive 50. and* sn_base_delta = float_bound_inclusive 1e-4 in
+    let* sn_absorbed = array_size (int_bound 12) (int_bound 1000) in
+    let* sn_prior = option (array_size (int_range 1 8) (float_bound_inclusive 1.)) in
+    let* sn_dedup =
+      list_size (int_bound 6)
+        (let* analyst = ident and* rid = ident and* line = ident in
+         return ((analyst, rid), line))
+    in
+    let* sn_ckpt = option ident in
+    return
+      { Epoch.sn_epoch; sn_seq; sn_base_eps; sn_base_delta; sn_absorbed; sn_prior; sn_dedup; sn_ckpt })
+
+let qcheck_snapshot_roundtrip =
+  QCheck.Test.make ~name:"snapshots survive the wire format" ~count:300
+    (QCheck.make ~print:Epoch.snapshot_to_string gen_snapshot)
+    (fun sn ->
+      match Epoch.snapshot_of_string (Epoch.snapshot_to_string sn) with
+      | Ok sn' -> sn' = sn
+      | Error e -> QCheck.Test.fail_reportf "roundtrip failed: %s" e)
+
+let qcheck_snapshot_torn =
+  QCheck.Test.make ~name:"any truncated snapshot is rejected" ~count:200
+    (QCheck.make
+       ~print:(fun (sn, cut) -> Printf.sprintf "cut at %d of:\n%s" cut (Epoch.snapshot_to_string sn))
+       QCheck.Gen.(
+         let* sn = gen_snapshot in
+         let s = Epoch.snapshot_to_string sn in
+         let* cut = int_bound (String.length s - 1) in
+         return (sn, cut)))
+    (fun (sn, cut) ->
+      match Epoch.snapshot_of_string (String.sub (Epoch.snapshot_to_string sn) 0 cut) with
+      | Error _ -> true
+      | Ok sn' ->
+          (* a prefix may only parse if it decodes to the identical value
+             (e.g. cutting inside a trailing optional checkpoint of length
+             0 is impossible; anything else must not silently parse) *)
+          QCheck.Test.fail_reportf "torn snapshot parsed: %s" (Epoch.snapshot_to_string sn'))
+
+let qcheck_snapshot_corrupt =
+  QCheck.Test.make ~name:"any single-byte edit to the body is rejected" ~count:200
+    (QCheck.make
+       ~print:(fun (sn, at) -> Printf.sprintf "flip at %d of:\n%s" at (Epoch.snapshot_to_string sn))
+       QCheck.Gen.(
+         let* sn = gen_snapshot in
+         let s = Epoch.snapshot_to_string sn in
+         (* only flip body bytes (after the checksum line) *)
+         let body_at = String.index_from s (String.index s '\n' + 1) '\n' + 1 in
+         let* at = int_range body_at (String.length s - 1) in
+         return (sn, at)))
+    (fun (sn, at) ->
+      let s = Bytes.of_string (Epoch.snapshot_to_string sn) in
+      Bytes.set s at (if Bytes.get s at = 'x' then 'y' else 'x');
+      match Epoch.snapshot_of_string (Bytes.to_string s) with
+      | Error _ -> true
+      | Ok sn' -> sn' = sn (* a flip inside e.g. "+0x0p" noise must decode identically *))
+
+let test_snapshot_file_roundtrip () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "snap.epoch" in
+  (match Epoch.read_snapshot ~path with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "missing snapshot read as Some"
+  | Error e -> Alcotest.failf "missing snapshot should be Ok None: %s" e);
+  let sn = snapshot ~epoch:3 ~base:(1.5, 2e-7) in
+  Epoch.write_snapshot ~path sn;
+  (match Epoch.read_snapshot ~path with
+  | Ok (Some sn') -> Alcotest.(check bool) "snapshot file roundtrip" true (sn' = sn)
+  | Ok None -> Alcotest.fail "written snapshot reads as None"
+  | Error e -> Alcotest.failf "written snapshot unreadable: %s" e);
+  Alcotest.(check bool) "no tmp left behind" false (Sys.file_exists (path ^ ".tmp"))
+
+(* --- compaction --- *)
+
+let test_compact_single_record () =
+  let dir = tmp_dir () in
+  let path = Filename.concat dir "j.wal" in
+  write_file path (journal_string (live_journal ~epoch:0 ~base:(0., 0.)));
+  Epoch.compact ~journal_path:path ~epoch:1 ~base:(0.2, 2e-8) ~seq:12;
+  let check_compacted what =
+    match Journal.replay_string (read_file path) with
+    | Error e -> Alcotest.failf "%s: compacted journal unreadable: %s" what e
+    | Ok rv ->
+        Alcotest.(check int) (what ^ ": one record") 1 (List.length rv.Journal.rv_records);
+        Alcotest.(check int) (what ^ ": epoch") 1 rv.Journal.rv_epoch;
+        Alcotest.(check bool) (what ^ ": lifetime preserved") true (lifetime rv = (0.2, 2e-8));
+        Alcotest.(check int) (what ^ ": seq carried") 11 rv.Journal.rv_max_seq
+  in
+  check_compacted "first";
+  (* idempotent: exactly what roll-forward recovery redoes *)
+  Epoch.compact ~journal_path:path ~epoch:1 ~base:(0.2, 2e-8) ~seq:12;
+  check_compacted "redone"
+
+(* --- recovery decision table --- *)
+
+let test_recover_fresh () =
+  let dir = tmp_dir () in
+  let boot =
+    recover_ok ~what:"fresh" ~snapshot_path:(Filename.concat dir "s.epoch")
+      ~journal_path:(Filename.concat dir "j.wal")
+  in
+  Alcotest.(check int) "epoch 0" 0 boot.Epoch.bt_epoch;
+  Alcotest.(check bool) "no base" true (boot.Epoch.bt_base = (0., 0.));
+  Alcotest.(check bool) "no seal" true (boot.Epoch.bt_seal = None);
+  Alcotest.(check bool) "not rolled forward" false boot.Epoch.bt_rolled_forward;
+  close_boot boot
+
+let test_recover_in_epoch () =
+  let dir = tmp_dir () in
+  let sp = Filename.concat dir "s.epoch" and jp = Filename.concat dir "j.wal" in
+  Epoch.write_snapshot ~path:sp (snapshot ~epoch:2 ~base:(1.0, 1e-7));
+  write_file jp (journal_string (live_journal ~epoch:2 ~base:(1.0, 1e-7)));
+  let boot = recover_ok ~what:"in-epoch" ~snapshot_path:sp ~journal_path:jp in
+  Alcotest.(check int) "epoch from both" 2 boot.Epoch.bt_epoch;
+  Alcotest.(check bool) "base from snapshot" true (boot.Epoch.bt_base = (1.0, 1e-7));
+  Alcotest.(check bool) "absorbed carried" true (boot.Epoch.bt_absorbed = [| 3; 7; 7 |]);
+  Alcotest.(check bool) "dedup seed carried" true
+    (boot.Epoch.bt_dedup = [ (("an", "r0"), "respr0") ]);
+  Alcotest.(check bool) "not rolled forward" false boot.Epoch.bt_rolled_forward;
+  Alcotest.(check bool) "journal records kept" true
+    (List.length boot.Epoch.bt_recovery.Journal.rv_records >= 5);
+  close_boot boot
+
+let test_recover_roll_forward () =
+  let dir = tmp_dir () in
+  let sp = Filename.concat dir "s.epoch" and jp = Filename.concat dir "j.wal" in
+  (* the snapshot committed epoch 1 but the journal is still the old
+     generation (no Epoch record), with a seal left behind *)
+  Epoch.write_snapshot ~path:sp (snapshot ~epoch:1 ~base:(0.2, 2e-8));
+  write_file jp (journal_string (live_journal ~epoch:0 ~base:(0., 0.)));
+  write_file (Epoch.seal_path sp) "stale seal bytes";
+  let boot = recover_ok ~what:"roll-forward" ~snapshot_path:sp ~journal_path:jp in
+  Alcotest.(check int) "new epoch" 1 boot.Epoch.bt_epoch;
+  Alcotest.(check bool) "rolled forward" true boot.Epoch.bt_rolled_forward;
+  Alcotest.(check bool) "no seal resumed" true (boot.Epoch.bt_seal = None);
+  Alcotest.(check bool) "seal deleted" false (Sys.file_exists (Epoch.seal_path sp));
+  close_boot boot;
+  match Journal.replay_string (read_file jp) with
+  | Error e -> Alcotest.failf "rolled-forward journal unreadable: %s" e
+  | Ok rv ->
+      Alcotest.(check int) "compacted to one record" 1 (List.length rv.Journal.rv_records);
+      Alcotest.(check bool) "lifetime = snapshot base" true (lifetime rv = (0.2, 2e-8))
+
+let test_recover_journal_ahead () =
+  let dir = tmp_dir () in
+  let sp = Filename.concat dir "s.epoch" and jp = Filename.concat dir "j.wal" in
+  Epoch.write_snapshot ~path:sp (snapshot ~epoch:1 ~base:(0.2, 2e-8));
+  write_file jp (journal_string (live_journal ~epoch:2 ~base:(1.0, 1e-7)));
+  match Epoch.recover ~snapshot_path:sp ~journal_path:jp with
+  | Ok boot ->
+      close_boot boot;
+      Alcotest.fail "journal ahead of snapshot must be a hard error"
+  | Error _ -> ()
+
+let test_recover_cleans_stale_tmp () =
+  let dir = tmp_dir () in
+  let sp = Filename.concat dir "s.epoch" and jp = Filename.concat dir "j.wal" in
+  write_file (sp ^ ".tmp") "torn snapshot tmp";
+  write_file (jp ^ ".compact") "torn compaction tmp";
+  write_file (Epoch.seal_path sp ^ ".tmp") "torn seal tmp";
+  let boot = recover_ok ~what:"stale-tmp" ~snapshot_path:sp ~journal_path:jp in
+  close_boot boot;
+  Alcotest.(check bool) "snapshot tmp removed" false (Sys.file_exists (sp ^ ".tmp"));
+  Alcotest.(check bool) "compact tmp removed" false (Sys.file_exists (jp ^ ".compact"));
+  Alcotest.(check bool) "seal tmp removed" false
+    (Sys.file_exists (Epoch.seal_path sp ^ ".tmp"))
+
+let mk_checkpoint ~epoch =
+  {
+    Checkpoint.fingerprint =
+      {
+        Checkpoint.fp_eps = 1.;
+        fp_delta = 1e-6;
+        fp_alpha = 0.02;
+        fp_scale = 2.;
+        fp_k = 14;
+        fp_t_max = 8;
+        fp_eta = 0.01;
+        fp_universe_size = 125;
+        fp_universe_name = "grid";
+        fp_dataset_size = 3000;
+      };
+    epoch;
+    queries = 3;
+    degraded = 0;
+    refused = 0;
+    breached = false;
+    granted = [ (0.5, 1e-7) ];
+    attempts = [];
+    answered = 2;
+    mw_updates = 1;
+    mw_log_weights = [| 0.; -0.1; -0.2 |];
+    sv_threshold = 0.2;
+    sv_tops = 1;
+    sv_asked = 2;
+    sv_rng = [| 1L; 2L; 3L; 4L |];
+    rng = [| 5L; 6L; 7L; 8L |];
+    acct_rho = 0.1;
+    acct_events = [ (0.5, 1e-7) ];
+  }
+
+let test_recover_seal_resume () =
+  let dir = tmp_dir () in
+  let sp = Filename.concat dir "s.epoch" and jp = Filename.concat dir "j.wal" in
+  Epoch.write_snapshot ~path:sp (snapshot ~epoch:2 ~base:(1.0, 1e-7));
+  write_file jp (journal_string (live_journal ~epoch:2 ~base:(1.0, 1e-7)));
+  Checkpoint.write ~path:(Epoch.seal_path sp) (mk_checkpoint ~epoch:2);
+  let boot = recover_ok ~what:"seal-resume" ~snapshot_path:sp ~journal_path:jp in
+  (match boot.Epoch.bt_seal with
+  | Some ck -> Alcotest.(check int) "seal epoch" 2 ck.Checkpoint.epoch
+  | None -> Alcotest.fail "epoch-matching seal must be resumed");
+  close_boot boot
+
+let test_recover_seal_epoch_mismatch () =
+  let dir = tmp_dir () in
+  let sp = Filename.concat dir "s.epoch" and jp = Filename.concat dir "j.wal" in
+  Epoch.write_snapshot ~path:sp (snapshot ~epoch:2 ~base:(1.0, 1e-7));
+  write_file jp (journal_string (live_journal ~epoch:2 ~base:(1.0, 1e-7)));
+  (* a previous generation's seal that the cleanup step never removed *)
+  Checkpoint.write ~path:(Epoch.seal_path sp) (mk_checkpoint ~epoch:1);
+  let boot = recover_ok ~what:"seal-mismatch" ~snapshot_path:sp ~journal_path:jp in
+  Alcotest.(check bool) "stale seal discarded" true (boot.Epoch.bt_seal = None);
+  Alcotest.(check bool) "stale seal deleted" false (Sys.file_exists (Epoch.seal_path sp));
+  close_boot boot
+
+(* --- interrupted-compaction fuzz ---
+
+   The swap from old journal to compacted journal can die at any of its
+   five steps (tmp write, mid-write, fsync, rename, dirsync) — or leave a
+   torn tail / garbage line behind. Whatever the interruption, recovery
+   must land on EXACTLY the old or the new journal (one whole generation)
+   with the lifetime privacy account intact. *)
+
+let compact_steps =
+  [
+    Epoch.Compact_write;
+    Epoch.Compact_write_mid;
+    Epoch.Compact_fsync;
+    Epoch.Compact_rename;
+    Epoch.Compact_dirsync;
+  ]
+
+let old_records = live_journal ~epoch:0 ~base:(0., 0.)
+let old_lifetime = (0.2, 2e-8)
+let new_base = old_lifetime (* the sealed epoch's spend retires into the base *)
+
+let interrupted_compaction ~fault step =
+  let dir = tmp_dir () in
+  let sp = Filename.concat dir "s.epoch" and jp = Filename.concat dir "j.wal" in
+  Epoch.write_snapshot ~path:sp (snapshot ~epoch:1 ~base:new_base);
+  write_file jp (journal_string old_records);
+  write_file (Epoch.seal_path sp) "in-flight seal";
+  (* first recovery attempt dies mid-compaction at [step]... *)
+  let armed = ref true in
+  Epoch.set_fault_hook (fun s ->
+      if s = step && !armed then begin
+        armed := false;
+        fault s
+      end);
+  (match Epoch.recover ~snapshot_path:sp ~journal_path:jp with
+  | Ok boot ->
+      close_boot boot;
+      Epoch.clear_fault_hook ();
+      Alcotest.failf "fault at %s did not interrupt recovery" (Epoch.step_to_string step)
+  | Error _ | (exception _) -> Epoch.clear_fault_hook ());
+  (* ...the on-disk journal is already whole: exactly old or new *)
+  (match Journal.replay_string (read_file jp) with
+  | Error e ->
+      Alcotest.failf "journal torn by fault at %s: %s" (Epoch.step_to_string step) e
+  | Ok rv ->
+      let whole_old = rv.Journal.rv_records = old_records in
+      let whole_new = rv.Journal.rv_epoch = 1 && List.length rv.Journal.rv_records = 1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "whole old or new after %s" (Epoch.step_to_string step))
+        true (whole_old || whole_new);
+      Alcotest.(check bool)
+        (Printf.sprintf "no spend lost or doubled after %s" (Epoch.step_to_string step))
+        true
+        (lifetime rv = old_lifetime));
+  (* ...and the second recovery completes the roll-forward *)
+  let boot = recover_ok ~what:(Epoch.step_to_string step) ~snapshot_path:sp ~journal_path:jp in
+  Alcotest.(check int) "landed on the new epoch" 1 boot.Epoch.bt_epoch;
+  Alcotest.(check bool) "seal gone" false (Sys.file_exists (Epoch.seal_path sp));
+  close_boot boot;
+  match Journal.replay_string (read_file jp) with
+  | Error e -> Alcotest.failf "final journal unreadable: %s" e
+  | Ok rv ->
+      Alcotest.(check int) "final journal compacted" 1 (List.length rv.Journal.rv_records);
+      Alcotest.(check bool) "final lifetime preserved" true (lifetime rv = old_lifetime)
+
+let test_compaction_crash_fuzz () =
+  List.iter
+    (interrupted_compaction ~fault:(fun s -> raise (Epoch.Injected (s, "kill"))))
+    compact_steps
+
+let test_compaction_disk_fault_fuzz () =
+  List.iter
+    (interrupted_compaction ~fault:(fun _ ->
+         raise (Unix.Unix_error (Unix.ENOSPC, "write", "injected"))))
+    compact_steps;
+  List.iter
+    (interrupted_compaction ~fault:(fun _ -> raise (Unix.Unix_error (Unix.EIO, "fsync", "injected"))))
+    [ Epoch.Compact_fsync; Epoch.Compact_dirsync ]
+
+(* torn tail: every byte-truncation of a mid-compaction journal still
+   recovers to one whole generation (the journal layer drops the torn
+   tail; the epoch layer rolls forward over it) *)
+let test_torn_journal_fuzz () =
+  let dir = tmp_dir () in
+  let sp = Filename.concat dir "s.epoch" and jp = Filename.concat dir "j.wal" in
+  Epoch.write_snapshot ~path:sp (snapshot ~epoch:1 ~base:new_base);
+  let full = journal_string old_records in
+  for cut = 0 to String.length full - 1 do
+    write_file jp (String.sub full 0 cut);
+    let boot =
+      recover_ok ~what:(Printf.sprintf "cut at %d" cut) ~snapshot_path:sp ~journal_path:jp
+    in
+    Alcotest.(check int) (Printf.sprintf "whole epoch at cut %d" cut) 1 boot.Epoch.bt_epoch;
+    close_boot boot;
+    match Journal.replay_string (read_file jp) with
+    | Error e -> Alcotest.failf "cut %d left a torn journal: %s" cut e
+    | Ok rv ->
+        Alcotest.(check bool)
+          (Printf.sprintf "lifetime intact at cut %d" cut)
+          true
+          (lifetime rv = new_base)
+  done
+
+(* a garbage line appended by a partial write is dropped as a torn tail,
+   never half-applied *)
+let test_garbage_tail () =
+  let dir = tmp_dir () in
+  let sp = Filename.concat dir "s.epoch" and jp = Filename.concat dir "j.wal" in
+  Epoch.write_snapshot ~path:sp (snapshot ~epoch:1 ~base:new_base);
+  write_file jp (journal_string old_records ^ "garbage \xff\xfe bytes");
+  let boot = recover_ok ~what:"garbage tail" ~snapshot_path:sp ~journal_path:jp in
+  Alcotest.(check int) "whole epoch" 1 boot.Epoch.bt_epoch;
+  Alcotest.(check bool) "roll-forward dropped the tail" true boot.Epoch.bt_rolled_forward;
+  close_boot boot
+
+let () =
+  Alcotest.run "epoch"
+    [
+      ( "snapshot",
+        [
+          QCheck_alcotest.to_alcotest qcheck_snapshot_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_snapshot_torn;
+          QCheck_alcotest.to_alcotest qcheck_snapshot_corrupt;
+          Alcotest.test_case "file roundtrip + missing is None" `Quick
+            test_snapshot_file_roundtrip;
+        ] );
+      ( "compaction",
+        [
+          Alcotest.test_case "compacts to a single Epoch record, idempotently" `Quick
+            test_compact_single_record;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "fresh boot is epoch 0" `Quick test_recover_fresh;
+          Alcotest.test_case "in-epoch keeps journal and snapshot state" `Quick
+            test_recover_in_epoch;
+          Alcotest.test_case "committed snapshot rolls the journal forward" `Quick
+            test_recover_roll_forward;
+          Alcotest.test_case "journal ahead of snapshot is a hard error" `Quick
+            test_recover_journal_ahead;
+          Alcotest.test_case "stale tmp files are removed" `Quick test_recover_cleans_stale_tmp;
+          Alcotest.test_case "epoch-matching seal is resumed" `Quick test_recover_seal_resume;
+          Alcotest.test_case "mismatched seal is discarded and deleted" `Quick
+            test_recover_seal_epoch_mismatch;
+        ] );
+      ( "interrupted compaction",
+        [
+          Alcotest.test_case "crash at every swap step recovers whole" `Quick
+            test_compaction_crash_fuzz;
+          Alcotest.test_case "ENOSPC/EIO at every swap step recovers whole" `Quick
+            test_compaction_disk_fault_fuzz;
+          Alcotest.test_case "every byte-truncation recovers whole" `Quick test_torn_journal_fuzz;
+          Alcotest.test_case "garbage tail is dropped, never half-applied" `Quick
+            test_garbage_tail;
+        ] );
+    ]

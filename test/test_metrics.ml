@@ -255,6 +255,7 @@ let req ~id ~query () =
     req_shards = None;
     req_trace = None;
     req_pspan = None;
+    req_rows = None;
   }
 
 let wait_for ?(seconds = 8.) what pred =

@@ -86,6 +86,7 @@ let req ?rid ?shards ~id ~query () =
     req_shards = shards;
     req_trace = None;
     req_pspan = None;
+    req_rows = None;
   }
 
 (* --- composition --- *)
@@ -269,6 +270,7 @@ let base_rsp req status =
     rsp_queue_wait_s = None;
     rsp_spent_eps = None;
     rsp_spent_delta = None;
+    rsp_epoch = None;
     rsp_body = None;
   }
 

@@ -180,7 +180,7 @@ let gen_request =
     let* shards = option (list_size (int_bound 5) (int_bound 64)) in
     return
       { Protocol.req_id = id; req_analyst = analyst; req_query = query; req_rid = rid;
-        req_shards = shards; req_trace = None; req_pspan = None })
+        req_shards = shards; req_trace = None; req_pspan = None; req_rows = None })
 
 let gen_status =
   QCheck.Gen.(
@@ -223,6 +223,7 @@ let gen_response =
         rsp_queue_wait_s = queue_wait;
         rsp_spent_eps = spent_eps;
         rsp_spent_delta = spent_delta;
+        rsp_epoch = None;
         rsp_body = None;
       })
 
@@ -298,6 +299,7 @@ let test_frame_limits () =
         req_shards = None;
         req_trace = None;
         req_pspan = None;
+        req_rows = None;
       }
   in
   (match Protocol.decode_request huge with
@@ -310,7 +312,7 @@ let test_frame_limits () =
 let test_protocol_versioning () =
   let ok =
     Protocol.encode_request
-      { Protocol.req_id = 1; req_analyst = "a"; req_query = "sq"; req_rid = None; req_shards = None; req_trace = None; req_pspan = None }
+      { Protocol.req_id = 1; req_analyst = "a"; req_query = "sq"; req_rid = None; req_shards = None; req_trace = None; req_pspan = None; req_rows = None }
   in
   (match Protocol.decode_request ok with
   | Ok _ -> ()
@@ -371,7 +373,7 @@ let test_budget_fits_is_read_only () =
 let submit ?rid broker ~id ~analyst ~query =
   Broker.submit broker
     { Protocol.req_id = id; req_analyst = analyst; req_query = query; req_rid = rid;
-      req_shards = None; req_trace = None; req_pspan = None }
+      req_shards = None; req_trace = None; req_pspan = None; req_rows = None }
 
 (* Run [assignments] = (analyst, query names) pairs concurrently through a
    broker, one thread per analyst, serializer on the calling thread (which
@@ -795,7 +797,7 @@ let test_drain_answers_queued () =
                             true
                             (!cum +. 1e-9 >= e))
                         rsp.Protocol.rsp_spent_eps)
-              | Journal.Mark _ -> ())
+              | Journal.Mark _ | Journal.Epoch _ | Journal.Ingest _ -> ())
             rv.Journal.rv_records;
           Array.iteri
             (fun i reply ->
@@ -846,7 +848,7 @@ let test_client_timeout_on_stalled_socket () =
     (fun () ->
       let client = Net.Client.connect ~deadline_s:0.2 path in
       let req =
-        { Protocol.req_id = 0; req_analyst = "a"; req_query = "sq"; req_rid = None; req_shards = None; req_trace = None; req_pspan = None }
+        { Protocol.req_id = 0; req_analyst = "a"; req_query = "sq"; req_rid = None; req_shards = None; req_trace = None; req_pspan = None; req_rows = None }
       in
       let t0 = Unix.gettimeofday () in
       (match Net.Client.call client req with

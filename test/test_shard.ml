@@ -68,6 +68,7 @@ let req ?rid ?shards ~id ~analyst ~query () =
     req_shards = shards;
     req_trace = None;
     req_pspan = None;
+    req_rows = None;
   }
 
 let must_start s =
